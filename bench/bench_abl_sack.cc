@@ -1,0 +1,64 @@
+// Ablation: TCP SACK block budget (§4.1 "Low-BDP-losses": the (MP)QUIC
+// advantage under random loss is attributed to ACK frames carrying up to
+// 256 ranges vs TCP's 2-3 SACK blocks).
+//
+// We grant the TCP baseline progressively more SACK blocks. If the
+// paper's attribution holds, TCP's lossy-scenario completion times should
+// close much of the gap toward QUIC as the budget approaches QUIC's.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace mpq;
+  using namespace mpq::harness;
+  ClassEvalOptions base = FigureDefaults(argc, argv);
+  base.scenario_count = std::min<std::size_t>(base.scenario_count, 40);
+
+  const auto scenarios = expdesign::GenerateScenarios(
+      expdesign::ScenarioClass::kLowBdpLosses, base.scenario_count,
+      base.seed);
+
+  std::printf("=== Ablation: TCP SACK blocks (low-BDP losses) ===\n\n");
+
+  // Reference: QUIC on the same scenarios.
+  std::vector<double> quic_times;
+  for (const auto& scenario : scenarios) {
+    TransferOptions options = base.base_options;
+    options.transfer_size = base.transfer_size;
+    options.time_limit = base.time_limit;
+    options.seed = base.seed + 41ULL * scenario.index;
+    quic_times.push_back(DurationToSeconds(
+        RunTransfer(Protocol::kQuic, scenario.paths, options)
+            .completion_time));
+  }
+  std::printf("  %-24s median %8.2f s\n", "QUIC (256 ack ranges)",
+              Median(quic_times));
+
+  for (int blocks : {1, 3, 16, 64, 256}) {
+    std::vector<double> ratios;
+    std::vector<double> times;
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      TransferOptions options = base.base_options;
+      options.transfer_size = base.transfer_size;
+      options.time_limit = base.time_limit;
+      options.seed = base.seed + 41ULL * scenarios[i].index;
+      options.tcp_sack_blocks = blocks;
+      const double t = DurationToSeconds(
+          RunTransfer(Protocol::kTcp, scenarios[i].paths, options)
+              .completion_time);
+      times.push_back(t);
+      if (quic_times[i] > 0) ratios.push_back(t / quic_times[i]);
+    }
+    std::printf("  TCP with %3d SACK blocks  median %8.2f s   median "
+                "TCP/QUIC ratio %.2f\n",
+                blocks, Median(times), Median(ratios));
+  }
+  std::printf(
+      "\nfinding (see EXPERIMENTS.md): with RFC 6675 loss marking and a "
+      "persistent scoreboard, the SACK *block budget* barely matters — the "
+      "sender reconstructs the holes from the highest ranges alone. The "
+      "paper's Fig. 5 gap therefore measures the 2015-era Linux recovery "
+      "implementation more than the ACK information bound itself.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation: WINDOW_UPDATE on all paths vs data path only (§3 "Packet
+// Scheduling": "the scheduler ensures proper delivery of the
+// WINDOW_UPDATE frames by sending them on all paths").
+//
+// The effect shows where receive-window pressure is highest: lossy and
+// high-BDP scenarios, where losing a WINDOW_UPDATE on one path can stall
+// the whole connection for an RTO.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace mpq;
+  using namespace mpq::harness;
+  ClassEvalOptions base = FigureDefaults(argc, argv);
+  base.scenario_count = std::min<std::size_t>(base.scenario_count, 40);
+
+  std::printf("=== Ablation: WINDOW_UPDATE on all paths (MPQUIC) ===\n\n");
+  for (auto klass : {expdesign::ScenarioClass::kLowBdpLosses,
+                     expdesign::ScenarioClass::kHighBdpLosses}) {
+    const auto scenarios = expdesign::GenerateScenarios(
+        klass, base.scenario_count, base.seed);
+    std::printf("%s:\n", expdesign::ToString(klass).c_str());
+    for (bool on_all_paths : {true, false}) {
+      std::vector<double> times;
+      int completed = 0;
+      for (const auto& scenario : scenarios) {
+        TransferOptions options = base.base_options;
+        options.transfer_size = base.transfer_size;
+        options.time_limit = base.time_limit;
+        options.seed = base.seed + 37ULL * scenario.index;
+        options.quic_window_update_on_all_paths = on_all_paths;
+        const TransferResult result =
+            RunTransfer(Protocol::kMpquic, scenario.paths, options);
+        times.push_back(DurationToSeconds(result.completion_time));
+        completed += result.completed;
+      }
+      std::printf("  window updates on %-10s median %8.2f s  p95 %8.2f s  "
+                  "completed %d/%zu\n",
+                  on_all_paths ? "ALL paths:" : "ONE path:", Median(times),
+                  Percentile(times, 95.0), completed, scenarios.size());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "expectation: duplication trims the tail (p95) in lossy classes by "
+      "avoiding RTO-priced WINDOW_UPDATE losses.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Diagnostic: congestion-window evolution per path (via the tracer API).
+//
+// Runs an MPQUIC 20 MB download over asymmetric paths with a
+// TimeSeriesTracer attached to the sending (server) connection, for both
+// OLIA (the paper's choice) and uncoupled CUBIC, and prints downsampled
+// (time, cwnd, srtt) rows per path plus loss events. This is the standard
+// picture papers draw when explaining coupled congestion control: OLIA
+// holds the slow path's window down while CUBIC lets both run free.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/source.h"
+#include "quic/endpoint.h"
+#include "quic/trace.h"
+#include "sim/topology.h"
+
+namespace {
+
+using namespace mpq;
+
+void RunAndPrint(cc::Algorithm algorithm, const char* label) {
+  sim::Simulator sim;
+  sim::Network net(sim, Rng(31337));
+  std::array<sim::PathParams, 2> paths;
+  paths[0].capacity_mbps = 20;
+  paths[0].rtt = 20 * kMillisecond;
+  paths[0].max_queue_delay = 40 * kMillisecond;
+  paths[1].capacity_mbps = 6;
+  paths[1].rtt = 60 * kMillisecond;
+  paths[1].max_queue_delay = 80 * kMillisecond;
+  auto topo = sim::BuildTwoPathTopology(net, paths);
+
+  quic::ConnectionConfig config;
+  config.multipath = true;
+  config.congestion = algorithm;
+
+  quic::TimeSeriesTracer tracer;
+  quic::ServerEndpoint server(sim, net,
+                              {topo.server_addr[0], topo.server_addr[1]},
+                              config, 1);
+  server.SetAcceptHandler([&tracer](quic::Connection& conn) {
+    conn.SetTracer(&tracer);
+    auto request = std::make_shared<std::string>();
+    conn.SetStreamDataHandler(
+        [&conn, request](StreamId id, ByteCount,
+                         std::span<const std::uint8_t> data, bool fin) {
+          request->append(data.begin(), data.end());
+          if (fin) {
+            conn.SendOnStream(id, std::make_unique<PatternSource>(
+                                      id, std::stoull(request->substr(4))));
+          }
+        });
+  });
+
+  quic::ClientEndpoint client(sim, net,
+                              {topo.client_addr[0], topo.client_addr[1]},
+                              config, 2);
+  bool finished = false;
+  client.connection().SetStreamDataHandler(
+      [&](StreamId, ByteCount, std::span<const std::uint8_t>, bool fin) {
+        if (fin) finished = true;
+      });
+  client.connection().SetEstablishedHandler([&] {
+    const std::string request = "GET 20971520";
+    client.connection().SendOnStream(
+        3, std::make_unique<BufferSource>(
+               std::vector<std::uint8_t>(request.begin(), request.end())));
+  });
+  client.Connect(topo.server_addr[0]);
+  while (!finished && sim.RunOne(120 * kSecond)) {
+  }
+
+  std::printf("# %s — completed in %.2f s; rows: time_s path cwnd_kB "
+              "srtt_ms (downsampled)\n",
+              label, DurationToSeconds(sim.now()));
+  TimePoint next_print[2] = {0, 0};
+  for (const auto& sample : tracer.samples()) {
+    if (sample.path > 1) continue;
+    if (sample.time < next_print[sample.path]) continue;
+    next_print[sample.path] = sample.time + 250 * kMillisecond;
+    std::printf("%7.3f %d %7.1f %6.1f\n", DurationToSeconds(sample.time),
+                sample.path, static_cast<double>(sample.cwnd) / 1024.0,
+                static_cast<double>(sample.srtt) / 1000.0);
+  }
+  std::size_t losses[2] = {0, 0};
+  for (const auto& loss : tracer.losses()) {
+    if (loss.path <= 1) ++losses[loss.path];
+  }
+  std::printf("# losses: path0 %zu, path1 %zu\n\n", losses[0], losses[1]);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Diagnostic: per-path congestion window evolution ===\n");
+  std::printf("20 MB MPQUIC download; path0 20 Mbps/20 ms, path1 6 Mbps/60 "
+              "ms.\n\n");
+  RunAndPrint(mpq::cc::Algorithm::kOlia, "OLIA (coupled)");
+  RunAndPrint(mpq::cc::Algorithm::kCubic, "CUBIC per path (uncoupled)");
+  return 0;
+}

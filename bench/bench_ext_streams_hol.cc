@@ -1,0 +1,195 @@
+// Extension experiment: stream-level head-of-line blocking.
+//
+// §2 of the paper: "QUIC supports different streams that prevent
+// head-of-line blocking when downloading different objects from a single
+// server." This bench quantifies that claim with a web-page-like
+// workload: 16 objects of 64 KiB fetched concurrently over ONE
+// connection. QUIC fetches each object on its own stream; the TCP
+// baseline pipelines them over its single ordered byte stream
+// (HTTP/1.1-style). Under random loss, a lost TCP segment stalls every
+// object behind it; a lost QUIC packet stalls only the streams whose
+// frames it carried.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/source.h"
+#include "common/stats.h"
+#include "quic/endpoint.h"
+#include "sim/topology.h"
+#include "tcpsim/endpoint.h"
+
+namespace {
+
+using namespace mpq;
+
+constexpr int kObjects = 16;
+constexpr ByteCount kObjectSize = 64 * 1024;
+
+std::array<sim::PathParams, 2> MakePaths(double loss) {
+  sim::PathParams p;
+  p.capacity_mbps = 20;
+  p.rtt = 40 * kMillisecond;
+  p.max_queue_delay = 50 * kMillisecond;
+  p.random_loss_rate = loss;
+  return {p, p};
+}
+
+struct ObjectTimes {
+  std::vector<double> completion_seconds;  // one per object
+  bool all_done = false;
+};
+
+ObjectTimes RunQuicObjects(double loss, std::uint64_t seed) {
+  sim::Simulator sim;
+  sim::Network net(sim, Rng(seed));
+  auto topo = sim::BuildTwoPathTopology(net, MakePaths(loss));
+
+  quic::ConnectionConfig config;  // single path: isolate the stream effect
+  quic::ServerEndpoint server(sim, net,
+                              {topo.server_addr[0], topo.server_addr[1]},
+                              config, seed + 1);
+  server.SetAcceptHandler([](quic::Connection& conn) {
+    conn.SetStreamDataHandler([&conn](StreamId id, ByteCount,
+                                      std::span<const std::uint8_t>,
+                                      bool fin) {
+      if (fin) {
+        conn.SendOnStream(id,
+                          std::make_unique<PatternSource>(id, kObjectSize));
+      }
+    });
+  });
+
+  quic::ClientEndpoint client(sim, net, {topo.client_addr[0]}, config,
+                              seed + 2);
+  ObjectTimes result;
+  result.completion_seconds.assign(kObjects, -1.0);
+  int done = 0;
+  client.connection().SetStreamDataHandler(
+      [&](StreamId id, ByteCount, std::span<const std::uint8_t>, bool fin) {
+        if (!fin) return;
+        const int index = (static_cast<int>(id) - 5) / 2;
+        if (index >= 0 && index < kObjects &&
+            result.completion_seconds[index] < 0) {
+          result.completion_seconds[index] = DurationToSeconds(sim.now());
+          ++done;
+        }
+      });
+  client.connection().SetEstablishedHandler([&] {
+    for (int i = 0; i < kObjects; ++i) {
+      client.connection().SendOnStream(
+          static_cast<StreamId>(5 + 2 * i),
+          std::make_unique<BufferSource>(std::vector<std::uint8_t>{'G'}));
+    }
+  });
+  client.Connect(topo.server_addr[0]);
+  while (done < kObjects && sim.RunOne(120 * kSecond)) {
+  }
+  result.all_done = done == kObjects;
+  return result;
+}
+
+ObjectTimes RunTcpObjects(double loss, std::uint64_t seed) {
+  sim::Simulator sim;
+  sim::Network net(sim, Rng(seed));
+  auto paths = MakePaths(loss);
+  for (auto& p : paths) p.per_packet_overhead = 20;
+  auto topo = sim::BuildTwoPathTopology(net, paths);
+
+  tcp::TcpConfig config;
+  tcp::TcpServerEndpoint server(sim, net,
+                                {topo.server_addr[0], topo.server_addr[1]},
+                                config, seed + 1);
+  server.SetAcceptHandler([](tcp::TcpConnection& conn) {
+    // One pipelined response of kObjects * kObjectSize bytes.
+    auto responded = std::make_shared<bool>(false);
+    conn.SetAppDataHandler([&conn, responded](ByteCount,
+                                              std::span<const std::uint8_t> d,
+                                              bool) {
+      if (!d.empty() && !*responded) {  // the 1-byte pipelined "request"
+        *responded = true;
+        conn.SendAppData(std::make_unique<PatternSource>(
+            7, static_cast<ByteCount>(kObjects) * kObjectSize));
+      }
+    });
+  });
+
+  tcp::TcpClientEndpoint client(sim, net, {topo.client_addr[0]}, config,
+                                seed + 2);
+  ObjectTimes result;
+  result.completion_seconds.assign(kObjects, -1.0);
+  ByteCount received = 0;
+  // HTTP/2-over-TCP framing: the 16 objects are multiplexed over the one
+  // ordered byte stream in 4 KiB chunks, round-robin — like QUIC's
+  // streams, except everything shares ONE retransmission order. Object i
+  // completes when the stream delivers the position of its last chunk.
+  constexpr ByteCount kChunk = 4 * 1024;
+  constexpr ByteCount kRounds = kObjectSize / kChunk;
+  std::array<ByteCount, kObjects> completion_offset;
+  for (int i = 0; i < kObjects; ++i) {
+    completion_offset[i] = ((kRounds - 1) * kObjects + i + 1) * kChunk;
+  }
+  client.connection().SetAppDataHandler(
+      [&](ByteCount, std::span<const std::uint8_t> d, bool) {
+        received += d.size();
+        for (int i = 0; i < kObjects; ++i) {
+          if (result.completion_seconds[i] < 0 &&
+              received >= completion_offset[i]) {
+            result.completion_seconds[i] = DurationToSeconds(sim.now());
+          }
+        }
+      });
+  client.connection().SetSecureEstablishedHandler([&] {
+    client.connection().SendAppData(
+        std::make_unique<BufferSource>(std::vector<std::uint8_t>{'G'}));
+  });
+  client.Connect({topo.server_addr[0]});
+  while (received < static_cast<ByteCount>(kObjects) * kObjectSize &&
+         sim.RunOne(120 * kSecond)) {
+  }
+  result.all_done =
+      received >= static_cast<ByteCount>(kObjects) * kObjectSize;
+  return result;
+}
+
+void Row(const char* proto, const ObjectTimes& times) {
+  std::printf("  %-24s mean %6.3f s   median %6.3f s   last %6.3f s%s\n",
+              proto, mpq::Mean(times.completion_seconds),
+              mpq::Median(times.completion_seconds),
+              mpq::Percentile(times.completion_seconds, 100.0),
+              times.all_done ? "" : "  (incomplete)");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Extension: multi-stream head-of-line blocking (§2) ===\n");
+  std::printf("16 objects x 64 KiB over one connection, 20 Mbps / 40 ms; "
+              "QUIC: one stream per object; TCP: HTTP/2-style chunks multiplexed on one byte stream.\n\n");
+  for (double loss : {0.0, 0.01, 0.02}) {
+    std::printf("random loss %.0f%%:\n", loss * 100);
+    // Median-ish over three seeds, reported per-seed for transparency.
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      ObjectTimes quic = RunQuicObjects(loss, seed * 100);
+      ObjectTimes tcp = RunTcpObjects(loss, seed * 100);
+      char label[32];
+      std::snprintf(label, sizeof(label), "QUIC streams (seed %llu)",
+                    static_cast<unsigned long long>(seed));
+      Row(label, quic);
+      std::snprintf(label, sizeof(label), "TCP multiplexed (seed %llu)",
+                    static_cast<unsigned long long>(seed));
+      Row(label, tcp);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "reading the rows: for TCP, mean = median = last — every object is "
+      "hostage to the single byte stream, so they all complete together "
+      "at the final stall resolution. QUIC's objects complete "
+      "progressively (mean < last) because each stream delivers "
+      "independently; a lost packet delays only the streams it carried. "
+      "Total transfer time is congestion-control bound and similar for "
+      "both.\n");
+  return 0;
+}

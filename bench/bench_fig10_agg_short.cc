@@ -1,0 +1,15 @@
+// Reproduces Figure 10 of "Multipath QUIC: Design and Evaluation" (CoNEXT '17).
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace mpq::harness;
+  ClassEvalOptions options = FigureDefaults(argc, argv);
+  options.transfer_size = 256 * 1024;
+  PrintHeader("Figure 10",
+              "GET 256 KB, low-BDP no random loss. Paper: multipath is NOT useful for short transfers (handshake dominates).",
+              options);
+  const auto outcomes =
+      EvaluateClass(mpq::expdesign::ScenarioClass::kLowBdpNoLoss, options);
+  PrintBenefitFigure(outcomes);
+  return 0;
+}

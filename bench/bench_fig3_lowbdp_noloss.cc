@@ -1,0 +1,14 @@
+// Reproduces Figure 3 of "Multipath QUIC: Design and Evaluation" (CoNEXT '17).
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace mpq::harness;
+  ClassEvalOptions options = FigureDefaults(argc, argv);
+  PrintHeader("Figure 3",
+              "GET 20 MB, low-BDP no random loss. Paper: single-path TCP ~ QUIC; MPQUIC beats MPTCP in ~89% of scenarios.",
+              options);
+  const auto outcomes =
+      EvaluateClass(mpq::expdesign::ScenarioClass::kLowBdpNoLoss, options);
+  PrintRatioFigure(outcomes);
+  return 0;
+}

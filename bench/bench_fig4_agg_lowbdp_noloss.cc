@@ -1,0 +1,14 @@
+// Reproduces Figure 4 of "Multipath QUIC: Design and Evaluation" (CoNEXT '17).
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace mpq::harness;
+  ClassEvalOptions options = FigureDefaults(argc, argv);
+  PrintHeader("Figure 4",
+              "GET 20 MB, low-BDP no random loss. Paper: MPQUIC EBen ~1 and insensitive to initial path (beneficial 77% vs MPTCP 45%).",
+              options);
+  const auto outcomes =
+      EvaluateClass(mpq::expdesign::ScenarioClass::kLowBdpNoLoss, options);
+  PrintBenefitFigure(outcomes);
+  return 0;
+}

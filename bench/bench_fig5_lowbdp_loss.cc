@@ -1,0 +1,14 @@
+// Reproduces Figure 5 of "Multipath QUIC: Design and Evaluation" (CoNEXT '17).
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace mpq::harness;
+  ClassEvalOptions options = FigureDefaults(argc, argv);
+  PrintHeader("Figure 5",
+              "GET 20 MB, low-BDP with random losses up to 2.5%. Paper: (MP)QUIC nearly always beats (MP)TCP (256 ack ranges vs 2-3 SACK blocks).",
+              options);
+  const auto outcomes =
+      EvaluateClass(mpq::expdesign::ScenarioClass::kLowBdpLosses, options);
+  PrintRatioFigure(outcomes);
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Reproduces Figure 6 of "Multipath QUIC: Design and Evaluation" (CoNEXT '17).
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace mpq::harness;
+  ClassEvalOptions options = FigureDefaults(argc, argv);
+  PrintHeader("Figure 6",
+              "GET 20 MB, low-BDP with random losses. Paper: multipath still beneficial to QUIC, with larger variance.",
+              options);
+  const auto outcomes =
+      EvaluateClass(mpq::expdesign::ScenarioClass::kLowBdpLosses, options);
+  PrintBenefitFigure(outcomes);
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Reproduces Figure 7 of "Multipath QUIC: Design and Evaluation" (CoNEXT '17).
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace mpq::harness;
+  ClassEvalOptions options = FigureDefaults(argc, argv);
+  PrintHeader("Figure 7",
+              "GET 20 MB, high-BDP no random loss. Paper: MPTCP benefit collapses (20% beneficial) while MPQUIC stays beneficial (58%).",
+              options);
+  const auto outcomes =
+      EvaluateClass(mpq::expdesign::ScenarioClass::kHighBdpNoLoss, options);
+  PrintBenefitFigure(outcomes);
+  return 0;
+}

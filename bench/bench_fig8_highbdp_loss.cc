@@ -1,0 +1,14 @@
+// Reproduces Figure 8 of "Multipath QUIC: Design and Evaluation" (CoNEXT '17).
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace mpq::harness;
+  ClassEvalOptions options = FigureDefaults(argc, argv);
+  PrintHeader("Figure 8",
+              "GET 20 MB, high-BDP with random losses. Paper: (MP)QUIC outperforms (MP)TCP.",
+              options);
+  const auto outcomes =
+      EvaluateClass(mpq::expdesign::ScenarioClass::kHighBdpLosses, options);
+  PrintRatioFigure(outcomes);
+  return 0;
+}

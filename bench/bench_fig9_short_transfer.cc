@@ -1,0 +1,15 @@
+// Reproduces Figure 9 of "Multipath QUIC: Design and Evaluation" (CoNEXT '17).
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace mpq::harness;
+  ClassEvalOptions options = FigureDefaults(argc, argv);
+  options.transfer_size = 256 * 1024;
+  PrintHeader("Figure 9",
+              "GET 256 KB, low-BDP no random loss. Paper: QUIC wins via its 1-RTT handshake (vs 3 RTTs for TCP+TLS 1.2).",
+              options);
+  const auto outcomes =
+      EvaluateClass(mpq::expdesign::ScenarioClass::kLowBdpNoLoss, options);
+  PrintRatioFigure(outcomes);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Shared plumbing for the figure-reproduction benches: each binary runs
+// one class of the §4.1 evaluation and prints the series of its paper
+// figure plus the headline statistics the paper quotes in the text.
+//
+// Defaults keep a full `for b in build/bench/*` sweep in the minutes
+// range; pass --full (or set MPQ_BENCH_FULL=1) for the paper's exact
+// 253-scenario / 3-repetition design. All runs are deterministic.
+#pragma once
+
+#include <cstdio>
+
+#include "harness/figures.h"
+
+namespace mpq::harness {
+
+/// High-BDP transfers at 0.1 Mbps need ~1600 s of simulated time for
+/// 20 MB; give every run ample room so slow-but-working scenarios are
+/// measured rather than truncated.
+inline ClassEvalOptions FigureDefaults(int argc, char** argv) {
+  ClassEvalOptions options = ParseBenchArgs(argc, argv);
+  options.time_limit = 4000 * kSecond;
+  options.base_options.time_limit = options.time_limit;
+  return options;
+}
+
+inline void PrintHeader(const char* figure, const char* description,
+                        const ClassEvalOptions& options) {
+  std::printf("=== %s ===\n%s\n", figure, description);
+  std::printf(
+      "config: %zu scenarios x 2 initial paths, %d rep(s), %llu-byte "
+      "transfer\n\n",
+      options.scenario_count, options.repetitions,
+      static_cast<unsigned long long>(options.transfer_size));
+}
+
+/// The ratio-CDF figures (3, 5, 8, 9).
+inline void PrintRatioFigure(const std::vector<ScenarioOutcome>& outcomes) {
+  const RatioSeries ratios = ComputeRatios(outcomes);
+  PrintCdf("completion-time ratio TCP/QUIC", ratios.tcp_over_quic);
+  std::printf("\n");
+  PrintCdf("completion-time ratio MPTCP/MPQUIC", ratios.mptcp_over_mpquic);
+  std::printf("\nheadline:\n");
+  std::printf("  QUIC faster than TCP      in %5.1f%% of runs (median ratio %.2f)\n",
+              100.0 * FractionAbove(ratios.tcp_over_quic, 1.0),
+              Median(ratios.tcp_over_quic));
+  std::printf("  MPQUIC faster than MPTCP  in %5.1f%% of runs (median ratio %.2f)\n",
+              100.0 * FractionAbove(ratios.mptcp_over_mpquic, 1.0),
+              Median(ratios.mptcp_over_mpquic));
+}
+
+/// The aggregation-benefit figures (4, 6, 7, 10).
+inline void PrintBenefitFigure(const std::vector<ScenarioOutcome>& outcomes) {
+  const BenefitSeries benefits = ComputeBenefits(outcomes);
+  std::printf("experimental aggregation benefit (box-plot rows):\n");
+  PrintSummaryRow("MPTCP  vs TCP,  best first", benefits.mptcp_best_first);
+  PrintSummaryRow("MPTCP  vs TCP,  worst first", benefits.mptcp_worst_first);
+  PrintSummaryRow("MPQUIC vs QUIC, best first", benefits.mpquic_best_first);
+  PrintSummaryRow("MPQUIC vs QUIC, worst first", benefits.mpquic_worst_first);
+
+  auto all_of = [](const std::vector<double>& a,
+                   const std::vector<double>& b) {
+    std::vector<double> merged = a;
+    merged.insert(merged.end(), b.begin(), b.end());
+    return merged;
+  };
+  const auto mptcp =
+      all_of(benefits.mptcp_best_first, benefits.mptcp_worst_first);
+  const auto mpquic =
+      all_of(benefits.mpquic_best_first, benefits.mpquic_worst_first);
+  std::printf("\nheadline:\n");
+  std::printf("  multipath beneficial (EBen > 0):  MPTCP %5.1f%%   MPQUIC %5.1f%%\n",
+              100.0 * FractionAbove(mptcp, 0.0),
+              100.0 * FractionAbove(mpquic, 0.0));
+  std::printf("  median EBen:                      MPTCP %5.2f    MPQUIC %5.2f\n",
+              Median(mptcp), Median(mpquic));
+}
+
+}  // namespace mpq::harness

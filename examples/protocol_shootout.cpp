@@ -1,0 +1,52 @@
+// Protocol shootout: TCP vs QUIC vs MPTCP vs MPQUIC on one scenario of
+// your choosing, through the same experiment harness the paper-figure
+// benches use. A handy way to poke at the design space by hand.
+//
+//   $ ./protocol_shootout [size_bytes] [cap0] [cap1] [rtt0_ms] [rtt1_ms] [loss%]
+//   $ ./protocol_shootout 20971520 10 2 30 90 1.0
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/runner.h"
+
+using namespace mpq;
+using namespace mpq::harness;
+
+int main(int argc, char** argv) {
+  ByteCount size = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                            : 20 * 1024 * 1024;
+  std::array<sim::PathParams, 2> paths;
+  paths[0].capacity_mbps = argc > 2 ? std::atof(argv[2]) : 10.0;
+  paths[1].capacity_mbps = argc > 3 ? std::atof(argv[3]) : 4.0;
+  paths[0].rtt = MillisToDuration(argc > 4 ? std::atof(argv[4]) : 30.0);
+  paths[1].rtt = MillisToDuration(argc > 5 ? std::atof(argv[5]) : 80.0);
+  const double loss = argc > 6 ? std::atof(argv[6]) / 100.0 : 0.0;
+  for (auto& path : paths) {
+    path.max_queue_delay = 60 * kMillisecond;
+    path.random_loss_rate = loss;
+  }
+
+  std::printf("GET %llu bytes; path0 %.1f Mbps/%lld ms, path1 %.1f "
+              "Mbps/%lld ms, loss %.2f%%\n\n",
+              static_cast<unsigned long long>(size), paths[0].capacity_mbps,
+              static_cast<long long>(paths[0].rtt / kMillisecond),
+              paths[1].capacity_mbps,
+              static_cast<long long>(paths[1].rtt / kMillisecond),
+              loss * 100.0);
+
+  std::printf("%-8s %-12s %-12s %s\n", "proto", "time [s]", "goodput",
+              "(single-path protocols use path 0)");
+  for (Protocol protocol : {Protocol::kTcp, Protocol::kQuic,
+                            Protocol::kMptcp, Protocol::kMpquic}) {
+    TransferOptions options;
+    options.transfer_size = size;
+    options.seed = 99;
+    const TransferResult median =
+        MedianTransfer(protocol, paths, options, /*repetitions=*/3);
+    std::printf("%-8s %9.2f    %7.2f Mbps %s\n",
+                ToString(protocol).c_str(),
+                DurationToSeconds(median.completion_time),
+                median.goodput_mbps, median.completed ? "" : "(incomplete)");
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Web-page-style fetch: many objects over one MPQUIC connection, each on
+// its own stream (§2: streams prevent head-of-line blocking between
+// objects), pulled over two aggregated paths. Prints a waterfall of
+// per-object completion times.
+//
+//   $ ./web_page_fetch
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "quic/endpoint.h"
+#include "sim/topology.h"
+
+using namespace mpq;
+
+int main() {
+  sim::Simulator simulator;
+  sim::Network network(simulator, Rng(8));
+  std::array<sim::PathParams, 2> paths;
+  paths[0].capacity_mbps = 15.0;  // WiFi-ish
+  paths[0].rtt = 30 * kMillisecond;
+  paths[0].max_queue_delay = 60 * kMillisecond;
+  paths[0].random_loss_rate = 0.005;
+  paths[1].capacity_mbps = 8.0;  // LTE-ish
+  paths[1].rtt = 60 * kMillisecond;
+  paths[1].max_queue_delay = 80 * kMillisecond;
+  auto topology = sim::BuildTwoPathTopology(network, paths);
+
+  quic::ConnectionConfig config;
+  config.multipath = true;
+  config.congestion = cc::Algorithm::kOlia;
+
+  quic::ServerEndpoint server(
+      simulator, network,
+      {topology.server_addr[0], topology.server_addr[1]}, config, 1);
+  server.SetAcceptHandler([](quic::Connection& connection) {
+    connection.SetStreamDataHandler(
+        [&connection](StreamId stream, ByteCount,
+                      std::span<const std::uint8_t> data, bool fin) {
+          if (fin && !data.empty()) {
+            // First byte of the request encodes the object size in KiB.
+            const ByteCount size = ByteCount{data[0]} * 1024;
+            connection.SendOnStream(
+                stream, std::make_unique<PatternSource>(stream, size));
+          }
+        });
+  });
+
+  // A "page": one 200 KiB document, four 100 KiB scripts/styles, eight
+  // 30 KiB images — all requested the moment the handshake completes.
+  struct Object {
+    const char* name;
+    std::uint8_t kib;
+    StreamId stream = 0;
+    double done_at = -1;
+  };
+  std::vector<Object> objects = {{"document", 200}};
+  for (int i = 0; i < 4; ++i) objects.push_back({"script", 100});
+  for (int i = 0; i < 8; ++i) objects.push_back({"image", 30});
+
+  quic::ClientEndpoint client(
+      simulator, network,
+      {topology.client_addr[0], topology.client_addr[1]}, config, 2);
+  int remaining = static_cast<int>(objects.size());
+  client.connection().SetStreamDataHandler(
+      [&](StreamId stream, ByteCount, std::span<const std::uint8_t>,
+          bool fin) {
+        if (!fin) return;
+        for (auto& object : objects) {
+          if (object.stream == stream && object.done_at < 0) {
+            object.done_at = DurationToSeconds(simulator.now());
+            --remaining;
+          }
+        }
+      });
+  client.connection().SetEstablishedHandler([&] {
+    StreamId next = 5;
+    for (auto& object : objects) {
+      object.stream = next;
+      next += 2;
+      client.connection().SendOnStream(
+          object.stream, std::make_unique<BufferSource>(
+                             std::vector<std::uint8_t>{object.kib}));
+    }
+  });
+  client.Connect(topology.server_addr[0]);
+  while (remaining > 0 && simulator.RunOne(60 * kSecond)) {
+  }
+
+  std::printf("fetched %zu objects (%u KiB total) over WiFi+LTE with 0.5%% "
+              "WiFi loss\n\n",
+              objects.size(), 200u + 4 * 100 + 8 * 30);
+  std::sort(objects.begin(), objects.end(),
+            [](const Object& a, const Object& b) {
+              return a.done_at < b.done_at;
+            });
+  std::printf("%-10s %-10s waterfall (10 ms per column)\n", "object",
+              "done [s]");
+  for (const auto& object : objects) {
+    std::printf("%-10s %8.3f   ", object.name, object.done_at);
+    for (double t = 0; t < object.done_at; t += 0.01) std::printf("=");
+    std::printf("|\n");
+  }
+  std::printf("\nstreams let small images finish early instead of queueing "
+              "behind the document; both radios carry the page.\n");
+  return remaining == 0 ? 0 : 1;
+}

@@ -1,0 +1,47 @@
+// Seamless network handover (the paper's §4.3 / Fig. 11 scenario and the
+// headline smartphone use case): an interactive request/response session
+// runs over MPQUIC while the WiFi path dies mid-session; traffic shifts
+// to LTE within roughly one retransmission timeout, helped by the PATHS
+// frame that tells the server not to answer on the dead path.
+//
+//   $ ./wifi_to_lte_handover
+#include <cstdio>
+
+#include "harness/runner.h"
+
+using namespace mpq;
+using namespace mpq::harness;
+
+int main() {
+  HandoverOptions options;
+  options.initial_path_rtt = 15 * kMillisecond;   // WiFi
+  options.second_path_rtt = 25 * kMillisecond;    // LTE
+  options.failure_time = 3 * kSecond;             // WiFi dies here
+  options.end_time = 8 * kSecond;
+  options.seed = 3;
+
+  std::printf("750-byte request every 400 ms; WiFi (15 ms RTT) fails at "
+              "t = 3 s; LTE (25 ms RTT) takes over\n\n");
+  std::printf("%-10s %-14s %s\n", "sent at", "reply delay", "");
+
+  const auto samples = RunQuicHandover(options);
+  for (const auto& sample : samples) {
+    const double when = DurationToSeconds(sample.sent_time);
+    if (!sample.answered) {
+      std::printf("%8.2f s  %-12s\n", when, "LOST");
+      continue;
+    }
+    const double ms = static_cast<double>(sample.response_delay) / 1000.0;
+    // Crude bar chart: one '#' per 10 ms.
+    std::printf("%8.2f s  %8.1f ms  ", when, ms);
+    for (int i = 0; i < ms / 10.0 && i < 60; ++i) std::printf("#");
+    if (when > DurationToSeconds(options.failure_time) &&
+        when < DurationToSeconds(options.failure_time) + 0.5) {
+      std::printf("   <- WiFi just died");
+    }
+    std::printf("\n");
+  }
+  std::printf("\nthe single spike is the client's RTO discovering the dead "
+              "path; afterwards every request rides LTE.\n");
+  return 0;
+}

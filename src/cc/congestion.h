@@ -1,0 +1,75 @@
+// Congestion-controller interface shared by the QUIC and TCP stacks.
+//
+// The evaluation setup of the paper (§4.1): single-path protocols use
+// CUBIC; multipath protocols use OLIA, one controller per path coupled
+// through a coordinator. Controllers are bytes-based and are driven by
+// the loss-recovery machinery of each stack:
+//   OnPacketSent    — a retransmittable packet left the host,
+//   OnPacketAcked   — newly acknowledged (first transmission time given
+//                     so a controller can ignore acks from before its
+//                     last congestion response),
+//   OnPacketLost    — declared lost by loss detection,
+//   OnRetransmissionTimeout — RTO fired (collapse to minimum window).
+#pragma once
+
+#include <limits>
+#include <string>
+
+#include "common/types.h"
+
+namespace mpq::cc {
+
+inline constexpr ByteCount kDefaultMss = 1350;
+inline constexpr ByteCount kInitialWindowPackets = 10;  // RFC 6928 style
+inline constexpr ByteCount kMinWindowPackets = 2;
+
+/// Which controller a connection uses (paper §4.1: CUBIC for single-path
+/// protocols, OLIA coupled across paths for the multipath ones; an
+/// uncoupled-CUBIC multipath mode exists as the fairness ablation).
+enum class Algorithm {
+  kCubic,
+  kOlia,
+  kNewReno,
+  kLia,  // RFC 6356 coupled CC, the Linux MPTCP default of the era
+};
+
+class CongestionController {
+ public:
+  virtual ~CongestionController() = default;
+
+  virtual void OnPacketSent(TimePoint now, ByteCount bytes) = 0;
+  /// `sent_time` is when the acked packet was sent; `rtt` the smoothed
+  /// RTT estimate of the path (used by CUBIC's TCP-friendly region and
+  /// OLIA's coupling; pass 0 if unknown).
+  virtual void OnPacketAcked(TimePoint now, ByteCount bytes,
+                             TimePoint sent_time, Duration rtt) = 0;
+  virtual void OnPacketLost(TimePoint now, ByteCount bytes,
+                            TimePoint sent_time) = 0;
+  virtual void OnRetransmissionTimeout(TimePoint now) = 0;
+
+  virtual ByteCount congestion_window() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Bytes currently in flight, maintained from the Sent/Acked/Lost calls.
+  ByteCount bytes_in_flight() const { return bytes_in_flight_; }
+
+  /// True if at least `bytes` fit under the congestion window.
+  bool CanSend(ByteCount bytes) const {
+    return bytes_in_flight_ + bytes <= congestion_window();
+  }
+
+  bool InSlowStart() const { return congestion_window() < ssthresh_; }
+
+ protected:
+  void AddInFlight(ByteCount bytes) { bytes_in_flight_ += bytes; }
+  void RemoveInFlight(ByteCount bytes) {
+    bytes_in_flight_ = bytes_in_flight_ >= bytes ? bytes_in_flight_ - bytes : 0;
+  }
+
+  ByteCount ssthresh_ = std::numeric_limits<ByteCount>::max();
+
+ private:
+  ByteCount bytes_in_flight_ = 0;
+};
+
+}  // namespace mpq::cc

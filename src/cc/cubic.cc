@@ -1,0 +1,97 @@
+#include "cc/cubic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mpq::cc {
+
+Cubic::Cubic(ByteCount mss)
+    : mss_(mss), cwnd_(kInitialWindowPackets * mss) {}
+
+void Cubic::OnPacketSent(TimePoint, ByteCount bytes) { AddInFlight(bytes); }
+
+void Cubic::EnterCongestionAvoidanceEpoch(TimePoint now) {
+  epoch_started_ = true;
+  epoch_start_ = now;
+  acked_since_epoch_ = 0;
+  const double cwnd_mss = static_cast<double>(cwnd_) / mss_;
+  if (w_max_mss_ < cwnd_mss) {
+    // We got above the previous maximum without a loss: restart the curve
+    // from here (RFC 8312 §4.8's convex region handling).
+    w_max_mss_ = cwnd_mss;
+    k_seconds_ = 0.0;
+  } else {
+    k_seconds_ = std::cbrt((w_max_mss_ - cwnd_mss) / kC);
+  }
+  w_est_mss_ = cwnd_mss;
+}
+
+void Cubic::OnPacketAcked(TimePoint now, ByteCount bytes,
+                          TimePoint sent_time, Duration rtt) {
+  RemoveInFlight(bytes);
+  if (sent_time <= recovery_start_) return;
+
+  if (cwnd_ < ssthresh_) {
+    cwnd_ += bytes;
+    return;
+  }
+
+  if (!epoch_started_) EnterCongestionAvoidanceEpoch(now);
+  acked_since_epoch_ += bytes;
+
+  const double t = DurationToSeconds(now - epoch_start_);
+  const double delta = t - k_seconds_;
+  const double w_cubic_mss = kC * delta * delta * delta + w_max_mss_;
+
+  // TCP-friendly region (RFC 8312 §4.2): emulate Reno's growth rate.
+  const double rtt_s = rtt > 0 ? DurationToSeconds(rtt) : 0.1;
+  w_est_mss_ += 3.0 * (1.0 - kBeta) / (1.0 + kBeta) *
+                (static_cast<double>(bytes) / mss_) *
+                (static_cast<double>(mss_) / static_cast<double>(cwnd_));
+  (void)rtt_s;  // growth per ack is already rtt-paced by ack clocking
+
+  const double target_mss = std::max(w_cubic_mss, w_est_mss_);
+  const double cwnd_mss = static_cast<double>(cwnd_) / mss_;
+  if (target_mss > cwnd_mss) {
+    // Increase by (target - cwnd)/cwnd MSS per acked MSS (RFC 8312 §4.3).
+    const double increase_mss = (target_mss - cwnd_mss) / cwnd_mss *
+                                (static_cast<double>(bytes) / mss_);
+    cwnd_ += static_cast<ByteCount>(increase_mss * mss_);
+  } else {
+    // In the "TCP region" below the curve, grow at least minimally so the
+    // window is not frozen: 1 MSS per 100 acked MSS (RFC 8312 §4.8).
+    cwnd_ += std::max<ByteCount>(1, bytes / 100);
+  }
+}
+
+void Cubic::OnPacketLost(TimePoint now, ByteCount bytes,
+                         TimePoint sent_time) {
+  RemoveInFlight(bytes);
+  if (sent_time <= recovery_start_) return;
+  recovery_start_ = now;
+
+  double cwnd_mss = static_cast<double>(cwnd_) / mss_;
+  // Fast convergence (RFC 8312 §4.6): release bandwidth sooner when the
+  // maximum keeps shrinking.
+  if (cwnd_mss < w_max_mss_) {
+    w_max_mss_ = cwnd_mss * (1.0 + kBeta) / 2.0;
+  } else {
+    w_max_mss_ = cwnd_mss;
+  }
+  cwnd_ = static_cast<ByteCount>(static_cast<double>(cwnd_) * kBeta);
+  if (cwnd_ < kMinWindowPackets * mss_) cwnd_ = kMinWindowPackets * mss_;
+  ssthresh_ = cwnd_;
+  epoch_started_ = false;
+}
+
+void Cubic::OnRetransmissionTimeout(TimePoint now) {
+  recovery_start_ = now;
+  ssthresh_ = static_cast<ByteCount>(static_cast<double>(cwnd_) * kBeta);
+  if (ssthresh_ < kMinWindowPackets * mss_)
+    ssthresh_ = kMinWindowPackets * mss_;
+  cwnd_ = kMinWindowPackets * mss_;
+  w_max_mss_ = static_cast<double>(ssthresh_) / mss_;
+  epoch_started_ = false;
+}
+
+}  // namespace mpq::cc

@@ -1,0 +1,47 @@
+// CUBIC congestion control (Ha, Rhee, Xu; RFC 8312 parameterisation).
+//
+// Used by single-path TCP and single-path QUIC in the evaluation, exactly
+// as in the paper (§4.1: "we use CUBIC congestion control with the two
+// single path protocols", both the Linux kernel and quic-go defaulting to
+// CUBIC). Bytes-based; the cubic curve is computed in MSS units in double
+// precision, matching common userspace implementations.
+#pragma once
+
+#include "cc/congestion.h"
+
+namespace mpq::cc {
+
+class Cubic final : public CongestionController {
+ public:
+  explicit Cubic(ByteCount mss = kDefaultMss);
+
+  void OnPacketSent(TimePoint now, ByteCount bytes) override;
+  void OnPacketAcked(TimePoint now, ByteCount bytes, TimePoint sent_time,
+                     Duration rtt) override;
+  void OnPacketLost(TimePoint now, ByteCount bytes,
+                    TimePoint sent_time) override;
+  void OnRetransmissionTimeout(TimePoint now) override;
+
+  ByteCount congestion_window() const override { return cwnd_; }
+  std::string name() const override { return "cubic"; }
+
+ private:
+  void EnterCongestionAvoidanceEpoch(TimePoint now);
+
+  static constexpr double kC = 0.4;     // cubic scaling constant
+  static constexpr double kBeta = 0.7;  // multiplicative decrease factor
+
+  const ByteCount mss_;
+  ByteCount cwnd_;
+  TimePoint recovery_start_ = -1;
+
+  // Cubic epoch state (valid while in congestion avoidance).
+  bool epoch_started_ = false;
+  TimePoint epoch_start_ = 0;
+  double w_max_mss_ = 0.0;       // window before the last reduction, in MSS
+  double k_seconds_ = 0.0;       // time to regain w_max on the cubic curve
+  double w_est_mss_ = 0.0;       // TCP-friendly (Reno) estimate, in MSS
+  ByteCount acked_since_epoch_ = 0;
+};
+
+}  // namespace mpq::cc

@@ -1,0 +1,94 @@
+#include "cc/lia.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mpq::cc {
+
+std::unique_ptr<Lia> LiaCoordinator::CreateController() {
+  auto controller = std::unique_ptr<Lia>(new Lia(*this));
+  paths_.push_back(controller.get());
+  return controller;
+}
+
+void LiaCoordinator::Unregister(Lia* path) { std::erase(paths_, path); }
+
+Lia::Lia(LiaCoordinator& coordinator)
+    : coordinator_(coordinator),
+      cwnd_(kInitialWindowPackets * coordinator.mss()) {}
+
+Lia::~Lia() { coordinator_.Unregister(this); }
+
+double Lia::RttSeconds() const {
+  return srtt_ > 0 ? DurationToSeconds(srtt_) : 0.1;
+}
+
+void Lia::OnPacketSent(TimePoint, ByteCount bytes) { AddInFlight(bytes); }
+
+double Lia::Alpha() const {
+  // alpha = w_total * max(w_r/rtt_r^2) / (sum(w_r/rtt_r))^2, windows in
+  // MSS (RFC 6356 §4).
+  const ByteCount mss = coordinator_.mss();
+  double w_total = 0.0;
+  double best_ratio = 0.0;
+  double denom = 0.0;
+  for (const Lia* path : coordinator_.paths_) {
+    const double w = static_cast<double>(path->cwnd_) / mss;
+    const double rtt = path->RttSeconds();
+    w_total += w;
+    best_ratio = std::max(best_ratio, w / (rtt * rtt));
+    denom += w / rtt;
+  }
+  if (denom <= 0.0) return 1.0;
+  return w_total * best_ratio / (denom * denom);
+}
+
+void Lia::OnPacketAcked(TimePoint, ByteCount bytes, TimePoint sent_time,
+                        Duration rtt) {
+  RemoveInFlight(bytes);
+  if (rtt > 0) srtt_ = rtt;
+  if (sent_time <= recovery_start_) return;
+
+  const ByteCount mss = coordinator_.mss();
+  if (cwnd_ < ssthresh_) {
+    cwnd_ += bytes;  // per-path slow start, uncoupled
+    return;
+  }
+
+  double w_total_mss = 0.0;
+  for (const Lia* path : coordinator_.paths_) {
+    w_total_mss += static_cast<double>(path->cwnd_) / mss;
+  }
+  const double w_mss = static_cast<double>(cwnd_) / mss;
+  // RFC 6356 §4: increase per acked MSS = min(alpha/w_total, 1/w_r) —
+  // never more aggressive than a regular TCP flow on this path.
+  const double per_ack_mss =
+      std::min(Alpha() / w_total_mss, 1.0 / w_mss);
+  increase_remainder_mss_ +=
+      per_ack_mss * (static_cast<double>(bytes) / mss);
+  if (increase_remainder_mss_ >= 1.0) {
+    const double whole = std::floor(increase_remainder_mss_);
+    cwnd_ += static_cast<ByteCount>(whole) * mss;
+    increase_remainder_mss_ -= whole;
+  }
+}
+
+void Lia::OnPacketLost(TimePoint now, ByteCount bytes, TimePoint sent_time) {
+  RemoveInFlight(bytes);
+  if (sent_time <= recovery_start_) return;
+  recovery_start_ = now;
+  cwnd_ /= 2;
+  const ByteCount floor_window = kMinWindowPackets * coordinator_.mss();
+  if (cwnd_ < floor_window) cwnd_ = floor_window;
+  ssthresh_ = cwnd_;
+}
+
+void Lia::OnRetransmissionTimeout(TimePoint now) {
+  recovery_start_ = now;
+  ssthresh_ = cwnd_ / 2;
+  const ByteCount floor_window = kMinWindowPackets * coordinator_.mss();
+  if (ssthresh_ < floor_window) ssthresh_ = floor_window;
+  cwnd_ = floor_window;
+}
+
+}  // namespace mpq::cc

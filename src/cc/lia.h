@@ -1,0 +1,77 @@
+// LIA — the Linked Increases Algorithm (Wischik, Raiciu, Greenhalgh,
+// Handley, NSDI 2011; RFC 6356), the default coupled congestion control
+// of the Linux MPTCP kernel the paper benchmarks against. The paper
+// instead integrates OLIA [27], which fixed LIA's non-Pareto-optimality;
+// having both lets the ablation bench quantify that design choice.
+//
+// Congestion-avoidance increase per ACK on path r (windows in MSS):
+//
+//     min( alpha / w_total ,  1 / w_r )
+//
+// with the aggressiveness factor recomputed from the current windows:
+//
+//     alpha = w_total * max_r(w_r / rtt_r^2) / ( sum_r(w_r / rtt_r) )^2
+//
+// Loss behaviour is standard halving; slow start is per-path, uncoupled.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cc/congestion.h"
+
+namespace mpq::cc {
+
+class Lia;
+
+/// Couples the per-path Lia controllers of one connection. Must outlive
+/// the controllers it created.
+class LiaCoordinator {
+ public:
+  explicit LiaCoordinator(ByteCount mss = kDefaultMss) : mss_(mss) {}
+
+  LiaCoordinator(const LiaCoordinator&) = delete;
+  LiaCoordinator& operator=(const LiaCoordinator&) = delete;
+
+  std::unique_ptr<Lia> CreateController();
+
+  ByteCount mss() const { return mss_; }
+
+ private:
+  friend class Lia;
+  void Unregister(Lia* path);
+
+  ByteCount mss_;
+  std::vector<Lia*> paths_;
+};
+
+class Lia final : public CongestionController {
+ public:
+  ~Lia() override;
+
+  void OnPacketSent(TimePoint now, ByteCount bytes) override;
+  void OnPacketAcked(TimePoint now, ByteCount bytes, TimePoint sent_time,
+                     Duration rtt) override;
+  void OnPacketLost(TimePoint now, ByteCount bytes,
+                    TimePoint sent_time) override;
+  void OnRetransmissionTimeout(TimePoint now) override;
+
+  ByteCount congestion_window() const override { return cwnd_; }
+  std::string name() const override { return "lia"; }
+
+ private:
+  friend class LiaCoordinator;
+  explicit Lia(LiaCoordinator& coordinator);
+
+  double RttSeconds() const;
+  /// RFC 6356 alpha over the coordinator's current path set.
+  double Alpha() const;
+
+  LiaCoordinator& coordinator_;
+  ByteCount cwnd_;
+  TimePoint recovery_start_ = -1;
+  Duration srtt_ = 0;
+  double increase_remainder_mss_ = 0.0;
+};
+
+}  // namespace mpq::cc

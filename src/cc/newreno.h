@@ -1,0 +1,64 @@
+// NewReno-style AIMD controller. Not used in the paper's headline
+// comparison (which is CUBIC vs OLIA) but kept as the simplest reference
+// implementation: it anchors the congestion-control tests and serves as a
+// baseline in the ablation benches.
+#pragma once
+
+#include "cc/congestion.h"
+
+namespace mpq::cc {
+
+class NewReno final : public CongestionController {
+ public:
+  explicit NewReno(ByteCount mss = kDefaultMss)
+      : mss_(mss), cwnd_(kInitialWindowPackets * mss) {}
+
+  void OnPacketSent(TimePoint, ByteCount bytes) override {
+    AddInFlight(bytes);
+  }
+
+  void OnPacketAcked(TimePoint, ByteCount bytes, TimePoint sent_time,
+                     Duration) override {
+    RemoveInFlight(bytes);
+    if (sent_time <= recovery_start_) return;  // ack from before the cut
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += bytes;  // slow start
+      return;
+    }
+    // Congestion avoidance: one MSS per window of acks.
+    accumulated_ += bytes;
+    while (accumulated_ >= cwnd_) {
+      accumulated_ -= cwnd_;
+      cwnd_ += mss_;
+    }
+  }
+
+  void OnPacketLost(TimePoint now, ByteCount bytes,
+                    TimePoint sent_time) override {
+    RemoveInFlight(bytes);
+    if (sent_time <= recovery_start_) return;  // already responded
+    recovery_start_ = now;
+    cwnd_ = cwnd_ / 2;
+    if (cwnd_ < kMinWindowPackets * mss_) cwnd_ = kMinWindowPackets * mss_;
+    ssthresh_ = cwnd_;
+  }
+
+  void OnRetransmissionTimeout(TimePoint now) override {
+    recovery_start_ = now;
+    ssthresh_ = cwnd_ / 2;
+    if (ssthresh_ < kMinWindowPackets * mss_)
+      ssthresh_ = kMinWindowPackets * mss_;
+    cwnd_ = kMinWindowPackets * mss_;
+  }
+
+  ByteCount congestion_window() const override { return cwnd_; }
+  std::string name() const override { return "newreno"; }
+
+ private:
+  ByteCount mss_;
+  ByteCount cwnd_;
+  ByteCount accumulated_ = 0;
+  TimePoint recovery_start_ = -1;
+};
+
+}  // namespace mpq::cc

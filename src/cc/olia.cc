@@ -1,0 +1,134 @@
+#include "cc/olia.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mpq::cc {
+
+std::unique_ptr<Olia> OliaCoordinator::CreateController() {
+  auto controller = std::unique_ptr<Olia>(new Olia(*this));
+  paths_.push_back(controller.get());
+  return controller;
+}
+
+void OliaCoordinator::Unregister(Olia* path) {
+  std::erase(paths_, path);
+}
+
+Olia::Olia(OliaCoordinator& coordinator)
+    : coordinator_(coordinator),
+      cwnd_(kInitialWindowPackets * coordinator.mss()) {}
+
+Olia::~Olia() { coordinator_.Unregister(this); }
+
+double Olia::RttSeconds() const {
+  // Before the first RTT sample use a conservative placeholder; the exact
+  // value only matters for a handful of initial acks.
+  return srtt_ > 0 ? DurationToSeconds(srtt_) : 0.1;
+}
+
+void Olia::OnPacketSent(TimePoint, ByteCount bytes) { AddInFlight(bytes); }
+
+double Olia::Alpha() const {
+  const auto& paths = coordinator_.paths_;
+  const double n = static_cast<double>(paths.size());
+  if (paths.size() < 2) return 0.0;
+
+  // Partition: M = paths with the maximum window; B = "best" paths by
+  // l_p^2 / rtt_p; collected = B \ M (good paths kept at small windows).
+  ByteCount max_cwnd = 0;
+  double best_metric = -1.0;
+  for (const Olia* p : paths) {
+    max_cwnd = std::max(max_cwnd, p->cwnd_);
+    const double l = p->InterLossBytes();
+    best_metric = std::max(best_metric, l * l / p->RttSeconds());
+  }
+  std::size_t num_max = 0, num_collected = 0;
+  bool self_in_max = false, self_in_collected = false;
+  for (const Olia* p : paths) {
+    const bool in_max = p->cwnd_ == max_cwnd;
+    const double l = p->InterLossBytes();
+    const bool in_best = l * l / p->RttSeconds() >= best_metric;
+    const bool in_collected = in_best && !in_max;
+    num_max += in_max;
+    num_collected += in_collected;
+    if (p == this) {
+      self_in_max = in_max;
+      self_in_collected = in_collected;
+    }
+  }
+  if (self_in_collected) {
+    return 1.0 / (n * static_cast<double>(num_collected));
+  }
+  if (self_in_max && num_collected > 0) {
+    return -1.0 / (n * static_cast<double>(num_max));
+  }
+  return 0.0;
+}
+
+void Olia::OnPacketAcked(TimePoint, ByteCount bytes, TimePoint sent_time,
+                         Duration rtt) {
+  RemoveInFlight(bytes);
+  if (rtt > 0) srtt_ = rtt;
+  if (sent_time <= recovery_start_) return;
+  epoch_bytes_ += bytes;
+
+  const ByteCount mss = coordinator_.mss();
+  if (cwnd_ < ssthresh_) {
+    cwnd_ += bytes;  // per-path slow start, uncoupled
+    return;
+  }
+
+  // Coupled congestion-avoidance increase.
+  double denom = 0.0;
+  for (const Olia* p : coordinator_.paths_) {
+    denom += static_cast<double>(p->cwnd_) / mss / p->RttSeconds();
+  }
+  denom *= denom;
+  const double w_mss = static_cast<double>(cwnd_) / mss;
+  const double rtt_s = RttSeconds();
+  const double term1 = denom > 0.0 ? (w_mss / (rtt_s * rtt_s)) / denom : 0.0;
+  const double per_ack_mss = term1 + Alpha() / w_mss;
+  const double acked_mss = static_cast<double>(bytes) / mss;
+
+  // Accumulate fractional MSS growth; alpha can make this negative, in
+  // which case the window shrinks gently (never below the minimum).
+  increase_remainder_mss_ += per_ack_mss * acked_mss;
+  if (increase_remainder_mss_ >= 1.0) {
+    const double whole = std::floor(increase_remainder_mss_);
+    cwnd_ += static_cast<ByteCount>(whole) * mss;
+    increase_remainder_mss_ -= whole;
+  } else if (increase_remainder_mss_ <= -1.0) {
+    const double whole = std::floor(-increase_remainder_mss_);
+    const ByteCount dec = static_cast<ByteCount>(whole) * mss;
+    cwnd_ = cwnd_ > dec ? cwnd_ - dec : 0;
+    increase_remainder_mss_ += whole;
+  }
+  const ByteCount floor_window = kMinWindowPackets * mss;
+  if (cwnd_ < floor_window) cwnd_ = floor_window;
+}
+
+void Olia::OnPacketLost(TimePoint now, ByteCount bytes,
+                        TimePoint sent_time) {
+  RemoveInFlight(bytes);
+  if (sent_time <= recovery_start_) return;
+  recovery_start_ = now;
+  prev_epoch_bytes_ = epoch_bytes_;
+  epoch_bytes_ = 0;
+  cwnd_ /= 2;
+  const ByteCount floor_window = kMinWindowPackets * coordinator_.mss();
+  if (cwnd_ < floor_window) cwnd_ = floor_window;
+  ssthresh_ = cwnd_;
+}
+
+void Olia::OnRetransmissionTimeout(TimePoint now) {
+  recovery_start_ = now;
+  prev_epoch_bytes_ = epoch_bytes_;
+  epoch_bytes_ = 0;
+  ssthresh_ = cwnd_ / 2;
+  const ByteCount floor_window = kMinWindowPackets * coordinator_.mss();
+  if (ssthresh_ < floor_window) ssthresh_ = floor_window;
+  cwnd_ = floor_window;
+}
+
+}  // namespace mpq::cc

@@ -1,0 +1,87 @@
+// OLIA — Opportunistic Linked-Increases Algorithm (Khalili et al.,
+// CoNEXT 2012), the coupled multipath congestion control the paper uses
+// for both Multipath TCP and Multipath QUIC (§3 "Congestion Control":
+// "we integrate the OLIA congestion control scheme").
+//
+// Each path runs an Olia controller; an OliaCoordinator couples them:
+// the congestion-avoidance increase on path r per acked MSS is
+//
+//     w_r / rtt_r^2
+//   ------------------  +  alpha_r / w_r          (windows in MSS)
+//   ( sum_p w_p/rtt_p )^2
+//
+// where alpha_r re-allocates window between the "best" paths (largest
+// inter-loss delivered volume l_p^2 / rtt_p) and the paths with the
+// largest windows, making the allocation Pareto-improving. Loss behaviour
+// is standard halving; slow start is per-path and uncoupled.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cc/congestion.h"
+
+namespace mpq::cc {
+
+class Olia;
+
+/// Couples the per-path Olia controllers of one connection. Must outlive
+/// the controllers it created.
+class OliaCoordinator {
+ public:
+  explicit OliaCoordinator(ByteCount mss = kDefaultMss) : mss_(mss) {}
+
+  OliaCoordinator(const OliaCoordinator&) = delete;
+  OliaCoordinator& operator=(const OliaCoordinator&) = delete;
+
+  std::unique_ptr<Olia> CreateController();
+
+  ByteCount mss() const { return mss_; }
+
+ private:
+  friend class Olia;
+  void Unregister(Olia* path);
+
+  ByteCount mss_;
+  std::vector<Olia*> paths_;
+};
+
+class Olia final : public CongestionController {
+ public:
+  ~Olia() override;
+
+  void OnPacketSent(TimePoint now, ByteCount bytes) override;
+  void OnPacketAcked(TimePoint now, ByteCount bytes, TimePoint sent_time,
+                     Duration rtt) override;
+  void OnPacketLost(TimePoint now, ByteCount bytes,
+                    TimePoint sent_time) override;
+  void OnRetransmissionTimeout(TimePoint now) override;
+
+  ByteCount congestion_window() const override { return cwnd_; }
+  std::string name() const override { return "olia"; }
+
+ private:
+  friend class OliaCoordinator;
+  explicit Olia(OliaCoordinator& coordinator);
+
+  /// Smoothed inter-loss delivered volume: max of the current and the
+  /// previous loss epoch (the l_r of the OLIA paper).
+  double InterLossBytes() const {
+    return static_cast<double>(epoch_bytes_ > prev_epoch_bytes_
+                                   ? epoch_bytes_
+                                   : prev_epoch_bytes_);
+  }
+  double RttSeconds() const;
+  /// alpha_r for this path given the coordinator's current path set.
+  double Alpha() const;
+
+  OliaCoordinator& coordinator_;
+  ByteCount cwnd_;
+  TimePoint recovery_start_ = -1;
+  Duration srtt_ = 0;  // last smoothed RTT reported by the stack
+  ByteCount epoch_bytes_ = 0;       // bytes acked since last loss (l1)
+  ByteCount prev_epoch_bytes_ = 0;  // previous inter-loss epoch (l2)
+  double increase_remainder_mss_ = 0.0;
+};
+
+}  // namespace mpq::cc

@@ -1,0 +1,51 @@
+#include "common/log.h"
+
+#include <cstdarg>
+
+namespace mpq {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+namespace detail {
+
+void LogLine(LogLevel level, TimePoint now, std::string_view component,
+             const char* fmt, ...) {
+  char message[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(message, sizeof(message), fmt, args);
+  va_end(args);
+  if (now >= 0) {
+    std::fprintf(stderr, "[%s %10.6fs %.*s] %s\n", LevelName(level),
+                 DurationToSeconds(now), static_cast<int>(component.size()),
+                 component.data(), message);
+  } else {
+    std::fprintf(stderr, "[%s %.*s] %s\n", LevelName(level),
+                 static_cast<int>(component.size()), component.data(),
+                 message);
+  }
+}
+
+}  // namespace detail
+}  // namespace mpq

@@ -1,0 +1,49 @@
+// Minimal leveled logger. The datapath compiles trace logging away unless
+// MPQ_TRACE is defined, so experiments run at full speed; tests and
+// examples can flip the runtime level to debug a single connection.
+#pragma once
+
+#include <cstdio>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace mpq {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kOff = 4 };
+
+/// Process-wide minimum level. Defaults to kWarn so large sweeps stay quiet.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace detail {
+void LogLine(LogLevel level, TimePoint now, std::string_view component,
+             const char* fmt, ...) __attribute__((format(printf, 4, 5)));
+}  // namespace detail
+
+}  // namespace mpq
+
+// `now` is the simulated clock; pass -1 when no simulator is in scope.
+#define MPQ_LOG(level, now, component, ...)                         \
+  do {                                                              \
+    if (static_cast<int>(level) >=                                  \
+        static_cast<int>(::mpq::GetLogLevel())) {                   \
+      ::mpq::detail::LogLine(level, now, component, __VA_ARGS__);   \
+    }                                                               \
+  } while (0)
+
+#define MPQ_WARN(now, component, ...) \
+  MPQ_LOG(::mpq::LogLevel::kWarn, now, component, __VA_ARGS__)
+#define MPQ_INFO(now, component, ...) \
+  MPQ_LOG(::mpq::LogLevel::kInfo, now, component, __VA_ARGS__)
+#define MPQ_DEBUG(now, component, ...) \
+  MPQ_LOG(::mpq::LogLevel::kDebug, now, component, __VA_ARGS__)
+
+#ifdef MPQ_TRACE
+#define MPQ_TRACE_LOG(now, component, ...) \
+  MPQ_LOG(::mpq::LogLevel::kTrace, now, component, __VA_ARGS__)
+#else
+#define MPQ_TRACE_LOG(now, component, ...) \
+  do {                                     \
+  } while (0)
+#endif

@@ -1,0 +1,80 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of the system (random link loss, experimental
+// design sampling, payload generation) draws from an explicitly seeded
+// xoshiro256** instance. There is no global RNG and no use of
+// std::random_device, so a simulation is a pure function of its seed —
+// the paper's "repeat 3 times, take the median" becomes three seeds.
+#pragma once
+
+#include <cstdint>
+
+namespace mpq {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+/// implementation, http://prng.di.unimi.it/). Chosen over std::mt19937_64
+/// because its output sequence is fully specified by the algorithm, not by
+/// the standard library implementation.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t NextU64() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method
+  /// degenerates to rejection sampling here for simplicity and exactness).
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+      const std::uint64_t r = NextU64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool NextBool(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return NextDouble() < p;
+  }
+
+  /// Derive an independent child generator; used to give each simulated
+  /// link / host its own stream so adding a component never perturbs the
+  /// draws seen by another.
+  Rng Fork() { return Rng(NextU64() ^ 0xA5A5A5A5DEADBEEFULL); }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace mpq

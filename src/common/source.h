@@ -1,0 +1,59 @@
+// Abstract byte sources for transmit streams, shared by the QUIC and TCP
+// stacks. Large benchmark transfers synthesize data on the fly (O(window)
+// memory for a 20 MB download) while applications can send real buffers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mpq {
+
+class SendSource {
+ public:
+  virtual ~SendSource() = default;
+  virtual ByteCount size() const = 0;
+  /// Fill `out` with the bytes at [offset, offset+out.size()), which is
+  /// guaranteed to lie within [0, size()).
+  virtual void Read(ByteCount offset, std::span<std::uint8_t> out) const = 0;
+};
+
+/// Deterministic pseudo-data: the byte at `offset` of stream `id` is
+/// PatternByte(id, offset). Receivers can verify payload integrity
+/// without the sender storing the file.
+std::uint8_t PatternByte(std::uint32_t id, ByteCount offset);
+
+class PatternSource final : public SendSource {
+ public:
+  PatternSource(std::uint32_t id, ByteCount size) : id_(id), size_(size) {}
+  ByteCount size() const override { return size_; }
+  void Read(ByteCount offset, std::span<std::uint8_t> out) const override {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = PatternByte(id_, offset + i);
+    }
+  }
+
+ private:
+  std::uint32_t id_;
+  ByteCount size_;
+};
+
+class BufferSource final : public SendSource {
+ public:
+  explicit BufferSource(std::vector<std::uint8_t> data)
+      : data_(std::move(data)) {}
+  ByteCount size() const override { return data_.size(); }
+  void Read(ByteCount offset, std::span<std::uint8_t> out) const override {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = data_[offset + i];
+    }
+  }
+
+ private:
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace mpq

@@ -1,0 +1,59 @@
+// Core scalar types shared by every module.
+//
+// All simulated time is kept in integer microseconds. Using an integer (and
+// never a floating-point duration) keeps the discrete-event simulator exactly
+// deterministic across platforms and optimisation levels.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mpq {
+
+/// Absolute simulated time in microseconds since the start of the simulation.
+using TimePoint = std::int64_t;
+
+/// Relative simulated duration in microseconds.
+using Duration = std::int64_t;
+
+inline constexpr Duration kMicrosecond = 1;
+inline constexpr Duration kMillisecond = 1000;
+inline constexpr Duration kSecond = 1'000'000;
+
+/// Sentinel "no deadline / not set" time.
+inline constexpr TimePoint kTimeInfinite =
+    std::numeric_limits<TimePoint>::max();
+
+/// Convert a floating-point number of seconds to a Duration, rounding to the
+/// nearest microsecond. Only used at configuration boundaries (scenario
+/// files use seconds / milliseconds); the datapath never touches doubles.
+constexpr Duration SecondsToDuration(double seconds) {
+  return static_cast<Duration>(seconds * static_cast<double>(kSecond) + 0.5);
+}
+
+constexpr double DurationToSeconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+constexpr Duration MillisToDuration(double ms) {
+  return static_cast<Duration>(ms * static_cast<double>(kMillisecond) + 0.5);
+}
+
+/// Identifies one end-to-end path of a multipath connection (paper §3,
+/// "Path Identification"). Path 0 is always the initial path used for the
+/// handshake; client-created paths are odd, server-created paths even.
+using PathId = std::uint8_t;
+
+/// QUIC connection identifier (64-bit, as in Google QUIC).
+using ConnectionId = std::uint64_t;
+
+/// Per-path monotonically increasing packet number.
+using PacketNumber = std::uint64_t;
+
+/// QUIC stream identifier.
+using StreamId = std::uint32_t;
+
+/// Bytes counts on the wire / in flight.
+using ByteCount = std::uint64_t;
+
+}  // namespace mpq

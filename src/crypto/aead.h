@@ -1,0 +1,82 @@
+// Packet protection for (MP)QUIC packets: a compact AEAD built from
+// ChaCha20 (confidentiality) and SipHash-2-4 (64-bit authentication tag),
+// plus the key schedule used by the simulated secure handshake.
+//
+// SECURITY CAVEAT (documented substitution, see DESIGN.md §1): this AEAD
+// is a stand-in for QUIC crypto / TLS — it exercises the same code paths
+// (key derivation, per-packet nonce construction, tag verification,
+// ciphertext expansion) but is NOT a vetted AEAD construction and must
+// not be used outside this simulator.
+//
+// The nonce construction implements the paper's §3 mitigation for nonce
+// reuse across paths: the Path ID is mixed into the nonce together with
+// the per-path packet number, so (path, packet number) pairs can never
+// collide into the same nonce even though every path restarts its packet
+// numbers at 1.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "crypto/chacha20.h"
+#include "crypto/siphash.h"
+
+namespace mpq::crypto {
+
+/// Bytes of ciphertext expansion per packet.
+inline constexpr std::size_t kAeadTagSize = 8;
+
+/// Derive 32 bytes from `secret` bound to `label` (toy KDF: SipHash-2-4 in
+/// counter mode, keyed by the first half of the secret).
+std::array<std::uint8_t, 32> Kdf32(std::span<const std::uint8_t> secret,
+                                   std::string_view label);
+
+/// One direction of packet protection.
+class PacketProtection {
+ public:
+  /// `key` is the 32-byte directional key from the key schedule; the tag
+  /// key is derived from it internally.
+  explicit PacketProtection(const ChaChaKey& key);
+
+  /// Encrypt `plaintext` and append the tag. `aad` is the unencrypted
+  /// public header, which is thereby authenticated (QUIC property:
+  /// middleboxes cannot modify even the visible header fields).
+  std::vector<std::uint8_t> Seal(PathId path, PacketNumber pn,
+                                 std::span<const std::uint8_t> aad,
+                                 std::span<const std::uint8_t> plaintext) const;
+
+  /// Verify and decrypt. Returns false (leaving `out` untouched) on a bad
+  /// tag or truncated input; callers drop the packet.
+  bool Open(PathId path, PacketNumber pn, std::span<const std::uint8_t> aad,
+            std::span<const std::uint8_t> sealed,
+            std::vector<std::uint8_t>& out) const;
+
+ private:
+  ChaChaNonce MakeNonce(PathId path, PacketNumber pn) const;
+  std::uint64_t Tag(const ChaChaNonce& nonce,
+                    std::span<const std::uint8_t> aad,
+                    std::span<const std::uint8_t> ciphertext) const;
+
+  ChaChaKey cipher_key_;
+  SipHashKey tag_key_;
+};
+
+/// Directional key pair for one connection.
+struct SessionKeys {
+  ChaChaKey client_to_server;
+  ChaChaKey server_to_client;
+};
+
+/// Compute the session keys both ends derive at the end of the simulated
+/// 1-RTT handshake. `server_config_secret` models the out-of-band server
+/// config of Google-QUIC's low-latency handshake (both ends know it);
+/// the two nonces are the fresh randomness exchanged in CHLO/SHLO.
+SessionKeys DeriveSessionKeys(std::span<const std::uint8_t> client_nonce,
+                              std::span<const std::uint8_t> server_nonce,
+                              std::span<const std::uint8_t> server_config_secret);
+
+}  // namespace mpq::crypto

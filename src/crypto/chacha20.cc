@@ -1,0 +1,84 @@
+#include "crypto/chacha20.h"
+
+#include <cstring>
+
+namespace mpq::crypto {
+
+namespace {
+
+constexpr std::uint32_t Rotl32(std::uint32_t x, int k) {
+  return (x << k) | (x >> (32 - k));
+}
+
+inline void QuarterRound(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                         std::uint32_t& d) {
+  a += b;
+  d = Rotl32(d ^ a, 16);
+  c += d;
+  b = Rotl32(b ^ c, 12);
+  a += b;
+  d = Rotl32(d ^ a, 8);
+  c += d;
+  b = Rotl32(b ^ c, 7);
+}
+
+inline std::uint32_t LoadLe32(const std::uint8_t* p) {
+  return std::uint32_t{p[0]} | std::uint32_t{p[1]} << 8 |
+         std::uint32_t{p[2]} << 16 | std::uint32_t{p[3]} << 24;
+}
+
+inline void StoreLe32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+void ChaCha20Block(const ChaChaKey& key, std::uint32_t counter,
+                   const ChaChaNonce& nonce,
+                   std::array<std::uint8_t, kChaChaBlockSize>& out) {
+  // RFC 8439 §2.3: constants | key | counter | nonce.
+  std::uint32_t state[16];
+  state[0] = 0x61707865;
+  state[1] = 0x3320646e;
+  state[2] = 0x79622d32;
+  state[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state[4 + i] = LoadLe32(&key[4 * i]);
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) state[13 + i] = LoadLe32(&nonce[4 * i]);
+
+  std::uint32_t working[16];
+  std::memcpy(working, state, sizeof(state));
+  for (int round = 0; round < 10; ++round) {
+    QuarterRound(working[0], working[4], working[8], working[12]);
+    QuarterRound(working[1], working[5], working[9], working[13]);
+    QuarterRound(working[2], working[6], working[10], working[14]);
+    QuarterRound(working[3], working[7], working[11], working[15]);
+    QuarterRound(working[0], working[5], working[10], working[15]);
+    QuarterRound(working[1], working[6], working[11], working[12]);
+    QuarterRound(working[2], working[7], working[8], working[13]);
+    QuarterRound(working[3], working[4], working[9], working[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    StoreLe32(&out[4 * i], working[i] + state[i]);
+  }
+}
+
+void ChaCha20Xor(const ChaChaKey& key, std::uint32_t initial_counter,
+                 const ChaChaNonce& nonce, std::span<std::uint8_t> data) {
+  std::array<std::uint8_t, kChaChaBlockSize> block;
+  std::uint32_t counter = initial_counter;
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    ChaCha20Block(key, counter++, nonce, block);
+    const std::size_t n =
+        data.size() - offset < kChaChaBlockSize ? data.size() - offset
+                                                : kChaChaBlockSize;
+    for (std::size_t i = 0; i < n; ++i) data[offset + i] ^= block[i];
+    offset += n;
+  }
+}
+
+}  // namespace mpq::crypto

@@ -1,0 +1,75 @@
+#include "crypto/siphash.h"
+
+namespace mpq::crypto {
+
+namespace {
+
+constexpr std::uint64_t Rotl64(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+inline std::uint64_t LoadLe64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = v << 8 | p[i];
+  return v;
+}
+
+inline void SipRound(std::uint64_t& v0, std::uint64_t& v1, std::uint64_t& v2,
+                     std::uint64_t& v3) {
+  v0 += v1;
+  v1 = Rotl64(v1, 13);
+  v1 ^= v0;
+  v0 = Rotl64(v0, 32);
+  v2 += v3;
+  v3 = Rotl64(v3, 16);
+  v3 ^= v2;
+  v0 += v3;
+  v3 = Rotl64(v3, 21);
+  v3 ^= v0;
+  v2 += v1;
+  v1 = Rotl64(v1, 17);
+  v1 ^= v2;
+  v2 = Rotl64(v2, 32);
+}
+
+}  // namespace
+
+std::uint64_t SipHash24(const SipHashKey& key,
+                        std::span<const std::uint8_t> data) {
+  const std::uint64_t k0 = LoadLe64(key.data());
+  const std::uint64_t k1 = LoadLe64(key.data() + 8);
+  std::uint64_t v0 = 0x736f6d6570736575ULL ^ k0;
+  std::uint64_t v1 = 0x646f72616e646f6dULL ^ k1;
+  std::uint64_t v2 = 0x6c7967656e657261ULL ^ k0;
+  std::uint64_t v3 = 0x7465646279746573ULL ^ k1;
+
+  const std::size_t len = data.size();
+  const std::size_t full_blocks = len / 8;
+  for (std::size_t i = 0; i < full_blocks; ++i) {
+    const std::uint64_t m = LoadLe64(data.data() + 8 * i);
+    v3 ^= m;
+    SipRound(v0, v1, v2, v3);
+    SipRound(v0, v1, v2, v3);
+    v0 ^= m;
+  }
+
+  // Final block: remaining bytes, little-endian, length in the top byte.
+  std::uint64_t b = static_cast<std::uint64_t>(len & 0xFF) << 56;
+  const std::size_t tail = len & 7;
+  for (std::size_t i = 0; i < tail; ++i) {
+    b |= static_cast<std::uint64_t>(data[full_blocks * 8 + i]) << (8 * i);
+  }
+  v3 ^= b;
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  v0 ^= b;
+
+  v2 ^= 0xFF;
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  return v0 ^ v1 ^ v2 ^ v3;
+}
+
+}  // namespace mpq::crypto

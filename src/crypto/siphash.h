@@ -1,0 +1,18 @@
+// SipHash-2-4 (Aumasson & Bernstein), the keyed 64-bit PRF used for the
+// AEAD authentication tag and for the toy key schedule. Verified against
+// the reference test vectors in tests/crypto_test.cc.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace mpq::crypto {
+
+using SipHashKey = std::array<std::uint8_t, 16>;
+
+/// 64-bit SipHash-2-4 of `data` under `key`.
+std::uint64_t SipHash24(const SipHashKey& key,
+                        std::span<const std::uint8_t> data);
+
+}  // namespace mpq::crypto

@@ -1,0 +1,87 @@
+#include "expdesign/scenarios.h"
+
+#include <cmath>
+
+namespace mpq::expdesign {
+
+std::string ToString(ScenarioClass klass) {
+  switch (klass) {
+    case ScenarioClass::kLowBdpNoLoss:
+      return "low-BDP-no-loss";
+    case ScenarioClass::kLowBdpLosses:
+      return "low-BDP-losses";
+    case ScenarioClass::kHighBdpNoLoss:
+      return "high-BDP-no-loss";
+    case ScenarioClass::kHighBdpLosses:
+      return "high-BDP-losses";
+  }
+  return "?";
+}
+
+FactorRanges RangesFor(ScenarioClass klass) {
+  FactorRanges ranges;
+  const bool high_bdp = klass == ScenarioClass::kHighBdpNoLoss ||
+                        klass == ScenarioClass::kHighBdpLosses;
+  if (high_bdp) {
+    ranges.rtt_max = 400 * kMillisecond;
+    ranges.queue_max = 2000 * kMillisecond;
+  }
+  ranges.lossy = klass == ScenarioClass::kLowBdpLosses ||
+                 klass == ScenarioClass::kHighBdpLosses;
+  return ranges;
+}
+
+namespace {
+
+double Lerp(double t, double lo, double hi) { return lo + t * (hi - lo); }
+
+double LogLerp(double t, double lo, double hi) {
+  return lo * std::pow(hi / lo, t);
+}
+
+sim::PathParams PathFromCoordinates(const FactorRanges& r, double capacity_t,
+                                    double rtt_t, double queue_t,
+                                    double loss_t) {
+  sim::PathParams params;
+  params.capacity_mbps =
+      LogLerp(capacity_t, r.capacity_min_mbps, r.capacity_max_mbps);
+  params.rtt = static_cast<Duration>(
+      Lerp(rtt_t, static_cast<double>(r.rtt_min),
+           static_cast<double>(r.rtt_max)));
+  params.max_queue_delay = static_cast<Duration>(
+      Lerp(queue_t, static_cast<double>(r.queue_min),
+           static_cast<double>(r.queue_max)));
+  params.random_loss_rate =
+      r.lossy ? Lerp(loss_t, r.loss_min, r.loss_max) : 0.0;
+  return params;
+}
+
+}  // namespace
+
+std::vector<Scenario> GenerateScenarios(ScenarioClass klass,
+                                        std::size_t count,
+                                        std::uint64_t seed) {
+  const FactorRanges ranges = RangesFor(klass);
+  // Factors: per-path capacity, RTT, queuing delay (+ per-path loss in
+  // the lossy classes) — 6 or 8 dimensions.
+  const std::size_t dims = ranges.lossy ? 8 : 6;
+  const auto design = WspDesign(dims, count, seed);
+
+  std::vector<Scenario> scenarios;
+  scenarios.reserve(count);
+  for (std::size_t i = 0; i < design.size(); ++i) {
+    const Point& p = design[i];
+    Scenario scenario;
+    scenario.index = static_cast<int>(i);
+    for (int path = 0; path < 2; ++path) {
+      const std::size_t base = path * 3;
+      const double loss_t = ranges.lossy ? p[6 + path] : 0.0;
+      scenario.paths[path] = PathFromCoordinates(
+          ranges, p[base], p[base + 1], p[base + 2], loss_t);
+    }
+    scenarios.push_back(scenario);
+  }
+  return scenarios;
+}
+
+}  // namespace mpq::expdesign

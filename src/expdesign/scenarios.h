@@ -1,0 +1,56 @@
+// Table-1 scenario generation: maps WSP design points onto the paper's
+// four experiment classes (low/high bandwidth-delay product × with/without
+// random losses), two disjoint paths each with independent capacity, RTT
+// and queuing delay (and loss rate in the lossy classes).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "expdesign/wsp.h"
+#include "sim/topology.h"
+
+namespace mpq::expdesign {
+
+/// The four classes of §4.1.
+enum class ScenarioClass {
+  kLowBdpNoLoss,
+  kLowBdpLosses,
+  kHighBdpNoLoss,
+  kHighBdpLosses,
+};
+
+std::string ToString(ScenarioClass klass);
+
+/// Table 1 ranges for one class.
+struct FactorRanges {
+  double capacity_min_mbps = 0.1;
+  double capacity_max_mbps = 100.0;
+  Duration rtt_min = 0;
+  Duration rtt_max = 50 * kMillisecond;
+  Duration queue_min = 0;
+  Duration queue_max = 100 * kMillisecond;
+  double loss_min = 0.0;
+  double loss_max = 0.025;
+  bool lossy = false;
+};
+
+FactorRanges RangesFor(ScenarioClass klass);
+
+/// One evaluation scenario: the two paths of the Fig. 2 topology.
+struct Scenario {
+  std::array<sim::PathParams, 2> paths;
+  int index = 0;  // position within the design
+};
+
+/// Generate the class's experimental design. The paper uses 253 scenarios
+/// per class; pass a smaller count for quick runs. Capacity is sampled
+/// log-uniformly (the range spans three decades), other factors linearly.
+/// Deterministic in (klass, count, seed).
+std::vector<Scenario> GenerateScenarios(ScenarioClass klass,
+                                        std::size_t count = 253,
+                                        std::uint64_t seed = 20170712);
+
+}  // namespace mpq::expdesign

@@ -1,0 +1,124 @@
+#include "expdesign/wsp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mpq::expdesign {
+
+namespace {
+
+double Distance2(const Point& a, const Point& b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+}  // namespace
+
+std::vector<std::size_t> WspSelect(const std::vector<Point>& candidates,
+                                   double dmin) {
+  const double dmin2 = dmin * dmin;
+  const std::size_t n = candidates.size();
+  std::vector<bool> alive(n, true);
+  std::vector<std::size_t> selected;
+  if (n == 0) return selected;
+
+  // Seed: the candidate closest to the centre of the cube.
+  Point centre(candidates[0].size(), 0.5);
+  std::size_t current = 0;
+  double best = std::numeric_limits<double>::max();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d2 = Distance2(candidates[i], centre);
+    if (d2 < best) {
+      best = d2;
+      current = i;
+    }
+  }
+
+  for (;;) {
+    selected.push_back(current);
+    alive[current] = false;
+    // Discard everything within dmin of the newly selected point.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (alive[i] && Distance2(candidates[i], candidates[current]) < dmin2) {
+        alive[i] = false;
+      }
+    }
+    // Hop to the nearest survivor.
+    double nearest = std::numeric_limits<double>::max();
+    std::size_t next = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!alive[i]) continue;
+      const double d2 = Distance2(candidates[i], candidates[current]);
+      if (d2 < nearest) {
+        nearest = d2;
+        next = i;
+      }
+    }
+    if (next == n) break;  // exhausted
+    current = next;
+  }
+  return selected;
+}
+
+std::vector<Point> WspDesign(std::size_t dims, std::size_t count,
+                             std::uint64_t seed,
+                             std::size_t candidate_count) {
+  if (dims == 0 || count == 0) {
+    throw std::invalid_argument("WspDesign: dims and count must be > 0");
+  }
+  if (candidate_count < 2 * count) candidate_count = 2 * count;
+
+  Rng rng(seed);
+  std::vector<Point> candidates(candidate_count);
+  for (auto& point : candidates) {
+    point.resize(dims);
+    for (auto& coordinate : point) coordinate = rng.NextDouble();
+  }
+
+  // Bisection on dmin: larger dmin -> fewer selected points (monotone).
+  double lo = 0.0;                       // selects everything
+  double hi = std::sqrt(static_cast<double>(dims));  // selects ~1 point
+  std::vector<std::size_t> selection;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = (lo + hi) / 2.0;
+    selection = WspSelect(candidates, mid);
+    if (selection.size() == count) break;
+    if (selection.size() > count) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  // The bisection may land slightly above `count`; keep the first `count`
+  // points in selection order (they satisfy the distance constraint).
+  selection = WspSelect(candidates, lo);
+  if (selection.size() < count) {
+    throw std::runtime_error("WspDesign: candidate set too small");
+  }
+  selection.resize(count);
+
+  std::vector<Point> design;
+  design.reserve(count);
+  for (std::size_t index : selection) {
+    design.push_back(candidates[index]);
+  }
+  return design;
+}
+
+double MinPairwiseDistance(const std::vector<Point>& points) {
+  double best = std::numeric_limits<double>::max();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      best = std::min(best, Distance2(points[i], points[j]));
+    }
+  }
+  return points.size() < 2 ? 0.0 : std::sqrt(best);
+}
+
+}  // namespace mpq::expdesign

@@ -1,0 +1,40 @@
+// WSP space-filling experimental design (Santiago, Claeys-Bruno, Sergent,
+// "Construction of space-filling designs using WSP algorithm for high
+// dimensional spaces", 2012) — the algorithm the paper uses (§4.1, [45])
+// to pick the 253 simulation scenarios per class from the Table-1 ranges.
+//
+// The WSP (Wootton-Sergent-Phan-Tan-Luu) procedure: from a large candidate
+// set, pick a seed point, discard every candidate closer than a minimum
+// distance, hop to the nearest survivor and repeat. The minimum distance
+// is tuned (here by bisection) until the selected subset has the desired
+// size.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mpq::expdesign {
+
+/// Points in the unit hypercube [0,1]^dims.
+using Point = std::vector<double>;
+
+/// Run one WSP selection pass over `candidates` with minimum distance
+/// `dmin` (Euclidean). Returns indices of the selected points.
+std::vector<std::size_t> WspSelect(const std::vector<Point>& candidates,
+                                   double dmin);
+
+/// Build a WSP design of exactly `count` points in [0,1]^dims, seeded
+/// deterministically. Internally generates `candidate_count` uniform
+/// candidates and bisects dmin until the selection reaches `count`
+/// (trimming the tail of the selection order if it overshoots).
+std::vector<Point> WspDesign(std::size_t dims, std::size_t count,
+                             std::uint64_t seed,
+                             std::size_t candidate_count = 4096);
+
+/// Smallest pairwise distance within the design — the space-filling
+/// quality metric WSP maximises (used by tests and the Table-1 bench).
+double MinPairwiseDistance(const std::vector<Point>& points);
+
+}  // namespace mpq::expdesign

@@ -1,0 +1,185 @@
+#include "harness/figures.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace mpq::harness {
+
+namespace {
+std::string g_csv_dir;  // set once at bench startup
+
+std::string SanitizeLabel(const std::string& label) {
+  std::string out;
+  for (char ch : label) {
+    out.push_back((std::isalnum(static_cast<unsigned char>(ch)) != 0) ? ch
+                                                                      : '_');
+  }
+  return out;
+}
+}  // namespace
+
+void SetCsvDirectory(const std::string& dir) { g_csv_dir = dir; }
+
+ClassEvalOptions ParseBenchArgs(int argc, char** argv) {
+  ClassEvalOptions options;
+  // MPQ_BENCH_FULL=1 reproduces the paper's full design from the
+  // environment (useful with `for b in build/bench/*; do $b; done`).
+  if (const char* env = std::getenv("MPQ_BENCH_FULL");
+      env != nullptr && env[0] == '1') {
+    options.scenario_count = 253;
+    options.repetitions = 3;
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      options.scenario_count = 253;
+      options.repetitions = 3;
+    } else if (std::strcmp(argv[i], "--scenarios") == 0 && i + 1 < argc) {
+      options.scenario_count = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      options.repetitions = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--size") == 0 && i + 1 < argc) {
+      options.transfer_size = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      options.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      options.csv_dir = argv[++i];
+      SetCsvDirectory(options.csv_dir);
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      options.progress = false;
+    }
+  }
+  return options;
+}
+
+std::vector<ScenarioOutcome> EvaluateClass(expdesign::ScenarioClass klass,
+                                           const ClassEvalOptions& options) {
+  const auto scenarios = expdesign::GenerateScenarios(
+      klass, options.scenario_count, options.seed);
+
+  std::vector<ScenarioOutcome> outcomes;
+  outcomes.reserve(scenarios.size());
+  for (const auto& scenario : scenarios) {
+    ScenarioOutcome outcome;
+    outcome.scenario = scenario;
+    TransferOptions base = options.base_options;
+    base.transfer_size = options.transfer_size;
+    base.time_limit = options.time_limit;
+    base.seed = options.seed + 1000003ULL * scenario.index;
+
+    for (int path = 0; path < 2; ++path) {
+      TransferOptions run = base;
+      run.initial_path = path;
+      outcome.tcp[path] = MedianTransfer(Protocol::kTcp, scenario.paths, run,
+                                         options.repetitions);
+      outcome.quic[path] = MedianTransfer(Protocol::kQuic, scenario.paths,
+                                          run, options.repetitions);
+      outcome.mptcp[path] = MedianTransfer(Protocol::kMptcp, scenario.paths,
+                                           run, options.repetitions);
+      outcome.mpquic[path] = MedianTransfer(Protocol::kMpquic, scenario.paths,
+                                            run, options.repetitions);
+    }
+    outcome.best_path_tcp =
+        outcome.tcp[0].goodput_mbps >= outcome.tcp[1].goodput_mbps ? 0 : 1;
+    outcome.best_path_quic =
+        outcome.quic[0].goodput_mbps >= outcome.quic[1].goodput_mbps ? 0 : 1;
+    outcomes.push_back(std::move(outcome));
+    if (options.progress) {
+      std::fputc('.', stderr);
+      std::fflush(stderr);
+    }
+  }
+  if (options.progress) std::fputc('\n', stderr);
+  return outcomes;
+}
+
+RatioSeries ComputeRatios(const std::vector<ScenarioOutcome>& outcomes) {
+  // Time ratios are computed through goodput (identical for completed
+  // runs, since both transfer the same byte count). For a run truncated
+  // by the time limit, goodput still reflects its partial progress,
+  // whereas clamped completion times would degenerate to ratio 1.
+  RatioSeries series;
+  for (const auto& outcome : outcomes) {
+    for (int initial = 0; initial < 2; ++initial) {
+      if (outcome.tcp[initial].goodput_mbps > 0.0) {
+        series.tcp_over_quic.push_back(outcome.quic[initial].goodput_mbps /
+                                       outcome.tcp[initial].goodput_mbps);
+      }
+      if (outcome.mptcp[initial].goodput_mbps > 0.0) {
+        series.mptcp_over_mpquic.push_back(
+            outcome.mpquic[initial].goodput_mbps /
+            outcome.mptcp[initial].goodput_mbps);
+      }
+    }
+  }
+  return series;
+}
+
+BenefitSeries ComputeBenefits(const std::vector<ScenarioOutcome>& outcomes) {
+  BenefitSeries series;
+  for (const auto& outcome : outcomes) {
+    for (int initial = 0; initial < 2; ++initial) {
+      const double mptcp_benefit = ExperimentalAggregationBenefit(
+          outcome.mptcp[initial].goodput_mbps, outcome.tcp[0].goodput_mbps,
+          outcome.tcp[1].goodput_mbps);
+      if (initial == outcome.best_path_tcp) {
+        series.mptcp_best_first.push_back(mptcp_benefit);
+      } else {
+        series.mptcp_worst_first.push_back(mptcp_benefit);
+      }
+      const double mpquic_benefit = ExperimentalAggregationBenefit(
+          outcome.mpquic[initial].goodput_mbps, outcome.quic[0].goodput_mbps,
+          outcome.quic[1].goodput_mbps);
+      if (initial == outcome.best_path_quic) {
+        series.mpquic_best_first.push_back(mpquic_benefit);
+      } else {
+        series.mpquic_worst_first.push_back(mpquic_benefit);
+      }
+    }
+  }
+  return series;
+}
+
+void PrintCdf(const std::string& label, std::vector<double> values) {
+  std::printf("# CDF %s (n=%zu)\n", label.c_str(), values.size());
+  const auto cdf = EmpiricalCdf(std::move(values));
+  if (!g_csv_dir.empty()) {
+    const std::string path =
+        g_csv_dir + "/cdf_" + SanitizeLabel(label) + ".csv";
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      std::fprintf(f, "value,cumulative_probability\n");
+      for (const auto& point : cdf) {
+        std::fprintf(f, "%.6f,%.6f\n", point.value,
+                     point.cumulative_probability);
+      }
+      std::fclose(f);
+    }
+  }
+  // Thin very long series for readability: at most ~100 printed points.
+  const std::size_t step = cdf.size() > 100 ? cdf.size() / 100 : 1;
+  for (std::size_t i = 0; i < cdf.size(); i += step) {
+    std::printf("%.4f %.4f\n", cdf[i].value, cdf[i].cumulative_probability);
+  }
+  if (!cdf.empty() && (cdf.size() - 1) % step != 0) {
+    std::printf("%.4f %.4f\n", cdf.back().value,
+                cdf.back().cumulative_probability);
+  }
+}
+
+void PrintSummaryRow(const std::string& label,
+                     const std::vector<double>& values) {
+  std::printf("%-28s %s\n", label.c_str(),
+              FormatSummary(Summarize(values)).c_str());
+  if (!g_csv_dir.empty()) {
+    const std::string path =
+        g_csv_dir + "/series_" + SanitizeLabel(label) + ".csv";
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      std::fprintf(f, "value\n");
+      for (double v : values) std::fprintf(f, "%.6f\n", v);
+      std::fclose(f);
+    }
+  }
+}
+
+}  // namespace mpq::harness

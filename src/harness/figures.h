@@ -1,0 +1,85 @@
+// Figure-level evaluation: run the four protocols over a WSP scenario
+// class exactly as §4.1 does — single-path TCP and QUIC on each path,
+// MPTCP and MPQUIC starting from each path — and expose the series the
+// paper plots (completion-time-ratio CDFs, experimental aggregation
+// benefit split by best/worst initial path).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "expdesign/scenarios.h"
+#include "harness/runner.h"
+
+namespace mpq::harness {
+
+struct ClassEvalOptions {
+  /// Scenarios per class. The paper uses 253; the bench default is a
+  /// smaller space-filling subset so `bench/*` stays minutes, not hours.
+  std::size_t scenario_count = 60;
+  /// Repetitions per point, median taken (paper: 3).
+  int repetitions = 1;
+  ByteCount transfer_size = 20 * 1024 * 1024;
+  std::uint64_t seed = 20170712;
+  TimePoint time_limit = 600 * kSecond;
+  bool progress = true;  // print a dot per scenario to stderr
+  /// When non-empty, PrintCdf/PrintSummaryRow additionally write the full
+  /// (un-thinned) series as CSV files into this directory.
+  std::string csv_dir;
+  /// Ablation knobs forwarded to every run.
+  TransferOptions base_options;
+};
+
+/// Set by ParseBenchArgs (--csv DIR); used by the Print helpers.
+void SetCsvDirectory(const std::string& dir);
+
+/// Parse common bench arguments: --full (253 scenarios, 3 reps),
+/// --scenarios N, --reps N, --size BYTES, --quiet, --csv DIR.
+ClassEvalOptions ParseBenchArgs(int argc, char** argv);
+
+struct ScenarioOutcome {
+  expdesign::Scenario scenario;
+  // Single-path runs, indexed by topology path.
+  TransferResult tcp[2];
+  TransferResult quic[2];
+  // Multipath runs, indexed by the initial path.
+  TransferResult mptcp[2];
+  TransferResult mpquic[2];
+  // Index of the better single-path for each family (by goodput).
+  int best_path_tcp = 0;
+  int best_path_quic = 0;
+};
+
+/// Run the full §4.1 evaluation for one class.
+std::vector<ScenarioOutcome> EvaluateClass(expdesign::ScenarioClass klass,
+                                           const ClassEvalOptions& options);
+
+/// Completion-time ratios over all (scenario, initial path) pairs — the
+/// "506 simulations" series of Figs. 3/5/8/9. ratio > 1 means the QUIC
+/// variant is faster.
+struct RatioSeries {
+  std::vector<double> tcp_over_quic;
+  std::vector<double> mptcp_over_mpquic;
+};
+RatioSeries ComputeRatios(const std::vector<ScenarioOutcome>& outcomes);
+
+/// Aggregation-benefit distributions split by initial path quality — the
+/// series of Figs. 4/6/7/10.
+struct BenefitSeries {
+  std::vector<double> mptcp_best_first;
+  std::vector<double> mptcp_worst_first;
+  std::vector<double> mpquic_best_first;
+  std::vector<double> mpquic_worst_first;
+};
+BenefitSeries ComputeBenefits(const std::vector<ScenarioOutcome>& outcomes);
+
+/// Print an empirical CDF as "value cumulative_probability" rows.
+void PrintCdf(const std::string& label, std::vector<double> values);
+
+/// Print a box-plot-style summary row.
+void PrintSummaryRow(const std::string& label,
+                     const std::vector<double>& values);
+
+}  // namespace mpq::harness

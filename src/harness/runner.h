@@ -1,0 +1,117 @@
+// Experiment runner: executes one file transfer (the §4.1/§4.2 workload)
+// or one handover session (§4.3) for a given protocol over a two-path
+// scenario, and returns the metrics the paper's figures are built from.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cc/congestion.h"
+#include "common/types.h"
+#include "quic/connection.h"
+#include "sim/topology.h"
+#include "tcpsim/connection.h"
+
+namespace mpq::harness {
+
+/// The four compared protocols (§4.1).
+enum class Protocol { kTcp, kQuic, kMptcp, kMpquic };
+
+std::string ToString(Protocol protocol);
+bool IsMultipath(Protocol protocol);
+bool IsQuicFamily(Protocol protocol);
+
+struct TransferOptions {
+  ByteCount transfer_size = 20 * 1024 * 1024;  // §4.1: GET 20 MB
+  /// Which of the scenario's two paths carries the handshake (the paper
+  /// varies the initial path, §4.1). Single-path protocols run entirely
+  /// on this path.
+  int initial_path = 0;
+  std::uint64_t seed = 1;
+  /// Wall-clock guard (simulated): runs not finished by then count as
+  /// failed (goodput measured on the bytes that did arrive).
+  TimePoint time_limit = 600 * kSecond;
+
+  // -- ablation knobs (defaults = the paper's configuration) -------------
+  quic::SchedulerType quic_scheduler = quic::SchedulerType::kLowestRtt;
+  bool quic_window_update_on_all_paths = true;
+  bool quic_send_paths_frame = true;
+  cc::Algorithm multipath_congestion = cc::Algorithm::kOlia;
+  int tcp_sack_blocks = 3;
+  bool tcp_orp = true;
+  bool tcp_use_tls = true;
+  /// Pre-RACK lost-retransmission blind spot (Linux 4.1 default).
+  bool tcp_lost_retransmission_needs_rto = true;
+  bool quic_pacing = true;
+};
+
+struct TransferResult {
+  bool completed = false;
+  /// First connection packet to last payload byte (the paper's metric).
+  Duration completion_time = 0;
+  ByteCount bytes_received = 0;
+  /// Application goodput over the measured interval.
+  double goodput_mbps = 0.0;
+  std::uint64_t data_integrity_errors = 0;
+};
+
+/// Run one transfer. Deterministic in (protocol, paths, options).
+TransferResult RunTransfer(Protocol protocol,
+                           const std::array<sim::PathParams, 2>& paths,
+                           const TransferOptions& options);
+
+/// The paper's 3-repetitions-median (three derived seeds, median by
+/// completion time; failed runs sort last).
+TransferResult MedianTransfer(Protocol protocol,
+                              const std::array<sim::PathParams, 2>& paths,
+                              TransferOptions options, int repetitions = 3);
+
+/// Experimental aggregation benefit EBen(C) of §4.1:
+///   (Gm - Gmax) / (G1 + G2 - Gmax)  if Gm >= Gmax,
+///   (Gm - Gmax) / Gmax              otherwise.
+/// 0 = as good as the best single path, 1 = full aggregation, -1 = total
+/// failure; >1 is possible experimentally.
+double ExperimentalAggregationBenefit(double multipath_goodput,
+                                      double single_path0_goodput,
+                                      double single_path1_goodput);
+
+// ---------------------------------------------------------------------------
+// Handover workload (Fig. 11)
+
+struct HandoverOptions {
+  /// Paper setup: initial path 15 ms RTT, second path 25 ms RTT; the
+  /// initial path becomes completely lossy at t = 3 s.
+  Duration initial_path_rtt = 15 * kMillisecond;
+  Duration second_path_rtt = 25 * kMillisecond;
+  double capacity_mbps = 10.0;
+  ByteCount request_size = 750;
+  ByteCount response_size = 750;
+  Duration request_interval = 400 * kMillisecond;
+  TimePoint failure_time = 3 * kSecond;
+  TimePoint end_time = 15 * kSecond;
+  std::uint64_t seed = 1;
+  bool send_paths_frame = true;  // ablation: §4.3's RTO-avoidance hint
+  /// Run single-path QUIC with connection migration (the "hard handover"
+  /// of §1) instead of MPQUIC — the extension comparison.
+  bool single_path_migration = false;
+  /// Scheduler for the MPQUIC variant (kRedundant duplicates every
+  /// request on both paths: zero-interruption handover at 2x cost).
+  quic::SchedulerType scheduler = quic::SchedulerType::kLowestRtt;
+};
+
+struct HandoverSample {
+  TimePoint sent_time = 0;
+  Duration response_delay = 0;
+  bool answered = false;
+};
+
+/// Run the request/response handover session over MPQUIC and return one
+/// sample per request (the series of Fig. 11).
+std::vector<HandoverSample> RunQuicHandover(const HandoverOptions& options);
+
+/// Same workload over MPTCP (extension: the paper shows only MPQUIC).
+std::vector<HandoverSample> RunMptcpHandover(const HandoverOptions& options);
+
+}  // namespace mpq::harness

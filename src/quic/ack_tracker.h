@@ -1,0 +1,79 @@
+// Receive-side packet-number tracking for one path: which PNs arrived,
+// rendered as the descending range list of an ACK frame (up to 256 ranges,
+// §4.1 "Low-BDP-losses" — this is the capacity TCP's 2-3 SACK blocks
+// lack). Ranges are kept coalesced as packets arrive, so duplicate
+// detection and ACK generation cost O(log ranges), not O(packets).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/types.h"
+#include "quic/wire.h"
+
+namespace mpq::quic {
+
+class ReceivedPacketTracker {
+ public:
+  /// Record an arriving packet number. Returns false for duplicates (the
+  /// packet must then be ignored — its nonce was already consumed).
+  bool OnPacketReceived(PacketNumber pn, TimePoint now) {
+    if (pn == 0 || AlreadyReceived(pn)) return false;
+    // Insert [pn, pn] into the coalesced range map.
+    auto it = ranges_.upper_bound(pn);
+    PacketNumber start = pn;
+    PacketNumber end = pn;
+    if (it != ranges_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second + 1 == pn) {
+        start = prev->first;
+        ranges_.erase(prev);
+      }
+    }
+    if (it != ranges_.end() && it->first == pn + 1) {
+      end = it->second;
+      ranges_.erase(it);
+    }
+    ranges_.emplace(start, end);
+    if (pn > largest_) {
+      largest_ = pn;
+      largest_time_ = now;
+    }
+    return true;
+  }
+
+  bool AlreadyReceived(PacketNumber pn) const {
+    auto it = ranges_.upper_bound(pn);
+    if (it == ranges_.begin()) return false;
+    --it;
+    return pn >= it->first && pn <= it->second;
+  }
+
+  PacketNumber largest_received() const { return largest_; }
+  TimePoint largest_received_time() const { return largest_time_; }
+  bool AnythingToAck() const { return largest_ != 0; }
+
+  /// Build the descending ACK ranges. If there are more than
+  /// AckFrame::kMaxAckRanges distinct ranges, the lowest (oldest) ones
+  /// are silently dropped — exactly the bounded-SACK truncation
+  /// behaviour, except the bound is 256 instead of 3.
+  std::vector<AckFrame::Range> BuildAckRanges() const {
+    std::vector<AckFrame::Range> out;
+    out.reserve(std::min<std::size_t>(ranges_.size(),
+                                      AckFrame::kMaxAckRanges));
+    for (auto it = ranges_.rbegin();
+         it != ranges_.rend() && out.size() < AckFrame::kMaxAckRanges;
+         ++it) {
+      out.push_back({it->first, it->second});
+    }
+    return out;
+  }
+
+ private:
+  /// Coalesced closed intervals [first, second] of received PNs.
+  std::map<PacketNumber, PacketNumber> ranges_;
+  PacketNumber largest_ = 0;
+  TimePoint largest_time_ = 0;
+};
+
+}  // namespace mpq::quic

@@ -1,0 +1,343 @@
+// The (MP)QUIC connection: packet assembly, the secure handshake, path
+// management, scheduling, loss recovery and flow control — §2 and §3 of
+// the paper in one state machine.
+//
+// Single-path QUIC is the degenerate configuration (multipath disabled:
+// no Path ID byte on the wire, one packet-number space, CUBIC), so the
+// evaluation compares the same code base with and without the multipath
+// extension — mirroring how the paper extends quic-go.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cc/congestion.h"
+#include "cc/lia.h"
+#include "cc/olia.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "crypto/aead.h"
+#include "quic/path.h"
+#include "quic/scheduler.h"
+#include "quic/streams.h"
+#include "quic/trace.h"
+#include "quic/wire.h"
+#include "sim/net.h"
+#include "sim/simulator.h"
+#include "sim/timer.h"
+
+namespace mpq::quic {
+
+enum class Perspective { kClient, kServer };
+
+/// Single-path default: CUBIC; multipath default: coupled OLIA (§3).
+using CongestionAlgo = cc::Algorithm;
+
+struct ConnectionConfig {
+  bool multipath = false;
+  CongestionAlgo congestion = CongestionAlgo::kCubic;
+  SchedulerType scheduler = SchedulerType::kLowestRtt;
+  ByteCount receive_window = kDefaultReceiveWindow;
+  ByteCount max_packet_size = kMaxPacketSize;
+  /// §3: send WINDOW_UPDATE frames on every path (ablation knob).
+  bool window_update_on_all_paths = true;
+  /// §4.3: advertise potentially-failed paths in PATHS frames so the peer
+  /// avoids its own RTO (ablation knob).
+  bool send_paths_frame = true;
+  /// Probe potentially-failed paths with PINGs so they can recover.
+  Duration failed_path_probe_interval = 1 * kSecond;
+  /// Pace data packets at ~1.25x cwnd/RTT per path (2x in slow start),
+  /// as quic-go/Chromium did in 2017 — Linux TCP of that era did not
+  /// pace, which is part of QUIC's edge in bufferbloat/lossy scenarios.
+  bool pacing = true;
+  /// Single-path QUIC connection migration (§1's "hard handover"): when
+  /// the only path is declared potentially failed — by RTO, or by
+  /// receiving nothing for `idle_failure_timeout` while a transfer is in
+  /// progress — migrate it to the next local/peer address pair. No effect
+  /// with multipath enabled (MPQUIC handles failure via its other paths).
+  bool migrate_on_path_failure = false;
+  Duration idle_failure_timeout = 2 * kSecond;
+  /// §3 designed paths created by either host (server paths get even
+  /// ids) but the paper's implementation leaves server-initiated paths
+  /// unused because clients sit behind NATs. Off by default, as there;
+  /// when enabled the server opens a path to every address the client
+  /// advertises via ADD_ADDRESS.
+  bool allow_server_paths = false;
+  /// Advertise our own extra addresses to the peer after the handshake
+  /// (the client-side ADD_ADDRESS; servers advertise theirs in the SHLO).
+  bool advertise_addresses = true;
+  /// §3: "upon handshake completion, [the path manager] opens one path
+  /// over each interface on the client host". Disable to test pure
+  /// server-initiated path setups.
+  bool client_opens_paths = true;
+  /// 0-RTT: the client already holds the server's config (the same
+  /// out-of-band secret that makes our 1-RTT handshake possible), derives
+  /// the session keys locally and sends encrypted data together with the
+  /// CHLO — Google QUIC's repeat-connection handshake. The SHLO still
+  /// confirms. Trades one RTT for no fresh server entropy in the keys.
+  bool zero_rtt = false;
+  /// Initial CHLO retransmission timeout (doubles on each attempt).
+  Duration handshake_timeout = 1 * kSecond;
+  /// Close the connection after this long with no packets in either
+  /// direction (0 = never — the experiment harness manages lifetimes
+  /// itself, so that is the default).
+  Duration idle_timeout = 0;
+  /// Versions this endpoint accepts. The handshake fails cleanly when
+  /// client and server share none (§2: version negotiation is part of
+  /// what lets QUIC evolve).
+  std::vector<std::uint32_t> supported_versions{kVersionMpq1};
+  /// Shared secret standing in for the out-of-band server config of the
+  /// 1-RTT Google-QUIC handshake (see crypto::DeriveSessionKeys).
+  std::array<std::uint8_t, 16> server_config_secret{};
+};
+
+/// Aggregate counters the experiment harness reads after a run.
+struct ConnectionStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_received = 0;
+  std::uint64_t packets_decrypt_failed = 0;
+  std::uint64_t packets_duplicate = 0;
+  std::uint64_t duplicated_scheduler_packets = 0;
+  std::uint64_t rto_events = 0;
+  ByteCount stream_bytes_sent_new = 0;
+  ByteCount stream_bytes_received = 0;
+};
+
+class Connection {
+ public:
+  /// `send` transmits a datagram from a local address this connection
+  /// owns; the endpoint wires it to the right socket.
+  using SendFunction = std::function<void(
+      sim::Address local, sim::Address remote, std::vector<std::uint8_t>)>;
+
+  Connection(sim::Simulator& sim, Perspective perspective, ConnectionId cid,
+             ConnectionConfig config, Rng rng, SendFunction send);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  // -- endpoint wiring ----------------------------------------------------
+  /// Local addresses (one per interface). The first is the initial path's.
+  void SetLocalAddresses(std::vector<sim::Address> addresses);
+  /// Feed an incoming datagram (already demultiplexed by CID).
+  void OnDatagram(const sim::Datagram& datagram);
+
+  // -- client lifecycle ---------------------------------------------------
+  /// Start the secure handshake toward the server's initial address.
+  void Connect(sim::Address server_address);
+
+  // -- application API ----------------------------------------------------
+  /// Called when the handshake completes (client: SHLO received; server:
+  /// first CHLO processed).
+  void SetEstablishedHandler(std::function<void()> handler) {
+    on_established_ = std::move(handler);
+  }
+  /// In-order stream delivery: (stream, offset, bytes, finished).
+  using StreamDataHandler =
+      std::function<void(StreamId, ByteCount, std::span<const std::uint8_t>,
+                         bool finished)>;
+  void SetStreamDataHandler(StreamDataHandler handler) {
+    on_stream_data_ = std::move(handler);
+  }
+  /// Open (or continue) a send stream fed by `source`; transmission starts
+  /// as soon as the handshake and the scheduler allow.
+  void SendOnStream(StreamId id, std::unique_ptr<SendSource> source);
+
+  /// Abort a send stream: stop (re)transmitting its data and tell the
+  /// peer via RST_STREAM. The receiver's handler sees finished=true with
+  /// whatever prefix was delivered.
+  void ResetStream(StreamId id, std::uint16_t error_code);
+
+  /// QUIC connection migration (§1: "a form of hard handover"): move an
+  /// existing path to a new local/remote address pair. Path state (packet
+  /// numbers, keys) survives; RTT and congestion state are reset because
+  /// the new network path shares nothing with the old one. In-flight data
+  /// is re-sent via the normal loss-recovery machinery.
+  void MigratePath(PathId id, sim::Address new_local,
+                   sim::Address new_remote);
+
+  /// Withdraw one of our addresses (interface going away): sends
+  /// REMOVE_ADDRESS and marks the paths bound to it as failed so the
+  /// scheduler drains off them.
+  void RemoveLocalAddress(sim::Address address);
+
+  void Close(std::uint16_t error_code, const std::string& reason);
+
+  /// Attach a tracer (not owned; must outlive the connection or be
+  /// detached with nullptr). See quic/trace.h.
+  void SetTracer(ConnectionTracer* tracer) { tracer_ = tracer; }
+
+  // -- introspection ------------------------------------------------------
+  bool established() const { return established_; }
+  bool closed() const { return closed_; }
+  ConnectionId cid() const { return cid_; }
+  const ConnectionStats& stats() const { return stats_; }
+  std::vector<const Path*> paths() const;
+  Path* GetPath(PathId id);
+  const Scheduler& scheduler() const { return *scheduler_; }
+  sim::Simulator& simulator() { return sim_; }
+  const ConnectionConfig& config() const { return config_; }
+
+ private:
+  struct PathRuntime {
+    std::unique_ptr<Path> path;
+    std::unique_ptr<sim::Timer> retx_timer;  // loss-time + RTO, combined
+    std::unique_ptr<sim::Timer> ack_timer;   // delayed ACK
+    std::unique_ptr<sim::Timer> probe_timer; // potentially-failed probing
+    /// Control frames pinned to this path (its ACKs, per-path
+    /// WINDOW_UPDATE copies).
+    std::vector<Frame> pinned_frames;
+    bool ping_probe_outstanding = false;
+    /// Pacing token bucket (bytes); refilled from cwnd/RTT.
+    double pace_tokens = 0.0;
+    TimePoint pace_refill_time = 0;
+  };
+
+  // -- handshake ----------------------------------------------------------
+  void SendChlo();
+  void OnHandshakePacket(const ParsedHeader& header, BufReader& reader,
+                         const sim::Datagram& datagram);
+  void HandleChlo(const HandshakeFrame& chlo, const sim::Datagram& datagram);
+  void HandleShlo(const HandshakeFrame& shlo);
+  void BecomeEstablished();
+
+  // -- path management (§3 "Path Management") -----------------------------
+  PathRuntime& CreatePath(PathId id, sim::Address local, sim::Address remote);
+  void OpenClientPaths();
+  /// Server-initiated paths toward freshly advertised client addresses
+  /// (even path ids, §3) — only with config.allow_server_paths.
+  void MaybeOpenServerPaths();
+  std::unique_ptr<cc::CongestionController> MakeController();
+  void OnPathPotentiallyFailed(PathRuntime& runtime);
+  void TryAutoMigrate(PathRuntime& runtime);
+  PathsFrame BuildPathsFrame() const;
+  std::vector<Path*> PathPointers();
+
+  // -- receive ------------------------------------------------------------
+  void OnEncryptedPacket(const ParsedHeader& parsed, BufReader& reader,
+                         std::span<const std::uint8_t> datagram_bytes,
+                         const sim::Datagram& datagram);
+  void ProcessFrames(PathRuntime& runtime, const std::vector<Frame>& frames);
+  void OnAckFrame(const AckFrame& ack);
+  void OnStreamFrameReceived(const StreamFrame& frame);
+  void OnWindowUpdate(const WindowUpdateFrame& frame);
+  void OnPathsFrame(const PathsFrame& frame);
+  RecvStream& GetOrCreateRecvStream(StreamId id);
+
+  // -- send ---------------------------------------------------------------
+  /// Drive the scheduler until windows/flow control/data run out.
+  void TrySend();
+  /// Assemble and transmit one packet on `runtime` from pinned frames,
+  /// the shared control queue and stream data. Returns false if there was
+  /// nothing to send.
+  bool SendOnePacket(PathRuntime& runtime, bool include_stream_data,
+                     const std::vector<StreamFrame>* duplicate_of,
+                     std::vector<StreamFrame>* sent_stream_frames);
+  void SendAckOnlyPacket(PathRuntime& runtime);
+  void SendPing(PathRuntime& runtime, bool track);
+  void TransmitPacket(PathRuntime& runtime, std::vector<Frame> frames,
+                      bool retransmittable, bool handshake_cleartext);
+  AckFrame BuildAck(PathRuntime& runtime);
+  void MaybeScheduleAck(PathRuntime& runtime, bool out_of_order);
+  void EnqueueWindowUpdates(const WindowUpdateFrame& frame);
+  void EnqueueControl(Frame frame);
+
+  // -- loss recovery ------------------------------------------------------
+  void RequeueLostFrames(std::vector<SentPacket> lost);
+  void OnRetxTimer(PathRuntime& runtime);
+  void RearmRetxTimer(PathRuntime& runtime);
+  void OnProbeTimer(PathRuntime& runtime);
+
+  ByteCount ConnectionSendAllowance() const {
+    return flow_.SendAllowance(new_stream_bytes_sent_);
+  }
+  bool AnyStreamHasData();
+
+  // -- pacing -------------------------------------------------------------
+  /// Bytes/microsecond this path may currently emit.
+  double PacingRate(const PathRuntime& runtime) const;
+  void RefillPaceTokens(PathRuntime& runtime);
+  bool PacingAllows(PathRuntime& runtime, ByteCount bytes);
+  void ConsumePaceTokens(PathRuntime& runtime, ByteCount bytes);
+  /// Arm the pace timer for the earliest time any path can send again.
+  void ArmPaceTimer();
+
+  sim::Simulator& sim_;
+  Perspective perspective_;
+  ConnectionId cid_;
+  ConnectionConfig config_;
+  Rng rng_;
+  SendFunction send_;
+
+  std::vector<sim::Address> local_addresses_;
+  std::vector<sim::Address> peer_addresses_;
+
+  // Handshake state.
+  bool established_ = false;
+  bool closed_ = false;
+  std::vector<std::uint8_t> client_nonce_;
+  std::vector<std::uint8_t> server_nonce_;
+  bool shlo_received_ = false;
+  TimePoint chlo_sent_time_ = -1;
+  std::unique_ptr<sim::Timer> handshake_timer_;
+  int handshake_attempts_ = 0;
+  sim::Address server_address_{};  // client only
+
+  // Keys (set once established).
+  std::unique_ptr<crypto::PacketProtection> seal_;  // our direction
+  std::unique_ptr<crypto::PacketProtection> open_;  // peer's direction
+
+  // NOTE: the OLIA coordinator must outlive the per-path controllers the
+  // paths own (they unregister from it on destruction), so it is declared
+  // before `paths_`.
+  std::unique_ptr<cc::OliaCoordinator> olia_;  // when congestion == kOlia
+  std::unique_ptr<cc::LiaCoordinator> lia_;    // when congestion == kLia
+  std::unique_ptr<Scheduler> scheduler_;
+  // Paths, ordered by id. unique_ptr for stable addresses.
+  std::map<PathId, std::unique_ptr<PathRuntime>> paths_;
+
+  // Streams.
+  std::map<StreamId, std::unique_ptr<SendStream>> send_streams_;
+  /// Round-robin position for stream scheduling: concurrent streams share
+  /// the connection fairly (one chunk each per packet-fill pass), as
+  /// quic-go does — this is what §2's "streams prevent head-of-line
+  /// blocking" rests on.
+  StreamId next_stream_to_serve_ = 0;
+  std::map<StreamId, std::unique_ptr<RecvStream>> recv_streams_;
+  FlowController flow_;
+  ByteCount new_stream_bytes_sent_ = 0;
+  /// Receive-side: per-stream advertised limits for stream-level windows.
+  std::map<StreamId, ByteCount> stream_advertised_;
+  /// Sum over streams of highest received offset (connection-level
+  /// receive accounting).
+  ByteCount total_highest_received_ = 0;
+
+  /// Path-agnostic control frames awaiting a packet (PATHS, ADD_ADDRESS,
+  /// re-queued control frames).
+  std::vector<Frame> control_queue_;
+
+  std::function<void()> on_established_;
+  StreamDataHandler on_stream_data_;
+  ConnectionTracer* tracer_ = nullptr;
+  ConnectionStats stats_;
+  bool in_try_send_ = false;
+  int migrations_ = 0;
+  std::unique_ptr<sim::Timer> pace_timer_;
+  /// Armed only in migrate-on-failure mode: detects a dead path from the
+  /// receiver side (nothing arrives while a transfer is in progress).
+  std::unique_ptr<sim::Timer> idle_timer_;
+  bool ExpectingData() const;
+  void OnIdleFailureTimer();
+  /// Connection-level idle timeout (config.idle_timeout > 0 only).
+  std::unique_ptr<sim::Timer> connection_idle_timer_;
+  /// BLOCKED is sent once per flow-control-blocked episode (diagnostic;
+  /// also what real stacks do to aid troubleshooting).
+  bool blocked_reported_ = false;
+};
+
+}  // namespace mpq::quic

@@ -1,0 +1,76 @@
+// Client and server endpoints: bind the simulator's datagram sockets to
+// (MP)QUIC connections. The client owns one connection over all of its
+// interfaces; the server accepts connections demultiplexed by the
+// Connection ID in the public header.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "quic/connection.h"
+#include "sim/net.h"
+#include "sim/simulator.h"
+
+namespace mpq::quic {
+
+class ClientEndpoint {
+ public:
+  /// Binds a socket on every address in `locals`; `locals[0]` carries the
+  /// handshake.
+  ClientEndpoint(sim::Simulator& sim, sim::Network& net,
+                 std::vector<sim::Address> locals,
+                 const ConnectionConfig& config, std::uint64_t seed);
+  ~ClientEndpoint();
+
+  ClientEndpoint(const ClientEndpoint&) = delete;
+  ClientEndpoint& operator=(const ClientEndpoint&) = delete;
+
+  /// Start the handshake toward the server's initial address.
+  void Connect(sim::Address server_address);
+
+  Connection& connection() { return *connection_; }
+
+ private:
+  sim::Network& net_;
+  std::vector<sim::Address> locals_;
+  std::unique_ptr<Connection> connection_;
+};
+
+class ServerEndpoint {
+ public:
+  /// Called once per accepted connection, before its first packet is
+  /// processed — the application installs its stream handlers here.
+  using AcceptHandler = std::function<void(Connection&)>;
+
+  ServerEndpoint(sim::Simulator& sim, sim::Network& net,
+                 std::vector<sim::Address> locals,
+                 const ConnectionConfig& config, std::uint64_t seed);
+  ~ServerEndpoint();
+
+  ServerEndpoint(const ServerEndpoint&) = delete;
+  ServerEndpoint& operator=(const ServerEndpoint&) = delete;
+
+  void SetAcceptHandler(AcceptHandler handler) {
+    on_accept_ = std::move(handler);
+  }
+
+  std::size_t connection_count() const { return connections_.size(); }
+  Connection* FindConnection(ConnectionId cid);
+
+ private:
+  void OnDatagram(const sim::Datagram& datagram);
+
+  sim::Simulator& sim_;
+  sim::Network& net_;
+  std::vector<sim::Address> locals_;
+  ConnectionConfig config_;
+  Rng rng_;
+  AcceptHandler on_accept_;
+  std::vector<std::pair<sim::Address, sim::DatagramSocket*>> sockets_;
+  std::map<ConnectionId, std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace mpq::quic

@@ -1,0 +1,147 @@
+#include "quic/path.h"
+
+#include <algorithm>
+
+namespace mpq::quic {
+
+void Path::DeclareLost(std::map<PacketNumber, SentPacket>::iterator it,
+                       TimePoint now, std::vector<SentPacket>& out) {
+  congestion_->OnPacketLost(now, it->second.bytes, it->second.sent_time);
+  ++packets_lost_;
+  out.push_back(std::move(it->second));
+  sent_.erase(it);
+}
+
+Path::AckResult Path::OnAckReceived(const AckFrame& ack, TimePoint now) {
+  AckResult result;
+  if (ack.ranges.empty()) return result;
+  const PacketNumber largest = ack.LargestAcked();
+
+  if (largest > largest_acked_) {
+    largest_acked_ = largest;
+    result.was_new_largest = true;
+  }
+
+  // Collect newly acked packets. The RTT sample comes from the highest
+  // newly-acked *tracked* packet (ack-only packets consume PNs but are
+  // never tracked, so the frame's LargestAcked may not be in the map).
+  PacketNumber rtt_sample_pn = 0;
+  TimePoint rtt_sample_sent_time = -1;
+  for (const auto& range : ack.ranges) {
+    auto it = sent_.lower_bound(range.smallest);
+    while (it != sent_.end() && it->first <= range.largest) {
+      if (it->first > rtt_sample_pn) {
+        rtt_sample_pn = it->first;
+        rtt_sample_sent_time = it->second.sent_time;
+        largest_acked_sent_time_ = it->second.sent_time;
+      }
+      congestion_->OnPacketAcked(now, it->second.bytes,
+                                 it->second.sent_time, rtt_.smoothed());
+      ++packets_acked_;
+      result.newly_acked.push_back(std::move(it->second));
+      it = sent_.erase(it);
+    }
+  }
+  if (rtt_sample_sent_time >= 0) {
+    rtt_.AddSample(now - rtt_sample_sent_time, ack.ack_delay);
+  }
+  if (!result.newly_acked.empty()) {
+    last_ack_time_ = now;
+    rto_count_ = 0;
+    // Data acknowledged on this path: it works again (§4.3 — the state
+    // persists "until data is acknowledged on this path").
+    potentially_failed_ = false;
+  }
+
+  // Packet-threshold losses: anything at least kReorderingThreshold below
+  // the largest acked.
+  loss_time_ = kTimeInfinite;
+  const Duration threshold = TimeThreshold();
+  for (auto it = sent_.begin();
+       it != sent_.end() && it->first < largest_acked_;) {
+    if (largest_acked_ - it->first >= kReorderingThreshold) {
+      auto doomed = it++;
+      DeclareLost(doomed, now, result.lost);
+      continue;
+    }
+    // Time threshold: sent sufficiently before the largest-acked packet.
+    if (it->second.sent_time + threshold <= now) {
+      auto doomed = it++;
+      DeclareLost(doomed, now, result.lost);
+      continue;
+    }
+    loss_time_ = std::min(loss_time_, it->second.sent_time + threshold);
+    ++it;
+  }
+  return result;
+}
+
+std::vector<SentPacket> Path::DetectTimeThresholdLosses(TimePoint now) {
+  std::vector<SentPacket> lost;
+  loss_time_ = kTimeInfinite;
+  const Duration threshold = TimeThreshold();
+  for (auto it = sent_.begin();
+       it != sent_.end() && it->first < largest_acked_;) {
+    if (it->second.sent_time + threshold <= now) {
+      auto doomed = it++;
+      DeclareLost(doomed, now, lost);
+      continue;
+    }
+    loss_time_ = std::min(loss_time_, it->second.sent_time + threshold);
+    ++it;
+  }
+  return lost;
+}
+
+std::vector<SentPacket> Path::Migrate(
+    sim::Address local, sim::Address remote,
+    std::unique_ptr<cc::CongestionController> fresh_congestion,
+    TimePoint now) {
+  local_ = local;
+  remote_ = remote;
+  // Everything in flight was addressed to the old path; hand the frames
+  // back for retransmission on the new one.
+  std::vector<SentPacket> lost;
+  lost.reserve(sent_.size());
+  for (auto& [pn, packet] : sent_) {
+    ++packets_lost_;
+    lost.push_back(std::move(packet));
+  }
+  sent_.clear();
+  loss_time_ = kTimeInfinite;
+  // Measurements and congestion state belong to the old network path.
+  congestion_ = std::move(fresh_congestion);
+  rtt_ = RttEstimator();
+  rto_count_ = 0;
+  potentially_failed_ = false;
+  remote_failed_ = false;
+  (void)now;
+  return lost;
+}
+
+std::vector<SentPacket> Path::OnRetransmissionTimeout(TimePoint now) {
+  ++rto_count_;
+  // §4.3: a path that sees an RTO with no network activity since our last
+  // transmission is potentially failed; the scheduler will avoid it.
+  if (last_ack_time_ < last_send_time_) {
+    potentially_failed_ = true;
+  }
+  congestion_->OnRetransmissionTimeout(now);
+  std::vector<SentPacket> lost;
+  lost.reserve(sent_.size());
+  for (auto& [pn, packet] : sent_) {
+    // The packets' bytes were already removed from in-flight by the CC's
+    // RTO handling? No — the controller only collapses the window; each
+    // packet still occupies in-flight until acked or declared lost, so we
+    // mark them lost explicitly (without a second window reduction: the
+    // controller ignores losses sent before its recovery point).
+    congestion_->OnPacketLost(now, packet.bytes, packet.sent_time);
+    ++packets_lost_;
+    lost.push_back(std::move(packet));
+  }
+  sent_.clear();
+  loss_time_ = kTimeInfinite;
+  return lost;
+}
+
+}  // namespace mpq::quic

@@ -1,0 +1,177 @@
+// One path of an MPQUIC connection (§3): its own packet-number space in
+// each direction, its own RTT estimator, congestion controller, loss
+// detection state and "potentially failed" flag (§4.3). The Path is a
+// passive state machine — the Connection drives it and owns the timers.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cc/congestion.h"
+#include "common/types.h"
+#include "quic/ack_tracker.h"
+#include "quic/rtt.h"
+#include "quic/wire.h"
+#include "sim/net.h"
+
+namespace mpq::quic {
+
+struct SentPacket {
+  PacketNumber pn = 0;
+  TimePoint sent_time = 0;
+  ByteCount bytes = 0;  // full wire size, charged to the congestion window
+  std::vector<Frame> frames;  // retransmittable frames only
+};
+
+class Path {
+ public:
+  Path(PathId id, sim::Address local, sim::Address remote,
+       std::unique_ptr<cc::CongestionController> congestion)
+      : id_(id),
+        local_(local),
+        remote_(remote),
+        congestion_(std::move(congestion)) {}
+
+  PathId id() const { return id_; }
+  sim::Address local_address() const { return local_; }
+  sim::Address remote_address() const { return remote_; }
+
+  /// Receive-side address update (NAT rebinding, §3: "the presence of the
+  /// Path ID also allows MPQUIC to use multiple flows when a remote
+  /// address changes over a particular path" — path state is kept).
+  void UpdateAddresses(sim::Address local, sim::Address remote) {
+    local_ = local;
+    remote_ = remote;
+  }
+
+  /// Sender-side hard migration (QUIC connection migration): move to a
+  /// new address pair, write off everything in flight (returned for
+  /// requeueing), and reset the measurements that belonged to the old
+  /// network path. Packet-number spaces and keys survive.
+  std::vector<SentPacket> Migrate(sim::Address local, sim::Address remote,
+                                  std::unique_ptr<cc::CongestionController>
+                                      fresh_congestion,
+                                  TimePoint now);
+
+  // -- sending ----------------------------------------------------------
+  PacketNumber AllocatePacketNumber() { return next_pn_++; }
+  PacketNumber largest_sent() const { return next_pn_ - 1; }
+  PacketNumber largest_acked() const { return largest_acked_; }
+
+  /// Register a sent retransmittable packet (ack-only packets are neither
+  /// tracked nor congestion-controlled, per QUIC).
+  void OnPacketSent(SentPacket packet) {
+    congestion_->OnPacketSent(packet.sent_time, packet.bytes);
+    last_send_time_ = packet.sent_time;
+    bytes_sent_ += packet.bytes;
+    sent_.emplace(packet.pn, std::move(packet));
+  }
+
+  struct AckResult {
+    std::vector<SentPacket> newly_acked;
+    std::vector<SentPacket> lost;
+    bool was_new_largest = false;
+  };
+
+  /// Process an ACK frame for this path's PN space: RTT sampling, CC
+  /// updates, packet-threshold and time-threshold loss detection.
+  AckResult OnAckReceived(const AckFrame& ack, TimePoint now);
+
+  /// Re-run time-threshold loss detection (called when the loss timer
+  /// fires). Packets declared lost are removed and returned.
+  std::vector<SentPacket> DetectTimeThresholdLosses(TimePoint now);
+
+  /// Earliest deadline at which an unacked packet crosses the time
+  /// threshold, or kTimeInfinite.
+  TimePoint NextLossTime() const { return loss_time_; }
+
+  /// RTO fired: collapse the window and hand back every in-flight frame
+  /// for retransmission (on any path — MPQUIC flexibility, §3). Marks the
+  /// path potentially failed if there was no activity since our last
+  /// transmission (§4.3 / Linux MPTCP heuristic).
+  std::vector<SentPacket> OnRetransmissionTimeout(TimePoint now);
+
+  bool HasInFlight() const { return !sent_.empty(); }
+  TimePoint OldestInFlightSentTime() const {
+    return sent_.empty() ? kTimeInfinite : sent_.begin()->second.sent_time;
+  }
+
+  /// Current RTO duration with exponential backoff applied.
+  Duration CurrentRto() const {
+    return rtt_.Rto() << (rto_count_ > 6 ? 6 : rto_count_);
+  }
+
+  // -- receiving --------------------------------------------------------
+  ReceivedPacketTracker& receiver() { return receiver_; }
+  bool ack_pending() const { return ack_pending_; }
+  void set_ack_pending(bool pending) { ack_pending_ = pending; }
+  int unacked_retransmittable_count() const { return unacked_count_; }
+  void NoteRetransmittableReceived() { ++unacked_count_; ack_pending_ = true; }
+  void ClearAckPending() { ack_pending_ = false; unacked_count_ = 0; }
+
+  // -- path quality / status --------------------------------------------
+  RttEstimator& rtt() { return rtt_; }
+  const RttEstimator& rtt() const { return rtt_; }
+  cc::CongestionController& congestion() { return *congestion_; }
+  const cc::CongestionController& congestion() const { return *congestion_; }
+
+  bool potentially_failed() const { return potentially_failed_; }
+  void set_potentially_failed(bool failed) { potentially_failed_ = failed; }
+  /// Peer told us (via PATHS frame) that this path failed on its side.
+  bool remote_reported_failed() const { return remote_failed_; }
+  void set_remote_reported_failed(bool failed) { remote_failed_ = failed; }
+
+  bool Usable() const { return !potentially_failed_ && !remote_failed_; }
+
+  TimePoint last_send_time() const { return last_send_time_; }
+  TimePoint last_ack_time() const { return last_ack_time_; }
+  int rto_count() const { return rto_count_; }
+
+  // -- statistics (PATHS frame + harness diagnostics) ---------------------
+  ByteCount bytes_sent() const { return bytes_sent_; }
+  std::uint64_t packets_declared_lost() const { return packets_lost_; }
+  std::uint64_t packets_acked() const { return packets_acked_; }
+
+ private:
+  static constexpr PacketNumber kReorderingThreshold = 3;
+
+  Duration TimeThreshold() const {
+    const Duration base =
+        std::max(rtt_.smoothed(), rtt_.latest());
+    return std::max<Duration>(base * 9 / 8, 1 * kMillisecond);
+  }
+
+  void DeclareLost(std::map<PacketNumber, SentPacket>::iterator it,
+                   TimePoint now, std::vector<SentPacket>& out);
+
+  PathId id_;
+  sim::Address local_;
+  sim::Address remote_;
+  std::unique_ptr<cc::CongestionController> congestion_;
+  RttEstimator rtt_;
+
+  // Send state.
+  PacketNumber next_pn_ = 1;
+  PacketNumber largest_acked_ = 0;
+  TimePoint largest_acked_sent_time_ = 0;
+  std::map<PacketNumber, SentPacket> sent_;
+  TimePoint loss_time_ = kTimeInfinite;
+  TimePoint last_send_time_ = -1;
+  TimePoint last_ack_time_ = -1;
+  int rto_count_ = 0;
+  bool potentially_failed_ = false;
+  bool remote_failed_ = false;
+
+  // Receive state.
+  ReceivedPacketTracker receiver_;
+  bool ack_pending_ = false;
+  int unacked_count_ = 0;
+
+  // Statistics.
+  ByteCount bytes_sent_ = 0;
+  std::uint64_t packets_lost_ = 0;
+  std::uint64_t packets_acked_ = 0;
+};
+
+}  // namespace mpq::quic

@@ -1,0 +1,61 @@
+// Per-path RTT estimation (RFC 6298-style smoothing with QUIC's ack-delay
+// correction). The paper repeatedly attributes MPQUIC's scheduling edge to
+// "precise path latency estimation" (§4.1): unlike TCP, QUIC never samples
+// a retransmitted packet (fresh PN per transmission removes the ambiguity)
+// and the peer reports how long it withheld the ACK.
+#pragma once
+
+#include <algorithm>
+
+#include "common/types.h"
+
+namespace mpq::quic {
+
+class RttEstimator {
+ public:
+  /// Record one sample. `ack_delay` is the peer-reported delay, subtracted
+  /// when it does not push the sample below the observed minimum.
+  void AddSample(Duration rtt, Duration ack_delay) {
+    if (rtt <= 0) rtt = 1;
+    min_rtt_ = has_sample_ ? std::min(min_rtt_, rtt) : rtt;
+    Duration adjusted = rtt;
+    if (adjusted - ack_delay >= min_rtt_) adjusted -= ack_delay;
+    latest_ = adjusted;
+    if (!has_sample_) {
+      srtt_ = adjusted;
+      rttvar_ = adjusted / 2;
+      has_sample_ = true;
+      return;
+    }
+    const Duration err =
+        srtt_ > adjusted ? srtt_ - adjusted : adjusted - srtt_;
+    rttvar_ = (3 * rttvar_ + err) / 4;
+    srtt_ = (7 * srtt_ + adjusted) / 8;
+  }
+
+  bool has_sample() const { return has_sample_; }
+  Duration smoothed() const { return srtt_; }
+  Duration variance() const { return rttvar_; }
+  Duration min_rtt() const { return min_rtt_; }
+  Duration latest() const { return latest_; }
+
+  /// Retransmission timeout: srtt + max(4*rttvar, granularity), floored.
+  Duration Rto() const {
+    if (!has_sample_) return kDefaultRto;
+    const Duration var_term = std::max<Duration>(4 * rttvar_, kGranularity);
+    return std::max<Duration>(srtt_ + var_term, kMinRto);
+  }
+
+  static constexpr Duration kDefaultRto = 500 * kMillisecond;
+  static constexpr Duration kMinRto = 200 * kMillisecond;
+  static constexpr Duration kGranularity = 1 * kMillisecond;
+
+ private:
+  bool has_sample_ = false;
+  Duration srtt_ = 0;
+  Duration rttvar_ = 0;
+  Duration min_rtt_ = 0;
+  Duration latest_ = 0;
+};
+
+}  // namespace mpq::quic

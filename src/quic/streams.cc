@@ -1,0 +1,181 @@
+#include "quic/streams.h"
+
+#include <algorithm>
+
+namespace mpq::quic {
+
+// ---------------------------------------------------------------------------
+// SendStream
+
+ByteCount SendStream::RetransmitBytesPending() const {
+  ByteCount total = 0;
+  for (const auto& [offset, length] : retransmit_) total += length;
+  return total;
+}
+
+bool SendStream::HasDataToSend(ByteCount connection_send_allowance) const {
+  if (!retransmit_.empty() || fin_lost_) return true;
+  if (next_offset_ < total_size()) {
+    // New data needs both stream- and connection-level credit.
+    return next_offset_ < peer_max_stream_data_ &&
+           connection_send_allowance > 0;
+  }
+  return !fin_sent_;
+}
+
+SendStream::NextFrameResult SendStream::NextFrame(
+    ByteCount max_payload, ByteCount connection_send_allowance,
+    StreamFrame& frame) {
+  if (max_payload == 0) return {};
+
+  // 1. Retransmissions first: they consume no new flow-control credit and
+  //    unblock the receiver fastest.
+  if (!retransmit_.empty()) {
+    auto it = retransmit_.begin();
+    const ByteCount offset = it->first;
+    const ByteCount len = std::min<ByteCount>(it->second, max_payload);
+    frame.stream_id = id_;
+    frame.offset = offset;
+    frame.data.resize(len);
+    source_->Read(offset, frame.data);
+    // FIN rides along if this chunk reaches the end of the stream.
+    frame.fin = fin_lost_ && offset + len >= total_size();
+    if (frame.fin) fin_lost_ = false;
+    if (len == it->second) {
+      retransmit_.erase(it);
+    } else {
+      const ByteCount rest = it->second - len;
+      retransmit_.erase(it);
+      retransmit_.emplace(offset + len, rest);
+    }
+    return {true, 0};
+  }
+  if (fin_lost_) {
+    frame.stream_id = id_;
+    frame.offset = total_size();
+    frame.data.clear();
+    frame.fin = true;
+    fin_lost_ = false;
+    return {true, 0};
+  }
+
+  // 2. New data under stream + connection flow control.
+  if (next_offset_ >= total_size()) {
+    if (fin_sent_) return {};
+    frame.stream_id = id_;
+    frame.offset = next_offset_;
+    frame.data.clear();
+    frame.fin = true;
+    fin_sent_ = true;
+    return {true, 0};
+  }
+  const ByteCount stream_allow =
+      peer_max_stream_data_ > next_offset_
+          ? peer_max_stream_data_ - next_offset_
+          : 0;
+  const ByteCount len = std::min<ByteCount>(
+      {max_payload, total_size() - next_offset_, stream_allow,
+       connection_send_allowance});
+  if (len == 0) return {};  // flow-control blocked
+  frame.stream_id = id_;
+  frame.offset = next_offset_;
+  frame.data.resize(len);
+  source_->Read(next_offset_, frame.data);
+  next_offset_ += len;
+  frame.fin = next_offset_ >= total_size();
+  if (frame.fin) fin_sent_ = true;
+  return {true, len};
+}
+
+void SendStream::OnFrameLost(ByteCount offset, ByteCount length, bool fin) {
+  if (fin) fin_lost_ = true;
+  if (length == 0) return;
+  // Insert [offset, offset+length) and coalesce with neighbours.
+  ByteCount start = offset;
+  ByteCount end = offset + length;
+  auto it = retransmit_.lower_bound(start);
+  if (it != retransmit_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second >= start) {
+      start = prev->first;
+      end = std::max(end, prev->first + prev->second);
+      it = retransmit_.erase(prev);
+    }
+  }
+  while (it != retransmit_.end() && it->first <= end) {
+    end = std::max(end, it->first + it->second);
+    it = retransmit_.erase(it);
+  }
+  retransmit_.emplace(start, end - start);
+}
+
+// ---------------------------------------------------------------------------
+// RecvStream
+
+ByteCount RecvStream::OnStreamFrame(const StreamFrame& frame) {
+  if (frame.fin) {
+    fin_known_ = true;
+    final_size_ = frame.offset + frame.data.size();
+  }
+  const ByteCount frame_end = frame.offset + frame.data.size();
+  ByteCount window_growth = 0;
+  if (frame_end > highest_received_) {
+    window_growth = frame_end - highest_received_;
+    highest_received_ = frame_end;
+  }
+
+  if (frame_end > delivered_ && !frame.data.empty()) {
+    // Trim the already-delivered prefix, then store. Overlaps with other
+    // buffered segments are tolerated (delivery skips duplicate bytes).
+    ByteCount start = std::max(frame.offset, delivered_);
+    const std::size_t skip = start - frame.offset;
+    std::vector<std::uint8_t> data(frame.data.begin() + skip,
+                                   frame.data.end());
+    buffered_ += data.size();
+    auto [it, inserted] = segments_.emplace(start, std::move(data));
+    if (!inserted) {
+      // Same offset seen twice: keep the longer one.
+      if (it->second.size() < frame_end - start) {
+        buffered_ -= it->second.size();
+        it->second.assign(frame.data.begin() + skip, frame.data.end());
+        buffered_ += it->second.size();
+      } else {
+        buffered_ -= frame_end - start;
+      }
+    }
+  }
+  DeliverInOrder();
+  if (fin_known_ && !fin_signaled_ && delivered_ >= final_size_ && sink_) {
+    // A bare FIN (no data) completes the stream on its own; duplicate or
+    // retransmitted FINs (e.g. from scheduler duplication) signal once.
+    fin_signaled_ = true;
+    sink_(delivered_, {}, true);
+  }
+  return window_growth;
+}
+
+void RecvStream::DeliverInOrder() {
+  while (!segments_.empty()) {
+    auto it = segments_.begin();
+    if (it->first > delivered_) break;  // gap
+    const ByteCount seg_end = it->first + it->second.size();
+    if (seg_end <= delivered_) {
+      buffered_ -= it->second.size();
+      segments_.erase(it);
+      continue;  // fully duplicate
+    }
+    const std::size_t skip = delivered_ - it->first;
+    std::span<const std::uint8_t> fresh(it->second.data() + skip,
+                                        it->second.size() - skip);
+    const ByteCount new_delivered = seg_end;
+    const bool finished =
+        fin_known_ && !fin_signaled_ && new_delivered >= final_size_;
+    if (finished) fin_signaled_ = true;
+    if (sink_) sink_(delivered_, fresh, finished);
+    delivered_ = new_delivered;
+    buffered_ -= it->second.size();
+    segments_.erase(it);
+  }
+}
+
+}  // namespace mpq::quic

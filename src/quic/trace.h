@@ -1,0 +1,98 @@
+// Connection observability (a qlog-style event hook): the Connection
+// reports packet, loss, RTT, congestion and path-state events to an
+// attached tracer. Used by the diagnostic benches (congestion-window
+// evolution across paths) and available to library users for debugging —
+// real QUIC stacks grew the same facility (qlog) for the same reason.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mpq::quic {
+
+/// Observer interface. Default implementations ignore everything, so a
+/// tracer only overrides what it cares about. Callbacks fire synchronously
+/// on the simulated-event path; implementations must be cheap.
+class ConnectionTracer {
+ public:
+  virtual ~ConnectionTracer() = default;
+
+  virtual void OnPacketSent(TimePoint /*now*/, PathId /*path*/,
+                            PacketNumber /*pn*/, ByteCount /*bytes*/,
+                            bool /*retransmittable*/) {}
+  virtual void OnPacketReceived(TimePoint /*now*/, PathId /*path*/,
+                                PacketNumber /*pn*/, ByteCount /*bytes*/) {}
+  virtual void OnPacketLost(TimePoint /*now*/, PathId /*path*/,
+                            PacketNumber /*pn*/) {}
+  /// Fired whenever an ACK updates a path: current cwnd, bytes in flight
+  /// and smoothed RTT.
+  virtual void OnPathSample(TimePoint /*now*/, PathId /*path*/,
+                            ByteCount /*cwnd*/, ByteCount /*in_flight*/,
+                            Duration /*srtt*/) {}
+  virtual void OnPathStateChange(TimePoint /*now*/, PathId /*path*/,
+                                 const char* /*state*/) {}
+};
+
+/// Collects per-path time series of (time, cwnd, srtt) — the data behind
+/// a congestion-evolution plot.
+class TimeSeriesTracer final : public ConnectionTracer {
+ public:
+  struct Sample {
+    TimePoint time = 0;
+    PathId path = 0;
+    ByteCount cwnd = 0;
+    ByteCount in_flight = 0;
+    Duration srtt = 0;
+  };
+
+  void OnPathSample(TimePoint now, PathId path, ByteCount cwnd,
+                    ByteCount in_flight, Duration srtt) override {
+    samples_.push_back({now, path, cwnd, in_flight, srtt});
+  }
+  void OnPacketLost(TimePoint now, PathId path, PacketNumber) override {
+    losses_.push_back({now, path, 0, 0, 0});
+  }
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  const std::vector<Sample>& losses() const { return losses_; }
+
+ private:
+  std::vector<Sample> samples_;
+  std::vector<Sample> losses_;
+};
+
+/// Counts events — handy in tests for asserting behaviour without poking
+/// at connection internals.
+class CountingTracer final : public ConnectionTracer {
+ public:
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_received = 0;
+  std::uint64_t packets_lost = 0;
+  std::uint64_t path_samples = 0;
+  std::vector<std::string> state_changes;  // "path:state"
+
+  void OnPacketSent(TimePoint, PathId, PacketNumber, ByteCount,
+                    bool) override {
+    ++packets_sent;
+  }
+  void OnPacketReceived(TimePoint, PathId, PacketNumber,
+                        ByteCount) override {
+    ++packets_received;
+  }
+  void OnPacketLost(TimePoint, PathId, PacketNumber) override {
+    ++packets_lost;
+  }
+  void OnPathSample(TimePoint, PathId, ByteCount, ByteCount,
+                    Duration) override {
+    ++path_samples;
+  }
+  void OnPathStateChange(TimePoint, PathId path,
+                         const char* state) override {
+    state_changes.push_back(std::to_string(path) + ":" + state);
+  }
+};
+
+}  // namespace mpq::quic

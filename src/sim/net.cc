@@ -1,0 +1,132 @@
+#include "sim/net.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/log.h"
+
+namespace mpq::sim {
+
+Link::Link(Simulator& sim, LinkConfig config, Rng rng)
+    : sim_(sim), config_(config), rng_(rng) {
+  if (config_.capacity_mbps <= 0.0) {
+    throw std::invalid_argument("link capacity must be positive");
+  }
+  // A link that cannot hold even two full-size packets cannot carry any
+  // sustained traffic; clamp (see LinkConfig doc).
+  constexpr ByteCount kMinQueue = 2 * 1500;
+  if (config_.queue_capacity_bytes < kMinQueue) {
+    config_.queue_capacity_bytes = kMinQueue;
+  }
+}
+
+Duration Link::TransmissionTime(ByteCount wire_bytes) const {
+  const double bits = static_cast<double>(wire_bytes) * 8.0;
+  const double seconds = bits / (config_.capacity_mbps * 1e6);
+  const auto us = static_cast<Duration>(seconds * 1e6 + 0.5);
+  return us > 0 ? us : 1;  // nothing transmits in zero time
+}
+
+void Link::Transmit(Datagram dgram) {
+  ++stats_.offered;
+  const ByteCount wire_bytes =
+      dgram.payload.size() + config_.per_packet_overhead;
+  if (queued_bytes_ + wire_bytes > config_.queue_capacity_bytes) {
+    ++stats_.dropped_queue_full;
+    return;
+  }
+  queued_bytes_ += wire_bytes;
+  if (queued_bytes_ > stats_.max_queue_bytes) {
+    stats_.max_queue_bytes = queued_bytes_;
+  }
+  const TimePoint start =
+      busy_until_ > sim_.now() ? busy_until_ : sim_.now();
+  const TimePoint tx_done = start + TransmissionTime(wire_bytes);
+  busy_until_ = tx_done;
+  // One event at transmission completion: free the queue space, then (if
+  // the wire does not eat the packet) deliver after the propagation delay.
+  sim_.ScheduleAt(tx_done, [this, wire_bytes,
+                            dgram = std::move(dgram)]() mutable {
+    queued_bytes_ -= wire_bytes;
+    if (config_.random_loss_rate > 0.0 &&
+        rng_.NextBool(config_.random_loss_rate)) {
+      ++stats_.dropped_random;
+      return;
+    }
+    Duration propagation = config_.propagation_delay;
+    if (config_.jitter > 0) {
+      propagation += static_cast<Duration>(
+          rng_.NextBounded(static_cast<std::uint64_t>(config_.jitter) + 1));
+    }
+    sim_.Schedule(propagation,
+                  [this, wire_bytes, dgram = std::move(dgram)]() mutable {
+                    ++stats_.delivered;
+                    stats_.wire_bytes_delivered += wire_bytes;
+                    if (deliver_) deliver_(std::move(dgram));
+                  });
+  });
+}
+
+void DatagramSocket::Send(Address dst, std::vector<std::uint8_t> payload) {
+  net_.Send(Datagram{local_, dst, std::move(payload)});
+}
+
+Link* Network::AddLink(Address from, Address to, const LinkConfig& config) {
+  auto link = std::make_unique<Link>(sim_, config, rng_.Fork());
+  Link* raw = link.get();
+  raw->SetDeliveryHandler([this](Datagram&& d) { Deliver(std::move(d)); });
+  auto [it, inserted] =
+      links_by_src_.emplace(from, LinkEnds{std::move(link), to});
+  if (!inserted) {
+    throw std::invalid_argument("interface already has an outgoing link");
+  }
+  return it->second.link.get();
+}
+
+std::pair<Link*, Link*> Network::AddDuplexLink(Address a, Address b,
+                                               const LinkConfig& a_to_b,
+                                               const LinkConfig& b_to_a) {
+  Link* fwd = AddLink(a, b, a_to_b);
+  Link* rev = AddLink(b, a, b_to_a);
+  return {fwd, rev};
+}
+
+DatagramSocket* Network::CreateSocket(Address local) {
+  auto socket =
+      std::unique_ptr<DatagramSocket>(new DatagramSocket(*this, local));
+  auto [it, inserted] = sockets_.emplace(local, std::move(socket));
+  if (!inserted) {
+    throw std::invalid_argument("address already bound");
+  }
+  return it->second.get();
+}
+
+Link* Network::FindLinkFrom(Address from) {
+  auto it = links_by_src_.find(from);
+  return it == links_by_src_.end() ? nullptr : it->second.link.get();
+}
+
+void Network::Send(Datagram dgram) {
+  auto it = links_by_src_.find(dgram.src);
+  if (it == links_by_src_.end()) {
+    MPQ_WARN(sim_.now(), "net", "no route from node %u iface %u",
+             dgram.src.node, dgram.src.iface);
+    return;
+  }
+  if (!(it->second.to == dgram.dst)) {
+    // Disjoint-path topology: an interface reaches exactly one peer
+    // address. A mismatched destination is unroutable.
+    MPQ_WARN(sim_.now(), "net", "unroutable dst node %u iface %u",
+             dgram.dst.node, dgram.dst.iface);
+    return;
+  }
+  it->second.link->Transmit(std::move(dgram));
+}
+
+void Network::Deliver(Datagram&& dgram) {
+  auto it = sockets_.find(dgram.dst);
+  if (it == sockets_.end()) return;  // no listener: silently dropped
+  if (it->second->receive_) it->second->receive_(dgram);
+}
+
+}  // namespace mpq::sim

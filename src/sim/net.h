@@ -1,0 +1,185 @@
+// Simulated network: addresses, datagrams, links and sockets.
+//
+// The model mirrors what the paper configures in Mininet per path
+// (Table 1): link capacity, propagation delay (RTT/2 per direction), a
+// drop-tail queue sized by the maximum queuing delay (the "bufferbloat"
+// factor), and Bernoulli random loss on the wire. Datagrams are real byte
+// buffers; transmission time is computed from their true size plus a
+// configurable per-packet header overhead (IP+UDP or IP+TCP).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace mpq::sim {
+
+/// (node, interface) pair. One interface has exactly one outgoing link in
+/// the topologies used here (disjoint paths), so an Address fully
+/// determines the route.
+struct Address {
+  std::uint16_t node = 0;
+  std::uint16_t iface = 0;
+
+  friend bool operator==(const Address&, const Address&) = default;
+};
+
+struct AddressHash {
+  std::size_t operator()(const Address& a) const {
+    return (std::size_t{a.node} << 16) | a.iface;
+  }
+};
+
+struct Datagram {
+  Address src;
+  Address dst;
+  std::vector<std::uint8_t> payload;
+};
+
+struct LinkConfig {
+  double capacity_mbps = 10.0;
+  Duration propagation_delay = 10 * kMillisecond;
+  /// Drop-tail queue capacity in bytes (includes the packet being
+  /// transmitted). Derived from Table 1's queuing-delay factor as
+  /// capacity * max_queuing_delay; clamped to at least 2 full-size packets
+  /// so a link can always make progress.
+  ByteCount queue_capacity_bytes = 64 * 1024;
+  /// Probability that a packet that made it through the queue is lost on
+  /// the wire (wireless-style random loss, Table 1's loss factor).
+  double random_loss_rate = 0.0;
+  /// Per-packet extra propagation delay, uniform in [0, jitter]. Values
+  /// larger than a packet's serialization gap reorder packets in flight —
+  /// not part of Table 1, but useful for stressing loss detection
+  /// (QUIC's packet threshold, TCP's dupack threshold).
+  Duration jitter = 0;
+  /// Lower-layer header bytes charged per datagram on the wire
+  /// (IP+UDP = 28 for QUIC, IP = 20 for the TCP model whose own header is
+  /// already part of the datagram).
+  ByteCount per_packet_overhead = 28;
+};
+
+/// Unidirectional point-to-point link with a drop-tail queue.
+class Link {
+ public:
+  using DeliveryHandler = std::function<void(Datagram&&)>;
+
+  Link(Simulator& sim, LinkConfig config, Rng rng);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  void SetDeliveryHandler(DeliveryHandler handler) {
+    deliver_ = std::move(handler);
+  }
+
+  /// Offer a datagram to the link. It is queued if there is room and
+  /// silently dropped otherwise (counted in stats).
+  void Transmit(Datagram dgram);
+
+  /// Change the random loss rate mid-simulation — used by the handover
+  /// scenario where the initial path "becomes completely lossy" at t=3 s.
+  void SetRandomLossRate(double rate) { config_.random_loss_rate = rate; }
+
+  const LinkConfig& config() const { return config_; }
+
+  struct Stats {
+    std::uint64_t offered = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped_queue_full = 0;
+    std::uint64_t dropped_random = 0;
+    ByteCount wire_bytes_delivered = 0;
+    /// Highest queue occupancy seen, in bytes (bufferbloat diagnostics).
+    ByteCount max_queue_bytes = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Serialization delay of `wire_bytes` at the configured capacity.
+  Duration TransmissionTime(ByteCount wire_bytes) const;
+
+ private:
+  Simulator& sim_;
+  LinkConfig config_;
+  Rng rng_;
+  DeliveryHandler deliver_;
+  TimePoint busy_until_ = 0;
+  ByteCount queued_bytes_ = 0;
+  Stats stats_;
+};
+
+class Node;
+
+/// An endpoint handle bound to one local Address. Protocol stacks use this
+/// exactly like a UDP socket: Send() and a receive callback.
+class DatagramSocket {
+ public:
+  using ReceiveHandler = std::function<void(const Datagram&)>;
+
+  Address local_address() const { return local_; }
+  void SetReceiveHandler(ReceiveHandler handler) {
+    receive_ = std::move(handler);
+  }
+  /// Send `payload` from this socket's interface to `dst`.
+  void Send(Address dst, std::vector<std::uint8_t> payload);
+
+ private:
+  friend class Network;
+  DatagramSocket(class Network& net, Address local)
+      : net_(net), local_(local) {}
+
+  Network& net_;
+  Address local_;
+  ReceiveHandler receive_;
+};
+
+/// Owns links and sockets; routes datagrams. Routing is by source
+/// interface: each (node, iface) has at most one outgoing link.
+class Network {
+ public:
+  Network(Simulator& sim, Rng rng) : sim_(sim), rng_(rng) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Create a unidirectional link from `from` to `to`. Returns a stable
+  /// pointer owned by the network.
+  Link* AddLink(Address from, Address to, const LinkConfig& config);
+
+  /// Convenience: a link in each direction with per-direction configs.
+  std::pair<Link*, Link*> AddDuplexLink(Address a, Address b,
+                                        const LinkConfig& a_to_b,
+                                        const LinkConfig& b_to_a);
+
+  /// Bind a socket at `local`. At most one socket per address; rebinding
+  /// an in-use address is a setup error and throws.
+  DatagramSocket* CreateSocket(Address local);
+
+  /// Remove the socket bound at `local` (endpoint teardown).
+  void CloseSocket(Address local) { sockets_.erase(local); }
+
+  Link* FindLinkFrom(Address from);
+
+  Simulator& simulator() { return sim_; }
+
+ private:
+  friend class DatagramSocket;
+  void Send(Datagram dgram);
+  void Deliver(Datagram&& dgram);
+
+  Simulator& sim_;
+  Rng rng_;
+  struct LinkEnds {
+    std::unique_ptr<Link> link;
+    Address to;
+  };
+  std::unordered_map<Address, LinkEnds, AddressHash> links_by_src_;
+  std::unordered_map<Address, std::unique_ptr<DatagramSocket>, AddressHash>
+      sockets_;
+};
+
+}  // namespace mpq::sim

@@ -1,0 +1,45 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace mpq::sim {
+
+Simulator::EventId Simulator::ScheduleAt(TimePoint when, Callback fn) {
+  if (when < now_) when = now_;
+  const EventId id = next_id_++;
+  pending_.emplace(id, Event{when, id, std::move(fn)});
+  queue_.push(HeapEntry{when, id});
+  return id;
+}
+
+void Simulator::Cancel(EventId id) { pending_.erase(id); }
+
+bool Simulator::RunOne(TimePoint until) {
+  while (!queue_.empty()) {
+    const HeapEntry top = queue_.top();
+    auto it = pending_.find(top.id);
+    if (it == pending_.end()) {
+      queue_.pop();  // cancelled; discard the stale heap entry
+      continue;
+    }
+    if (top.when > until) return false;
+    queue_.pop();
+    // Move the callback out before erasing so the callback may freely
+    // schedule/cancel (including rescheduling its own id, which is gone).
+    Callback fn = std::move(it->second.fn);
+    now_ = top.when;
+    pending_.erase(it);
+    ++events_executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulator::Run(TimePoint until) {
+  std::uint64_t executed = 0;
+  while (RunOne(until)) ++executed;
+  return executed;
+}
+
+}  // namespace mpq::sim

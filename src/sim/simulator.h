@@ -1,0 +1,85 @@
+// Deterministic discrete-event simulator.
+//
+// This is the substrate that replaces the paper's Mininet testbed. All
+// protocol stacks in this repository are event-driven state machines wired
+// to a Simulator: link transmissions, propagation delays and protocol
+// timers are all events on one queue, executed in strict timestamp order
+// (FIFO among equal timestamps), so every run is exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mpq::sim {
+
+class Simulator {
+ public:
+  using EventId = std::uint64_t;
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimePoint now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` microseconds from now (delay < 0 is
+  /// clamped to 0). Returns an id usable with Cancel().
+  EventId Schedule(Duration delay, Callback fn) {
+    return ScheduleAt(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  /// Schedule `fn` at absolute time `when` (clamped to now).
+  EventId ScheduleAt(TimePoint when, Callback fn);
+
+  /// Cancel a pending event. Cancelling an already-fired or unknown id is
+  /// a harmless no-op (protocol timers race with the events that clear
+  /// them; this mirrors how timer APIs behave in real stacks).
+  void Cancel(EventId id);
+
+  /// Run until the queue is empty or simulated time would exceed `until`.
+  /// Returns the number of events executed.
+  std::uint64_t Run(TimePoint until = kTimeInfinite);
+
+  /// Execute exactly one runnable event. Returns false if the queue is
+  /// empty or the next event is later than `until`.
+  bool RunOne(TimePoint until = kTimeInfinite);
+
+  bool empty() const { return pending_.empty(); }
+  std::uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  struct Event {
+    TimePoint when = 0;
+    EventId id = 0;  // monotonic; provides FIFO tie-breaking at equal times
+    Callback fn;
+  };
+  struct HeapEntry {
+    TimePoint when;
+    EventId id;
+  };
+  struct HeapCompare {
+    // std::priority_queue is a max-heap; invert for earliest-first and
+    // lowest-id-first among equal timestamps.
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;
+    }
+  };
+
+  TimePoint now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t events_executed_ = 0;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapCompare> queue_;
+  // Cancellation removes from this map; stale heap entries are skipped on
+  // pop. The heap never holds more stale entries than were cancelled.
+  std::unordered_map<EventId, Event> pending_;
+};
+
+}  // namespace mpq::sim

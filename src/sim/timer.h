@@ -1,0 +1,58 @@
+// One-shot rearmable timer — the idiom every protocol module uses for
+// retransmission timeouts, delayed ACKs, idle timers, etc.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace mpq::sim {
+
+/// Wraps a Simulator event with set/reset/cancel semantics. The timer does
+/// not own its callback's context; the owner must outlive any armed timer
+/// (owners cancel in their destructors via RAII here).
+class Timer {
+ public:
+  Timer(Simulator& sim, std::function<void()> callback)
+      : sim_(sim), callback_(std::move(callback)) {}
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  ~Timer() { Cancel(); }
+
+  /// Arm (or re-arm) the timer to fire at absolute time `when`.
+  void SetAt(TimePoint when) {
+    Cancel();
+    deadline_ = when;
+    event_ = sim_.ScheduleAt(when, [this] {
+      event_ = 0;
+      deadline_ = kTimeInfinite;
+      callback_();
+    });
+  }
+
+  /// Arm (or re-arm) the timer to fire `delay` from now.
+  void SetIn(Duration delay) { SetAt(sim_.now() + (delay < 0 ? 0 : delay)); }
+
+  void Cancel() {
+    if (event_ != 0) {
+      sim_.Cancel(event_);
+      event_ = 0;
+      deadline_ = kTimeInfinite;
+    }
+  }
+
+  bool armed() const { return event_ != 0; }
+  TimePoint deadline() const { return deadline_; }
+
+ private:
+  Simulator& sim_;
+  std::function<void()> callback_;
+  Simulator::EventId event_ = 0;
+  TimePoint deadline_ = kTimeInfinite;
+};
+
+}  // namespace mpq::sim

@@ -1,0 +1,33 @@
+#include "sim/topology.h"
+
+namespace mpq::sim {
+
+ByteCount QueueCapacityBytes(double capacity_mbps, Duration max_queue_delay) {
+  const double bytes_per_us = capacity_mbps * 1e6 / 8.0 / 1e6;
+  return static_cast<ByteCount>(bytes_per_us *
+                                static_cast<double>(max_queue_delay));
+}
+
+TwoPathTopology BuildTwoPathTopology(
+    Network& net, const std::array<PathParams, 2>& paths) {
+  TwoPathTopology topo;
+  for (std::uint16_t i = 0; i < 2; ++i) {
+    topo.client_addr[i] = Address{kClientNode, i};
+    topo.server_addr[i] = Address{kServerNode, i};
+    LinkConfig config;
+    config.capacity_mbps = paths[i].capacity_mbps;
+    config.propagation_delay = paths[i].rtt / 2;
+    config.queue_capacity_bytes =
+        QueueCapacityBytes(paths[i].capacity_mbps, paths[i].max_queue_delay);
+    config.random_loss_rate = paths[i].random_loss_rate;
+    config.jitter = paths[i].jitter;
+    config.per_packet_overhead = paths[i].per_packet_overhead;
+    auto [fwd, rev] = net.AddDuplexLink(topo.client_addr[i],
+                                        topo.server_addr[i], config, config);
+    topo.forward[i] = fwd;
+    topo.backward[i] = rev;
+  }
+  return topo;
+}
+
+}  // namespace mpq::sim

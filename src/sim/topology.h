@@ -1,0 +1,49 @@
+// The evaluation topology of the paper (Fig. 2): two multihomed hosts —
+// client and server — connected by two disjoint paths with independent
+// characteristics. Path i joins client interface i to server interface i.
+#pragma once
+
+#include <array>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/net.h"
+#include "sim/simulator.h"
+
+namespace mpq::sim {
+
+/// Per-path parameters, matching Table 1's factors. `rtt` is the two-way
+/// propagation delay (split evenly per direction); `max_queue_delay`
+/// sizes the drop-tail queue as capacity * delay (bufferbloat knob);
+/// `random_loss_rate` applies independently in each direction.
+struct PathParams {
+  double capacity_mbps = 10.0;
+  Duration rtt = 30 * kMillisecond;
+  Duration max_queue_delay = 50 * kMillisecond;
+  double random_loss_rate = 0.0;
+  /// Optional per-packet delay jitter (reordering stressor; 0 in the
+  /// paper's Table-1 scenarios).
+  Duration jitter = 0;
+  ByteCount per_packet_overhead = 28;
+};
+
+inline constexpr std::uint16_t kClientNode = 1;
+inline constexpr std::uint16_t kServerNode = 2;
+
+struct TwoPathTopology {
+  /// client_addr[i] / server_addr[i] are the endpoints of path i.
+  std::array<Address, 2> client_addr;
+  std::array<Address, 2> server_addr;
+  /// forward[i]: client -> server on path i; backward[i]: the reverse.
+  std::array<Link*, 2> forward{};
+  std::array<Link*, 2> backward{};
+};
+
+/// Derive the queue capacity from capacity and max queuing delay.
+ByteCount QueueCapacityBytes(double capacity_mbps, Duration max_queue_delay);
+
+/// Build the Fig. 2 topology in `net` from two PathParams.
+TwoPathTopology BuildTwoPathTopology(Network& net,
+                                     const std::array<PathParams, 2>& paths);
+
+}  // namespace mpq::sim

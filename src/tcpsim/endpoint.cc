@@ -1,0 +1,102 @@
+#include "tcpsim/endpoint.h"
+
+namespace mpq::tcp {
+
+TcpClientEndpoint::TcpClientEndpoint(sim::Simulator& sim, sim::Network& net,
+                                     std::vector<sim::Address> locals,
+                                     const TcpConfig& config,
+                                     std::uint64_t seed)
+    : net_(net), locals_(std::move(locals)) {
+  std::vector<sim::DatagramSocket*> sockets;
+  sockets.reserve(locals_.size());
+  for (const auto& addr : locals_) {
+    sockets.push_back(net_.CreateSocket(addr));
+  }
+  Rng rng(seed);
+  const std::uint64_t cid = rng.NextU64() | 1;
+  auto send = [sockets, locals = locals_](sim::Address local,
+                                          sim::Address remote,
+                                          std::vector<std::uint8_t> payload) {
+    for (std::size_t i = 0; i < locals.size(); ++i) {
+      if (locals[i] == local) {
+        sockets[i]->Send(remote, std::move(payload));
+        return;
+      }
+    }
+  };
+  connection_ = std::make_unique<TcpConnection>(
+      sim, TcpPerspective::kClient, cid, config, std::move(send));
+  for (auto* socket : sockets) {
+    socket->SetReceiveHandler([this](const sim::Datagram& datagram) {
+      BufReader reader(datagram.payload);
+      TcpSegment segment;
+      if (!DecodeSegment(reader, segment)) return;
+      if (segment.cid != connection_->cid()) return;
+      connection_->OnSegment(segment, datagram);
+    });
+  }
+}
+
+TcpClientEndpoint::~TcpClientEndpoint() {
+  for (const auto& addr : locals_) net_.CloseSocket(addr);
+}
+
+void TcpClientEndpoint::Connect(std::vector<sim::Address> remotes) {
+  connection_->Connect(locals_, std::move(remotes));
+}
+
+// ---------------------------------------------------------------------------
+
+TcpServerEndpoint::TcpServerEndpoint(sim::Simulator& sim, sim::Network& net,
+                                     std::vector<sim::Address> locals,
+                                     const TcpConfig& config,
+                                     std::uint64_t seed)
+    : sim_(sim),
+      net_(net),
+      locals_(std::move(locals)),
+      config_(config),
+      rng_(seed) {
+  for (const auto& addr : locals_) {
+    sim::DatagramSocket* socket = net_.CreateSocket(addr);
+    sockets_.emplace_back(addr, socket);
+    socket->SetReceiveHandler(
+        [this](const sim::Datagram& datagram) { OnDatagram(datagram); });
+  }
+}
+
+TcpServerEndpoint::~TcpServerEndpoint() {
+  for (const auto& [addr, socket] : sockets_) net_.CloseSocket(addr);
+}
+
+TcpConnection* TcpServerEndpoint::FindConnection(std::uint64_t cid) {
+  auto it = connections_.find(cid);
+  return it == connections_.end() ? nullptr : it->second.get();
+}
+
+void TcpServerEndpoint::OnDatagram(const sim::Datagram& datagram) {
+  BufReader reader(datagram.payload);
+  TcpSegment segment;
+  if (!DecodeSegment(reader, segment)) return;
+
+  auto it = connections_.find(segment.cid);
+  if (it == connections_.end()) {
+    if (!segment.has(kFlagSyn)) return;  // only a SYN opens a connection
+    auto send = [this](sim::Address local, sim::Address remote,
+                       std::vector<std::uint8_t> payload) {
+      for (const auto& [addr, socket] : sockets_) {
+        if (addr == local) {
+          socket->Send(remote, std::move(payload));
+          return;
+        }
+      }
+    };
+    auto connection = std::make_unique<TcpConnection>(
+        sim_, TcpPerspective::kServer, segment.cid, config_, std::move(send));
+    connection->SetLocalAddresses(locals_);
+    if (on_accept_) on_accept_(*connection);
+    it = connections_.emplace(segment.cid, std::move(connection)).first;
+  }
+  it->second->OnSegment(segment, datagram);
+}
+
+}  // namespace mpq::tcp

@@ -1,0 +1,68 @@
+// TCP/MPTCP endpoints binding the baseline stack to simulator sockets.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/net.h"
+#include "sim/simulator.h"
+#include "tcpsim/connection.h"
+
+namespace mpq::tcp {
+
+class TcpClientEndpoint {
+ public:
+  TcpClientEndpoint(sim::Simulator& sim, sim::Network& net,
+                    std::vector<sim::Address> locals, const TcpConfig& config,
+                    std::uint64_t seed);
+  ~TcpClientEndpoint();
+
+  TcpClientEndpoint(const TcpClientEndpoint&) = delete;
+  TcpClientEndpoint& operator=(const TcpClientEndpoint&) = delete;
+
+  /// `remotes[i]` is the server address reachable from `locals[i]`.
+  void Connect(std::vector<sim::Address> remotes);
+
+  TcpConnection& connection() { return *connection_; }
+
+ private:
+  sim::Network& net_;
+  std::vector<sim::Address> locals_;
+  std::unique_ptr<TcpConnection> connection_;
+};
+
+class TcpServerEndpoint {
+ public:
+  using AcceptHandler = std::function<void(TcpConnection&)>;
+
+  TcpServerEndpoint(sim::Simulator& sim, sim::Network& net,
+                    std::vector<sim::Address> locals, const TcpConfig& config,
+                    std::uint64_t seed);
+  ~TcpServerEndpoint();
+
+  TcpServerEndpoint(const TcpServerEndpoint&) = delete;
+  TcpServerEndpoint& operator=(const TcpServerEndpoint&) = delete;
+
+  void SetAcceptHandler(AcceptHandler handler) {
+    on_accept_ = std::move(handler);
+  }
+  std::size_t connection_count() const { return connections_.size(); }
+  TcpConnection* FindConnection(std::uint64_t cid);
+
+ private:
+  void OnDatagram(const sim::Datagram& datagram);
+
+  sim::Simulator& sim_;
+  sim::Network& net_;
+  std::vector<sim::Address> locals_;
+  TcpConfig config_;
+  Rng rng_;
+  AcceptHandler on_accept_;
+  std::vector<std::pair<sim::Address, sim::DatagramSocket*>> sockets_;
+  std::map<std::uint64_t, std::unique_ptr<TcpConnection>> connections_;
+};
+
+}  // namespace mpq::tcp

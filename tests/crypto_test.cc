@@ -1,0 +1,252 @@
+// Crypto tests: ChaCha20 against the RFC 8439 vectors, SipHash-2-4 against
+// the reference vectors, AEAD seal/open properties (tamper detection,
+// path-id nonce separation), and key-schedule sanity.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include "common/buf.h"
+#include "crypto/aead.h"
+#include "crypto/chacha20.h"
+#include "crypto/siphash.h"
+
+namespace mpq::crypto {
+namespace {
+
+ChaChaKey SequentialKey() {
+  ChaChaKey key;
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<std::uint8_t>(i);
+  }
+  return key;
+}
+
+TEST(ChaCha20, Rfc8439BlockVector) {
+  // RFC 8439 §2.3.2.
+  const ChaChaKey key = SequentialKey();
+  const ChaChaNonce nonce = {0x00, 0x00, 0x00, 0x09, 0x00, 0x00,
+                             0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  std::array<std::uint8_t, kChaChaBlockSize> block;
+  ChaCha20Block(key, 1, nonce, block);
+  const std::uint8_t expected[kChaChaBlockSize] = {
+      0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15, 0x50, 0x0f, 0xdd,
+      0x1f, 0xa3, 0x20, 0x71, 0xc4, 0xc7, 0xd1, 0xf4, 0xc7, 0x33, 0xc0,
+      0x68, 0x03, 0x04, 0x22, 0xaa, 0x9a, 0xc3, 0xd4, 0x6c, 0x4e, 0xd2,
+      0x82, 0x64, 0x46, 0x07, 0x9f, 0xaa, 0x09, 0x14, 0xc2, 0xd7, 0x05,
+      0xd9, 0x8b, 0x02, 0xa2, 0xb5, 0x12, 0x9c, 0xd1, 0xde, 0x16, 0x4e,
+      0xb9, 0xcb, 0xd0, 0x83, 0xe8, 0xa2, 0x50, 0x3c, 0x4e};
+  EXPECT_EQ(std::memcmp(block.data(), expected, sizeof(expected)), 0)
+      << "got " << mpq::ToHex(block);
+}
+
+TEST(ChaCha20, Rfc8439EncryptionVector) {
+  // RFC 8439 §2.4.2.
+  const ChaChaKey key = SequentialKey();
+  const ChaChaNonce nonce = {0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+                             0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  const char* text =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  std::vector<std::uint8_t> data(text, text + std::strlen(text));
+  ChaCha20Xor(key, 1, nonce, data);
+  const char* expected_hex =
+      "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+      "f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"
+      "07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736"
+      "5af90bbf74a35be6b40b8eedf2785e42874d";
+  EXPECT_EQ(mpq::ToHex(data), expected_hex);
+}
+
+TEST(ChaCha20, XorIsItsOwnInverse) {
+  const ChaChaKey key = SequentialKey();
+  const ChaChaNonce nonce = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  std::vector<std::uint8_t> data(1000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  const std::vector<std::uint8_t> original = data;
+  ChaCha20Xor(key, 1, nonce, data);
+  EXPECT_NE(data, original);
+  ChaCha20Xor(key, 1, nonce, data);
+  EXPECT_EQ(data, original);
+}
+
+TEST(ChaCha20, NonMultipleOfBlockLengths) {
+  const ChaChaKey key = SequentialKey();
+  const ChaChaNonce nonce{};
+  for (std::size_t len : {0u, 1u, 63u, 64u, 65u, 127u, 128u, 200u}) {
+    std::vector<std::uint8_t> data(len, 0xAA);
+    const auto original = data;
+    ChaCha20Xor(key, 0, nonce, data);
+    ChaCha20Xor(key, 0, nonce, data);
+    EXPECT_EQ(data, original) << "len " << len;
+  }
+}
+
+TEST(SipHash24, ReferenceVectors) {
+  // Vectors from the SipHash reference implementation: key = 00..0f,
+  // message = 00,01,...,len-1.
+  SipHashKey key;
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<std::uint8_t>(i);
+  }
+  struct Case {
+    std::size_t len;
+    std::uint64_t expected;
+  };
+  const Case cases[] = {
+      {0, 0x726fdb47dd0e0e31ULL}, {1, 0x74f839c593dc67fdULL},
+      {2, 0x0d6c8009d9a94f5aULL}, {3, 0x85676696d7fb7e2dULL},
+      {4, 0xcf2794e0277187b7ULL}, {8, 0x93f5f5799a932462ULL},
+  };
+  for (const auto& c : cases) {
+    std::vector<std::uint8_t> msg(c.len);
+    for (std::size_t i = 0; i < c.len; ++i) {
+      msg[i] = static_cast<std::uint8_t>(i);
+    }
+    EXPECT_EQ(SipHash24(key, msg), c.expected) << "len " << c.len;
+  }
+}
+
+TEST(SipHash24, KeySensitivity) {
+  SipHashKey k1{}, k2{};
+  k2[0] = 1;
+  const std::uint8_t msg[] = {1, 2, 3};
+  EXPECT_NE(SipHash24(k1, msg), SipHash24(k2, msg));
+}
+
+// ---------------------------------------------------------------------------
+// Key schedule
+
+TEST(Kdf32, LabelsSeparateOutputs) {
+  const std::uint8_t secret[] = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_NE(Kdf32(secret, "a"), Kdf32(secret, "b"));
+  EXPECT_EQ(Kdf32(secret, "a"), Kdf32(secret, "a"));
+}
+
+TEST(Kdf32, SecretsSeparateOutputs) {
+  const std::uint8_t s1[] = {1, 2, 3};
+  const std::uint8_t s2[] = {1, 2, 4};
+  EXPECT_NE(Kdf32(s1, "x"), Kdf32(s2, "x"));
+}
+
+TEST(Kdf32, LongSecretTailMatters) {
+  // Bytes past the first 16 (the SipHash key part) must still influence
+  // the output via the message path.
+  std::vector<std::uint8_t> s1(24, 7), s2(24, 7);
+  s2[20] = 9;
+  EXPECT_NE(Kdf32(s1, "x"), Kdf32(s2, "x"));
+}
+
+TEST(SessionKeys, DirectionsDifferAndDeriveDeterministically) {
+  const std::uint8_t cn[] = {1, 1, 1, 1};
+  const std::uint8_t sn[] = {2, 2, 2, 2};
+  const std::uint8_t cfg[] = {3, 3, 3, 3};
+  const SessionKeys a = DeriveSessionKeys(cn, sn, cfg);
+  const SessionKeys b = DeriveSessionKeys(cn, sn, cfg);
+  EXPECT_EQ(a.client_to_server, b.client_to_server);
+  EXPECT_EQ(a.server_to_client, b.server_to_client);
+  EXPECT_NE(a.client_to_server, a.server_to_client);
+}
+
+// ---------------------------------------------------------------------------
+// AEAD packet protection
+
+TEST(PacketProtection, SealOpenRoundTrip) {
+  PacketProtection prot(SequentialKey());
+  const std::uint8_t aad[] = {9, 9, 9};
+  std::vector<std::uint8_t> plain(500);
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    plain[i] = static_cast<std::uint8_t>(i);
+  }
+  const auto sealed = prot.Seal(1, 42, aad, plain);
+  EXPECT_EQ(sealed.size(), plain.size() + kAeadTagSize);
+  std::vector<std::uint8_t> opened;
+  ASSERT_TRUE(prot.Open(1, 42, aad, sealed, opened));
+  EXPECT_EQ(opened, plain);
+}
+
+TEST(PacketProtection, TamperedCiphertextRejected) {
+  PacketProtection prot(SequentialKey());
+  const std::uint8_t aad[] = {1};
+  const std::uint8_t plain[] = {10, 20, 30, 40};
+  auto sealed = prot.Seal(0, 7, aad, plain);
+  sealed[1] ^= 0x80;
+  std::vector<std::uint8_t> opened;
+  EXPECT_FALSE(prot.Open(0, 7, aad, sealed, opened));
+}
+
+TEST(PacketProtection, TamperedAadRejected) {
+  PacketProtection prot(SequentialKey());
+  const std::uint8_t aad[] = {1, 2};
+  const std::uint8_t bad_aad[] = {1, 3};
+  const std::uint8_t plain[] = {10, 20, 30};
+  const auto sealed = prot.Seal(0, 7, aad, plain);
+  std::vector<std::uint8_t> opened;
+  EXPECT_FALSE(prot.Open(0, 7, bad_aad, sealed, opened));
+}
+
+TEST(PacketProtection, WrongPacketNumberRejected) {
+  PacketProtection prot(SequentialKey());
+  const std::uint8_t aad[] = {1};
+  const std::uint8_t plain[] = {10};
+  const auto sealed = prot.Seal(0, 7, aad, plain);
+  std::vector<std::uint8_t> opened;
+  EXPECT_FALSE(prot.Open(0, 8, aad, sealed, opened));
+}
+
+TEST(PacketProtection, PathIdSeparatesNonces) {
+  // The paper's §3 security note: the same packet number on two paths
+  // must not produce the same keystream. Seal the same plaintext with the
+  // same PN on two paths and check the ciphertexts differ; opening with
+  // the wrong path id must fail.
+  PacketProtection prot(SequentialKey());
+  const std::uint8_t aad[] = {5};
+  const std::uint8_t plain[] = {1, 2, 3, 4, 5, 6, 7, 8};
+  const auto sealed_p0 = prot.Seal(0, 1, aad, plain);
+  const auto sealed_p1 = prot.Seal(1, 1, aad, plain);
+  EXPECT_NE(sealed_p0, sealed_p1);
+  std::vector<std::uint8_t> opened;
+  EXPECT_FALSE(prot.Open(1, 1, aad, sealed_p0, opened));
+  EXPECT_TRUE(prot.Open(0, 1, aad, sealed_p0, opened));
+}
+
+TEST(PacketProtection, TruncatedInputRejected) {
+  PacketProtection prot(SequentialKey());
+  std::vector<std::uint8_t> opened;
+  const std::uint8_t tiny[] = {1, 2, 3};  // shorter than the tag
+  EXPECT_FALSE(prot.Open(0, 1, {}, tiny, opened));
+}
+
+TEST(PacketProtection, EmptyPlaintextWorks) {
+  PacketProtection prot(SequentialKey());
+  const auto sealed = prot.Seal(2, 9, {}, {});
+  EXPECT_EQ(sealed.size(), kAeadTagSize);
+  std::vector<std::uint8_t> opened{1, 2, 3};
+  ASSERT_TRUE(prot.Open(2, 9, {}, sealed, opened));
+  EXPECT_TRUE(opened.empty());
+}
+
+class AeadLengthSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AeadLengthSweep, RoundTripAtLength) {
+  PacketProtection prot(SequentialKey());
+  std::vector<std::uint8_t> plain(GetParam());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    plain[i] = static_cast<std::uint8_t>(i * 13);
+  }
+  const std::uint8_t aad[] = {0xAB, 0xCD};
+  const auto sealed = prot.Seal(3, GetParam() + 1, aad, plain);
+  std::vector<std::uint8_t> opened;
+  ASSERT_TRUE(prot.Open(3, GetParam() + 1, aad, sealed, opened));
+  EXPECT_EQ(opened, plain);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, AeadLengthSweep,
+                         ::testing::Values(0, 1, 15, 16, 63, 64, 65, 500,
+                                           1350));
+
+}  // namespace
+}  // namespace mpq::crypto

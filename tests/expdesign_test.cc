@@ -1,0 +1,154 @@
+// Tests for the WSP experimental design and the Table-1 scenario
+// generator: determinism, space-filling properties, range mapping, and
+// class parameterisation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "expdesign/scenarios.h"
+#include "expdesign/wsp.h"
+
+namespace mpq::expdesign {
+namespace {
+
+TEST(Wsp, SelectRespectsMinimumDistance) {
+  std::vector<Point> candidates = {
+      {0.5, 0.5}, {0.52, 0.5}, {0.9, 0.9}, {0.1, 0.1}, {0.5, 0.9}};
+  const auto selected = WspSelect(candidates, 0.1);
+  // The two nearly-identical points must not both be selected.
+  int close_pair = 0;
+  for (std::size_t i : selected) {
+    if (i == 0 || i == 1) ++close_pair;
+  }
+  EXPECT_EQ(close_pair, 1);
+}
+
+TEST(Wsp, ZeroDistanceSelectsEverything) {
+  std::vector<Point> candidates = {{0.1, 0.1}, {0.2, 0.2}, {0.3, 0.3}};
+  EXPECT_EQ(WspSelect(candidates, 0.0).size(), 3u);
+}
+
+TEST(Wsp, HugeDistanceSelectsOne) {
+  std::vector<Point> candidates = {{0.1, 0.1}, {0.2, 0.2}, {0.9, 0.9}};
+  EXPECT_EQ(WspSelect(candidates, 10.0).size(), 1u);
+}
+
+TEST(Wsp, DesignHasExactCountAndIsDeterministic) {
+  const auto a = WspDesign(4, 100, 42);
+  const auto b = WspDesign(4, 100, 42);
+  ASSERT_EQ(a.size(), 100u);
+  EXPECT_EQ(a, b);
+  const auto c = WspDesign(4, 100, 43);
+  EXPECT_NE(a, c);
+}
+
+TEST(Wsp, DesignCoordinatesInUnitCube) {
+  const auto design = WspDesign(6, 253, 7);
+  for (const Point& p : design) {
+    ASSERT_EQ(p.size(), 6u);
+    for (double x : p) {
+      ASSERT_GE(x, 0.0);
+      ASSERT_LT(x, 1.0);
+    }
+  }
+}
+
+TEST(Wsp, SpaceFillingBeatsRandomSubset) {
+  // The WSP design's minimum pairwise distance must comfortably exceed
+  // that of a plain random sample of the same size (the whole point of
+  // the algorithm).
+  const auto design = WspDesign(4, 64, 11);
+  Rng rng(11);
+  std::vector<Point> random(64, Point(4));
+  for (auto& p : random) {
+    for (auto& x : p) x = rng.NextDouble();
+  }
+  EXPECT_GT(MinPairwiseDistance(design),
+            2.0 * MinPairwiseDistance(random));
+}
+
+TEST(Wsp, InvalidArgumentsThrow) {
+  EXPECT_THROW(WspDesign(0, 10, 1), std::invalid_argument);
+  EXPECT_THROW(WspDesign(3, 0, 1), std::invalid_argument);
+}
+
+TEST(Scenarios, RangesMatchTable1) {
+  const FactorRanges low = RangesFor(ScenarioClass::kLowBdpNoLoss);
+  EXPECT_DOUBLE_EQ(low.capacity_min_mbps, 0.1);
+  EXPECT_DOUBLE_EQ(low.capacity_max_mbps, 100.0);
+  EXPECT_EQ(low.rtt_max, 50 * kMillisecond);
+  EXPECT_EQ(low.queue_max, 100 * kMillisecond);
+  EXPECT_FALSE(low.lossy);
+
+  const FactorRanges high = RangesFor(ScenarioClass::kHighBdpLosses);
+  EXPECT_EQ(high.rtt_max, 400 * kMillisecond);
+  EXPECT_EQ(high.queue_max, 2000 * kMillisecond);
+  EXPECT_TRUE(high.lossy);
+  EXPECT_DOUBLE_EQ(high.loss_max, 0.025);
+}
+
+class ScenarioClassSweep : public ::testing::TestWithParam<ScenarioClass> {};
+
+TEST_P(ScenarioClassSweep, GeneratedScenariosWithinRanges) {
+  const FactorRanges ranges = RangesFor(GetParam());
+  const auto scenarios = GenerateScenarios(GetParam(), 100, 5);
+  ASSERT_EQ(scenarios.size(), 100u);
+  for (const auto& scenario : scenarios) {
+    for (const auto& path : scenario.paths) {
+      EXPECT_GE(path.capacity_mbps, ranges.capacity_min_mbps);
+      EXPECT_LE(path.capacity_mbps, ranges.capacity_max_mbps);
+      EXPECT_GE(path.rtt, ranges.rtt_min);
+      EXPECT_LE(path.rtt, ranges.rtt_max);
+      EXPECT_GE(path.max_queue_delay, ranges.queue_min);
+      EXPECT_LE(path.max_queue_delay, ranges.queue_max);
+      if (ranges.lossy) {
+        EXPECT_LE(path.random_loss_rate, ranges.loss_max);
+      } else {
+        EXPECT_DOUBLE_EQ(path.random_loss_rate, 0.0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClasses, ScenarioClassSweep,
+                         ::testing::Values(ScenarioClass::kLowBdpNoLoss,
+                                           ScenarioClass::kLowBdpLosses,
+                                           ScenarioClass::kHighBdpNoLoss,
+                                           ScenarioClass::kHighBdpLosses));
+
+TEST(Scenarios, CapacityIsLogDistributed) {
+  // Log-uniform sampling: roughly a third of capacities in each decade.
+  const auto scenarios =
+      GenerateScenarios(ScenarioClass::kLowBdpNoLoss, 253, 5);
+  int below_1 = 0, below_10 = 0, total = 0;
+  for (const auto& scenario : scenarios) {
+    for (const auto& path : scenario.paths) {
+      ++total;
+      if (path.capacity_mbps < 1.0) ++below_1;
+      if (path.capacity_mbps < 10.0) ++below_10;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(below_1) / total, 1.0 / 3.0, 0.12);
+  EXPECT_NEAR(static_cast<double>(below_10) / total, 2.0 / 3.0, 0.12);
+}
+
+TEST(Scenarios, PathsAreIndependentlyParameterised) {
+  const auto scenarios =
+      GenerateScenarios(ScenarioClass::kLowBdpNoLoss, 50, 5);
+  int different = 0;
+  for (const auto& scenario : scenarios) {
+    if (std::abs(scenario.paths[0].capacity_mbps -
+                 scenario.paths[1].capacity_mbps) > 1e-9) {
+      ++different;
+    }
+  }
+  EXPECT_GT(different, 45);  // virtually always heterogeneous
+}
+
+TEST(Scenarios, ClassNamesRoundTrip) {
+  EXPECT_EQ(ToString(ScenarioClass::kLowBdpNoLoss), "low-BDP-no-loss");
+  EXPECT_EQ(ToString(ScenarioClass::kHighBdpLosses), "high-BDP-losses");
+}
+
+}  // namespace
+}  // namespace mpq::expdesign

@@ -1,0 +1,245 @@
+// Tests for the experiment harness: the aggregation-benefit formula of
+// §4.1, run determinism, protocol plumbing, data integrity across all
+// four protocols and scenario classes, the handover workload, and the
+// figure-series computations.
+#include <gtest/gtest.h>
+
+#include "harness/figures.h"
+#include "harness/runner.h"
+
+namespace mpq::harness {
+namespace {
+
+std::array<sim::PathParams, 2> TestPaths(double cap0 = 10, double cap1 = 4,
+                                         double rtt0_ms = 30,
+                                         double rtt1_ms = 80,
+                                         double loss = 0.0) {
+  std::array<sim::PathParams, 2> paths;
+  paths[0].capacity_mbps = cap0;
+  paths[1].capacity_mbps = cap1;
+  paths[0].rtt = MillisToDuration(rtt0_ms);
+  paths[1].rtt = MillisToDuration(rtt1_ms);
+  for (auto& path : paths) {
+    path.max_queue_delay = 60 * kMillisecond;
+    path.random_loss_rate = loss;
+  }
+  return paths;
+}
+
+TEST(AggregationBenefit, PaperFormula) {
+  // Perfect aggregation: Gm = G1 + G2.
+  EXPECT_DOUBLE_EQ(ExperimentalAggregationBenefit(15, 10, 5), 1.0);
+  // Equal to the best single path.
+  EXPECT_DOUBLE_EQ(ExperimentalAggregationBenefit(10, 10, 5), 0.0);
+  // Half of the extra capacity realised.
+  EXPECT_DOUBLE_EQ(ExperimentalAggregationBenefit(12.5, 10, 5), 0.5);
+  // Worse than the best single path: scaled by Gmax.
+  EXPECT_DOUBLE_EQ(ExperimentalAggregationBenefit(5, 10, 5), -0.5);
+  // Total failure.
+  EXPECT_DOUBLE_EQ(ExperimentalAggregationBenefit(0, 10, 5), -1.0);
+  // Better than the sum (possible experimentally): > 1.
+  EXPECT_GT(ExperimentalAggregationBenefit(20, 10, 5), 1.0);
+}
+
+TEST(Runner, DeterministicForSameSeed) {
+  const auto paths = TestPaths();
+  TransferOptions options;
+  options.transfer_size = 512 * 1024;
+  options.seed = 99;
+  const TransferResult a = RunTransfer(Protocol::kMpquic, paths, options);
+  const TransferResult b = RunTransfer(Protocol::kMpquic, paths, options);
+  EXPECT_EQ(a.completion_time, b.completion_time);
+  EXPECT_EQ(a.bytes_received, b.bytes_received);
+}
+
+TEST(Runner, SeedChangesOutcomeUnderLoss) {
+  const auto paths = TestPaths(10, 4, 30, 80, /*loss=*/0.02);
+  TransferOptions options;
+  options.transfer_size = 512 * 1024;
+  options.seed = 1;
+  const TransferResult a = RunTransfer(Protocol::kQuic, paths, options);
+  options.seed = 2;
+  const TransferResult b = RunTransfer(Protocol::kQuic, paths, options);
+  EXPECT_NE(a.completion_time, b.completion_time);
+}
+
+class AllProtocols : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(AllProtocols, TransferCompletesWithIntactData) {
+  TransferOptions options;
+  options.transfer_size = 1024 * 1024;
+  options.seed = 5;
+  const TransferResult result =
+      RunTransfer(GetParam(), TestPaths(), options);
+  EXPECT_TRUE(result.completed) << ToString(GetParam());
+  EXPECT_EQ(result.bytes_received, options.transfer_size);
+  EXPECT_EQ(result.data_integrity_errors, 0u);
+  EXPECT_GT(result.goodput_mbps, 0.5);
+}
+
+TEST_P(AllProtocols, LossyTransferCompletesWithIntactData) {
+  TransferOptions options;
+  options.transfer_size = 512 * 1024;
+  options.seed = 6;
+  const TransferResult result = RunTransfer(
+      GetParam(), TestPaths(10, 4, 30, 80, /*loss=*/0.02), options);
+  EXPECT_TRUE(result.completed) << ToString(GetParam());
+  EXPECT_EQ(result.data_integrity_errors, 0u);
+}
+
+TEST_P(AllProtocols, InitialPathSelectsTheUsedPath) {
+  // On very asymmetric paths a single-path protocol must be much slower
+  // from the bad path; a multipath one should barely care.
+  TransferOptions options;
+  options.transfer_size = 2 * 1024 * 1024;
+  options.seed = 7;
+  const auto paths = TestPaths(40, 1, 20, 150);
+  options.initial_path = 0;
+  const TransferResult fast = RunTransfer(GetParam(), paths, options);
+  options.initial_path = 1;
+  const TransferResult slow = RunTransfer(GetParam(), paths, options);
+  ASSERT_TRUE(fast.completed && slow.completed);
+  if (IsMultipath(GetParam())) {
+    EXPECT_LT(DurationToSeconds(slow.completion_time),
+              3.0 * DurationToSeconds(fast.completion_time));
+  } else {
+    EXPECT_GT(DurationToSeconds(slow.completion_time),
+              5.0 * DurationToSeconds(fast.completion_time));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, AllProtocols,
+                         ::testing::Values(Protocol::kTcp, Protocol::kQuic,
+                                           Protocol::kMptcp,
+                                           Protocol::kMpquic),
+                         [](const auto& info) {
+                           return ToString(info.param);
+                         });
+
+TEST(Runner, QuicHandshakeBeatsTcpForTinyTransfers) {
+  // The Fig. 9 mechanism in isolation: 1-RTT vs 3-RTT setup.
+  TransferOptions options;
+  options.transfer_size = 10 * 1024;
+  options.seed = 8;
+  const auto paths = TestPaths(50, 50, 100, 100);
+  const TransferResult quic = RunTransfer(Protocol::kQuic, paths, options);
+  const TransferResult tcp = RunTransfer(Protocol::kTcp, paths, options);
+  ASSERT_TRUE(quic.completed && tcp.completed);
+  // TCP needs ~2 extra RTTs (200 ms here) before the request.
+  EXPECT_GT(tcp.completion_time, quic.completion_time + 150 * kMillisecond);
+}
+
+TEST(Runner, MedianTransferPicksMiddleRun) {
+  TransferOptions options;
+  options.transfer_size = 256 * 1024;
+  options.seed = 11;
+  const auto paths = TestPaths(10, 4, 30, 80, 0.02);
+  const TransferResult median =
+      MedianTransfer(Protocol::kQuic, paths, options, 3);
+  // Collect the three runs manually and verify the median matches one.
+  std::vector<Duration> times;
+  for (int rep = 0; rep < 3; ++rep) {
+    TransferOptions run = options;
+    run.seed = options.seed + 7919ULL * rep;
+    times.push_back(
+        RunTransfer(Protocol::kQuic, paths, run).completion_time);
+  }
+  std::sort(times.begin(), times.end());
+  EXPECT_EQ(median.completion_time, times[1]);
+}
+
+TEST(Handover, QuicRecoversWithinRtoAndServesAllRequests) {
+  HandoverOptions options;
+  options.seed = 2;
+  const auto samples = RunQuicHandover(options);
+  ASSERT_GT(samples.size(), 30u);
+  Duration worst = 0;
+  for (const auto& sample : samples) {
+    ASSERT_TRUE(sample.answered)
+        << "request at " << DurationToSeconds(sample.sent_time);
+    worst = std::max(worst, sample.response_delay);
+    if (sample.sent_time < 2 * kSecond) {
+      // Pre-failure: one fast-path RTT plus transmission.
+      EXPECT_LT(sample.response_delay, 30 * kMillisecond);
+    }
+    if (sample.sent_time > 5 * kSecond) {
+      // Post-failover steady state: second path RTT.
+      EXPECT_LT(sample.response_delay, 40 * kMillisecond);
+    }
+  }
+  // The failure spike is bounded by ~RTO + second-path RTT.
+  EXPECT_LT(worst, 500 * kMillisecond);
+}
+
+TEST(Handover, PathsFrameReducesWorstDelay) {
+  HandoverOptions options;
+  options.seed = 4;
+  options.send_paths_frame = true;
+  Duration worst_with = 0;
+  for (const auto& sample : RunQuicHandover(options)) {
+    if (sample.answered) {
+      worst_with = std::max(worst_with, sample.response_delay);
+    }
+  }
+  options.send_paths_frame = false;
+  Duration worst_without = 0;
+  for (const auto& sample : RunQuicHandover(options)) {
+    if (sample.answered) {
+      worst_without = std::max(worst_without, sample.response_delay);
+    }
+  }
+  // Without the PATHS frame the server wastes (at least) its own RTO on
+  // the dead path before answering elsewhere.
+  EXPECT_GT(worst_without, worst_with);
+}
+
+TEST(Handover, MptcpAlsoRecovers) {
+  HandoverOptions options;
+  options.seed = 5;
+  const auto samples = RunMptcpHandover(options);
+  ASSERT_GT(samples.size(), 20u);
+  int unanswered = 0;
+  for (const auto& sample : samples) unanswered += !sample.answered;
+  EXPECT_EQ(unanswered, 0);
+}
+
+TEST(Figures, RatioAndBenefitSeriesShapes) {
+  ClassEvalOptions options;
+  options.scenario_count = 3;
+  options.transfer_size = 256 * 1024;
+  options.progress = false;
+  options.time_limit = 600 * kSecond;
+  const auto outcomes =
+      EvaluateClass(expdesign::ScenarioClass::kLowBdpNoLoss, options);
+  ASSERT_EQ(outcomes.size(), 3u);
+  const RatioSeries ratios = ComputeRatios(outcomes);
+  EXPECT_EQ(ratios.tcp_over_quic.size(), 6u);       // 3 scenarios x 2 paths
+  EXPECT_EQ(ratios.mptcp_over_mpquic.size(), 6u);
+  const BenefitSeries benefits = ComputeBenefits(outcomes);
+  EXPECT_EQ(benefits.mptcp_best_first.size() +
+                benefits.mptcp_worst_first.size(),
+            6u);
+  EXPECT_EQ(benefits.mpquic_best_first.size(), 3u);
+  for (const auto& outcome : outcomes) {
+    for (int path = 0; path < 2; ++path) {
+      EXPECT_TRUE(outcome.tcp[path].completed);
+      EXPECT_TRUE(outcome.quic[path].completed);
+      EXPECT_TRUE(outcome.mptcp[path].completed);
+      EXPECT_TRUE(outcome.mpquic[path].completed);
+    }
+  }
+}
+
+TEST(Figures, ParseBenchArgs) {
+  const char* argv[] = {"bench", "--scenarios", "17", "--reps", "2",
+                        "--size", "1000", "--quiet"};
+  const ClassEvalOptions options =
+      ParseBenchArgs(8, const_cast<char**>(argv));
+  EXPECT_EQ(options.scenario_count, 17u);
+  EXPECT_EQ(options.repetitions, 2);
+  EXPECT_EQ(options.transfer_size, 1000u);
+  EXPECT_FALSE(options.progress);
+}
+
+}  // namespace
+}  // namespace mpq::harness

@@ -1,0 +1,453 @@
+// Unit tests for the discrete-event simulator and the network model:
+// event ordering, timers, link bandwidth/propagation math, drop-tail
+// queues, random loss, routing, and the Fig. 2 topology builder.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/net.h"
+#include "sim/simulator.h"
+#include "sim/timer.h"
+#include "sim/topology.h"
+
+namespace mpq::sim {
+namespace {
+
+TEST(Simulator, ExecutesInTimestampOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(300, [&] { order.push_back(3); });
+  sim.Schedule(100, [&] { order.push_back(1); });
+  sim.Schedule(200, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 300);
+}
+
+TEST(Simulator, FifoAmongEqualTimestamps) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.Schedule(50, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const auto id = sim.Schedule(100, [&] { fired = true; });
+  sim.Cancel(id);
+  sim.Run();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, CancelUnknownIdIsNoop) {
+  Simulator sim;
+  sim.Cancel(999);  // must not crash or affect anything
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) sim.Schedule(10, recurse);
+  };
+  sim.Schedule(0, recurse);
+  sim.Run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(sim.now(), 90);
+}
+
+TEST(Simulator, RunUntilStopsEarly) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.Schedule(i * 100, [&] { ++count; });
+  }
+  sim.Run(/*until=*/450);
+  EXPECT_EQ(count, 4);
+  sim.Run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulator, PastDeadlineClampsToNow) {
+  Simulator sim;
+  sim.Schedule(100, [&] {
+    TimePoint fired_at = -1;
+    sim.ScheduleAt(50, [&, start = sim.now()] { fired_at = sim.now(); });
+    (void)fired_at;
+  });
+  sim.Run();  // must not hang or go backwards
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Timer, RearmAndCancel) {
+  Simulator sim;
+  int fired = 0;
+  Timer timer(sim, [&] { ++fired; });
+  timer.SetIn(100);
+  timer.SetIn(200);  // re-arm replaces the old deadline
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 200);
+
+  timer.SetIn(100);
+  timer.Cancel();
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Timer, ArmedStateTracksLifecycle) {
+  Simulator sim;
+  Timer timer(sim, [] {});
+  EXPECT_FALSE(timer.armed());
+  timer.SetIn(10);
+  EXPECT_TRUE(timer.armed());
+  EXPECT_EQ(timer.deadline(), 10);
+  sim.Run();
+  EXPECT_FALSE(timer.armed());
+}
+
+// ---------------------------------------------------------------------------
+// Links
+
+LinkConfig MakeLink(double mbps, Duration prop, ByteCount queue = 1 << 20,
+                    double loss = 0.0) {
+  LinkConfig c;
+  c.capacity_mbps = mbps;
+  c.propagation_delay = prop;
+  c.queue_capacity_bytes = queue;
+  c.random_loss_rate = loss;
+  c.per_packet_overhead = 0;  // keep the math exact for tests
+  return c;
+}
+
+TEST(Link, DeliveryDelayIsTransmissionPlusPropagation) {
+  Simulator sim;
+  Link link(sim, MakeLink(8.0, 10 * kMillisecond), Rng(1));
+  TimePoint delivered_at = -1;
+  link.SetDeliveryHandler([&](Datagram&&) { delivered_at = sim.now(); });
+  // 1000 bytes at 8 Mbps = 1 ms serialization + 10 ms propagation.
+  link.Transmit({{}, {}, std::vector<std::uint8_t>(1000)});
+  sim.Run();
+  EXPECT_EQ(delivered_at, 11 * kMillisecond);
+}
+
+TEST(Link, BackToBackPacketsSerialize) {
+  Simulator sim;
+  Link link(sim, MakeLink(8.0, 0), Rng(1));
+  std::vector<TimePoint> deliveries;
+  link.SetDeliveryHandler([&](Datagram&&) { deliveries.push_back(sim.now()); });
+  for (int i = 0; i < 3; ++i) {
+    link.Transmit({{}, {}, std::vector<std::uint8_t>(1000)});
+  }
+  sim.Run();
+  ASSERT_EQ(deliveries.size(), 3u);
+  EXPECT_EQ(deliveries[0], 1 * kMillisecond);
+  EXPECT_EQ(deliveries[1], 2 * kMillisecond);
+  EXPECT_EQ(deliveries[2], 3 * kMillisecond);
+}
+
+TEST(Link, QueueOverflowDropsTail) {
+  Simulator sim;
+  // Queue of 3000 bytes: two 1000-byte packets queue (one transmitting,
+  // one waiting), subsequent ones drop until space frees.
+  Link link(sim, MakeLink(8.0, 0, /*queue=*/3000), Rng(1));
+  int delivered = 0;
+  link.SetDeliveryHandler([&](Datagram&&) { ++delivered; });
+  for (int i = 0; i < 10; ++i) {
+    link.Transmit({{}, {}, std::vector<std::uint8_t>(1000)});
+  }
+  sim.Run();
+  EXPECT_EQ(delivered, 3);
+  EXPECT_EQ(link.stats().dropped_queue_full, 7u);
+  EXPECT_EQ(link.stats().offered, 10u);
+}
+
+TEST(Link, QueueDrainsOverTime) {
+  Simulator sim;
+  Link link(sim, MakeLink(8.0, 0, /*queue=*/3000), Rng(1));
+  int delivered = 0;
+  link.SetDeliveryHandler([&](Datagram&&) { ++delivered; });
+  // Offer one packet per 2 ms — well under capacity; nothing must drop.
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(i * 2 * kMillisecond, [&link] {
+      link.Transmit({{}, {}, std::vector<std::uint8_t>(1000)});
+    });
+  }
+  sim.Run();
+  EXPECT_EQ(delivered, 10);
+  EXPECT_EQ(link.stats().dropped_queue_full, 0u);
+}
+
+TEST(Link, RandomLossRateIsApplied) {
+  Simulator sim;
+  Link link(sim, MakeLink(1000.0, 0, 1 << 24, /*loss=*/0.3), Rng(5));
+  int delivered = 0;
+  link.SetDeliveryHandler([&](Datagram&&) { ++delivered; });
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sim.Schedule(i * 20, [&link] {
+      link.Transmit({{}, {}, std::vector<std::uint8_t>(100)});
+    });
+  }
+  sim.Run();
+  EXPECT_NEAR(static_cast<double>(delivered) / n, 0.7, 0.02);
+  EXPECT_NEAR(static_cast<double>(link.stats().dropped_random) / n, 0.3,
+              0.02);
+}
+
+TEST(Link, LossRateChangeMidRunTakesEffect) {
+  Simulator sim;
+  Link link(sim, MakeLink(1000.0, 0), Rng(5));
+  int delivered = 0;
+  link.SetDeliveryHandler([&](Datagram&&) { ++delivered; });
+  link.Transmit({{}, {}, std::vector<std::uint8_t>(100)});
+  sim.Run();
+  EXPECT_EQ(delivered, 1);
+  link.SetRandomLossRate(1.0);  // the handover scenario's "path dies"
+  for (int i = 0; i < 50; ++i) {
+    link.Transmit({{}, {}, std::vector<std::uint8_t>(100)});
+  }
+  sim.Run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(Link, PerPacketOverheadCountsOnWire) {
+  Simulator sim;
+  LinkConfig c = MakeLink(8.0, 0);
+  c.per_packet_overhead = 28;
+  Link link(sim, c, Rng(1));
+  TimePoint delivered_at = -1;
+  link.SetDeliveryHandler([&](Datagram&&) { delivered_at = sim.now(); });
+  link.Transmit({{}, {}, std::vector<std::uint8_t>(972)});  // 1000 on wire
+  sim.Run();
+  EXPECT_EQ(delivered_at, 1 * kMillisecond);
+}
+
+TEST(Link, ZeroCapacityRejected) {
+  Simulator sim;
+  LinkConfig c = MakeLink(0.0, 0);
+  EXPECT_THROW(Link(sim, c, Rng(1)), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Network routing and sockets
+
+TEST(Network, RoutesBySourceInterface) {
+  Simulator sim;
+  Network net(sim, Rng(3));
+  const Address a{1, 0}, b{2, 0};
+  net.AddDuplexLink(a, b, MakeLink(10, kMillisecond), MakeLink(10, kMillisecond));
+  auto* sa = net.CreateSocket(a);
+  auto* sb = net.CreateSocket(b);
+  int got_at_b = 0, got_at_a = 0;
+  sb->SetReceiveHandler([&](const Datagram& d) {
+    ++got_at_b;
+    EXPECT_EQ(d.src, a);
+  });
+  sa->SetReceiveHandler([&](const Datagram&) { ++got_at_a; });
+  sa->Send(b, std::vector<std::uint8_t>(100));
+  sim.Run();
+  EXPECT_EQ(got_at_b, 1);
+  sb->Send(a, std::vector<std::uint8_t>(100));
+  sim.Run();
+  EXPECT_EQ(got_at_a, 1);
+}
+
+TEST(Network, UnroutableDestinationIsDropped) {
+  Simulator sim;
+  Network net(sim, Rng(3));
+  const Address a{1, 0}, b{2, 0}, c{3, 0};
+  net.AddDuplexLink(a, b, MakeLink(10, 0), MakeLink(10, 0));
+  auto* sa = net.CreateSocket(a);
+  sa->Send(c, std::vector<std::uint8_t>(10));  // no link a->c
+  sim.Run();  // must not crash; nothing delivered
+  SUCCEED();
+}
+
+TEST(Network, DoubleBindThrows) {
+  Simulator sim;
+  Network net(sim, Rng(3));
+  net.CreateSocket({1, 0});
+  EXPECT_THROW(net.CreateSocket({1, 0}), std::invalid_argument);
+}
+
+TEST(Network, RebindAfterCloseWorks) {
+  Simulator sim;
+  Network net(sim, Rng(3));
+  net.CreateSocket({1, 0});
+  net.CloseSocket({1, 0});
+  EXPECT_NO_THROW(net.CreateSocket({1, 0}));
+}
+
+// ---------------------------------------------------------------------------
+// Topology
+
+TEST(Topology, QueueCapacityFromQueuingDelay) {
+  // 8 Mbps * 100 ms = 100 KB of buffer.
+  EXPECT_EQ(QueueCapacityBytes(8.0, 100 * kMillisecond), 100'000u);
+}
+
+TEST(Topology, BuildsTwoDisjointDuplexPaths) {
+  Simulator sim;
+  Network net(sim, Rng(4));
+  std::array<PathParams, 2> params;
+  params[0].capacity_mbps = 10;
+  params[0].rtt = 40 * kMillisecond;
+  params[1].capacity_mbps = 2;
+  params[1].rtt = 100 * kMillisecond;
+  auto topo = BuildTwoPathTopology(net, params);
+
+  // Propagation is RTT/2 per direction.
+  EXPECT_EQ(topo.forward[0]->config().propagation_delay, 20 * kMillisecond);
+  EXPECT_EQ(topo.backward[1]->config().propagation_delay, 50 * kMillisecond);
+
+  // End-to-end echo over each path.
+  for (int i = 0; i < 2; ++i) {
+    auto* cs = net.CreateSocket(topo.client_addr[i]);
+    auto* ss = net.CreateSocket(topo.server_addr[i]);
+    bool echoed = false;
+    ss->SetReceiveHandler([&, ss](const Datagram& d) {
+      ss->Send(d.src, std::vector<std::uint8_t>(10));
+    });
+    cs->SetReceiveHandler([&](const Datagram&) { echoed = true; });
+    cs->Send(topo.server_addr[i], std::vector<std::uint8_t>(10));
+    sim.Run();
+    EXPECT_TRUE(echoed) << "path " << i;
+  }
+}
+
+
+TEST(Link, JitterBoundsAndReorders) {
+  Simulator sim;
+  LinkConfig c = MakeLink(1000.0, 10 * kMillisecond);
+  c.jitter = 5 * kMillisecond;
+  Link link(sim, c, Rng(9));
+  std::vector<int> arrival_order;
+  std::vector<TimePoint> send_times;
+  int next_tag = 0;
+  link.SetDeliveryHandler([&](Datagram&& d) {
+    arrival_order.push_back(d.payload[0]);
+  });
+  // 50 small packets in a burst: with 5 ms of jitter over ~0.8 us
+  // serialization gaps, reordering is certain.
+  for (int i = 0; i < 50; ++i) {
+    link.Transmit({{}, {}, std::vector<std::uint8_t>{
+                               static_cast<std::uint8_t>(next_tag++)}});
+    send_times.push_back(sim.now());
+  }
+  sim.Run();
+  ASSERT_EQ(arrival_order.size(), 50u);
+  bool reordered = false;
+  for (std::size_t i = 1; i < arrival_order.size(); ++i) {
+    if (arrival_order[i] < arrival_order[i - 1]) reordered = true;
+  }
+  EXPECT_TRUE(reordered);
+  // Everything still arrives within base + jitter + serialization time.
+  EXPECT_LE(sim.now(), 10 * kMillisecond + 5 * kMillisecond +
+                           1 * kMillisecond);
+}
+
+TEST(Link, ZeroJitterPreservesOrder) {
+  Simulator sim;
+  Link link(sim, MakeLink(1000.0, 10 * kMillisecond), Rng(9));
+  std::vector<int> arrival_order;
+  int next_tag = 0;
+  link.SetDeliveryHandler([&](Datagram&& d) {
+    arrival_order.push_back(d.payload[0]);
+  });
+  for (int i = 0; i < 20; ++i) {
+    link.Transmit({{}, {}, std::vector<std::uint8_t>{
+                               static_cast<std::uint8_t>(next_tag++)}});
+  }
+  sim.Run();
+  for (std::size_t i = 1; i < arrival_order.size(); ++i) {
+    EXPECT_GT(arrival_order[i], arrival_order[i - 1]);
+  }
+}
+
+
+// ---------------------------------------------------------------------------
+// Model-based property test: the Simulator against a naive reference.
+
+TEST(SimulatorProperty, MatchesNaiveReferenceUnderRandomOps) {
+  // Random mix of schedule/cancel operations, executed on the real
+  // Simulator and on a trivially correct reference (sorted vector with
+  // stable FIFO ordering). Firing orders must be identical.
+  Rng rng(20260705);
+  for (int round = 0; round < 50; ++round) {
+    Simulator sim;
+    struct RefEvent {
+      TimePoint when;
+      std::uint64_t seq;
+      int tag;
+      bool cancelled = false;
+    };
+    std::vector<RefEvent> reference;
+    std::vector<Simulator::EventId> ids;
+    std::vector<int> fired_real;
+    std::uint64_t seq = 0;
+
+    const int ops = 40;
+    for (int op = 0; op < ops; ++op) {
+      if (!ids.empty() && rng.NextBool(0.25)) {
+        // Cancel a random still-known event (possibly already cancelled —
+        // must be harmless in both).
+        const std::size_t pick = rng.NextBounded(ids.size());
+        sim.Cancel(ids[pick]);
+        reference[pick].cancelled = true;
+      } else {
+        const TimePoint when = static_cast<TimePoint>(rng.NextBounded(500));
+        const int tag = static_cast<int>(ids.size());
+        ids.push_back(sim.ScheduleAt(
+            when, [tag, &fired_real] { fired_real.push_back(tag); }));
+        reference.push_back({when, seq++, tag});
+      }
+    }
+    sim.Run();
+
+    std::vector<RefEvent> expected = reference;
+    std::erase_if(expected, [](const RefEvent& e) { return e.cancelled; });
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const RefEvent& a, const RefEvent& b) {
+                       if (a.when != b.when) return a.when < b.when;
+                       return a.seq < b.seq;
+                     });
+    std::vector<int> fired_expected;
+    for (const RefEvent& e : expected) fired_expected.push_back(e.tag);
+    ASSERT_EQ(fired_real, fired_expected) << "round " << round;
+  }
+}
+
+TEST(SimulatorProperty, CallbackSchedulingDuringRunIsSound) {
+  // Events scheduled from within callbacks (including at the current
+  // time) run, in order, and never in the past.
+  Simulator sim;
+  Rng rng(7);
+  int executed = 0;
+  TimePoint last = -1;
+  std::function<void(int)> chain = [&](int depth) {
+    ++executed;
+    EXPECT_GE(sim.now(), last);
+    last = sim.now();
+    if (depth > 0) {
+      const Duration d1 = static_cast<Duration>(rng.NextBounded(20));
+      const Duration d2 = static_cast<Duration>(rng.NextBounded(20));
+      sim.Schedule(d1, [&chain, depth] { chain(depth - 1); });
+      sim.Schedule(d2, [&chain, depth] { chain(depth - 1); });
+    }
+  };
+  sim.Schedule(0, [&chain] { chain(6); });
+  sim.Run();
+  EXPECT_EQ(executed, (1 << 7) - 1);  // full binary tree of depth 6
+}
+
+}  // namespace
+}  // namespace mpq::sim

@@ -1,0 +1,237 @@
+// Connection-level TCP/MPTCP tests: TLS phase gating, receive-window
+// blocking and the persist probe, ORP reinjection, subflow-join timing,
+// configuration knobs (SACK budget, lost-retransmission blind spot), and
+// determinism.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/source.h"
+#include "sim/topology.h"
+#include "tcpsim/endpoint.h"
+
+namespace mpq::tcp {
+namespace {
+
+struct Fixture {
+  sim::Simulator sim;
+  sim::Network net{sim, Rng(4)};
+  sim::TwoPathTopology topo;
+  std::unique_ptr<TcpServerEndpoint> server;
+  std::unique_ptr<TcpClientEndpoint> client;
+  ByteCount received = 0;
+  bool finished = false;
+  TimePoint secure_at = -1;
+
+  explicit Fixture(const TcpConfig& config,
+                   std::array<sim::PathParams, 2> paths = DefaultPaths(),
+                   int interfaces = 2)
+      : topo(sim::BuildTwoPathTopology(net, paths)) {
+    server = std::make_unique<TcpServerEndpoint>(
+        sim, net,
+        std::vector<sim::Address>(topo.server_addr.begin(),
+                                  topo.server_addr.end()),
+        config, 1);
+    server->SetAcceptHandler([](TcpConnection& conn) {
+      auto request = std::make_shared<std::string>();
+      conn.SetAppDataHandler([&conn, request](
+                                 ByteCount, std::span<const std::uint8_t> d,
+                                 bool) {
+        request->append(d.begin(), d.end());
+        if (!request->empty() && request->back() == '\n') {
+          const ByteCount n = std::stoull(request->substr(4));
+          request->clear();
+          conn.SendAppData(std::make_unique<PatternSource>(7, n));
+        }
+      });
+    });
+    std::vector<sim::Address> locals;
+    for (int i = 0; i < interfaces; ++i) {
+      locals.push_back(topo.client_addr[i]);
+    }
+    client = std::make_unique<TcpClientEndpoint>(sim, net, locals, config, 2);
+    client->connection().SetAppDataHandler(
+        [this](ByteCount, std::span<const std::uint8_t> d, bool eof) {
+          received += d.size();
+          if (eof) finished = true;
+        });
+  }
+
+  static std::array<sim::PathParams, 2> DefaultPaths() {
+    sim::PathParams p;
+    p.capacity_mbps = 10;
+    p.rtt = 40 * kMillisecond;
+    p.max_queue_delay = 50 * kMillisecond;
+    p.per_packet_overhead = 20;
+    return {p, p};
+  }
+
+  void Run(ByteCount size, int interfaces = 2,
+           TimePoint deadline = 300 * kSecond) {
+    client->connection().SetSecureEstablishedHandler([this, size] {
+      secure_at = sim.now();
+      const std::string request = "GET " + std::to_string(size) + "\n";
+      client->connection().SendAppData(std::make_unique<BufferSource>(
+          std::vector<std::uint8_t>(request.begin(), request.end())));
+    });
+    std::vector<sim::Address> remotes;
+    for (int i = 0; i < interfaces; ++i) {
+      remotes.push_back(topo.server_addr[i]);
+    }
+    client->Connect(remotes);
+    while (!finished && sim.RunOne(deadline)) {
+    }
+  }
+};
+
+TcpConfig Mptcp() {
+  TcpConfig config;
+  config.multipath = true;
+  config.congestion = cc::Algorithm::kOlia;
+  return config;
+}
+
+TEST(TcpConnection, TlsBytesDoNotLeakIntoAppStream) {
+  // The app handler must see exactly the response bytes with offsets
+  // starting at 0, never the 3.1 KB of modelled TLS handshake.
+  Fixture fx(Mptcp());
+  ByteCount first_offset = 1;
+  fx.client->connection().SetAppDataHandler(
+      [&](ByteCount offset, std::span<const std::uint8_t> d, bool eof) {
+        if (first_offset == 1 && !d.empty()) first_offset = offset;
+        fx.received += d.size();
+        if (eof) fx.finished = true;
+      });
+  fx.Run(100 * 1024);
+  ASSERT_TRUE(fx.finished);
+  EXPECT_EQ(first_offset, 0u);
+  EXPECT_EQ(fx.received, 100u * 1024);
+}
+
+TEST(TcpConnection, NoTlsModeSkipsTheTwoExtraRtts) {
+  TcpConfig with = Mptcp();
+  TcpConfig without = Mptcp();
+  without.use_tls = false;
+  Fixture a(with), b(without);
+  a.Run(1024);
+  b.Run(1024);
+  ASSERT_TRUE(a.finished && b.finished);
+  // TLS costs 2 extra RTTs (80 ms here) plus the certificate bytes.
+  EXPECT_GT(a.secure_at, b.secure_at + 70 * kMillisecond);
+}
+
+TEST(TcpConnection, SecondSubflowJoinsOneRttAfterTheFirst) {
+  Fixture fx(Mptcp());
+  fx.Run(512 * 1024);
+  ASSERT_TRUE(fx.finished);
+  TcpConnection* server_conn =
+      fx.server->FindConnection(fx.client->connection().cid());
+  ASSERT_NE(server_conn, nullptr);
+  ASSERT_EQ(server_conn->subflows().size(), 2u);
+  for (const Subflow* subflow : server_conn->subflows()) {
+    EXPECT_TRUE(subflow->established());
+  }
+}
+
+TEST(TcpConnection, TinyReceiveWindowStillCompletes) {
+  TcpConfig config = Mptcp();
+  config.receive_window = 32 * 1024;
+  Fixture fx(config);
+  fx.Run(1 * 1024 * 1024);
+  EXPECT_TRUE(fx.finished);
+  EXPECT_EQ(fx.received, 1u * 1024 * 1024);
+}
+
+TEST(TcpConnection, OrpTriggersWhenWindowLimited) {
+  // ORP needs three ingredients (Raiciu et al.): the fast subflow is
+  // congestion-limited (small capacity + shallow buffer), so the
+  // scheduler spills data onto a much slower subflow; that data then
+  // blocks the small shared receive window; the idle fast subflow
+  // reinjects it and penalizes the slow one.
+  TcpConfig config = Mptcp();
+  config.receive_window = 48 * 1024;
+  auto paths = Fixture::DefaultPaths();
+  paths[0].capacity_mbps = 2.0;
+  paths[0].max_queue_delay = 20 * kMillisecond;
+  paths[1].capacity_mbps = 2.0;
+  paths[1].rtt = 400 * kMillisecond;
+  Fixture fx(config, paths);
+  fx.Run(2 * 1024 * 1024);
+  ASSERT_TRUE(fx.finished);
+  TcpConnection* server_conn =
+      fx.server->FindConnection(fx.client->connection().cid());
+  EXPECT_GT(server_conn->stats().orp_reinjections, 0u);
+}
+
+TEST(TcpConnection, OrpCanBeDisabled) {
+  TcpConfig config = Mptcp();
+  config.receive_window = 64 * 1024;
+  config.enable_orp = false;
+  auto paths = Fixture::DefaultPaths();
+  paths[1].capacity_mbps = 0.5;
+  paths[1].rtt = 300 * kMillisecond;
+  Fixture fx(config, paths);
+  fx.Run(1 * 1024 * 1024);
+  ASSERT_TRUE(fx.finished);  // slower, but must not deadlock
+  TcpConnection* server_conn =
+      fx.server->FindConnection(fx.client->connection().cid());
+  EXPECT_EQ(server_conn->stats().orp_reinjections, 0u);
+}
+
+TEST(TcpConnection, SackBudgetKnobIsPlumbedThrough) {
+  for (int blocks : {1, 3, 64}) {
+    TcpConfig config = Mptcp();
+    config.max_sack_blocks = blocks;
+    auto paths = Fixture::DefaultPaths();
+    paths[0].random_loss_rate = 0.02;
+    paths[1].random_loss_rate = 0.02;
+    Fixture fx(config, paths);
+    fx.Run(512 * 1024);
+    EXPECT_TRUE(fx.finished) << blocks << " SACK blocks";
+    EXPECT_EQ(fx.received, 512u * 1024);
+  }
+}
+
+TEST(TcpConnection, LostRetransmissionKnobChangesBehaviour) {
+  // With the pre-RACK blind spot, lossy transfers should see at least as
+  // many RTOs as the modern variant (usually strictly more).
+  auto run = [](bool blind_spot) {
+    TcpConfig config;
+    config.lost_retransmission_needs_rto = blind_spot;
+    auto paths = Fixture::DefaultPaths();
+    paths[0].random_loss_rate = 0.03;
+    paths[1].random_loss_rate = 0.03;
+    Fixture fx(config, paths, /*interfaces=*/1);
+    fx.Run(2 * 1024 * 1024, /*interfaces=*/1);
+    EXPECT_TRUE(fx.finished);
+    TcpConnection* server_conn =
+        fx.server->FindConnection(fx.client->connection().cid());
+    return server_conn->GetSubflow(0)->rto_count();
+  };
+  EXPECT_GE(run(true), run(false));
+}
+
+TEST(TcpConnection, DeterministicAcrossIdenticalRuns) {
+  auto run = [] {
+    auto paths = Fixture::DefaultPaths();
+    paths[0].random_loss_rate = 0.01;
+    Fixture fx(Mptcp(), paths);
+    fx.Run(512 * 1024);
+    return std::tuple(fx.sim.now(), fx.received);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(TcpConnection, SinglePathIgnoresSecondInterface) {
+  TcpConfig config;  // multipath off
+  Fixture fx(config, Fixture::DefaultPaths(), /*interfaces=*/1);
+  fx.Run(256 * 1024, /*interfaces=*/1);
+  ASSERT_TRUE(fx.finished);
+  TcpConnection* server_conn =
+      fx.server->FindConnection(fx.client->connection().cid());
+  EXPECT_EQ(server_conn->subflows().size(), 1u);
+}
+
+}  // namespace
+}  // namespace mpq::tcp

@@ -1,0 +1,166 @@
+// mpq_experiment — scriptable experiment runner.
+//
+// Runs one transfer per (protocol × scenario-line) and prints a CSV row,
+// so downstream users can sweep custom scenario matrices without writing
+// C++. Scenario lines come from a file (or stdin with "-"), one scenario
+// per line:
+//
+//   cap0_mbps rtt0_ms queue0_ms loss0_pct cap1_mbps rtt1_ms queue1_ms loss1_pct
+//
+// Lines starting with '#' are comments. Example:
+//
+//   $ cat > scenarios.txt <<EOF
+//   10 30 50 0    4 80 50 0
+//   10 30 50 1.0  4 80 50 1.0
+//   EOF
+//   $ mpq_experiment --scenarios scenarios.txt --size 20971520 --reps 3
+//
+// Output columns:
+//   scenario,protocol,initial_path,completed,time_s,goodput_mbps
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/runner.h"
+
+namespace {
+
+using namespace mpq;
+using namespace mpq::harness;
+
+struct Options {
+  std::string scenario_file;
+  ByteCount size = 20 * 1024 * 1024;
+  int reps = 1;
+  std::uint64_t seed = 1;
+  bool both_initial_paths = false;
+  std::vector<Protocol> protocols = {Protocol::kTcp, Protocol::kQuic,
+                                     Protocol::kMptcp, Protocol::kMpquic};
+};
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: mpq_experiment --scenarios FILE|- [--size BYTES] [--reps N]\n"
+      "                      [--seed N] [--both-initial-paths]\n"
+      "                      [--protocols tcp,quic,mptcp,mpquic]\n"
+      "scenario line: cap0 rtt0_ms q0_ms loss0%% cap1 rtt1_ms q1_ms loss1%%\n");
+}
+
+bool ParseProtocols(const std::string& list, std::vector<Protocol>& out) {
+  out.clear();
+  std::stringstream stream(list);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    if (token == "tcp") {
+      out.push_back(Protocol::kTcp);
+    } else if (token == "quic") {
+      out.push_back(Protocol::kQuic);
+    } else if (token == "mptcp") {
+      out.push_back(Protocol::kMptcp);
+    } else if (token == "mpquic") {
+      out.push_back(Protocol::kMpquic);
+    } else {
+      std::fprintf(stderr, "unknown protocol '%s'\n", token.c_str());
+      return false;
+    }
+  }
+  return !out.empty();
+}
+
+bool ParseScenarioLine(const std::string& line,
+                       std::array<sim::PathParams, 2>& paths) {
+  std::stringstream stream(line);
+  double cap[2], rtt_ms[2], queue_ms[2], loss_pct[2];
+  for (int i = 0; i < 2; ++i) {
+    if (!(stream >> cap[i] >> rtt_ms[i] >> queue_ms[i] >> loss_pct[i])) {
+      return false;
+    }
+  }
+  for (int i = 0; i < 2; ++i) {
+    if (cap[i] <= 0 || rtt_ms[i] < 0 || queue_ms[i] < 0 || loss_pct[i] < 0) {
+      return false;
+    }
+    paths[i].capacity_mbps = cap[i];
+    paths[i].rtt = MillisToDuration(rtt_ms[i]);
+    paths[i].max_queue_delay = MillisToDuration(queue_ms[i]);
+    paths[i].random_loss_rate = loss_pct[i] / 100.0;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scenarios") == 0 && i + 1 < argc) {
+      options.scenario_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--size") == 0 && i + 1 < argc) {
+      options.size = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      options.reps = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      options.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--both-initial-paths") == 0) {
+      options.both_initial_paths = true;
+    } else if (std::strcmp(argv[i], "--protocols") == 0 && i + 1 < argc) {
+      if (!ParseProtocols(argv[++i], options.protocols)) return 2;
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+  if (options.scenario_file.empty()) {
+    Usage();
+    return 2;
+  }
+
+  std::ifstream file;
+  std::istream* input = &std::cin;
+  if (options.scenario_file != "-") {
+    file.open(options.scenario_file);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n",
+                   options.scenario_file.c_str());
+      return 1;
+    }
+    input = &file;
+  }
+
+  std::printf("scenario,protocol,initial_path,completed,time_s,goodput_mbps\n");
+  std::string line;
+  int index = 0;
+  int bad_lines = 0;
+  while (std::getline(*input, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::array<sim::PathParams, 2> paths;
+    if (!ParseScenarioLine(line, paths)) {
+      std::fprintf(stderr, "skipping malformed line: %s\n", line.c_str());
+      ++bad_lines;
+      continue;
+    }
+    const int initial_count = options.both_initial_paths ? 2 : 1;
+    for (Protocol protocol : options.protocols) {
+      for (int initial = 0; initial < initial_count; ++initial) {
+        TransferOptions run;
+        run.transfer_size = options.size;
+        run.seed = options.seed + 7919ULL * index;
+        run.initial_path = initial;
+        run.time_limit = 4000 * kSecond;
+        const TransferResult result =
+            MedianTransfer(protocol, paths, run, options.reps);
+        std::printf("%d,%s,%d,%d,%.3f,%.3f\n", index,
+                    ToString(protocol).c_str(), initial, result.completed,
+                    DurationToSeconds(result.completion_time),
+                    result.goodput_mbps);
+      }
+    }
+    ++index;
+  }
+  return bad_lines == 0 ? 0 : 1;
+}

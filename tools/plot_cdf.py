@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Terminal CDF plotter for the CSV series the figure benches emit.
+
+Usage:
+    bench_fig3_lowbdp_noloss --csv out/
+    tools/plot_cdf.py out/cdf_*.csv
+
+Renders each CDF as an ASCII plot (log-x like the paper's ratio figures
+when --log is given), overlaying multiple files with distinct markers.
+No third-party dependencies.
+"""
+
+import argparse
+import csv
+import math
+import os
+import sys
+
+WIDTH = 72
+HEIGHT = 20
+MARKERS = "*o+x#@"
+
+
+def read_cdf(path):
+    points = []
+    with open(path, newline="") as f:
+        for row in csv.DictReader(f):
+            points.append(
+                (float(row["value"]), float(row["cumulative_probability"]))
+            )
+    return points
+
+
+def render(series, log_x):
+    values = [v for points, _ in series for v, _ in points]
+    if not values:
+        print("no data")
+        return
+    lo, hi = min(values), max(values)
+    if log_x:
+        lo = max(lo, 1e-9)
+        to_x = lambda v: math.log(max(v, lo))
+    else:
+        to_x = lambda v: v
+    x_lo, x_hi = to_x(lo), to_x(hi)
+    span = (x_hi - x_lo) or 1.0
+
+    grid = [[" "] * (WIDTH + 1) for _ in range(HEIGHT + 1)]
+    for (points, marker) in series:
+        for value, prob in points:
+            col = round((to_x(value) - x_lo) / span * WIDTH)
+            row = HEIGHT - round(prob * HEIGHT)
+            grid[row][col] = marker
+
+    for i, line in enumerate(grid):
+        prob = 1.0 - i / HEIGHT
+        print(f"{prob:5.2f} |" + "".join(line))
+    print("      +" + "-" * (WIDTH + 1))
+    left = f"{lo:.3g}"
+    right = f"{hi:.3g}"
+    mid = f"{(math.exp((x_lo + x_hi) / 2) if log_x else (lo + hi) / 2):.3g}"
+    pad = WIDTH - len(left) - len(mid) - len(right)
+    print(
+        "       "
+        + left
+        + " " * (pad // 2)
+        + mid
+        + " " * (pad - pad // 2)
+        + right
+    )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+", help="cdf_*.csv files")
+    parser.add_argument(
+        "--log", action="store_true", help="logarithmic x axis"
+    )
+    args = parser.parse_args()
+
+    series = []
+    for i, path in enumerate(args.files):
+        marker = MARKERS[i % len(MARKERS)]
+        points = read_cdf(path)
+        series.append((points, marker))
+        print(f"  {marker} = {os.path.basename(path)} (n={len(points)})")
+    print()
+    render(series, args.log)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
