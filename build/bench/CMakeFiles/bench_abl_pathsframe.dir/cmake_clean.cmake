@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_pathsframe.dir/bench_abl_pathsframe.cc.o"
+  "CMakeFiles/bench_abl_pathsframe.dir/bench_abl_pathsframe.cc.o.d"
+  "bench_abl_pathsframe"
+  "bench_abl_pathsframe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_pathsframe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

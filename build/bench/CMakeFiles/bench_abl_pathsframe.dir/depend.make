@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_abl_pathsframe.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_reordering.dir/bench_abl_reordering.cc.o"
+  "CMakeFiles/bench_abl_reordering.dir/bench_abl_reordering.cc.o.d"
+  "bench_abl_reordering"
+  "bench_abl_reordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_reordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

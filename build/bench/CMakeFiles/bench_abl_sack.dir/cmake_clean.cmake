@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_sack.dir/bench_abl_sack.cc.o"
+  "CMakeFiles/bench_abl_sack.dir/bench_abl_sack.cc.o.d"
+  "bench_abl_sack"
+  "bench_abl_sack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_sack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_winupdate.dir/bench_abl_winupdate.cc.o"
+  "CMakeFiles/bench_abl_winupdate.dir/bench_abl_winupdate.cc.o.d"
+  "bench_abl_winupdate"
+  "bench_abl_winupdate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_winupdate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

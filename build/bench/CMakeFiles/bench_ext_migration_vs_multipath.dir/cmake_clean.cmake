@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_migration_vs_multipath.dir/bench_ext_migration_vs_multipath.cc.o"
+  "CMakeFiles/bench_ext_migration_vs_multipath.dir/bench_ext_migration_vs_multipath.cc.o.d"
+  "bench_ext_migration_vs_multipath"
+  "bench_ext_migration_vs_multipath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_migration_vs_multipath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_streams_hol.dir/bench_ext_streams_hol.cc.o"
+  "CMakeFiles/bench_ext_streams_hol.dir/bench_ext_streams_hol.cc.o.d"
+  "bench_ext_streams_hol"
+  "bench_ext_streams_hol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_streams_hol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_ext_streams_hol.
+# This may be replaced when dependencies are built.

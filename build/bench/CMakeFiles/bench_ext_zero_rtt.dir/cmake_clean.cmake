@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_zero_rtt.dir/bench_ext_zero_rtt.cc.o"
+  "CMakeFiles/bench_ext_zero_rtt.dir/bench_ext_zero_rtt.cc.o.d"
+  "bench_ext_zero_rtt"
+  "bench_ext_zero_rtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_zero_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_handover.dir/bench_fig11_handover.cc.o"
+  "CMakeFiles/bench_fig11_handover.dir/bench_fig11_handover.cc.o.d"
+  "bench_fig11_handover"
+  "bench_fig11_handover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_handover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_agg_lowbdp_noloss.dir/bench_fig4_agg_lowbdp_noloss.cc.o"
+  "CMakeFiles/bench_fig4_agg_lowbdp_noloss.dir/bench_fig4_agg_lowbdp_noloss.cc.o.d"
+  "bench_fig4_agg_lowbdp_noloss"
+  "bench_fig4_agg_lowbdp_noloss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_agg_lowbdp_noloss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4_agg_lowbdp_noloss.
+# This may be replaced when dependencies are built.

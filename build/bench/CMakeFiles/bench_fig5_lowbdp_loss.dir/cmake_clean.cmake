@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_lowbdp_loss.dir/bench_fig5_lowbdp_loss.cc.o"
+  "CMakeFiles/bench_fig5_lowbdp_loss.dir/bench_fig5_lowbdp_loss.cc.o.d"
+  "bench_fig5_lowbdp_loss"
+  "bench_fig5_lowbdp_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_lowbdp_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

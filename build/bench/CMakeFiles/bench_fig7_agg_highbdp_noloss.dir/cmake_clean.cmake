@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_agg_highbdp_noloss.dir/bench_fig7_agg_highbdp_noloss.cc.o"
+  "CMakeFiles/bench_fig7_agg_highbdp_noloss.dir/bench_fig7_agg_highbdp_noloss.cc.o.d"
+  "bench_fig7_agg_highbdp_noloss"
+  "bench_fig7_agg_highbdp_noloss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_agg_highbdp_noloss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

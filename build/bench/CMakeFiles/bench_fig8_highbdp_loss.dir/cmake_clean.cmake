@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_highbdp_loss.dir/bench_fig8_highbdp_loss.cc.o"
+  "CMakeFiles/bench_fig8_highbdp_loss.dir/bench_fig8_highbdp_loss.cc.o.d"
+  "bench_fig8_highbdp_loss"
+  "bench_fig8_highbdp_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_highbdp_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

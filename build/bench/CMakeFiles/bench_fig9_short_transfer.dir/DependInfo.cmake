@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig9_short_transfer.cc" "bench/CMakeFiles/bench_fig9_short_transfer.dir/bench_fig9_short_transfer.cc.o" "gcc" "bench/CMakeFiles/bench_fig9_short_transfer.dir/bench_fig9_short_transfer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/mpq_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/quic/CMakeFiles/mpq_quic.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mpq_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcpsim/CMakeFiles/mpq_tcpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/mpq_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/expdesign/CMakeFiles/mpq_expdesign.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mpq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

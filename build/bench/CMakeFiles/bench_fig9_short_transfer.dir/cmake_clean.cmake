@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_short_transfer.dir/bench_fig9_short_transfer.cc.o"
+  "CMakeFiles/bench_fig9_short_transfer.dir/bench_fig9_short_transfer.cc.o.d"
+  "bench_fig9_short_transfer"
+  "bench_fig9_short_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_short_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

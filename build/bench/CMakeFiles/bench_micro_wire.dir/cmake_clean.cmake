@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_wire.dir/bench_micro_wire.cc.o"
+  "CMakeFiles/bench_micro_wire.dir/bench_micro_wire.cc.o.d"
+  "bench_micro_wire"
+  "bench_micro_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

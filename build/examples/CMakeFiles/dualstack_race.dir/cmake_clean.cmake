@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dualstack_race.dir/dualstack_race.cpp.o"
+  "CMakeFiles/dualstack_race.dir/dualstack_race.cpp.o.d"
+  "dualstack_race"
+  "dualstack_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dualstack_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

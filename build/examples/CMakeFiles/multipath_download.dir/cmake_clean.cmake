@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multipath_download.dir/multipath_download.cpp.o"
+  "CMakeFiles/multipath_download.dir/multipath_download.cpp.o.d"
+  "multipath_download"
+  "multipath_download.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multipath_download.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_page_fetch.dir/web_page_fetch.cpp.o"
+  "CMakeFiles/web_page_fetch.dir/web_page_fetch.cpp.o.d"
+  "web_page_fetch"
+  "web_page_fetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_page_fetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wifi_to_lte_handover.dir/wifi_to_lte_handover.cpp.o"
+  "CMakeFiles/wifi_to_lte_handover.dir/wifi_to_lte_handover.cpp.o.d"
+  "wifi_to_lte_handover"
+  "wifi_to_lte_handover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wifi_to_lte_handover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wifi_to_lte_handover.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for wifi_to_lte_handover.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/cubic.cc" "src/cc/CMakeFiles/mpq_cc.dir/cubic.cc.o" "gcc" "src/cc/CMakeFiles/mpq_cc.dir/cubic.cc.o.d"
+  "/root/repo/src/cc/lia.cc" "src/cc/CMakeFiles/mpq_cc.dir/lia.cc.o" "gcc" "src/cc/CMakeFiles/mpq_cc.dir/lia.cc.o.d"
+  "/root/repo/src/cc/olia.cc" "src/cc/CMakeFiles/mpq_cc.dir/olia.cc.o" "gcc" "src/cc/CMakeFiles/mpq_cc.dir/olia.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mpq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpq_cc.dir/cubic.cc.o"
+  "CMakeFiles/mpq_cc.dir/cubic.cc.o.d"
+  "CMakeFiles/mpq_cc.dir/lia.cc.o"
+  "CMakeFiles/mpq_cc.dir/lia.cc.o.d"
+  "CMakeFiles/mpq_cc.dir/olia.cc.o"
+  "CMakeFiles/mpq_cc.dir/olia.cc.o.d"
+  "libmpq_cc.a"
+  "libmpq_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpq_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpq_common.dir/buf.cc.o"
+  "CMakeFiles/mpq_common.dir/buf.cc.o.d"
+  "CMakeFiles/mpq_common.dir/log.cc.o"
+  "CMakeFiles/mpq_common.dir/log.cc.o.d"
+  "CMakeFiles/mpq_common.dir/source.cc.o"
+  "CMakeFiles/mpq_common.dir/source.cc.o.d"
+  "CMakeFiles/mpq_common.dir/stats.cc.o"
+  "CMakeFiles/mpq_common.dir/stats.cc.o.d"
+  "libmpq_common.a"
+  "libmpq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpq_crypto.dir/aead.cc.o"
+  "CMakeFiles/mpq_crypto.dir/aead.cc.o.d"
+  "CMakeFiles/mpq_crypto.dir/chacha20.cc.o"
+  "CMakeFiles/mpq_crypto.dir/chacha20.cc.o.d"
+  "CMakeFiles/mpq_crypto.dir/siphash.cc.o"
+  "CMakeFiles/mpq_crypto.dir/siphash.cc.o.d"
+  "libmpq_crypto.a"
+  "libmpq_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpq_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

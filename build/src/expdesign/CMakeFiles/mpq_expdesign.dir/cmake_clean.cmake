@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpq_expdesign.dir/scenarios.cc.o"
+  "CMakeFiles/mpq_expdesign.dir/scenarios.cc.o.d"
+  "CMakeFiles/mpq_expdesign.dir/wsp.cc.o"
+  "CMakeFiles/mpq_expdesign.dir/wsp.cc.o.d"
+  "libmpq_expdesign.a"
+  "libmpq_expdesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpq_expdesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

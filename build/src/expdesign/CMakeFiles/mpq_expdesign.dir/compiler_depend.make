@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mpq_expdesign.
+# This may be replaced when dependencies are built.

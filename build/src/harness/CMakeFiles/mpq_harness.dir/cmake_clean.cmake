@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpq_harness.dir/figures.cc.o"
+  "CMakeFiles/mpq_harness.dir/figures.cc.o.d"
+  "CMakeFiles/mpq_harness.dir/runner.cc.o"
+  "CMakeFiles/mpq_harness.dir/runner.cc.o.d"
+  "libmpq_harness.a"
+  "libmpq_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpq_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

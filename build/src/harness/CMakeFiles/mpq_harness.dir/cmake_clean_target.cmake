@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmpq_harness.a"
+)

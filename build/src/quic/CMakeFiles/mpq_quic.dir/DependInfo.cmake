@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quic/connection.cc" "src/quic/CMakeFiles/mpq_quic.dir/connection.cc.o" "gcc" "src/quic/CMakeFiles/mpq_quic.dir/connection.cc.o.d"
+  "/root/repo/src/quic/endpoint.cc" "src/quic/CMakeFiles/mpq_quic.dir/endpoint.cc.o" "gcc" "src/quic/CMakeFiles/mpq_quic.dir/endpoint.cc.o.d"
+  "/root/repo/src/quic/path.cc" "src/quic/CMakeFiles/mpq_quic.dir/path.cc.o" "gcc" "src/quic/CMakeFiles/mpq_quic.dir/path.cc.o.d"
+  "/root/repo/src/quic/scheduler.cc" "src/quic/CMakeFiles/mpq_quic.dir/scheduler.cc.o" "gcc" "src/quic/CMakeFiles/mpq_quic.dir/scheduler.cc.o.d"
+  "/root/repo/src/quic/streams.cc" "src/quic/CMakeFiles/mpq_quic.dir/streams.cc.o" "gcc" "src/quic/CMakeFiles/mpq_quic.dir/streams.cc.o.d"
+  "/root/repo/src/quic/wire.cc" "src/quic/CMakeFiles/mpq_quic.dir/wire.cc.o" "gcc" "src/quic/CMakeFiles/mpq_quic.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mpq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mpq_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/mpq_cc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpq_quic.dir/connection.cc.o"
+  "CMakeFiles/mpq_quic.dir/connection.cc.o.d"
+  "CMakeFiles/mpq_quic.dir/endpoint.cc.o"
+  "CMakeFiles/mpq_quic.dir/endpoint.cc.o.d"
+  "CMakeFiles/mpq_quic.dir/path.cc.o"
+  "CMakeFiles/mpq_quic.dir/path.cc.o.d"
+  "CMakeFiles/mpq_quic.dir/scheduler.cc.o"
+  "CMakeFiles/mpq_quic.dir/scheduler.cc.o.d"
+  "CMakeFiles/mpq_quic.dir/streams.cc.o"
+  "CMakeFiles/mpq_quic.dir/streams.cc.o.d"
+  "CMakeFiles/mpq_quic.dir/wire.cc.o"
+  "CMakeFiles/mpq_quic.dir/wire.cc.o.d"
+  "libmpq_quic.a"
+  "libmpq_quic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpq_quic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpq_sim.dir/net.cc.o"
+  "CMakeFiles/mpq_sim.dir/net.cc.o.d"
+  "CMakeFiles/mpq_sim.dir/simulator.cc.o"
+  "CMakeFiles/mpq_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/mpq_sim.dir/topology.cc.o"
+  "CMakeFiles/mpq_sim.dir/topology.cc.o.d"
+  "libmpq_sim.a"
+  "libmpq_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpq_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcpsim/connection.cc" "src/tcpsim/CMakeFiles/mpq_tcpsim.dir/connection.cc.o" "gcc" "src/tcpsim/CMakeFiles/mpq_tcpsim.dir/connection.cc.o.d"
+  "/root/repo/src/tcpsim/endpoint.cc" "src/tcpsim/CMakeFiles/mpq_tcpsim.dir/endpoint.cc.o" "gcc" "src/tcpsim/CMakeFiles/mpq_tcpsim.dir/endpoint.cc.o.d"
+  "/root/repo/src/tcpsim/segment.cc" "src/tcpsim/CMakeFiles/mpq_tcpsim.dir/segment.cc.o" "gcc" "src/tcpsim/CMakeFiles/mpq_tcpsim.dir/segment.cc.o.d"
+  "/root/repo/src/tcpsim/subflow.cc" "src/tcpsim/CMakeFiles/mpq_tcpsim.dir/subflow.cc.o" "gcc" "src/tcpsim/CMakeFiles/mpq_tcpsim.dir/subflow.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mpq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/mpq_cc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpq_tcpsim.dir/connection.cc.o"
+  "CMakeFiles/mpq_tcpsim.dir/connection.cc.o.d"
+  "CMakeFiles/mpq_tcpsim.dir/endpoint.cc.o"
+  "CMakeFiles/mpq_tcpsim.dir/endpoint.cc.o.d"
+  "CMakeFiles/mpq_tcpsim.dir/segment.cc.o"
+  "CMakeFiles/mpq_tcpsim.dir/segment.cc.o.d"
+  "CMakeFiles/mpq_tcpsim.dir/subflow.cc.o"
+  "CMakeFiles/mpq_tcpsim.dir/subflow.cc.o.d"
+  "libmpq_tcpsim.a"
+  "libmpq_tcpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpq_tcpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

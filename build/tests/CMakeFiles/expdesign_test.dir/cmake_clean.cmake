@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expdesign_test.dir/expdesign_test.cc.o"
+  "CMakeFiles/expdesign_test.dir/expdesign_test.cc.o.d"
+  "expdesign_test"
+  "expdesign_test.pdb"
+  "expdesign_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expdesign_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_connection_test.dir/multi_connection_test.cc.o"
+  "CMakeFiles/multi_connection_test.dir/multi_connection_test.cc.o.d"
+  "multi_connection_test"
+  "multi_connection_test.pdb"
+  "multi_connection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_connection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quic_connection_test.dir/quic_connection_test.cc.o"
+  "CMakeFiles/quic_connection_test.dir/quic_connection_test.cc.o.d"
+  "quic_connection_test"
+  "quic_connection_test.pdb"
+  "quic_connection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quic_connection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

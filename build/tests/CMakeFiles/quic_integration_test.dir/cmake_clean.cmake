@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quic_integration_test.dir/quic_integration_test.cc.o"
+  "CMakeFiles/quic_integration_test.dir/quic_integration_test.cc.o.d"
+  "quic_integration_test"
+  "quic_integration_test.pdb"
+  "quic_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quic_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quic_machinery_test.dir/quic_machinery_test.cc.o"
+  "CMakeFiles/quic_machinery_test.dir/quic_machinery_test.cc.o.d"
+  "quic_machinery_test"
+  "quic_machinery_test.pdb"
+  "quic_machinery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quic_machinery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

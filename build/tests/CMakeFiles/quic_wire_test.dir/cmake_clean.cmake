@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quic_wire_test.dir/quic_wire_test.cc.o"
+  "CMakeFiles/quic_wire_test.dir/quic_wire_test.cc.o.d"
+  "quic_wire_test"
+  "quic_wire_test.pdb"
+  "quic_wire_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quic_wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_property_test.dir/wire_property_test.cc.o"
+  "CMakeFiles/wire_property_test.dir/wire_property_test.cc.o.d"
+  "wire_property_test"
+  "wire_property_test.pdb"
+  "wire_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

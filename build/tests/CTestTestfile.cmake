@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/cc_test[1]_include.cmake")
+include("/root/repo/build/tests/quic_wire_test[1]_include.cmake")
+include("/root/repo/build/tests/quic_machinery_test[1]_include.cmake")
+include("/root/repo/build/tests/quic_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/expdesign_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/quic_connection_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_connection_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/multi_connection_test[1]_include.cmake")
+include("/root/repo/build/tests/wire_property_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpq_experiment.dir/mpq_experiment.cc.o"
+  "CMakeFiles/mpq_experiment.dir/mpq_experiment.cc.o.d"
+  "mpq_experiment"
+  "mpq_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpq_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

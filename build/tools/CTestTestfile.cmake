@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(mpq_experiment_smoke "/root/repo/build/tools/mpq_experiment" "--scenarios" "/root/repo/build/tools/smoke_scenarios.txt" "--size" "262144" "--protocols" "quic,mpquic")
+set_tests_properties(mpq_experiment_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
