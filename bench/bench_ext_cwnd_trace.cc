@@ -84,10 +84,17 @@ void RunAndPrint(cc::Algorithm algorithm, const char* label) {
                 static_cast<double>(sample.srtt) / 1000.0);
   }
   std::size_t losses[2] = {0, 0};
+  PacketNumber last_lost_pn[2] = {0, 0};
   for (const auto& loss : tracer.losses()) {
-    if (loss.path <= 1) ++losses[loss.path];
+    if (loss.path <= 1) {
+      ++losses[loss.path];
+      last_lost_pn[loss.path] = loss.pn;
+    }
   }
-  std::printf("# losses: path0 %zu, path1 %zu\n\n", losses[0], losses[1]);
+  std::printf("# losses: path0 %zu (last pn %llu), path1 %zu (last pn "
+              "%llu)\n\n",
+              losses[0], static_cast<unsigned long long>(last_lost_pn[0]),
+              losses[1], static_cast<unsigned long long>(last_lost_pn[1]));
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 
 namespace mpq::harness {
@@ -46,6 +47,8 @@ ClassEvalOptions ParseBenchArgs(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       options.csv_dir = argv[++i];
       SetCsvDirectory(options.csv_dir);
+    } else if (std::strcmp(argv[i], "--obs") == 0 && i + 1 < argc) {
+      options.obs_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       options.progress = false;
     }
@@ -57,6 +60,11 @@ std::vector<ScenarioOutcome> EvaluateClass(expdesign::ScenarioClass klass,
                                            const ClassEvalOptions& options) {
   const auto scenarios = expdesign::GenerateScenarios(
       klass, options.scenario_count, options.seed);
+
+  if (!options.obs_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.obs_dir, ec);
+  }
 
   std::vector<ScenarioOutcome> outcomes;
   outcomes.reserve(scenarios.size());
@@ -77,6 +85,17 @@ std::vector<ScenarioOutcome> EvaluateClass(expdesign::ScenarioClass klass,
                                           run, options.repetitions);
       outcome.mptcp[path] = MedianTransfer(Protocol::kMptcp, scenario.paths,
                                            run, options.repetitions);
+      if (!options.obs_dir.empty()) {
+        // Per-scenario observability: one trace per (scenario, initial
+        // path) — repetitions rewrite it, so the file holds the last rep —
+        // plus one metrics row per repetition.
+        const std::string stem = "scenario_" +
+                                 std::to_string(scenario.index) + "_p" +
+                                 std::to_string(path);
+        run.qlog_path = options.obs_dir + "/" + stem + ".qlog";
+        run.metrics_path = options.obs_dir + "/metrics.ndjson";
+        run.metrics_label = stem;
+      }
       outcome.mpquic[path] = MedianTransfer(Protocol::kMpquic, scenario.paths,
                                             run, options.repetitions);
     }

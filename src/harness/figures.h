@@ -28,6 +28,11 @@ struct ClassEvalOptions {
   /// When non-empty, PrintCdf/PrintSummaryRow additionally write the full
   /// (un-thinned) series as CSV files into this directory.
   std::string csv_dir;
+  /// When non-empty, every MPQUIC run dumps a per-connection qlog trace
+  /// (scenario_<index>_p<initial>.qlog) into this directory and appends a
+  /// per-run metrics row to <obs_dir>/metrics.ndjson. The directory must
+  /// exist. See docs/OBSERVABILITY.md.
+  std::string obs_dir;
   /// Ablation knobs forwarded to every run.
   TransferOptions base_options;
 };
@@ -36,7 +41,7 @@ struct ClassEvalOptions {
 void SetCsvDirectory(const std::string& dir);
 
 /// Parse common bench arguments: --full (253 scenarios, 3 reps),
-/// --scenarios N, --reps N, --size BYTES, --quiet, --csv DIR.
+/// --scenarios N, --reps N, --size BYTES, --quiet, --csv DIR, --obs DIR.
 ClassEvalOptions ParseBenchArgs(int argc, char** argv);
 
 struct ScenarioOutcome {

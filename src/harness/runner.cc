@@ -1,10 +1,15 @@
 #include "harness/runner.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 
 #include "common/source.h"
+#include "obs/metrics_tracer.h"
+#include "obs/mux.h"
+#include "obs/qlog.h"
 #include "quic/endpoint.h"
 #include "sim/net.h"
 #include "sim/simulator.h"
@@ -93,11 +98,40 @@ TransferResult RunQuicTransfer(bool multipath,
   config.send_paths_frame = options.quic_send_paths_frame;
   config.pacing = options.quic_pacing;
 
+  // Observability sinks. Declared before the endpoints so the tracer
+  // outlives every connection holding a pointer to it; the mux stays
+  // empty (and no tracer is attached) when neither output is requested.
+  std::ofstream qlog_out;
+  std::unique_ptr<obs::QlogTracer> qlog;
+  obs::MetricsRegistry registry;
+  std::unique_ptr<obs::MetricsTracer> metrics;
+  obs::TracerMux mux;
+  if (!options.qlog_path.empty()) {
+    qlog_out.open(options.qlog_path, std::ios::trunc);
+    if (qlog_out.is_open()) {
+      qlog = std::make_unique<obs::QlogTracer>(
+          qlog_out, options.metrics_label.empty() ? "mpq-transfer"
+                                                  : options.metrics_label);
+      mux.Add(qlog.get());
+    } else {
+      std::fprintf(stderr, "warning: cannot open qlog output %s\n",
+                   options.qlog_path.c_str());
+    }
+  }
+  if (!options.metrics_path.empty()) {
+    metrics = std::make_unique<obs::MetricsTracer>(registry);
+    mux.Add(metrics.get());
+  }
+  obs::TracerMux* tracer = mux.size() > 0 ? &mux : nullptr;
+
   std::vector<sim::Address> server_locals(topo.server_addr.begin(),
                                           topo.server_addr.end());
   quic::ServerEndpoint server(sim, net, server_locals, config,
                               options.seed * 2 + 1);
-  server.SetAcceptHandler([](quic::Connection& conn) {
+  // The server connection sends the payload, so it is the interesting
+  // vantage point: scheduler decisions, losses and cwnd all live there.
+  server.SetAcceptHandler([tracer](quic::Connection& conn) {
+    if (tracer != nullptr) conn.SetTracer(tracer);
     auto request = std::make_shared<std::string>();
     conn.SetStreamDataHandler(
         [&conn, request](StreamId id, ByteCount,
@@ -145,8 +179,31 @@ TransferResult RunQuicTransfer(bool multipath,
   client.Connect(topo.server_addr[0]);
   while (!finished && sim.RunOne(options.time_limit)) {
   }
-  return FinishResult(finished, finish_time, received, options.transfer_size,
-                      options.time_limit, errors);
+  const TransferResult result =
+      FinishResult(finished, finish_time, received, options.transfer_size,
+                   options.time_limit, errors);
+
+  if (metrics != nullptr) {
+    std::ofstream out(options.metrics_path, std::ios::app);
+    if (out.is_open()) {
+      obs::JsonWriter writer;
+      writer.BeginObject();
+      writer.Key("label").String(options.metrics_label);
+      writer.Key("protocol").String(multipath ? "MPQUIC" : "QUIC");
+      writer.Key("seed").UInt(options.seed);
+      writer.Key("completed").Bool(result.completed);
+      writer.Key("time_s").Double(DurationToSeconds(result.completion_time));
+      writer.Key("goodput_mbps").Double(result.goodput_mbps);
+      writer.Key("metrics");
+      registry.WriteJson(writer);
+      writer.EndObject();
+      out << writer.str() << '\n';
+    } else {
+      std::fprintf(stderr, "warning: cannot open metrics output %s\n",
+                   options.metrics_path.c_str());
+    }
+  }
+  return result;
 }
 
 TransferResult RunTcpTransfer(bool multipath,

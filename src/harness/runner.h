@@ -45,6 +45,18 @@ struct TransferOptions {
   /// Pre-RACK lost-retransmission blind spot (Linux 4.1 default).
   bool tcp_lost_retransmission_needs_rto = true;
   bool quic_pacing = true;
+
+  // -- observability (QUIC family only) ----------------------------------
+  /// When non-empty, write an NDJSON qlog trace of the data-sending
+  /// (server) connection to this file (truncated per run).
+  std::string qlog_path;
+  /// When non-empty, append one NDJSON metrics row per run to this file:
+  /// {"label","protocol","seed","completed","time_s","goodput_mbps",
+  ///  "metrics":{<MetricsRegistry snapshot>}}.
+  std::string metrics_path;
+  /// Label stamped into the trace preamble and the metrics row
+  /// (scenario name, sweep point, ...).
+  std::string metrics_label;
 };
 
 struct TransferResult {

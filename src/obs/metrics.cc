@@ -1,0 +1,129 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace mpq::obs {
+
+std::size_t Histogram::BucketIndex(std::int64_t value) {
+  if (value < 0) value = 0;
+  const std::uint64_t v = static_cast<std::uint64_t>(value);
+  if (v < kUnitBuckets) return static_cast<std::size_t>(v);
+  // v >= 32: bit_width >= 6. Keep the top 5 significand bits: the leading
+  // 1 selects the power-of-two group, the next 4 the linear sub-bucket.
+  const int width = std::bit_width(v);
+  const int shift = width - 5;
+  const std::uint64_t top = v >> shift;  // in [16, 32)
+  return kUnitBuckets +
+         static_cast<std::size_t>(width - 6) * kSubBuckets +
+         static_cast<std::size_t>(top - kSubBuckets);
+}
+
+std::uint64_t Histogram::BucketLowerBound(std::size_t index) {
+  if (index < kUnitBuckets) return index;
+  const std::size_t group = (index - kUnitBuckets) / kSubBuckets;
+  const std::size_t sub = (index - kUnitBuckets) % kSubBuckets;
+  return (kSubBuckets + static_cast<std::uint64_t>(sub)) << (group + 1);
+}
+
+void Histogram::Record(std::int64_t value) {
+  if (value < 0) value = 0;
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  sum_ += value;
+  ++count_;
+  ++buckets_[BucketIndex(value)];
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // The extremes are tracked exactly; only interior percentiles go
+  // through the bucket approximation.
+  if (p == 0.0) return static_cast<double>(min());
+  if (p == 100.0) return static_cast<double>(max());
+  // Rank of the requested percentile, 1-based, nearest-rank method.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(p / 100.0 *
+                                    static_cast<double>(count_) +
+                                    0.5));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      const double low = static_cast<double>(BucketLowerBound(i));
+      const double high =
+          i + 1 < kBucketCount ? static_cast<double>(BucketLowerBound(i + 1))
+                               : low + 1.0;
+      const double mid = (low + high) / 2.0;
+      return std::clamp(mid, static_cast<double>(min()),
+                        static_cast<double>(max()));
+    }
+  }
+  return static_cast<double>(max());
+}
+
+void Histogram::WriteJson(JsonWriter& writer) const {
+  writer.BeginObject();
+  writer.Key("count").UInt(count_);
+  writer.Key("min").Int(min());
+  writer.Key("mean").Double(mean());
+  writer.Key("p50").Double(Percentile(50));
+  writer.Key("p90").Double(Percentile(90));
+  writer.Key("p99").Double(Percentile(99));
+  writer.Key("max").Int(max());
+  writer.EndObject();
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::WriteJson(JsonWriter& writer) const {
+  writer.BeginObject();
+  writer.Key("counters").BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    writer.Key(name).UInt(counter->value());
+  }
+  writer.EndObject();
+  writer.Key("gauges").BeginObject();
+  for (const auto& [name, gauge] : gauges_) {
+    writer.Key(name).Int(gauge->value());
+  }
+  writer.EndObject();
+  writer.Key("histograms").BeginObject();
+  for (const auto& [name, histogram] : histograms_) {
+    writer.Key(name);
+    histogram->WriteJson(writer);
+  }
+  writer.EndObject();
+  writer.EndObject();
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  JsonWriter writer;
+  WriteJson(writer);
+  return writer.str();
+}
+
+}  // namespace mpq::obs

@@ -1,0 +1,61 @@
+// Tracer that folds connection events into a MetricsRegistry instead of
+// logging them: counters for packets/frames/losses/RTOs, per-path byte
+// counters, histograms for srtt, ack delay, packet sizes and scheduler
+// decision latency. Pairs with TracerMux when a full qlog trace is also
+// wanted.
+#pragma once
+
+#include "obs/metrics.h"
+#include "quic/trace.h"
+
+namespace mpq::obs {
+
+class MetricsTracer final : public quic::ConnectionTracer {
+ public:
+  /// `registry` is not owned and must outlive the tracer. Metric names
+  /// are documented in docs/OBSERVABILITY.md; per-path metrics embed the
+  /// path id ("path.0.bytes_sent").
+  explicit MetricsTracer(MetricsRegistry& registry);
+
+  void OnPacketSent(TimePoint now, PathId path, PacketNumber pn,
+                    ByteCount bytes, bool retransmittable) override;
+  void OnPacketReceived(TimePoint now, PathId path, PacketNumber pn,
+                        ByteCount bytes) override;
+  void OnPacketLost(TimePoint now, PathId path, PacketNumber pn) override;
+  void OnFrameSent(TimePoint now, PathId path,
+                   const quic::Frame& frame) override;
+  void OnFrameReceived(TimePoint now, PathId path,
+                       const quic::Frame& frame) override;
+  void OnSchedulerDecision(TimePoint now, PathId chosen, const char* reason,
+                           std::uint64_t elapsed_ns) override;
+  void OnPathSample(TimePoint now, PathId path, ByteCount cwnd,
+                    ByteCount in_flight, Duration srtt) override;
+  void OnRto(TimePoint now, PathId path, int consecutive) override;
+  void OnFrameRetransmitQueued(TimePoint now, PathId path,
+                               const quic::Frame& frame) override;
+  void OnFlowControlBlocked(TimePoint now, StreamId stream) override;
+  void OnHandshakeEvent(TimePoint now, const char* milestone) override;
+  void OnPathStateChange(TimePoint now, PathId path,
+                         const char* state) override;
+
+ private:
+  Counter& PathCounter(PathId path, const char* suffix);
+
+  MetricsRegistry& registry_;
+  // Hot metrics resolved once at construction; registry references are
+  // stable for its lifetime.
+  Counter& packets_sent_;
+  Counter& packets_received_;
+  Counter& packets_lost_;
+  Counter& frames_sent_;
+  Counter& frames_received_;
+  Counter& frames_requeued_;
+  Counter& rtos_;
+  Counter& flow_blocked_;
+  Histogram& srtt_us_;
+  Histogram& ack_delay_us_;
+  Histogram& packet_bytes_;
+  Histogram& scheduler_ns_;
+};
+
+}  // namespace mpq::obs

@@ -1,0 +1,81 @@
+// Fan-out tracer: forwards every ConnectionTracer event to any number of
+// downstream tracers, so one connection can feed a QlogTracer (full
+// trace), a MetricsTracer (aggregates) and a test CountingTracer at
+// once. Downstream tracers are not owned and must outlive the mux.
+#pragma once
+
+#include <vector>
+
+#include "quic/trace.h"
+
+namespace mpq::obs {
+
+class TracerMux final : public quic::ConnectionTracer {
+ public:
+  TracerMux() = default;
+
+  /// Null sinks are ignored — callers can pass optionally-present tracers
+  /// without branching.
+  void Add(quic::ConnectionTracer* sink) {
+    if (sink != nullptr) sinks_.push_back(sink);
+  }
+
+  std::size_t size() const { return sinks_.size(); }
+
+  // -- ConnectionTracer ---------------------------------------------------
+  void OnPacketSent(TimePoint now, PathId path, PacketNumber pn,
+                    ByteCount bytes, bool retransmittable) override {
+    for (auto* sink : sinks_) {
+      sink->OnPacketSent(now, path, pn, bytes, retransmittable);
+    }
+  }
+  void OnPacketReceived(TimePoint now, PathId path, PacketNumber pn,
+                        ByteCount bytes) override {
+    for (auto* sink : sinks_) sink->OnPacketReceived(now, path, pn, bytes);
+  }
+  void OnPacketLost(TimePoint now, PathId path, PacketNumber pn) override {
+    for (auto* sink : sinks_) sink->OnPacketLost(now, path, pn);
+  }
+  void OnFrameSent(TimePoint now, PathId path,
+                   const quic::Frame& frame) override {
+    for (auto* sink : sinks_) sink->OnFrameSent(now, path, frame);
+  }
+  void OnFrameReceived(TimePoint now, PathId path,
+                       const quic::Frame& frame) override {
+    for (auto* sink : sinks_) sink->OnFrameReceived(now, path, frame);
+  }
+  void OnSchedulerDecision(TimePoint now, PathId chosen, const char* reason,
+                           std::uint64_t elapsed_ns) override {
+    for (auto* sink : sinks_) {
+      sink->OnSchedulerDecision(now, chosen, reason, elapsed_ns);
+    }
+  }
+  void OnPathSample(TimePoint now, PathId path, ByteCount cwnd,
+                    ByteCount in_flight, Duration srtt) override {
+    for (auto* sink : sinks_) {
+      sink->OnPathSample(now, path, cwnd, in_flight, srtt);
+    }
+  }
+  void OnRto(TimePoint now, PathId path, int consecutive) override {
+    for (auto* sink : sinks_) sink->OnRto(now, path, consecutive);
+  }
+  void OnFrameRetransmitQueued(TimePoint now, PathId path,
+                               const quic::Frame& frame) override {
+    for (auto* sink : sinks_) sink->OnFrameRetransmitQueued(now, path, frame);
+  }
+  void OnFlowControlBlocked(TimePoint now, StreamId stream) override {
+    for (auto* sink : sinks_) sink->OnFlowControlBlocked(now, stream);
+  }
+  void OnHandshakeEvent(TimePoint now, const char* milestone) override {
+    for (auto* sink : sinks_) sink->OnHandshakeEvent(now, milestone);
+  }
+  void OnPathStateChange(TimePoint now, PathId path,
+                         const char* state) override {
+    for (auto* sink : sinks_) sink->OnPathStateChange(now, path, state);
+  }
+
+ private:
+  std::vector<quic::ConnectionTracer*> sinks_;
+};
+
+}  // namespace mpq::obs

@@ -1,0 +1,82 @@
+// qlog-style structured trace writer: one compact JSON object per line
+// (NDJSON), one line per connection event, timestamped with the
+// simulated clock in microseconds. The schema follows qlog's spirit —
+// "name" is a category:event string, "data" carries the event fields —
+// without claiming conformance to the IETF qlog schema (our transport is
+// not RFC-QUIC). Read traces back with obs::ReadTrace or the mpq_trace
+// CLI.
+//
+// Event catalogue (see docs/OBSERVABILITY.md):
+//   transport:packet_sent     {path,pn,bytes,retransmittable}
+//   transport:packet_received {path,pn,bytes}
+//   transport:frame_sent      {path,frame,+frame fields}
+//   transport:frame_received  {path,frame,+frame fields}
+//   transport:handshake       {milestone}
+//   transport:path_state      {path,state}
+//   scheduler:decision        {path,reason,elapsed_ns}
+//   recovery:packet_lost      {path,pn}
+//   recovery:metrics_updated  {path,cwnd,bytes_in_flight,srtt_us}
+//   recovery:rto              {path,consecutive}
+//   recovery:frame_requeued   {path,frame}
+//   flow_control:blocked      {stream}
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "obs/json.h"
+#include "quic/trace.h"
+
+namespace mpq::obs {
+
+class QlogTracer final : public quic::ConnectionTracer {
+ public:
+  /// Writes events to `out` (not owned; must outlive the tracer).
+  /// `title` labels the trace in its preamble line (vantage point,
+  /// scenario name, ... — any string, it is JSON-escaped).
+  explicit QlogTracer(std::ostream& out, std::string title = "");
+  ~QlogTracer() override;
+
+  QlogTracer(const QlogTracer&) = delete;
+  QlogTracer& operator=(const QlogTracer&) = delete;
+
+  std::uint64_t events_written() const { return events_written_; }
+
+  // -- ConnectionTracer ---------------------------------------------------
+  void OnPacketSent(TimePoint now, PathId path, PacketNumber pn,
+                    ByteCount bytes, bool retransmittable) override;
+  void OnPacketReceived(TimePoint now, PathId path, PacketNumber pn,
+                        ByteCount bytes) override;
+  void OnPacketLost(TimePoint now, PathId path, PacketNumber pn) override;
+  void OnFrameSent(TimePoint now, PathId path,
+                   const quic::Frame& frame) override;
+  void OnFrameReceived(TimePoint now, PathId path,
+                       const quic::Frame& frame) override;
+  void OnSchedulerDecision(TimePoint now, PathId chosen, const char* reason,
+                           std::uint64_t elapsed_ns) override;
+  void OnPathSample(TimePoint now, PathId path, ByteCount cwnd,
+                    ByteCount in_flight, Duration srtt) override;
+  void OnRto(TimePoint now, PathId path, int consecutive) override;
+  void OnFrameRetransmitQueued(TimePoint now, PathId path,
+                               const quic::Frame& frame) override;
+  void OnFlowControlBlocked(TimePoint now, StreamId stream) override;
+  void OnHandshakeEvent(TimePoint now, const char* milestone) override;
+  void OnPathStateChange(TimePoint now, PathId path,
+                         const char* state) override;
+
+ private:
+  /// Open an event line: {"time":now,"name":name,"data":{ ... leaves the
+  /// data object open for the caller to fill; FinishEvent closes it and
+  /// flushes the line.
+  JsonWriter& StartEvent(TimePoint now, const char* name);
+  void FinishEvent();
+  void FrameEvent(TimePoint now, const char* name, PathId path,
+                  const quic::Frame& frame);
+
+  std::ostream& out_;
+  JsonWriter writer_;  // reused buffer, one event at a time
+  std::uint64_t events_written_ = 0;
+};
+
+}  // namespace mpq::obs

@@ -1,0 +1,91 @@
+#include "obs/trace_reader.h"
+
+#include <string_view>
+
+#include "obs/json.h"
+
+namespace mpq::obs {
+
+namespace {
+
+std::int64_t FieldInt(const JsonValue& data, std::string_view key,
+                      std::int64_t fallback = 0) {
+  const JsonValue* v = data.Find(key);
+  return v == nullptr ? fallback : v->AsInt(fallback);
+}
+
+std::string FieldString(const JsonValue& data, std::string_view key) {
+  const JsonValue* v = data.Find(key);
+  return v == nullptr ? std::string() : v->AsString();
+}
+
+}  // namespace
+
+TraceSummary ReadTrace(std::istream& in) {
+  TraceSummary summary;
+  bool first_event = true;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto parsed = JsonValue::Parse(line);
+    if (!parsed.has_value()) {
+      ++summary.malformed;
+      continue;
+    }
+    const JsonValue& event = *parsed;
+    if (event.Find("qlog_format") != nullptr) {
+      summary.title = FieldString(event, "title");
+      continue;  // preamble
+    }
+    const JsonValue* name_value = event.Find("name");
+    const JsonValue* time_value = event.Find("time");
+    if (name_value == nullptr || time_value == nullptr) {
+      ++summary.malformed;
+      continue;
+    }
+    const std::string& name = name_value->AsString();
+    const TimePoint time = time_value->AsInt();
+    ++summary.events;
+    ++summary.events_by_name[name];
+    if (first_event) {
+      summary.first_time = time;
+      first_event = false;
+    }
+    summary.last_time = time;
+
+    const JsonValue* data_ptr = event.Find("data");
+    static const JsonValue kEmpty;
+    const JsonValue& data = data_ptr != nullptr ? *data_ptr : kEmpty;
+    const int path = static_cast<int>(FieldInt(data, "path", -1));
+
+    if (name == "transport:packet_sent") {
+      auto& p = summary.paths[path];
+      ++p.packets_sent;
+      p.bytes_sent += static_cast<std::uint64_t>(FieldInt(data, "bytes"));
+    } else if (name == "transport:packet_received") {
+      ++summary.paths[path].packets_received;
+    } else if (name == "recovery:packet_lost") {
+      ++summary.paths[path].packets_lost;
+    } else if (name == "transport:frame_sent") {
+      ++summary.paths[path].frames_sent;
+      ++summary.frames_sent_by_type[FieldString(data, "frame")];
+    } else if (name == "scheduler:decision") {
+      ++summary.paths[path].scheduled;
+      ++summary.scheduler_reasons[FieldString(data, "reason")];
+    } else if (name == "recovery:metrics_updated") {
+      auto& p = summary.paths[path];
+      p.cwnd_samples.push_back(
+          static_cast<double>(FieldInt(data, "cwnd")));
+      p.srtt_samples_us.push_back(
+          static_cast<double>(FieldInt(data, "srtt_us")));
+    } else if (name == "recovery:rto") {
+      ++summary.paths[path].rtos;
+    } else if (name == "transport:handshake") {
+      summary.handshake_milestones[FieldString(data, "milestone")] = time;
+    }
+    // Other event types only contribute to events_by_name.
+  }
+  return summary;
+}
+
+}  // namespace mpq::obs

@@ -1,0 +1,48 @@
+// Reader for the NDJSON traces QlogTracer writes: parses a stream line by
+// line and aggregates a per-path / per-event summary. Backs the mpq_trace
+// CLI and the observability round-trip tests.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mpq::obs {
+
+struct PathSummary {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_received = 0;
+  std::uint64_t packets_lost = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t scheduled = 0;  // scheduler:decision events choosing this path
+  std::uint64_t rtos = 0;
+  std::vector<double> cwnd_samples;  // from recovery:metrics_updated
+  std::vector<double> srtt_samples_us;
+};
+
+struct TraceSummary {
+  std::string title;             // from the preamble line, if present
+  std::uint64_t events = 0;      // event lines parsed
+  std::uint64_t malformed = 0;   // lines that failed to parse as events
+  TimePoint first_time = 0;
+  TimePoint last_time = 0;
+
+  std::map<int, PathSummary> paths;
+  std::map<std::string, std::uint64_t> events_by_name;
+  std::map<std::string, std::uint64_t> frames_sent_by_type;
+  std::map<std::string, std::uint64_t> scheduler_reasons;
+  std::map<std::string, TimePoint> handshake_milestones;  // name -> time
+};
+
+/// Read a whole NDJSON trace. Lines that are not valid event objects
+/// (including the preamble) are counted in `malformed` — except the
+/// preamble, which is recognised by its "qlog_format" member and supplies
+/// `title`. Never throws; an empty stream yields an empty summary.
+TraceSummary ReadTrace(std::istream& in);
+
+}  // namespace mpq::obs

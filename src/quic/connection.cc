@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 #include "cc/cubic.h"
 #include "cc/newreno.h"
@@ -89,6 +90,10 @@ void Connection::OnIdleFailureTimer() {
   if (closed_ || !established_) return;
   if (ExpectingData() && !paths_.empty()) {
     PathRuntime& runtime = *paths_.begin()->second;
+    if (tracer_ != nullptr && !runtime.path->potentially_failed()) {
+      tracer_->OnPathStateChange(sim_.now(), runtime.path->id(),
+                                 "potentially-failed");
+    }
     runtime.path->set_potentially_failed(true);
     TryAutoMigrate(runtime);
   }
@@ -150,6 +155,9 @@ Connection::PathRuntime& Connection::CreatePath(PathId id, sim::Address local,
   assert(inserted);
   MPQ_DEBUG(sim_.now(), "quic", "cid=%llu new path %u",
             static_cast<unsigned long long>(cid_), id);
+  if (tracer_ != nullptr) {
+    tracer_->OnPathStateChange(sim_.now(), id, "created");
+  }
   return *it->second;
 }
 
@@ -210,6 +218,7 @@ void Connection::SendChlo() {
         PaddingFrame{static_cast<std::uint32_t>(kMinChloSize - body)});
   }
   chlo_sent_time_ = sim_.now();
+  if (tracer_ != nullptr) tracer_->OnHandshakeEvent(sim_.now(), "chlo-sent");
   TransmitPacket(*paths_.at(0), std::move(frames), /*retransmittable=*/false,
                  /*handshake_cleartext=*/true);
   const Duration timeout = config_.handshake_timeout
@@ -255,6 +264,9 @@ void Connection::HandleChlo(const HandshakeFrame& chlo,
                 chlo.version) == config_.supported_versions.end()) {
     return;
   }
+  if (tracer_ != nullptr) {
+    tracer_->OnHandshakeEvent(sim_.now(), "chlo-received");
+  }
   if (!established_) {
     client_nonce_ = chlo.nonce;
     server_nonce_ =
@@ -274,12 +286,16 @@ void Connection::HandleChlo(const HandshakeFrame& chlo,
   shlo.peer_addresses = local_addresses_;
   std::vector<Frame> frames;
   frames.emplace_back(std::move(shlo));
+  if (tracer_ != nullptr) tracer_->OnHandshakeEvent(sim_.now(), "shlo-sent");
   TransmitPacket(*paths_.at(0), std::move(frames), /*retransmittable=*/false,
                  /*handshake_cleartext=*/true);
 }
 
 void Connection::HandleShlo(const HandshakeFrame& shlo) {
   shlo_received_ = true;
+  if (tracer_ != nullptr) {
+    tracer_->OnHandshakeEvent(sim_.now(), "shlo-received");
+  }
   if (handshake_timer_) handshake_timer_->Cancel();
   if (established_) {
     // 0-RTT: the SHLO only confirms; note the peer's addresses (the
@@ -315,6 +331,9 @@ void Connection::BecomeEstablished() {
   MPQ_DEBUG(sim_.now(), "quic", "cid=%llu established (%s)",
             static_cast<unsigned long long>(cid_),
             perspective_ == Perspective::kClient ? "client" : "server");
+  if (tracer_ != nullptr) {
+    tracer_->OnHandshakeEvent(sim_.now(), "established");
+  }
   // §3 "Path Management": advertise our other addresses so the peer can
   // open paths toward them (the server already put its own in the SHLO).
   if (config_.multipath && config_.advertise_addresses &&
@@ -360,8 +379,11 @@ void Connection::RemoveLocalAddress(sim::Address address) {
   std::erase(local_addresses_, address);
   for (auto& [id, rt] : paths_) {
     if (rt->path->local_address() == address) {
+      if (tracer_ != nullptr && !rt->path->potentially_failed()) {
+        tracer_->OnPathStateChange(sim_.now(), id, "potentially-failed");
+      }
       rt->path->set_potentially_failed(true);
-      RequeueLostFrames(rt->path->OnRetransmissionTimeout(sim_.now()));
+      RequeueLostFrames(id, rt->path->OnRetransmissionTimeout(sim_.now()));
     }
   }
   EnqueueControl(RemoveAddressFrame{{address}});
@@ -542,6 +564,11 @@ void Connection::OnEncryptedPacket(const ParsedHeader& parsed,
 
 void Connection::ProcessFrames(PathRuntime& runtime,
                                const std::vector<Frame>& frames) {
+  if (tracer_ != nullptr) {
+    for (const Frame& frame : frames) {
+      tracer_->OnFrameReceived(sim_.now(), runtime.path->id(), frame);
+    }
+  }
   for (const Frame& frame : frames) {
     if (closed_) return;
     std::visit(
@@ -627,7 +654,7 @@ void Connection::OnAckFrame(const AckFrame& ack) {
       EnqueueControl(BuildPathsFrame());  // path recovered: tell the peer
     }
   }
-  RequeueLostFrames(std::move(result.lost));
+  RequeueLostFrames(ack.path_id, std::move(result.lost));
   RearmRetxTimer(runtime);
 }
 
@@ -866,6 +893,7 @@ void Connection::TrySend() {
     }
     if (data_waiting && !blocked_reported_) {
       blocked_reported_ = true;
+      if (tracer_ != nullptr) tracer_->OnFlowControlBlocked(sim_.now(), 0);
       EnqueueControl(BlockedFrame{0});
     }
   } else {
@@ -880,7 +908,9 @@ void Connection::TrySend() {
     if (!have_control && !AnyStreamHasData()) break;
     std::vector<Path*> eligible;
     bool pacing_blocked = false;
+    bool usable_exists = false;
     for (auto& [id, runtime] : paths_) {
+      if (runtime->path->Usable()) usable_exists = true;
       if (PacingAllows(*runtime, config_.max_packet_size)) {
         eligible.push_back(runtime->path.get());
       } else if (runtime->path->Usable() &&
@@ -889,8 +919,31 @@ void Connection::TrySend() {
         pacing_blocked = true;
       }
     }
-    Path* chosen =
-        scheduler_->SelectPath(eligible, config_.max_packet_size);
+    // A potentially-failed path is a last resort: the scheduler's
+    // failed-path fallback must only engage when NO path is usable.
+    // Offering a failed path while a live one is merely pacing- or
+    // cwnd-limited strands fresh data on a black-holed link, where only
+    // an RTO can recover it. Wait for the live path instead.
+    if (usable_exists) {
+      std::erase_if(eligible, [](Path* p) { return !p->Usable(); });
+    }
+    Path* chosen;
+    if (tracer_ != nullptr) {
+      // Measured decision: the wall-clock cost of the scheduler itself is
+      // one of the hot-path numbers the metrics registry tracks. Only the
+      // traced configuration pays for the clock reads.
+      const auto before = std::chrono::steady_clock::now();
+      chosen = scheduler_->SelectPath(eligible, config_.max_packet_size);
+      const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - before);
+      if (chosen != nullptr) {
+        tracer_->OnSchedulerDecision(
+            sim_.now(), chosen->id(), scheduler_->last_reason(),
+            static_cast<std::uint64_t>(elapsed.count()));
+      }
+    } else {
+      chosen = scheduler_->SelectPath(eligible, config_.max_packet_size);
+    }
     if (chosen == nullptr) {
       if (pacing_blocked) ArmPaceTimer();
       break;
@@ -906,6 +959,10 @@ void Connection::TrySend() {
                eligible, chosen, config_.max_packet_size)) {
         PathRuntime& dup = *paths_.at(target->id());
         ++stats_.duplicated_scheduler_packets;
+        if (tracer_ != nullptr) {
+          tracer_->OnSchedulerDecision(sim_.now(), target->id(), "duplicate",
+                                       0);
+        }
         SendOnePacket(dup, /*include_stream_data=*/false,
                       &sent_stream_frames, nullptr);
       }
@@ -1020,6 +1077,11 @@ void Connection::TransmitPacket(PathRuntime& runtime,
                                 bool retransmittable,
                                 bool handshake_cleartext) {
   Path& path = *runtime.path;
+  if (tracer_ != nullptr) {
+    for (const Frame& frame : frames) {
+      tracer_->OnFrameSent(sim_.now(), path.id(), frame);
+    }
+  }
   PacketHeader header;
   header.cid = cid_;
   header.path_id = path.id();
@@ -1072,9 +1134,12 @@ void Connection::TransmitPacket(PathRuntime& runtime,
 // ---------------------------------------------------------------------------
 // Loss recovery
 
-void Connection::RequeueLostFrames(std::vector<SentPacket> lost) {
+void Connection::RequeueLostFrames(PathId path, std::vector<SentPacket> lost) {
   for (SentPacket& packet : lost) {
     for (Frame& frame : packet.frames) {
+      if (tracer_ != nullptr) {
+        tracer_->OnFrameRetransmitQueued(sim_.now(), path, frame);
+      }
       std::visit(
           [&](auto& f) {
             using T = std::decay_t<decltype(f)>;
@@ -1113,9 +1178,13 @@ void Connection::RearmRetxTimer(PathRuntime& runtime) {
   Path& path = *runtime.path;
   TimePoint deadline = path.NextLossTime();
   if (path.HasInFlight()) {
-    const TimePoint rto_deadline = std::max(path.last_send_time(),
-                                            path.OldestInFlightSentTime()) +
-                                   path.CurrentRto();
+    // Anchor the RTO on the oldest outstanding packet, not the last
+    // transmission: periodic sends (e.g. the 1 Hz probe pings on a
+    // potentially-failed path) would otherwise push the deadline back
+    // forever once the backed-off RTO exceeds the send interval, and
+    // stranded in-flight data would never be redeclared lost.
+    const TimePoint rto_deadline =
+        path.OldestInFlightSentTime() + path.CurrentRto();
     deadline = std::min(deadline, rto_deadline);
   }
   if (deadline == kTimeInfinite) {
@@ -1129,11 +1198,14 @@ void Connection::OnRetxTimer(PathRuntime& runtime) {
   Path& path = *runtime.path;
   if (closed_) return;
   if (sim_.now() >= path.NextLossTime()) {
-    RequeueLostFrames(path.DetectTimeThresholdLosses(sim_.now()));
+    RequeueLostFrames(path.id(), path.DetectTimeThresholdLosses(sim_.now()));
   } else if (path.HasInFlight()) {
     ++stats_.rto_events;
     const bool was_failed = path.potentially_failed();
-    RequeueLostFrames(path.OnRetransmissionTimeout(sim_.now()));
+    RequeueLostFrames(path.id(), path.OnRetransmissionTimeout(sim_.now()));
+    if (tracer_ != nullptr) {
+      tracer_->OnRto(sim_.now(), path.id(), path.rto_count());
+    }
     if (!was_failed && path.potentially_failed()) {
       OnPathPotentiallyFailed(runtime);
     }
@@ -1187,8 +1259,11 @@ void Connection::MigratePath(PathId id, sim::Address new_local,
   PathRuntime& runtime = *it->second;
   MPQ_DEBUG(sim_.now(), "quic", "cid=%llu migrating path %u",
             static_cast<unsigned long long>(cid_), id);
-  RequeueLostFrames(runtime.path->Migrate(new_local, new_remote,
-                                          MakeController(), sim_.now()));
+  if (tracer_ != nullptr) {
+    tracer_->OnPathStateChange(sim_.now(), id, "migrated");
+  }
+  RequeueLostFrames(id, runtime.path->Migrate(new_local, new_remote,
+                                              MakeController(), sim_.now()));
   runtime.retx_timer->Cancel();
   runtime.probe_timer->Cancel();
   runtime.pace_tokens = 0.0;

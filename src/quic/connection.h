@@ -248,7 +248,9 @@ class Connection {
   void EnqueueControl(Frame frame);
 
   // -- loss recovery ------------------------------------------------------
-  void RequeueLostFrames(std::vector<SentPacket> lost);
+  /// `path` is the path the lost packets were sent on (the frames may be
+  /// retransmitted on any path); it labels the tracer's requeue events.
+  void RequeueLostFrames(PathId path, std::vector<SentPacket> lost);
   void OnRetxTimer(PathRuntime& runtime);
   void RearmRetxTimer(PathRuntime& runtime);
   void OnProbeTimer(PathRuntime& runtime);

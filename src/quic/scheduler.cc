@@ -37,7 +37,11 @@ Path* LowestRttScheduler::SelectPath(const std::vector<Path*>& paths,
       best = p;
     }
   }
-  if (best != nullptr) return best;
+  if (best != nullptr) {
+    last_reason_ = "lowest-rtt";
+    return best;
+  }
+  last_reason_ = "rtt-unknown-initial";
   return *std::min_element(candidates.begin(), candidates.end(),
                            [](const Path* a, const Path* b) {
                              return a->id() < b->id();
@@ -61,6 +65,7 @@ std::vector<Path*> LowestRttScheduler::DuplicationTargets(
 
 Path* PingFirstScheduler::SelectPath(const std::vector<Path*>& paths,
                                      ByteCount bytes) {
+  last_reason_ = "ping-first";
   std::vector<Path*> candidates = Candidates(paths, bytes);
   Path* best = nullptr;
   bool any_measured = false;
@@ -85,6 +90,7 @@ Path* PingFirstScheduler::SelectPath(const std::vector<Path*>& paths,
 
 Path* RoundRobinScheduler::SelectPath(const std::vector<Path*>& paths,
                                       ByteCount bytes) {
+  last_reason_ = "round-robin";
   std::vector<Path*> candidates = Candidates(paths, bytes);
   if (candidates.empty()) return nullptr;
   std::sort(candidates.begin(), candidates.end(),
@@ -98,6 +104,7 @@ Path* RoundRobinScheduler::SelectPath(const std::vector<Path*>& paths,
 
 Path* RedundantScheduler::SelectPath(const std::vector<Path*>& paths,
                                      ByteCount bytes) {
+  last_reason_ = "redundant";
   std::vector<Path*> candidates = Candidates(paths, bytes);
   if (candidates.empty()) return nullptr;
   Path* best = nullptr;

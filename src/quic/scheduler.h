@@ -53,10 +53,17 @@ class Scheduler {
 
   virtual std::string name() const = 0;
 
+  /// Why the last SelectPath call chose its path (a static string such as
+  /// "lowest-rtt" or "rtt-unknown-initial"). Valid until the next call;
+  /// feeds the tracer's scheduler-decision events.
+  const char* last_reason() const { return last_reason_; }
+
  protected:
   /// Candidates: usable, window room; falls back to failed paths.
   static std::vector<Path*> Candidates(const std::vector<Path*>& paths,
                                        ByteCount bytes);
+
+  const char* last_reason_ = "none";
 };
 
 std::unique_ptr<Scheduler> MakeScheduler(SchedulerType type);

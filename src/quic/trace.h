@@ -1,25 +1,33 @@
 // Connection observability (a qlog-style event hook): the Connection
-// reports packet, loss, RTT, congestion and path-state events to an
-// attached tracer. Used by the diagnostic benches (congestion-window
-// evolution across paths) and available to library users for debugging —
-// real QUIC stacks grew the same facility (qlog) for the same reason.
+// reports packet, frame, scheduler, loss-recovery, flow-control,
+// handshake and path-state events to an attached tracer. Used by the
+// diagnostic benches (congestion-window evolution across paths), the
+// structured tracers in src/obs/ (NDJSON qlog writer, metrics registry)
+// and available to library users for debugging — real QUIC stacks grew
+// the same facility (qlog) for the same reason.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "common/types.h"
+#include "quic/wire.h"
 
 namespace mpq::quic {
 
 /// Observer interface. Default implementations ignore everything, so a
 /// tracer only overrides what it cares about. Callbacks fire synchronously
-/// on the simulated-event path; implementations must be cheap.
+/// on the simulated-event path; implementations must be cheap. The
+/// Connection guards every emission with a single null check, so an
+/// unattached tracer costs nothing on the datapath.
 class ConnectionTracer {
  public:
   virtual ~ConnectionTracer() = default;
 
+  // -- packet level -------------------------------------------------------
   virtual void OnPacketSent(TimePoint /*now*/, PathId /*path*/,
                             PacketNumber /*pn*/, ByteCount /*bytes*/,
                             bool /*retransmittable*/) {}
@@ -27,17 +35,63 @@ class ConnectionTracer {
                                 PacketNumber /*pn*/, ByteCount /*bytes*/) {}
   virtual void OnPacketLost(TimePoint /*now*/, PathId /*path*/,
                             PacketNumber /*pn*/) {}
+
+  // -- frame level --------------------------------------------------------
+  /// Fired once per frame assembled into an outgoing packet, before the
+  /// packet is sealed and transmitted.
+  virtual void OnFrameSent(TimePoint /*now*/, PathId /*path*/,
+                           const Frame& /*frame*/) {}
+  /// Fired once per frame decoded from an incoming packet, before the
+  /// frame is processed.
+  virtual void OnFrameReceived(TimePoint /*now*/, PathId /*path*/,
+                               const Frame& /*frame*/) {}
+
+  // -- scheduler ----------------------------------------------------------
+  /// One data-packet scheduling decision. `reason` is the scheduler's
+  /// explanation ("lowest-rtt", "rtt-unknown-initial", "round-robin",
+  /// "redundant", "ping-first", or "duplicate" for the §3 copy sent onto
+  /// an unknown-RTT path). `elapsed_ns` is the wall-clock time the
+  /// decision took (0 when not measured — duplication decisions ride on
+  /// the primary decision's measurement).
+  virtual void OnSchedulerDecision(TimePoint /*now*/, PathId /*chosen*/,
+                                   const char* /*reason*/,
+                                   std::uint64_t /*elapsed_ns*/) {}
+
+  // -- loss recovery ------------------------------------------------------
   /// Fired whenever an ACK updates a path: current cwnd, bytes in flight
   /// and smoothed RTT.
   virtual void OnPathSample(TimePoint /*now*/, PathId /*path*/,
                             ByteCount /*cwnd*/, ByteCount /*in_flight*/,
                             Duration /*srtt*/) {}
+  /// Retransmission timeout fired on a path; `consecutive` is the path's
+  /// current RTO backoff count.
+  virtual void OnRto(TimePoint /*now*/, PathId /*path*/,
+                     int /*consecutive*/) {}
+  /// A retransmittable frame from a lost packet re-entered a send queue
+  /// (it may go out on any path — MPQUIC frame-level retransmission, §3).
+  virtual void OnFrameRetransmitQueued(TimePoint /*now*/, PathId /*path*/,
+                                       const Frame& /*frame*/) {}
+
+  // -- flow control -------------------------------------------------------
+  /// Sending stalled on the peer's flow-control window (stream 0 = the
+  /// connection-level window). Fired once per blocked episode.
+  virtual void OnFlowControlBlocked(TimePoint /*now*/,
+                                    StreamId /*stream*/) {}
+
+  // -- handshake / path lifecycle -----------------------------------------
+  /// Handshake milestones: "chlo-sent", "chlo-received", "shlo-sent",
+  /// "shlo-received", "established".
+  virtual void OnHandshakeEvent(TimePoint /*now*/,
+                                const char* /*milestone*/) {}
+  /// Path lifecycle: "created", "potentially-failed", "recovered",
+  /// "migrated".
   virtual void OnPathStateChange(TimePoint /*now*/, PathId /*path*/,
                                  const char* /*state*/) {}
 };
 
 /// Collects per-path time series of (time, cwnd, srtt) — the data behind
-/// a congestion-evolution plot.
+/// a congestion-evolution plot — plus the loss events as their own record
+/// type.
 class TimeSeriesTracer final : public ConnectionTracer {
  public:
   struct Sample {
@@ -48,20 +102,26 @@ class TimeSeriesTracer final : public ConnectionTracer {
     Duration srtt = 0;
   };
 
+  struct LossRecord {
+    TimePoint time = 0;
+    PathId path = 0;
+    PacketNumber pn = 0;
+  };
+
   void OnPathSample(TimePoint now, PathId path, ByteCount cwnd,
                     ByteCount in_flight, Duration srtt) override {
     samples_.push_back({now, path, cwnd, in_flight, srtt});
   }
-  void OnPacketLost(TimePoint now, PathId path, PacketNumber) override {
-    losses_.push_back({now, path, 0, 0, 0});
+  void OnPacketLost(TimePoint now, PathId path, PacketNumber pn) override {
+    losses_.push_back({now, path, pn});
   }
 
   const std::vector<Sample>& samples() const { return samples_; }
-  const std::vector<Sample>& losses() const { return losses_; }
+  const std::vector<LossRecord>& losses() const { return losses_; }
 
  private:
   std::vector<Sample> samples_;
-  std::vector<Sample> losses_;
+  std::vector<LossRecord> losses_;
 };
 
 /// Counts events — handy in tests for asserting behaviour without poking
@@ -71,23 +131,56 @@ class CountingTracer final : public ConnectionTracer {
   std::uint64_t packets_sent = 0;
   std::uint64_t packets_received = 0;
   std::uint64_t packets_lost = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t scheduler_decisions = 0;
   std::uint64_t path_samples = 0;
+  std::uint64_t rto_events = 0;
+  std::uint64_t frames_requeued = 0;
+  std::uint64_t flow_blocked_events = 0;
+  std::uint64_t handshake_events = 0;
+  std::map<PathId, std::uint64_t> packets_sent_by_path;
+  std::map<PathId, std::uint64_t> packets_lost_by_path;
+  std::map<PathId, std::uint64_t> bytes_sent_by_path;
   std::vector<std::string> state_changes;  // "path:state"
 
-  void OnPacketSent(TimePoint, PathId, PacketNumber, ByteCount,
+  void OnPacketSent(TimePoint, PathId path, PacketNumber, ByteCount bytes,
                     bool) override {
     ++packets_sent;
+    ++packets_sent_by_path[path];
+    bytes_sent_by_path[path] += bytes;
   }
   void OnPacketReceived(TimePoint, PathId, PacketNumber,
                         ByteCount) override {
     ++packets_received;
   }
-  void OnPacketLost(TimePoint, PathId, PacketNumber) override {
+  void OnPacketLost(TimePoint, PathId path, PacketNumber) override {
     ++packets_lost;
+    ++packets_lost_by_path[path];
+  }
+  void OnFrameSent(TimePoint, PathId, const Frame&) override {
+    ++frames_sent;
+  }
+  void OnFrameReceived(TimePoint, PathId, const Frame&) override {
+    ++frames_received;
+  }
+  void OnSchedulerDecision(TimePoint, PathId, const char*,
+                           std::uint64_t) override {
+    ++scheduler_decisions;
   }
   void OnPathSample(TimePoint, PathId, ByteCount, ByteCount,
                     Duration) override {
     ++path_samples;
+  }
+  void OnRto(TimePoint, PathId, int) override { ++rto_events; }
+  void OnFrameRetransmitQueued(TimePoint, PathId, const Frame&) override {
+    ++frames_requeued;
+  }
+  void OnFlowControlBlocked(TimePoint, StreamId) override {
+    ++flow_blocked_events;
+  }
+  void OnHandshakeEvent(TimePoint, const char*) override {
+    ++handshake_events;
   }
   void OnPathStateChange(TimePoint, PathId path,
                          const char* state) override {

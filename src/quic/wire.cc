@@ -452,4 +452,32 @@ bool IsRetransmittable(const Frame& frame) {
          !std::holds_alternative<PaddingFrame>(frame);
 }
 
+const char* FrameTypeName(const Frame& frame) {
+  return std::visit(
+      [](const auto& f) -> const char* {
+        using T = std::decay_t<decltype(f)>;
+        if constexpr (std::is_same_v<T, PaddingFrame>) return "PADDING";
+        if constexpr (std::is_same_v<T, PingFrame>) return "PING";
+        if constexpr (std::is_same_v<T, ConnectionCloseFrame>) {
+          return "CONNECTION_CLOSE";
+        }
+        if constexpr (std::is_same_v<T, RstStreamFrame>) return "RST_STREAM";
+        if constexpr (std::is_same_v<T, WindowUpdateFrame>) {
+          return "WINDOW_UPDATE";
+        }
+        if constexpr (std::is_same_v<T, BlockedFrame>) return "BLOCKED";
+        if constexpr (std::is_same_v<T, HandshakeFrame>) return "HANDSHAKE";
+        if constexpr (std::is_same_v<T, AddAddressFrame>) {
+          return "ADD_ADDRESS";
+        }
+        if constexpr (std::is_same_v<T, RemoveAddressFrame>) {
+          return "REMOVE_ADDRESS";
+        }
+        if constexpr (std::is_same_v<T, PathsFrame>) return "PATHS";
+        if constexpr (std::is_same_v<T, AckFrame>) return "ACK";
+        if constexpr (std::is_same_v<T, StreamFrame>) return "STREAM";
+      },
+      frame);
+}
+
 }  // namespace mpq::quic

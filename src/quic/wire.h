@@ -214,4 +214,8 @@ bool DecodePayload(std::span<const std::uint8_t> payload,
 /// PADDING frames are not retransmittable (QUIC rule); everything else is.
 bool IsRetransmittable(const Frame& frame);
 
+/// Stable human-readable wire-type name ("ACK", "STREAM", ...) — used by
+/// the structured tracers (src/obs/) as event labels.
+const char* FrameTypeName(const Frame& frame);
+
 }  // namespace mpq::quic

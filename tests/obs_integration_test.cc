@@ -1,0 +1,283 @@
+// End-to-end observability tests: a lossy two-path MPQUIC transfer with
+// the full tracer stack attached must fire every event type, the NDJSON
+// trace read back through obs::ReadTrace must agree with the
+// CountingTracer attached to the same connection, and the harness must
+// emit qlog + metrics files on request.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "harness/runner.h"
+#include "obs/json.h"
+#include "obs/metrics_tracer.h"
+#include "obs/mux.h"
+#include "obs/qlog.h"
+#include "obs/trace_reader.h"
+#include "quic/endpoint.h"
+#include "sim/topology.h"
+
+namespace mpq {
+namespace {
+
+constexpr StreamId kDataStream = 3;
+
+/// Lossy asymmetric two-path download with path 1 blacked out mid-run
+/// (forcing RTOs and a potentially-failed transition at the sender) and a
+/// small client receive window (forcing flow-control-blocked episodes).
+/// The tracer mux — qlog + metrics + counting — rides on the server
+/// (data-sending) connection.
+struct TracedTransfer {
+  std::stringstream qlog_stream;
+  obs::MetricsRegistry registry;
+  quic::CountingTracer counting;
+  std::unique_ptr<obs::QlogTracer> qlog;
+  std::unique_ptr<obs::MetricsTracer> metrics;
+  obs::TracerMux mux;
+  bool finished = false;
+
+  void Run() {
+    sim::Simulator sim;
+    sim::Network net(sim, Rng(20170712));
+    std::array<sim::PathParams, 2> paths;
+    paths[0].capacity_mbps = 10;
+    paths[0].rtt = 20 * kMillisecond;
+    paths[0].random_loss_rate = 0.01;
+    paths[1].capacity_mbps = 10;
+    paths[1].rtt = 40 * kMillisecond;
+    paths[1].random_loss_rate = 0.01;
+    auto topo = sim::BuildTwoPathTopology(net, paths);
+
+    quic::ConnectionConfig config;
+    config.multipath = true;
+    // Small flow-control window (both sides assume the same initial
+    // window) so the sender regularly stalls on WINDOW_UPDATEs.
+    config.receive_window = 64 * 1024;
+
+    qlog = std::make_unique<obs::QlogTracer>(qlog_stream, "obs-test");
+    metrics = std::make_unique<obs::MetricsTracer>(registry);
+    mux.Add(qlog.get());
+    mux.Add(metrics.get());
+    mux.Add(&counting);
+
+    std::vector<sim::Address> server_locals(topo.server_addr.begin(),
+                                            topo.server_addr.end());
+    quic::ServerEndpoint server(sim, net, server_locals, config, 1);
+    server.SetAcceptHandler([this](quic::Connection& conn) {
+      conn.SetTracer(&mux);
+      auto request = std::make_shared<std::string>();
+      conn.SetStreamDataHandler(
+          [&conn, request](StreamId id, ByteCount,
+                           std::span<const std::uint8_t> data, bool fin) {
+            request->append(data.begin(), data.end());
+            if (fin && id == kDataStream) {
+              conn.SendOnStream(kDataStream,
+                                std::make_unique<PatternSource>(
+                                    kDataStream,
+                                    std::stoull(request->substr(4))));
+            }
+          });
+    });
+
+    std::vector<sim::Address> client_locals(topo.client_addr.begin(),
+                                            topo.client_addr.end());
+    quic::ClientEndpoint client(sim, net, client_locals, config, 2);
+    client.connection().SetStreamDataHandler(
+        [this](StreamId, ByteCount, std::span<const std::uint8_t>,
+               bool fin) {
+          if (fin) finished = true;
+        });
+    client.connection().SetEstablishedHandler([&client] {
+      const std::string request = "GET 2097152";
+      client.connection().SendOnStream(
+          kDataStream,
+          std::make_unique<BufferSource>(std::vector<std::uint8_t>(
+              request.begin(), request.end())));
+    });
+    client.Connect(topo.server_addr[0]);
+
+    // Kill path 1 mid-transfer: its in-flight packets can only be
+    // declared lost by the sender's RTO.
+    sim.Schedule(1 * kSecond, [&topo] {
+      topo.forward[1]->SetRandomLossRate(1.0);
+      topo.backward[1]->SetRandomLossRate(1.0);
+    });
+    while (!finished && sim.RunOne(120 * kSecond)) {
+    }
+  }
+};
+
+TEST(ObsIntegration, EveryEventTypeFiresOnLossyTwoPathTransfer) {
+  TracedTransfer t;
+  t.Run();
+  ASSERT_TRUE(t.finished);
+
+  EXPECT_GT(t.counting.packets_sent, 0u);
+  EXPECT_GT(t.counting.packets_received, 0u);
+  EXPECT_GT(t.counting.packets_lost, 0u);
+  EXPECT_GT(t.counting.frames_sent, 0u);
+  EXPECT_GT(t.counting.frames_received, 0u);
+  EXPECT_GT(t.counting.scheduler_decisions, 0u);
+  EXPECT_GT(t.counting.path_samples, 0u);
+  EXPECT_GT(t.counting.rto_events, 0u);
+  EXPECT_GT(t.counting.frames_requeued, 0u);
+  EXPECT_GT(t.counting.flow_blocked_events, 0u);
+  EXPECT_GT(t.counting.handshake_events, 0u);
+  EXPECT_FALSE(t.counting.state_changes.empty());
+  // Both paths carried data; the killed path went potentially-failed.
+  EXPECT_GT(t.counting.packets_sent_by_path[0], 0u);
+  EXPECT_GT(t.counting.packets_sent_by_path[1], 0u);
+  bool saw_failed = false;
+  for (const auto& change : t.counting.state_changes) {
+    if (change.find("potentially-failed") != std::string::npos) {
+      saw_failed = true;
+    }
+  }
+  EXPECT_TRUE(saw_failed);
+}
+
+TEST(ObsIntegration, QlogTraceAgreesWithCountingTracer) {
+  TracedTransfer t;
+  t.Run();
+  ASSERT_TRUE(t.finished);
+
+  const auto summary = obs::ReadTrace(t.qlog_stream);
+  EXPECT_EQ(summary.malformed, 0u);
+  EXPECT_EQ(summary.title, "obs-test");
+  EXPECT_EQ(summary.events, t.qlog->events_written());
+
+  // Per-path packet and loss counts must match the independent
+  // CountingTracer exactly — the acceptance bar for the trace format.
+  std::uint64_t traced_sent = 0;
+  std::uint64_t traced_lost = 0;
+  for (const auto& [path, p] : summary.paths) {
+    if (path < 0) continue;
+    const auto path_id = static_cast<PathId>(path);
+    EXPECT_EQ(p.packets_sent, t.counting.packets_sent_by_path[path_id])
+        << "path " << path;
+    EXPECT_EQ(p.packets_lost, t.counting.packets_lost_by_path[path_id])
+        << "path " << path;
+    traced_sent += p.packets_sent;
+    traced_lost += p.packets_lost;
+  }
+  EXPECT_EQ(traced_sent, t.counting.packets_sent);
+  EXPECT_EQ(traced_lost, t.counting.packets_lost);
+
+  // The metrics registry saw the same totals.
+  EXPECT_EQ(t.registry.GetCounter("packets_sent").value(),
+            t.counting.packets_sent);
+  EXPECT_EQ(t.registry.GetCounter("packets_lost").value(),
+            t.counting.packets_lost);
+
+  // The full event catalogue appears in the trace.
+  for (const char* name :
+       {"transport:packet_sent", "transport:packet_received",
+        "transport:frame_sent", "transport:frame_received",
+        "transport:handshake", "transport:path_state", "scheduler:decision",
+        "recovery:packet_lost", "recovery:metrics_updated", "recovery:rto",
+        "recovery:frame_requeued", "flow_control:blocked"}) {
+    EXPECT_TRUE(summary.events_by_name.count(name) != 0u &&
+                summary.events_by_name.at(name) > 0u)
+        << "missing event " << name;
+  }
+
+  // Handshake milestones arrive in protocol order.
+  ASSERT_TRUE(summary.handshake_milestones.count("chlo-received") != 0u);
+  ASSERT_TRUE(summary.handshake_milestones.count("established") != 0u);
+  EXPECT_LE(summary.handshake_milestones.at("chlo-received"),
+            summary.handshake_milestones.at("established"));
+}
+
+TEST(ObsIntegration, HarnessEmitsQlogAndMetricsFiles) {
+  const std::string dir = ::testing::TempDir();
+  const std::string qlog_path = dir + "/obs_harness_test.qlog";
+  const std::string metrics_path = dir + "/obs_harness_test_metrics.ndjson";
+  std::remove(metrics_path.c_str());
+
+  std::array<sim::PathParams, 2> paths;
+  paths[0].capacity_mbps = 10;
+  paths[0].rtt = 20 * kMillisecond;
+  paths[1].capacity_mbps = 5;
+  paths[1].rtt = 40 * kMillisecond;
+
+  harness::TransferOptions options;
+  options.transfer_size = 512 * 1024;
+  options.qlog_path = qlog_path;
+  options.metrics_path = metrics_path;
+  options.metrics_label = "harness-smoke";
+  const auto result =
+      harness::RunTransfer(harness::Protocol::kMpquic, paths, options);
+  ASSERT_TRUE(result.completed);
+
+  // The qlog parses and covers the transfer.
+  std::ifstream qlog_in(qlog_path);
+  ASSERT_TRUE(qlog_in.is_open());
+  const auto summary = obs::ReadTrace(qlog_in);
+  EXPECT_EQ(summary.malformed, 0u);
+  EXPECT_EQ(summary.title, "harness-smoke");
+  EXPECT_GT(summary.events, 0u);
+  std::uint64_t bytes_sent = 0;
+  for (const auto& [path, p] : summary.paths) bytes_sent += p.bytes_sent;
+  EXPECT_GE(bytes_sent, options.transfer_size);
+
+  // Exactly one metrics row, parseable, consistent with the result.
+  std::ifstream metrics_in(metrics_path);
+  ASSERT_TRUE(metrics_in.is_open());
+  std::string line;
+  std::size_t rows = 0;
+  while (std::getline(metrics_in, line)) {
+    if (line.empty()) continue;
+    ++rows;
+    const auto row = obs::JsonValue::Parse(line);
+    ASSERT_TRUE(row.has_value()) << line;
+    EXPECT_EQ(row->Find("label")->AsString(), "harness-smoke");
+    EXPECT_EQ(row->Find("protocol")->AsString(), "MPQUIC");
+    EXPECT_TRUE(row->Find("completed")->AsBool());
+    EXPECT_NEAR(row->Find("goodput_mbps")->AsDouble(), result.goodput_mbps,
+                1e-6);
+    const obs::JsonValue* counters = row->Find("metrics")->Find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_GT(counters->Find("packets_sent")->AsInt(), 0);
+  }
+  EXPECT_EQ(rows, 1u);
+
+  std::remove(qlog_path.c_str());
+  std::remove(metrics_path.c_str());
+}
+
+/// The harness run and a tracer-free run of the same scenario must agree
+/// on the simulated outcome: tracing is observation only (the scheduler
+/// timing uses the wall clock but never feeds back into the simulation).
+TEST(ObsIntegration, TracingDoesNotPerturbTheSimulation) {
+  std::array<sim::PathParams, 2> paths;
+  paths[0].capacity_mbps = 8;
+  paths[0].rtt = 30 * kMillisecond;
+  paths[0].random_loss_rate = 0.005;
+  paths[1].capacity_mbps = 4;
+  paths[1].rtt = 50 * kMillisecond;
+
+  harness::TransferOptions plain;
+  plain.transfer_size = 256 * 1024;
+  const auto untraced =
+      harness::RunTransfer(harness::Protocol::kMpquic, paths, plain);
+
+  harness::TransferOptions traced = plain;
+  const std::string dir = ::testing::TempDir();
+  traced.qlog_path = dir + "/obs_perturb_test.qlog";
+  traced.metrics_path = dir + "/obs_perturb_test.ndjson";
+  std::remove(traced.metrics_path.c_str());
+  const auto with_trace =
+      harness::RunTransfer(harness::Protocol::kMpquic, paths, traced);
+
+  EXPECT_EQ(untraced.completed, with_trace.completed);
+  EXPECT_EQ(untraced.completion_time, with_trace.completion_time);
+  EXPECT_EQ(untraced.bytes_received, with_trace.bytes_received);
+  std::remove(traced.qlog_path.c_str());
+  std::remove(traced.metrics_path.c_str());
+}
+
+}  // namespace
+}  // namespace mpq

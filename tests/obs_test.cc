@@ -1,0 +1,318 @@
+// Unit tests for the observability module: histogram bucketing, JSON
+// writing/escaping/parsing round trips, metrics registry snapshots, the
+// tracer mux fan-out and the metrics tracer bindings.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/metrics_tracer.h"
+#include "obs/mux.h"
+#include "obs/qlog.h"
+#include "obs/trace_reader.h"
+#include "quic/trace.h"
+
+namespace mpq::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Histogram bucketing
+
+TEST(Histogram, SmallValuesGetExactBuckets) {
+  for (std::int64_t v = 0; v < 32; ++v) {
+    EXPECT_EQ(Histogram::BucketIndex(v), static_cast<std::size_t>(v));
+    EXPECT_EQ(Histogram::BucketLowerBound(static_cast<std::size_t>(v)),
+              static_cast<std::uint64_t>(v));
+  }
+}
+
+TEST(Histogram, BucketBoundsContainTheirValues) {
+  // For every probed value, the bucket's [lower, next-lower) range must
+  // contain it, and indices must be monotone in the value.
+  std::size_t previous = 0;
+  for (std::int64_t v : {0LL, 1LL, 31LL, 32LL, 33LL, 47LL, 48LL, 63LL, 64LL,
+                         100LL, 1000LL, 65535LL, 65536LL, 1LL << 30,
+                         (1LL << 40) + 12345, (1LL << 62)}) {
+    const std::size_t index = Histogram::BucketIndex(v);
+    ASSERT_LT(index, Histogram::kBucketCount);
+    EXPECT_GE(index, previous) << "v=" << v;
+    previous = index;
+    EXPECT_LE(Histogram::BucketLowerBound(index),
+              static_cast<std::uint64_t>(v))
+        << "v=" << v;
+    if (index + 1 < Histogram::kBucketCount) {
+      EXPECT_GT(Histogram::BucketLowerBound(index + 1),
+                static_cast<std::uint64_t>(v))
+          << "v=" << v;
+    }
+  }
+}
+
+TEST(Histogram, RelativeBucketWidthIsBounded) {
+  // Log-linear promise: above the exact region, bucket width / lower
+  // bound <= 1/16, i.e. any value is known to ~6%.
+  for (std::size_t index = 32; index + 1 < Histogram::kBucketCount; ++index) {
+    const double low = static_cast<double>(Histogram::BucketLowerBound(index));
+    const double high =
+        static_cast<double>(Histogram::BucketLowerBound(index + 1));
+    EXPECT_LE((high - low) / low, 1.0 / 16.0 + 1e-9) << "index=" << index;
+  }
+}
+
+TEST(Histogram, NegativeValuesClampToZero) {
+  Histogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(Histogram, PercentilesApproximateUniformData) {
+  Histogram h;
+  for (int v = 1; v <= 10000; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 10000u);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 10000);
+  EXPECT_NEAR(h.mean(), 5000.5, 0.1);
+  EXPECT_NEAR(h.Percentile(50), 5000.0, 5000.0 * 0.07);
+  EXPECT_NEAR(h.Percentile(90), 9000.0, 9000.0 * 0.07);
+  EXPECT_NEAR(h.Percentile(99), 9900.0, 9900.0 * 0.07);
+  // Extremes clamp to the exact recorded min/max.
+  EXPECT_EQ(h.Percentile(0), 1.0);
+  EXPECT_EQ(h.Percentile(100), 10000.0);
+}
+
+TEST(Histogram, EmptyHistogramIsAllZeros) {
+  const Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// JSON writing and escaping
+
+TEST(Json, EscapingRoundTrips) {
+  const std::string nasty =
+      "quote\" backslash\\ newline\n tab\t cr\r bell\x07 null-ish\x01 "
+      "utf8 \xC3\xA9\xE2\x82\xAC end";
+  std::string encoded;
+  AppendJsonString(encoded, nasty);
+  // Encoded form is printable ASCII + the original UTF-8 bytes: no raw
+  // control characters survive.
+  for (char ch : encoded) {
+    EXPECT_GE(static_cast<unsigned char>(ch), 0x20u);
+  }
+  const auto parsed = JsonValue::Parse(encoded);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->AsString(), nasty);
+}
+
+TEST(Json, UnicodeEscapeDecodes) {
+  const auto parsed = JsonValue::Parse("\"a\\u0041\\u00e9\\u20ac\"");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->AsString(), "aA\xC3\xA9\xE2\x82\xAC");
+}
+
+TEST(Json, WriterProducesParseableNestedDocument) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("int").Int(-42);
+  writer.Key("uint").UInt(18446744073709551615ULL);
+  writer.Key("pi").Double(3.25);
+  writer.Key("yes").Bool(true);
+  writer.Key("nothing").Null();
+  writer.Key("list").BeginArray();
+  writer.Int(1).Int(2).BeginObject().Key("deep").String("value").EndObject();
+  writer.EndArray();
+  writer.EndObject();
+
+  const auto parsed = JsonValue::Parse(writer.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->Find("int")->AsInt(), -42);
+  EXPECT_DOUBLE_EQ(parsed->Find("pi")->AsDouble(), 3.25);
+  EXPECT_TRUE(parsed->Find("yes")->AsBool());
+  ASSERT_NE(parsed->Find("list"), nullptr);
+  const auto& list = parsed->Find("list")->AsArray();
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0].AsInt(), 1);
+  EXPECT_EQ(list[2].Find("deep")->AsString(), "value");
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(JsonValue::Parse("").has_value());
+  EXPECT_FALSE(JsonValue::Parse("{").has_value());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":1,}").has_value());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").has_value());
+  EXPECT_FALSE(JsonValue::Parse("\"bad\\escape\"").has_value());
+  EXPECT_FALSE(JsonValue::Parse("1 trailing").has_value());
+  EXPECT_FALSE(JsonValue::Parse("[1,2").has_value());
+  EXPECT_FALSE(JsonValue::Parse("nul").has_value());
+}
+
+TEST(Json, ParseAcceptsSurroundingWhitespace) {
+  const auto parsed = JsonValue::Parse("  {\"a\": [1, 2]}\n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->Find("a")->AsArray().size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+
+TEST(MetricsRegistry, SnapshotIsDeterministicAndParseable) {
+  MetricsRegistry registry;
+  registry.GetCounter("zulu").Increment(3);
+  registry.GetCounter("alpha").Increment();
+  registry.GetGauge("cwnd").Set(-7);
+  auto& h = registry.GetHistogram("rtt_us");
+  h.Record(100);
+  h.Record(200);
+
+  const std::string snapshot = registry.SnapshotJson();
+  EXPECT_EQ(snapshot, registry.SnapshotJson());  // stable
+  // Sorted iteration: "alpha" serializes before "zulu".
+  EXPECT_LT(snapshot.find("\"alpha\""), snapshot.find("\"zulu\""));
+
+  const auto parsed = JsonValue::Parse(snapshot);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->Find("counters")->Find("zulu")->AsInt(), 3);
+  EXPECT_EQ(parsed->Find("counters")->Find("alpha")->AsInt(), 1);
+  EXPECT_EQ(parsed->Find("gauges")->Find("cwnd")->AsInt(), -7);
+  const JsonValue* rtt = parsed->Find("histograms")->Find("rtt_us");
+  ASSERT_NE(rtt, nullptr);
+  EXPECT_EQ(rtt->Find("count")->AsInt(), 2);
+  EXPECT_EQ(rtt->Find("min")->AsInt(), 100);
+  EXPECT_EQ(rtt->Find("max")->AsInt(), 200);
+  EXPECT_DOUBLE_EQ(rtt->Find("mean")->AsDouble(), 150.0);
+}
+
+TEST(MetricsRegistry, ReferencesAreStable) {
+  MetricsRegistry registry;
+  Counter& c = registry.GetCounter("hot");
+  for (int i = 0; i < 100; ++i) registry.GetCounter("filler" + std::to_string(i));
+  c.Increment(5);
+  EXPECT_EQ(registry.GetCounter("hot").value(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer mux and metrics tracer
+
+TEST(TracerMux, FansOutEveryEventToAllSinks) {
+  quic::CountingTracer a;
+  quic::CountingTracer b;
+  TracerMux mux;
+  mux.Add(&a);
+  mux.Add(&b);
+  mux.Add(nullptr);  // ignored
+  EXPECT_EQ(mux.size(), 2u);
+
+  const quic::Frame ping = quic::PingFrame{};
+  mux.OnPacketSent(1, 0, 1, 100, true);
+  mux.OnPacketReceived(2, 1, 1, 50);
+  mux.OnPacketLost(3, 0, 1);
+  mux.OnFrameSent(4, 0, ping);
+  mux.OnFrameReceived(5, 0, ping);
+  mux.OnSchedulerDecision(6, 1, "lowest-rtt", 10);
+  mux.OnPathSample(7, 0, 1000, 500, 20000);
+  mux.OnRto(8, 0, 2);
+  mux.OnFrameRetransmitQueued(9, 0, ping);
+  mux.OnFlowControlBlocked(10, 0);
+  mux.OnHandshakeEvent(11, "established");
+  mux.OnPathStateChange(12, 1, "created");
+
+  for (const quic::CountingTracer* t : {&a, &b}) {
+    EXPECT_EQ(t->packets_sent, 1u);
+    EXPECT_EQ(t->packets_received, 1u);
+    EXPECT_EQ(t->packets_lost, 1u);
+    EXPECT_EQ(t->frames_sent, 1u);
+    EXPECT_EQ(t->frames_received, 1u);
+    EXPECT_EQ(t->scheduler_decisions, 1u);
+    EXPECT_EQ(t->path_samples, 1u);
+    EXPECT_EQ(t->rto_events, 1u);
+    EXPECT_EQ(t->frames_requeued, 1u);
+    EXPECT_EQ(t->flow_blocked_events, 1u);
+    EXPECT_EQ(t->handshake_events, 1u);
+    ASSERT_EQ(t->state_changes.size(), 1u);
+    EXPECT_EQ(t->state_changes[0], "1:created");
+  }
+}
+
+TEST(MetricsTracer, BindsEventsToRegistryMetrics) {
+  MetricsRegistry registry;
+  MetricsTracer tracer(registry);
+
+  tracer.OnPacketSent(1, 0, 1, 1350, true);
+  tracer.OnPacketSent(2, 1, 1, 1350, true);
+  tracer.OnPacketLost(3, 1, 1);
+  tracer.OnSchedulerDecision(4, 0, "lowest-rtt", 250);
+  tracer.OnPathSample(5, 0, 40000, 20000, 22000);
+  tracer.OnFrameSent(6, 0, quic::Frame(quic::AckFrame{0, 123, {{1, 1}}}));
+  tracer.OnRto(7, 1, 1);
+  tracer.OnHandshakeEvent(8, "established");
+
+  EXPECT_EQ(registry.GetCounter("packets_sent").value(), 2u);
+  EXPECT_EQ(registry.GetCounter("packets_lost").value(), 1u);
+  EXPECT_EQ(registry.GetCounter("path.0.packets_sent").value(), 1u);
+  EXPECT_EQ(registry.GetCounter("path.1.packets_lost").value(), 1u);
+  EXPECT_EQ(registry.GetCounter("path.0.bytes_sent").value(), 1350u);
+  EXPECT_EQ(registry.GetCounter("path.0.scheduled").value(), 1u);
+  EXPECT_EQ(registry.GetCounter("rtos").value(), 1u);
+  EXPECT_EQ(registry.GetGauge("path.0.cwnd").value(), 40000);
+  EXPECT_EQ(registry.GetGauge("handshake.established.time_us").value(), 8);
+  EXPECT_EQ(registry.GetHistogram("srtt_us").count(), 1u);
+  EXPECT_EQ(registry.GetHistogram("ack_delay_us").count(), 1u);
+  EXPECT_EQ(registry.GetHistogram("scheduler_decision_ns").count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Qlog writer <-> trace reader round trip
+
+TEST(QlogTracer, EventsRoundTripThroughReader) {
+  std::stringstream stream;
+  {
+    QlogTracer tracer(stream, "round \"trip\"");
+    tracer.OnPacketSent(100, 0, 1, 1350, true);
+    tracer.OnPacketSent(200, 1, 1, 1350, true);
+    tracer.OnPacketLost(300, 1, 1);
+    tracer.OnSchedulerDecision(400, 0, "lowest-rtt", 77);
+    tracer.OnPathSample(500, 0, 32768, 1350, 20000);
+    EXPECT_EQ(tracer.events_written(), 5u);
+  }
+  auto summary = ReadTrace(stream);
+  EXPECT_EQ(summary.title, "round \"trip\"");
+  EXPECT_EQ(summary.events, 5u);
+  EXPECT_EQ(summary.malformed, 0u);
+  EXPECT_EQ(summary.first_time, 100);
+  EXPECT_EQ(summary.last_time, 500);
+  EXPECT_EQ(summary.paths[0].packets_sent, 1u);
+  EXPECT_EQ(summary.paths[1].packets_sent, 1u);
+  EXPECT_EQ(summary.paths[1].packets_lost, 1u);
+  EXPECT_EQ(summary.scheduler_reasons["lowest-rtt"], 1u);
+  ASSERT_EQ(summary.paths[0].cwnd_samples.size(), 1u);
+  EXPECT_EQ(summary.paths[0].cwnd_samples[0], 32768.0);
+}
+
+TEST(QlogTracer, EveryLineIsValidJson) {
+  std::stringstream stream;
+  {
+    QlogTracer tracer(stream, "json\ncheck");
+    tracer.OnHandshakeEvent(1, "chlo-sent");
+    tracer.OnFrameSent(
+        2, 0, quic::Frame(quic::StreamFrame{3, 0, true, {0xff, 0x00}}));
+    tracer.OnFrameSent(3, 0,
+                       quic::Frame(quic::ConnectionCloseFrame{7, "bye\"\n"}));
+  }
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(stream, line)) {
+    ++lines;
+    EXPECT_TRUE(JsonValue::Parse(line).has_value()) << "line: " << line;
+  }
+  EXPECT_EQ(lines, 4u);  // preamble + 3 events
+}
+
+}  // namespace
+}  // namespace mpq::obs

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Local CI: build the plain and sanitized (ASan+UBSan) configurations and
+# run the full test suite under both.
+#
+#   tools/ci.sh [--jobs N]
+#
+# Exits non-zero on the first build or test failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --jobs) jobs="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+run_config() {
+  local dir="$1"; shift
+  echo "==> configure ${dir} ($*)"
+  cmake -B "${dir}" -S . "$@"
+  echo "==> build ${dir}"
+  cmake --build "${dir}" -j "${jobs}"
+  echo "==> test ${dir}"
+  ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+}
+
+run_config build
+run_config build-asan -DMPQ_SANITIZE=ON
+
+echo "==> all configurations passed"

@@ -1,0 +1,172 @@
+// mpq_trace: summarize an NDJSON trace written by obs::QlogTracer.
+//
+//   mpq_trace TRACE.qlog        per-path and per-event summary tables
+//   mpq_trace --selftest        run a built-in trace through the full
+//                               write -> parse -> summarize round trip
+//                               (registered as a ctest smoke test)
+//
+// Per-path rows include cwnd percentiles computed with the same
+// mpq::Percentile the figure pipeline uses, so numbers line up with the
+// benches.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/stats.h"
+#include "obs/qlog.h"
+#include "obs/trace_reader.h"
+#include "quic/wire.h"
+
+namespace {
+
+using namespace mpq;
+
+void PrintSummary(const obs::TraceSummary& summary) {
+  std::printf("trace: %s\n",
+              summary.title.empty() ? "(untitled)" : summary.title.c_str());
+  std::printf("events: %llu (%llu malformed lines), span %.3f s\n",
+              static_cast<unsigned long long>(summary.events),
+              static_cast<unsigned long long>(summary.malformed),
+              DurationToSeconds(summary.last_time - summary.first_time));
+
+  if (!summary.handshake_milestones.empty()) {
+    std::printf("\nhandshake:\n");
+    for (const auto& [milestone, time] : summary.handshake_milestones) {
+      std::printf("  %-16s %9.3f ms\n", milestone.c_str(),
+                  static_cast<double>(time) / 1000.0);
+    }
+  }
+
+  std::printf("\nper path:\n");
+  std::printf("  %4s %8s %8s %6s %12s %6s %9s %9s %9s\n", "path", "pkts_tx",
+              "pkts_rx", "lost", "bytes_tx", "rtos", "cwnd_p50", "cwnd_p90",
+              "cwnd_max");
+  for (const auto& [path, p] : summary.paths) {
+    if (path < 0) continue;  // events without a path field
+    std::vector<double> cwnd = p.cwnd_samples;
+    const double p50 = cwnd.empty() ? 0.0 : Percentile(cwnd, 50.0);
+    const double p90 = cwnd.empty() ? 0.0 : Percentile(cwnd, 90.0);
+    const double pmax = cwnd.empty() ? 0.0 : Percentile(cwnd, 100.0);
+    std::printf("  %4d %8llu %8llu %6llu %12llu %6llu %8.1fk %8.1fk "
+                "%8.1fk\n",
+                path, static_cast<unsigned long long>(p.packets_sent),
+                static_cast<unsigned long long>(p.packets_received),
+                static_cast<unsigned long long>(p.packets_lost),
+                static_cast<unsigned long long>(p.bytes_sent),
+                static_cast<unsigned long long>(p.rtos), p50 / 1024.0,
+                p90 / 1024.0, pmax / 1024.0);
+  }
+
+  if (!summary.scheduler_reasons.empty()) {
+    std::printf("\nscheduler decisions:\n");
+    for (const auto& [reason, count] : summary.scheduler_reasons) {
+      std::printf("  %-20s %llu\n", reason.c_str(),
+                  static_cast<unsigned long long>(count));
+    }
+  }
+
+  if (!summary.frames_sent_by_type.empty()) {
+    std::printf("\nframes sent:\n");
+    for (const auto& [type, count] : summary.frames_sent_by_type) {
+      std::printf("  %-16s %llu\n", type.c_str(),
+                  static_cast<unsigned long long>(count));
+    }
+  }
+
+  std::printf("\nevents by name:\n");
+  for (const auto& [name, count] : summary.events_by_name) {
+    std::printf("  %-28s %llu\n", name.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+}
+
+/// Synthesize a small trace covering every event type (including a title
+/// with characters that need JSON escaping), read it back, and check the
+/// counts survive the round trip.
+int SelfTest() {
+  std::stringstream stream;
+  {
+    obs::QlogTracer tracer(stream, "selftest \"quoted\"\n\ttitle");
+    quic::Frame stream_frame = quic::StreamFrame{3, 0, false, {1, 2, 3}};
+    quic::Frame ack = quic::AckFrame{0, 25, {{1, 4}}};
+    tracer.OnHandshakeEvent(0, "chlo-sent");
+    tracer.OnPathStateChange(10, 0, "created");
+    tracer.OnSchedulerDecision(20, 0, "lowest-rtt", 137);
+    tracer.OnFrameSent(30, 0, stream_frame);
+    tracer.OnPacketSent(30, 0, 1, 1350, true);
+    tracer.OnPacketSent(40, 1, 1, 1350, true);
+    tracer.OnFrameReceived(50, 0, ack);
+    tracer.OnPacketReceived(50, 0, 7, 40);
+    tracer.OnPacketLost(60, 1, 1);
+    tracer.OnFrameRetransmitQueued(60, 1, stream_frame);
+    tracer.OnRto(70, 1, 1);
+    tracer.OnPathSample(80, 0, 42 * 1024, 10 * 1024, 20000);
+    tracer.OnFlowControlBlocked(90, 3);
+  }
+
+  const auto summary = obs::ReadTrace(stream);
+  int failures = 0;
+  const auto expect = [&failures](bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "selftest FAILED: %s\n", what);
+      ++failures;
+    }
+  };
+  expect(summary.malformed == 0, "no malformed lines");
+  expect(summary.events == 13, "13 events parsed");
+  expect(summary.title.find("\"quoted\"") != std::string::npos,
+         "escaped title round-trips");
+  expect(summary.paths.at(0).packets_sent == 1, "path0 packets_sent");
+  expect(summary.paths.at(1).packets_sent == 1, "path1 packets_sent");
+  expect(summary.paths.at(1).packets_lost == 1, "path1 packets_lost");
+  expect(summary.paths.at(1).rtos == 1, "path1 rtos");
+  expect(summary.paths.at(0).cwnd_samples.size() == 1 &&
+             summary.paths.at(0).cwnd_samples[0] == 42 * 1024,
+         "cwnd sample");
+  expect(summary.scheduler_reasons.at("lowest-rtt") == 1,
+         "scheduler reason counted");
+  expect(summary.frames_sent_by_type.at("STREAM") == 1, "frame type");
+  expect(summary.handshake_milestones.at("chlo-sent") == 0,
+         "handshake milestone");
+  expect(summary.events_by_name.at("flow_control:blocked") == 1,
+         "blocked event");
+
+  if (failures == 0) {
+    std::stringstream replay(stream.str());
+    PrintSummary(obs::ReadTrace(replay));
+    std::printf("\nselftest OK\n");
+    return 0;
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 2 && std::strcmp(argv[1], "--selftest") == 0) {
+    return SelfTest();
+  }
+  if (argc != 2) {
+    std::fprintf(stderr,
+                 "usage: %s TRACE.qlog | --selftest\n"
+                 "Summarize an NDJSON trace produced by obs::QlogTracer\n"
+                 "(bench --obs DIR, or TransferOptions::qlog_path).\n",
+                 argv[0]);
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 1;
+  }
+  const auto summary = obs::ReadTrace(in);
+  if (summary.events == 0) {
+    std::fprintf(stderr, "no events in %s (%llu malformed lines)\n", argv[1],
+                 static_cast<unsigned long long>(summary.malformed));
+    return 1;
+  }
+  PrintSummary(summary);
+  return 0;
+}
