@@ -36,16 +36,19 @@ class BufWriter {
 
   void WriteU8(std::uint8_t v) { buf_.push_back(v); }
   void WriteU16(std::uint16_t v) {
-    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
-    buf_.push_back(static_cast<std::uint8_t>(v));
+    std::uint8_t* p = Grow(2);
+    p[0] = static_cast<std::uint8_t>(v >> 8);
+    p[1] = static_cast<std::uint8_t>(v);
   }
   void WriteU32(std::uint32_t v) {
-    for (int shift = 24; shift >= 0; shift -= 8)
-      buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+    std::uint8_t* p = Grow(4);
+    for (int i = 0; i < 4; ++i)
+      p[i] = static_cast<std::uint8_t>(v >> (24 - 8 * i));
   }
   void WriteU64(std::uint64_t v) {
-    for (int shift = 56; shift >= 0; shift -= 8)
-      buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+    std::uint8_t* p = Grow(8);
+    for (int i = 0; i < 8; ++i)
+      p[i] = static_cast<std::uint8_t>(v >> (56 - 8 * i));
   }
 
   /// QUIC 2-bit-prefix varint. Returns false (writing nothing) if the value
@@ -70,11 +73,12 @@ class BufWriter {
   }
 
   void WriteBytes(std::span<const std::uint8_t> bytes) {
-    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+    if (bytes.empty()) return;
+    std::memcpy(Grow(bytes.size()), bytes.data(), bytes.size());
   }
   void WriteBytes(const void* data, std::size_t len) {
-    const auto* p = static_cast<const std::uint8_t*>(data);
-    buf_.insert(buf_.end(), p, p + len);
+    if (len == 0) return;
+    std::memcpy(Grow(len), data, len);
   }
   /// Append `len` zero bytes (PADDING frames, payload placeholders).
   void WriteZeroes(std::size_t len) { buf_.resize(buf_.size() + len, 0); }
@@ -82,12 +86,27 @@ class BufWriter {
   std::size_t size() const { return buf_.size(); }
   bool empty() const { return buf_.empty(); }
   std::span<const std::uint8_t> span() const { return buf_; }
+  /// Mutable view of the accumulated bytes — used for in-place packet
+  /// protection (the AEAD encrypts the assembled payload where it lies).
+  std::span<std::uint8_t> mutable_span() { return buf_; }
   const std::vector<std::uint8_t>& data() const { return buf_; }
 
   /// Move the accumulated bytes out; the writer is empty afterwards.
   std::vector<std::uint8_t> Take() { return std::move(buf_); }
 
+  /// Drop the contents but keep the allocation — for reuse as scratch.
+  void Clear() { buf_.clear(); }
+
  private:
+  /// Extend by `n` bytes and return a pointer to the fresh region (single
+  /// resize instead of byte-wise push_back — this is the hot path of every
+  /// packet assembly).
+  std::uint8_t* Grow(std::size_t n) {
+    const std::size_t old = buf_.size();
+    buf_.resize(old + n);
+    return buf_.data() + old;
+  }
+
   std::vector<std::uint8_t> buf_;
 };
 

@@ -48,30 +48,42 @@ ChaChaNonce PacketProtection::MakeNonce(PathId path, PacketNumber pn) const {
 std::uint64_t PacketProtection::Tag(
     const ChaChaNonce& nonce, std::span<const std::uint8_t> aad,
     std::span<const std::uint8_t> ciphertext) const {
-  // Unambiguous framing: nonce | aad_len | aad | ciphertext.
-  std::vector<std::uint8_t> material;
-  material.reserve(nonce.size() + 8 + aad.size() + ciphertext.size());
-  material.insert(material.end(), nonce.begin(), nonce.end());
-  const std::uint64_t aad_len = aad.size();
+  // Unambiguous framing: nonce | aad_len | aad | ciphertext, absorbed
+  // incrementally — no per-packet material buffer.
+  SipHashState state(tag_key_);
+  state.Absorb(nonce);
+  std::uint8_t aad_len[8];
   for (int i = 0; i < 8; ++i) {
-    material.push_back(static_cast<std::uint8_t>(aad_len >> (8 * i)));
+    aad_len[i] = static_cast<std::uint8_t>(aad.size() >> (8 * i));
   }
-  material.insert(material.end(), aad.begin(), aad.end());
-  material.insert(material.end(), ciphertext.begin(), ciphertext.end());
-  return SipHash24(tag_key_, material);
+  state.Absorb(aad_len);
+  state.Absorb(aad);
+  state.Absorb(ciphertext);
+  return state.Finalize();
 }
 
 std::vector<std::uint8_t> PacketProtection::Seal(
     PathId path, PacketNumber pn, std::span<const std::uint8_t> aad,
     std::span<const std::uint8_t> plaintext) const {
-  const ChaChaNonce nonce = MakeNonce(path, pn);
-  std::vector<std::uint8_t> out(plaintext.begin(), plaintext.end());
-  ChaCha20Xor(cipher_key_, 1, nonce, out);
-  const std::uint64_t tag = Tag(nonce, aad, out);
-  for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<std::uint8_t>(tag >> (8 * i)));
+  std::vector<std::uint8_t> out(plaintext.size() + kAeadTagSize);
+  if (!plaintext.empty()) {
+    std::memcpy(out.data(), plaintext.data(), plaintext.size());
   }
+  SealInPlace(path, pn, aad, out);
   return out;
+}
+
+void PacketProtection::SealInPlace(PathId path, PacketNumber pn,
+                                   std::span<const std::uint8_t> aad,
+                                   std::span<std::uint8_t> buf) const {
+  const ChaChaNonce nonce = MakeNonce(path, pn);
+  const std::span<std::uint8_t> text = buf.first(buf.size() - kAeadTagSize);
+  ChaCha20Xor(cipher_key_, 1, nonce, text);
+  const std::uint64_t tag = Tag(nonce, aad, text);
+  std::uint8_t* tag_out = buf.data() + text.size();
+  for (std::size_t i = 0; i < kAeadTagSize; ++i) {
+    tag_out[i] = static_cast<std::uint8_t>(tag >> (8 * i));
+  }
 }
 
 bool PacketProtection::Open(PathId path, PacketNumber pn,
@@ -93,6 +105,27 @@ bool PacketProtection::Open(PathId path, PacketNumber pn,
 
   out.assign(ciphertext.begin(), ciphertext.end());
   ChaCha20Xor(cipher_key_, 1, nonce, out);
+  return true;
+}
+
+bool PacketProtection::OpenInPlace(PathId path, PacketNumber pn,
+                                   std::span<const std::uint8_t> aad,
+                                   std::span<std::uint8_t> buf,
+                                   std::size_t& plaintext_len) const {
+  if (buf.size() < kAeadTagSize) return false;
+  const std::span<std::uint8_t> ciphertext =
+      buf.first(buf.size() - kAeadTagSize);
+  const std::span<const std::uint8_t> tag_bytes =
+      buf.subspan(ciphertext.size());
+
+  const ChaChaNonce nonce = MakeNonce(path, pn);
+  const std::uint64_t expected = Tag(nonce, aad, ciphertext);
+  std::uint64_t got = 0;
+  for (int i = 7; i >= 0; --i) got = got << 8 | tag_bytes[i];
+  if ((expected ^ got) != 0) return false;
+
+  ChaCha20Xor(cipher_key_, 1, nonce, ciphertext);
+  plaintext_len = ciphertext.size();
   return true;
 }
 

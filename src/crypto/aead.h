@@ -50,10 +50,29 @@ class PacketProtection {
                                  std::span<const std::uint8_t> plaintext) const;
 
   /// Verify and decrypt. Returns false (leaving `out` untouched) on a bad
-  /// tag or truncated input; callers drop the packet.
+  /// tag or truncated input; callers drop the packet. `out` may be a
+  /// reused scratch vector — its capacity is recycled across packets.
   bool Open(PathId path, PacketNumber pn, std::span<const std::uint8_t> aad,
             std::span<const std::uint8_t> sealed,
             std::vector<std::uint8_t>& out) const;
+
+  /// Zero-allocation seal over a caller-provided buffer: on entry the
+  /// first `buf.size() - kAeadTagSize` bytes hold the plaintext; on return
+  /// they hold the ciphertext and the last kAeadTagSize bytes the tag.
+  /// Produces byte-identical output to Seal. `buf` must not overlap `aad`.
+  /// Precondition: buf.size() >= kAeadTagSize.
+  void SealInPlace(PathId path, PacketNumber pn,
+                   std::span<const std::uint8_t> aad,
+                   std::span<std::uint8_t> buf) const;
+
+  /// Zero-allocation open: `buf` holds ciphertext | tag. Verifies the tag,
+  /// then decrypts the ciphertext in place; `plaintext_len` receives
+  /// buf.size() - kAeadTagSize. Returns false (leaving `buf` unmodified)
+  /// on a bad tag or truncated input.
+  bool OpenInPlace(PathId path, PacketNumber pn,
+                   std::span<const std::uint8_t> aad,
+                   std::span<std::uint8_t> buf,
+                   std::size_t& plaintext_len) const;
 
  private:
   ChaChaNonce MakeNonce(PathId path, PacketNumber pn) const;

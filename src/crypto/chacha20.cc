@@ -1,5 +1,6 @@
 #include "crypto/chacha20.h"
 
+#include <bit>
 #include <cstring>
 
 namespace mpq::crypto {
@@ -68,16 +69,59 @@ void ChaCha20Block(const ChaChaKey& key, std::uint32_t counter,
 
 void ChaCha20Xor(const ChaChaKey& key, std::uint32_t initial_counter,
                  const ChaChaNonce& nonce, std::span<std::uint8_t> data) {
-  std::array<std::uint8_t, kChaChaBlockSize> block;
-  std::uint32_t counter = initial_counter;
+  // State set up once for the whole message; only the block counter
+  // (word 12) changes between blocks.
+  std::uint32_t state[16];
+  state[0] = 0x61707865;
+  state[1] = 0x3320646e;
+  state[2] = 0x79622d32;
+  state[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state[4 + i] = LoadLe32(&key[4 * i]);
+  state[12] = initial_counter;
+  for (int i = 0; i < 3; ++i) state[13 + i] = LoadLe32(&nonce[4 * i]);
+
   std::size_t offset = 0;
-  while (offset < data.size()) {
-    ChaCha20Block(key, counter++, nonce, block);
-    const std::size_t n =
-        data.size() - offset < kChaChaBlockSize ? data.size() - offset
-                                                : kChaChaBlockSize;
+  // Full blocks: XOR the keystream into the data word by word, without
+  // serializing it to a byte array first. On a little-endian host the
+  // native word layout *is* the RFC 8439 serialization.
+  while (data.size() - offset >= kChaChaBlockSize) {
+    std::uint32_t working[16];
+    std::memcpy(working, state, sizeof(state));
+    for (int round = 0; round < 10; ++round) {
+      QuarterRound(working[0], working[4], working[8], working[12]);
+      QuarterRound(working[1], working[5], working[9], working[13]);
+      QuarterRound(working[2], working[6], working[10], working[14]);
+      QuarterRound(working[3], working[7], working[11], working[15]);
+      QuarterRound(working[0], working[5], working[10], working[15]);
+      QuarterRound(working[1], working[6], working[11], working[12]);
+      QuarterRound(working[2], working[7], working[8], working[13]);
+      QuarterRound(working[3], working[4], working[9], working[14]);
+    }
+    std::uint8_t* p = data.data() + offset;
+    for (int i = 0; i < 16; ++i) {
+      const std::uint32_t ks = working[i] + state[i];
+      if constexpr (std::endian::native == std::endian::little) {
+        std::uint32_t word;
+        std::memcpy(&word, p + 4 * i, sizeof(word));
+        word ^= ks;
+        std::memcpy(p + 4 * i, &word, sizeof(word));
+      } else {
+        p[4 * i] ^= static_cast<std::uint8_t>(ks);
+        p[4 * i + 1] ^= static_cast<std::uint8_t>(ks >> 8);
+        p[4 * i + 2] ^= static_cast<std::uint8_t>(ks >> 16);
+        p[4 * i + 3] ^= static_cast<std::uint8_t>(ks >> 24);
+      }
+    }
+    ++state[12];
+    offset += kChaChaBlockSize;
+  }
+
+  // Trailing partial block.
+  if (offset < data.size()) {
+    std::array<std::uint8_t, kChaChaBlockSize> block;
+    ChaCha20Block(key, state[12], nonce, block);
+    const std::size_t n = data.size() - offset;
     for (std::size_t i = 0; i < n; ++i) data[offset + i] ^= block[i];
-    offset += n;
   }
 }
 

@@ -1,5 +1,8 @@
 #include "crypto/siphash.h"
 
+#include <bit>
+#include <cstring>
+
 namespace mpq::crypto {
 
 namespace {
@@ -9,6 +12,11 @@ constexpr std::uint64_t Rotl64(std::uint64_t x, int k) {
 }
 
 inline std::uint64_t LoadLe64(const std::uint8_t* p) {
+  if constexpr (std::endian::native == std::endian::little) {
+    std::uint64_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+  }
   std::uint64_t v = 0;
   for (int i = 7; i >= 0; --i) v = v << 8 | p[i];
   return v;
@@ -70,6 +78,63 @@ std::uint64_t SipHash24(const SipHashKey& key,
   SipRound(v0, v1, v2, v3);
   SipRound(v0, v1, v2, v3);
   return v0 ^ v1 ^ v2 ^ v3;
+}
+
+SipHashState::SipHashState(const SipHashKey& key) {
+  const std::uint64_t k0 = LoadLe64(key.data());
+  const std::uint64_t k1 = LoadLe64(key.data() + 8);
+  v0_ = 0x736f6d6570736575ULL ^ k0;
+  v1_ = 0x646f72616e646f6dULL ^ k1;
+  v2_ = 0x6c7967656e657261ULL ^ k0;
+  v3_ = 0x7465646279746573ULL ^ k1;
+}
+
+void SipHashState::Absorb(std::span<const std::uint8_t> data) {
+  total_len_ += data.size();
+  std::size_t i = 0;
+
+  // Top up a partial block left by a previous chunk.
+  if (tail_len_ > 0) {
+    while (tail_len_ < 8 && i < data.size()) {
+      tail_ |= static_cast<std::uint64_t>(data[i++]) << (8 * tail_len_++);
+    }
+    if (tail_len_ < 8) return;
+    v3_ ^= tail_;
+    SipRound(v0_, v1_, v2_, v3_);
+    SipRound(v0_, v1_, v2_, v3_);
+    v0_ ^= tail_;
+    tail_ = 0;
+    tail_len_ = 0;
+  }
+
+  // Aligned full blocks straight from the input.
+  for (; i + 8 <= data.size(); i += 8) {
+    const std::uint64_t m = LoadLe64(data.data() + i);
+    v3_ ^= m;
+    SipRound(v0_, v1_, v2_, v3_);
+    SipRound(v0_, v1_, v2_, v3_);
+    v0_ ^= m;
+  }
+
+  for (; i < data.size(); ++i) {
+    tail_ |= static_cast<std::uint64_t>(data[i]) << (8 * tail_len_++);
+  }
+}
+
+std::uint64_t SipHashState::Finalize() {
+  const std::uint64_t b =
+      (static_cast<std::uint64_t>(total_len_ & 0xFF) << 56) | tail_;
+  v3_ ^= b;
+  SipRound(v0_, v1_, v2_, v3_);
+  SipRound(v0_, v1_, v2_, v3_);
+  v0_ ^= b;
+
+  v2_ ^= 0xFF;
+  SipRound(v0_, v1_, v2_, v3_);
+  SipRound(v0_, v1_, v2_, v3_);
+  SipRound(v0_, v1_, v2_, v3_);
+  SipRound(v0_, v1_, v2_, v3_);
+  return v0_ ^ v1_ ^ v2_ ^ v3_;
 }
 
 }  // namespace mpq::crypto

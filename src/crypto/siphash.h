@@ -15,4 +15,25 @@ using SipHashKey = std::array<std::uint8_t, 16>;
 std::uint64_t SipHash24(const SipHashKey& key,
                         std::span<const std::uint8_t> data);
 
+/// Incremental SipHash-2-4: absorb a message in arbitrary chunks and
+/// produce exactly the hash SipHash24 yields for their concatenation.
+/// Lets the AEAD authenticate `nonce | aad_len | aad | ciphertext`
+/// without first copying the parts into one contiguous buffer — the
+/// per-packet allocation that used to dominate tag computation.
+class SipHashState {
+ public:
+  explicit SipHashState(const SipHashKey& key);
+
+  void Absorb(std::span<const std::uint8_t> data);
+
+  /// Finish and return the hash. The state must not be reused afterwards.
+  std::uint64_t Finalize();
+
+ private:
+  std::uint64_t v0_, v1_, v2_, v3_;
+  std::uint64_t tail_ = 0;      // pending (< 8) bytes, little-endian packed
+  std::size_t tail_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
 }  // namespace mpq::crypto

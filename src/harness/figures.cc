@@ -1,10 +1,14 @@
 #include "harness/figures.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <string>
+
+#include "harness/parallel.h"
 
 namespace mpq::harness {
 
@@ -49,6 +53,9 @@ ClassEvalOptions ParseBenchArgs(int argc, char** argv) {
       SetCsvDirectory(options.csv_dir);
     } else if (std::strcmp(argv[i], "--obs") == 0 && i + 1 < argc) {
       options.obs_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      options.jobs = std::atoi(argv[++i]);
+      if (options.jobs <= 0) options.jobs = DefaultJobs();
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       options.progress = false;
     }
@@ -66,50 +73,104 @@ std::vector<ScenarioOutcome> EvaluateClass(expdesign::ScenarioClass klass,
     std::filesystem::create_directories(options.obs_dir, ec);
   }
 
+  // Flatten the class into independent (scenario, initial path, protocol,
+  // repetition) work items. The decomposition — including every derived
+  // seed and observability path — is the same for any --jobs value; only
+  // the execution order varies, and the reduction below walks the result
+  // slots in original item order, so the outcome vector (and thus every
+  // figure CSV built from it) is byte-identical regardless of job count.
+  struct WorkItem {
+    std::size_t scenario = 0;  // index into `scenarios`
+    int path = 0;
+    Protocol protocol = Protocol::kTcp;
+    int rep = 0;
+  };
+  static constexpr Protocol kProtocols[] = {Protocol::kTcp, Protocol::kQuic,
+                                            Protocol::kMptcp,
+                                            Protocol::kMpquic};
+  const int reps = std::max(options.repetitions, 1);
+  const std::size_t per_scenario = 2 * std::size(kProtocols) * reps;
+  std::vector<WorkItem> items;
+  items.reserve(scenarios.size() * per_scenario);
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    for (int path = 0; path < 2; ++path) {
+      for (Protocol protocol : kProtocols) {
+        for (int rep = 0; rep < reps; ++rep) {
+          items.push_back({s, path, protocol, rep});
+        }
+      }
+    }
+  }
+
+  std::vector<TransferResult> results(items.size());
+  // Progress dot per scenario, emitted by whichever worker finishes the
+  // scenario's last item (under --jobs 1 this is the original ordering).
+  std::vector<std::atomic<std::size_t>> remaining(scenarios.size());
+  for (auto& count : remaining) {
+    count.store(per_scenario, std::memory_order_relaxed);
+  }
+
+  RunParallel(options.jobs, items.size(), [&](std::size_t i) {
+    const WorkItem& item = items[i];
+    const expdesign::Scenario& scenario = scenarios[item.scenario];
+    TransferOptions run = options.base_options;
+    run.transfer_size = options.transfer_size;
+    run.time_limit = options.time_limit;
+    run.initial_path = item.path;
+    // Same derivation as the serial MedianTransfer loop: a scenario base
+    // seed plus the per-repetition stride.
+    run.seed = options.seed + 1000003ULL * scenario.index +
+               7919ULL * static_cast<std::uint64_t>(item.rep);
+    if (!options.obs_dir.empty() && item.protocol == Protocol::kMpquic) {
+      // One qlog per (scenario, initial path, repetition) so concurrent
+      // repetitions never write the same file, plus one metrics row per
+      // run (the append itself is mutex-guarded in the runner).
+      const std::string stem =
+          "scenario_" + std::to_string(scenario.index) + "_p" +
+          std::to_string(item.path) + "_r" + std::to_string(item.rep);
+      run.qlog_path = options.obs_dir + "/" + stem + ".qlog";
+      run.metrics_path = options.obs_dir + "/metrics.ndjson";
+      run.metrics_label = stem;
+    }
+    results[i] = RunTransfer(item.protocol, scenario.paths, run);
+    if (options.progress &&
+        remaining[item.scenario].fetch_sub(1, std::memory_order_acq_rel) ==
+            1) {
+      std::fputc('.', stderr);
+      std::fflush(stderr);
+    }
+  });
+  if (options.progress) std::fputc('\n', stderr);
+
+  // Serial reduction in item order: repetitions collapse to their median,
+  // medians land in the outcome slot their (path, protocol) dictates.
   std::vector<ScenarioOutcome> outcomes;
   outcomes.reserve(scenarios.size());
-  for (const auto& scenario : scenarios) {
+  std::size_t cursor = 0;
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
     ScenarioOutcome outcome;
-    outcome.scenario = scenario;
-    TransferOptions base = options.base_options;
-    base.transfer_size = options.transfer_size;
-    base.time_limit = options.time_limit;
-    base.seed = options.seed + 1000003ULL * scenario.index;
-
+    outcome.scenario = scenarios[s];
     for (int path = 0; path < 2; ++path) {
-      TransferOptions run = base;
-      run.initial_path = path;
-      outcome.tcp[path] = MedianTransfer(Protocol::kTcp, scenario.paths, run,
-                                         options.repetitions);
-      outcome.quic[path] = MedianTransfer(Protocol::kQuic, scenario.paths,
-                                          run, options.repetitions);
-      outcome.mptcp[path] = MedianTransfer(Protocol::kMptcp, scenario.paths,
-                                           run, options.repetitions);
-      if (!options.obs_dir.empty()) {
-        // Per-scenario observability: one trace per (scenario, initial
-        // path) — repetitions rewrite it, so the file holds the last rep —
-        // plus one metrics row per repetition.
-        const std::string stem = "scenario_" +
-                                 std::to_string(scenario.index) + "_p" +
-                                 std::to_string(path);
-        run.qlog_path = options.obs_dir + "/" + stem + ".qlog";
-        run.metrics_path = options.obs_dir + "/metrics.ndjson";
-        run.metrics_label = stem;
+      for (Protocol protocol : kProtocols) {
+        std::vector<TransferResult> reps_results(
+            results.begin() + static_cast<std::ptrdiff_t>(cursor),
+            results.begin() + static_cast<std::ptrdiff_t>(cursor + reps));
+        cursor += reps;
+        TransferResult median = MedianResult(std::move(reps_results));
+        switch (protocol) {
+          case Protocol::kTcp: outcome.tcp[path] = median; break;
+          case Protocol::kQuic: outcome.quic[path] = median; break;
+          case Protocol::kMptcp: outcome.mptcp[path] = median; break;
+          case Protocol::kMpquic: outcome.mpquic[path] = median; break;
+        }
       }
-      outcome.mpquic[path] = MedianTransfer(Protocol::kMpquic, scenario.paths,
-                                            run, options.repetitions);
     }
     outcome.best_path_tcp =
         outcome.tcp[0].goodput_mbps >= outcome.tcp[1].goodput_mbps ? 0 : 1;
     outcome.best_path_quic =
         outcome.quic[0].goodput_mbps >= outcome.quic[1].goodput_mbps ? 0 : 1;
     outcomes.push_back(std::move(outcome));
-    if (options.progress) {
-      std::fputc('.', stderr);
-      std::fflush(stderr);
-    }
   }
-  if (options.progress) std::fputc('\n', stderr);
   return outcomes;
 }
 

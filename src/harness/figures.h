@@ -25,13 +25,19 @@ struct ClassEvalOptions {
   std::uint64_t seed = 20170712;
   TimePoint time_limit = 600 * kSecond;
   bool progress = true;  // print a dot per scenario to stderr
+  /// Worker threads running the (scenario, path, protocol, repetition)
+  /// work items. Every run is independent and results are reduced in
+  /// serial item order, so any jobs value yields byte-identical output
+  /// (docs/PERFORMANCE.md); only wall-clock time changes.
+  int jobs = 1;
   /// When non-empty, PrintCdf/PrintSummaryRow additionally write the full
   /// (un-thinned) series as CSV files into this directory.
   std::string csv_dir;
   /// When non-empty, every MPQUIC run dumps a per-connection qlog trace
-  /// (scenario_<index>_p<initial>.qlog) into this directory and appends a
-  /// per-run metrics row to <obs_dir>/metrics.ndjson. The directory must
-  /// exist. See docs/OBSERVABILITY.md.
+  /// (scenario_<index>_p<initial>_r<rep>.qlog — one file per repetition,
+  /// safe under --jobs N) into this directory and appends a per-run
+  /// metrics row to <obs_dir>/metrics.ndjson. The directory is created
+  /// if missing. See docs/OBSERVABILITY.md.
   std::string obs_dir;
   /// Ablation knobs forwarded to every run.
   TransferOptions base_options;
@@ -41,7 +47,8 @@ struct ClassEvalOptions {
 void SetCsvDirectory(const std::string& dir);
 
 /// Parse common bench arguments: --full (253 scenarios, 3 reps),
-/// --scenarios N, --reps N, --size BYTES, --quiet, --csv DIR, --obs DIR.
+/// --scenarios N, --reps N, --size BYTES, --quiet, --csv DIR, --obs DIR,
+/// --jobs N (worker threads; 0 = one per hardware core).
 ClassEvalOptions ParseBenchArgs(int argc, char** argv);
 
 struct ScenarioOutcome {

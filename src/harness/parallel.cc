@@ -1,0 +1,38 @@
+#include "harness/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace mpq::harness {
+
+int DefaultJobs() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void RunParallel(int jobs, std::size_t count,
+                 const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  const std::size_t workers =
+      std::min(static_cast<std::size_t>(jobs), count);
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&next, count, &fn] {
+      for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+           i < count; i = next.fetch_add(1, std::memory_order_relaxed)) {
+        fn(i);
+      }
+    });
+  }
+  for (auto& thread : pool) thread.join();
+}
+
+}  // namespace mpq::harness

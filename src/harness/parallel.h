@@ -1,0 +1,26 @@
+// Minimal worker pool for fanning independent simulation runs across
+// threads. Every run in this codebase is self-contained (own Simulator,
+// Network, Rng, connections), so the only coordination a sweep needs is
+// work distribution — results land in pre-sized slots and are reduced
+// serially by the caller, keeping output byte-identical for any job
+// count. See docs/PERFORMANCE.md.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace mpq::harness {
+
+/// Worker count used for `--jobs 0` (auto): the hardware concurrency,
+/// at least 1.
+int DefaultJobs();
+
+/// Invoke fn(0), fn(1), ..., fn(count - 1), distributing indices over
+/// `jobs` threads via an atomic claim counter. `jobs <= 1` runs inline
+/// in index order with no threads. fn must be safe to call concurrently
+/// for distinct indices; no two workers ever receive the same index.
+/// Returns after every item has completed.
+void RunParallel(int jobs, std::size_t count,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace mpq::harness

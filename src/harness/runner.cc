@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/source.h"
@@ -184,19 +185,25 @@ TransferResult RunQuicTransfer(bool multipath,
                    options.time_limit, errors);
 
   if (metrics != nullptr) {
+    // Build the row outside the lock; the metrics file is the one output
+    // shared between parallel sweep workers, so the append (open, write
+    // one line, close) is serialised by a process-wide mutex.
+    obs::JsonWriter writer;
+    writer.BeginObject();
+    writer.Key("label").String(options.metrics_label);
+    writer.Key("protocol").String(multipath ? "MPQUIC" : "QUIC");
+    writer.Key("seed").UInt(options.seed);
+    writer.Key("completed").Bool(result.completed);
+    writer.Key("time_s").Double(DurationToSeconds(result.completion_time));
+    writer.Key("goodput_mbps").Double(result.goodput_mbps);
+    writer.Key("metrics");
+    registry.WriteJson(writer);
+    writer.EndObject();
+
+    static std::mutex metrics_file_mutex;
+    const std::lock_guard<std::mutex> lock(metrics_file_mutex);
     std::ofstream out(options.metrics_path, std::ios::app);
     if (out.is_open()) {
-      obs::JsonWriter writer;
-      writer.BeginObject();
-      writer.Key("label").String(options.metrics_label);
-      writer.Key("protocol").String(multipath ? "MPQUIC" : "QUIC");
-      writer.Key("seed").UInt(options.seed);
-      writer.Key("completed").Bool(result.completed);
-      writer.Key("time_s").Double(DurationToSeconds(result.completion_time));
-      writer.Key("goodput_mbps").Double(result.goodput_mbps);
-      writer.Key("metrics");
-      registry.WriteJson(writer);
-      writer.EndObject();
       out << writer.str() << '\n';
     } else {
       std::fprintf(stderr, "warning: cannot open metrics output %s\n",
@@ -306,6 +313,10 @@ TransferResult MedianTransfer(Protocol protocol,
     options.seed = base_seed + 7919ULL * static_cast<std::uint64_t>(rep);
     results.push_back(RunTransfer(protocol, paths, options));
   }
+  return MedianResult(std::move(results));
+}
+
+TransferResult MedianResult(std::vector<TransferResult> results) {
   std::sort(results.begin(), results.end(),
             [](const TransferResult& a, const TransferResult& b) {
               if (a.completed != b.completed) return a.completed;

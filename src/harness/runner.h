@@ -75,10 +75,17 @@ TransferResult RunTransfer(Protocol protocol,
                            const TransferOptions& options);
 
 /// The paper's 3-repetitions-median (three derived seeds, median by
-/// completion time; failed runs sort last).
+/// completion time; failed runs sort last). Repetition r runs with
+/// seed = options.seed + 7919 * r.
 TransferResult MedianTransfer(Protocol protocol,
                               const std::array<sim::PathParams, 2>& paths,
                               TransferOptions options, int repetitions = 3);
+
+/// The reduction step of MedianTransfer on its own: sort by (completed,
+/// completion_time) — failed runs last — and return the middle element.
+/// For callers that execute the repetitions themselves (the parallel
+/// sweep harness fans them out as independent work items).
+TransferResult MedianResult(std::vector<TransferResult> results);
 
 /// Experimental aggregation benefit EBen(C) of §4.1:
 ///   (Gm - Gmax) / (G1 + G2 - Gmax)  if Gm >= Gmax,

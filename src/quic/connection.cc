@@ -219,7 +219,7 @@ void Connection::SendChlo() {
   }
   chlo_sent_time_ = sim_.now();
   if (tracer_ != nullptr) tracer_->OnHandshakeEvent(sim_.now(), "chlo-sent");
-  TransmitPacket(*paths_.at(0), std::move(frames), /*retransmittable=*/false,
+  TransmitPacket(*paths_.at(0), frames, /*retransmittable=*/false,
                  /*handshake_cleartext=*/true);
   const Duration timeout = config_.handshake_timeout
                            << (handshake_attempts_ - 1);
@@ -287,7 +287,7 @@ void Connection::HandleChlo(const HandshakeFrame& chlo,
   std::vector<Frame> frames;
   frames.emplace_back(std::move(shlo));
   if (tracer_ != nullptr) tracer_->OnHandshakeEvent(sim_.now(), "shlo-sent");
-  TransmitPacket(*paths_.at(0), std::move(frames), /*retransmittable=*/false,
+  TransmitPacket(*paths_.at(0), frames, /*retransmittable=*/false,
                  /*handshake_cleartext=*/true);
 }
 
@@ -464,7 +464,7 @@ void Connection::Close(std::uint16_t error_code, const std::string& reason) {
     // Best effort on the initial path.
     std::vector<Frame> frames;
     frames.emplace_back(std::move(frame));
-    TransmitPacket(*paths_.begin()->second, std::move(frames),
+    TransmitPacket(*paths_.begin()->second, frames,
                    /*retransmittable=*/false, /*handshake_cleartext=*/false);
   }
   closed_ = true;
@@ -525,7 +525,8 @@ void Connection::OnEncryptedPacket(const ParsedHeader& parsed,
       datagram_bytes.subspan(0, parsed.header_size);
   std::span<const std::uint8_t> sealed;
   if (!reader.ReadSpan(reader.remaining(), sealed)) return;
-  std::vector<std::uint8_t> plaintext;
+  // Reused scratch: Open assigns into it, recycling the capacity.
+  std::vector<std::uint8_t>& plaintext = recv_plaintext_scratch_;
   if (!open_->Open(pid, pn, aad, sealed, plaintext)) {
     ++stats_.packets_decrypt_failed;
     return;
@@ -546,7 +547,7 @@ void Connection::OnEncryptedPacket(const ParsedHeader& parsed,
               static_cast<unsigned long long>(cid_), pid);
     path.UpdateAddresses(datagram.dst, datagram.src);
   }
-  std::vector<Frame> frames;
+  std::vector<Frame>& frames = recv_frames_scratch_;
   if (!DecodePayload(plaintext, frames)) return;
 
   bool any_retransmittable = false;
@@ -563,16 +564,16 @@ void Connection::OnEncryptedPacket(const ParsedHeader& parsed,
 }
 
 void Connection::ProcessFrames(PathRuntime& runtime,
-                               const std::vector<Frame>& frames) {
+                               std::vector<Frame>& frames) {
   if (tracer_ != nullptr) {
     for (const Frame& frame : frames) {
       tracer_->OnFrameReceived(sim_.now(), runtime.path->id(), frame);
     }
   }
-  for (const Frame& frame : frames) {
+  for (Frame& frame : frames) {
     if (closed_) return;
     std::visit(
-        [&](const auto& f) {
+        [&](auto& f) {
           using T = std::decay_t<decltype(f)>;
           if constexpr (std::is_same_v<T, AckFrame>) {
             OnAckFrame(f);
@@ -686,9 +687,9 @@ RecvStream& Connection::GetOrCreateRecvStream(StreamId id) {
   return *inserted_it->second;
 }
 
-void Connection::OnStreamFrameReceived(const StreamFrame& frame) {
+void Connection::OnStreamFrameReceived(StreamFrame& frame) {
   RecvStream& stream = GetOrCreateRecvStream(frame.stream_id);
-  const ByteCount growth = stream.OnStreamFrame(frame);
+  const ByteCount growth = stream.OnStreamFrame(std::move(frame));
   total_highest_received_ += growth;
   if (!flow_.WithinReceiveLimit(total_highest_received_)) {
     // Peer overran our advertised window: protocol violation.
@@ -775,14 +776,14 @@ void Connection::SendAckOnlyPacket(PathRuntime& runtime) {
   if (!runtime.path->receiver().AnythingToAck()) return;
   std::vector<Frame> frames;
   frames.emplace_back(BuildAck(runtime));
-  TransmitPacket(runtime, std::move(frames), /*retransmittable=*/false,
+  TransmitPacket(runtime, frames, /*retransmittable=*/false,
                  /*handshake_cleartext=*/false);
 }
 
 void Connection::SendPing(PathRuntime& runtime, bool track) {
   std::vector<Frame> frames;
   frames.emplace_back(PingFrame{});
-  TransmitPacket(runtime, std::move(frames), /*retransmittable=*/track,
+  TransmitPacket(runtime, frames, /*retransmittable=*/track,
                  /*handshake_cleartext=*/false);
 }
 
@@ -984,7 +985,10 @@ bool Connection::SendOnePacket(PathRuntime& runtime, bool include_stream_data,
   std::size_t budget =
       config_.max_packet_size - header_size - crypto::kAeadTagSize;
 
-  std::vector<Frame> frames;
+  // Recycled per-packet scratch: the vector's capacity survives across
+  // packets (TransmitPacket moves the frames out but leaves the vector).
+  std::vector<Frame>& frames = send_frames_scratch_;
+  frames.clear();
   ByteCount new_bytes = 0;
 
   // 1. Piggyback a pending ACK for this path.
@@ -1067,13 +1071,13 @@ bool Connection::SendOnePacket(PathRuntime& runtime, bool include_stream_data,
   }
   new_stream_bytes_sent_ += new_bytes;
   stats_.stream_bytes_sent_new += new_bytes;
-  TransmitPacket(runtime, std::move(frames), retransmittable,
+  TransmitPacket(runtime, frames, retransmittable,
                  /*handshake_cleartext=*/false);
   return true;
 }
 
 void Connection::TransmitPacket(PathRuntime& runtime,
-                                std::vector<Frame> frames,
+                                std::vector<Frame>& frames,
                                 bool retransmittable,
                                 bool handshake_cleartext) {
   Path& path = *runtime.path;
@@ -1089,22 +1093,23 @@ void Connection::TransmitPacket(PathRuntime& runtime,
   header.handshake = handshake_cleartext;
   header.packet_number = path.AllocatePacketNumber();
 
-  BufWriter writer(config_.max_packet_size);
+  // Single-buffer assembly: header and frames are encoded into one
+  // writer and the payload is sealed where it lies — the only per-packet
+  // allocation left is the outgoing datagram itself (the network takes
+  // ownership of it).
+  BufWriter writer(config_.max_packet_size + crypto::kAeadTagSize);
   EncodeHeader(header, path.largest_acked(), writer);
   const std::size_t header_size = writer.size();
 
-  BufWriter payload;
-  for (const Frame& frame : frames) EncodeFrame(frame, payload);
+  for (const Frame& frame : frames) EncodeFrame(frame, writer);
 
-  if (handshake_cleartext) {
-    writer.WriteBytes(payload.span());
-  } else {
+  if (!handshake_cleartext) {
     assert(seal_ != nullptr);
-    const auto sealed =
-        seal_->Seal(header.multipath ? header.path_id : 0,
-                    header.packet_number, writer.span().subspan(0, header_size),
-                    payload.span());
-    writer.WriteBytes(sealed);
+    writer.WriteZeroes(crypto::kAeadTagSize);  // tag slot
+    const std::span<std::uint8_t> buf = writer.mutable_span();
+    seal_->SealInPlace(header.multipath ? header.path_id : 0,
+                       header.packet_number, buf.subspan(0, header_size),
+                       buf.subspan(header_size));
   }
   assert(writer.size() <= config_.max_packet_size + 64);
 

@@ -222,9 +222,11 @@ class Connection {
   void OnEncryptedPacket(const ParsedHeader& parsed, BufReader& reader,
                          std::span<const std::uint8_t> datagram_bytes,
                          const sim::Datagram& datagram);
-  void ProcessFrames(PathRuntime& runtime, const std::vector<Frame>& frames);
+  /// Frames are consumed: stream payloads are moved out into the receive
+  /// streams rather than copied.
+  void ProcessFrames(PathRuntime& runtime, std::vector<Frame>& frames);
   void OnAckFrame(const AckFrame& ack);
-  void OnStreamFrameReceived(const StreamFrame& frame);
+  void OnStreamFrameReceived(StreamFrame& frame);
   void OnWindowUpdate(const WindowUpdateFrame& frame);
   void OnPathsFrame(const PathsFrame& frame);
   RecvStream& GetOrCreateRecvStream(StreamId id);
@@ -240,7 +242,10 @@ class Connection {
                      std::vector<StreamFrame>* sent_stream_frames);
   void SendAckOnlyPacket(PathRuntime& runtime);
   void SendPing(PathRuntime& runtime, bool track);
-  void TransmitPacket(PathRuntime& runtime, std::vector<Frame> frames,
+  /// `frames` is consumed (retransmittable frames are moved into the sent-
+  /// packet record) but the vector's allocation stays with the caller, so
+  /// per-packet scratch can be recycled.
+  void TransmitPacket(PathRuntime& runtime, std::vector<Frame>& frames,
                       bool retransmittable, bool handshake_cleartext);
   AckFrame BuildAck(PathRuntime& runtime);
   void MaybeScheduleAck(PathRuntime& runtime, bool out_of_order);
@@ -340,6 +345,14 @@ class Connection {
   /// BLOCKED is sent once per flow-control-blocked episode (diagnostic;
   /// also what real stacks do to aid troubleshooting).
   bool blocked_reported_ = false;
+
+  // Recycled per-packet scratch. The capacity survives across packets so
+  // the steady-state datapath allocates only the outgoing datagram itself.
+  // Safe as members: the simulator is single-threaded per connection and
+  // neither send nor receive re-enters its own half of the datapath.
+  std::vector<Frame> send_frames_scratch_;
+  std::vector<std::uint8_t> recv_plaintext_scratch_;
+  std::vector<Frame> recv_frames_scratch_;
 };
 
 }  // namespace mpq::quic

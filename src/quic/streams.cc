@@ -113,6 +113,15 @@ void SendStream::OnFrameLost(ByteCount offset, ByteCount length, bool fin) {
 // RecvStream
 
 ByteCount RecvStream::OnStreamFrame(const StreamFrame& frame) {
+  return OnStreamFrameImpl(frame, nullptr);
+}
+
+ByteCount RecvStream::OnStreamFrame(StreamFrame&& frame) {
+  return OnStreamFrameImpl(frame, &frame.data);
+}
+
+ByteCount RecvStream::OnStreamFrameImpl(const StreamFrame& frame,
+                                        std::vector<std::uint8_t>* movable) {
   if (frame.fin) {
     fin_known_ = true;
     final_size_ = frame.offset + frame.data.size();
@@ -125,23 +134,39 @@ ByteCount RecvStream::OnStreamFrame(const StreamFrame& frame) {
   }
 
   if (frame_end > delivered_ && !frame.data.empty()) {
-    // Trim the already-delivered prefix, then store. Overlaps with other
-    // buffered segments are tolerated (delivery skips duplicate bytes).
-    ByteCount start = std::max(frame.offset, delivered_);
+    // Trim the already-delivered prefix. Overlaps with other buffered
+    // segments are tolerated (delivery skips duplicate bytes).
+    const ByteCount start = std::max(frame.offset, delivered_);
     const std::size_t skip = start - frame.offset;
-    std::vector<std::uint8_t> data(frame.data.begin() + skip,
-                                   frame.data.end());
-    buffered_ += data.size();
-    auto [it, inserted] = segments_.emplace(start, std::move(data));
-    if (!inserted) {
+
+    if (segments_.empty() && start == delivered_) {
+      // In-order fast path — the overwhelmingly common case: hand the
+      // payload to the sink straight from the frame, never buffering it.
+      const std::span<const std::uint8_t> fresh(frame.data.data() + skip,
+                                                frame.data.size() - skip);
+      const bool finished =
+          fin_known_ && !fin_signaled_ && frame_end >= final_size_;
+      if (finished) fin_signaled_ = true;
+      if (sink_) sink_(delivered_, fresh, finished);
+      delivered_ = frame_end;
+      return window_growth;
+    }
+
+    std::vector<std::uint8_t> data;
+    if (movable != nullptr && skip == 0) {
+      data = std::move(*movable);
+    } else {
+      data.assign(frame.data.begin() + skip, frame.data.end());
+    }
+    // try_emplace leaves `data` intact when the offset is already present.
+    auto [it, inserted] = segments_.try_emplace(start, std::move(data));
+    if (inserted) {
+      buffered_ += it->second.size();
+    } else if (it->second.size() < data.size()) {
       // Same offset seen twice: keep the longer one.
-      if (it->second.size() < frame_end - start) {
-        buffered_ -= it->second.size();
-        it->second.assign(frame.data.begin() + skip, frame.data.end());
-        buffered_ += it->second.size();
-      } else {
-        buffered_ -= frame_end - start;
-      }
+      buffered_ -= it->second.size();
+      it->second = std::move(data);
+      buffered_ += it->second.size();
     }
   }
   DeliverInOrder();

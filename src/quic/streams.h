@@ -114,8 +114,12 @@ class RecvStream {
 
   /// Process one STREAM frame. Returns the increase of this stream's
   /// highest-received offset (the amount of receive window newly consumed
-  /// at connection level); 0 for pure duplicates.
+  /// at connection level); 0 for pure duplicates. In-order data is handed
+  /// to the sink straight from the frame (no buffering copy); the rvalue
+  /// overload additionally moves out-of-order payloads into the
+  /// reassembly buffer instead of copying them.
   ByteCount OnStreamFrame(const StreamFrame& frame);
+  ByteCount OnStreamFrame(StreamFrame&& frame);
 
   StreamId id() const { return id_; }
   ByteCount delivered_offset() const { return delivered_; }
@@ -129,6 +133,10 @@ class RecvStream {
   ByteCount buffered_bytes() const { return buffered_; }
 
  private:
+  /// `movable` is non-null when the caller donates the frame's payload
+  /// vector (rvalue overload) — buffering may then steal it.
+  ByteCount OnStreamFrameImpl(const StreamFrame& frame,
+                              std::vector<std::uint8_t>* movable);
   void DeliverInOrder();
 
   StreamId id_;

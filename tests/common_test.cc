@@ -24,6 +24,50 @@ TEST(BufWriter, FixedWidthIntegersAreBigEndian) {
   EXPECT_EQ(w.data(), expected);
 }
 
+TEST(BufWriter, BulkWritesMatchByteWiseEncoding) {
+  // The multi-byte writers take a single resize + memcpy; the result must
+  // be byte-identical to writing the same big-endian bytes one at a time.
+  std::vector<std::uint8_t> payload(300);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 7 + 3);
+  }
+
+  BufWriter bulk;
+  bulk.WriteU16(0x1234);
+  bulk.WriteU32(0xDEADBEEF);
+  bulk.WriteU64(0x0102030405060708ULL);
+  bulk.WriteBytes(payload);
+  bulk.WriteBytes(payload.data(), 10);
+  bulk.WriteBytes(std::span<const std::uint8_t>{});  // no-op
+  bulk.WriteZeroes(5);
+
+  BufWriter ref;
+  for (std::uint8_t b : {0x12, 0x34}) ref.WriteU8(b);
+  for (std::uint8_t b : {0xDE, 0xAD, 0xBE, 0xEF}) ref.WriteU8(b);
+  for (int i = 1; i <= 8; ++i) ref.WriteU8(static_cast<std::uint8_t>(i));
+  for (std::uint8_t b : payload) ref.WriteU8(b);
+  for (std::size_t i = 0; i < 10; ++i) ref.WriteU8(payload[i]);
+  for (int i = 0; i < 5; ++i) ref.WriteU8(0);
+
+  EXPECT_EQ(bulk.data(), ref.data());
+}
+
+TEST(BufWriter, ClearKeepsAllocationAndMutableSpanAliases) {
+  // The packet-assembly scratch path: Clear() reuses the buffer, and
+  // mutable_span() writes through to the stored bytes (in-place AEAD).
+  BufWriter w;
+  w.WriteU32(0xAABBCCDD);
+  w.Clear();
+  EXPECT_TRUE(w.empty());
+  w.WriteU8(7);
+  w.WriteZeroes(3);
+  const std::span<std::uint8_t> view = w.mutable_span();
+  ASSERT_EQ(view.size(), 4u);
+  view[3] = 0x55;
+  const std::vector<std::uint8_t> expected = {7, 0, 0, 0x55};
+  EXPECT_EQ(w.data(), expected);
+}
+
 TEST(BufReader, RoundTripsFixedWidthIntegers) {
   BufWriter w;
   w.WriteU8(7);

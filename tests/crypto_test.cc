@@ -248,5 +248,103 @@ INSTANTIATE_TEST_SUITE_P(Lengths, AeadLengthSweep,
                          ::testing::Values(0, 1, 15, 16, 63, 64, 65, 500,
                                            1350));
 
+// ---------------------------------------------------------------------------
+// In-place AEAD (the zero-allocation datapath uses these entry points; the
+// allocating Seal/Open must stay byte-compatible with them)
+
+TEST_P(AeadLengthSweep, SealInPlaceMatchesSeal) {
+  PacketProtection prot(SequentialKey());
+  const std::uint8_t aad[] = {0xAB, 0xCD};
+  std::vector<std::uint8_t> plain(GetParam());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    plain[i] = static_cast<std::uint8_t>(i * 13);
+  }
+  const auto sealed = prot.Seal(3, GetParam() + 1, aad, plain);
+
+  std::vector<std::uint8_t> buf = plain;
+  buf.resize(buf.size() + kAeadTagSize);  // tag slot
+  prot.SealInPlace(3, GetParam() + 1, aad, buf);
+  EXPECT_EQ(buf, sealed);
+}
+
+TEST_P(AeadLengthSweep, OpenInPlaceMatchesOpen) {
+  PacketProtection prot(SequentialKey());
+  const std::uint8_t aad[] = {0xAB, 0xCD};
+  std::vector<std::uint8_t> plain(GetParam());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    plain[i] = static_cast<std::uint8_t>(i * 13);
+  }
+  const auto sealed = prot.Seal(3, GetParam() + 1, aad, plain);
+
+  std::vector<std::uint8_t> opened;
+  ASSERT_TRUE(prot.Open(3, GetParam() + 1, aad, sealed, opened));
+
+  std::vector<std::uint8_t> buf = sealed;
+  std::size_t plaintext_len = 0;
+  ASSERT_TRUE(prot.OpenInPlace(3, GetParam() + 1, aad, buf, plaintext_len));
+  ASSERT_EQ(plaintext_len, plain.size());
+  EXPECT_TRUE(std::equal(plain.begin(), plain.end(), buf.begin()));
+  EXPECT_EQ(opened, plain);
+}
+
+TEST(PacketProtection, OpenInPlaceRejectsCorruptionUntouched) {
+  PacketProtection prot(SequentialKey());
+  const std::uint8_t aad[] = {1, 2, 3};
+  std::vector<std::uint8_t> plain(100);
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    plain[i] = static_cast<std::uint8_t>(i);
+  }
+  const auto sealed = prot.Seal(1, 77, aad, plain);
+  // Flip one bit at every position (ciphertext and tag alike): the open
+  // must fail and — per the documented contract — leave the buffer as the
+  // caller passed it, so a failed decrypt never leaks keystream.
+  for (std::size_t pos = 0; pos < sealed.size(); ++pos) {
+    std::vector<std::uint8_t> buf = sealed;
+    buf[pos] ^= 0x40;
+    const std::vector<std::uint8_t> tampered = buf;
+    std::size_t plaintext_len = 0;
+    EXPECT_FALSE(prot.OpenInPlace(1, 77, aad, buf, plaintext_len))
+        << "bit flip at " << pos;
+    EXPECT_EQ(buf, tampered) << "buffer modified on failure at " << pos;
+  }
+  // Wrong AAD and wrong packet number fail the same way.
+  std::vector<std::uint8_t> buf = sealed;
+  std::size_t plaintext_len = 0;
+  const std::uint8_t bad_aad[] = {1, 2, 4};
+  EXPECT_FALSE(prot.OpenInPlace(1, 77, bad_aad, buf, plaintext_len));
+  EXPECT_FALSE(prot.OpenInPlace(1, 78, aad, buf, plaintext_len));
+  EXPECT_EQ(buf, sealed);
+}
+
+TEST(PacketProtection, InPlacePathIdSeparatesNonces) {
+  // §3's nonce rule holds for the in-place entry points too: the same
+  // packet number on two paths yields different ciphertext, and a packet
+  // sealed on one path never opens on the other.
+  PacketProtection prot(SequentialKey());
+  const std::uint8_t aad[] = {5};
+  const std::vector<std::uint8_t> plain = {1, 2, 3, 4, 5, 6, 7, 8};
+
+  std::vector<std::uint8_t> buf_p0 = plain;
+  buf_p0.resize(buf_p0.size() + kAeadTagSize);
+  std::vector<std::uint8_t> buf_p1 = buf_p0;
+  prot.SealInPlace(0, 1, aad, buf_p0);
+  prot.SealInPlace(1, 1, aad, buf_p1);
+  EXPECT_NE(buf_p0, buf_p1);
+
+  std::size_t plaintext_len = 0;
+  std::vector<std::uint8_t> cross = buf_p0;
+  EXPECT_FALSE(prot.OpenInPlace(1, 1, aad, cross, plaintext_len));
+  ASSERT_TRUE(prot.OpenInPlace(0, 1, aad, buf_p0, plaintext_len));
+  ASSERT_EQ(plaintext_len, plain.size());
+  EXPECT_TRUE(std::equal(plain.begin(), plain.end(), buf_p0.begin()));
+}
+
+TEST(PacketProtection, OpenInPlaceTruncatedInputRejected) {
+  PacketProtection prot(SequentialKey());
+  std::vector<std::uint8_t> tiny = {1, 2, 3};  // shorter than the tag
+  std::size_t plaintext_len = 0;
+  EXPECT_FALSE(prot.OpenInPlace(0, 1, {}, tiny, plaintext_len));
+}
+
 }  // namespace
 }  // namespace mpq::crypto

@@ -241,5 +241,67 @@ TEST(Figures, ParseBenchArgs) {
   EXPECT_FALSE(options.progress);
 }
 
+TEST(Figures, ParseBenchArgsJobs) {
+  const char* argv[] = {"bench", "--jobs", "3"};
+  EXPECT_EQ(ParseBenchArgs(3, const_cast<char**>(argv)).jobs, 3);
+  const char* argv_auto[] = {"bench", "--jobs", "0"};
+  // 0 = auto: one worker per hardware thread, never fewer than one.
+  EXPECT_GE(ParseBenchArgs(3, const_cast<char**>(argv_auto)).jobs, 1);
+  const char* argv_default[] = {"bench"};
+  EXPECT_EQ(ParseBenchArgs(1, const_cast<char**>(argv_default)).jobs, 1);
+}
+
+void ExpectSameResult(const TransferResult& a, const TransferResult& b,
+                      const char* what, std::size_t scenario, int path) {
+  // Exact equality, doubles included: parallel execution must reproduce
+  // the serial results bit for bit.
+  EXPECT_EQ(a.completed, b.completed) << what << " s" << scenario << " p"
+                                      << path;
+  EXPECT_EQ(a.completion_time, b.completion_time)
+      << what << " s" << scenario << " p" << path;
+  EXPECT_EQ(a.bytes_received, b.bytes_received)
+      << what << " s" << scenario << " p" << path;
+  EXPECT_EQ(a.goodput_mbps, b.goodput_mbps)
+      << what << " s" << scenario << " p" << path;
+  EXPECT_EQ(a.data_integrity_errors, b.data_integrity_errors)
+      << what << " s" << scenario << " p" << path;
+}
+
+TEST(Figures, ParallelEvaluationMatchesSerialExactly) {
+  // The determinism contract of the worker-pool harness: the outcome
+  // vector is identical for any --jobs value (docs/PERFORMANCE.md), so
+  // every figure CSV built from it is byte-identical too.
+  ClassEvalOptions options;
+  options.scenario_count = 3;
+  options.repetitions = 2;
+  options.transfer_size = 128 * 1024;
+  options.progress = false;
+  options.time_limit = 600 * kSecond;
+
+  options.jobs = 1;
+  const auto serial =
+      EvaluateClass(expdesign::ScenarioClass::kLowBdpNoLoss, options);
+  options.jobs = 4;
+  const auto parallel =
+      EvaluateClass(expdesign::ScenarioClass::kLowBdpNoLoss, options);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t s = 0; s < serial.size(); ++s) {
+    EXPECT_EQ(serial[s].scenario.index, parallel[s].scenario.index);
+    for (int path = 0; path < 2; ++path) {
+      ExpectSameResult(serial[s].tcp[path], parallel[s].tcp[path], "tcp", s,
+                       path);
+      ExpectSameResult(serial[s].quic[path], parallel[s].quic[path], "quic",
+                       s, path);
+      ExpectSameResult(serial[s].mptcp[path], parallel[s].mptcp[path],
+                       "mptcp", s, path);
+      ExpectSameResult(serial[s].mpquic[path], parallel[s].mpquic[path],
+                       "mpquic", s, path);
+    }
+    EXPECT_EQ(serial[s].best_path_tcp, parallel[s].best_path_tcp);
+    EXPECT_EQ(serial[s].best_path_quic, parallel[s].best_path_quic);
+  }
+}
+
 }  // namespace
 }  // namespace mpq::harness

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Local CI: build the plain and sanitized (ASan+UBSan) configurations and
-# run the full test suite under both.
+# Local CI: build the plain, sanitized (ASan+UBSan), and ThreadSanitizer
+# configurations and run the full test suite under each. TSan exercises
+# the parallel sweep harness (tests run EvaluateClass with --jobs > 1).
 #
 #   tools/ci.sh [--jobs N]
 #
@@ -29,5 +30,6 @@ run_config() {
 
 run_config build
 run_config build-asan -DMPQ_SANITIZE=ON
+run_config build-tsan -DMPQ_TSAN=ON
 
 echo "==> all configurations passed"
