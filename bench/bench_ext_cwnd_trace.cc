@@ -48,7 +48,7 @@ void RunAndPrint(cc::Algorithm algorithm, const char* label) {
           request->append(data.begin(), data.end());
           if (fin) {
             conn.SendOnStream(id, std::make_unique<PatternSource>(
-                                      id, std::stoull(request->substr(4))));
+                                      id, ByteCount{std::stoull(request->substr(4))}));
           }
         });
   });
@@ -64,7 +64,7 @@ void RunAndPrint(cc::Algorithm algorithm, const char* label) {
   client.connection().SetEstablishedHandler([&] {
     const std::string request = "GET 20971520";
     client.connection().SendOnStream(
-        3, std::make_unique<BufferSource>(
+        StreamId{3}, std::make_unique<BufferSource>(
                std::vector<std::uint8_t>(request.begin(), request.end())));
   });
   client.Connect(topo.server_addr[0]);
@@ -77,18 +77,18 @@ void RunAndPrint(cc::Algorithm algorithm, const char* label) {
   TimePoint next_print[2] = {0, 0};
   for (const auto& sample : tracer.samples()) {
     if (sample.path > 1) continue;
-    if (sample.time < next_print[sample.path]) continue;
-    next_print[sample.path] = sample.time + 250 * kMillisecond;
+    if (sample.time < next_print[sample.path.value()]) continue;
+    next_print[sample.path.value()] = sample.time + 250 * kMillisecond;
     std::printf("%7.3f %d %7.1f %6.1f\n", DurationToSeconds(sample.time),
-                sample.path, static_cast<double>(sample.cwnd) / 1024.0,
+                sample.path.value(), static_cast<double>(sample.cwnd) / 1024.0,
                 static_cast<double>(sample.srtt) / 1000.0);
   }
   std::size_t losses[2] = {0, 0};
-  PacketNumber last_lost_pn[2] = {0, 0};
+  PacketNumber last_lost_pn[2] = {PacketNumber{0}, PacketNumber{0}};
   for (const auto& loss : tracer.losses()) {
     if (loss.path <= 1) {
-      ++losses[loss.path];
-      last_lost_pn[loss.path] = loss.pn;
+      ++losses[loss.path.value()];
+      last_lost_pn[loss.path.value()] = loss.pn;
     }
   }
   std::printf("# losses: path0 %zu (last pn %llu), path1 %zu (last pn "

@@ -25,7 +25,7 @@ namespace {
 using namespace mpq;
 
 constexpr int kObjects = 16;
-constexpr ByteCount kObjectSize = 64 * 1024;
+constexpr ByteCount kObjectSize = ByteCount{64 * 1024};
 
 std::array<sim::PathParams, 2> MakePaths(double loss) {
   sim::PathParams p;
@@ -94,7 +94,7 @@ ObjectTimes RunTcpObjects(double loss, std::uint64_t seed) {
   sim::Simulator sim;
   sim::Network net(sim, Rng(seed));
   auto paths = MakePaths(loss);
-  for (auto& p : paths) p.per_packet_overhead = 20;
+  for (auto& p : paths) p.per_packet_overhead = ByteCount{20};
   auto topo = sim::BuildTwoPathTopology(net, paths);
 
   tcp::TcpConfig config;
@@ -110,7 +110,7 @@ ObjectTimes RunTcpObjects(double loss, std::uint64_t seed) {
       if (!d.empty() && !*responded) {  // the 1-byte pipelined "request"
         *responded = true;
         conn.SendAppData(std::make_unique<PatternSource>(
-            7, static_cast<ByteCount>(kObjects) * kObjectSize));
+            7, kObjectSize * kObjects));
       }
     });
   });
@@ -119,13 +119,13 @@ ObjectTimes RunTcpObjects(double loss, std::uint64_t seed) {
                                 seed + 2);
   ObjectTimes result;
   result.completion_seconds.assign(kObjects, -1.0);
-  ByteCount received = 0;
+  ByteCount received{};
   // HTTP/2-over-TCP framing: the 16 objects are multiplexed over the one
   // ordered byte stream in 4 KiB chunks, round-robin — like QUIC's
   // streams, except everything shares ONE retransmission order. Object i
   // completes when the stream delivers the position of its last chunk.
-  constexpr ByteCount kChunk = 4 * 1024;
-  constexpr ByteCount kRounds = kObjectSize / kChunk;
+  constexpr ByteCount kChunk = ByteCount{4 * 1024};
+  constexpr std::uint64_t kRounds = kObjectSize / kChunk;
   std::array<ByteCount, kObjects> completion_offset;
   for (int i = 0; i < kObjects; ++i) {
     completion_offset[i] = ((kRounds - 1) * kObjects + i + 1) * kChunk;
@@ -145,11 +145,11 @@ ObjectTimes RunTcpObjects(double loss, std::uint64_t seed) {
         std::make_unique<BufferSource>(std::vector<std::uint8_t>{'G'}));
   });
   client.Connect({topo.server_addr[0]});
-  while (received < static_cast<ByteCount>(kObjects) * kObjectSize &&
+  while (received < kObjectSize * kObjects &&
          sim.RunOne(120 * kSecond)) {
   }
   result.all_done =
-      received >= static_cast<ByteCount>(kObjects) * kObjectSize;
+      received >= kObjectSize * kObjects;
   return result;
 }
 

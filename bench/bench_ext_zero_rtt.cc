@@ -39,7 +39,7 @@ double RunQuic(bool zero_rtt, Duration rtt, ByteCount size) {
           request->append(data.begin(), data.end());
           if (fin) {
             conn.SendOnStream(id, std::make_unique<PatternSource>(
-                                      id, std::stoull(request->substr(4))));
+                                      id, ByteCount{std::stoull(request->substr(4))}));
           }
         });
   });
@@ -50,9 +50,9 @@ double RunQuic(bool zero_rtt, Duration rtt, ByteCount size) {
         if (fin) finished = true;
       });
   client.connection().SetEstablishedHandler([&] {
-    const std::string request = "GET " + std::to_string(size);
+    const std::string request = "GET " + std::to_string(size.value());
     client.connection().SendOnStream(
-        3, std::make_unique<BufferSource>(
+        StreamId{3}, std::make_unique<BufferSource>(
                std::vector<std::uint8_t>(request.begin(), request.end())));
   });
   client.Connect(topo.server_addr[0]);
@@ -84,7 +84,7 @@ int main() {
   std::printf("GET 256 KB over one 20 Mbps path, sweeping the RTT.\n\n");
   std::printf("%-10s %-16s %-16s %-16s\n", "RTT", "HTTPS/TCP [s]",
               "QUIC 1-RTT [s]", "QUIC 0-RTT [s]");
-  constexpr ByteCount kSize = 256 * 1024;
+  constexpr ByteCount kSize{256 * 1024};
   for (Duration rtt : {20 * kMillisecond, 50 * kMillisecond,
                        100 * kMillisecond, 200 * kMillisecond}) {
     std::printf("%6lld ms  %-16.3f %-16.3f %-16.3f\n",

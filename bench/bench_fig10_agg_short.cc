@@ -4,7 +4,7 @@
 int main(int argc, char** argv) {
   using namespace mpq::harness;
   ClassEvalOptions options = FigureDefaults(argc, argv);
-  options.transfer_size = 256 * 1024;
+  options.transfer_size = mpq::ByteCount{256 * 1024};
   PrintHeader("Figure 10",
               "GET 256 KB, low-BDP no random loss. Paper: multipath is NOT useful for short transfers (handshake dominates).",
               options);

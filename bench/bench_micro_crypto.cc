@@ -10,6 +10,8 @@
 namespace {
 
 using namespace mpq::crypto;
+using mpq::PacketNumber;
+using mpq::PathId;
 
 ChaChaKey TestKey() {
   ChaChaKey key;
@@ -48,9 +50,9 @@ void BM_SealMtuPacket(benchmark::State& state) {
   PacketProtection protection(TestKey());
   std::vector<std::uint8_t> plaintext(1300, 0x42);
   const std::uint8_t aad[14] = {};
-  std::uint64_t pn = 1;
+  PacketNumber pn{1};
   for (auto _ : state) {
-    auto sealed = protection.Seal(1, pn++, aad, plaintext);
+    auto sealed = protection.Seal(PathId{1}, pn++, aad, plaintext);
     benchmark::DoNotOptimize(sealed.data());
   }
   state.SetBytesProcessed(state.iterations() * 1300);
@@ -61,10 +63,10 @@ void BM_OpenMtuPacket(benchmark::State& state) {
   PacketProtection protection(TestKey());
   std::vector<std::uint8_t> plaintext(1300, 0x42);
   const std::uint8_t aad[14] = {};
-  const auto sealed = protection.Seal(1, 99, aad, plaintext);
+  const auto sealed = protection.Seal(PathId{1}, PacketNumber{99}, aad, plaintext);
   for (auto _ : state) {
     std::vector<std::uint8_t> out;
-    const bool ok = protection.Open(1, 99, aad, sealed, out);
+    const bool ok = protection.Open(PathId{1}, PacketNumber{99}, aad, sealed, out);
     benchmark::DoNotOptimize(ok);
     benchmark::DoNotOptimize(out.data());
   }

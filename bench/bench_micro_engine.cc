@@ -50,7 +50,7 @@ BENCHMARK(BM_SimulatorCancelHeavy)->Arg(10000);
 void BM_ReceivedTrackerInOrder(benchmark::State& state) {
   for (auto _ : state) {
     quic::ReceivedPacketTracker tracker;
-    for (PacketNumber pn = 1; pn <= 10000; ++pn) {
+    for (PacketNumber pn = PacketNumber{1}; pn <= 10000; ++pn) {
       tracker.OnPacketReceived(pn, static_cast<TimePoint>(pn));
     }
     benchmark::DoNotOptimize(tracker.BuildAckRanges());
@@ -63,7 +63,7 @@ void BM_ReceivedTrackerLossy(benchmark::State& state) {
   // Every 10th packet missing: ~1000 live ranges, capped ACK at 256.
   for (auto _ : state) {
     quic::ReceivedPacketTracker tracker;
-    for (PacketNumber pn = 1; pn <= 10000; ++pn) {
+    for (PacketNumber pn = PacketNumber{1}; pn <= 10000; ++pn) {
       if (pn % 10 == 0) continue;
       tracker.OnPacketReceived(pn, static_cast<TimePoint>(pn));
     }
@@ -77,12 +77,12 @@ void BM_RecvStreamReassemblyReversed(benchmark::State& state) {
   // Worst-case arrival order: last chunk first.
   constexpr int kChunks = 512;
   for (auto _ : state) {
-    quic::RecvStream stream(3);
-    ByteCount delivered = 0;
+    quic::RecvStream stream(StreamId{3});
+    ByteCount delivered{};
     stream.SetSink([&delivered](ByteCount, std::span<const std::uint8_t> d,
                                 bool) { delivered += d.size(); });
     quic::StreamFrame frame;
-    frame.stream_id = 3;
+    frame.stream_id = StreamId{3};
     frame.data.assign(1300, 7);
     for (int i = kChunks - 1; i >= 0; --i) {
       frame.offset = static_cast<ByteCount>(i) * 1300;
@@ -107,7 +107,7 @@ void BM_SchedulerSelect(benchmark::State& state) {
   }
   quic::LowestRttScheduler scheduler;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(scheduler.SelectPath(pointers, 1350));
+    benchmark::DoNotOptimize(scheduler.SelectPath(pointers, ByteCount{1350}));
   }
 }
 BENCHMARK(BM_SchedulerSelect);

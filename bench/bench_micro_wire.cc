@@ -39,12 +39,12 @@ BENCHMARK(BM_VarintDecode)->Arg(4)->Arg(40);
 void BM_HeaderEncodeDecode(benchmark::State& state) {
   PacketHeader header;
   header.cid = 0x1234567890ABCDEFULL;
-  header.path_id = 1;
-  header.packet_number = 100000;
+  header.path_id = PathId{1};
+  header.packet_number = PacketNumber{100000};
   header.multipath = true;
   for (auto _ : state) {
     BufWriter w(32);
-    EncodeHeader(header, 99990, w);
+    EncodeHeader(header, PacketNumber{99990}, w);
     BufReader r(w.span());
     ParsedHeader parsed;
     DecodeHeader(r, parsed);
@@ -55,8 +55,8 @@ BENCHMARK(BM_HeaderEncodeDecode);
 
 void BM_StreamFrameEncode(benchmark::State& state) {
   StreamFrame frame;
-  frame.stream_id = 3;
-  frame.offset = 1 << 20;
+  frame.stream_id = StreamId{3};
+  frame.offset = ByteCount{1 << 20};
   frame.data.assign(state.range(0), 0xAB);
   const Frame f{frame};
   for (auto _ : state) {
@@ -70,9 +70,9 @@ BENCHMARK(BM_StreamFrameEncode)->Arg(100)->Arg(1300);
 
 void BM_AckFrameEncodeDecode(benchmark::State& state) {
   AckFrame ack;
-  ack.path_id = 1;
+  ack.path_id = PathId{1};
   ack.ack_delay = 12345;
-  PacketNumber pn = 10 * state.range(0);
+  PacketNumber pn{10 * state.range(0)};
   for (int i = 0; i < state.range(0); ++i) {
     ack.ranges.push_back({pn, pn + 3});
     pn -= 10;
@@ -91,11 +91,11 @@ BENCHMARK(BM_AckFrameEncodeDecode)->Arg(1)->Arg(32)->Arg(256);
 
 void BM_PayloadDecodeMixed(benchmark::State& state) {
   BufWriter w(1500);
-  EncodeFrame(Frame{AckFrame{0, 100, {{90, 100}}}}, w);
-  EncodeFrame(Frame{WindowUpdateFrame{0, 1 << 24}}, w);
+  EncodeFrame(Frame{AckFrame{PathId{0}, 100, {{PacketNumber{90}, PacketNumber{100}}}}}, w);
+  EncodeFrame(Frame{WindowUpdateFrame{StreamId{0}, ByteCount{1 << 24}}}, w);
   StreamFrame stream;
-  stream.stream_id = 3;
-  stream.offset = 777777;
+  stream.stream_id = StreamId{3};
+  stream.offset = ByteCount{777777};
   stream.data.assign(1200, 1);
   EncodeFrame(Frame{stream}, w);
   for (auto _ : state) {

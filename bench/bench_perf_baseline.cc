@@ -54,14 +54,14 @@ double Median(std::vector<double> values) {
 
 double WirePacketAssembleNs() {
   quic::StreamFrame frame;
-  frame.stream_id = 3;
-  frame.offset = 1 << 20;
+  frame.stream_id = StreamId{3};
+  frame.offset = ByteCount{1 << 20};
   frame.data.assign(1300, 0xAB);
   const quic::Frame f{frame};
   quic::PacketHeader header;
   header.cid = 0x1234567890ABCDEFULL;
-  header.path_id = 1;
-  header.packet_number = 100000;
+  header.path_id = PathId{1};
+  header.packet_number = PacketNumber{100000};
   header.multipath = true;
   constexpr std::size_t kIters = 200000;
   std::vector<double> runs;
@@ -69,7 +69,7 @@ double WirePacketAssembleNs() {
     const auto t0 = Clock::now();
     for (std::size_t i = 0; i < kIters; ++i) {
       BufWriter w(1350);
-      EncodeHeader(header, 99990, w);
+      EncodeHeader(header, PacketNumber{99990}, w);
       EncodeFrame(f, w);
       if (w.size() < 1300) std::abort();
     }
@@ -98,7 +98,7 @@ AeadCost AeadMtuCost() {
     for (int run = 0; run < 5; ++run) {
       const auto t0 = Clock::now();
       for (std::size_t i = 0; i < kIters; ++i) {
-        const auto sealed = protection.Seal(1, i + 1, aad, plaintext);
+        const auto sealed = protection.Seal(PathId{1}, PacketNumber{i + 1}, aad, plaintext);
         if (sealed.size() != 1300 + crypto::kAeadTagSize) std::abort();
       }
       runs.push_back(Seconds(t0, Clock::now()) * 1e9 / kIters);
@@ -106,13 +106,13 @@ AeadCost AeadMtuCost() {
     cost.seal_ns = Median(std::move(runs));
   }
   {
-    auto sealed = protection.Seal(1, 99, aad, plaintext);
+    auto sealed = protection.Seal(PathId{1}, PacketNumber{99}, aad, plaintext);
     std::vector<std::uint8_t> scratch;
     std::vector<double> runs;
     for (int run = 0; run < 5; ++run) {
       const auto t0 = Clock::now();
       for (std::size_t i = 0; i < kIters; ++i) {
-        if (!protection.Open(1, 99, aad, sealed, scratch)) std::abort();
+        if (!protection.Open(PathId{1}, PacketNumber{99}, aad, sealed, scratch)) std::abort();
       }
       runs.push_back(Seconds(t0, Clock::now()) * 1e9 / kIters);
     }
@@ -130,7 +130,7 @@ struct EngineThroughput {
 /// whole datapath (scheduler, CC, crypto, wire, reassembly) and reports
 /// client packets processed per wall-clock second.
 EngineThroughput EngineTransfer() {
-  constexpr ByteCount kSize = 8 * 1024 * 1024;
+  constexpr ByteCount kSize{8 * 1024 * 1024};
   EngineThroughput out;
   std::vector<double> walls;
   for (int run = 0; run < 5; ++run) {
@@ -158,15 +158,15 @@ EngineThroughput EngineTransfer() {
                            std::span<const std::uint8_t> data, bool fin) {
             request->append(data.begin(), data.end());
             if (fin && id == 3) {
-              const ByteCount size = std::stoull(request->substr(4));
-              conn.SendOnStream(3, std::make_unique<PatternSource>(3, size));
+              const ByteCount size = ByteCount{std::stoull(request->substr(4))};
+              conn.SendOnStream(StreamId{3}, std::make_unique<PatternSource>(3, size));
             }
           });
     });
     std::vector<sim::Address> client_locals(topo.client_addr.begin(),
                                             topo.client_addr.end());
     quic::ClientEndpoint client(sim, net, client_locals, config, 8);
-    ByteCount received = 0;
+    ByteCount received{};
     bool finished = false;
     client.connection().SetStreamDataHandler(
         [&](StreamId, ByteCount, std::span<const std::uint8_t> data,
@@ -175,9 +175,9 @@ EngineThroughput EngineTransfer() {
           if (fin) finished = true;
         });
     client.connection().SetEstablishedHandler([&] {
-      const std::string request = "GET " + std::to_string(kSize);
+      const std::string request = "GET " + std::to_string(kSize.value());
       client.connection().SendOnStream(
-          3, std::make_unique<BufferSource>(std::vector<std::uint8_t>(
+          StreamId{3}, std::make_unique<BufferSource>(std::vector<std::uint8_t>(
                  request.begin(), request.end())));
     });
     const auto t0 = Clock::now();
@@ -198,7 +198,7 @@ double SweepWallSeconds(int jobs) {
   harness::ClassEvalOptions options;
   options.scenario_count = 6;
   options.repetitions = 2;
-  options.transfer_size = 1024 * 1024;
+  options.transfer_size = ByteCount{1024 * 1024};
   options.progress = false;
   options.time_limit = 4000 * kSecond;
   options.base_options.time_limit = options.time_limit;

@@ -43,7 +43,7 @@ int main() {
           if (fin) {
             connection.SendOnStream(
                 stream, std::make_unique<PatternSource>(
-                            stream, std::stoull(request->substr(4))));
+                            stream, ByteCount{std::stoull(request->substr(4))}));
           }
         });
   });
@@ -61,7 +61,7 @@ int main() {
   client.connection().SetEstablishedHandler([&] {
     const std::string request = "GET " + std::to_string(8 * 1024 * 1024);
     client.connection().SendOnStream(
-        3, std::make_unique<BufferSource>(
+        StreamId{3}, std::make_unique<BufferSource>(
                std::vector<std::uint8_t>(request.begin(), request.end())));
   });
   client.Connect(topology.server_addr[0]);  // IPv4 first
@@ -74,13 +74,13 @@ int main() {
       server.FindConnection(client.connection().cid());
   std::printf("%-24s %-14s %-12s %s\n", "server path", "bytes sent",
               "share", "smoothed RTT");
-  ByteCount total = 0;
+  ByteCount total{};
   for (const quic::Path* path : server_conn->paths()) {
     total += path->bytes_sent();
   }
   for (const quic::Path* path : server_conn->paths()) {
     std::printf("path %d (%s)    %10llu     %5.1f%%      %.1f ms\n",
-                path->id(), path->id() == 0 ? "IPv4, slow" : "IPv6, fast",
+                path->id().value(), path->id() == 0 ? "IPv4, slow" : "IPv6, fast",
                 static_cast<unsigned long long>(path->bytes_sent()),
                 100.0 * static_cast<double>(path->bytes_sent()) /
                     static_cast<double>(total),

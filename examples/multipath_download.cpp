@@ -24,7 +24,7 @@ int main() {
   paths[1].max_queue_delay = 80 * kMillisecond;
 
   TransferOptions options;
-  options.transfer_size = 16 * 1024 * 1024;
+  options.transfer_size = ByteCount{16 * 1024 * 1024};
   options.seed = 7;
 
   std::printf("downloading %llu bytes over WiFi (20 Mbps / 25 ms) and LTE "

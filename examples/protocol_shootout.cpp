@@ -13,8 +13,8 @@ using namespace mpq;
 using namespace mpq::harness;
 
 int main(int argc, char** argv) {
-  ByteCount size = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
-                            : 20 * 1024 * 1024;
+  ByteCount size{argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                          : 20ULL * 1024 * 1024};
   std::array<sim::PathParams, 2> paths;
   paths[0].capacity_mbps = argc > 2 ? std::atof(argv[2]) : 10.0;
   paths[1].capacity_mbps = argc > 3 ? std::atof(argv[3]) : 4.0;

@@ -40,7 +40,7 @@ int main() {
                                std::span<const std::uint8_t> data, bool fin) {
           request->append(data.begin(), data.end());
           if (fin) {
-            const ByteCount size = std::stoull(request->substr(4));
+            const ByteCount size = ByteCount{std::stoull(request->substr(4))};
             std::printf("[server] %s -> sending %llu bytes\n",
                         request->c_str(),
                         static_cast<unsigned long long>(size));
@@ -53,8 +53,8 @@ int main() {
   // 3. A client that requests 1 MiB and reports progress.
   quic::ClientEndpoint client(simulator, network, {topology.client_addr[0]},
                               config, /*seed=*/2);
-  constexpr ByteCount kFileSize = 1024 * 1024;
-  ByteCount received = 0;
+  constexpr ByteCount kFileSize = ByteCount{1024 * 1024};
+  ByteCount received{};
   client.connection().SetStreamDataHandler(
       [&](StreamId, ByteCount, std::span<const std::uint8_t> data,
           bool fin) {
@@ -77,9 +77,9 @@ int main() {
   client.connection().SetEstablishedHandler([&] {
     std::printf("[client] handshake complete at %.3f s (1 RTT)\n",
                 DurationToSeconds(simulator.now()));
-    const std::string request = "GET " + std::to_string(kFileSize);
+    const std::string request = "GET " + std::to_string(kFileSize.value());
     client.connection().SendOnStream(
-        3, std::make_unique<BufferSource>(
+        StreamId{3}, std::make_unique<BufferSource>(
                std::vector<std::uint8_t>(request.begin(), request.end())));
   });
 

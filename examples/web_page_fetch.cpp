@@ -52,7 +52,7 @@ int main() {
   struct Object {
     const char* name;
     std::uint8_t kib;
-    StreamId stream = 0;
+    StreamId stream{};
     double done_at = -1;
   };
   std::vector<Object> objects = {{"document", 200}};
@@ -75,7 +75,7 @@ int main() {
         }
       });
   client.connection().SetEstablishedHandler([&] {
-    StreamId next = 5;
+    StreamId next = StreamId{5};
     for (auto& object : objects) {
       object.stream = next;
       next += 2;

@@ -19,9 +19,9 @@
 
 namespace mpq::cc {
 
-inline constexpr ByteCount kDefaultMss = 1350;
-inline constexpr ByteCount kInitialWindowPackets = 10;  // RFC 6928 style
-inline constexpr ByteCount kMinWindowPackets = 2;
+inline constexpr ByteCount kDefaultMss{1350};
+inline constexpr int kInitialWindowPackets = 10;  // RFC 6928 style
+inline constexpr int kMinWindowPackets = 2;
 
 /// Which controller a connection uses (paper §4.1: CUBIC for single-path
 /// protocols, OLIA coupled across paths for the multipath ones; an
@@ -63,13 +63,14 @@ class CongestionController {
  protected:
   void AddInFlight(ByteCount bytes) { bytes_in_flight_ += bytes; }
   void RemoveInFlight(ByteCount bytes) {
-    bytes_in_flight_ = bytes_in_flight_ >= bytes ? bytes_in_flight_ - bytes : 0;
+    bytes_in_flight_ =
+        bytes_in_flight_ >= bytes ? bytes_in_flight_ - bytes : ByteCount{0};
   }
 
   ByteCount ssthresh_ = std::numeric_limits<ByteCount>::max();
 
  private:
-  ByteCount bytes_in_flight_ = 0;
+  ByteCount bytes_in_flight_;
 };
 
 }  // namespace mpq::cc

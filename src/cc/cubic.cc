@@ -13,8 +13,8 @@ void Cubic::OnPacketSent(TimePoint, ByteCount bytes) { AddInFlight(bytes); }
 void Cubic::EnterCongestionAvoidanceEpoch(TimePoint now) {
   epoch_started_ = true;
   epoch_start_ = now;
-  acked_since_epoch_ = 0;
-  const double cwnd_mss = static_cast<double>(cwnd_) / mss_;
+  acked_since_epoch_ = ByteCount{0};
+  const double cwnd_mss = static_cast<double>(cwnd_) / static_cast<double>(mss_);
   if (w_max_mss_ < cwnd_mss) {
     // We got above the previous maximum without a loss: restart the curve
     // from here (RFC 8312 §4.8's convex region handling).
@@ -46,21 +46,21 @@ void Cubic::OnPacketAcked(TimePoint now, ByteCount bytes,
   // TCP-friendly region (RFC 8312 §4.2): emulate Reno's growth rate.
   const double rtt_s = rtt > 0 ? DurationToSeconds(rtt) : 0.1;
   w_est_mss_ += 3.0 * (1.0 - kBeta) / (1.0 + kBeta) *
-                (static_cast<double>(bytes) / mss_) *
+                (static_cast<double>(bytes) / static_cast<double>(mss_)) *
                 (static_cast<double>(mss_) / static_cast<double>(cwnd_));
   (void)rtt_s;  // growth per ack is already rtt-paced by ack clocking
 
   const double target_mss = std::max(w_cubic_mss, w_est_mss_);
-  const double cwnd_mss = static_cast<double>(cwnd_) / mss_;
+  const double cwnd_mss = static_cast<double>(cwnd_) / static_cast<double>(mss_);
   if (target_mss > cwnd_mss) {
     // Increase by (target - cwnd)/cwnd MSS per acked MSS (RFC 8312 §4.3).
     const double increase_mss = (target_mss - cwnd_mss) / cwnd_mss *
-                                (static_cast<double>(bytes) / mss_);
-    cwnd_ += static_cast<ByteCount>(increase_mss * mss_);
+                                (static_cast<double>(bytes) / static_cast<double>(mss_));
+    cwnd_ += static_cast<ByteCount>(increase_mss * static_cast<double>(mss_));
   } else {
     // In the "TCP region" below the curve, grow at least minimally so the
     // window is not frozen: 1 MSS per 100 acked MSS (RFC 8312 §4.8).
-    cwnd_ += std::max<ByteCount>(1, bytes / 100);
+    cwnd_ += std::max(ByteCount{1}, bytes / 100);
   }
 }
 
@@ -70,7 +70,7 @@ void Cubic::OnPacketLost(TimePoint now, ByteCount bytes,
   if (sent_time <= recovery_start_) return;
   recovery_start_ = now;
 
-  double cwnd_mss = static_cast<double>(cwnd_) / mss_;
+  double cwnd_mss = static_cast<double>(cwnd_) / static_cast<double>(mss_);
   // Fast convergence (RFC 8312 §4.6): release bandwidth sooner when the
   // maximum keeps shrinking.
   if (cwnd_mss < w_max_mss_) {
@@ -90,7 +90,7 @@ void Cubic::OnRetransmissionTimeout(TimePoint now) {
   if (ssthresh_ < kMinWindowPackets * mss_)
     ssthresh_ = kMinWindowPackets * mss_;
   cwnd_ = kMinWindowPackets * mss_;
-  w_max_mss_ = static_cast<double>(ssthresh_) / mss_;
+  w_max_mss_ = static_cast<double>(ssthresh_) / static_cast<double>(mss_);
   epoch_started_ = false;
 }
 

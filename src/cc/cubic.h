@@ -41,7 +41,7 @@ class Cubic final : public CongestionController {
   double w_max_mss_ = 0.0;       // window before the last reduction, in MSS
   double k_seconds_ = 0.0;       // time to regain w_max on the cubic curve
   double w_est_mss_ = 0.0;       // TCP-friendly (Reno) estimate, in MSS
-  ByteCount acked_since_epoch_ = 0;
+  ByteCount acked_since_epoch_;
 };
 
 }  // namespace mpq::cc

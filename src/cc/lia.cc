@@ -33,7 +33,7 @@ double Lia::Alpha() const {
   double best_ratio = 0.0;
   double denom = 0.0;
   for (const Lia* path : coordinator_.paths_) {
-    const double w = static_cast<double>(path->cwnd_) / mss;
+    const double w = static_cast<double>(path->cwnd_) / static_cast<double>(mss);
     const double rtt = path->RttSeconds();
     w_total += w;
     best_ratio = std::max(best_ratio, w / (rtt * rtt));
@@ -57,18 +57,18 @@ void Lia::OnPacketAcked(TimePoint, ByteCount bytes, TimePoint sent_time,
 
   double w_total_mss = 0.0;
   for (const Lia* path : coordinator_.paths_) {
-    w_total_mss += static_cast<double>(path->cwnd_) / mss;
+    w_total_mss += static_cast<double>(path->cwnd_) / static_cast<double>(mss);
   }
-  const double w_mss = static_cast<double>(cwnd_) / mss;
+  const double w_mss = static_cast<double>(cwnd_) / static_cast<double>(mss);
   // RFC 6356 §4: increase per acked MSS = min(alpha/w_total, 1/w_r) —
   // never more aggressive than a regular TCP flow on this path.
   const double per_ack_mss =
       std::min(Alpha() / w_total_mss, 1.0 / w_mss);
   increase_remainder_mss_ +=
-      per_ack_mss * (static_cast<double>(bytes) / mss);
+      per_ack_mss * (static_cast<double>(bytes) / static_cast<double>(mss));
   if (increase_remainder_mss_ >= 1.0) {
     const double whole = std::floor(increase_remainder_mss_);
-    cwnd_ += static_cast<ByteCount>(whole) * mss;
+    cwnd_ += static_cast<std::uint64_t>(whole) * mss;
     increase_remainder_mss_ -= whole;
   }
 }

@@ -57,7 +57,7 @@ class NewReno final : public CongestionController {
  private:
   ByteCount mss_;
   ByteCount cwnd_;
-  ByteCount accumulated_ = 0;
+  ByteCount accumulated_{};
   TimePoint recovery_start_ = -1;
 };
 

@@ -36,7 +36,7 @@ double Olia::Alpha() const {
 
   // Partition: M = paths with the maximum window; B = "best" paths by
   // l_p^2 / rtt_p; collected = B \ M (good paths kept at small windows).
-  ByteCount max_cwnd = 0;
+  ByteCount max_cwnd{0};
   double best_metric = -1.0;
   for (const Olia* p : paths) {
     max_cwnd = std::max(max_cwnd, p->cwnd_);
@@ -82,26 +82,26 @@ void Olia::OnPacketAcked(TimePoint, ByteCount bytes, TimePoint sent_time,
   // Coupled congestion-avoidance increase.
   double denom = 0.0;
   for (const Olia* p : coordinator_.paths_) {
-    denom += static_cast<double>(p->cwnd_) / mss / p->RttSeconds();
+    denom += static_cast<double>(p->cwnd_) / static_cast<double>(mss) / p->RttSeconds();
   }
   denom *= denom;
-  const double w_mss = static_cast<double>(cwnd_) / mss;
+  const double w_mss = static_cast<double>(cwnd_) / static_cast<double>(mss);
   const double rtt_s = RttSeconds();
   const double term1 = denom > 0.0 ? (w_mss / (rtt_s * rtt_s)) / denom : 0.0;
   const double per_ack_mss = term1 + Alpha() / w_mss;
-  const double acked_mss = static_cast<double>(bytes) / mss;
+  const double acked_mss = static_cast<double>(bytes) / static_cast<double>(mss);
 
   // Accumulate fractional MSS growth; alpha can make this negative, in
   // which case the window shrinks gently (never below the minimum).
   increase_remainder_mss_ += per_ack_mss * acked_mss;
   if (increase_remainder_mss_ >= 1.0) {
     const double whole = std::floor(increase_remainder_mss_);
-    cwnd_ += static_cast<ByteCount>(whole) * mss;
+    cwnd_ += static_cast<std::uint64_t>(whole) * mss;
     increase_remainder_mss_ -= whole;
   } else if (increase_remainder_mss_ <= -1.0) {
     const double whole = std::floor(-increase_remainder_mss_);
-    const ByteCount dec = static_cast<ByteCount>(whole) * mss;
-    cwnd_ = cwnd_ > dec ? cwnd_ - dec : 0;
+    const ByteCount dec = static_cast<std::uint64_t>(whole) * mss;
+    cwnd_ = cwnd_ > dec ? cwnd_ - dec : ByteCount{0};
     increase_remainder_mss_ += whole;
   }
   const ByteCount floor_window = kMinWindowPackets * mss;
@@ -114,7 +114,7 @@ void Olia::OnPacketLost(TimePoint now, ByteCount bytes,
   if (sent_time <= recovery_start_) return;
   recovery_start_ = now;
   prev_epoch_bytes_ = epoch_bytes_;
-  epoch_bytes_ = 0;
+  epoch_bytes_ = ByteCount{0};
   cwnd_ /= 2;
   const ByteCount floor_window = kMinWindowPackets * coordinator_.mss();
   if (cwnd_ < floor_window) cwnd_ = floor_window;
@@ -124,7 +124,7 @@ void Olia::OnPacketLost(TimePoint now, ByteCount bytes,
 void Olia::OnRetransmissionTimeout(TimePoint now) {
   recovery_start_ = now;
   prev_epoch_bytes_ = epoch_bytes_;
-  epoch_bytes_ = 0;
+  epoch_bytes_ = ByteCount{0};
   ssthresh_ = cwnd_ / 2;
   const ByteCount floor_window = kMinWindowPackets * coordinator_.mss();
   if (ssthresh_ < floor_window) ssthresh_ = floor_window;

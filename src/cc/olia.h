@@ -79,8 +79,8 @@ class Olia final : public CongestionController {
   ByteCount cwnd_;
   TimePoint recovery_start_ = -1;
   Duration srtt_ = 0;  // last smoothed RTT reported by the stack
-  ByteCount epoch_bytes_ = 0;       // bytes acked since last loss (l1)
-  ByteCount prev_epoch_bytes_ = 0;  // previous inter-loss epoch (l2)
+  ByteCount epoch_bytes_;       // bytes acked since last loss (l1)
+  ByteCount prev_epoch_bytes_;  // previous inter-loss epoch (l2)
   double increase_remainder_mss_ = 0.0;
 };
 

@@ -1,0 +1,22 @@
+// The one sanctioned wall-clock read in the codebase. Simulation and
+// protocol code must be a pure function of simulated time and the seed;
+// the only legitimate use of the host's clock is measuring the cost of
+// our own code (e.g. the traced scheduler-decision latency). Keeping the
+// read here lets mpq_lint forbid <chrono> clocks everywhere else.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace mpq {
+
+/// Monotonic host time in nanoseconds, for measuring elapsed wall-clock
+/// cost of in-process work. Not comparable across processes or reboots.
+inline std::uint64_t MonotonicNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace mpq

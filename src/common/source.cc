@@ -6,7 +6,7 @@ std::uint8_t PatternByte(std::uint32_t id, ByteCount offset) {
   // Cheap non-repeating-ish pattern; mixes the offset's low and high bits
   // so truncation/reordering bugs can't alias to the right bytes.
   const std::uint64_t x =
-      offset * 0x9E3779B97F4A7C15ULL + id * 0xBF58476D1CE4E5B9ULL;
+      offset.value() * 0x9E3779B97F4A7C15ULL + id * 0xBF58476D1CE4E5B9ULL;
   return static_cast<std::uint8_t>(x >> 32);
 }
 

@@ -29,6 +29,8 @@ std::uint8_t PatternByte(std::uint32_t id, ByteCount offset);
 class PatternSource final : public SendSource {
  public:
   PatternSource(std::uint32_t id, ByteCount size) : id_(id), size_(size) {}
+  PatternSource(StreamId id, ByteCount size)
+      : PatternSource(id.value(), size) {}
   ByteCount size() const override { return size_; }
   void Read(ByteCount offset, std::span<std::uint8_t> out) const override {
     for (std::size_t i = 0; i < out.size(); ++i) {
@@ -45,10 +47,10 @@ class BufferSource final : public SendSource {
  public:
   explicit BufferSource(std::vector<std::uint8_t> data)
       : data_(std::move(data)) {}
-  ByteCount size() const override { return data_.size(); }
+  ByteCount size() const override { return ByteCount{data_.size()}; }
   void Read(ByteCount offset, std::span<std::uint8_t> out) const override {
     for (std::size_t i = 0; i < out.size(); ++i) {
-      out[i] = data_[offset + i];
+      out[i] = data_[(offset + i).value()];
     }
   }
 

@@ -1,0 +1,190 @@
+// Tagged integer wrappers for protocol identifiers and quantities.
+//
+// The multipath design gives every path its own packet-number space and
+// labels packets, ACKs and nonces with a Path ID (paper §3). That makes
+// "PacketNumber from path A used with path B's state" and "StreamId
+// passed where a PathId was meant" a silent-corruption bug class when the
+// identifiers are plain integer aliases — the compiler accepts every mix.
+// Strong<> turns each identifier kind into its own type:
+//
+//   * construction from raw integers is explicit (`PathId{0}`),
+//   * assignment/arithmetic/comparison across kinds is a compile error,
+//   * same-kind arithmetic and comparison against integer literals keep
+//     their natural spelling (`pn + 1`, `bytes += n`, `id == 0`),
+//   * `.value()` is the single, searchable escape hatch to the raw
+//     representation (wire encoding, printf-style logging, indexing).
+//
+// tests/strong_types_negcompile.cc proves the forbidden mixes no longer
+// compile; docs/STATIC_ANALYSIS.md describes the conventions.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <type_traits>
+
+namespace mpq {
+
+template <typename T>
+concept RawArithmetic = std::is_arithmetic_v<T>;
+
+template <typename T>
+concept RawIntegral = std::is_integral_v<T>;
+
+template <typename TagT, typename RepT>
+class Strong {
+  static_assert(std::is_integral_v<RepT> && std::is_unsigned_v<RepT>,
+                "Strong<> wraps unsigned integer representations");
+
+ public:
+  using Tag = TagT;
+  using Rep = RepT;
+
+  /// Zero-initialises, so `PathId id;` and `PathId id{};` both mean 0 —
+  /// matching the `= 0` member defaults the raw aliases had.
+  constexpr Strong() = default;
+
+  template <RawArithmetic T>
+  constexpr explicit Strong(T v) : v_(static_cast<RepT>(v)) {}
+
+  constexpr RepT value() const { return v_; }
+
+  /// Explicit conversion to any arithmetic type: enables
+  /// `static_cast<double>(bytes)` at measurement boundaries.
+  template <RawArithmetic T>
+  constexpr explicit operator T() const {
+    return static_cast<T>(v_);
+  }
+
+  // -- comparison ---------------------------------------------------------
+  friend constexpr bool operator==(Strong a, Strong b) = default;
+  friend constexpr auto operator<=>(Strong a, Strong b) = default;
+
+  /// Comparison against raw integers (mostly literals: `pn == 0`). A
+  /// different Strong kind is still a compile error — it is not integral.
+  template <RawIntegral T>
+  friend constexpr bool operator==(Strong a, T b) {
+    return a.v_ == static_cast<RepT>(b);
+  }
+  template <RawIntegral T>
+  friend constexpr auto operator<=>(Strong a, T b) {
+    return a.v_ <=> static_cast<RepT>(b);
+  }
+
+  // -- same-kind arithmetic ----------------------------------------------
+  constexpr Strong& operator+=(Strong o) {
+    v_ = static_cast<RepT>(v_ + o.v_);
+    return *this;
+  }
+  constexpr Strong& operator-=(Strong o) {
+    v_ = static_cast<RepT>(v_ - o.v_);
+    return *this;
+  }
+  friend constexpr Strong operator+(Strong a, Strong b) {
+    return Strong(static_cast<RepT>(a.v_ + b.v_));
+  }
+  friend constexpr Strong operator-(Strong a, Strong b) {
+    return Strong(static_cast<RepT>(a.v_ - b.v_));
+  }
+  /// Ratio of two like quantities is a raw number.
+  friend constexpr RepT operator/(Strong a, Strong b) { return a.v_ / b.v_; }
+
+  // -- arithmetic with raw integers --------------------------------------
+  template <RawIntegral T>
+  constexpr Strong& operator+=(T b) {
+    v_ = static_cast<RepT>(v_ + static_cast<RepT>(b));
+    return *this;
+  }
+  template <RawIntegral T>
+  constexpr Strong& operator-=(T b) {
+    v_ = static_cast<RepT>(v_ - static_cast<RepT>(b));
+    return *this;
+  }
+  template <RawIntegral T>
+  friend constexpr Strong operator+(Strong a, T b) {
+    return Strong(static_cast<RepT>(a.v_ + static_cast<RepT>(b)));
+  }
+  template <RawIntegral T>
+  friend constexpr Strong operator+(T a, Strong b) {
+    return b + a;
+  }
+  template <RawIntegral T>
+  friend constexpr Strong operator-(Strong a, T b) {
+    return Strong(static_cast<RepT>(a.v_ - static_cast<RepT>(b)));
+  }
+  template <RawIntegral T>
+  constexpr Strong& operator*=(T b) {
+    v_ = static_cast<RepT>(v_ * static_cast<RepT>(b));
+    return *this;
+  }
+  template <RawIntegral T>
+  constexpr Strong& operator/=(T b) {
+    v_ = static_cast<RepT>(v_ / static_cast<RepT>(b));
+    return *this;
+  }
+  template <RawIntegral T>
+  friend constexpr Strong operator*(Strong a, T b) {
+    return Strong(static_cast<RepT>(a.v_ * static_cast<RepT>(b)));
+  }
+  template <RawIntegral T>
+  friend constexpr Strong operator*(T a, Strong b) {
+    return b * a;
+  }
+  template <RawIntegral T>
+  friend constexpr Strong operator/(Strong a, T b) {
+    return Strong(static_cast<RepT>(a.v_ / static_cast<RepT>(b)));
+  }
+  template <RawIntegral T>
+  friend constexpr Strong operator%(Strong a, T b) {
+    return Strong(static_cast<RepT>(a.v_ % static_cast<RepT>(b)));
+  }
+
+  constexpr Strong& operator++() {
+    v_ = static_cast<RepT>(v_ + 1);
+    return *this;
+  }
+  constexpr Strong operator++(int) {
+    Strong old = *this;
+    ++*this;
+    return old;
+  }
+  constexpr Strong& operator--() {
+    v_ = static_cast<RepT>(v_ - 1);
+    return *this;
+  }
+  constexpr Strong operator--(int) {
+    Strong old = *this;
+    --*this;
+    return old;
+  }
+
+ private:
+  RepT v_ = 0;
+};
+
+}  // namespace mpq
+
+/// Strong ids work as unordered keys out of the box.
+template <typename Tag, typename Rep>
+struct std::hash<mpq::Strong<Tag, Rep>> {
+  std::size_t operator()(mpq::Strong<Tag, Rep> v) const noexcept {
+    return std::hash<Rep>{}(v.value());
+  }
+};
+
+/// numeric_limits carries over from the representation, so idioms like
+/// `std::numeric_limits<ByteCount>::max()` keep working.
+template <typename Tag, typename Rep>
+struct std::numeric_limits<mpq::Strong<Tag, Rep>> {
+  static constexpr bool is_specialized = true;
+  static constexpr bool is_integer = true;
+  static constexpr bool is_signed = std::numeric_limits<Rep>::is_signed;
+  static constexpr mpq::Strong<Tag, Rep> min() noexcept {
+    return mpq::Strong<Tag, Rep>(std::numeric_limits<Rep>::min());
+  }
+  static constexpr mpq::Strong<Tag, Rep> max() noexcept {
+    return mpq::Strong<Tag, Rep>(std::numeric_limits<Rep>::max());
+  }
+  static constexpr mpq::Strong<Tag, Rep> lowest() noexcept { return min(); }
+};

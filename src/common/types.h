@@ -8,6 +8,8 @@
 #include <cstdint>
 #include <limits>
 
+#include "common/strong.h"
+
 namespace mpq {
 
 /// Absolute simulated time in microseconds since the start of the simulation.
@@ -39,21 +41,28 @@ constexpr Duration MillisToDuration(double ms) {
   return static_cast<Duration>(ms * static_cast<double>(kMillisecond) + 0.5);
 }
 
+// The four protocol identifiers below are tagged wrapper types (see
+// common/strong.h): constructing one from a raw integer is explicit, and
+// mixing kinds (assigning a StreamId where a PathId is expected, adding a
+// PacketNumber to a ByteCount, comparing across kinds) is a compile
+// error. `.value()` yields the raw representation for wire encoding,
+// logging and indexing.
+
 /// Identifies one end-to-end path of a multipath connection (paper §3,
 /// "Path Identification"). Path 0 is always the initial path used for the
 /// handshake; client-created paths are odd, server-created paths even.
-using PathId = std::uint8_t;
+using PathId = Strong<struct PathIdTag, std::uint8_t>;
 
 /// QUIC connection identifier (64-bit, as in Google QUIC).
 using ConnectionId = std::uint64_t;
 
 /// Per-path monotonically increasing packet number.
-using PacketNumber = std::uint64_t;
+using PacketNumber = Strong<struct PacketNumberTag, std::uint64_t>;
 
 /// QUIC stream identifier.
-using StreamId = std::uint32_t;
+using StreamId = Strong<struct StreamIdTag, std::uint32_t>;
 
 /// Bytes counts on the wire / in flight.
-using ByteCount = std::uint64_t;
+using ByteCount = Strong<struct ByteCountTag, std::uint64_t>;
 
 }  // namespace mpq

@@ -38,9 +38,9 @@ ChaChaNonce PacketProtection::MakeNonce(PathId path, PacketNumber pn) const {
   // path id (1) | zeros (3) | packet number (8, big-endian). Distinct
   // paths therefore always yield distinct nonces (paper §3).
   ChaChaNonce nonce{};
-  nonce[0] = path;
+  nonce[0] = path.value();
   for (int i = 0; i < 8; ++i) {
-    nonce[4 + i] = static_cast<std::uint8_t>(pn >> (8 * (7 - i)));
+    nonce[4 + i] = static_cast<std::uint8_t>(pn.value() >> (8 * (7 - i)));
   }
   return nonce;
 }

@@ -45,7 +45,7 @@ ClassEvalOptions ParseBenchArgs(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
       options.repetitions = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--size") == 0 && i + 1 < argc) {
-      options.transfer_size = std::strtoull(argv[++i], nullptr, 10);
+      options.transfer_size = ByteCount{std::strtoull(argv[++i], nullptr, 10)};
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       options.seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {

@@ -21,7 +21,7 @@ struct ClassEvalOptions {
   std::size_t scenario_count = 60;
   /// Repetitions per point, median taken (paper: 3).
   int repetitions = 1;
-  ByteCount transfer_size = 20 * 1024 * 1024;
+  ByteCount transfer_size{20 * 1024 * 1024};
   std::uint64_t seed = 20170712;
   TimePoint time_limit = 600 * kSecond;
   bool progress = true;  // print a dot per scenario to stderr

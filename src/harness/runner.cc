@@ -19,7 +19,7 @@
 namespace mpq::harness {
 
 namespace {
-constexpr StreamId kQuicDataStream = 3;
+constexpr StreamId kQuicDataStream{3};
 constexpr std::uint32_t kTcpAppPattern = 7;
 }  // namespace
 
@@ -139,10 +139,10 @@ TransferResult RunQuicTransfer(bool multipath,
                          std::span<const std::uint8_t> data, bool fin) {
           request->append(data.begin(), data.end());
           if (fin && id == kQuicDataStream) {
-            const ByteCount size = std::stoull(request->substr(4));
+            const ByteCount size{std::stoull(request->substr(4))};
             conn.SendOnStream(kQuicDataStream,
                               std::make_unique<PatternSource>(
-                                  kQuicDataStream, size));
+                                  kQuicDataStream.value(), size));
           }
         });
   });
@@ -153,7 +153,7 @@ TransferResult RunQuicTransfer(bool multipath,
   quic::ClientEndpoint client(sim, net, client_locals, config,
                               options.seed * 2 + 2);
 
-  ByteCount received = 0;
+  ByteCount received{};
   std::uint64_t errors = 0;
   bool finished = false;
   TimePoint finish_time = 0;
@@ -161,7 +161,7 @@ TransferResult RunQuicTransfer(bool multipath,
       [&](StreamId, ByteCount offset, std::span<const std::uint8_t> data,
           bool fin) {
         for (std::size_t i = 0; i < data.size(); ++i) {
-          if (data[i] != PatternByte(kQuicDataStream, offset + i)) ++errors;
+          if (data[i] != PatternByte(kQuicDataStream.value(), offset + i)) ++errors;
         }
         received += data.size();
         if (fin) {
@@ -171,7 +171,7 @@ TransferResult RunQuicTransfer(bool multipath,
       });
   client.connection().SetEstablishedHandler([&] {
     const std::string request =
-        "GET " + std::to_string(options.transfer_size);
+        "GET " + std::to_string(options.transfer_size.value());
     client.connection().SendOnStream(
         kQuicDataStream,
         std::make_unique<BufferSource>(
@@ -220,7 +220,7 @@ TransferResult RunTcpTransfer(bool multipath,
   sim::Network net(sim, Rng(options.seed ^ 0x7C9D));
   // The TCP model's own header is part of the datagram; only IP remains.
   std::array<sim::PathParams, 2> tcp_paths = paths;
-  for (auto& path : tcp_paths) path.per_packet_overhead = 20;
+  for (auto& path : tcp_paths) path.per_packet_overhead = ByteCount{20};
   auto topo = sim::BuildTwoPathTopology(net, tcp_paths);
 
   tcp::TcpConfig config;
@@ -244,7 +244,7 @@ TransferResult RunTcpTransfer(bool multipath,
                          bool) {
           request->append(data.begin(), data.end());
           if (!request->empty() && request->back() == '\n') {
-            const ByteCount size = std::stoull(request->substr(4));
+            const ByteCount size{std::stoull(request->substr(4))};
             request->clear();
             conn.SendAppData(
                 std::make_unique<PatternSource>(kTcpAppPattern, size));
@@ -263,7 +263,7 @@ TransferResult RunTcpTransfer(bool multipath,
   tcp::TcpClientEndpoint client(sim, net, client_locals, config,
                                 options.seed * 2 + 2);
 
-  ByteCount received = 0;
+  ByteCount received{};
   std::uint64_t errors = 0;
   bool finished = false;
   TimePoint finish_time = 0;
@@ -280,7 +280,7 @@ TransferResult RunTcpTransfer(bool multipath,
       });
   client.connection().SetSecureEstablishedHandler([&] {
     const std::string request =
-        "GET " + std::to_string(options.transfer_size) + "\n";
+        "GET " + std::to_string(options.transfer_size.value()) + "\n";
     client.connection().SendAppData(std::make_unique<BufferSource>(
         std::vector<std::uint8_t>(request.begin(), request.end())));
   });
@@ -398,7 +398,7 @@ std::vector<HandoverSample> RunQuicHandover(const HandoverOptions& options) {
         }
       });
 
-  StreamId next_stream = 5;  // stream 3 reserved for file transfers
+  StreamId next_stream{5};  // stream 3 reserved for file transfers
   std::function<void()> send_request = [&] {
     if (sim.now() > options.end_time) return;
     const StreamId id = next_stream;
@@ -424,7 +424,7 @@ std::vector<HandoverSample> RunMptcpHandover(const HandoverOptions& options) {
   sim::Simulator sim;
   sim::Network net(sim, Rng(options.seed ^ 0xFA111));
   auto paths = HandoverPaths(options);
-  for (auto& path : paths) path.per_packet_overhead = 20;
+  for (auto& path : paths) path.per_packet_overhead = ByteCount{20};
   auto topo = sim::BuildTwoPathTopology(net, paths);
 
   tcp::TcpConfig config;
@@ -460,7 +460,7 @@ std::vector<HandoverSample> RunMptcpHandover(const HandoverOptions& options) {
                                 options.seed * 2 + 2);
 
   std::vector<HandoverSample> samples;
-  ByteCount response_bytes = 0;
+  ByteCount response_bytes{};
   client.connection().SetAppDataHandler(
       [&](ByteCount, std::span<const std::uint8_t> data, bool) {
         response_bytes += data.size();

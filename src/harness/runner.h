@@ -24,7 +24,7 @@ bool IsMultipath(Protocol protocol);
 bool IsQuicFamily(Protocol protocol);
 
 struct TransferOptions {
-  ByteCount transfer_size = 20 * 1024 * 1024;  // §4.1: GET 20 MB
+  ByteCount transfer_size{20 * 1024 * 1024};  // §4.1: GET 20 MB
   /// Which of the scenario's two paths carries the handshake (the paper
   /// varies the initial path, §4.1). Single-path protocols run entirely
   /// on this path.
@@ -63,7 +63,7 @@ struct TransferResult {
   bool completed = false;
   /// First connection packet to last payload byte (the paper's metric).
   Duration completion_time = 0;
-  ByteCount bytes_received = 0;
+  ByteCount bytes_received{};
   /// Application goodput over the measured interval.
   double goodput_mbps = 0.0;
   std::uint64_t data_integrity_errors = 0;
@@ -105,8 +105,8 @@ struct HandoverOptions {
   Duration initial_path_rtt = 15 * kMillisecond;
   Duration second_path_rtt = 25 * kMillisecond;
   double capacity_mbps = 10.0;
-  ByteCount request_size = 750;
-  ByteCount response_size = 750;
+  ByteCount request_size{750};
+  ByteCount response_size{750};
   Duration request_interval = 400 * kMillisecond;
   TimePoint failure_time = 3 * kSecond;
   TimePoint end_time = 15 * kSecond;

@@ -12,7 +12,7 @@ std::size_t Histogram::BucketIndex(std::int64_t value) {
   if (v < kUnitBuckets) return static_cast<std::size_t>(v);
   // v >= 32: bit_width >= 6. Keep the top 5 significand bits: the leading
   // 1 selects the power-of-two group, the next 4 the linear sub-bucket.
-  const int width = std::bit_width(v);
+  const int width = static_cast<int>(std::bit_width(v));
   const int shift = width - 5;
   const std::uint64_t top = v >> shift;  // in [16, 32)
   return kUnitBuckets +

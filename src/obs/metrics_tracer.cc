@@ -26,23 +26,23 @@ Counter& MetricsTracer::PathCounter(PathId path, const char* suffix) {
   // Cold path relative to the pre-resolved counters: only per-path
   // metrics pay the map lookup, and PathIds are single digits in
   // practice so the string stays in SSO range.
-  return registry_.GetCounter("path." + std::to_string(path) + "." + suffix);
+  return registry_.GetCounter("path." + std::to_string(path.value()) + "." + suffix);
 }
 
 void MetricsTracer::OnPacketSent(TimePoint /*now*/, PathId path,
                                  PacketNumber /*pn*/, ByteCount bytes,
                                  bool /*retransmittable*/) {
   packets_sent_.Increment();
-  packet_bytes_.Record(static_cast<std::int64_t>(bytes));
+  packet_bytes_.Record(static_cast<std::int64_t>(bytes.value()));
   PathCounter(path, "packets_sent").Increment();
-  PathCounter(path, "bytes_sent").Increment(bytes);
+  PathCounter(path, "bytes_sent").Increment(bytes.value());
 }
 
 void MetricsTracer::OnPacketReceived(TimePoint /*now*/, PathId path,
                                      PacketNumber /*pn*/, ByteCount bytes) {
   packets_received_.Increment();
   PathCounter(path, "packets_received").Increment();
-  PathCounter(path, "bytes_received").Increment(bytes);
+  PathCounter(path, "bytes_received").Increment(bytes.value());
 }
 
 void MetricsTracer::OnPacketLost(TimePoint /*now*/, PathId path,
@@ -76,10 +76,10 @@ void MetricsTracer::OnPathSample(TimePoint /*now*/, PathId path,
                                  ByteCount cwnd, ByteCount in_flight,
                                  Duration srtt) {
   srtt_us_.Record(srtt);
-  registry_.GetGauge("path." + std::to_string(path) + ".cwnd")
-      .Set(static_cast<std::int64_t>(cwnd));
-  registry_.GetGauge("path." + std::to_string(path) + ".bytes_in_flight")
-      .Set(static_cast<std::int64_t>(in_flight));
+  registry_.GetGauge("path." + std::to_string(path.value()) + ".cwnd")
+      .Set(static_cast<std::int64_t>(cwnd.value()));
+  registry_.GetGauge("path." + std::to_string(path.value()) + ".bytes_in_flight")
+      .Set(static_cast<std::int64_t>(in_flight.value()));
 }
 
 void MetricsTracer::OnRto(TimePoint /*now*/, PathId path,

@@ -16,29 +16,29 @@ void WriteFrameFields(JsonWriter& writer, const quic::Frame& frame) {
       [&](const auto& f) {
         using T = std::decay_t<decltype(f)>;
         if constexpr (std::is_same_v<T, AckFrame>) {
-          writer.Key("acked_path").UInt(f.path_id);
-          writer.Key("largest_acked").UInt(f.LargestAcked());
+          writer.Key("acked_path").UInt(f.path_id.value());
+          writer.Key("largest_acked").UInt(f.LargestAcked().value());
           writer.Key("ack_delay_us").Int(f.ack_delay);
           writer.Key("ranges").UInt(f.ranges.size());
         } else if constexpr (std::is_same_v<T, StreamFrame>) {
-          writer.Key("stream").UInt(f.stream_id);
-          writer.Key("offset").UInt(f.offset);
+          writer.Key("stream").UInt(f.stream_id.value());
+          writer.Key("offset").UInt(f.offset.value());
           writer.Key("length").UInt(f.data.size());
           writer.Key("fin").Bool(f.fin);
         } else if constexpr (std::is_same_v<T, WindowUpdateFrame>) {
-          writer.Key("stream").UInt(f.stream_id);
-          writer.Key("max_data").UInt(f.max_data);
+          writer.Key("stream").UInt(f.stream_id.value());
+          writer.Key("max_data").UInt(f.max_data.value());
         } else if constexpr (std::is_same_v<T, BlockedFrame>) {
-          writer.Key("stream").UInt(f.stream_id);
+          writer.Key("stream").UInt(f.stream_id.value());
         } else if constexpr (std::is_same_v<T, RstStreamFrame>) {
-          writer.Key("stream").UInt(f.stream_id);
+          writer.Key("stream").UInt(f.stream_id.value());
           writer.Key("error_code").UInt(f.error_code);
-          writer.Key("final_offset").UInt(f.final_offset);
+          writer.Key("final_offset").UInt(f.final_offset.value());
         } else if constexpr (std::is_same_v<T, PathsFrame>) {
           writer.Key("paths").BeginArray();
           for (const auto& entry : f.paths) {
             writer.BeginObject();
-            writer.Key("path").UInt(entry.path_id);
+            writer.Key("path").UInt(entry.path_id.value());
             writer.Key("status").String(
                 entry.status == PathStatus::kActive ? "active"
                                                     : "potentially-failed");
@@ -97,7 +97,7 @@ void QlogTracer::FinishEvent() {
 void QlogTracer::FrameEvent(TimePoint now, const char* name, PathId path,
                             const quic::Frame& frame) {
   JsonWriter& writer = StartEvent(now, name);
-  writer.Key("path").UInt(path);
+  writer.Key("path").UInt(path.value());
   WriteFrameFields(writer, frame);
   FinishEvent();
 }
@@ -105,9 +105,9 @@ void QlogTracer::FrameEvent(TimePoint now, const char* name, PathId path,
 void QlogTracer::OnPacketSent(TimePoint now, PathId path, PacketNumber pn,
                               ByteCount bytes, bool retransmittable) {
   JsonWriter& writer = StartEvent(now, "transport:packet_sent");
-  writer.Key("path").UInt(path);
-  writer.Key("pn").UInt(pn);
-  writer.Key("bytes").UInt(bytes);
+  writer.Key("path").UInt(path.value());
+  writer.Key("pn").UInt(pn.value());
+  writer.Key("bytes").UInt(bytes.value());
   writer.Key("retransmittable").Bool(retransmittable);
   FinishEvent();
 }
@@ -115,16 +115,16 @@ void QlogTracer::OnPacketSent(TimePoint now, PathId path, PacketNumber pn,
 void QlogTracer::OnPacketReceived(TimePoint now, PathId path,
                                   PacketNumber pn, ByteCount bytes) {
   JsonWriter& writer = StartEvent(now, "transport:packet_received");
-  writer.Key("path").UInt(path);
-  writer.Key("pn").UInt(pn);
-  writer.Key("bytes").UInt(bytes);
+  writer.Key("path").UInt(path.value());
+  writer.Key("pn").UInt(pn.value());
+  writer.Key("bytes").UInt(bytes.value());
   FinishEvent();
 }
 
 void QlogTracer::OnPacketLost(TimePoint now, PathId path, PacketNumber pn) {
   JsonWriter& writer = StartEvent(now, "recovery:packet_lost");
-  writer.Key("path").UInt(path);
-  writer.Key("pn").UInt(pn);
+  writer.Key("path").UInt(path.value());
+  writer.Key("pn").UInt(pn.value());
   FinishEvent();
 }
 
@@ -142,7 +142,7 @@ void QlogTracer::OnSchedulerDecision(TimePoint now, PathId chosen,
                                      const char* reason,
                                      std::uint64_t elapsed_ns) {
   JsonWriter& writer = StartEvent(now, "scheduler:decision");
-  writer.Key("path").UInt(chosen);
+  writer.Key("path").UInt(chosen.value());
   writer.Key("reason").String(reason);
   writer.Key("elapsed_ns").UInt(elapsed_ns);
   FinishEvent();
@@ -151,16 +151,16 @@ void QlogTracer::OnSchedulerDecision(TimePoint now, PathId chosen,
 void QlogTracer::OnPathSample(TimePoint now, PathId path, ByteCount cwnd,
                               ByteCount in_flight, Duration srtt) {
   JsonWriter& writer = StartEvent(now, "recovery:metrics_updated");
-  writer.Key("path").UInt(path);
-  writer.Key("cwnd").UInt(cwnd);
-  writer.Key("bytes_in_flight").UInt(in_flight);
+  writer.Key("path").UInt(path.value());
+  writer.Key("cwnd").UInt(cwnd.value());
+  writer.Key("bytes_in_flight").UInt(in_flight.value());
   writer.Key("srtt_us").Int(srtt);
   FinishEvent();
 }
 
 void QlogTracer::OnRto(TimePoint now, PathId path, int consecutive) {
   JsonWriter& writer = StartEvent(now, "recovery:rto");
-  writer.Key("path").UInt(path);
+  writer.Key("path").UInt(path.value());
   writer.Key("consecutive").Int(consecutive);
   FinishEvent();
 }
@@ -172,7 +172,7 @@ void QlogTracer::OnFrameRetransmitQueued(TimePoint now, PathId path,
 
 void QlogTracer::OnFlowControlBlocked(TimePoint now, StreamId stream) {
   JsonWriter& writer = StartEvent(now, "flow_control:blocked");
-  writer.Key("stream").UInt(stream);
+  writer.Key("stream").UInt(stream.value());
   FinishEvent();
 }
 
@@ -185,7 +185,7 @@ void QlogTracer::OnHandshakeEvent(TimePoint now, const char* milestone) {
 void QlogTracer::OnPathStateChange(TimePoint now, PathId path,
                                    const char* state) {
   JsonWriter& writer = StartEvent(now, "transport:path_state");
-  writer.Key("path").UInt(path);
+  writer.Key("path").UInt(path.value());
   writer.Key("state").String(state);
   FinishEvent();
 }

@@ -1,5 +1,6 @@
 #include "obs/trace_reader.h"
 
+#include <string>
 #include <string_view>
 
 #include "obs/json.h"
@@ -19,32 +20,81 @@ std::string FieldString(const JsonValue& data, std::string_view key) {
   return v == nullptr ? std::string() : v->AsString();
 }
 
+/// Strict NDJSON event validation: every line must be a complete JSON
+/// object; an event needs a string `name`, a non-negative numeric
+/// `time`, an object `data` (when present) and an in-range integer
+/// `data.path` (when present). Anything else is counted as malformed
+/// and contributes nothing to the summary — a half-written or corrupted
+/// trace degrades loudly (the malformed counter) instead of skewing the
+/// statistics silently.
+bool ValidEvent(const JsonValue& event) {
+  if (!event.is_object()) return false;
+  const JsonValue* name = event.Find("name");
+  const JsonValue* time = event.Find("time");
+  if (name == nullptr || !name->is_string() || name->AsString().empty()) {
+    return false;
+  }
+  if (time == nullptr || !time->is_number() || time->AsInt(-1) < 0) {
+    return false;
+  }
+  const JsonValue* data = event.Find("data");
+  if (data != nullptr) {
+    if (!data->is_object()) return false;
+    const JsonValue* path = data->Find("path");
+    if (path != nullptr &&
+        (!path->is_number() || path->AsInt(-1) < 0 || path->AsInt() > 255)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 TraceSummary ReadTrace(std::istream& in) {
   TraceSummary summary;
   bool first_event = true;
   std::string line;
-  while (std::getline(in, line)) {
+  bool at_eof = false;
+  while (!at_eof) {
+    // Read one line by hand so a truncated final line (stream ended
+    // before the newline — e.g. a crashed writer) is detectable: NDJSON
+    // requires the terminator, so such a line is malformed even if its
+    // prefix happens to parse.
+    line.clear();
+    bool newline_terminated = false;
+    for (int c = in.get(); ; c = in.get()) {
+      if (c == std::char_traits<char>::eof()) {
+        at_eof = true;
+        break;
+      }
+      if (c == '\n') {
+        newline_terminated = true;
+        break;
+      }
+      line.push_back(static_cast<char>(c));
+    }
     if (line.empty()) continue;
+    if (!newline_terminated) {
+      ++summary.malformed;
+      continue;
+    }
     const auto parsed = JsonValue::Parse(line);
     if (!parsed.has_value()) {
       ++summary.malformed;
       continue;
     }
     const JsonValue& event = *parsed;
-    if (event.Find("qlog_format") != nullptr) {
+    if (event.is_object() && event.Find("qlog_format") != nullptr) {
       summary.title = FieldString(event, "title");
       continue;  // preamble
     }
-    const JsonValue* name_value = event.Find("name");
-    const JsonValue* time_value = event.Find("time");
-    if (name_value == nullptr || time_value == nullptr) {
+    if (!ValidEvent(event)) {
       ++summary.malformed;
       continue;
     }
-    const std::string& name = name_value->AsString();
-    const TimePoint time = time_value->AsInt();
+    const std::string& name = event.Find("name")->AsString();
+    const TimePoint time = event.Find("time")->AsInt();
     ++summary.events;
     ++summary.events_by_name[name];
     if (first_event) {

@@ -72,7 +72,7 @@ class ReceivedPacketTracker {
  private:
   /// Coalesced closed intervals [first, second] of received PNs.
   std::map<PacketNumber, PacketNumber> ranges_;
-  PacketNumber largest_ = 0;
+  PacketNumber largest_{};
   TimePoint largest_time_ = 0;
 };
 

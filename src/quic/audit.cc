@@ -1,0 +1,125 @@
+#include "quic/audit.h"
+
+#if defined(MPQ_AUDIT)
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "cc/congestion.h"
+#include "quic/connection.h"
+
+namespace mpq::quic {
+
+class Auditor::Impl {
+ public:
+  static void Check(const Connection& conn);
+  static void CheckPath(const Connection& conn, const Path& path);
+
+ private:
+  [[noreturn]] static void Fail(const Connection& conn, const char* what);
+};
+
+void Auditor::Impl::Fail(const Connection& conn, const char* what) {
+  std::fprintf(stderr,
+               "MPQ_AUDIT violation (cid=%" PRIu64 "): %s\n",
+               conn.cid(), what);
+  std::abort();
+}
+
+#define AUDIT(cond, what)                  \
+  do {                                     \
+    if (!(cond)) Fail(conn, what);         \
+  } while (0)
+
+void Auditor::Impl::CheckPath(const Connection& conn, const Path& path) {
+  // Packet-number space: allocation is monotonic starting at 1, and
+  // nothing tracked or acked can sit at or beyond the next allocation.
+  AUDIT(path.next_pn_ >= PacketNumber{1}, "path next_pn below 1");
+  AUDIT(path.largest_acked_ < path.next_pn_,
+        "largest_acked >= next unallocated packet number");
+
+  ByteCount tracked_in_flight{0};
+  PacketNumber prev{0};
+  for (const auto& [pn, packet] : path.sent_) {
+    AUDIT(pn == packet.pn, "sent_ key disagrees with the packet record");
+    AUDIT(pn > prev, "sent_ packet numbers not strictly increasing");
+    AUDIT(pn < path.next_pn_, "sent_ holds an unallocated packet number");
+    tracked_in_flight += packet.bytes;
+    prev = pn;
+  }
+  AUDIT(path.congestion_->bytes_in_flight() == tracked_in_flight,
+        "bytes_in_flight != sum of tracked sent packets");
+
+  // Congestion window floor: every controller collapses to at most
+  // kMinWindowPackets * mss on loss/RTO, never below it. All controllers
+  // in this stack are built with mss = config.max_packet_size.
+  AUDIT(path.congestion_->congestion_window() >=
+            cc::kMinWindowPackets * conn.config_.max_packet_size.value(),
+        "congestion window below the minimum window");
+
+  // Receive-side ACK ranges: descending, within-range, disjoint and
+  // coalesced (adjacent ranges must have been merged on insert).
+  const auto ranges = path.receiver_.BuildAckRanges();
+  if (!ranges.empty()) {
+    AUDIT(ranges.front().largest == path.receiver_.largest_received(),
+          "first ACK range does not end at largest_received");
+  }
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    AUDIT(ranges[i].smallest <= ranges[i].largest,
+          "ACK range with smallest > largest");
+    if (i + 1 < ranges.size()) {
+      AUDIT(ranges[i + 1].largest + 1 < ranges[i].smallest,
+            "ACK ranges overlapping, unsorted or uncoalesced");
+    }
+  }
+}
+
+void Auditor::Impl::Check(const Connection& conn) {
+  for (const auto& [id, runtime] : conn.paths_) {
+    AUDIT(runtime->path != nullptr, "path runtime without a path");
+    AUDIT(runtime->path->id() == id, "paths_ key disagrees with path id");
+    CheckPath(conn, *runtime->path);
+  }
+
+  // Send-side flow control: new stream bytes on the wire never exceed
+  // what the peer advertised, at connection level or per stream.
+  AUDIT(conn.new_stream_bytes_sent_ <= conn.flow_.peer_max_data(),
+        "sent beyond the peer's connection-level flow-control limit");
+  for (const auto& [id, stream] : conn.send_streams_) {
+    AUDIT(stream->max_offset_sent() <= stream->peer_max_stream_data_,
+          "sent beyond the peer's stream-level flow-control limit");
+    for (const auto& [offset, length] : stream->retransmit_) {
+      AUDIT(offset + length.value() <= stream->max_offset_sent() ||
+                (stream->fin_sent_ && offset + length.value() <=
+                                          stream->source_->size()),
+            "retransmission range beyond the bytes ever sent");
+    }
+  }
+
+  // Receive side: the peer never wrote past what we advertised, and the
+  // delivered prefix of each stream is consistent with what arrived.
+  AUDIT(conn.total_highest_received_ <= conn.flow_.local_max_data(),
+        "peer wrote beyond our advertised connection-level limit");
+  AUDIT(conn.flow_.consumed_ <= conn.flow_.local_max_data(),
+        "consumed beyond our own advertisement");
+  for (const auto& [id, stream] : conn.recv_streams_) {
+    AUDIT(stream->delivered_offset() <= stream->highest_received(),
+          "delivered beyond the highest received offset");
+    if (stream->fin_known()) {
+      AUDIT(stream->highest_received() <= stream->final_size(),
+            "received data beyond the stream's final size");
+    }
+  }
+}
+
+void Auditor::Check(const Connection& conn) { Impl::Check(conn); }
+
+}  // namespace mpq::quic
+
+#else
+
+// Without MPQ_AUDIT this translation unit is intentionally empty; the
+// macro in audit.h already compiled every call site to nothing.
+
+#endif  // MPQ_AUDIT

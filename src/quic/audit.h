@@ -1,0 +1,54 @@
+// Debug invariant checker. When the build defines MPQ_AUDIT (CMake
+// option of the same name), MPQ_AUDIT_CHECK(conn) re-validates the
+// connection's internal invariants after every timer and packet event:
+//
+//   - per-path packet-number monotonicity (sent PNs < next_pn_, the
+//     largest acked never exceeds the largest sent),
+//   - the congestion controller's bytes_in_flight equals the sum of the
+//     tracked sent packets on that path,
+//   - flow-control offsets never exceed the advertised limits, on either
+//     side and at either level (connection and stream),
+//   - receive-side ACK ranges are sorted, disjoint and coalesced,
+//   - the congestion window never falls below the controller's floor.
+//
+// A violation prints a diagnostic and aborts, so a ctest run under an
+// MPQ_AUDIT build turns silent state corruption into a hard failure at
+// the first event that produced it. Without MPQ_AUDIT the macro expands
+// to nothing and audit.cc compiles to an empty translation unit.
+#pragma once
+
+namespace mpq::quic {
+
+class Connection;
+
+class Auditor {
+ public:
+  /// Validate every invariant of `conn`; abort with a diagnostic on the
+  /// first violation. Only meaningful in MPQ_AUDIT builds.
+  static void Check(const Connection& conn);
+
+ private:
+  class Impl;
+};
+
+#if defined(MPQ_AUDIT)
+#define MPQ_AUDIT_CHECK(conn) ::mpq::quic::Auditor::Check(conn)
+#else
+#define MPQ_AUDIT_CHECK(conn) ((void)0)
+#endif
+
+/// RAII helper: audits on scope exit, so event handlers with early
+/// returns still get checked on every path out.
+class AuditScope {
+ public:
+  explicit AuditScope(const Connection& conn) : conn_(conn) {}
+  ~AuditScope() { MPQ_AUDIT_CHECK(conn_); }
+
+  AuditScope(const AuditScope&) = delete;
+  AuditScope& operator=(const AuditScope&) = delete;
+
+ private:
+  [[maybe_unused]] const Connection& conn_;
+};
+
+}  // namespace mpq::quic

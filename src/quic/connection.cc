@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
-#include <chrono>
 
 #include "cc/cubic.h"
 #include "cc/newreno.h"
+#include "common/clock.h"
 #include "common/log.h"
+#include "quic/audit.h"
 
 namespace mpq::quic {
 
@@ -88,6 +89,7 @@ bool Connection::ExpectingData() const {
 
 void Connection::OnIdleFailureTimer() {
   if (closed_ || !established_) return;
+  AuditScope audit(*this);
   if (ExpectingData() && !paths_.empty()) {
     PathRuntime& runtime = *paths_.begin()->second;
     if (tracer_ != nullptr && !runtime.path->potentially_failed()) {
@@ -154,7 +156,7 @@ Connection::PathRuntime& Connection::CreatePath(PathId id, sim::Address local,
   auto [it, inserted] = paths_.emplace(id, std::move(runtime));
   assert(inserted);
   MPQ_DEBUG(sim_.now(), "quic", "cid=%llu new path %u",
-            static_cast<unsigned long long>(cid_), id);
+            static_cast<unsigned long long>(cid_), id.value());
   if (tracer_ != nullptr) {
     tracer_->OnPathStateChange(sim_.now(), id, "created");
   }
@@ -168,7 +170,7 @@ void Connection::Connect(sim::Address server_address) {
   assert(perspective_ == Perspective::kClient);
   assert(!local_addresses_.empty());
   server_address_ = server_address;
-  CreatePath(0, local_addresses_[0], server_address);
+  CreatePath(PathId{0}, local_addresses_[0], server_address);
   client_nonce_.resize(16);
   for (auto& b : client_nonce_) {
     b = static_cast<std::uint8_t>(rng_.NextU64());
@@ -219,7 +221,7 @@ void Connection::SendChlo() {
   }
   chlo_sent_time_ = sim_.now();
   if (tracer_ != nullptr) tracer_->OnHandshakeEvent(sim_.now(), "chlo-sent");
-  TransmitPacket(*paths_.at(0), frames, /*retransmittable=*/false,
+  TransmitPacket(*paths_.at(PathId{0}), frames, /*retransmittable=*/false,
                  /*handshake_cleartext=*/true);
   const Duration timeout = config_.handshake_timeout
                            << (handshake_attempts_ - 1);
@@ -275,7 +277,7 @@ void Connection::HandleChlo(const HandshakeFrame& chlo,
                                                 config_.server_config_secret);
     seal_ = std::make_unique<crypto::PacketProtection>(keys.server_to_client);
     open_ = std::make_unique<crypto::PacketProtection>(keys.client_to_server);
-    CreatePath(0, datagram.dst, datagram.src);
+    CreatePath(PathId{0}, datagram.dst, datagram.src);
     BecomeEstablished();
   }
   // Always answer (possibly retransmitted) CHLOs with an SHLO.
@@ -287,7 +289,7 @@ void Connection::HandleChlo(const HandshakeFrame& chlo,
   std::vector<Frame> frames;
   frames.emplace_back(std::move(shlo));
   if (tracer_ != nullptr) tracer_->OnHandshakeEvent(sim_.now(), "shlo-sent");
-  TransmitPacket(*paths_.at(0), frames, /*retransmittable=*/false,
+  TransmitPacket(*paths_.at(PathId{0}), frames, /*retransmittable=*/false,
                  /*handshake_cleartext=*/true);
 }
 
@@ -304,8 +306,8 @@ void Connection::HandleShlo(const HandshakeFrame& shlo) {
       peer_addresses_ = shlo.peer_addresses;
       OpenClientPaths();
     }
-    if (chlo_sent_time_ >= 0 && !paths_.at(0)->path->rtt().has_sample()) {
-      paths_.at(0)->path->rtt().AddSample(sim_.now() - chlo_sent_time_, 0);
+    if (chlo_sent_time_ >= 0 && !paths_.at(PathId{0})->path->rtt().has_sample()) {
+      paths_.at(PathId{0})->path->rtt().AddSample(sim_.now() - chlo_sent_time_, 0);
     }
     return;
   }
@@ -319,7 +321,7 @@ void Connection::HandleShlo(const HandshakeFrame& shlo) {
   // The CHLO/SHLO exchange gives the initial path its first RTT sample —
   // one of the reasons MPQUIC starts with usable latency estimates.
   if (chlo_sent_time_ >= 0) {
-    paths_.at(0)->path->rtt().AddSample(sim_.now() - chlo_sent_time_, 0);
+    paths_.at(PathId{0})->path->rtt().AddSample(sim_.now() - chlo_sent_time_, 0);
   }
   OpenClientPaths();
   BecomeEstablished();
@@ -348,7 +350,7 @@ void Connection::MaybeOpenServerPaths() {
       perspective_ != Perspective::kServer || !established_) {
     return;
   }
-  PathId next_even = 2;
+  PathId next_even{2};
   for (const auto& [id, rt] : paths_) {
     if (id % 2 == 0 && id >= next_even) {
       next_even = static_cast<PathId>(id + 2);
@@ -399,7 +401,7 @@ void Connection::OpenClientPaths() {
   // each (additional) client interface. Client-created paths get odd ids.
   // Idempotent: with 0-RTT this runs again once the SHLO delivers the
   // peer's addresses.
-  PathId next_id = 1;
+  PathId next_id{1};
   while (paths_.contains(next_id)) next_id = static_cast<PathId>(next_id + 2);
   for (std::size_t i = 1; i < local_addresses_.size(); ++i) {
     // Pair the i-th local interface with the peer address advertised for
@@ -484,6 +486,7 @@ void Connection::Close(std::uint16_t error_code, const std::string& reason) {
 
 void Connection::OnDatagram(const sim::Datagram& datagram) {
   if (closed_) return;
+  AuditScope audit(*this);
   BufReader reader(datagram.payload);
   ParsedHeader parsed;
   if (!DecodeHeader(reader, parsed)) return;
@@ -507,7 +510,7 @@ void Connection::OnEncryptedPacket(const ParsedHeader& parsed,
                                    std::span<const std::uint8_t> datagram_bytes,
                                    const sim::Datagram& datagram) {
   if (!open_) return;  // keys not established yet
-  const PathId pid = parsed.header.multipath ? parsed.header.path_id : 0;
+  const PathId pid = parsed.header.multipath ? parsed.header.path_id : PathId{0};
   auto it = paths_.find(pid);
   if (it == paths_.end()) {
     // First packet of a peer-created path (§3: data can ride in the very
@@ -537,14 +540,15 @@ void Connection::OnEncryptedPacket(const ParsedHeader& parsed,
     return;
   }
   if (tracer_ != nullptr) {
-    tracer_->OnPacketReceived(sim_.now(), pid, pn, datagram.payload.size());
+    tracer_->OnPacketReceived(sim_.now(), pid, pn,
+                              ByteCount{datagram.payload.size()});
   }
   // NAT rebinding / peer migration: the packet authenticated under this
   // path's keys but arrived from a new address — follow it (§3), keeping
   // the path's state.
   if (!(datagram.src == path.remote_address())) {
     MPQ_DEBUG(sim_.now(), "quic", "cid=%llu path %u peer address changed",
-              static_cast<unsigned long long>(cid_), pid);
+              static_cast<unsigned long long>(cid_), pid.value());
     path.UpdateAddresses(datagram.dst, datagram.src);
   }
   std::vector<Frame>& frames = recv_frames_scratch_;
@@ -669,8 +673,8 @@ RecvStream& Connection::GetOrCreateRecvStream(StreamId id) {
                                   std::span<const std::uint8_t> data,
                                   bool finished) {
     stats_.stream_bytes_received += data.size();
-    if (!data.empty() && flow_.OnBytesConsumed(data.size())) {
-      EnqueueWindowUpdates(WindowUpdateFrame{0, flow_.NextAdvertisement()});
+    if (!data.empty() && flow_.OnBytesConsumed(ByteCount{data.size()})) {
+      EnqueueWindowUpdates(WindowUpdateFrame{StreamId{0}, flow_.NextAdvertisement()});
     }
     // Stream-level window replenishment, same half-window policy.
     auto adv = stream_advertised_.find(id);
@@ -861,6 +865,7 @@ void Connection::ArmPaceTimer() {
 
 void Connection::TrySend() {
   if (!established_ || closed_ || in_try_send_) return;
+  AuditScope audit(*this);
   in_try_send_ = true;
 
   // Scheduler-requested probes (ping-first ablation).
@@ -894,8 +899,8 @@ void Connection::TrySend() {
     }
     if (data_waiting && !blocked_reported_) {
       blocked_reported_ = true;
-      if (tracer_ != nullptr) tracer_->OnFlowControlBlocked(sim_.now(), 0);
-      EnqueueControl(BlockedFrame{0});
+      if (tracer_ != nullptr) tracer_->OnFlowControlBlocked(sim_.now(), StreamId{0});
+      EnqueueControl(BlockedFrame{StreamId{0}});
     }
   } else {
     blocked_reported_ = false;
@@ -933,14 +938,12 @@ void Connection::TrySend() {
       // Measured decision: the wall-clock cost of the scheduler itself is
       // one of the hot-path numbers the metrics registry tracks. Only the
       // traced configuration pays for the clock reads.
-      const auto before = std::chrono::steady_clock::now();
+      const std::uint64_t before = MonotonicNanos();
       chosen = scheduler_->SelectPath(eligible, config_.max_packet_size);
-      const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - before);
+      const std::uint64_t elapsed = MonotonicNanos() - before;
       if (chosen != nullptr) {
-        tracer_->OnSchedulerDecision(
-            sim_.now(), chosen->id(), scheduler_->last_reason(),
-            static_cast<std::uint64_t>(elapsed.count()));
+        tracer_->OnSchedulerDecision(sim_.now(), chosen->id(),
+                                     scheduler_->last_reason(), elapsed);
       }
     } else {
       chosen = scheduler_->SelectPath(eligible, config_.max_packet_size);
@@ -983,13 +986,13 @@ bool Connection::SendOnePacket(PathRuntime& runtime, bool include_stream_data,
     return false;
   }
   std::size_t budget =
-      config_.max_packet_size - header_size - crypto::kAeadTagSize;
+      config_.max_packet_size.value() - header_size - crypto::kAeadTagSize;
 
   // Recycled per-packet scratch: the vector's capacity survives across
   // packets (TransmitPacket moves the frames out but leaves the vector).
   std::vector<Frame>& frames = send_frames_scratch_;
   frames.clear();
-  ByteCount new_bytes = 0;
+  ByteCount new_bytes{};
 
   // 1. Piggyback a pending ACK for this path.
   if (path.ack_pending() && path.receiver().AnythingToAck()) {
@@ -1046,9 +1049,10 @@ bool Connection::SendOnePacket(PathRuntime& runtime, bool include_stream_data,
         StreamFrame frame;
         const ByteCount allowance = ConnectionSendAllowance() >= new_bytes
                                         ? ConnectionSendAllowance() - new_bytes
-                                        : 0;
+                                        : ByteCount{0};
         const auto result =
-            stream.NextFrame(budget - kStreamFrameOverhead, allowance, frame);
+            stream.NextFrame(ByteCount{budget - kStreamFrameOverhead}, allowance,
+                             frame);
         if (!result.produced) continue;
         any_progress = true;
         next_stream_to_serve_ = sid;
@@ -1097,7 +1101,7 @@ void Connection::TransmitPacket(PathRuntime& runtime,
   // writer and the payload is sealed where it lies — the only per-packet
   // allocation left is the outgoing datagram itself (the network takes
   // ownership of it).
-  BufWriter writer(config_.max_packet_size + crypto::kAeadTagSize);
+  BufWriter writer(config_.max_packet_size.value() + crypto::kAeadTagSize);
   EncodeHeader(header, path.largest_acked(), writer);
   const std::size_t header_size = writer.size();
 
@@ -1107,7 +1111,7 @@ void Connection::TransmitPacket(PathRuntime& runtime,
     assert(seal_ != nullptr);
     writer.WriteZeroes(crypto::kAeadTagSize);  // tag slot
     const std::span<std::uint8_t> buf = writer.mutable_span();
-    seal_->SealInPlace(header.multipath ? header.path_id : 0,
+    seal_->SealInPlace(header.multipath ? header.path_id : PathId{0},
                        header.packet_number, buf.subspan(0, header_size),
                        buf.subspan(header_size));
   }
@@ -1117,11 +1121,11 @@ void Connection::TransmitPacket(PathRuntime& runtime,
     SentPacket tracked;
     tracked.pn = header.packet_number;
     tracked.sent_time = sim_.now();
-    tracked.bytes = writer.size();
+    tracked.bytes = ByteCount{writer.size()};
     for (Frame& frame : frames) {
       if (IsRetransmittable(frame)) tracked.frames.push_back(std::move(frame));
     }
-    ConsumePaceTokens(runtime, writer.size());
+    ConsumePaceTokens(runtime, ByteCount{writer.size()});
     path.OnPacketSent(std::move(tracked));
     RearmRetxTimer(runtime);
   }
@@ -1131,7 +1135,7 @@ void Connection::TransmitPacket(PathRuntime& runtime,
   }
   if (tracer_ != nullptr) {
     tracer_->OnPacketSent(sim_.now(), path.id(), header.packet_number,
-                          writer.size(), retransmittable);
+                          ByteCount{writer.size()}, retransmittable);
   }
   send_(path.local_address(), path.remote_address(), writer.Take());
 }
@@ -1151,7 +1155,7 @@ void Connection::RequeueLostFrames(PathId path, std::vector<SentPacket> lost) {
             if constexpr (std::is_same_v<T, StreamFrame>) {
               auto it = send_streams_.find(f.stream_id);
               if (it != send_streams_.end()) {
-                it->second->OnFrameLost(f.offset, f.data.size(), f.fin);
+                it->second->OnFrameLost(f.offset, ByteCount{f.data.size()}, f.fin);
               }
             } else if constexpr (std::is_same_v<T, WindowUpdateFrame>) {
               // Values are monotonic; resending the same limit is safe and
@@ -1202,6 +1206,7 @@ void Connection::RearmRetxTimer(PathRuntime& runtime) {
 void Connection::OnRetxTimer(PathRuntime& runtime) {
   Path& path = *runtime.path;
   if (closed_) return;
+  AuditScope audit(*this);
   if (sim_.now() >= path.NextLossTime()) {
     RequeueLostFrames(path.id(), path.DetectTimeThresholdLosses(sim_.now()));
   } else if (path.HasInFlight()) {
@@ -1221,7 +1226,7 @@ void Connection::OnRetxTimer(PathRuntime& runtime) {
 
 void Connection::OnPathPotentiallyFailed(PathRuntime& runtime) {
   MPQ_DEBUG(sim_.now(), "quic", "cid=%llu path %u potentially failed",
-            static_cast<unsigned long long>(cid_), runtime.path->id());
+            static_cast<unsigned long long>(cid_), runtime.path->id().value());
   if (tracer_ != nullptr) {
     tracer_->OnPathStateChange(sim_.now(), runtime.path->id(),
                                "potentially-failed");
@@ -1263,7 +1268,7 @@ void Connection::MigratePath(PathId id, sim::Address new_local,
   if (it == paths_.end() || closed_) return;
   PathRuntime& runtime = *it->second;
   MPQ_DEBUG(sim_.now(), "quic", "cid=%llu migrating path %u",
-            static_cast<unsigned long long>(cid_), id);
+            static_cast<unsigned long long>(cid_), id.value());
   if (tracer_ != nullptr) {
     tracer_->OnPathStateChange(sim_.now(), id, "migrated");
   }
@@ -1282,6 +1287,7 @@ void Connection::MigratePath(PathId id, sim::Address new_local,
 
 void Connection::OnProbeTimer(PathRuntime& runtime) {
   if (closed_ || !runtime.path->potentially_failed()) return;
+  AuditScope audit(*this);
   SendPing(runtime, /*track=*/true);
   runtime.probe_timer->SetIn(config_.failed_path_probe_interval);
 }

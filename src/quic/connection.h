@@ -42,7 +42,7 @@ struct ConnectionConfig {
   CongestionAlgo congestion = CongestionAlgo::kCubic;
   SchedulerType scheduler = SchedulerType::kLowestRtt;
   ByteCount receive_window = kDefaultReceiveWindow;
-  ByteCount max_packet_size = kMaxPacketSize;
+  ByteCount max_packet_size{kMaxPacketSize};
   /// §3: send WINDOW_UPDATE frames on every path (ablation knob).
   bool window_update_on_all_paths = true;
   /// §4.3: advertise potentially-failed paths in PATHS frames so the peer
@@ -103,8 +103,8 @@ struct ConnectionStats {
   std::uint64_t packets_duplicate = 0;
   std::uint64_t duplicated_scheduler_packets = 0;
   std::uint64_t rto_events = 0;
-  ByteCount stream_bytes_sent_new = 0;
-  ByteCount stream_bytes_received = 0;
+  ByteCount stream_bytes_sent_new{};
+  ByteCount stream_bytes_received{};
 };
 
 class Connection {
@@ -184,6 +184,8 @@ class Connection {
   const ConnectionConfig& config() const { return config_; }
 
  private:
+  friend class Auditor;
+
   struct PathRuntime {
     std::unique_ptr<Path> path;
     std::unique_ptr<sim::Timer> retx_timer;  // loss-time + RTO, combined
@@ -314,15 +316,15 @@ class Connection {
   /// the connection fairly (one chunk each per packet-fill pass), as
   /// quic-go does — this is what §2's "streams prevent head-of-line
   /// blocking" rests on.
-  StreamId next_stream_to_serve_ = 0;
+  StreamId next_stream_to_serve_{};
   std::map<StreamId, std::unique_ptr<RecvStream>> recv_streams_;
   FlowController flow_;
-  ByteCount new_stream_bytes_sent_ = 0;
+  ByteCount new_stream_bytes_sent_{};
   /// Receive-side: per-stream advertised limits for stream-level windows.
   std::map<StreamId, ByteCount> stream_advertised_;
   /// Sum over streams of highest received offset (connection-level
   /// receive accounting).
-  ByteCount total_highest_received_ = 0;
+  ByteCount total_highest_received_{};
 
   /// Path-agnostic control frames awaiting a packet (PATHS, ADD_ADDRESS,
   /// re-queued control frames).

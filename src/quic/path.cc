@@ -25,7 +25,7 @@ Path::AckResult Path::OnAckReceived(const AckFrame& ack, TimePoint now) {
   // Collect newly acked packets. The RTT sample comes from the highest
   // newly-acked *tracked* packet (ack-only packets consume PNs but are
   // never tracked, so the frame's LargestAcked may not be in the map).
-  PacketNumber rtt_sample_pn = 0;
+  PacketNumber rtt_sample_pn{};
   TimePoint rtt_sample_sent_time = -1;
   for (const auto& range : ack.ranges) {
     auto it = sent_.lower_bound(range.smallest);

@@ -18,9 +18,9 @@
 namespace mpq::quic {
 
 struct SentPacket {
-  PacketNumber pn = 0;
+  PacketNumber pn{};
   TimePoint sent_time = 0;
-  ByteCount bytes = 0;  // full wire size, charged to the congestion window
+  ByteCount bytes{};  // full wire size, charged to the congestion window
   std::vector<Frame> frames;  // retransmittable frames only
 };
 
@@ -134,7 +134,9 @@ class Path {
   std::uint64_t packets_acked() const { return packets_acked_; }
 
  private:
-  static constexpr PacketNumber kReorderingThreshold = 3;
+  friend class Auditor;
+
+  static constexpr PacketNumber kReorderingThreshold{3};
 
   Duration TimeThreshold() const {
     const Duration base =
@@ -152,8 +154,8 @@ class Path {
   RttEstimator rtt_;
 
   // Send state.
-  PacketNumber next_pn_ = 1;
-  PacketNumber largest_acked_ = 0;
+  PacketNumber next_pn_{1};
+  PacketNumber largest_acked_{};
   TimePoint largest_acked_sent_time_ = 0;
   std::map<PacketNumber, SentPacket> sent_;
   TimePoint loss_time_ = kTimeInfinite;
@@ -169,7 +171,7 @@ class Path {
   int unacked_count_ = 0;
 
   // Statistics.
-  ByteCount bytes_sent_ = 0;
+  ByteCount bytes_sent_{};
   std::uint64_t packets_lost_ = 0;
   std::uint64_t packets_acked_ = 0;
 };

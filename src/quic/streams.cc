@@ -8,7 +8,7 @@ namespace mpq::quic {
 // SendStream
 
 ByteCount SendStream::RetransmitBytesPending() const {
-  ByteCount total = 0;
+  ByteCount total{};
   for (const auto& [offset, length] : retransmit_) total += length;
   return total;
 }
@@ -36,7 +36,7 @@ SendStream::NextFrameResult SendStream::NextFrame(
     const ByteCount len = std::min<ByteCount>(it->second, max_payload);
     frame.stream_id = id_;
     frame.offset = offset;
-    frame.data.resize(len);
+    frame.data.resize(len.value());
     source_->Read(offset, frame.data);
     // FIN rides along if this chunk reaches the end of the stream.
     frame.fin = fin_lost_ && offset + len >= total_size();
@@ -48,7 +48,7 @@ SendStream::NextFrameResult SendStream::NextFrame(
       retransmit_.erase(it);
       retransmit_.emplace(offset + len, rest);
     }
-    return {true, 0};
+    return {true, ByteCount{0}};
   }
   if (fin_lost_) {
     frame.stream_id = id_;
@@ -56,7 +56,7 @@ SendStream::NextFrameResult SendStream::NextFrame(
     frame.data.clear();
     frame.fin = true;
     fin_lost_ = false;
-    return {true, 0};
+    return {true, ByteCount{0}};
   }
 
   // 2. New data under stream + connection flow control.
@@ -67,19 +67,19 @@ SendStream::NextFrameResult SendStream::NextFrame(
     frame.data.clear();
     frame.fin = true;
     fin_sent_ = true;
-    return {true, 0};
+    return {true, ByteCount{0}};
   }
   const ByteCount stream_allow =
       peer_max_stream_data_ > next_offset_
           ? peer_max_stream_data_ - next_offset_
-          : 0;
+          : ByteCount{0};
   const ByteCount len = std::min<ByteCount>(
       {max_payload, total_size() - next_offset_, stream_allow,
        connection_send_allowance});
   if (len == 0) return {};  // flow-control blocked
   frame.stream_id = id_;
   frame.offset = next_offset_;
-  frame.data.resize(len);
+  frame.data.resize(len.value());
   source_->Read(next_offset_, frame.data);
   next_offset_ += len;
   frame.fin = next_offset_ >= total_size();
@@ -127,7 +127,7 @@ ByteCount RecvStream::OnStreamFrameImpl(const StreamFrame& frame,
     final_size_ = frame.offset + frame.data.size();
   }
   const ByteCount frame_end = frame.offset + frame.data.size();
-  ByteCount window_growth = 0;
+  ByteCount window_growth{};
   if (frame_end > highest_received_) {
     window_growth = frame_end - highest_received_;
     highest_received_ = frame_end;
@@ -137,7 +137,7 @@ ByteCount RecvStream::OnStreamFrameImpl(const StreamFrame& frame,
     // Trim the already-delivered prefix. Overlaps with other buffered
     // segments are tolerated (delivery skips duplicate bytes).
     const ByteCount start = std::max(frame.offset, delivered_);
-    const std::size_t skip = start - frame.offset;
+    const std::size_t skip = (start - frame.offset).value();
 
     if (segments_.empty() && start == delivered_) {
       // In-order fast path — the overwhelmingly common case: hand the
@@ -189,7 +189,7 @@ void RecvStream::DeliverInOrder() {
       segments_.erase(it);
       continue;  // fully duplicate
     }
-    const std::size_t skip = delivered_ - it->first;
+    const std::size_t skip = (delivered_ - it->first).value();
     std::span<const std::uint8_t> fresh(it->second.data() + skip,
                                         it->second.size() - skip);
     const ByteCount new_delivered = seg_end;

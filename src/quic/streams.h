@@ -21,7 +21,7 @@ namespace mpq::quic {
 
 /// Default flow-control window, §4.1: "maximal receive window values are
 /// set to 16 MB for both TCP and QUIC".
-inline constexpr ByteCount kDefaultReceiveWindow = 16 * 1024 * 1024;
+inline constexpr ByteCount kDefaultReceiveWindow{16 * 1024 * 1024};
 
 // Send sources live in common/source.h (they are shared with the TCP
 // baseline stack); re-exported here for the QUIC public API.
@@ -52,7 +52,7 @@ class SendStream {
   struct NextFrameResult {
     bool produced = false;
     /// NEW connection-level window consumed (0 for retransmissions).
-    ByteCount new_bytes = 0;
+    ByteCount new_bytes{};
   };
 
   /// Produce the next STREAM frame with payload of at most `max_payload`
@@ -81,9 +81,11 @@ class SendStream {
   }
 
  private:
+  friend class Auditor;
+
   StreamId id_;
   std::unique_ptr<SendSource> source_;
-  ByteCount next_offset_ = 0;  // next NEW byte to send
+  ByteCount next_offset_{};  // next NEW byte to send
   bool fin_sent_ = false;
   bool fin_lost_ = false;  // FIN needs retransmission
   ByteCount peer_max_stream_data_ = kDefaultReceiveWindow;
@@ -141,12 +143,12 @@ class RecvStream {
 
   StreamId id_;
   Sink sink_;
-  ByteCount delivered_ = 0;         // contiguous prefix handed to the app
-  ByteCount highest_received_ = 0;  // max(offset+len) seen
-  ByteCount buffered_ = 0;
+  ByteCount delivered_{};         // contiguous prefix handed to the app
+  ByteCount highest_received_{};  // max(offset+len) seen
+  ByteCount buffered_{};
   bool fin_known_ = false;
   bool fin_signaled_ = false;  // the sink saw finished=true exactly once
-  ByteCount final_size_ = 0;
+  ByteCount final_size_{};
   std::map<ByteCount, std::vector<std::uint8_t>> segments_;  // by offset
 };
 
@@ -167,7 +169,7 @@ class FlowController {
   ByteCount SendAllowance(ByteCount total_new_bytes_sent) const {
     return peer_max_data_ > total_new_bytes_sent
                ? peer_max_data_ - total_new_bytes_sent
-               : 0;
+               : ByteCount{0};
   }
   void OnMaxData(ByteCount max) {
     if (max > peer_max_data_) peer_max_data_ = max;
@@ -197,8 +199,10 @@ class FlowController {
   }
 
  private:
+  friend class Auditor;
+
   ByteCount window_;
-  ByteCount consumed_ = 0;        // in-order bytes delivered to the app
+  ByteCount consumed_{};        // in-order bytes delivered to the app
   ByteCount local_max_data_;      // what we last advertised
   ByteCount peer_max_data_;       // what the peer allows us
 };

@@ -96,16 +96,16 @@ class TimeSeriesTracer final : public ConnectionTracer {
  public:
   struct Sample {
     TimePoint time = 0;
-    PathId path = 0;
-    ByteCount cwnd = 0;
-    ByteCount in_flight = 0;
+    PathId path{};
+    ByteCount cwnd{};
+    ByteCount in_flight{};
     Duration srtt = 0;
   };
 
   struct LossRecord {
     TimePoint time = 0;
-    PathId path = 0;
-    PacketNumber pn = 0;
+    PathId path{};
+    PacketNumber pn{};
   };
 
   void OnPathSample(TimePoint now, PathId path, ByteCount cwnd,
@@ -148,7 +148,7 @@ class CountingTracer final : public ConnectionTracer {
                     bool) override {
     ++packets_sent;
     ++packets_sent_by_path[path];
-    bytes_sent_by_path[path] += bytes;
+    bytes_sent_by_path[path] += bytes.value();
   }
   void OnPacketReceived(TimePoint, PathId, PacketNumber,
                         ByteCount) override {
@@ -184,7 +184,7 @@ class CountingTracer final : public ConnectionTracer {
   }
   void OnPathStateChange(TimePoint, PathId path,
                          const char* state) override {
-    state_changes.push_back(std::to_string(path) + ":" + state);
+    state_changes.push_back(std::to_string(path.value()) + ":" + state);
   }
 };
 

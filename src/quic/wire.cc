@@ -41,7 +41,7 @@ std::size_t PacketNumberLength(PacketNumber full, PacketNumber largest_acked) {
   // The encoding must disambiguate at least twice the number of packets
   // in flight (RFC 9000 §17.1 logic).
   const PacketNumber distance =
-      full > largest_acked ? full - largest_acked : 1;
+      full > largest_acked ? full - largest_acked : PacketNumber{1};
   const PacketNumber needed = 2 * distance + 1;
   if (needed < (1ULL << 8)) return 1;
   if (needed < (1ULL << 16)) return 2;
@@ -61,7 +61,7 @@ void EncodeHeader(const PacketHeader& header, PacketNumber largest_acked,
   flags |= static_cast<std::uint8_t>(pn_code << kFlagPnShift);
   out.WriteU8(flags);
   out.WriteU64(header.cid);
-  if (header.multipath) out.WriteU8(header.path_id);
+  if (header.multipath) out.WriteU8(header.path_id.value());
   switch (pn_len) {
     case 1:
       out.WriteU8(static_cast<std::uint8_t>(header.packet_number));
@@ -73,7 +73,7 @@ void EncodeHeader(const PacketHeader& header, PacketNumber largest_acked,
       out.WriteU32(static_cast<std::uint32_t>(header.packet_number));
       break;
     default:
-      out.WriteU64(header.packet_number);
+      out.WriteU64(header.packet_number.value());
       break;
   }
 }
@@ -85,11 +85,11 @@ bool DecodeHeader(BufReader& in, ParsedHeader& out) {
   out.header.handshake = (flags & kFlagHandshake) != 0;
   out.header.multipath = (flags & kFlagMultipath) != 0;
   if (!in.ReadU64(out.header.cid)) return false;
-  out.header.path_id = 0;
+  out.header.path_id = PathId{0};
   if (out.header.multipath) {
     std::uint8_t path = 0;
     if (!in.ReadU8(path)) return false;
-    out.header.path_id = path;
+    out.header.path_id = PathId{path};
   }
   const std::uint8_t pn_code = (flags & kFlagPnMask) >> kFlagPnShift;
   out.pn_length = std::size_t{1} << pn_code;
@@ -97,25 +97,25 @@ bool DecodeHeader(BufReader& in, ParsedHeader& out) {
     case 1: {
       std::uint8_t v = 0;
       if (!in.ReadU8(v)) return false;
-      out.header.packet_number = v;
+      out.header.packet_number = PacketNumber{v};
       break;
     }
     case 2: {
       std::uint16_t v = 0;
       if (!in.ReadU16(v)) return false;
-      out.header.packet_number = v;
+      out.header.packet_number = PacketNumber{v};
       break;
     }
     case 4: {
       std::uint32_t v = 0;
       if (!in.ReadU32(v)) return false;
-      out.header.packet_number = v;
+      out.header.packet_number = PacketNumber{v};
       break;
     }
     default: {
       std::uint64_t v = 0;
       if (!in.ReadU64(v)) return false;
-      out.header.packet_number = v;
+      out.header.packet_number = PacketNumber{v};
       break;
     }
   }
@@ -127,16 +127,16 @@ PacketNumber DecodePacketNumber(PacketNumber largest_seen,
                                 PacketNumber truncated,
                                 std::size_t pn_length) {
   if (pn_length >= 8) return truncated;
-  const PacketNumber expected = largest_seen + 1;
-  const PacketNumber win = PacketNumber{1} << (8 * pn_length);
-  const PacketNumber half = win / 2;
-  PacketNumber candidate = (expected & ~(win - 1)) | truncated;
+  const std::uint64_t expected = largest_seen.value() + 1;
+  const std::uint64_t win = std::uint64_t{1} << (8 * pn_length);
+  const std::uint64_t half = win / 2;
+  std::uint64_t candidate = (expected & ~(win - 1)) | truncated.value();
   if (candidate + half <= expected) {
     candidate += win;
   } else if (candidate > expected + half && candidate >= win) {
     candidate -= win;
   }
-  return candidate;
+  return PacketNumber{candidate};
 }
 
 // ---------------------------------------------------------------------------
@@ -150,13 +150,13 @@ std::size_t FrameWireSize(const Frame& frame) {
       return 1 + 2 + VarintSize(f.reason.size()) + f.reason.size();
     }
     std::size_t operator()(const RstStreamFrame& f) const {
-      return 1 + VarintSize(f.stream_id) + 2 + VarintSize(f.final_offset);
+      return 1 + VarintSize(f.stream_id.value()) + 2 + VarintSize(f.final_offset.value());
     }
     std::size_t operator()(const WindowUpdateFrame& f) const {
-      return 1 + VarintSize(f.stream_id) + VarintSize(f.max_data);
+      return 1 + VarintSize(f.stream_id.value()) + VarintSize(f.max_data.value());
     }
     std::size_t operator()(const BlockedFrame& f) const {
-      return 1 + VarintSize(f.stream_id);
+      return 1 + VarintSize(f.stream_id.value());
     }
     std::size_t operator()(const HandshakeFrame& f) const {
       return 1 + 1 + 4 + VarintSize(f.nonce.size()) + f.nonce.size() +
@@ -180,16 +180,16 @@ std::size_t FrameWireSize(const Frame& frame) {
                          VarintSize(static_cast<std::uint64_t>(f.ack_delay)) +
                          VarintSize(f.ranges.size());
       if (f.ranges.empty()) return size;
-      size += VarintSize(f.ranges.front().largest);
-      size += VarintSize(f.ranges.front().largest - f.ranges.front().smallest);
+      size += VarintSize(f.ranges.front().largest.value());
+      size += VarintSize((f.ranges.front().largest - f.ranges.front().smallest).value());
       for (std::size_t i = 1; i < f.ranges.size(); ++i) {
-        size += VarintSize(f.ranges[i - 1].smallest - f.ranges[i].largest);
-        size += VarintSize(f.ranges[i].largest - f.ranges[i].smallest);
+        size += VarintSize((f.ranges[i - 1].smallest - f.ranges[i].largest).value());
+        size += VarintSize((f.ranges[i].largest - f.ranges[i].smallest).value());
       }
       return size;
     }
     std::size_t operator()(const StreamFrame& f) const {
-      return 1 + VarintSize(f.stream_id) + VarintSize(f.offset) +
+      return 1 + VarintSize(f.stream_id.value()) + VarintSize(f.offset.value()) +
              VarintSize(f.data.size()) + 1 + f.data.size();
     }
   };
@@ -214,18 +214,18 @@ void EncodeFrame(const Frame& frame, BufWriter& out) {
     }
     void operator()(const RstStreamFrame& f) const {
       out.WriteU8(static_cast<std::uint8_t>(FrameType::kRstStream));
-      out.WriteVarint(f.stream_id);
+      out.WriteVarint(f.stream_id.value());
       out.WriteU16(f.error_code);
-      out.WriteVarint(f.final_offset);
+      out.WriteVarint(f.final_offset.value());
     }
     void operator()(const WindowUpdateFrame& f) const {
       out.WriteU8(static_cast<std::uint8_t>(FrameType::kWindowUpdate));
-      out.WriteVarint(f.stream_id);
-      out.WriteVarint(f.max_data);
+      out.WriteVarint(f.stream_id.value());
+      out.WriteVarint(f.max_data.value());
     }
     void operator()(const BlockedFrame& f) const {
       out.WriteU8(static_cast<std::uint8_t>(FrameType::kBlocked));
-      out.WriteVarint(f.stream_id);
+      out.WriteVarint(f.stream_id.value());
     }
     void operator()(const HandshakeFrame& f) const {
       out.WriteU8(static_cast<std::uint8_t>(FrameType::kHandshake));
@@ -247,30 +247,30 @@ void EncodeFrame(const Frame& frame, BufWriter& out) {
       out.WriteU8(static_cast<std::uint8_t>(FrameType::kPaths));
       out.WriteU8(static_cast<std::uint8_t>(f.paths.size()));
       for (const auto& p : f.paths) {
-        out.WriteU8(p.path_id);
+        out.WriteU8(p.path_id.value());
         out.WriteU8(static_cast<std::uint8_t>(p.status));
         out.WriteVarint(static_cast<std::uint64_t>(p.srtt));
       }
     }
     void operator()(const AckFrame& f) const {
       out.WriteU8(static_cast<std::uint8_t>(FrameType::kAck));
-      out.WriteU8(f.path_id);
+      out.WriteU8(f.path_id.value());
       out.WriteVarint(static_cast<std::uint64_t>(f.ack_delay));
       out.WriteVarint(f.ranges.size());
       if (f.ranges.empty()) return;
-      out.WriteVarint(f.ranges.front().largest);
-      out.WriteVarint(f.ranges.front().largest - f.ranges.front().smallest);
+      out.WriteVarint(f.ranges.front().largest.value());
+      out.WriteVarint((f.ranges.front().largest - f.ranges.front().smallest).value());
       for (std::size_t i = 1; i < f.ranges.size(); ++i) {
         // Gap to the next (lower) range, then its length. Ranges are
         // non-adjacent so the gap is always >= 2.
-        out.WriteVarint(f.ranges[i - 1].smallest - f.ranges[i].largest);
-        out.WriteVarint(f.ranges[i].largest - f.ranges[i].smallest);
+        out.WriteVarint((f.ranges[i - 1].smallest - f.ranges[i].largest).value());
+        out.WriteVarint((f.ranges[i].largest - f.ranges[i].smallest).value());
       }
     }
     void operator()(const StreamFrame& f) const {
       out.WriteU8(static_cast<std::uint8_t>(FrameType::kStream));
-      out.WriteVarint(f.stream_id);
-      out.WriteVarint(f.offset);
+      out.WriteVarint(f.stream_id.value());
+      out.WriteVarint(f.offset.value());
       out.WriteVarint(f.data.size());
       out.WriteU8(f.fin ? 1 : 0);
       out.WriteBytes(f.data);
@@ -323,7 +323,7 @@ bool DecodeFrame(BufReader& in, Frame& out) {
         return false;
       }
       f.stream_id = static_cast<StreamId>(sid);
-      f.final_offset = off;
+      f.final_offset = ByteCount{off};
       out = f;
       return true;
     }
@@ -332,7 +332,7 @@ bool DecodeFrame(BufReader& in, Frame& out) {
       std::uint64_t sid = 0, max_data = 0;
       if (!in.ReadVarint(sid) || !in.ReadVarint(max_data)) return false;
       f.stream_id = static_cast<StreamId>(sid);
-      f.max_data = max_data;
+      f.max_data = ByteCount{max_data};
       out = f;
       return true;
     }
@@ -378,10 +378,12 @@ bool DecodeFrame(BufReader& in, Frame& out) {
         PathsFrame::Entry e;
         std::uint8_t status = 0;
         std::uint64_t srtt = 0;
-        if (!in.ReadU8(e.path_id) || !in.ReadU8(status) ||
+        std::uint8_t pid = 0;
+        if (!in.ReadU8(pid) || !in.ReadU8(status) ||
             !in.ReadVarint(srtt)) {
           return false;
         }
+        e.path_id = PathId{pid};
         e.status = static_cast<PathStatus>(status);
         e.srtt = static_cast<Duration>(srtt);
         f.paths.push_back(e);
@@ -392,17 +394,19 @@ bool DecodeFrame(BufReader& in, Frame& out) {
     case FrameType::kAck: {
       AckFrame f;
       std::uint64_t delay = 0, count = 0;
-      if (!in.ReadU8(f.path_id) || !in.ReadVarint(delay) ||
+      std::uint8_t pid = 0;
+      if (!in.ReadU8(pid) || !in.ReadVarint(delay) ||
           !in.ReadVarint(count)) {
         return false;
       }
+      f.path_id = PathId{pid};
       f.ack_delay = static_cast<Duration>(delay);
       if (count > AckFrame::kMaxAckRanges) return false;
       if (count > 0) {
         std::uint64_t largest = 0, len = 0;
         if (!in.ReadVarint(largest) || !in.ReadVarint(len)) return false;
         if (len > largest) return false;
-        f.ranges.push_back({largest - len, largest});
+        f.ranges.push_back({PacketNumber{largest - len}, PacketNumber{largest}});
         for (std::uint64_t i = 1; i < count; ++i) {
           std::uint64_t gap = 0;
           if (!in.ReadVarint(gap) || !in.ReadVarint(len)) return false;
@@ -425,7 +429,7 @@ bool DecodeFrame(BufReader& in, Frame& out) {
         return false;
       }
       f.stream_id = static_cast<StreamId>(sid);
-      f.offset = off;
+      f.offset = ByteCount{off};
       f.fin = fin != 0;
       out = std::move(f);
       return true;

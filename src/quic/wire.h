@@ -47,8 +47,8 @@ enum HeaderFlags : std::uint8_t {
 
 struct PacketHeader {
   ConnectionId cid = 0;
-  PathId path_id = 0;
-  PacketNumber packet_number = 0;
+  PathId path_id{};
+  PacketNumber packet_number{};
   bool handshake = false;
   bool multipath = false;  // whether the Path ID byte is on the wire
 };
@@ -108,21 +108,21 @@ struct ConnectionCloseFrame {
 };
 
 struct RstStreamFrame {
-  StreamId stream_id = 0;
+  StreamId stream_id{};
   std::uint16_t error_code = 0;
-  ByteCount final_offset = 0;
+  ByteCount final_offset{};
 };
 
 /// Advertises the receiver's flow-control limit. stream_id 0 addresses the
 /// connection-level window (§2: QUIC's WINDOW_UPDATE; §3: MPQUIC sends
 /// these on *all* paths to dodge receive-buffer deadlocks).
 struct WindowUpdateFrame {
-  StreamId stream_id = 0;  // 0 = connection level
-  ByteCount max_data = 0;
+  StreamId stream_id{};  // 0 = connection level
+  ByteCount max_data{};
 };
 
 struct BlockedFrame {
-  StreamId stream_id = 0;  // 0 = connection level
+  StreamId stream_id{};  // 0 = connection level
 };
 
 enum class HandshakeMessageType : std::uint8_t { kChlo = 1, kShlo = 2 };
@@ -154,7 +154,7 @@ enum class PathStatus : std::uint8_t { kActive = 0, kPotentiallyFailed = 1 };
 /// lets the peer skip a broken path without waiting for its own RTO.
 struct PathsFrame {
   struct Entry {
-    PathId path_id = 0;
+    PathId path_id{};
     PathStatus status = PathStatus::kActive;
     Duration srtt = 0;
   };
@@ -169,22 +169,22 @@ struct AckFrame {
   static constexpr std::size_t kMaxAckRanges = 256;
 
   struct Range {
-    PacketNumber smallest = 0;
-    PacketNumber largest = 0;
+    PacketNumber smallest{};
+    PacketNumber largest{};
   };
 
-  PathId path_id = 0;
+  PathId path_id{};
   Duration ack_delay = 0;  // microseconds the ACK was withheld
   std::vector<Range> ranges;
 
   PacketNumber LargestAcked() const {
-    return ranges.empty() ? 0 : ranges.front().largest;
+    return ranges.empty() ? PacketNumber{0} : ranges.front().largest;
   }
 };
 
 struct StreamFrame {
-  StreamId stream_id = 0;
-  ByteCount offset = 0;
+  StreamId stream_id{};
+  ByteCount offset{};
   bool fin = false;
   std::vector<std::uint8_t> data;
 };

@@ -14,7 +14,7 @@ Link::Link(Simulator& sim, LinkConfig config, Rng rng)
   }
   // A link that cannot hold even two full-size packets cannot carry any
   // sustained traffic; clamp (see LinkConfig doc).
-  constexpr ByteCount kMinQueue = 2 * 1500;
+  constexpr ByteCount kMinQueue{2 * 1500};
   if (config_.queue_capacity_bytes < kMinQueue) {
     config_.queue_capacity_bytes = kMinQueue;
   }
@@ -30,7 +30,7 @@ Duration Link::TransmissionTime(ByteCount wire_bytes) const {
 void Link::Transmit(Datagram dgram) {
   ++stats_.offered;
   const ByteCount wire_bytes =
-      dgram.payload.size() + config_.per_packet_overhead;
+      ByteCount{dgram.payload.size()} + config_.per_packet_overhead;
   if (queued_bytes_ + wire_bytes > config_.queue_capacity_bytes) {
     ++stats_.dropped_queue_full;
     return;

@@ -49,7 +49,7 @@ struct LinkConfig {
   /// transmitted). Derived from Table 1's queuing-delay factor as
   /// capacity * max_queuing_delay; clamped to at least 2 full-size packets
   /// so a link can always make progress.
-  ByteCount queue_capacity_bytes = 64 * 1024;
+  ByteCount queue_capacity_bytes{64 * 1024};
   /// Probability that a packet that made it through the queue is lost on
   /// the wire (wireless-style random loss, Table 1's loss factor).
   double random_loss_rate = 0.0;
@@ -61,7 +61,7 @@ struct LinkConfig {
   /// Lower-layer header bytes charged per datagram on the wire
   /// (IP+UDP = 28 for QUIC, IP = 20 for the TCP model whose own header is
   /// already part of the datagram).
-  ByteCount per_packet_overhead = 28;
+  ByteCount per_packet_overhead{28};
 };
 
 /// Unidirectional point-to-point link with a drop-tail queue.
@@ -93,9 +93,9 @@ class Link {
     std::uint64_t delivered = 0;
     std::uint64_t dropped_queue_full = 0;
     std::uint64_t dropped_random = 0;
-    ByteCount wire_bytes_delivered = 0;
+    ByteCount wire_bytes_delivered;
     /// Highest queue occupancy seen, in bytes (bufferbloat diagnostics).
-    ByteCount max_queue_bytes = 0;
+    ByteCount max_queue_bytes;
   };
   const Stats& stats() const { return stats_; }
 
@@ -108,7 +108,7 @@ class Link {
   Rng rng_;
   DeliveryHandler deliver_;
   TimePoint busy_until_ = 0;
-  ByteCount queued_bytes_ = 0;
+  ByteCount queued_bytes_;
   Stats stats_;
 };
 

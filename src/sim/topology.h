@@ -24,7 +24,7 @@ struct PathParams {
   /// Optional per-packet delay jitter (reordering stressor; 0 in the
   /// paper's Table-1 scenarios).
   Duration jitter = 0;
-  ByteCount per_packet_overhead = 28;
+  ByteCount per_packet_overhead{28};
 };
 
 inline constexpr std::uint16_t kClientNode = 1;

@@ -31,7 +31,7 @@ TcpConnection::TcpConnection(sim::Simulator& sim, TcpPerspective perspective,
             if (subflow->Usable()) {
               const bool fin = StreamFinKnown() &&
                                next_new_dsn_ + 1 == stream_len_;
-              subflow->SendMappedData(next_new_dsn_, 1, fin);
+              subflow->SendMappedData(next_new_dsn_, ByteCount{1}, fin);
               ++next_new_dsn_;
               break;
             }
@@ -165,7 +165,7 @@ void TcpConnection::OnSegment(const TcpSegment& segment,
 
 void TcpConnection::AppendToStream(std::unique_ptr<SendSource> source) {
   const std::uint64_t start = stream_len_;
-  stream_len_ += source->size();
+  stream_len_ += source->size().value();
   stream_.push_back({start, std::move(source)});
 }
 
@@ -186,10 +186,10 @@ void TcpConnection::ReadStream(std::uint64_t dsn,
     }
     assert(chunk != nullptr && "read past stream end");
     const std::uint64_t rel = pos - chunk->start;
-    const std::uint64_t avail = chunk->source->size() - rel;
+    const std::uint64_t avail = chunk->source->size().value() - rel;
     const std::size_t n =
         std::min<std::uint64_t>(avail, out.size() - filled);
-    chunk->source->Read(rel, out.subspan(filled, n));
+    chunk->source->Read(ByteCount{rel}, out.subspan(filled, n));
     filled += n;
   }
 }
@@ -206,14 +206,14 @@ void TcpConnection::SendAppData(std::unique_ptr<SendSource> source,
 // TLS 1.2 model
 
 ByteCount TcpConnection::tls_rx_expected() const {
-  if (!config_.use_tls) return 0;
+  if (!config_.use_tls) return ByteCount{0};
   return perspective_ == TcpPerspective::kClient
              ? kTlsServerHello + kTlsServerFinished
              : kTlsClientHello + kTlsClientFinished;
 }
 
 ByteCount TcpConnection::tls_tx_total() const {
-  if (!config_.use_tls) return 0;
+  if (!config_.use_tls) return ByteCount{0};
   return perspective_ == TcpPerspective::kClient
              ? kTlsClientHello + kTlsClientFinished
              : kTlsServerHello + kTlsServerFinished;
@@ -361,9 +361,9 @@ void TcpConnection::DrainReassembly() {
       delivered_dsn_ >= data_fin_dsn_) {
     app_eof_signaled_ = true;
     if (on_app_data_) {
-      const ByteCount base = tls_rx_expected();
-      const ByteCount app_len =
-          delivered_dsn_ > base ? delivered_dsn_ - base : 0;
+      const std::uint64_t base = tls_rx_expected().value();
+      const ByteCount app_len{delivered_dsn_ > base ? delivered_dsn_ - base
+                                                    : 0};
       on_app_data_(app_len, {}, true);
     }
   }
@@ -372,13 +372,13 @@ void TcpConnection::DrainReassembly() {
 void TcpConnection::DeliverDsnData(std::uint64_t dsn,
                                    std::span<const std::uint8_t> data,
                                    bool) {
-  const ByteCount base = tls_rx_expected();
+  const std::uint64_t base = tls_rx_expected().value();
   if (dsn + data.size() <= base) return;  // pure TLS bytes
   const std::size_t skip = dsn < base ? base - dsn : 0;
   const std::span<const std::uint8_t> app = data.subspan(skip);
   stats_.app_bytes_received += app.size();
   if (on_app_data_ && !app.empty()) {
-    on_app_data_(dsn + skip - base, app, false);
+    on_app_data_(ByteCount{dsn + skip - base}, app, false);
   }
 }
 
@@ -416,13 +416,14 @@ void TcpConnection::MaybeOpportunisticRetransmit(Subflow& idle) {
   if (blocker >= next_new_dsn_) return;
   for (auto& holder : subflows_) {
     if (holder.get() == &idle || !holder->HoldsDsn(blocker)) continue;
-    const ByteCount len = std::min<std::uint64_t>(
-        config_.mss, next_new_dsn_ - blocker);
+    const ByteCount len{std::min<std::uint64_t>(
+        config_.mss.value(), next_new_dsn_ - blocker)};
     const bool already =
         std::any_of(reinject_queue_.begin(), reinject_queue_.end(),
                     [&](const DsnRange& r) { return r.start == blocker; });
     if (!already) {
-      reinject_queue_.insert(reinject_queue_.begin(), {blocker, len});
+      reinject_queue_.insert(reinject_queue_.begin(),
+                             {blocker, len.value()});
       ++stats_.orp_reinjections;
       holder->Penalize();
     }
@@ -459,12 +460,13 @@ void TcpConnection::TrySend() {
 
     if (have_reinject) {
       DsnRange& range = reinject_queue_.front();
-      const ByteCount len = std::min<std::uint64_t>(range.length, config_.mss);
+      const ByteCount len{
+          std::min<std::uint64_t>(range.length, config_.mss.value())};
       const bool fin =
           StreamFinKnown() && range.start + len == stream_len_;
       subflow->SendMappedData(range.start, len, fin);
-      range.start += len;
-      range.length -= len;
+      range.start += len.value();
+      range.length -= len.value();
       if (range.length == 0) {
         reinject_queue_.erase(reinject_queue_.begin());
       }
@@ -477,13 +479,12 @@ void TcpConnection::TrySend() {
       ArmPersistTimerIfBlocked();
       break;
     }
-    const ByteCount len = std::min<std::uint64_t>(
-        {static_cast<std::uint64_t>(config_.mss),
-         stream_len_ - next_new_dsn_,
-         PeerWindowRightEdge() - next_new_dsn_});
+    const ByteCount len{std::min<std::uint64_t>(
+        {config_.mss.value(), stream_len_ - next_new_dsn_,
+         PeerWindowRightEdge() - next_new_dsn_})};
     const bool fin = StreamFinKnown() && next_new_dsn_ + len == stream_len_;
     subflow->SendMappedData(next_new_dsn_, len, fin);
-    next_new_dsn_ += len;
+    next_new_dsn_ += len.value();
   }
   in_try_send_ = false;
 }

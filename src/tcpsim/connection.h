@@ -28,8 +28,8 @@ enum class TcpPerspective { kClient, kServer };
 struct TcpConfig {
   bool multipath = false;
   cc::Algorithm congestion = cc::Algorithm::kCubic;
-  ByteCount receive_window = 16 * 1024 * 1024;  // §4.1: 16 MB
-  ByteCount mss = 1400;
+  ByteCount receive_window{16 * 1024 * 1024};  // §4.1: 16 MB
+  ByteCount mss{1400};
   int max_sack_blocks = kMaxSackBlocks;  // ablation: QUIC-like when raised
   /// Model the TLS 1.2 exchange (2 extra RTTs) — the paper's comparison
   /// is https vs QUIC-crypto. Disable for raw-TCP experiments.
@@ -41,17 +41,17 @@ struct TcpConfig {
 };
 
 /// Modelled TLS 1.2 message sizes (bytes of the handshake byte-stream).
-inline constexpr ByteCount kTlsClientHello = 300;
-inline constexpr ByteCount kTlsServerHello = 3000;  // incl. certificate
-inline constexpr ByteCount kTlsClientFinished = 100;
-inline constexpr ByteCount kTlsServerFinished = 100;
+inline constexpr ByteCount kTlsClientHello{300};
+inline constexpr ByteCount kTlsServerHello{3000};  // incl. certificate
+inline constexpr ByteCount kTlsClientFinished{100};
+inline constexpr ByteCount kTlsServerFinished{100};
 
 struct TcpStats {
   std::uint64_t segments_sent = 0;
   std::uint64_t segments_received = 0;
   std::uint64_t orp_reinjections = 0;
   std::uint64_t failover_reinjections = 0;
-  ByteCount app_bytes_received = 0;
+  ByteCount app_bytes_received{};
 };
 
 class TcpConnection : public SubflowHost {
@@ -117,7 +117,7 @@ class TcpConnection : public SubflowHost {
   void OnSubflowTimeout(Subflow& subflow,
                         std::vector<DsnRange> outstanding) override;
   void ReadStream(std::uint64_t dsn, std::span<std::uint8_t> out) override;
-  std::uint64_t AdvertisedWindow() override { return config_.receive_window; }
+  std::uint64_t AdvertisedWindow() override { return config_.receive_window.value(); }
   std::uint64_t ConnectionDataAck() override { return delivered_dsn_; }
   void EmitSegment(Subflow& subflow, TcpSegment&& segment) override;
 

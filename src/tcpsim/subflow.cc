@@ -154,7 +154,7 @@ void Subflow::SendMappedData(std::uint64_t dsn, ByteCount length,
                              bool data_fin) {
   TcpSegment segment = MakeSegment(kFlagAck);
   segment.seq = snd_nxt_;
-  segment.payload.resize(length);
+  segment.payload.resize(length.value());
   host_.ReadStream(dsn, segment.payload);
   if (config_.multipath) segment.dss = DssMapping{dsn};
   if (data_fin) segment.flags |= kFlagDataFin;
@@ -169,12 +169,12 @@ void Subflow::SendMappedData(std::uint64_t dsn, ByteCount length,
   // One timed segment at a time (classic TCP RTT sampling).
   if (!timing_active_) {
     timing_active_ = true;
-    timed_seq_end_ = snd_nxt_ + length;
+    timed_seq_end_ = snd_nxt_ + length.value();
     timed_sent_ = sim_.now();
   }
 
   congestion_->OnPacketSent(sim_.now(), length);
-  snd_nxt_ += length;
+  snd_nxt_ += length.value();
   Transmit(std::move(segment));
   // RFC 6298 (5.1): start the timer on send only if it is not running —
   // restarting per send would keep postponing a pending stall's RTO.
@@ -189,7 +189,7 @@ void Subflow::RetransmitSegment(std::uint64_t seq) {
 
   TcpSegment segment = MakeSegment(kFlagAck);
   segment.seq = seq;
-  segment.payload.resize(info.length);
+  segment.payload.resize(info.length.value());
   host_.ReadStream(info.dsn, segment.payload);
   if (config_.multipath) segment.dss = DssMapping{info.dsn};
   if (info.data_fin) segment.flags |= kFlagDataFin;
@@ -355,8 +355,9 @@ void Subflow::ApplySacks(const std::vector<SackBlock>& sacks) {
   // retransmission (drained under the congestion window) and write its
   // bytes off the in-flight total. A watermark avoids re-scanning the
   // already-classified region on every SACK-bearing ack.
+  const std::uint64_t mss3 = 3 * config_.mss.value();
   const std::uint64_t loss_edge =
-      highest_sacked > 3 * config_.mss ? highest_sacked - 3 * config_.mss : 0;
+      highest_sacked > mss3 ? highest_sacked - mss3 : 0;
   for (auto it = unacked_.lower_bound(loss_marked_up_to_);
        it != unacked_.end(); ++it) {
     SentSegment& info = it->second;
@@ -418,7 +419,7 @@ void Subflow::OnRtoTimer() {
     }
     info.needs_retransmit = true;
     retx_pending_.insert(seq);
-    outstanding.push_back({info.dsn, info.length});
+    outstanding.push_back({info.dsn, info.length.value()});
   }
   // Go-back-N restart: retransmit the first hole now, the rest as the
   // window reopens.
@@ -553,7 +554,7 @@ void Subflow::Penalize() {
   const Duration rtt = rtt_.has_sample() ? rtt_.smoothed() : 100 * kMillisecond;
   if (last_penalty_ >= 0 && sim_.now() - last_penalty_ < rtt) return;
   last_penalty_ = sim_.now();
-  congestion_->OnPacketLost(sim_.now(), 0, sim_.now());
+  congestion_->OnPacketLost(sim_.now(), ByteCount{0}, sim_.now());
 }
 
 }  // namespace mpq::tcp

@@ -100,7 +100,7 @@ class SubflowHost {
 };
 
 struct SubflowConfig {
-  ByteCount mss = 1400;
+  ByteCount mss{1400};
   int max_sack_blocks = kMaxSackBlocks;
   bool multipath = false;  // carry DSS options on the wire
   Duration delayed_ack_timeout = 40 * kMillisecond;  // Linux-ish quickack
@@ -167,7 +167,7 @@ class Subflow {
   enum class State { kClosed, kListen, kSynSent, kSynReceived, kEstablished };
 
   struct SentSegment {
-    ByteCount length = 0;
+    ByteCount length{};
     std::uint64_t dsn = 0;
     TimePoint sent_time = 0;
     bool retransmitted = false;
@@ -255,7 +255,7 @@ class Subflow {
   int unacked_arrivals_ = 0;
 
   // Statistics.
-  ByteCount bytes_sent_ = 0;
+  ByteCount bytes_sent_{};
   std::uint64_t retransmit_count_ = 0;
 };
 

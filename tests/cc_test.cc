@@ -22,7 +22,7 @@ TEST(NewReno, SlowStartDoublesPerRtt) {
   EXPECT_EQ(initial, kInitialWindowPackets * kMss);
   // Ack one full window: cwnd should double in slow start.
   TimePoint now = 0;
-  ByteCount acked = 0;
+  ByteCount acked{};
   while (acked < initial) {
     cc.OnPacketSent(now, kMss);
     cc.OnPacketAcked(now + 1000, kMss, now, 100 * kMillisecond);
@@ -64,12 +64,12 @@ TEST(NewReno, RtoCollapsesToMinimum) {
 TEST(NewReno, InFlightAccounting) {
   NewReno cc(kMss);
   EXPECT_EQ(cc.bytes_in_flight(), 0u);
-  cc.OnPacketSent(0, 1000);
-  cc.OnPacketSent(0, 2000);
+  cc.OnPacketSent(0, ByteCount{1000});
+  cc.OnPacketSent(0, ByteCount{2000});
   EXPECT_EQ(cc.bytes_in_flight(), 3000u);
-  cc.OnPacketAcked(10, 1000, 0, kMillisecond);
+  cc.OnPacketAcked(10, ByteCount{1000}, 0, kMillisecond);
   EXPECT_EQ(cc.bytes_in_flight(), 2000u);
-  cc.OnPacketLost(20, 2000, 0);
+  cc.OnPacketLost(20, ByteCount{2000}, 0);
   EXPECT_EQ(cc.bytes_in_flight(), 0u);
 }
 
@@ -79,7 +79,7 @@ TEST(NewReno, CanSendRespectsWindow) {
   cc.OnPacketSent(0, window - kMss);
   EXPECT_TRUE(cc.CanSend(kMss));
   cc.OnPacketSent(0, kMss);
-  EXPECT_FALSE(cc.CanSend(1));
+  EXPECT_FALSE(cc.CanSend(ByteCount{1}));
 }
 
 // ---------------------------------------------------------------------------
@@ -152,7 +152,7 @@ TEST(Olia, SlowStartPerPathUncoupled) {
   OliaCoordinator coord(kMss);
   auto [a, b] = TwoPaths(coord);
   const ByteCount initial = a->congestion_window();
-  ByteCount acked = 0;
+  ByteCount acked{};
   TimePoint now = 0;
   while (acked < initial) {
     a->OnPacketSent(now, kMss);
@@ -197,7 +197,7 @@ TEST(Olia, CongestionAvoidanceIncreaseIsGentlerThanReno) {
   // Six windows' worth of acks on path a (~6 RTTs). Reno would grow by
   // ~6 MSS; OLIA with two equal paths grows ~total 1 MSS per 2 RTTs
   // split across paths, i.e. ~1.5 MSS here.
-  ByteCount acked = 0;
+  ByteCount acked{};
   TimePoint now = 2000;
   while (acked < 6 * wa) {
     a->OnPacketSent(now, kMss);
@@ -233,7 +233,7 @@ TEST(Olia, SinglePathAlphaIsZero) {
   a->OnPacketSent(100, kMss);
   a->OnPacketLost(101, kMss, 100);
   const ByteCount w = a->congestion_window();
-  ByteCount acked = 0;
+  ByteCount acked{};
   TimePoint now = 2000;
   while (acked < 3 * w) {
     a->OnPacketSent(now, kMss);
@@ -267,7 +267,7 @@ TEST(Lia, SlowStartPerPathUncoupled) {
   auto a = coord.CreateController();
   auto b = coord.CreateController();
   const ByteCount initial = a->congestion_window();
-  ByteCount acked = 0;
+  ByteCount acked{};
   TimePoint now = 0;
   while (acked < initial) {
     a->OnPacketSent(now, kMss);
@@ -295,7 +295,7 @@ TEST(Lia, NeverMoreAggressiveThanRenoPerPath) {
   }
   const ByteCount w = a->congestion_window();
   // One window's worth of acks = at most 1 MSS of growth (Reno bound).
-  ByteCount acked = 0;
+  ByteCount acked{};
   TimePoint now = 2000;
   while (acked < w) {
     a->OnPacketSent(now, kMss);
@@ -331,7 +331,7 @@ TEST(Lia, SinglePathDegeneratesToReno) {
   a->OnPacketSent(100, kMss);
   a->OnPacketLost(101, kMss, 100);
   const ByteCount w = a->congestion_window();
-  ByteCount acked = 0;
+  ByteCount acked{};
   TimePoint now = 2000;
   while (acked < w) {
     a->OnPacketSent(now, kMss);

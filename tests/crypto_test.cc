@@ -161,10 +161,10 @@ TEST(PacketProtection, SealOpenRoundTrip) {
   for (std::size_t i = 0; i < plain.size(); ++i) {
     plain[i] = static_cast<std::uint8_t>(i);
   }
-  const auto sealed = prot.Seal(1, 42, aad, plain);
+  const auto sealed = prot.Seal(PathId{1}, PacketNumber{42}, aad, plain);
   EXPECT_EQ(sealed.size(), plain.size() + kAeadTagSize);
   std::vector<std::uint8_t> opened;
-  ASSERT_TRUE(prot.Open(1, 42, aad, sealed, opened));
+  ASSERT_TRUE(prot.Open(PathId{1}, PacketNumber{42}, aad, sealed, opened));
   EXPECT_EQ(opened, plain);
 }
 
@@ -172,10 +172,10 @@ TEST(PacketProtection, TamperedCiphertextRejected) {
   PacketProtection prot(SequentialKey());
   const std::uint8_t aad[] = {1};
   const std::uint8_t plain[] = {10, 20, 30, 40};
-  auto sealed = prot.Seal(0, 7, aad, plain);
+  auto sealed = prot.Seal(PathId{0}, PacketNumber{7}, aad, plain);
   sealed[1] ^= 0x80;
   std::vector<std::uint8_t> opened;
-  EXPECT_FALSE(prot.Open(0, 7, aad, sealed, opened));
+  EXPECT_FALSE(prot.Open(PathId{0}, PacketNumber{7}, aad, sealed, opened));
 }
 
 TEST(PacketProtection, TamperedAadRejected) {
@@ -183,18 +183,18 @@ TEST(PacketProtection, TamperedAadRejected) {
   const std::uint8_t aad[] = {1, 2};
   const std::uint8_t bad_aad[] = {1, 3};
   const std::uint8_t plain[] = {10, 20, 30};
-  const auto sealed = prot.Seal(0, 7, aad, plain);
+  const auto sealed = prot.Seal(PathId{0}, PacketNumber{7}, aad, plain);
   std::vector<std::uint8_t> opened;
-  EXPECT_FALSE(prot.Open(0, 7, bad_aad, sealed, opened));
+  EXPECT_FALSE(prot.Open(PathId{0}, PacketNumber{7}, bad_aad, sealed, opened));
 }
 
 TEST(PacketProtection, WrongPacketNumberRejected) {
   PacketProtection prot(SequentialKey());
   const std::uint8_t aad[] = {1};
   const std::uint8_t plain[] = {10};
-  const auto sealed = prot.Seal(0, 7, aad, plain);
+  const auto sealed = prot.Seal(PathId{0}, PacketNumber{7}, aad, plain);
   std::vector<std::uint8_t> opened;
-  EXPECT_FALSE(prot.Open(0, 8, aad, sealed, opened));
+  EXPECT_FALSE(prot.Open(PathId{0}, PacketNumber{8}, aad, sealed, opened));
 }
 
 TEST(PacketProtection, PathIdSeparatesNonces) {
@@ -205,27 +205,27 @@ TEST(PacketProtection, PathIdSeparatesNonces) {
   PacketProtection prot(SequentialKey());
   const std::uint8_t aad[] = {5};
   const std::uint8_t plain[] = {1, 2, 3, 4, 5, 6, 7, 8};
-  const auto sealed_p0 = prot.Seal(0, 1, aad, plain);
-  const auto sealed_p1 = prot.Seal(1, 1, aad, plain);
+  const auto sealed_p0 = prot.Seal(PathId{0}, PacketNumber{1}, aad, plain);
+  const auto sealed_p1 = prot.Seal(PathId{1}, PacketNumber{1}, aad, plain);
   EXPECT_NE(sealed_p0, sealed_p1);
   std::vector<std::uint8_t> opened;
-  EXPECT_FALSE(prot.Open(1, 1, aad, sealed_p0, opened));
-  EXPECT_TRUE(prot.Open(0, 1, aad, sealed_p0, opened));
+  EXPECT_FALSE(prot.Open(PathId{1}, PacketNumber{1}, aad, sealed_p0, opened));
+  EXPECT_TRUE(prot.Open(PathId{0}, PacketNumber{1}, aad, sealed_p0, opened));
 }
 
 TEST(PacketProtection, TruncatedInputRejected) {
   PacketProtection prot(SequentialKey());
   std::vector<std::uint8_t> opened;
   const std::uint8_t tiny[] = {1, 2, 3};  // shorter than the tag
-  EXPECT_FALSE(prot.Open(0, 1, {}, tiny, opened));
+  EXPECT_FALSE(prot.Open(PathId{0}, PacketNumber{1}, {}, tiny, opened));
 }
 
 TEST(PacketProtection, EmptyPlaintextWorks) {
   PacketProtection prot(SequentialKey());
-  const auto sealed = prot.Seal(2, 9, {}, {});
+  const auto sealed = prot.Seal(PathId{2}, PacketNumber{9}, {}, {});
   EXPECT_EQ(sealed.size(), kAeadTagSize);
   std::vector<std::uint8_t> opened{1, 2, 3};
-  ASSERT_TRUE(prot.Open(2, 9, {}, sealed, opened));
+  ASSERT_TRUE(prot.Open(PathId{2}, PacketNumber{9}, {}, sealed, opened));
   EXPECT_TRUE(opened.empty());
 }
 
@@ -238,9 +238,9 @@ TEST_P(AeadLengthSweep, RoundTripAtLength) {
     plain[i] = static_cast<std::uint8_t>(i * 13);
   }
   const std::uint8_t aad[] = {0xAB, 0xCD};
-  const auto sealed = prot.Seal(3, GetParam() + 1, aad, plain);
+  const auto sealed = prot.Seal(PathId{3}, PacketNumber{GetParam() + 1}, aad, plain);
   std::vector<std::uint8_t> opened;
-  ASSERT_TRUE(prot.Open(3, GetParam() + 1, aad, sealed, opened));
+  ASSERT_TRUE(prot.Open(PathId{3}, PacketNumber{GetParam() + 1}, aad, sealed, opened));
   EXPECT_EQ(opened, plain);
 }
 
@@ -259,11 +259,11 @@ TEST_P(AeadLengthSweep, SealInPlaceMatchesSeal) {
   for (std::size_t i = 0; i < plain.size(); ++i) {
     plain[i] = static_cast<std::uint8_t>(i * 13);
   }
-  const auto sealed = prot.Seal(3, GetParam() + 1, aad, plain);
+  const auto sealed = prot.Seal(PathId{3}, PacketNumber{GetParam() + 1}, aad, plain);
 
   std::vector<std::uint8_t> buf = plain;
   buf.resize(buf.size() + kAeadTagSize);  // tag slot
-  prot.SealInPlace(3, GetParam() + 1, aad, buf);
+  prot.SealInPlace(PathId{3}, PacketNumber{GetParam() + 1}, aad, buf);
   EXPECT_EQ(buf, sealed);
 }
 
@@ -274,14 +274,14 @@ TEST_P(AeadLengthSweep, OpenInPlaceMatchesOpen) {
   for (std::size_t i = 0; i < plain.size(); ++i) {
     plain[i] = static_cast<std::uint8_t>(i * 13);
   }
-  const auto sealed = prot.Seal(3, GetParam() + 1, aad, plain);
+  const auto sealed = prot.Seal(PathId{3}, PacketNumber{GetParam() + 1}, aad, plain);
 
   std::vector<std::uint8_t> opened;
-  ASSERT_TRUE(prot.Open(3, GetParam() + 1, aad, sealed, opened));
+  ASSERT_TRUE(prot.Open(PathId{3}, PacketNumber{GetParam() + 1}, aad, sealed, opened));
 
   std::vector<std::uint8_t> buf = sealed;
   std::size_t plaintext_len = 0;
-  ASSERT_TRUE(prot.OpenInPlace(3, GetParam() + 1, aad, buf, plaintext_len));
+  ASSERT_TRUE(prot.OpenInPlace(PathId{3}, PacketNumber{GetParam() + 1}, aad, buf, plaintext_len));
   ASSERT_EQ(plaintext_len, plain.size());
   EXPECT_TRUE(std::equal(plain.begin(), plain.end(), buf.begin()));
   EXPECT_EQ(opened, plain);
@@ -294,7 +294,7 @@ TEST(PacketProtection, OpenInPlaceRejectsCorruptionUntouched) {
   for (std::size_t i = 0; i < plain.size(); ++i) {
     plain[i] = static_cast<std::uint8_t>(i);
   }
-  const auto sealed = prot.Seal(1, 77, aad, plain);
+  const auto sealed = prot.Seal(PathId{1}, PacketNumber{77}, aad, plain);
   // Flip one bit at every position (ciphertext and tag alike): the open
   // must fail and — per the documented contract — leave the buffer as the
   // caller passed it, so a failed decrypt never leaks keystream.
@@ -303,7 +303,7 @@ TEST(PacketProtection, OpenInPlaceRejectsCorruptionUntouched) {
     buf[pos] ^= 0x40;
     const std::vector<std::uint8_t> tampered = buf;
     std::size_t plaintext_len = 0;
-    EXPECT_FALSE(prot.OpenInPlace(1, 77, aad, buf, plaintext_len))
+    EXPECT_FALSE(prot.OpenInPlace(PathId{1}, PacketNumber{77}, aad, buf, plaintext_len))
         << "bit flip at " << pos;
     EXPECT_EQ(buf, tampered) << "buffer modified on failure at " << pos;
   }
@@ -311,8 +311,8 @@ TEST(PacketProtection, OpenInPlaceRejectsCorruptionUntouched) {
   std::vector<std::uint8_t> buf = sealed;
   std::size_t plaintext_len = 0;
   const std::uint8_t bad_aad[] = {1, 2, 4};
-  EXPECT_FALSE(prot.OpenInPlace(1, 77, bad_aad, buf, plaintext_len));
-  EXPECT_FALSE(prot.OpenInPlace(1, 78, aad, buf, plaintext_len));
+  EXPECT_FALSE(prot.OpenInPlace(PathId{1}, PacketNumber{77}, bad_aad, buf, plaintext_len));
+  EXPECT_FALSE(prot.OpenInPlace(PathId{1}, PacketNumber{78}, aad, buf, plaintext_len));
   EXPECT_EQ(buf, sealed);
 }
 
@@ -327,14 +327,14 @@ TEST(PacketProtection, InPlacePathIdSeparatesNonces) {
   std::vector<std::uint8_t> buf_p0 = plain;
   buf_p0.resize(buf_p0.size() + kAeadTagSize);
   std::vector<std::uint8_t> buf_p1 = buf_p0;
-  prot.SealInPlace(0, 1, aad, buf_p0);
-  prot.SealInPlace(1, 1, aad, buf_p1);
+  prot.SealInPlace(PathId{0}, PacketNumber{1}, aad, buf_p0);
+  prot.SealInPlace(PathId{1}, PacketNumber{1}, aad, buf_p1);
   EXPECT_NE(buf_p0, buf_p1);
 
   std::size_t plaintext_len = 0;
   std::vector<std::uint8_t> cross = buf_p0;
-  EXPECT_FALSE(prot.OpenInPlace(1, 1, aad, cross, plaintext_len));
-  ASSERT_TRUE(prot.OpenInPlace(0, 1, aad, buf_p0, plaintext_len));
+  EXPECT_FALSE(prot.OpenInPlace(PathId{1}, PacketNumber{1}, aad, cross, plaintext_len));
+  ASSERT_TRUE(prot.OpenInPlace(PathId{0}, PacketNumber{1}, aad, buf_p0, plaintext_len));
   ASSERT_EQ(plaintext_len, plain.size());
   EXPECT_TRUE(std::equal(plain.begin(), plain.end(), buf_p0.begin()));
 }
@@ -343,7 +343,7 @@ TEST(PacketProtection, OpenInPlaceTruncatedInputRejected) {
   PacketProtection prot(SequentialKey());
   std::vector<std::uint8_t> tiny = {1, 2, 3};  // shorter than the tag
   std::size_t plaintext_len = 0;
-  EXPECT_FALSE(prot.OpenInPlace(0, 1, {}, tiny, plaintext_len));
+  EXPECT_FALSE(prot.OpenInPlace(PathId{0}, PacketNumber{1}, {}, tiny, plaintext_len));
 }
 
 }  // namespace

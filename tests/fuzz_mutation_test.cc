@@ -1,0 +1,306 @@
+// Deterministic mutation fuzzing for the two external input surfaces:
+// the wire parser (DecodeFrame/DecodePayload/DecodeHeader) and the
+// NDJSON trace reader (ReadTrace). Inputs start from valid encodings,
+// then get byte flips, splices, and truncations from a fixed-seed
+// common/rng.h generator, so every run covers the same corpus and a
+// failure reproduces by seed. The assertion is crash-freedom (and a few
+// cheap sanity bounds) under whatever sanitizer the build enables —
+// tools/ci.sh runs this binary under ASan+UBSan.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/qlog.h"
+#include "obs/trace_reader.h"
+#include "quic/wire.h"
+
+namespace mpq::quic {
+namespace {
+
+// Mirror of the generator in wire_property_test.cc: a diverse valid
+// frame to seed mutations from. Kept local so the two tests stay
+// independently hackable.
+Frame RandomFrame(Rng& rng) {
+  switch (rng.NextBounded(10)) {
+    case 0: {
+      StreamFrame f;
+      f.stream_id = StreamId{static_cast<std::uint32_t>(
+          rng.NextBounded(1000) + 1)};
+      f.offset = ByteCount{rng.NextBounded(1ULL << 40)};
+      f.fin = rng.NextBool(0.2);
+      f.data.resize(rng.NextBounded(600));
+      for (auto& b : f.data) b = static_cast<std::uint8_t>(rng.NextU64());
+      return f;
+    }
+    case 1: {
+      AckFrame f;
+      f.path_id = PathId{static_cast<std::uint8_t>(rng.NextBounded(8))};
+      f.ack_delay = static_cast<Duration>(rng.NextBounded(1 << 20));
+      PacketNumber cursor{rng.NextBounded(1ULL << 30) + 3000};
+      const std::size_t count = rng.NextBounded(32) + 1;
+      for (std::size_t i = 0; i < count && cursor > 8; ++i) {
+        const PacketNumber largest = cursor;
+        const PacketNumber smallest =
+            largest -
+            rng.NextBounded(std::min<std::uint64_t>(largest.value(), 5));
+        f.ranges.push_back({smallest, largest});
+        if (smallest < rng.NextBounded(6) + 2) break;
+        cursor = smallest - (rng.NextBounded(4) + 2);
+      }
+      return f;
+    }
+    case 2: {
+      WindowUpdateFrame f;
+      f.stream_id = StreamId{static_cast<std::uint32_t>(rng.NextBounded(100))};
+      f.max_data = ByteCount{rng.NextBounded(1ULL << 40)};
+      return f;
+    }
+    case 3:
+      return PingFrame{};
+    case 4: {
+      PathsFrame f;
+      const std::size_t count = rng.NextBounded(6);
+      for (std::size_t i = 0; i < count; ++i) {
+        f.paths.push_back({PathId{static_cast<std::uint8_t>(i)},
+                           rng.NextBool(0.3) ? PathStatus::kPotentiallyFailed
+                                             : PathStatus::kActive,
+                           static_cast<Duration>(rng.NextBounded(1 << 22))});
+      }
+      return f;
+    }
+    case 5: {
+      AddAddressFrame f;
+      const std::size_t count = rng.NextBounded(4) + 1;
+      for (std::size_t i = 0; i < count; ++i) {
+        f.addresses.push_back(
+            {static_cast<std::uint16_t>(rng.NextBounded(100)),
+             static_cast<std::uint16_t>(rng.NextBounded(4))});
+      }
+      return f;
+    }
+    case 6: {
+      RemoveAddressFrame f;
+      f.addresses.push_back({static_cast<std::uint16_t>(rng.NextBounded(100)),
+                             static_cast<std::uint16_t>(rng.NextBounded(4))});
+      return f;
+    }
+    case 7: {
+      RstStreamFrame f;
+      f.stream_id = StreamId{static_cast<std::uint32_t>(
+          rng.NextBounded(1000) + 1)};
+      f.error_code = static_cast<std::uint16_t>(rng.NextBounded(1 << 16));
+      f.final_offset = ByteCount{rng.NextBounded(1ULL << 40)};
+      return f;
+    }
+    case 8: {
+      ConnectionCloseFrame f;
+      f.error_code = static_cast<std::uint16_t>(rng.NextBounded(1 << 16));
+      f.reason.resize(rng.NextBounded(40));
+      for (auto& c : f.reason) c = static_cast<char>(rng.NextBounded(256));
+      return f;
+    }
+    default: {
+      BlockedFrame f;
+      f.stream_id = StreamId{static_cast<std::uint32_t>(rng.NextBounded(100))};
+      return f;
+    }
+  }
+}
+
+/// Apply `count` random single-byte edits (flip, overwrite, or splice of
+/// a short random run) in place.
+void MutateBytes(Rng& rng, std::vector<std::uint8_t>& bytes,
+                 std::size_t count) {
+  if (bytes.empty()) return;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t pos = rng.NextBounded(bytes.size());
+    switch (rng.NextBounded(3)) {
+      case 0:  // flip one bit
+        bytes[pos] ^= static_cast<std::uint8_t>(1u << rng.NextBounded(8));
+        break;
+      case 1:  // overwrite with a fresh byte
+        bytes[pos] = static_cast<std::uint8_t>(rng.NextU64());
+        break;
+      default: {  // splice a short random run
+        const std::size_t run =
+            std::min<std::size_t>(rng.NextBounded(8) + 1, bytes.size() - pos);
+        for (std::size_t j = 0; j < run; ++j) {
+          bytes[pos + j] = static_cast<std::uint8_t>(rng.NextU64());
+        }
+        break;
+      }
+    }
+  }
+}
+
+/// Decoding must never crash, and on success the decoded frame must
+/// re-encode (i.e. be internally consistent enough to serialize).
+void DecodeMustNotCrash(std::span<const std::uint8_t> bytes) {
+  BufReader reader(bytes);
+  Frame frame;
+  if (DecodeFrame(reader, frame)) {
+    BufWriter reencoded;
+    EncodeFrame(frame, reencoded);
+    ASSERT_EQ(reencoded.size(), FrameWireSize(frame));
+  }
+  std::vector<Frame> frames;
+  if (DecodePayload(bytes, frames)) {
+    for (const Frame& f : frames) {
+      BufWriter reencoded;
+      EncodeFrame(f, reencoded);
+      ASSERT_EQ(reencoded.size(), FrameWireSize(f));
+    }
+  }
+}
+
+TEST(FuzzMutation, MutatedFramesNeverCrashDecoder) {
+  Rng rng(0xF0552001);
+  for (int iter = 0; iter < 4000; ++iter) {
+    BufWriter writer;
+    const std::size_t count = rng.NextBounded(4) + 1;
+    for (std::size_t i = 0; i < count; ++i) {
+      EncodeFrame(RandomFrame(rng), writer);
+    }
+    std::vector<std::uint8_t> bytes(writer.data());
+    MutateBytes(rng, bytes, rng.NextBounded(8) + 1);
+    DecodeMustNotCrash(bytes);
+  }
+}
+
+TEST(FuzzMutation, EveryTruncationPrefixIsHandled) {
+  Rng rng(0xF0552002);
+  for (int iter = 0; iter < 200; ++iter) {
+    BufWriter writer;
+    EncodeFrame(RandomFrame(rng), writer);
+    const std::vector<std::uint8_t>& bytes = writer.data();
+    for (std::size_t len = 0; len <= bytes.size(); ++len) {
+      DecodeMustNotCrash(std::span<const std::uint8_t>(bytes.data(), len));
+    }
+  }
+}
+
+TEST(FuzzMutation, PureNoiseNeverCrashesDecoder) {
+  Rng rng(0xF0552003);
+  for (int iter = 0; iter < 4000; ++iter) {
+    std::vector<std::uint8_t> bytes(rng.NextBounded(300));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.NextU64());
+    DecodeMustNotCrash(bytes);
+  }
+}
+
+TEST(FuzzMutation, MutatedHeadersNeverCrashDecoder) {
+  Rng rng(0xF0552004);
+  for (int iter = 0; iter < 4000; ++iter) {
+    PacketHeader header;
+    header.cid = rng.NextU64();
+    header.multipath = rng.NextBool(0.5);
+    header.path_id = PathId{static_cast<std::uint8_t>(rng.NextBounded(8))};
+    const PacketNumber largest_acked{rng.NextBounded(1ULL << 34)};
+    header.packet_number = largest_acked + 1 + rng.NextBounded(1 << 12);
+    header.handshake = rng.NextBool(0.1);
+    BufWriter writer;
+    EncodeHeader(header, largest_acked, writer);
+    std::vector<std::uint8_t> bytes(writer.data());
+    MutateBytes(rng, bytes, rng.NextBounded(4) + 1);
+    const std::size_t len = rng.NextBool(0.3)
+                                ? rng.NextBounded(bytes.size() + 1)
+                                : bytes.size();
+    BufReader reader(std::span<const std::uint8_t>(bytes.data(), len));
+    ParsedHeader parsed;
+    if (DecodeHeader(reader, parsed)) {
+      // Whatever decoded must at least be self-consistent.
+      ASSERT_GE(parsed.header_size, parsed.pn_length);
+      ASSERT_LE(parsed.header_size, len);
+      (void)DecodePacketNumber(largest_acked, parsed.header.packet_number,
+                               parsed.pn_length);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mpq::quic
+
+namespace mpq::obs {
+namespace {
+
+/// Produce a realistic trace through the actual writer.
+std::string MakeTrace(Rng& rng) {
+  std::stringstream stream;
+  {
+    QlogTracer tracer(stream, "fuzz");
+    TimePoint now = 0;
+    const int events = static_cast<int>(rng.NextBounded(40)) + 5;
+    for (int i = 0; i < events; ++i) {
+      now += static_cast<TimePoint>(rng.NextBounded(5000));
+      const PathId path{static_cast<std::uint8_t>(rng.NextBounded(4))};
+      switch (rng.NextBounded(4)) {
+        case 0:
+          tracer.OnPacketSent(now, path, PacketNumber{rng.NextBounded(1000)},
+                              ByteCount{rng.NextBounded(1350)}, true);
+          break;
+        case 1:
+          tracer.OnPacketLost(now, path, PacketNumber{rng.NextBounded(1000)});
+          break;
+        case 2:
+          tracer.OnSchedulerDecision(now, path, "lowest-rtt",
+                                     rng.NextBounded(100));
+          break;
+        default:
+          tracer.OnPathSample(now, path, ByteCount{rng.NextBounded(1 << 20)},
+                              ByteCount{rng.NextBounded(1 << 20)},
+                              static_cast<Duration>(rng.NextBounded(1 << 20)));
+          break;
+      }
+    }
+  }
+  return stream.str();
+}
+
+TEST(FuzzMutation, MutatedTracesNeverCrashReader) {
+  Rng rng(0xF0552005);
+  for (int iter = 0; iter < 1500; ++iter) {
+    std::string text = MakeTrace(rng);
+    // Byte-level corruption of the NDJSON text itself.
+    const std::size_t edits = rng.NextBounded(12) + 1;
+    for (std::size_t i = 0; i < edits; ++i) {
+      if (text.empty()) break;
+      const std::size_t pos = rng.NextBounded(text.size());
+      if (rng.NextBool(0.5)) {
+        text[pos] = static_cast<char>(rng.NextBounded(256));
+      } else {
+        text[pos] ^= static_cast<char>(1 << rng.NextBounded(8));
+      }
+    }
+    // Sometimes cut the tail off mid-line (crashed-writer shape).
+    if (rng.NextBool(0.4)) {
+      text.resize(rng.NextBounded(text.size() + 1));
+    }
+    std::istringstream in(text);
+    const TraceSummary summary = ReadTrace(in);
+    // A corrupted trace may lose events but can never invent time
+    // running backwards in the summary bounds.
+    if (summary.events > 0) {
+      EXPECT_LE(summary.first_time, summary.last_time);
+    }
+  }
+}
+
+TEST(FuzzMutation, TruncatedTracesCountTailAsMalformed) {
+  Rng rng(0xF0552006);
+  for (int iter = 0; iter < 300; ++iter) {
+    const std::string text = MakeTrace(rng);
+    // Cut inside the final line: strict NDJSON must flag the tail.
+    const std::size_t last_nl = text.find_last_of('\n', text.size() - 2);
+    const std::size_t cut =
+        last_nl + 2 + rng.NextBounded(text.size() - last_nl - 2);
+    std::istringstream in(text.substr(0, cut));
+    const TraceSummary summary = ReadTrace(in);
+    EXPECT_GE(summary.malformed, 1u) << "iter " << iter;
+  }
+}
+
+}  // namespace
+}  // namespace mpq::obs

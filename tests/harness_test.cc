@@ -44,7 +44,7 @@ TEST(AggregationBenefit, PaperFormula) {
 TEST(Runner, DeterministicForSameSeed) {
   const auto paths = TestPaths();
   TransferOptions options;
-  options.transfer_size = 512 * 1024;
+  options.transfer_size = ByteCount{512 * 1024};
   options.seed = 99;
   const TransferResult a = RunTransfer(Protocol::kMpquic, paths, options);
   const TransferResult b = RunTransfer(Protocol::kMpquic, paths, options);
@@ -55,7 +55,7 @@ TEST(Runner, DeterministicForSameSeed) {
 TEST(Runner, SeedChangesOutcomeUnderLoss) {
   const auto paths = TestPaths(10, 4, 30, 80, /*loss=*/0.02);
   TransferOptions options;
-  options.transfer_size = 512 * 1024;
+  options.transfer_size = ByteCount{512 * 1024};
   options.seed = 1;
   const TransferResult a = RunTransfer(Protocol::kQuic, paths, options);
   options.seed = 2;
@@ -67,7 +67,7 @@ class AllProtocols : public ::testing::TestWithParam<Protocol> {};
 
 TEST_P(AllProtocols, TransferCompletesWithIntactData) {
   TransferOptions options;
-  options.transfer_size = 1024 * 1024;
+  options.transfer_size = ByteCount{1024 * 1024};
   options.seed = 5;
   const TransferResult result =
       RunTransfer(GetParam(), TestPaths(), options);
@@ -79,7 +79,7 @@ TEST_P(AllProtocols, TransferCompletesWithIntactData) {
 
 TEST_P(AllProtocols, LossyTransferCompletesWithIntactData) {
   TransferOptions options;
-  options.transfer_size = 512 * 1024;
+  options.transfer_size = ByteCount{512 * 1024};
   options.seed = 6;
   const TransferResult result = RunTransfer(
       GetParam(), TestPaths(10, 4, 30, 80, /*loss=*/0.02), options);
@@ -91,7 +91,7 @@ TEST_P(AllProtocols, InitialPathSelectsTheUsedPath) {
   // On very asymmetric paths a single-path protocol must be much slower
   // from the bad path; a multipath one should barely care.
   TransferOptions options;
-  options.transfer_size = 2 * 1024 * 1024;
+  options.transfer_size = ByteCount{2 * 1024 * 1024};
   options.seed = 7;
   const auto paths = TestPaths(40, 1, 20, 150);
   options.initial_path = 0;
@@ -119,7 +119,7 @@ INSTANTIATE_TEST_SUITE_P(Protocols, AllProtocols,
 TEST(Runner, QuicHandshakeBeatsTcpForTinyTransfers) {
   // The Fig. 9 mechanism in isolation: 1-RTT vs 3-RTT setup.
   TransferOptions options;
-  options.transfer_size = 10 * 1024;
+  options.transfer_size = ByteCount{10 * 1024};
   options.seed = 8;
   const auto paths = TestPaths(50, 50, 100, 100);
   const TransferResult quic = RunTransfer(Protocol::kQuic, paths, options);
@@ -131,7 +131,7 @@ TEST(Runner, QuicHandshakeBeatsTcpForTinyTransfers) {
 
 TEST(Runner, MedianTransferPicksMiddleRun) {
   TransferOptions options;
-  options.transfer_size = 256 * 1024;
+  options.transfer_size = ByteCount{256 * 1024};
   options.seed = 11;
   const auto paths = TestPaths(10, 4, 30, 80, 0.02);
   const TransferResult median =
@@ -206,7 +206,7 @@ TEST(Handover, MptcpAlsoRecovers) {
 TEST(Figures, RatioAndBenefitSeriesShapes) {
   ClassEvalOptions options;
   options.scenario_count = 3;
-  options.transfer_size = 256 * 1024;
+  options.transfer_size = ByteCount{256 * 1024};
   options.progress = false;
   options.time_limit = 600 * kSecond;
   const auto outcomes =
@@ -274,7 +274,7 @@ TEST(Figures, ParallelEvaluationMatchesSerialExactly) {
   ClassEvalOptions options;
   options.scenario_count = 3;
   options.repetitions = 2;
-  options.transfer_size = 128 * 1024;
+  options.transfer_size = ByteCount{128 * 1024};
   options.progress = false;
   options.time_limit = 600 * kSecond;
 

@@ -32,7 +32,7 @@ struct StarTopology {
       sim::LinkConfig link;
       link.capacity_mbps = 10;
       link.propagation_delay = 20 * kMillisecond;
-      link.queue_capacity_bytes = 64 * 1024;
+      link.queue_capacity_bytes = ByteCount{64 * 1024};
       net.AddDuplexLink(client, server, link, link);
       client_addrs.push_back(client);
       server_addrs.push_back(server);
@@ -55,34 +55,34 @@ TEST(MultiConnection, QuicServerHandlesManyClients) {
           request->append(data.begin(), data.end());
           if (fin) {
             conn.SendOnStream(id, std::make_unique<PatternSource>(
-                                      id, std::stoull(request->substr(4))));
+                                      id, ByteCount{std::stoull(request->substr(4))}));
           }
         });
   });
 
   std::vector<std::unique_ptr<quic::ClientEndpoint>> clients;
-  std::vector<ByteCount> received(kClients, 0);
-  std::vector<ByteCount> errors(kClients, 0);
+  std::vector<ByteCount> received(kClients, ByteCount{0});
+  std::vector<ByteCount> errors(kClients, ByteCount{0});
   int finished = 0;
   for (int i = 0; i < kClients; ++i) {
     clients.push_back(std::make_unique<quic::ClientEndpoint>(
         topo.sim, topo.net,
         std::vector<sim::Address>{topo.client_addrs[i]}, config, 100 + i));
     // Every client asks for a different size to catch cross-talk.
-    const ByteCount size = (i + 1) * 256 * 1024;
+    const ByteCount size = ByteCount{(i + 1) * 256 * 1024};
     clients[i]->connection().SetStreamDataHandler(
         [&, i](StreamId id, ByteCount offset,
                std::span<const std::uint8_t> data, bool fin) {
           for (std::size_t k = 0; k < data.size(); ++k) {
-            if (data[k] != PatternByte(id, offset + k)) ++errors[i];
+            if (data[k] != PatternByte(id.value(), offset + k)) ++errors[i];
           }
           received[i] += data.size();
           if (fin) ++finished;
         });
     clients[i]->connection().SetEstablishedHandler([&, i, size] {
-      const std::string request = "GET " + std::to_string(size);
+      const std::string request = "GET " + std::to_string(size.value());
       clients[i]->connection().SendOnStream(
-          3, std::make_unique<BufferSource>(std::vector<std::uint8_t>(
+          StreamId{3}, std::make_unique<BufferSource>(std::vector<std::uint8_t>(
                  request.begin(), request.end())));
     });
     clients[i]->Connect(topo.server_addrs[i]);
@@ -110,7 +110,7 @@ TEST(MultiConnection, QuicConnectionsAreCryptographicallyIsolated) {
         [&conn](StreamId id, ByteCount, std::span<const std::uint8_t>,
                 bool fin) {
           if (fin) {
-            conn.SendOnStream(id, std::make_unique<PatternSource>(id, 1024));
+            conn.SendOnStream(id, std::make_unique<PatternSource>(id, ByteCount{1024}));
           }
         });
   });
@@ -126,7 +126,7 @@ TEST(MultiConnection, QuicConnectionsAreCryptographicallyIsolated) {
         });
     clients[i]->connection().SetEstablishedHandler([&, i] {
       clients[i]->connection().SendOnStream(
-          3, std::make_unique<BufferSource>(
+          StreamId{3}, std::make_unique<BufferSource>(
                  std::vector<std::uint8_t>{'G', 'E', 'T', ' ', '1'}));
     });
     clients[i]->Connect(topo.server_addrs[i]);
@@ -156,7 +156,7 @@ TEST(MultiConnection, TcpServerHandlesManyClients) {
                                bool) {
       request->append(d.begin(), d.end());
       if (!request->empty() && request->back() == '\n') {
-        const ByteCount n = std::stoull(request->substr(4));
+        const ByteCount n = ByteCount{std::stoull(request->substr(4))};
         request->clear();
         conn.SendAppData(std::make_unique<PatternSource>(7, n));
       }
@@ -164,20 +164,20 @@ TEST(MultiConnection, TcpServerHandlesManyClients) {
   });
 
   std::vector<std::unique_ptr<tcp::TcpClientEndpoint>> clients;
-  std::vector<ByteCount> received(kClients, 0);
+  std::vector<ByteCount> received(kClients, ByteCount{0});
   int finished = 0;
   for (int i = 0; i < kClients; ++i) {
     clients.push_back(std::make_unique<tcp::TcpClientEndpoint>(
         topo.sim, topo.net,
         std::vector<sim::Address>{topo.client_addrs[i]}, config, 200 + i));
-    const ByteCount size = (i + 1) * 128 * 1024;
+    const ByteCount size = ByteCount{(i + 1) * 128 * 1024};
     clients[i]->connection().SetAppDataHandler(
         [&, i](ByteCount, std::span<const std::uint8_t> d, bool eof) {
           received[i] += d.size();
           if (eof) ++finished;
         });
     clients[i]->connection().SetSecureEstablishedHandler([&, i, size] {
-      const std::string request = "GET " + std::to_string(size) + "\n";
+      const std::string request = "GET " + std::to_string(size.value()) + "\n";
       clients[i]->connection().SendAppData(std::make_unique<BufferSource>(
           std::vector<std::uint8_t>(request.begin(), request.end())));
     });

@@ -23,7 +23,7 @@
 namespace mpq {
 namespace {
 
-constexpr StreamId kDataStream = 3;
+constexpr StreamId kDataStream{3};
 
 /// Lossy asymmetric two-path download with path 1 blacked out mid-run
 /// (forcing RTOs and a potentially-failed transition at the sender) and a
@@ -55,7 +55,7 @@ struct TracedTransfer {
     config.multipath = true;
     // Small flow-control window (both sides assume the same initial
     // window) so the sender regularly stalls on WINDOW_UPDATEs.
-    config.receive_window = 64 * 1024;
+    config.receive_window = ByteCount{64 * 1024};
 
     qlog = std::make_unique<obs::QlogTracer>(qlog_stream, "obs-test");
     metrics = std::make_unique<obs::MetricsTracer>(registry);
@@ -77,7 +77,7 @@ struct TracedTransfer {
               conn.SendOnStream(kDataStream,
                                 std::make_unique<PatternSource>(
                                     kDataStream,
-                                    std::stoull(request->substr(4))));
+                                    ByteCount{std::stoull(request->substr(4))}));
             }
           });
     });
@@ -128,8 +128,8 @@ TEST(ObsIntegration, EveryEventTypeFiresOnLossyTwoPathTransfer) {
   EXPECT_GT(t.counting.handshake_events, 0u);
   EXPECT_FALSE(t.counting.state_changes.empty());
   // Both paths carried data; the killed path went potentially-failed.
-  EXPECT_GT(t.counting.packets_sent_by_path[0], 0u);
-  EXPECT_GT(t.counting.packets_sent_by_path[1], 0u);
+  EXPECT_GT(t.counting.packets_sent_by_path[PathId{0}], 0u);
+  EXPECT_GT(t.counting.packets_sent_by_path[PathId{1}], 0u);
   bool saw_failed = false;
   for (const auto& change : t.counting.state_changes) {
     if (change.find("potentially-failed") != std::string::npos) {
@@ -204,7 +204,7 @@ TEST(ObsIntegration, HarnessEmitsQlogAndMetricsFiles) {
   paths[1].rtt = 40 * kMillisecond;
 
   harness::TransferOptions options;
-  options.transfer_size = 512 * 1024;
+  options.transfer_size = ByteCount{512 * 1024};
   options.qlog_path = qlog_path;
   options.metrics_path = metrics_path;
   options.metrics_label = "harness-smoke";
@@ -260,7 +260,7 @@ TEST(ObsIntegration, TracingDoesNotPerturbTheSimulation) {
   paths[1].rtt = 50 * kMillisecond;
 
   harness::TransferOptions plain;
-  plain.transfer_size = 256 * 1024;
+  plain.transfer_size = ByteCount{256 * 1024};
   const auto untraced =
       harness::RunTransfer(harness::Protocol::kMpquic, paths, plain);
 

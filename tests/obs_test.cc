@@ -210,18 +210,18 @@ TEST(TracerMux, FansOutEveryEventToAllSinks) {
   EXPECT_EQ(mux.size(), 2u);
 
   const quic::Frame ping = quic::PingFrame{};
-  mux.OnPacketSent(1, 0, 1, 100, true);
-  mux.OnPacketReceived(2, 1, 1, 50);
-  mux.OnPacketLost(3, 0, 1);
-  mux.OnFrameSent(4, 0, ping);
-  mux.OnFrameReceived(5, 0, ping);
-  mux.OnSchedulerDecision(6, 1, "lowest-rtt", 10);
-  mux.OnPathSample(7, 0, 1000, 500, 20000);
-  mux.OnRto(8, 0, 2);
-  mux.OnFrameRetransmitQueued(9, 0, ping);
-  mux.OnFlowControlBlocked(10, 0);
+  mux.OnPacketSent(1, PathId{0}, PacketNumber{1}, ByteCount{100}, true);
+  mux.OnPacketReceived(2, PathId{1}, PacketNumber{1}, ByteCount{50});
+  mux.OnPacketLost(3, PathId{0}, PacketNumber{1});
+  mux.OnFrameSent(4, PathId{0}, ping);
+  mux.OnFrameReceived(5, PathId{0}, ping);
+  mux.OnSchedulerDecision(6, PathId{1}, "lowest-rtt", 10);
+  mux.OnPathSample(7, PathId{0}, ByteCount{1000}, ByteCount{500}, 20000);
+  mux.OnRto(8, PathId{0}, 2);
+  mux.OnFrameRetransmitQueued(9, PathId{0}, ping);
+  mux.OnFlowControlBlocked(10, StreamId{0});
   mux.OnHandshakeEvent(11, "established");
-  mux.OnPathStateChange(12, 1, "created");
+  mux.OnPathStateChange(12, PathId{1}, "created");
 
   for (const quic::CountingTracer* t : {&a, &b}) {
     EXPECT_EQ(t->packets_sent, 1u);
@@ -244,13 +244,13 @@ TEST(MetricsTracer, BindsEventsToRegistryMetrics) {
   MetricsRegistry registry;
   MetricsTracer tracer(registry);
 
-  tracer.OnPacketSent(1, 0, 1, 1350, true);
-  tracer.OnPacketSent(2, 1, 1, 1350, true);
-  tracer.OnPacketLost(3, 1, 1);
-  tracer.OnSchedulerDecision(4, 0, "lowest-rtt", 250);
-  tracer.OnPathSample(5, 0, 40000, 20000, 22000);
-  tracer.OnFrameSent(6, 0, quic::Frame(quic::AckFrame{0, 123, {{1, 1}}}));
-  tracer.OnRto(7, 1, 1);
+  tracer.OnPacketSent(1, PathId{0}, PacketNumber{1}, ByteCount{1350}, true);
+  tracer.OnPacketSent(2, PathId{1}, PacketNumber{1}, ByteCount{1350}, true);
+  tracer.OnPacketLost(3, PathId{1}, PacketNumber{1});
+  tracer.OnSchedulerDecision(4, PathId{0}, "lowest-rtt", 250);
+  tracer.OnPathSample(5, PathId{0}, ByteCount{40000}, ByteCount{20000}, 22000);
+  tracer.OnFrameSent(6, PathId{0}, quic::Frame(quic::AckFrame{PathId{0}, 123, {{PacketNumber{1}, PacketNumber{1}}}}));
+  tracer.OnRto(7, PathId{1}, 1);
   tracer.OnHandshakeEvent(8, "established");
 
   EXPECT_EQ(registry.GetCounter("packets_sent").value(), 2u);
@@ -274,11 +274,11 @@ TEST(QlogTracer, EventsRoundTripThroughReader) {
   std::stringstream stream;
   {
     QlogTracer tracer(stream, "round \"trip\"");
-    tracer.OnPacketSent(100, 0, 1, 1350, true);
-    tracer.OnPacketSent(200, 1, 1, 1350, true);
-    tracer.OnPacketLost(300, 1, 1);
-    tracer.OnSchedulerDecision(400, 0, "lowest-rtt", 77);
-    tracer.OnPathSample(500, 0, 32768, 1350, 20000);
+    tracer.OnPacketSent(100, PathId{0}, PacketNumber{1}, ByteCount{1350}, true);
+    tracer.OnPacketSent(200, PathId{1}, PacketNumber{1}, ByteCount{1350}, true);
+    tracer.OnPacketLost(300, PathId{1}, PacketNumber{1});
+    tracer.OnSchedulerDecision(400, PathId{0}, "lowest-rtt", 77);
+    tracer.OnPathSample(500, PathId{0}, ByteCount{32768}, ByteCount{1350}, 20000);
     EXPECT_EQ(tracer.events_written(), 5u);
   }
   auto summary = ReadTrace(stream);
@@ -301,8 +301,8 @@ TEST(QlogTracer, EveryLineIsValidJson) {
     QlogTracer tracer(stream, "json\ncheck");
     tracer.OnHandshakeEvent(1, "chlo-sent");
     tracer.OnFrameSent(
-        2, 0, quic::Frame(quic::StreamFrame{3, 0, true, {0xff, 0x00}}));
-    tracer.OnFrameSent(3, 0,
+        2, PathId{0}, quic::Frame(quic::StreamFrame{StreamId{3}, ByteCount{0}, true, {0xff, 0x00}}));
+    tracer.OnFrameSent(3, PathId{0},
                        quic::Frame(quic::ConnectionCloseFrame{7, "bye\"\n"}));
   }
   std::string line;
@@ -312,6 +312,43 @@ TEST(QlogTracer, EveryLineIsValidJson) {
     EXPECT_TRUE(JsonValue::Parse(line).has_value()) << "line: " << line;
   }
   EXPECT_EQ(lines, 4u);  // preamble + 3 events
+}
+
+TEST(TraceReader, RejectsMalformedAndTruncatedLines) {
+  std::stringstream stream;
+  stream << "{\"qlog_format\":\"NDJSON\",\"title\":\"strict\"}\n"
+         << "{\"name\":\"transport:packet_sent\",\"time\":5,"
+            "\"data\":{\"path\":0,\"bytes\":100}}\n"
+         << "not json at all\n"                              // parse failure
+         << "{\"name\":\"transport:packet_sent\"}\n"        // missing time
+         << "{\"time\":9}\n"                                // missing name
+         << "{\"name\":42,\"time\":9}\n"                    // name not a string
+         << "{\"name\":\"x\",\"time\":-3}\n"              // negative time
+         << "{\"name\":\"x\",\"time\":1,\"data\":7}\n"    // data not an object
+         << "{\"name\":\"x\",\"time\":1,"
+            "\"data\":{\"path\":9999}}\n"                  // path out of range
+         << "[1,2,3]\n"                                     // not an object
+         << "{\"name\":\"transport:packet_sent\",\"time\":6";  // truncated
+  const auto summary = ReadTrace(stream);
+  EXPECT_EQ(summary.events, 1u);
+  EXPECT_EQ(summary.malformed, 9u);
+  EXPECT_EQ(summary.paths.at(0).packets_sent, 1u);
+  EXPECT_EQ(summary.title, "strict");
+}
+
+TEST(TraceReader, TruncatedFinalEventDoesNotCount) {
+  // A well-formed stream whose last line lost its newline (crashed
+  // writer): the complete prefix still summarizes, the tail is flagged.
+  std::stringstream stream;
+  stream << "{\"name\":\"recovery:rto\",\"time\":1,"
+            "\"data\":{\"path\":1}}\n"
+         << "{\"name\":\"recovery:rto\",\"time\":2,"
+            "\"data\":{\"path\":1}}";
+  const auto summary = ReadTrace(stream);
+  EXPECT_EQ(summary.events, 1u);
+  EXPECT_EQ(summary.malformed, 1u);
+  EXPECT_EQ(summary.paths.at(1).rtos, 1u);
+  EXPECT_EQ(summary.last_time, 1);
 }
 
 }  // namespace

@@ -39,7 +39,7 @@ TEST_P(SizeSweep, CompletesIntact) {
   const auto [protocol, size] = GetParam();
   TransferOptions options;
   options.transfer_size = size;
-  options.seed = 21 + size % 1009;
+  options.seed = 21 + size.value() % 1009;
   const TransferResult result =
       RunTransfer(protocol, Paths(10, 4, 30, 80, 60, 0), options);
   ASSERT_TRUE(result.completed);
@@ -56,7 +56,7 @@ INSTANTIATE_TEST_SUITE_P(
                                          ByteCount{1} * 1024 * 1024)),
     [](const auto& info) {
       return ToString(std::get<0>(info.param)) + "_" +
-             std::to_string(std::get<1>(info.param)) + "B";
+             std::to_string(std::get<1>(info.param).value()) + "B";
     });
 
 // ---------------------------------------------------------------------------
@@ -69,7 +69,7 @@ class LossSweep : public ::testing::TestWithParam<LossCase> {};
 TEST_P(LossSweep, CompletesIntact) {
   const auto [protocol, loss_tenths] = GetParam();
   TransferOptions options;
-  options.transfer_size = 256 * 1024;
+  options.transfer_size = ByteCount{256 * 1024};
   options.seed = 31 + loss_tenths;
   const TransferResult result = RunTransfer(
       protocol, Paths(8, 3, 20, 100, 60, loss_tenths / 1000.0), options);
@@ -105,7 +105,7 @@ TEST_P(AsymmetrySweep, MultipathProtocolsSurvive) {
   const AsymmetryCase& c = GetParam();
   for (Protocol protocol : {Protocol::kMptcp, Protocol::kMpquic}) {
     TransferOptions options;
-    options.transfer_size = 512 * 1024;
+    options.transfer_size = ByteCount{512 * 1024};
     options.seed = 41;
     options.time_limit = 1200 * kSecond;
     const TransferResult result = RunTransfer(
@@ -136,7 +136,7 @@ class InitialPathSweep : public ::testing::TestWithParam<Protocol> {};
 TEST_P(InitialPathSweep, BothOrientationsComplete) {
   for (int initial = 0; initial < 2; ++initial) {
     TransferOptions options;
-    options.transfer_size = 512 * 1024;
+    options.transfer_size = ByteCount{512 * 1024};
     options.initial_path = initial;
     options.seed = 51;
     const TransferResult result =
@@ -171,7 +171,7 @@ TEST_P(ReorderSweep, JitteredLinksNeverCorrupt) {
     p.jitter = 10 * kMillisecond;  // >> serialization gap: reorders
   }
   TransferOptions options;
-  options.transfer_size = 512 * 1024;
+  options.transfer_size = ByteCount{512 * 1024};
   options.seed = 61;
   const TransferResult result = RunTransfer(GetParam(), paths, options);
   ASSERT_TRUE(result.completed) << ToString(GetParam());
@@ -218,21 +218,21 @@ TEST(Robustness, GarbageDatagramFloodDuringQuicTransfer) {
           request->append(data.begin(), data.end());
           if (fin) {
             conn.SendOnStream(id, std::make_unique<PatternSource>(
-                                      id, std::stoull(request->substr(4))));
+                                      id, ByteCount{std::stoull(request->substr(4))}));
           }
         });
   });
   quic::ClientEndpoint client(sim, net,
                               {topo.client_addr[0], topo.client_addr[1]},
                               config, 2);
-  ByteCount received = 0;
+  ByteCount received{};
   std::uint64_t errors = 0;
   bool finished = false;
   client.connection().SetStreamDataHandler(
       [&](StreamId id, ByteCount offset, std::span<const std::uint8_t> data,
           bool fin) {
         for (std::size_t i = 0; i < data.size(); ++i) {
-          if (data[i] != PatternByte(id, offset + i)) ++errors;
+          if (data[i] != PatternByte(id.value(), offset + i)) ++errors;
         }
         received += data.size();
         if (fin) finished = true;
@@ -240,7 +240,7 @@ TEST(Robustness, GarbageDatagramFloodDuringQuicTransfer) {
   client.connection().SetEstablishedHandler([&] {
     const std::string request = "GET 1048576";
     client.connection().SendOnStream(
-        3, std::make_unique<BufferSource>(std::vector<std::uint8_t>(
+        StreamId{3}, std::make_unique<BufferSource>(std::vector<std::uint8_t>(
                request.begin(), request.end())));
   });
   client.Connect(topo.server_addr[0]);

@@ -16,7 +16,7 @@
 namespace mpq::quic {
 namespace {
 
-constexpr StreamId kStream = 3;
+constexpr StreamId kStream = StreamId{3};
 
 struct Fixture {
   sim::Simulator sim;
@@ -24,7 +24,7 @@ struct Fixture {
   sim::TwoPathTopology topo;
   std::unique_ptr<ServerEndpoint> server;
   std::unique_ptr<ClientEndpoint> client;
-  ByteCount received = 0;
+  ByteCount received{};
   bool finished = false;
 
   explicit Fixture(const ConnectionConfig& config,
@@ -44,7 +44,7 @@ struct Fixture {
             request->append(data.begin(), data.end());
             if (fin) {
               conn.SendOnStream(id, std::make_unique<PatternSource>(
-                                        id, std::stoull(request->substr(4))));
+                                        id, ByteCount{std::stoull(request->substr(4))}));
             }
           });
     });
@@ -71,7 +71,7 @@ struct Fixture {
 
   void RequestOnEstablished(ByteCount size) {
     client->connection().SetEstablishedHandler([this, size] {
-      const std::string request = "GET " + std::to_string(size);
+      const std::string request = "GET " + std::to_string(size.value());
       client->connection().SendOnStream(
           kStream, std::make_unique<BufferSource>(std::vector<std::uint8_t>(
                        request.begin(), request.end())));
@@ -93,7 +93,7 @@ TEST(QuicConnection, HandshakeSurvivesChloLoss) {
   fx.topo.forward[0]->SetRandomLossRate(1.0);
   fx.sim.Schedule(500 * kMillisecond,
                   [&] { fx.topo.forward[0]->SetRandomLossRate(0.0); });
-  fx.RequestOnEstablished(100 * 1024);
+  fx.RequestOnEstablished(ByteCount{100 * 1024});
   fx.sim.Run(30 * kSecond);
   EXPECT_TRUE(fx.finished);
   // The retry costs one handshake timeout (1 s initial).
@@ -105,7 +105,7 @@ TEST(QuicConnection, HandshakeSurvivesShloLoss) {
   fx.topo.backward[0]->SetRandomLossRate(1.0);
   fx.sim.Schedule(500 * kMillisecond,
                   [&] { fx.topo.backward[0]->SetRandomLossRate(0.0); });
-  fx.RequestOnEstablished(100 * 1024);
+  fx.RequestOnEstablished(ByteCount{100 * 1024});
   fx.sim.Run(30 * kSecond);
   EXPECT_TRUE(fx.finished);
 }
@@ -124,7 +124,7 @@ TEST(QuicConnection, HandshakeGivesUpAfterRetries) {
 
 TEST(QuicConnection, ServerLearnsClientPathsAndUsesPerPathPnSpaces) {
   Fixture fx(Multipath());
-  fx.RequestOnEstablished(4 * 1024 * 1024);
+  fx.RequestOnEstablished(ByteCount{4 * 1024 * 1024});
   fx.sim.Run(120 * kSecond);
   ASSERT_TRUE(fx.finished);
   Connection* server_conn =
@@ -143,7 +143,7 @@ TEST(QuicConnection, SingleInterfaceMultipathConfigStillWorks) {
   // Multipath enabled but the client has one interface: degenerates to
   // one path without errors.
   Fixture fx(Multipath(), Fixture::DefaultPaths(), /*client_interfaces=*/1);
-  fx.RequestOnEstablished(256 * 1024);
+  fx.RequestOnEstablished(ByteCount{256 * 1024});
   fx.sim.Run(60 * kSecond);
   ASSERT_TRUE(fx.finished);
   Connection* server_conn =
@@ -155,9 +155,9 @@ TEST(QuicConnection, FlowControlBlocksAndWindowUpdatesUnblock) {
   // Shrink the receive window so the 2 MiB transfer must stall on flow
   // control several times; completion proves WINDOW_UPDATEs flowed.
   ConnectionConfig config = Multipath();
-  config.receive_window = 64 * 1024;
+  config.receive_window = ByteCount{64 * 1024};
   Fixture fx(config);
-  fx.RequestOnEstablished(2 * 1024 * 1024);
+  fx.RequestOnEstablished(ByteCount{2 * 1024 * 1024});
   fx.sim.Run(120 * kSecond);
   EXPECT_TRUE(fx.finished);
   EXPECT_EQ(fx.received, 2u * 1024 * 1024);
@@ -167,11 +167,11 @@ TEST(QuicConnection, WindowUpdateDuplicationSurvivesLossyPath) {
   // One path is badly lossy; with WINDOW_UPDATE duplicated on all paths
   // the transfer still completes briskly even with a tiny window.
   ConnectionConfig config = Multipath();
-  config.receive_window = 64 * 1024;
+  config.receive_window = ByteCount{64 * 1024};
   auto paths = Fixture::DefaultPaths();
   paths[1].random_loss_rate = 0.3;
   Fixture fx(config, paths);
-  fx.RequestOnEstablished(1 * 1024 * 1024);
+  fx.RequestOnEstablished(ByteCount{1 * 1024 * 1024});
   fx.sim.Run(300 * kSecond);
   EXPECT_TRUE(fx.finished);
 }
@@ -180,7 +180,7 @@ TEST(QuicConnection, AckOnlyPacketsAreNotCongestionControlled) {
   // A pure download: the client sends almost nothing but acks. Its paths
   // must show no in-flight growth (ack-only packets untracked).
   Fixture fx(Multipath());
-  fx.RequestOnEstablished(1 * 1024 * 1024);
+  fx.RequestOnEstablished(ByteCount{1 * 1024 * 1024});
   fx.sim.Run(60 * kSecond);
   ASSERT_TRUE(fx.finished);
   for (const Path* path : fx.client->connection().paths()) {
@@ -194,7 +194,7 @@ TEST(QuicConnection, NatRebindingKeepsConnectionAlive) {
   // (NAT rebinding): the Path ID keeps the path's identity (§3), so the
   // transfer must finish without a new handshake.
   Fixture fx(Multipath());
-  fx.RequestOnEstablished(2 * 1024 * 1024);
+  fx.RequestOnEstablished(ByteCount{2 * 1024 * 1024});
   // Run a little, then rebind: new socket address on iface 0 with
   // traffic redirected. We simulate rebinding by swapping the socket —
   // covered implicitly: Connection updates path remote on source change.
@@ -213,7 +213,7 @@ TEST(QuicConnection, PacingSmoothsBurstsWithoutChangingCorrectness) {
     paths[0].max_queue_delay = 0;
     paths[1].max_queue_delay = 0;
     Fixture fx(config, paths);
-    fx.RequestOnEstablished(512 * 1024);
+    fx.RequestOnEstablished(ByteCount{512 * 1024});
     fx.sim.Run(120 * kSecond);
     EXPECT_TRUE(fx.finished) << "pacing=" << pacing;
   }
@@ -221,7 +221,7 @@ TEST(QuicConnection, PacingSmoothsBurstsWithoutChangingCorrectness) {
 
 TEST(QuicConnection, CloseStopsTraffic) {
   Fixture fx(Multipath());
-  fx.RequestOnEstablished(8 * 1024 * 1024);
+  fx.RequestOnEstablished(ByteCount{8 * 1024 * 1024});
   fx.sim.Run(1 * kSecond);  // mid-transfer
   ASSERT_FALSE(fx.finished);
   fx.client->connection().Close(0, "done");
@@ -241,7 +241,7 @@ TEST(QuicConnection, CloseStopsTraffic) {
 TEST(QuicConnection, DeterministicAcrossIdenticalRuns) {
   auto run = [] {
     Fixture fx(Multipath());
-    fx.RequestOnEstablished(1 * 1024 * 1024);
+    fx.RequestOnEstablished(ByteCount{1 * 1024 * 1024});
     fx.sim.Run(60 * kSecond);
     return std::tuple(fx.sim.now(), fx.received,
                       fx.client->connection().stats().packets_sent);
@@ -258,7 +258,7 @@ TEST(QuicConnection, SchedulerVariantsAllCompleteTransfers) {
     auto paths = Fixture::DefaultPaths();
     paths[1].rtt = 120 * kMillisecond;  // heterogeneous
     Fixture fx(config, paths);
-    fx.RequestOnEstablished(1 * 1024 * 1024);
+    fx.RequestOnEstablished(ByteCount{1 * 1024 * 1024});
     fx.sim.Run(120 * kSecond);
     EXPECT_TRUE(fx.finished)
         << "scheduler " << static_cast<int>(type);
@@ -270,7 +270,7 @@ TEST(QuicConnection, RedundantSchedulerDuplicatesHeavily) {
   ConnectionConfig config = Multipath();
   config.scheduler = SchedulerType::kRedundant;
   Fixture fx(config);
-  fx.RequestOnEstablished(512 * 1024);
+  fx.RequestOnEstablished(ByteCount{512 * 1024});
   fx.sim.Run(60 * kSecond);
   ASSERT_TRUE(fx.finished);
   Connection* server_conn =
@@ -307,7 +307,7 @@ TEST(QuicConnection, FailedPathRecoversViaProbes) {
   EXPECT_FALSE(path0->potentially_failed());
   Connection* server_conn =
       fx.server->FindConnection(fx.client->connection().cid());
-  EXPECT_GT(server_conn->GetPath(0)->bytes_sent(), 1024u * 1024);
+  EXPECT_GT(server_conn->GetPath(PathId{0})->bytes_sent(), 1024u * 1024);
 }
 
 
@@ -318,7 +318,7 @@ TEST(QuicConnection, ConnectionMigrationHardHandover) {
   ConnectionConfig config;  // single path
   config.migrate_on_path_failure = true;
   Fixture fx(config, Fixture::DefaultPaths(), /*client_interfaces=*/2);
-  fx.RequestOnEstablished(2 * 1024 * 1024);
+  fx.RequestOnEstablished(ByteCount{2 * 1024 * 1024});
   fx.sim.Schedule(1 * kSecond, [&fx] {
     fx.topo.forward[0]->SetRandomLossRate(1.0);
     fx.topo.backward[0]->SetRandomLossRate(1.0);
@@ -335,7 +335,7 @@ TEST(QuicConnection, ConnectionMigrationHardHandover) {
 TEST(QuicConnection, MigrationWithoutFlagStallsInstead) {
   ConnectionConfig config;  // single path, no migration
   Fixture fx(config, Fixture::DefaultPaths(), /*client_interfaces=*/2);
-  fx.RequestOnEstablished(2 * 1024 * 1024);
+  fx.RequestOnEstablished(ByteCount{2 * 1024 * 1024});
   fx.sim.Schedule(1 * kSecond, [&fx] {
     fx.topo.forward[0]->SetRandomLossRate(1.0);
     fx.topo.backward[0]->SetRandomLossRate(1.0);
@@ -347,11 +347,11 @@ TEST(QuicConnection, MigrationWithoutFlagStallsInstead) {
 TEST(QuicConnection, ManualMigrationMidTransfer) {
   ConnectionConfig config;
   Fixture fx(config, Fixture::DefaultPaths(), /*client_interfaces=*/2);
-  fx.RequestOnEstablished(2 * 1024 * 1024);
+  fx.RequestOnEstablished(ByteCount{2 * 1024 * 1024});
   // Migrate proactively (no failure) at 0.5 s, then kill the old path:
   // the transfer must be unaffected.
   fx.sim.Schedule(500 * kMillisecond, [&fx] {
-    fx.client->connection().MigratePath(0, fx.topo.client_addr[1],
+    fx.client->connection().MigratePath(PathId{0}, fx.topo.client_addr[1],
                                         fx.topo.server_addr[1]);
     fx.topo.forward[0]->SetRandomLossRate(1.0);
     fx.topo.backward[0]->SetRandomLossRate(1.0);
@@ -371,7 +371,7 @@ TEST(QuicConnection, ServerInitiatedPathsWhenAllowed) {
   config.allow_server_paths = true;
   config.client_opens_paths = false;  // isolate the server-side mechanism
   Fixture fx(config);
-  fx.RequestOnEstablished(1 * 1024 * 1024);
+  fx.RequestOnEstablished(ByteCount{1 * 1024 * 1024});
   fx.sim.Run(60 * kSecond);
   ASSERT_TRUE(fx.finished);
   Connection* server_conn =
@@ -385,7 +385,7 @@ TEST(QuicConnection, ServerInitiatedPathsWhenAllowed) {
 
 TEST(QuicConnection, NoServerPathsByDefault) {
   Fixture fx(Multipath());
-  fx.RequestOnEstablished(512 * 1024);
+  fx.RequestOnEstablished(ByteCount{512 * 1024});
   fx.sim.Run(60 * kSecond);
   ASSERT_TRUE(fx.finished);
   Connection* server_conn =
@@ -399,7 +399,7 @@ TEST(QuicConnection, NoServerPathsByDefault) {
 
 TEST(QuicConnection, RemoveAddressDrainsPathsAndTransferSurvives) {
   Fixture fx(Multipath());
-  fx.RequestOnEstablished(2 * 1024 * 1024);
+  fx.RequestOnEstablished(ByteCount{2 * 1024 * 1024});
   // Mid-transfer the client announces its first interface is going away.
   fx.sim.Schedule(500 * kMillisecond, [&fx] {
     fx.client->connection().RemoveLocalAddress(fx.topo.client_addr[0]);
@@ -411,7 +411,7 @@ TEST(QuicConnection, RemoveAddressDrainsPathsAndTransferSurvives) {
   // second path, so path 1 carried the bulk of the data.
   Connection* server_conn =
       fx.server->FindConnection(fx.client->connection().cid());
-  const Path* path1 = server_conn->GetPath(1);
+  const Path* path1 = server_conn->GetPath(PathId{1});
   ASSERT_NE(path1, nullptr);
   EXPECT_GT(path1->bytes_sent(), 1024u * 1024);
 }
@@ -431,11 +431,11 @@ TEST(QuicConnection, TracerObservesTrafficAndPathEvents) {
           request->append(data.begin(), data.end());
           if (fin) {
             conn.SendOnStream(id, std::make_unique<PatternSource>(
-                                      id, std::stoull(request->substr(4))));
+                                      id, ByteCount{std::stoull(request->substr(4))}));
           }
         });
   });
-  fx.RequestOnEstablished(8 * 1024 * 1024);
+  fx.RequestOnEstablished(ByteCount{8 * 1024 * 1024});
   // Kill path 0 mid-transfer so a state change fires, then revive it.
   fx.sim.Schedule(1 * kSecond, [&fx] {
     fx.topo.forward[0]->SetRandomLossRate(1.0);
@@ -476,13 +476,13 @@ TEST(QuicConnection, ResetStreamAbortsDeliveryCleanly) {
           request->append(data.begin(), data.end());
           if (fin) {
             conn.SendOnStream(id, std::make_unique<PatternSource>(
-                                      id, 8 * 1024 * 1024));
+                                      id, ByteCount{8 * 1024 * 1024}));
             fx.sim.Schedule(300 * kMillisecond,
                             [&conn, id] { conn.ResetStream(id, 42); });
           }
         });
   });
-  fx.RequestOnEstablished(8 * 1024 * 1024);
+  fx.RequestOnEstablished(ByteCount{8 * 1024 * 1024});
   fx.sim.Run(60 * kSecond);
   // The client saw an early end-of-stream, not the full 8 MiB.
   EXPECT_TRUE(fx.finished);
@@ -494,7 +494,7 @@ TEST(QuicConnection, ConnectionIdleTimeoutCloses) {
   ConnectionConfig config = Multipath();
   config.idle_timeout = 5 * kSecond;
   Fixture fx(config);
-  fx.RequestOnEstablished(64 * 1024);
+  fx.RequestOnEstablished(ByteCount{64 * 1024});
   fx.sim.Run(60 * kSecond);
   ASSERT_TRUE(fx.finished);  // transfer finishes well before the timeout
   EXPECT_TRUE(fx.client->connection().closed());
@@ -541,7 +541,7 @@ TEST(QuicConnection, ZeroRttTransferCompletesOneRttEarlier) {
     ConnectionConfig config;  // single path isolates the handshake effect
     config.zero_rtt = zero_rtt;
     Fixture fx(config, Fixture::DefaultPaths(), /*client_interfaces=*/1);
-    fx.RequestOnEstablished(64 * 1024);
+    fx.RequestOnEstablished(ByteCount{64 * 1024});
     fx.sim.Run(60 * kSecond);
     EXPECT_TRUE(fx.finished);
     EXPECT_EQ(fx.received, 64u * 1024);
@@ -560,14 +560,14 @@ TEST(QuicConnection, ZeroRttMultipathStillOpensSecondPath) {
   ConnectionConfig config = Multipath();
   config.zero_rtt = true;
   Fixture fx(config);
-  fx.RequestOnEstablished(4 * 1024 * 1024);
+  fx.RequestOnEstablished(ByteCount{4 * 1024 * 1024});
   fx.sim.Run(120 * kSecond);
   ASSERT_TRUE(fx.finished);
   // The second path opened once the SHLO delivered the server addresses.
   EXPECT_EQ(fx.client->connection().paths().size(), 2u);
   Connection* server_conn =
       fx.server->FindConnection(fx.client->connection().cid());
-  EXPECT_GT(server_conn->GetPath(1)->bytes_sent(), 100u * 1024);
+  EXPECT_GT(server_conn->GetPath(PathId{1})->bytes_sent(), 100u * 1024);
 }
 
 TEST(QuicConnection, ZeroRttSurvivesChloLoss) {
@@ -577,7 +577,7 @@ TEST(QuicConnection, ZeroRttSurvivesChloLoss) {
   fx.topo.forward[0]->SetRandomLossRate(1.0);
   fx.sim.Schedule(500 * kMillisecond,
                   [&] { fx.topo.forward[0]->SetRandomLossRate(0.0); });
-  fx.RequestOnEstablished(128 * 1024);
+  fx.RequestOnEstablished(ByteCount{128 * 1024});
   fx.sim.Run(60 * kSecond);
   EXPECT_TRUE(fx.finished);
 }

@@ -16,7 +16,7 @@
 namespace mpq::quic {
 namespace {
 
-constexpr StreamId kDataStream = 3;
+constexpr StreamId kDataStream = StreamId{3};
 
 /// Minimal request/response application used by the tests: the client
 /// sends "GET <bytes>" on stream 3; the server answers with that many
@@ -28,8 +28,8 @@ struct TestApp {
   std::unique_ptr<ServerEndpoint> server;
   std::unique_ptr<ClientEndpoint> client;
 
-  ByteCount bytes_received = 0;
-  ByteCount pattern_errors = 0;
+  ByteCount bytes_received{};
+  ByteCount pattern_errors{};
   bool finished = false;
   TimePoint finish_time = -1;
 
@@ -48,7 +48,7 @@ struct TestApp {
                                     bool fin) {
         request->append(data.begin(), data.end());
         if (fin && id == kDataStream) {
-          const ByteCount size = std::stoull(request->substr(4));
+          const ByteCount size = ByteCount{std::stoull(request->substr(4))};
           conn.SendOnStream(
               kDataStream, std::make_unique<PatternSource>(kDataStream, size));
         }
@@ -65,7 +65,7 @@ struct TestApp {
         [this](StreamId, ByteCount offset,
                std::span<const std::uint8_t> data, bool fin) {
           for (std::size_t i = 0; i < data.size(); ++i) {
-            if (data[i] != PatternByte(kDataStream, offset + i)) {
+            if (data[i] != PatternByte(kDataStream.value(), offset + i)) {
               ++pattern_errors;
             }
           }
@@ -79,7 +79,7 @@ struct TestApp {
 
   void Run(ByteCount download_size, TimePoint deadline = 600 * kSecond) {
     client->connection().SetEstablishedHandler([this, download_size] {
-      const std::string request = "GET " + std::to_string(download_size);
+      const std::string request = "GET " + std::to_string(download_size.value());
       client->connection().SendOnStream(
           kDataStream,
           std::make_unique<BufferSource>(std::vector<std::uint8_t>(
@@ -118,7 +118,7 @@ std::array<sim::PathParams, 2> SymmetricPaths(double mbps, Duration rtt,
 TEST(QuicIntegration, SinglePathDownloadCompletesWithIntactData) {
   TestApp app(SymmetricPaths(10.0, 30 * kMillisecond), SinglePathConfig(),
               /*interfaces=*/1);
-  app.Run(2 * 1024 * 1024);
+  app.Run(ByteCount{2 * 1024 * 1024});
   ASSERT_TRUE(app.finished);
   EXPECT_EQ(app.bytes_received, 2u * 1024 * 1024);
   EXPECT_EQ(app.pattern_errors, 0u);
@@ -146,11 +146,11 @@ TEST(QuicIntegration, MultipathAggregatesBandwidth) {
   // together ~5.2 s. Require meaningful aggregation.
   TestApp single(SymmetricPaths(8.0, 40 * kMillisecond), SinglePathConfig(),
                  /*interfaces=*/1);
-  single.Run(10 * 1024 * 1024);
+  single.Run(ByteCount{10 * 1024 * 1024});
   ASSERT_TRUE(single.finished);
 
   TestApp multi(SymmetricPaths(8.0, 40 * kMillisecond), MultipathConfig());
-  multi.Run(10 * 1024 * 1024);
+  multi.Run(ByteCount{10 * 1024 * 1024});
   ASSERT_TRUE(multi.finished);
   EXPECT_EQ(multi.pattern_errors, 0u);
   EXPECT_LT(multi.finish_time, single.finish_time * 0.65);
@@ -158,7 +158,7 @@ TEST(QuicIntegration, MultipathAggregatesBandwidth) {
 
 TEST(QuicIntegration, MultipathUsesBothPathNumberSpaces) {
   TestApp app(SymmetricPaths(8.0, 40 * kMillisecond), MultipathConfig());
-  app.Run(5 * 1024 * 1024);
+  app.Run(ByteCount{5 * 1024 * 1024});
   ASSERT_TRUE(app.finished);
   Connection* server_conn = nullptr;
   // The server has exactly one connection.
@@ -177,7 +177,7 @@ TEST(QuicIntegration, MultipathUsesBothPathNumberSpaces) {
 TEST(QuicIntegration, LossyPathStillCompletesWithIntactData) {
   TestApp app(SymmetricPaths(10.0, 30 * kMillisecond, /*loss=*/0.02),
               SinglePathConfig(), /*interfaces=*/1);
-  app.Run(1 * 1024 * 1024);
+  app.Run(ByteCount{1 * 1024 * 1024});
   ASSERT_TRUE(app.finished);
   EXPECT_EQ(app.bytes_received, 1u * 1024 * 1024);
   EXPECT_EQ(app.pattern_errors, 0u);
@@ -186,7 +186,7 @@ TEST(QuicIntegration, LossyPathStillCompletesWithIntactData) {
 TEST(QuicIntegration, MultipathLossyBothPathsCompletes) {
   TestApp app(SymmetricPaths(6.0, 50 * kMillisecond, /*loss=*/0.01),
               MultipathConfig());
-  app.Run(2 * 1024 * 1024);
+  app.Run(ByteCount{2 * 1024 * 1024});
   ASSERT_TRUE(app.finished);
   EXPECT_EQ(app.pattern_errors, 0u);
 }
@@ -195,7 +195,7 @@ TEST(QuicIntegration, AsymmetricPathsPreferFasterForShortTransfer) {
   std::array<sim::PathParams, 2> paths = SymmetricPaths(10.0, 20 * kMillisecond);
   paths[1].rtt = 300 * kMillisecond;  // much slower second path
   TestApp app(paths, MultipathConfig());
-  app.Run(64 * 1024);
+  app.Run(ByteCount{64 * 1024});
   ASSERT_TRUE(app.finished);
   // A 64 KiB transfer should finish near the fast path's timescale, not
   // be held hostage by the slow one (no head-of-line blocking).

@@ -15,17 +15,17 @@ namespace {
 TEST(Header, RoundTripSinglePath) {
   PacketHeader h;
   h.cid = 0xDEADBEEFCAFEF00DULL;
-  h.packet_number = 5;
+  h.packet_number = PacketNumber{5};
   h.multipath = false;
   BufWriter w;
-  EncodeHeader(h, /*largest_acked=*/0, w);
+  EncodeHeader(h, /*largest_acked=*/PacketNumber{0}, w);
   BufReader r(w.span());
   ParsedHeader parsed;
   ASSERT_TRUE(DecodeHeader(r, parsed));
   EXPECT_EQ(parsed.header.cid, h.cid);
   EXPECT_FALSE(parsed.header.multipath);
   EXPECT_FALSE(parsed.header.handshake);
-  EXPECT_EQ(DecodePacketNumber(4, parsed.header.packet_number,
+  EXPECT_EQ(DecodePacketNumber(PacketNumber{4}, parsed.header.packet_number,
                                parsed.pn_length),
             5u);
   EXPECT_EQ(parsed.header_size, w.size());
@@ -34,11 +34,11 @@ TEST(Header, RoundTripSinglePath) {
 TEST(Header, MultipathCarriesPathId) {
   PacketHeader h;
   h.cid = 42;
-  h.path_id = 7;
-  h.packet_number = 1;
+  h.path_id = PathId{7};
+  h.packet_number = PacketNumber{1};
   h.multipath = true;
   BufWriter w;
-  EncodeHeader(h, 0, w);
+  EncodeHeader(h, PacketNumber{0}, w);
   BufReader r(w.span());
   ParsedHeader parsed;
   ASSERT_TRUE(DecodeHeader(r, parsed));
@@ -47,18 +47,18 @@ TEST(Header, MultipathCarriesPathId) {
   // Multipath adds exactly one byte over the single-path header.
   BufWriter w2;
   h.multipath = false;
-  EncodeHeader(h, 0, w2);
+  EncodeHeader(h, PacketNumber{0}, w2);
   EXPECT_EQ(w.size(), w2.size() + 1);
 }
 
 TEST(Header, PacketNumberLengthGrowsWithDistance) {
   // The encoding must cover 2*distance+1 values.
-  EXPECT_EQ(PacketNumberLength(1, 0), 1u);
-  EXPECT_EQ(PacketNumberLength(127, 0), 1u);   // 255 < 2^8
-  EXPECT_EQ(PacketNumberLength(128, 0), 2u);   // 257 > 2^8
-  EXPECT_EQ(PacketNumberLength(100, 99), 1u);
-  EXPECT_EQ(PacketNumberLength(40000, 0), 4u);  // 80001 > 2^16
-  EXPECT_EQ(PacketNumberLength(1ULL << 40, 0), 8u);
+  EXPECT_EQ(PacketNumberLength(PacketNumber{1}, PacketNumber{0}), 1u);
+  EXPECT_EQ(PacketNumberLength(PacketNumber{127}, PacketNumber{0}), 1u);   // 255 < 2^8
+  EXPECT_EQ(PacketNumberLength(PacketNumber{128}, PacketNumber{0}), 2u);   // 257 > 2^8
+  EXPECT_EQ(PacketNumberLength(PacketNumber{100}, PacketNumber{99}), 1u);
+  EXPECT_EQ(PacketNumberLength(PacketNumber{40000}, PacketNumber{0}), 4u);  // 80001 > 2^16
+  EXPECT_EQ(PacketNumberLength(PacketNumber{1ULL << 40}, PacketNumber{0}), 8u);
 }
 
 class PnReconstruction
@@ -99,13 +99,13 @@ TEST(PnReconstructionEdge, ReorderedBelowLargestSeen) {
   // Largest seen 200, packet 198 arrives late with a 1-byte PN.
   PacketHeader h;
   h.cid = 1;
-  h.packet_number = 198;
+  h.packet_number = PacketNumber{198};
   BufWriter w;
-  EncodeHeader(h, /*largest_acked=*/197, w);
+  EncodeHeader(h, /*largest_acked=*/PacketNumber{197}, w);
   BufReader r(w.span());
   ParsedHeader parsed;
   ASSERT_TRUE(DecodeHeader(r, parsed));
-  EXPECT_EQ(DecodePacketNumber(200, parsed.header.packet_number,
+  EXPECT_EQ(DecodePacketNumber(PacketNumber{200}, parsed.header.packet_number,
                                parsed.pn_length),
             198u);
 }
@@ -126,8 +126,8 @@ Frame RoundTrip(const Frame& in) {
 
 TEST(Frames, StreamRoundTrip) {
   StreamFrame f;
-  f.stream_id = 3;
-  f.offset = 123456;
+  f.stream_id = StreamId{3};
+  f.offset = ByteCount{123456};
   f.fin = true;
   f.data = {1, 2, 3, 4, 5};
   const auto out = std::get<StreamFrame>(RoundTrip(f));
@@ -139,8 +139,8 @@ TEST(Frames, StreamRoundTrip) {
 
 TEST(Frames, EmptyStreamFrameWithFin) {
   StreamFrame f;
-  f.stream_id = 9;
-  f.offset = 1000;
+  f.stream_id = StreamId{9};
+  f.offset = ByteCount{1000};
   f.fin = true;
   const auto out = std::get<StreamFrame>(RoundTrip(f));
   EXPECT_TRUE(out.data.empty());
@@ -149,9 +149,12 @@ TEST(Frames, EmptyStreamFrameWithFin) {
 
 TEST(Frames, AckRoundTripMultipleRanges) {
   AckFrame f;
-  f.path_id = 2;
+  f.path_id = PathId{2};
   f.ack_delay = 12345;
-  f.ranges = {{90, 100}, {70, 80}, {10, 50}, {3, 3}};
+  f.ranges = {{PacketNumber{90}, PacketNumber{100}},
+              {PacketNumber{70}, PacketNumber{80}},
+              {PacketNumber{10}, PacketNumber{50}},
+              {PacketNumber{3}, PacketNumber{3}}};
   const auto out = std::get<AckFrame>(RoundTrip(f));
   EXPECT_EQ(out.path_id, 2);
   EXPECT_EQ(out.ack_delay, 12345);
@@ -165,8 +168,8 @@ TEST(Frames, AckRoundTripMultipleRanges) {
 
 TEST(Frames, AckSingleRange) {
   AckFrame f;
-  f.path_id = 0;
-  f.ranges = {{1, 1}};
+  f.path_id = PathId{0};
+  f.ranges = {{PacketNumber{1}, PacketNumber{1}}};
   const auto out = std::get<AckFrame>(RoundTrip(f));
   ASSERT_EQ(out.ranges.size(), 1u);
   EXPECT_EQ(out.ranges[0].smallest, 1u);
@@ -177,8 +180,8 @@ TEST(Frames, AckMaxRangesRoundTrip) {
   // 256 alternating ranges — the QUIC-side capacity the paper contrasts
   // with TCP's 2-3 SACK blocks.
   AckFrame f;
-  f.path_id = 1;
-  PacketNumber pn = 10 * AckFrame::kMaxAckRanges;
+  f.path_id = PathId{1};
+  PacketNumber pn = PacketNumber{10 * AckFrame::kMaxAckRanges};
   for (std::size_t i = 0; i < AckFrame::kMaxAckRanges; ++i) {
     f.ranges.push_back({pn, pn + 3});
     pn -= 10;
@@ -202,8 +205,8 @@ TEST(Frames, AckBeyondMaxRangesRejectedOnDecode) {
 
 TEST(Frames, WindowUpdateRoundTrip) {
   WindowUpdateFrame f;
-  f.stream_id = 0;
-  f.max_data = 16 * 1024 * 1024;
+  f.stream_id = StreamId{0};
+  f.max_data = ByteCount{16 * 1024 * 1024};
   const auto out = std::get<WindowUpdateFrame>(RoundTrip(f));
   EXPECT_EQ(out.stream_id, 0u);
   EXPECT_EQ(out.max_data, f.max_data);
@@ -242,8 +245,8 @@ TEST(Frames, RemoveAddressRoundTrip) {
 
 TEST(Frames, PathsRoundTrip) {
   PathsFrame f;
-  f.paths = {{0, PathStatus::kActive, 15000},
-             {1, PathStatus::kPotentiallyFailed, 250000}};
+  f.paths = {{PathId{0}, PathStatus::kActive, 15000},
+             {PathId{1}, PathStatus::kPotentiallyFailed, 250000}};
   const auto out = std::get<PathsFrame>(RoundTrip(f));
   ASSERT_EQ(out.paths.size(), 2u);
   EXPECT_EQ(out.paths[0].srtt, 15000);
@@ -261,9 +264,9 @@ TEST(Frames, ConnectionCloseRoundTrip) {
 
 TEST(Frames, RstStreamRoundTrip) {
   RstStreamFrame f;
-  f.stream_id = 11;
+  f.stream_id = StreamId{11};
   f.error_code = 3;
-  f.final_offset = 999999;
+  f.final_offset = ByteCount{999999};
   const auto out = std::get<RstStreamFrame>(RoundTrip(f));
   EXPECT_EQ(out.final_offset, 999999u);
 }
@@ -271,14 +274,14 @@ TEST(Frames, RstStreamRoundTrip) {
 TEST(Frames, PingAndBlockedRoundTrip) {
   EXPECT_TRUE(std::holds_alternative<PingFrame>(RoundTrip(PingFrame{})));
   BlockedFrame b;
-  b.stream_id = 4;
+  b.stream_id = StreamId{4};
   EXPECT_EQ(std::get<BlockedFrame>(RoundTrip(b)).stream_id, 4u);
 }
 
 TEST(Frames, PayloadWithTrailingPadding) {
   BufWriter w;
   EncodeFrame(PingFrame{}, w);
-  EncodeFrame(StreamFrame{3, 0, false, {1, 2}}, w);
+  EncodeFrame(StreamFrame{StreamId{3}, ByteCount{0}, false, {1, 2}}, w);
   EncodeFrame(PaddingFrame{100}, w);
   std::vector<Frame> frames;
   ASSERT_TRUE(DecodePayload(w.span(), frames));

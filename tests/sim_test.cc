@@ -117,14 +117,14 @@ TEST(Timer, ArmedStateTracksLifecycle) {
 // ---------------------------------------------------------------------------
 // Links
 
-LinkConfig MakeLink(double mbps, Duration prop, ByteCount queue = 1 << 20,
+LinkConfig MakeLink(double mbps, Duration prop, ByteCount queue = ByteCount{1 << 20},
                     double loss = 0.0) {
   LinkConfig c;
   c.capacity_mbps = mbps;
   c.propagation_delay = prop;
   c.queue_capacity_bytes = queue;
   c.random_loss_rate = loss;
-  c.per_packet_overhead = 0;  // keep the math exact for tests
+  c.per_packet_overhead = ByteCount{0};  // keep the math exact for tests
   return c;
 }
 
@@ -158,7 +158,7 @@ TEST(Link, QueueOverflowDropsTail) {
   Simulator sim;
   // Queue of 3000 bytes: two 1000-byte packets queue (one transmitting,
   // one waiting), subsequent ones drop until space frees.
-  Link link(sim, MakeLink(8.0, 0, /*queue=*/3000), Rng(1));
+  Link link(sim, MakeLink(8.0, 0, /*queue=*/ByteCount{3000}), Rng(1));
   int delivered = 0;
   link.SetDeliveryHandler([&](Datagram&&) { ++delivered; });
   for (int i = 0; i < 10; ++i) {
@@ -172,7 +172,7 @@ TEST(Link, QueueOverflowDropsTail) {
 
 TEST(Link, QueueDrainsOverTime) {
   Simulator sim;
-  Link link(sim, MakeLink(8.0, 0, /*queue=*/3000), Rng(1));
+  Link link(sim, MakeLink(8.0, 0, /*queue=*/ByteCount{3000}), Rng(1));
   int delivered = 0;
   link.SetDeliveryHandler([&](Datagram&&) { ++delivered; });
   // Offer one packet per 2 ms — well under capacity; nothing must drop.
@@ -188,7 +188,7 @@ TEST(Link, QueueDrainsOverTime) {
 
 TEST(Link, RandomLossRateIsApplied) {
   Simulator sim;
-  Link link(sim, MakeLink(1000.0, 0, 1 << 24, /*loss=*/0.3), Rng(5));
+  Link link(sim, MakeLink(1000.0, 0, ByteCount{1 << 24}, /*loss=*/0.3), Rng(5));
   int delivered = 0;
   link.SetDeliveryHandler([&](Datagram&&) { ++delivered; });
   const int n = 20000;
@@ -222,7 +222,7 @@ TEST(Link, LossRateChangeMidRunTakesEffect) {
 TEST(Link, PerPacketOverheadCountsOnWire) {
   Simulator sim;
   LinkConfig c = MakeLink(8.0, 0);
-  c.per_packet_overhead = 28;
+  c.per_packet_overhead = ByteCount{28};
   Link link(sim, c, Rng(1));
   TimePoint delivered_at = -1;
   link.SetDeliveryHandler([&](Datagram&&) { delivered_at = sim.now(); });

@@ -1,0 +1,55 @@
+// Negative-compilation proof for the strong protocol types
+// (common/strong.h): each NEG_CASE_* block below is a cross-kind mix
+// that MUST fail to compile. CMake registers one ctest per case that
+// runs the compiler in -fsyntax-only mode with the case's macro defined
+// and expects failure (WILL_FAIL); compiled with no macro, this file is
+// the positive control and must build and run clean.
+//
+// See docs/STATIC_ANALYSIS.md for the full list of what the wrappers
+// allow and forbid.
+#include "common/types.h"
+
+using namespace mpq;
+
+int main() {
+  PathId path{1};
+  PacketNumber pn{2};
+  StreamId stream{3};
+  ByteCount bytes{4};
+
+#if defined(NEG_CASE_ASSIGN_RAW)
+  // Raw integers never assign into a strong type without a visible wrap.
+  pn = 7;
+#elif defined(NEG_CASE_CROSS_INIT)
+  // One kind never initializes another.
+  ByteCount wrong = pn;
+  (void)wrong;
+#elif defined(NEG_CASE_CROSS_ARITH)
+  // Arithmetic across kinds is meaningless (a packet number plus a byte
+  // count is neither).
+  (void)(pn + bytes);
+#elif defined(NEG_CASE_CROSS_COMPARE)
+  // Comparing a path id against a stream id is always a bug.
+  (void)(path == stream);
+#elif defined(NEG_CASE_IMPLICIT_NARROW)
+  // Escaping to a raw integer requires .value() (or an explicit cast);
+  // it never happens implicitly.
+  std::uint64_t raw = bytes;
+  (void)raw;
+#elif defined(NEG_CASE_CROSS_ASSIGN)
+  // Assignment across kinds is as forbidden as initialization.
+  bytes = ByteCount{1};
+  pn = PacketNumber{bytes.value()};  // fine: explicit, visible
+  path = stream;                     // not fine
+#endif
+
+  // Positive control: the intended idioms all work.
+  pn = PacketNumber{7};
+  bytes += ByteCount{100};
+  bytes = bytes + 10;
+  const std::uint64_t escaped = bytes.value();
+  const bool later = pn > PacketNumber{1};
+  (void)path;
+  (void)stream;
+  return escaped != 0 && later ? 0 : 1;
+}

@@ -20,7 +20,7 @@ struct Fixture {
   sim::TwoPathTopology topo;
   std::unique_ptr<TcpServerEndpoint> server;
   std::unique_ptr<TcpClientEndpoint> client;
-  ByteCount received = 0;
+  ByteCount received{};
   bool finished = false;
   TimePoint secure_at = -1;
 
@@ -40,7 +40,7 @@ struct Fixture {
                                  bool) {
         request->append(d.begin(), d.end());
         if (!request->empty() && request->back() == '\n') {
-          const ByteCount n = std::stoull(request->substr(4));
+          const ByteCount n = ByteCount{std::stoull(request->substr(4))};
           request->clear();
           conn.SendAppData(std::make_unique<PatternSource>(7, n));
         }
@@ -63,7 +63,7 @@ struct Fixture {
     p.capacity_mbps = 10;
     p.rtt = 40 * kMillisecond;
     p.max_queue_delay = 50 * kMillisecond;
-    p.per_packet_overhead = 20;
+    p.per_packet_overhead = ByteCount{20};
     return {p, p};
   }
 
@@ -71,7 +71,7 @@ struct Fixture {
            TimePoint deadline = 300 * kSecond) {
     client->connection().SetSecureEstablishedHandler([this, size] {
       secure_at = sim.now();
-      const std::string request = "GET " + std::to_string(size) + "\n";
+      const std::string request = "GET " + std::to_string(size.value()) + "\n";
       client->connection().SendAppData(std::make_unique<BufferSource>(
           std::vector<std::uint8_t>(request.begin(), request.end())));
     });
@@ -96,14 +96,14 @@ TEST(TcpConnection, TlsBytesDoNotLeakIntoAppStream) {
   // The app handler must see exactly the response bytes with offsets
   // starting at 0, never the 3.1 KB of modelled TLS handshake.
   Fixture fx(Mptcp());
-  ByteCount first_offset = 1;
+  ByteCount first_offset = ByteCount{1};
   fx.client->connection().SetAppDataHandler(
       [&](ByteCount offset, std::span<const std::uint8_t> d, bool eof) {
         if (first_offset == 1 && !d.empty()) first_offset = offset;
         fx.received += d.size();
         if (eof) fx.finished = true;
       });
-  fx.Run(100 * 1024);
+  fx.Run(ByteCount{100 * 1024});
   ASSERT_TRUE(fx.finished);
   EXPECT_EQ(first_offset, 0u);
   EXPECT_EQ(fx.received, 100u * 1024);
@@ -114,8 +114,8 @@ TEST(TcpConnection, NoTlsModeSkipsTheTwoExtraRtts) {
   TcpConfig without = Mptcp();
   without.use_tls = false;
   Fixture a(with), b(without);
-  a.Run(1024);
-  b.Run(1024);
+  a.Run(ByteCount{1024});
+  b.Run(ByteCount{1024});
   ASSERT_TRUE(a.finished && b.finished);
   // TLS costs 2 extra RTTs (80 ms here) plus the certificate bytes.
   EXPECT_GT(a.secure_at, b.secure_at + 70 * kMillisecond);
@@ -123,7 +123,7 @@ TEST(TcpConnection, NoTlsModeSkipsTheTwoExtraRtts) {
 
 TEST(TcpConnection, SecondSubflowJoinsOneRttAfterTheFirst) {
   Fixture fx(Mptcp());
-  fx.Run(512 * 1024);
+  fx.Run(ByteCount{512 * 1024});
   ASSERT_TRUE(fx.finished);
   TcpConnection* server_conn =
       fx.server->FindConnection(fx.client->connection().cid());
@@ -136,9 +136,9 @@ TEST(TcpConnection, SecondSubflowJoinsOneRttAfterTheFirst) {
 
 TEST(TcpConnection, TinyReceiveWindowStillCompletes) {
   TcpConfig config = Mptcp();
-  config.receive_window = 32 * 1024;
+  config.receive_window = ByteCount{32 * 1024};
   Fixture fx(config);
-  fx.Run(1 * 1024 * 1024);
+  fx.Run(ByteCount{1 * 1024 * 1024});
   EXPECT_TRUE(fx.finished);
   EXPECT_EQ(fx.received, 1u * 1024 * 1024);
 }
@@ -150,14 +150,14 @@ TEST(TcpConnection, OrpTriggersWhenWindowLimited) {
   // blocks the small shared receive window; the idle fast subflow
   // reinjects it and penalizes the slow one.
   TcpConfig config = Mptcp();
-  config.receive_window = 48 * 1024;
+  config.receive_window = ByteCount{48 * 1024};
   auto paths = Fixture::DefaultPaths();
   paths[0].capacity_mbps = 2.0;
   paths[0].max_queue_delay = 20 * kMillisecond;
   paths[1].capacity_mbps = 2.0;
   paths[1].rtt = 400 * kMillisecond;
   Fixture fx(config, paths);
-  fx.Run(2 * 1024 * 1024);
+  fx.Run(ByteCount{2 * 1024 * 1024});
   ASSERT_TRUE(fx.finished);
   TcpConnection* server_conn =
       fx.server->FindConnection(fx.client->connection().cid());
@@ -166,13 +166,13 @@ TEST(TcpConnection, OrpTriggersWhenWindowLimited) {
 
 TEST(TcpConnection, OrpCanBeDisabled) {
   TcpConfig config = Mptcp();
-  config.receive_window = 64 * 1024;
+  config.receive_window = ByteCount{64 * 1024};
   config.enable_orp = false;
   auto paths = Fixture::DefaultPaths();
   paths[1].capacity_mbps = 0.5;
   paths[1].rtt = 300 * kMillisecond;
   Fixture fx(config, paths);
-  fx.Run(1 * 1024 * 1024);
+  fx.Run(ByteCount{1 * 1024 * 1024});
   ASSERT_TRUE(fx.finished);  // slower, but must not deadlock
   TcpConnection* server_conn =
       fx.server->FindConnection(fx.client->connection().cid());
@@ -187,7 +187,7 @@ TEST(TcpConnection, SackBudgetKnobIsPlumbedThrough) {
     paths[0].random_loss_rate = 0.02;
     paths[1].random_loss_rate = 0.02;
     Fixture fx(config, paths);
-    fx.Run(512 * 1024);
+    fx.Run(ByteCount{512 * 1024});
     EXPECT_TRUE(fx.finished) << blocks << " SACK blocks";
     EXPECT_EQ(fx.received, 512u * 1024);
   }
@@ -203,7 +203,7 @@ TEST(TcpConnection, LostRetransmissionKnobChangesBehaviour) {
     paths[0].random_loss_rate = 0.03;
     paths[1].random_loss_rate = 0.03;
     Fixture fx(config, paths, /*interfaces=*/1);
-    fx.Run(2 * 1024 * 1024, /*interfaces=*/1);
+    fx.Run(ByteCount{2 * 1024 * 1024}, /*interfaces=*/1);
     EXPECT_TRUE(fx.finished);
     TcpConnection* server_conn =
         fx.server->FindConnection(fx.client->connection().cid());
@@ -217,7 +217,7 @@ TEST(TcpConnection, DeterministicAcrossIdenticalRuns) {
     auto paths = Fixture::DefaultPaths();
     paths[0].random_loss_rate = 0.01;
     Fixture fx(Mptcp(), paths);
-    fx.Run(512 * 1024);
+    fx.Run(ByteCount{512 * 1024});
     return std::tuple(fx.sim.now(), fx.received);
   };
   EXPECT_EQ(run(), run());
@@ -226,7 +226,7 @@ TEST(TcpConnection, DeterministicAcrossIdenticalRuns) {
 TEST(TcpConnection, SinglePathIgnoresSecondInterface) {
   TcpConfig config;  // multipath off
   Fixture fx(config, Fixture::DefaultPaths(), /*interfaces=*/1);
-  fx.Run(256 * 1024, /*interfaces=*/1);
+  fx.Run(ByteCount{256 * 1024}, /*interfaces=*/1);
   ASSERT_TRUE(fx.finished);
   TcpConnection* server_conn =
       fx.server->FindConnection(fx.client->connection().cid());

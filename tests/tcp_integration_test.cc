@@ -24,8 +24,8 @@ struct TcpTestApp {
   std::unique_ptr<TcpServerEndpoint> server;
   std::unique_ptr<TcpClientEndpoint> client;
 
-  ByteCount bytes_received = 0;
-  ByteCount pattern_errors = 0;
+  ByteCount bytes_received{};
+  ByteCount pattern_errors{};
   bool finished = false;
   TimePoint finish_time = -1;
   TimePoint secure_time = -1;
@@ -45,7 +45,7 @@ struct TcpTestApp {
         request->append(data.begin(), data.end());
         const auto newline = request->find('\n');
         if (newline != std::string::npos && request->back() == '\n') {
-          const ByteCount size = std::stoull(request->substr(4, newline - 4));
+          const ByteCount size = ByteCount{std::stoull(request->substr(4, newline - 4))};
           request->clear();
           conn.SendAppData(std::make_unique<PatternSource>(kAppPattern, size));
         }
@@ -80,7 +80,7 @@ struct TcpTestApp {
         [this, download_size] {
           secure_time = sim.now();
           const std::string request =
-              "GET " + std::to_string(download_size) + "\n";
+              "GET " + std::to_string(download_size.value()) + "\n";
           client->connection().SendAppData(
               std::make_unique<BufferSource>(std::vector<std::uint8_t>(
                   request.begin(), request.end())));
@@ -121,7 +121,7 @@ std::array<sim::PathParams, 2> SymmetricPaths(double mbps, Duration rtt,
 
 TEST(TcpIntegration, SinglePathDownloadCompletesWithIntactData) {
   TcpTestApp app(SymmetricPaths(10.0, 30 * kMillisecond), SinglePathTcp(), 1);
-  app.Run(2 * 1024 * 1024, 600 * kSecond, 1);
+  app.Run(ByteCount{2 * 1024 * 1024}, 600 * kSecond, 1);
   ASSERT_TRUE(app.finished);
   EXPECT_EQ(app.bytes_received, 2u * 1024 * 1024);
   EXPECT_EQ(app.pattern_errors, 0u);
@@ -131,7 +131,7 @@ TEST(TcpIntegration, SinglePathDownloadCompletesWithIntactData) {
 TEST(TcpIntegration, SecureHandshakeTakesThreeRtts) {
   // §4.2: TCP 3WHS + TLS 1.2 = 3 RTTs before the request can be sent.
   TcpTestApp app(SymmetricPaths(50.0, 100 * kMillisecond), SinglePathTcp(), 1);
-  app.Run(1024, 30 * kSecond, 1);
+  app.Run(ByteCount{1024}, 30 * kSecond, 1);
   ASSERT_TRUE(app.finished);
   EXPECT_GE(app.secure_time, 300 * kMillisecond);
   EXPECT_LE(app.secure_time, 360 * kMillisecond);
@@ -143,7 +143,7 @@ TEST(TcpIntegration, NoTlsHandshakeTakesOneRtt) {
   TcpConfig config = SinglePathTcp();
   config.use_tls = false;
   TcpTestApp app(SymmetricPaths(50.0, 100 * kMillisecond), config, 1);
-  app.Run(1024, 30 * kSecond, 1);
+  app.Run(ByteCount{1024}, 30 * kSecond, 1);
   ASSERT_TRUE(app.finished);
   EXPECT_GE(app.secure_time, 100 * kMillisecond);
   EXPECT_LE(app.secure_time, 120 * kMillisecond);
@@ -152,11 +152,11 @@ TEST(TcpIntegration, NoTlsHandshakeTakesOneRtt) {
 TEST(TcpIntegration, MptcpAggregatesBandwidth) {
   TcpTestApp single(SymmetricPaths(8.0, 40 * kMillisecond), SinglePathTcp(),
                     1);
-  single.Run(10 * 1024 * 1024, 600 * kSecond, 1);
+  single.Run(ByteCount{10 * 1024 * 1024}, 600 * kSecond, 1);
   ASSERT_TRUE(single.finished);
 
   TcpTestApp multi(SymmetricPaths(8.0, 40 * kMillisecond), Mptcp(), 2);
-  multi.Run(10 * 1024 * 1024);
+  multi.Run(ByteCount{10 * 1024 * 1024});
   ASSERT_TRUE(multi.finished);
   EXPECT_EQ(multi.pattern_errors, 0u);
   EXPECT_LT(multi.finish_time, single.finish_time * 0.7);
@@ -164,7 +164,7 @@ TEST(TcpIntegration, MptcpAggregatesBandwidth) {
 
 TEST(TcpIntegration, MptcpUsesBothSubflows) {
   TcpTestApp app(SymmetricPaths(8.0, 40 * kMillisecond), Mptcp(), 2);
-  app.Run(5 * 1024 * 1024);
+  app.Run(ByteCount{5 * 1024 * 1024});
   ASSERT_TRUE(app.finished);
   ASSERT_EQ(app.server->connection_count(), 1u);
   TcpConnection* conn =
@@ -181,7 +181,7 @@ TEST(TcpIntegration, MptcpUsesBothSubflows) {
 TEST(TcpIntegration, LossyPathStillCompletesWithIntactData) {
   TcpTestApp app(SymmetricPaths(10.0, 30 * kMillisecond, 0.02),
                  SinglePathTcp(), 1);
-  app.Run(1 * 1024 * 1024, 600 * kSecond, 1);
+  app.Run(ByteCount{1 * 1024 * 1024}, 600 * kSecond, 1);
   ASSERT_TRUE(app.finished);
   EXPECT_EQ(app.bytes_received, 1u * 1024 * 1024);
   EXPECT_EQ(app.pattern_errors, 0u);
@@ -189,7 +189,7 @@ TEST(TcpIntegration, LossyPathStillCompletesWithIntactData) {
 
 TEST(TcpIntegration, MptcpLossyBothPathsCompletes) {
   TcpTestApp app(SymmetricPaths(6.0, 50 * kMillisecond, 0.01), Mptcp(), 2);
-  app.Run(2 * 1024 * 1024);
+  app.Run(ByteCount{2 * 1024 * 1024});
   ASSERT_TRUE(app.finished);
   EXPECT_EQ(app.pattern_errors, 0u);
 }
@@ -203,7 +203,7 @@ TEST(TcpIntegration, FailoverReinjectsOntoSurvivingSubflow) {
     app.topo.forward[0]->SetRandomLossRate(1.0);
     app.topo.backward[0]->SetRandomLossRate(1.0);
   });
-  app.Run(512 * 1024, 120 * kSecond);
+  app.Run(ByteCount{512 * 1024}, 120 * kSecond);
   ASSERT_TRUE(app.finished);
   EXPECT_EQ(app.bytes_received, 512u * 1024);
   EXPECT_EQ(app.pattern_errors, 0u);
@@ -216,7 +216,7 @@ TEST(TcpIntegration, AsymmetricPathsNoCorruption) {
   paths[1].capacity_mbps = 1.0;
   paths[1].rtt = 200 * kMillisecond;
   TcpTestApp app(paths, Mptcp(), 2);
-  app.Run(2 * 1024 * 1024);
+  app.Run(ByteCount{2 * 1024 * 1024});
   ASSERT_TRUE(app.finished);
   EXPECT_EQ(app.pattern_errors, 0u);
 }

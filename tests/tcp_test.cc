@@ -210,10 +210,10 @@ TEST(SubflowData, BytesFlowAndDataFinDelivered) {
   for (std::size_t i = 0; i < 5000; ++i) {
     pair.client_host.stream_data[i] = static_cast<std::uint8_t>(i);
   }
-  pair.client->SendMappedData(0, 1400, false);
-  pair.client->SendMappedData(1400, 1400, false);
-  pair.client->SendMappedData(2800, 1400, false);
-  pair.client->SendMappedData(4200, 800, true);
+  pair.client->SendMappedData(0, ByteCount{1400}, false);
+  pair.client->SendMappedData(1400, ByteCount{1400}, false);
+  pair.client->SendMappedData(2800, ByteCount{1400}, false);
+  pair.client->SendMappedData(4200, ByteCount{800}, true);
   pair.sim.Run();
   ASSERT_EQ(pair.server_host.received.size(), 5000u);
   EXPECT_EQ(pair.server_host.received, pair.client_host.stream_data);
@@ -235,7 +235,7 @@ TEST(SubflowData, LostSegmentRecoveredByFastRetransmit) {
     return false;
   };
   for (int i = 0; i < 10; ++i) {
-    pair.client->SendMappedData(i * 1400, 1400, i == 9);
+    pair.client->SendMappedData(i * 1400, ByteCount{1400}, i == 9);
   }
   pair.sim.Run();
   EXPECT_TRUE(dropped);
@@ -255,8 +255,8 @@ TEST(SubflowData, TotalLossLeadsToRtoAndPotentiallyFailed) {
   // Everything from the client is now dropped.
   pair.client_host.drop_filter = [](const TcpSegment&) { return true; };
   pair.client_host.stream_data.assign(2800, 5);
-  pair.client->SendMappedData(0, 1400, false);
-  pair.client->SendMappedData(1400, 1400, false);
+  pair.client->SendMappedData(0, ByteCount{1400}, false);
+  pair.client->SendMappedData(1400, ByteCount{1400}, false);
   pair.sim.Run(10 * kSecond);
   EXPECT_GE(pair.client_host.timeout_events, 1);
   EXPECT_TRUE(pair.client->potentially_failed());
@@ -283,7 +283,7 @@ TEST(SubflowData, SackLimitedToThreeBlocks) {
     return false;
   };
   for (int i = 0; i < 12; ++i) {
-    pair.client->SendMappedData(i * 1400ULL, 1400, false);
+    pair.client->SendMappedData(i * 1400ULL, ByteCount{1400}, false);
   }
   pair.sim.Run(1 * kSecond);
   // The receiver generated SACK-bearing acks, capped at 3 blocks even

@@ -16,7 +16,7 @@ Frame RandomFrame(Rng& rng) {
     case 0: {
       StreamFrame f;
       f.stream_id = static_cast<StreamId>(rng.NextBounded(1000) + 1);
-      f.offset = rng.NextBounded(1ULL << 40);
+      f.offset = ByteCount{rng.NextBounded(1ULL << 40)};
       f.fin = rng.NextBool(0.2);
       f.data.resize(rng.NextBounded(1200));
       for (auto& b : f.data) b = static_cast<std::uint8_t>(rng.NextU64());
@@ -26,13 +26,13 @@ Frame RandomFrame(Rng& rng) {
       AckFrame f;
       f.path_id = static_cast<PathId>(rng.NextBounded(8));
       f.ack_delay = static_cast<Duration>(rng.NextBounded(1 << 20));
-      PacketNumber cursor =
-          rng.NextBounded(1ULL << 30) + 10 * AckFrame::kMaxAckRanges + 10;
+      PacketNumber cursor{
+          rng.NextBounded(1ULL << 30) + 10 * AckFrame::kMaxAckRanges + 10};
       const std::size_t count = rng.NextBounded(64) + 1;
       for (std::size_t i = 0; i < count && cursor > 8; ++i) {
         const PacketNumber largest = cursor;
         const PacketNumber smallest =
-            largest - rng.NextBounded(std::min<PacketNumber>(largest, 5));
+            largest - rng.NextBounded(std::min<std::uint64_t>(largest.value(), 5));
         f.ranges.push_back({smallest, largest});
         if (smallest < rng.NextBounded(6) + 2) break;
         cursor = smallest - (rng.NextBounded(4) + 2);
@@ -42,7 +42,7 @@ Frame RandomFrame(Rng& rng) {
     case 2: {
       WindowUpdateFrame f;
       f.stream_id = static_cast<StreamId>(rng.NextBounded(100));
-      f.max_data = rng.NextBounded(1ULL << 40);
+      f.max_data = ByteCount{rng.NextBounded(1ULL << 40)};
       return f;
     }
     case 3:
@@ -80,7 +80,7 @@ Frame RandomFrame(Rng& rng) {
       RstStreamFrame f;
       f.stream_id = static_cast<StreamId>(rng.NextBounded(1000) + 1);
       f.error_code = static_cast<std::uint16_t>(rng.NextBounded(1 << 16));
-      f.final_offset = rng.NextBounded(1ULL << 40);
+      f.final_offset = ByteCount{rng.NextBounded(1ULL << 40)};
       return f;
     }
     default: {
@@ -148,7 +148,7 @@ TEST(WireProperty, RandomHeaderRoundTripWithTruncation) {
     header.cid = rng.NextU64();
     header.multipath = rng.NextBool(0.5);
     header.path_id = static_cast<PathId>(rng.NextBounded(8));
-    const PacketNumber largest_acked = rng.NextBounded(1ULL << 34);
+    const PacketNumber largest_acked{rng.NextBounded(1ULL << 34)};
     // Receiver state close to the sender's: largest seen within the
     // in-flight window of what is being sent.
     header.packet_number =

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-# Local CI: build the plain, sanitized (ASan+UBSan), and ThreadSanitizer
-# configurations and run the full test suite under each. TSan exercises
-# the parallel sweep harness (tests run EvaluateClass with --jobs > 1).
+# Local CI: static analysis first (cheap, catches style/hygiene drift),
+# then build the plain, sanitized (ASan+UBSan), ThreadSanitizer, and
+# MPQ_AUDIT (runtime invariant checker) configurations and run the full
+# test suite under each. TSan exercises the parallel sweep harness
+# (tests run EvaluateClass with --jobs > 1); the audit leg runs every
+# test with per-event protocol invariants asserted (src/quic/audit.cc).
 #
 #   tools/ci.sh [--jobs N]
 #
-# Exits non-zero on the first build or test failure.
+# Exits non-zero on the first lint finding, build, or test failure.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,8 +31,32 @@ run_config() {
   ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
 }
 
-run_config build
+# --- Stage 1: lint -----------------------------------------------------
+# Build just the checker in the plain config, prove it still detects its
+# seeded-violation corpus, then run it over the real tree.
+echo "==> lint (mpq_lint)"
+cmake -B build -S . > /dev/null
+cmake --build build -j "${jobs}" --target mpq_lint
+./build/tools/mpq_lint --selftest tools/lint_corpus
+./build/tools/mpq_lint --root . src bench
+
+# clang-tidy is optional tooling (not in the baseline container); run it
+# when available, using the checks pinned in .clang-tidy.
+if command -v clang-tidy > /dev/null 2>&1; then
+  echo "==> lint (clang-tidy)"
+  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+  git ls-files 'src/*.cc' | xargs -P "${jobs}" -n 8 \
+    clang-tidy -p build --quiet --warnings-as-errors='*'
+else
+  echo "==> lint (clang-tidy): not installed, skipping"
+fi
+
+# --- Stage 2: build + test matrix --------------------------------------
+# The plain leg also builds with MPQ_STRICT so -Wconversion/-Wshadow
+# warnings in src/ are hard errors.
+run_config build -DMPQ_STRICT=ON
 run_config build-asan -DMPQ_SANITIZE=ON
 run_config build-tsan -DMPQ_TSAN=ON
+run_config build-audit -DMPQ_AUDIT=ON
 
 echo "==> all configurations passed"

@@ -1,0 +1,18 @@
+// Control: a clean protocol file — no findings expected. The smart-
+// pointer-owned allocation and the unordered lookup (no iteration) are
+// both allowed.
+#include <memory>
+#include <unordered_map>
+
+struct Widget {};
+
+std::unordered_map<int, int> table;
+
+std::unique_ptr<Widget> Make() {
+  return std::unique_ptr<Widget>(new Widget);
+}
+
+int Lookup(int key) {
+  auto it = table.find(key);
+  return it == table.end() ? 0 : it->second;
+}

@@ -1,0 +1,7 @@
+// Control: clock reads are allowed under src/common (this file lints
+// with a virtual src/common path) — no findings expected.
+#include <chrono>
+
+long Now() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,6 @@
+// Seeded violation: iostream writes in library code.
+// expect: iostream-io
+// expect: iostream-io
+#include <iostream>
+
+void Report(int value) { std::cout << value << "\n"; }

@@ -1,0 +1,3 @@
+// Seeded violation: header without #pragma once.
+// expect: pragma-once
+inline int Answer() { return 42; }

@@ -1,0 +1,5 @@
+// Seeded violation: a new expression nobody owns.
+// expect: naked-new
+struct Widget {};
+
+Widget* Make() { return new Widget; }

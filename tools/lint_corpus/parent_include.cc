@@ -1,0 +1,3 @@
+// Seeded violation: parent-relative include path.
+// expect: include-hygiene
+#include "../quic/wire.h"

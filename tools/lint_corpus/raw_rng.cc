@@ -1,0 +1,5 @@
+// Seeded violation: global RNG instead of the seeded mpq::Rng.
+// expect: raw-rng
+#include <cstdlib>
+
+int Roll() { return std::rand() % 6; }

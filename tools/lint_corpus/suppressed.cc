@@ -1,0 +1,6 @@
+// Control: NOLINT suppression — no findings expected.
+struct Legacy {};
+
+Legacy* MakeLegacy() {
+  return new Legacy;  // NOLINT(mpq-naked-new): ownership passes to C API
+}

@@ -1,0 +1,11 @@
+// Seeded violation: iterating an unordered container in protocol code.
+// expect: unordered-iter
+#include <unordered_map>
+
+std::unordered_map<int, int> table;
+
+int Sum() {
+  int total = 0;
+  for (const auto& [key, value] : table) total += value;
+  return total;
+}

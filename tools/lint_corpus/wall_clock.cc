@@ -1,0 +1,7 @@
+// Seeded violation: host clock read in protocol code.
+// expect: wall-clock
+#include <chrono>
+
+long Now() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}

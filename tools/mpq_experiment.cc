@@ -34,7 +34,7 @@ using namespace mpq::harness;
 
 struct Options {
   std::string scenario_file;
-  ByteCount size = 20 * 1024 * 1024;
+  ByteCount size = ByteCount{20 * 1024 * 1024};
   int reps = 1;
   std::uint64_t seed = 1;
   bool both_initial_paths = false;
@@ -101,7 +101,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--scenarios") == 0 && i + 1 < argc) {
       options.scenario_file = argv[++i];
     } else if (std::strcmp(argv[i], "--size") == 0 && i + 1 < argc) {
-      options.size = std::strtoull(argv[++i], nullptr, 10);
+      options.size = ByteCount{std::strtoull(argv[++i], nullptr, 10)};
     } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
       options.reps = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {

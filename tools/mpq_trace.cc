@@ -89,21 +89,24 @@ int SelfTest() {
   std::stringstream stream;
   {
     obs::QlogTracer tracer(stream, "selftest \"quoted\"\n\ttitle");
-    quic::Frame stream_frame = quic::StreamFrame{3, 0, false, {1, 2, 3}};
-    quic::Frame ack = quic::AckFrame{0, 25, {{1, 4}}};
+    quic::Frame stream_frame =
+        quic::StreamFrame{StreamId{3}, ByteCount{0}, false, {1, 2, 3}};
+    quic::Frame ack = quic::AckFrame{
+        PathId{0}, 25, {{PacketNumber{1}, PacketNumber{4}}}};
     tracer.OnHandshakeEvent(0, "chlo-sent");
-    tracer.OnPathStateChange(10, 0, "created");
-    tracer.OnSchedulerDecision(20, 0, "lowest-rtt", 137);
-    tracer.OnFrameSent(30, 0, stream_frame);
-    tracer.OnPacketSent(30, 0, 1, 1350, true);
-    tracer.OnPacketSent(40, 1, 1, 1350, true);
-    tracer.OnFrameReceived(50, 0, ack);
-    tracer.OnPacketReceived(50, 0, 7, 40);
-    tracer.OnPacketLost(60, 1, 1);
-    tracer.OnFrameRetransmitQueued(60, 1, stream_frame);
-    tracer.OnRto(70, 1, 1);
-    tracer.OnPathSample(80, 0, 42 * 1024, 10 * 1024, 20000);
-    tracer.OnFlowControlBlocked(90, 3);
+    tracer.OnPathStateChange(10, PathId{0}, "created");
+    tracer.OnSchedulerDecision(20, PathId{0}, "lowest-rtt", 137);
+    tracer.OnFrameSent(30, PathId{0}, stream_frame);
+    tracer.OnPacketSent(30, PathId{0}, PacketNumber{1}, ByteCount{1350}, true);
+    tracer.OnPacketSent(40, PathId{1}, PacketNumber{1}, ByteCount{1350}, true);
+    tracer.OnFrameReceived(50, PathId{0}, ack);
+    tracer.OnPacketReceived(50, PathId{0}, PacketNumber{7}, ByteCount{40});
+    tracer.OnPacketLost(60, PathId{1}, PacketNumber{1});
+    tracer.OnFrameRetransmitQueued(60, PathId{1}, stream_frame);
+    tracer.OnRto(70, PathId{1}, 1);
+    tracer.OnPathSample(80, PathId{0}, ByteCount{42 * 1024},
+                        ByteCount{10 * 1024}, 20000);
+    tracer.OnFlowControlBlocked(90, StreamId{3});
   }
 
   const auto summary = obs::ReadTrace(stream);
