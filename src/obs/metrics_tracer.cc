@@ -15,6 +15,7 @@ MetricsTracer::MetricsTracer(MetricsRegistry& registry)
       frames_sent_(registry.GetCounter("frames_sent")),
       frames_received_(registry.GetCounter("frames_received")),
       frames_requeued_(registry.GetCounter("frames_requeued")),
+      requeued_bytes_(registry.GetCounter("frames_requeued_bytes")),
       rtos_(registry.GetCounter("rtos")),
       flow_blocked_(registry.GetCounter("flow_control_blocked")),
       srtt_us_(registry.GetHistogram("srtt_us")),
@@ -88,10 +89,11 @@ void MetricsTracer::OnRto(TimePoint /*now*/, PathId path,
   PathCounter(path, "rtos").Increment();
 }
 
-void MetricsTracer::OnFrameRetransmitQueued(TimePoint /*now*/,
-                                            PathId /*path*/,
-                                            const quic::Frame& /*frame*/) {
+void MetricsTracer::OnFrameRetransmitQueued(TimePoint /*now*/, PathId path,
+                                            const quic::Frame& frame) {
   frames_requeued_.Increment();
+  requeued_bytes_.Increment(quic::FrameWireSize(frame));
+  PathCounter(path, "frames_requeued").Increment();
 }
 
 void MetricsTracer::OnFlowControlBlocked(TimePoint /*now*/,

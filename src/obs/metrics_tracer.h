@@ -50,6 +50,7 @@ class MetricsTracer final : public quic::ConnectionTracer {
   Counter& frames_sent_;
   Counter& frames_received_;
   Counter& frames_requeued_;
+  Counter& requeued_bytes_;
   Counter& rtos_;
   Counter& flow_blocked_;
   Histogram& srtt_us_;

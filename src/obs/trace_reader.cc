@@ -128,6 +128,9 @@ TraceSummary ReadTrace(std::istream& in) {
           static_cast<double>(FieldInt(data, "cwnd")));
       p.srtt_samples_us.push_back(
           static_cast<double>(FieldInt(data, "srtt_us")));
+    } else if (name == "recovery:frame_requeued") {
+      ++summary.paths[path].frames_requeued;
+      ++summary.frames_requeued_by_type[FieldString(data, "frame")];
     } else if (name == "recovery:rto") {
       ++summary.paths[path].rtos;
     } else if (name == "transport:handshake") {

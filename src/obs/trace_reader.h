@@ -20,6 +20,7 @@ struct PathSummary {
   std::uint64_t bytes_sent = 0;
   std::uint64_t frames_sent = 0;
   std::uint64_t scheduled = 0;  // scheduler:decision events choosing this path
+  std::uint64_t frames_requeued = 0;  // recovery:frame_requeued (lost frames)
   std::uint64_t rtos = 0;
   std::vector<double> cwnd_samples;  // from recovery:metrics_updated
   std::vector<double> srtt_samples_us;
@@ -35,6 +36,7 @@ struct TraceSummary {
   std::map<int, PathSummary> paths;
   std::map<std::string, std::uint64_t> events_by_name;
   std::map<std::string, std::uint64_t> frames_sent_by_type;
+  std::map<std::string, std::uint64_t> frames_requeued_by_type;
   std::map<std::string, std::uint64_t> scheduler_reasons;
   std::map<std::string, TimePoint> handshake_milestones;  // name -> time
 };

@@ -76,15 +76,15 @@ void Auditor::Impl::CheckPath(const Connection& conn, const Path& path) {
 }
 
 void Auditor::Impl::Check(const Connection& conn) {
-  for (const auto& [id, runtime] : conn.paths_) {
-    AUDIT(runtime->path != nullptr, "path runtime without a path");
-    AUDIT(runtime->path->id() == id, "paths_ key disagrees with path id");
-    CheckPath(conn, *runtime->path);
+  for (const auto& [id, path] : conn.paths_) {
+    AUDIT(path != nullptr, "paths_ entry without a path");
+    AUDIT(path->id() == id, "paths_ key disagrees with path id");
+    CheckPath(conn, *path);
   }
 
   // Send-side flow control: new stream bytes on the wire never exceed
   // what the peer advertised, at connection level or per stream.
-  AUDIT(conn.new_stream_bytes_sent_ <= conn.flow_.peer_max_data(),
+  AUDIT(conn.assembler_->new_stream_bytes_sent_ <= conn.flow_.peer_max_data(),
         "sent beyond the peer's connection-level flow-control limit");
   for (const auto& [id, stream] : conn.send_streams_) {
     AUDIT(stream->max_offset_sent() <= stream->peer_max_stream_data_,
@@ -99,11 +99,11 @@ void Auditor::Impl::Check(const Connection& conn) {
 
   // Receive side: the peer never wrote past what we advertised, and the
   // delivered prefix of each stream is consistent with what arrived.
-  AUDIT(conn.total_highest_received_ <= conn.flow_.local_max_data(),
+  AUDIT(conn.dispatcher_->total_highest_received_ <= conn.flow_.local_max_data(),
         "peer wrote beyond our advertised connection-level limit");
   AUDIT(conn.flow_.consumed_ <= conn.flow_.local_max_data(),
         "consumed beyond our own advertisement");
-  for (const auto& [id, stream] : conn.recv_streams_) {
+  for (const auto& [id, stream] : conn.dispatcher_->recv_streams_) {
     AUDIT(stream->delivered_offset() <= stream->highest_received(),
           "delivered beyond the highest received offset");
     if (stream->fin_known()) {

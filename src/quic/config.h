@@ -1,0 +1,81 @@
+// Connection configuration, split out of connection.h so the transport
+// layers (handshake, assembler, dispatcher) can read their knobs without
+// depending on the Connection composer itself.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "cc/congestion.h"
+#include "common/types.h"
+#include "quic/scheduler.h"
+#include "quic/streams.h"
+#include "quic/wire.h"
+
+namespace mpq::quic {
+
+enum class Perspective { kClient, kServer };
+
+/// Single-path default: CUBIC; multipath default: coupled OLIA (§3).
+using CongestionAlgo = cc::Algorithm;
+
+struct ConnectionConfig {
+  bool multipath = false;
+  CongestionAlgo congestion = CongestionAlgo::kCubic;
+  SchedulerType scheduler = SchedulerType::kLowestRtt;
+  ByteCount receive_window = kDefaultReceiveWindow;
+  ByteCount max_packet_size{kMaxPacketSize};
+  /// §3: send WINDOW_UPDATE frames on every path (ablation knob).
+  bool window_update_on_all_paths = true;
+  /// §4.3: advertise potentially-failed paths in PATHS frames so the peer
+  /// avoids its own RTO (ablation knob).
+  bool send_paths_frame = true;
+  /// Probe potentially-failed paths with PINGs so they can recover.
+  Duration failed_path_probe_interval = 1 * kSecond;
+  /// Pace data packets at ~1.25x cwnd/RTT per path (2x in slow start),
+  /// as quic-go/Chromium did in 2017 — Linux TCP of that era did not
+  /// pace, which is part of QUIC's edge in bufferbloat/lossy scenarios.
+  bool pacing = true;
+  /// Single-path QUIC connection migration (§1's "hard handover"): when
+  /// the only path is declared potentially failed — by RTO, or by
+  /// receiving nothing for `idle_failure_timeout` while a transfer is in
+  /// progress — migrate it to the next local/peer address pair. No effect
+  /// with multipath enabled (MPQUIC handles failure via its other paths).
+  bool migrate_on_path_failure = false;
+  Duration idle_failure_timeout = 2 * kSecond;
+  /// §3 designed paths created by either host (server paths get even
+  /// ids) but the paper's implementation leaves server-initiated paths
+  /// unused because clients sit behind NATs. Off by default, as there;
+  /// when enabled the server opens a path to every address the client
+  /// advertises via ADD_ADDRESS.
+  bool allow_server_paths = false;
+  /// Advertise our own extra addresses to the peer after the handshake
+  /// (the client-side ADD_ADDRESS; servers advertise theirs in the SHLO).
+  bool advertise_addresses = true;
+  /// §3: "upon handshake completion, [the path manager] opens one path
+  /// over each interface on the client host". Disable to test pure
+  /// server-initiated path setups.
+  bool client_opens_paths = true;
+  /// 0-RTT: the client already holds the server's config (the same
+  /// out-of-band secret that makes our 1-RTT handshake possible), derives
+  /// the session keys locally and sends encrypted data together with the
+  /// CHLO — Google QUIC's repeat-connection handshake. The SHLO still
+  /// confirms. Trades one RTT for no fresh server entropy in the keys.
+  bool zero_rtt = false;
+  /// Initial CHLO retransmission timeout (doubles on each attempt).
+  Duration handshake_timeout = 1 * kSecond;
+  /// Close the connection after this long with no packets in either
+  /// direction (0 = never — the experiment harness manages lifetimes
+  /// itself, so that is the default).
+  Duration idle_timeout = 0;
+  /// Versions this endpoint accepts. The handshake fails cleanly when
+  /// client and server share none (§2: version negotiation is part of
+  /// what lets QUIC evolve).
+  std::vector<std::uint32_t> supported_versions{kVersionMpq1};
+  /// Shared secret standing in for the out-of-band server config of the
+  /// 1-RTT Google-QUIC handshake (see crypto::DeriveSessionKeys).
+  std::array<std::uint8_t, 16> server_config_secret{};
+};
+
+}  // namespace mpq::quic

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 #include "cc/cubic.h"
 #include "cc/newreno.h"
@@ -11,40 +12,6 @@
 
 namespace mpq::quic {
 
-namespace {
-
-/// CHLOs are padded to a minimum size, as in QUIC, so the handshake cannot
-/// be used for traffic amplification.
-constexpr std::size_t kMinChloSize = 1200;
-
-/// Delayed-ACK timeout (quic-go used 25 ms).
-constexpr Duration kDelayedAckTimeout = 25 * kMillisecond;
-
-/// Send an immediate ACK after this many unacked retransmittable packets.
-constexpr int kAckAfterPackets = 2;
-
-/// Reserve for STREAM frame header when filling a packet.
-constexpr std::size_t kStreamFrameOverhead = 16;
-
-/// The server's handshake nonce is a deterministic function of the
-/// client nonce, the CID and the shared server config — that is what
-/// makes CHLO retransmission idempotent AND what lets a 0-RTT client
-/// compute the session keys without waiting for the SHLO.
-std::vector<std::uint8_t> DeriveServerNonce(
-    const std::vector<std::uint8_t>& client_nonce, ConnectionId cid,
-    const std::array<std::uint8_t, 16>& server_config_secret) {
-  std::vector<std::uint8_t> seed(client_nonce);
-  for (int i = 0; i < 8; ++i) {
-    seed.push_back(static_cast<std::uint8_t>(cid >> (8 * i)));
-  }
-  seed.insert(seed.end(), server_config_secret.begin(),
-              server_config_secret.end());
-  const auto derived = crypto::Kdf32(seed, "server nonce");
-  return {derived.begin(), derived.begin() + 16};
-}
-
-}  // namespace
-
 Connection::Connection(sim::Simulator& sim, Perspective perspective,
                        ConnectionId cid, ConnectionConfig config, Rng rng,
                        SendFunction send)
@@ -53,7 +20,6 @@ Connection::Connection(sim::Simulator& sim, Perspective perspective,
       cid_(cid),
       config_(config),
       rng_(rng),
-      send_(std::move(send)),
       scheduler_(MakeScheduler(config.scheduler)),
       flow_(config.receive_window) {
   if (config_.congestion == CongestionAlgo::kOlia) {
@@ -61,7 +27,19 @@ Connection::Connection(sim::Simulator& sim, Perspective perspective,
   } else if (config_.congestion == CongestionAlgo::kLia) {
     lia_ = std::make_unique<cc::LiaCoordinator>(config_.max_packet_size);
   }
-  pace_timer_ = std::make_unique<sim::Timer>(sim_, [this] { TrySend(); });
+  // The delegate casts must happen here, inside a Connection member,
+  // where the private bases are accessible.
+  recovery_ = std::make_unique<RecoveryManager>(
+      sim_, stats_, config_.failed_path_probe_interval,
+      static_cast<RecoveryDelegate&>(*this));
+  assembler_ = std::make_unique<PacketAssembler>(
+      sim_, config_, cid_, stats_, flow_, send_streams_, control_, *recovery_,
+      static_cast<AssemblerDelegate&>(*this), std::move(send));
+  dispatcher_ = std::make_unique<FrameDispatcher>(
+      sim_, cid_, stats_, flow_, static_cast<DispatchDelegate&>(*this));
+  handshake_ = std::make_unique<HandshakeLayer>(
+      sim_, perspective_, cid_, config_, rng_,
+      static_cast<HandshakeDelegate&>(*this));
   if (config_.idle_timeout > 0) {
     connection_idle_timer_ = std::make_unique<sim::Timer>(sim_, [this] {
       MPQ_DEBUG(sim_.now(), "quic", "cid=%llu idle timeout",
@@ -77,10 +55,22 @@ Connection::Connection(sim::Simulator& sim, Perspective perspective,
   }
 }
 
+Connection::~Connection() = default;
+
+void Connection::SetTracer(ConnectionTracer* tracer) {
+  tracer_ = tracer;
+  recovery_->SetTracer(tracer);
+  assembler_->SetTracer(tracer);
+  dispatcher_->SetTracer(tracer);
+  handshake_->SetTracer(tracer);
+}
+
+void Connection::SetStreamDataHandler(StreamDataHandler handler) {
+  dispatcher_->SetStreamDataHandler(std::move(handler));
+}
+
 bool Connection::ExpectingData() const {
-  for (const auto& [id, stream] : recv_streams_) {
-    if (!stream->finished()) return true;
-  }
+  if (dispatcher_->AnyRecvStreamUnfinished()) return true;
   for (const auto& [id, stream] : send_streams_) {
     if (!stream->AllDataSentOnce()) return true;
   }
@@ -91,18 +81,15 @@ void Connection::OnIdleFailureTimer() {
   if (closed_ || !established_) return;
   AuditScope audit(*this);
   if (ExpectingData() && !paths_.empty()) {
-    PathRuntime& runtime = *paths_.begin()->second;
-    if (tracer_ != nullptr && !runtime.path->potentially_failed()) {
-      tracer_->OnPathStateChange(sim_.now(), runtime.path->id(),
-                                 "potentially-failed");
+    Path& path = *paths_.begin()->second;
+    if (tracer_ != nullptr && !path.potentially_failed()) {
+      tracer_->OnPathStateChange(sim_.now(), path.id(), "potentially-failed");
     }
-    runtime.path->set_potentially_failed(true);
-    TryAutoMigrate(runtime);
+    path.set_potentially_failed(true);
+    TryAutoMigrate(path);
   }
   idle_timer_->SetIn(config_.idle_failure_timeout);
 }
-
-Connection::~Connection() = default;
 
 void Connection::SetLocalAddresses(std::vector<sim::Address> addresses) {
   local_addresses_ = std::move(addresses);
@@ -111,19 +98,19 @@ void Connection::SetLocalAddresses(std::vector<sim::Address> addresses) {
 std::vector<const Path*> Connection::paths() const {
   std::vector<const Path*> out;
   out.reserve(paths_.size());
-  for (const auto& [id, runtime] : paths_) out.push_back(runtime->path.get());
+  for (const auto& [id, path] : paths_) out.push_back(path.get());
   return out;
 }
 
 Path* Connection::GetPath(PathId id) {
   auto it = paths_.find(id);
-  return it == paths_.end() ? nullptr : it->second->path.get();
+  return it == paths_.end() ? nullptr : it->second.get();
 }
 
 std::vector<Path*> Connection::PathPointers() {
   std::vector<Path*> out;
   out.reserve(paths_.size());
-  for (auto& [id, runtime] : paths_) out.push_back(runtime->path.get());
+  for (auto& [id, path] : paths_) out.push_back(path.get());
   return out;
 }
 
@@ -141,20 +128,13 @@ std::unique_ptr<cc::CongestionController> Connection::MakeController() {
   return std::make_unique<cc::Cubic>(config_.max_packet_size);
 }
 
-Connection::PathRuntime& Connection::CreatePath(PathId id, sim::Address local,
-                                                sim::Address remote) {
-  auto runtime = std::make_unique<PathRuntime>();
-  runtime->path = std::make_unique<Path>(id, local, remote, MakeController());
-  PathRuntime* raw = runtime.get();
-  runtime->retx_timer =
-      std::make_unique<sim::Timer>(sim_, [this, raw] { OnRetxTimer(*raw); });
-  runtime->ack_timer = std::make_unique<sim::Timer>(sim_, [this, raw] {
-    if (raw->path->ack_pending()) SendAckOnlyPacket(*raw);
-  });
-  runtime->probe_timer =
-      std::make_unique<sim::Timer>(sim_, [this, raw] { OnProbeTimer(*raw); });
-  auto [it, inserted] = paths_.emplace(id, std::move(runtime));
+Path& Connection::CreatePath(PathId id, sim::Address local,
+                             sim::Address remote) {
+  auto [it, inserted] = paths_.emplace(
+      id, std::make_unique<Path>(id, local, remote, MakeController()));
   assert(inserted);
+  recovery_->RegisterPath(*it->second);
+  assembler_->RegisterPath(*it->second);
   MPQ_DEBUG(sim_.now(), "quic", "cid=%llu new path %u",
             static_cast<unsigned long long>(cid_), id.value());
   if (tracer_ != nullptr) {
@@ -164,172 +144,76 @@ Connection::PathRuntime& Connection::CreatePath(PathId id, sim::Address local,
 }
 
 // ---------------------------------------------------------------------------
-// Handshake
+// Handshake (the state machine lives in quic/handshake.h; these are the
+// composer-side effects it triggers through HandshakeDelegate)
 
 void Connection::Connect(sim::Address server_address) {
   assert(perspective_ == Perspective::kClient);
   assert(!local_addresses_.empty());
-  server_address_ = server_address;
   CreatePath(PathId{0}, local_addresses_[0], server_address);
-  client_nonce_.resize(16);
-  for (auto& b : client_nonce_) {
-    b = static_cast<std::uint8_t>(rng_.NextU64());
-  }
-  handshake_timer_ = std::make_unique<sim::Timer>(sim_, [this] {
-    if (!shlo_received_) SendChlo();
-  });
-  if (config_.zero_rtt) {
-    // Derive everything locally from the cached server config; the CHLO
-    // below tells the server which client nonce to use, and encrypted
-    // data may follow it in the very same sending burst.
-    server_nonce_ =
-        DeriveServerNonce(client_nonce_, cid_, config_.server_config_secret);
-    const auto keys = crypto::DeriveSessionKeys(
-        client_nonce_, server_nonce_, config_.server_config_secret);
-    seal_ = std::make_unique<crypto::PacketProtection>(keys.client_to_server);
-    open_ = std::make_unique<crypto::PacketProtection>(keys.server_to_client);
-    SendChlo();
-    OpenClientPaths();
-    BecomeEstablished();
-    TrySend();
-    return;
-  }
-  SendChlo();
+  handshake_->StartClient();
 }
 
-void Connection::SendChlo() {
-  ++handshake_attempts_;
-  if (handshake_attempts_ > 10) {
-    MPQ_WARN(sim_.now(), "quic", "cid=%llu handshake giving up",
-             static_cast<unsigned long long>(cid_));
-    closed_ = true;
-    return;
-  }
-  HandshakeFrame chlo;
-  chlo.message = HandshakeMessageType::kChlo;
-  chlo.version = config_.supported_versions.empty()
-                     ? kVersionMpq1
-                     : config_.supported_versions.front();
-  chlo.nonce = client_nonce_;
-  std::vector<Frame> frames;
-  frames.emplace_back(std::move(chlo));
-  // Pad to the anti-amplification minimum.
-  const std::size_t body = FrameWireSize(frames.front());
-  if (body < kMinChloSize) {
-    frames.emplace_back(
-        PaddingFrame{static_cast<std::uint32_t>(kMinChloSize - body)});
-  }
-  chlo_sent_time_ = sim_.now();
-  if (tracer_ != nullptr) tracer_->OnHandshakeEvent(sim_.now(), "chlo-sent");
-  TransmitPacket(*paths_.at(PathId{0}), frames, /*retransmittable=*/false,
-                 /*handshake_cleartext=*/true);
-  const Duration timeout = config_.handshake_timeout
-                           << (handshake_attempts_ - 1);
-  handshake_timer_->SetIn(timeout);
+void Connection::OnHandshakeKeys(
+    std::unique_ptr<crypto::PacketProtection> seal,
+    std::unique_ptr<crypto::PacketProtection> open) {
+  assembler_->SetSealer(std::move(seal));
+  dispatcher_->SetOpener(std::move(open));
 }
 
-void Connection::OnHandshakePacket(const ParsedHeader& header,
-                                   BufReader& reader,
-                                   const sim::Datagram& datagram) {
-  std::span<const std::uint8_t> payload;
-  if (!reader.ReadSpan(reader.remaining(), payload)) return;
-  std::vector<Frame> frames;
-  if (!DecodePayload(payload, frames)) return;
-  // Record the PN so packet-number decoding stays coherent across the
-  // handshake/1-RTT boundary (one PN space per path).
-  if (auto it = paths_.find(header.header.path_id); it != paths_.end()) {
+void Connection::SendHandshakeFrames(std::vector<Frame>& frames) {
+  assembler_->TransmitPacket(*paths_.at(PathId{0}), frames,
+                             /*retransmittable=*/false,
+                             /*handshake_cleartext=*/true);
+}
+
+void Connection::RecordHandshakePacketNumber(PathId path,
+                                             PacketNumber truncated,
+                                             std::size_t pn_length) {
+  if (auto it = paths_.find(path); it != paths_.end()) {
     const PacketNumber full = DecodePacketNumber(
-        it->second->path->receiver().largest_received(),
-        header.header.packet_number, header.pn_length);
-    it->second->path->receiver().OnPacketReceived(full, sim_.now());
-  }
-  for (const Frame& frame : frames) {
-    const auto* handshake = std::get_if<HandshakeFrame>(&frame);
-    if (handshake == nullptr) continue;
-    if (handshake->message == HandshakeMessageType::kChlo &&
-        perspective_ == Perspective::kServer) {
-      HandleChlo(*handshake, datagram);
-    } else if (handshake->message == HandshakeMessageType::kShlo &&
-               perspective_ == Perspective::kClient) {
-      HandleShlo(*handshake);
-    }
+        it->second->receiver().largest_received(), truncated, pn_length);
+    it->second->receiver().OnPacketReceived(full, sim_.now());
   }
 }
 
-void Connection::HandleChlo(const HandshakeFrame& chlo,
-                            const sim::Datagram& datagram) {
-  // Version negotiation (§2): a CHLO carrying a version we do not speak
-  // is ignored; the client's handshake retries exhaust and it closes —
-  // the clean failure mode for incompatible endpoints.
-  if (std::find(config_.supported_versions.begin(),
-                config_.supported_versions.end(),
-                chlo.version) == config_.supported_versions.end()) {
-    return;
-  }
-  if (tracer_ != nullptr) {
-    tracer_->OnHandshakeEvent(sim_.now(), "chlo-received");
-  }
-  if (!established_) {
-    client_nonce_ = chlo.nonce;
-    server_nonce_ =
-        DeriveServerNonce(client_nonce_, cid_, config_.server_config_secret);
-    const auto keys = crypto::DeriveSessionKeys(client_nonce_, server_nonce_,
-                                                config_.server_config_secret);
-    seal_ = std::make_unique<crypto::PacketProtection>(keys.server_to_client);
-    open_ = std::make_unique<crypto::PacketProtection>(keys.client_to_server);
-    CreatePath(PathId{0}, datagram.dst, datagram.src);
-    BecomeEstablished();
-  }
-  // Always answer (possibly retransmitted) CHLOs with an SHLO.
-  HandshakeFrame shlo;
-  shlo.message = HandshakeMessageType::kShlo;
-  shlo.version = kVersionMpq1;
-  shlo.nonce = server_nonce_;
-  shlo.peer_addresses = local_addresses_;
-  std::vector<Frame> frames;
-  frames.emplace_back(std::move(shlo));
-  if (tracer_ != nullptr) tracer_->OnHandshakeEvent(sim_.now(), "shlo-sent");
-  TransmitPacket(*paths_.at(PathId{0}), frames, /*retransmittable=*/false,
-                 /*handshake_cleartext=*/true);
+void Connection::OnServerChloAccepted(sim::Address local,
+                                      sim::Address remote) {
+  CreatePath(PathId{0}, local, remote);
+  BecomeEstablished();
 }
 
-void Connection::HandleShlo(const HandshakeFrame& shlo) {
-  shlo_received_ = true;
-  if (tracer_ != nullptr) {
-    tracer_->OnHandshakeEvent(sim_.now(), "shlo-received");
-  }
-  if (handshake_timer_) handshake_timer_->Cancel();
-  if (established_) {
-    // 0-RTT: the SHLO only confirms; note the peer's addresses (the
-    // 0-RTT path-opening used none) and sample the handshake RTT.
-    if (peer_addresses_.empty()) {
-      peer_addresses_ = shlo.peer_addresses;
-      OpenClientPaths();
-    }
-    if (chlo_sent_time_ >= 0 && !paths_.at(PathId{0})->path->rtt().has_sample()) {
-      paths_.at(PathId{0})->path->rtt().AddSample(sim_.now() - chlo_sent_time_, 0);
-    }
-    return;
-  }
-  server_nonce_ = shlo.nonce;
-  peer_addresses_ = shlo.peer_addresses;
-  const auto keys = crypto::DeriveSessionKeys(client_nonce_, server_nonce_,
-                                              config_.server_config_secret);
-  seal_ = std::make_unique<crypto::PacketProtection>(keys.client_to_server);
-  open_ = std::make_unique<crypto::PacketProtection>(keys.server_to_client);
-  if (handshake_timer_) handshake_timer_->Cancel();
-  // The CHLO/SHLO exchange gives the initial path its first RTT sample —
-  // one of the reasons MPQUIC starts with usable latency estimates.
-  if (chlo_sent_time_ >= 0) {
-    paths_.at(PathId{0})->path->rtt().AddSample(sim_.now() - chlo_sent_time_, 0);
-  }
+void Connection::OnPeerAddresses(std::vector<sim::Address> addresses) {
+  peer_addresses_ = std::move(addresses);
+}
+
+void Connection::OnClientHandshakeComplete() {
   OpenClientPaths();
   BecomeEstablished();
   TrySend();
 }
 
+void Connection::OnZeroRttConfirmed(
+    const std::vector<sim::Address>& peer_addresses) {
+  if (peer_addresses_.empty()) {
+    peer_addresses_ = peer_addresses;
+    OpenClientPaths();
+  }
+}
+
+void Connection::AddHandshakeRttSample(Duration rtt, bool only_if_no_sample) {
+  Path& path = *paths_.at(PathId{0});
+  if (only_if_no_sample && path.rtt().has_sample()) return;
+  // The CHLO/SHLO exchange gives the initial path its first RTT sample —
+  // one of the reasons MPQUIC starts with usable latency estimates.
+  path.rtt().AddSample(rtt, 0);
+}
+
+void Connection::OnHandshakeFailed() { closed_ = true; }
+
 void Connection::BecomeEstablished() {
   established_ = true;
+  assembler_->set_established(true);
   MPQ_DEBUG(sim_.now(), "quic", "cid=%llu established (%s)",
             static_cast<unsigned long long>(cid_),
             perspective_ == Perspective::kClient ? "client" : "server");
@@ -345,21 +229,24 @@ void Connection::BecomeEstablished() {
   if (on_established_) on_established_();
 }
 
+// ---------------------------------------------------------------------------
+// Path management (§3 "Path Management")
+
 void Connection::MaybeOpenServerPaths() {
   if (!config_.multipath || !config_.allow_server_paths ||
       perspective_ != Perspective::kServer || !established_) {
     return;
   }
   PathId next_even{2};
-  for (const auto& [id, rt] : paths_) {
+  for (const auto& [id, path] : paths_) {
     if (id % 2 == 0 && id >= next_even) {
       next_even = static_cast<PathId>(id + 2);
     }
   }
   for (const auto& remote : peer_addresses_) {
     bool used = false;
-    for (const auto& [id, rt] : paths_) {
-      if (rt->path->remote_address() == remote) used = true;
+    for (const auto& [id, path] : paths_) {
+      if (path->remote_address() == remote) used = true;
     }
     if (used) continue;
     const sim::Address* local = nullptr;
@@ -379,13 +266,14 @@ void Connection::MaybeOpenServerPaths() {
 void Connection::RemoveLocalAddress(sim::Address address) {
   if (closed_) return;
   std::erase(local_addresses_, address);
-  for (auto& [id, rt] : paths_) {
-    if (rt->path->local_address() == address) {
-      if (tracer_ != nullptr && !rt->path->potentially_failed()) {
+  for (auto& [id, path] : paths_) {
+    if (path->local_address() == address) {
+      if (tracer_ != nullptr && !path->potentially_failed()) {
         tracer_->OnPathStateChange(sim_.now(), id, "potentially-failed");
       }
-      rt->path->set_potentially_failed(true);
-      RequeueLostFrames(id, rt->path->OnRetransmissionTimeout(sim_.now()));
+      path->set_potentially_failed(true);
+      recovery_->RequeueLostFrames(id,
+                                   path->OnRetransmissionTimeout(sim_.now()));
     }
   }
   EnqueueControl(RemoveAddressFrame{{address}});
@@ -416,17 +304,17 @@ void Connection::OpenClientPaths() {
     }
     if (remote == nullptr) continue;
     bool already = false;
-    for (const auto& [id, runtime] : paths_) {
-      if (runtime->path->remote_address() == *remote) already = true;
+    for (const auto& [id, path] : paths_) {
+      if (path->remote_address() == *remote) already = true;
     }
     if (already) continue;
-    PathRuntime& runtime = CreatePath(next_id, local, *remote);
+    Path& path = CreatePath(next_id, local, *remote);
     next_id = static_cast<PathId>(next_id + 2);
     // Announce the new path right away (path-validation PING): the server
     // only learns of a path from a packet carrying its id, and a pure
     // downloader might otherwise never send one. The PING's ACK also
     // seeds the path's RTT estimate.
-    if (established_) SendPing(runtime, /*track=*/true);
+    if (established_) assembler_->SendPing(path, /*track=*/true);
   }
 }
 
@@ -466,23 +354,21 @@ void Connection::Close(std::uint16_t error_code, const std::string& reason) {
     // Best effort on the initial path.
     std::vector<Frame> frames;
     frames.emplace_back(std::move(frame));
-    TransmitPacket(*paths_.begin()->second, frames,
-                   /*retransmittable=*/false, /*handshake_cleartext=*/false);
+    assembler_->TransmitPacket(*paths_.begin()->second, frames,
+                               /*retransmittable=*/false,
+                               /*handshake_cleartext=*/false);
   }
   closed_ = true;
-  for (auto& [id, runtime] : paths_) {
-    runtime->retx_timer->Cancel();
-    runtime->ack_timer->Cancel();
-    runtime->probe_timer->Cancel();
-  }
-  if (handshake_timer_) handshake_timer_->Cancel();
-  if (pace_timer_) pace_timer_->Cancel();
+  recovery_->OnConnectionClosed();
+  assembler_->OnConnectionClosed();
+  handshake_->OnConnectionClosed();
   if (idle_timer_) idle_timer_->Cancel();
   if (connection_idle_timer_) connection_idle_timer_->Cancel();
 }
 
 // ---------------------------------------------------------------------------
-// Receive
+// Receive (decrypt/parse/route live in quic/dispatch.h; these are the
+// composer-side effects the dispatcher triggers through DispatchDelegate)
 
 void Connection::OnDatagram(const sim::Datagram& datagram) {
   if (closed_) return;
@@ -497,212 +383,29 @@ void Connection::OnDatagram(const sim::Datagram& datagram) {
     connection_idle_timer_->SetIn(config_.idle_timeout);
   }
   if (parsed.header.handshake) {
-    OnHandshakePacket(parsed, reader, datagram);
+    handshake_->OnHandshakePacket(parsed, reader, datagram);
     TrySend();
     return;
   }
-  OnEncryptedPacket(parsed, reader, datagram.payload, datagram);
+  dispatcher_->OnEncryptedPacket(parsed, reader, datagram.payload, datagram);
   TrySend();
 }
 
-void Connection::OnEncryptedPacket(const ParsedHeader& parsed,
-                                   BufReader& reader,
-                                   std::span<const std::uint8_t> datagram_bytes,
-                                   const sim::Datagram& datagram) {
-  if (!open_) return;  // keys not established yet
-  const PathId pid = parsed.header.multipath ? parsed.header.path_id : PathId{0};
-  auto it = paths_.find(pid);
+Path* Connection::EnsurePath(PathId id, const sim::Datagram& datagram) {
+  auto it = paths_.find(id);
   if (it == paths_.end()) {
-    // First packet of a peer-created path (§3: data can ride in the very
-    // first packet of a new path — no handshake required).
-    CreatePath(pid, datagram.dst, datagram.src);
-    it = paths_.find(pid);
+    return &CreatePath(id, datagram.dst, datagram.src);
   }
-  PathRuntime& runtime = *it->second;
-  Path& path = *runtime.path;
-
-  const PacketNumber pn =
-      DecodePacketNumber(path.receiver().largest_received(),
-                         parsed.header.packet_number, parsed.pn_length);
-  const std::span<const std::uint8_t> aad =
-      datagram_bytes.subspan(0, parsed.header_size);
-  std::span<const std::uint8_t> sealed;
-  if (!reader.ReadSpan(reader.remaining(), sealed)) return;
-  // Reused scratch: Open assigns into it, recycling the capacity.
-  std::vector<std::uint8_t>& plaintext = recv_plaintext_scratch_;
-  if (!open_->Open(pid, pn, aad, sealed, plaintext)) {
-    ++stats_.packets_decrypt_failed;
-    return;
-  }
-  const PacketNumber largest_before = path.receiver().largest_received();
-  if (!path.receiver().OnPacketReceived(pn, sim_.now())) {
-    ++stats_.packets_duplicate;
-    return;
-  }
-  if (tracer_ != nullptr) {
-    tracer_->OnPacketReceived(sim_.now(), pid, pn,
-                              ByteCount{datagram.payload.size()});
-  }
-  // NAT rebinding / peer migration: the packet authenticated under this
-  // path's keys but arrived from a new address — follow it (§3), keeping
-  // the path's state.
-  if (!(datagram.src == path.remote_address())) {
-    MPQ_DEBUG(sim_.now(), "quic", "cid=%llu path %u peer address changed",
-              static_cast<unsigned long long>(cid_), pid.value());
-    path.UpdateAddresses(datagram.dst, datagram.src);
-  }
-  std::vector<Frame>& frames = recv_frames_scratch_;
-  if (!DecodePayload(plaintext, frames)) return;
-
-  bool any_retransmittable = false;
-  for (const Frame& frame : frames) {
-    if (IsRetransmittable(frame)) any_retransmittable = true;
-  }
-  ProcessFrames(runtime, frames);
-  if (closed_) return;
-  if (any_retransmittable) {
-    path.NoteRetransmittableReceived();
-    const bool out_of_order = pn != largest_before + 1;
-    MaybeScheduleAck(runtime, out_of_order);
-  }
-}
-
-void Connection::ProcessFrames(PathRuntime& runtime,
-                               std::vector<Frame>& frames) {
-  if (tracer_ != nullptr) {
-    for (const Frame& frame : frames) {
-      tracer_->OnFrameReceived(sim_.now(), runtime.path->id(), frame);
-    }
-  }
-  for (Frame& frame : frames) {
-    if (closed_) return;
-    std::visit(
-        [&](auto& f) {
-          using T = std::decay_t<decltype(f)>;
-          if constexpr (std::is_same_v<T, AckFrame>) {
-            OnAckFrame(f);
-          } else if constexpr (std::is_same_v<T, StreamFrame>) {
-            OnStreamFrameReceived(f);
-          } else if constexpr (std::is_same_v<T, WindowUpdateFrame>) {
-            OnWindowUpdate(f);
-          } else if constexpr (std::is_same_v<T, PathsFrame>) {
-            OnPathsFrame(f);
-          } else if constexpr (std::is_same_v<T, AddAddressFrame>) {
-            for (const auto& addr : f.addresses) {
-              if (std::find(peer_addresses_.begin(), peer_addresses_.end(),
-                            addr) == peer_addresses_.end()) {
-                peer_addresses_.push_back(addr);
-              }
-            }
-            MaybeOpenServerPaths();
-          } else if constexpr (std::is_same_v<T, RemoveAddressFrame>) {
-            for (const auto& addr : f.addresses) {
-              std::erase(peer_addresses_, addr);
-              for (auto& [id, rt] : paths_) {
-                if (rt->path->remote_address() == addr) {
-                  rt->path->set_remote_reported_failed(true);
-                }
-              }
-            }
-          } else if constexpr (std::is_same_v<T, RstStreamFrame>) {
-            // Peer aborted its send stream: surface EOF-with-error to the
-            // app (delivered prefix stays delivered, the rest never comes).
-            auto rs = recv_streams_.find(f.stream_id);
-            if (rs != recv_streams_.end() && !rs->second->finished()) {
-              if (on_stream_data_) {
-                on_stream_data_(f.stream_id, rs->second->delivered_offset(),
-                                {}, true);
-              }
-            }
-          } else if constexpr (std::is_same_v<T, ConnectionCloseFrame>) {
-            MPQ_DEBUG(sim_.now(), "quic", "cid=%llu closed by peer: %s",
-                      static_cast<unsigned long long>(cid_),
-                      f.reason.c_str());
-            Close(f.error_code, "peer close");
-          }
-          // PING, PADDING, BLOCKED, RST_STREAM, HANDSHAKE: nothing to do
-          // here (PING only elicits the ACK machinery).
-          (void)runtime;
-        },
-        frame);
-  }
+  return it->second.get();
 }
 
 void Connection::OnAckFrame(const AckFrame& ack) {
   auto it = paths_.find(ack.path_id);
   if (it == paths_.end()) return;
-  PathRuntime& runtime = *it->second;
-  const bool was_failed = runtime.path->potentially_failed();
-  Path::AckResult result = runtime.path->OnAckReceived(ack, sim_.now());
-  if (tracer_ != nullptr) {
-    for (const SentPacket& lost : result.lost) {
-      tracer_->OnPacketLost(sim_.now(), ack.path_id, lost.pn);
-    }
-    tracer_->OnPathSample(sim_.now(), ack.path_id,
-                          runtime.path->congestion().congestion_window(),
-                          runtime.path->congestion().bytes_in_flight(),
-                          runtime.path->rtt().smoothed());
-  }
-  for (const SentPacket& packet : result.newly_acked) {
-    for (const Frame& frame : packet.frames) {
-      if (std::holds_alternative<PingFrame>(frame)) {
-        runtime.ping_probe_outstanding = false;
-      }
-    }
-  }
-  if (was_failed && !runtime.path->potentially_failed()) {
-    if (tracer_ != nullptr) {
-      tracer_->OnPathStateChange(sim_.now(), ack.path_id, "recovered");
-    }
-    runtime.probe_timer->Cancel();
-    if (config_.send_paths_frame && config_.multipath) {
-      EnqueueControl(BuildPathsFrame());  // path recovered: tell the peer
-    }
-  }
-  RequeueLostFrames(ack.path_id, std::move(result.lost));
-  RearmRetxTimer(runtime);
+  recovery_->OnAckReceived(*it->second, ack);
 }
 
-RecvStream& Connection::GetOrCreateRecvStream(StreamId id) {
-  auto it = recv_streams_.find(id);
-  if (it != recv_streams_.end()) return *it->second;
-  auto stream = std::make_unique<RecvStream>(id);
-  RecvStream* raw = stream.get();
-  stream_advertised_.emplace(id, flow_.window());
-  stream->SetSink([this, id, raw](ByteCount offset,
-                                  std::span<const std::uint8_t> data,
-                                  bool finished) {
-    stats_.stream_bytes_received += data.size();
-    if (!data.empty() && flow_.OnBytesConsumed(ByteCount{data.size()})) {
-      EnqueueWindowUpdates(WindowUpdateFrame{StreamId{0}, flow_.NextAdvertisement()});
-    }
-    // Stream-level window replenishment, same half-window policy.
-    auto adv = stream_advertised_.find(id);
-    if (adv != stream_advertised_.end() &&
-        raw->consumed_bytes() + flow_.window() >=
-            adv->second + flow_.window() / 2) {
-      adv->second = raw->consumed_bytes() + flow_.window();
-      EnqueueWindowUpdates(WindowUpdateFrame{id, adv->second});
-    }
-    if (on_stream_data_) on_stream_data_(id, offset, data, finished);
-  });
-  auto [inserted_it, ok] = recv_streams_.emplace(id, std::move(stream));
-  assert(ok);
-  return *inserted_it->second;
-}
-
-void Connection::OnStreamFrameReceived(StreamFrame& frame) {
-  RecvStream& stream = GetOrCreateRecvStream(frame.stream_id);
-  const ByteCount growth = stream.OnStreamFrame(std::move(frame));
-  total_highest_received_ += growth;
-  if (!flow_.WithinReceiveLimit(total_highest_received_)) {
-    // Peer overran our advertised window: protocol violation.
-    MPQ_WARN(sim_.now(), "quic", "cid=%llu flow control violated",
-             static_cast<unsigned long long>(cid_));
-  }
-}
-
-void Connection::OnWindowUpdate(const WindowUpdateFrame& frame) {
+void Connection::OnWindowUpdateFrame(const WindowUpdateFrame& frame) {
   if (frame.stream_id == 0) {
     flow_.OnMaxData(frame.max_data);
   } else if (auto it = send_streams_.find(frame.stream_id);
@@ -715,9 +418,43 @@ void Connection::OnPathsFrame(const PathsFrame& frame) {
   for (const auto& entry : frame.paths) {
     auto it = paths_.find(entry.path_id);
     if (it == paths_.end()) continue;
-    it->second->path->set_remote_reported_failed(
-        entry.status == PathStatus::kPotentiallyFailed);
+    it->second->set_remote_reported_failed(entry.status ==
+                                           PathStatus::kPotentiallyFailed);
   }
+}
+
+void Connection::OnAddAddressFrame(const AddAddressFrame& frame) {
+  for (const auto& addr : frame.addresses) {
+    if (std::find(peer_addresses_.begin(), peer_addresses_.end(), addr) ==
+        peer_addresses_.end()) {
+      peer_addresses_.push_back(addr);
+    }
+  }
+  MaybeOpenServerPaths();
+}
+
+void Connection::OnRemoveAddressFrame(const RemoveAddressFrame& frame) {
+  for (const auto& addr : frame.addresses) {
+    std::erase(peer_addresses_, addr);
+    for (auto& [id, path] : paths_) {
+      if (path->remote_address() == addr) {
+        path->set_remote_reported_failed(true);
+      }
+    }
+  }
+}
+
+void Connection::OnPeerClose(const ConnectionCloseFrame& frame) {
+  Close(frame.error_code, "peer close");
+}
+
+void Connection::FanOutWindowUpdate(const WindowUpdateFrame& frame) {
+  EnqueueWindowUpdates(frame);
+}
+
+void Connection::OnAckElicitingPacket(Path& path, bool out_of_order) {
+  path.NoteRetransmittableReceived();
+  assembler_->MaybeScheduleAck(path, out_of_order);
 }
 
 // ---------------------------------------------------------------------------
@@ -725,141 +462,30 @@ void Connection::OnPathsFrame(const PathsFrame& frame) {
 
 PathsFrame Connection::BuildPathsFrame() const {
   PathsFrame frame;
-  for (const auto& [id, runtime] : paths_) {
+  for (const auto& [id, path] : paths_) {
     PathsFrame::Entry entry;
     entry.path_id = id;
-    entry.status = runtime->path->potentially_failed()
-                       ? PathStatus::kPotentiallyFailed
-                       : PathStatus::kActive;
-    entry.srtt = runtime->path->rtt().smoothed();
+    entry.status = path->potentially_failed() ? PathStatus::kPotentiallyFailed
+                                              : PathStatus::kActive;
+    entry.srtt = path->rtt().smoothed();
     frame.paths.push_back(entry);
   }
   return frame;
 }
 
 void Connection::EnqueueControl(Frame frame) {
-  control_queue_.push_back(std::move(frame));
+  control_.EnqueueShared(std::move(frame));
 }
 
 void Connection::EnqueueWindowUpdates(const WindowUpdateFrame& frame) {
   if (config_.multipath && config_.window_update_on_all_paths) {
     // §3: WINDOW_UPDATE goes out on ALL paths so a receive-buffer
     // deadlock cannot arise from one path losing the update.
-    for (auto& [id, runtime] : paths_) {
-      runtime->pinned_frames.emplace_back(frame);
+    for (auto& [id, path] : paths_) {
+      control_.EnqueuePinned(id, Frame{frame});
     }
   } else {
     EnqueueControl(frame);
-  }
-}
-
-AckFrame Connection::BuildAck(PathRuntime& runtime) {
-  AckFrame ack;
-  ack.path_id = runtime.path->id();
-  ack.ranges = runtime.path->receiver().BuildAckRanges();
-  ack.ack_delay =
-      sim_.now() - runtime.path->receiver().largest_received_time();
-  runtime.path->ClearAckPending();
-  runtime.ack_timer->Cancel();
-  return ack;
-}
-
-void Connection::MaybeScheduleAck(PathRuntime& runtime, bool out_of_order) {
-  if (out_of_order ||
-      runtime.path->unacked_retransmittable_count() >= kAckAfterPackets) {
-    SendAckOnlyPacket(runtime);
-    return;
-  }
-  if (!runtime.ack_timer->armed()) {
-    runtime.ack_timer->SetIn(kDelayedAckTimeout);
-  }
-}
-
-void Connection::SendAckOnlyPacket(PathRuntime& runtime) {
-  if (!established_ || closed_) return;
-  if (!runtime.path->receiver().AnythingToAck()) return;
-  std::vector<Frame> frames;
-  frames.emplace_back(BuildAck(runtime));
-  TransmitPacket(runtime, frames, /*retransmittable=*/false,
-                 /*handshake_cleartext=*/false);
-}
-
-void Connection::SendPing(PathRuntime& runtime, bool track) {
-  std::vector<Frame> frames;
-  frames.emplace_back(PingFrame{});
-  TransmitPacket(runtime, frames, /*retransmittable=*/track,
-                 /*handshake_cleartext=*/false);
-}
-
-bool Connection::AnyStreamHasData() {
-  const ByteCount allowance = ConnectionSendAllowance();
-  for (auto& [id, stream] : send_streams_) {
-    if (stream->HasDataToSend(allowance)) return true;
-  }
-  return false;
-}
-
-// ---------------------------------------------------------------------------
-// Pacing
-
-namespace {
-constexpr double kPaceBurstPackets = 10.0;
-}
-
-double Connection::PacingRate(const PathRuntime& runtime) const {
-  const Path& path = *runtime.path;
-  if (!path.rtt().has_sample()) return 0.0;  // unlimited until measured
-  const double factor = path.congestion().InSlowStart() ? 2.0 : 1.25;
-  return factor *
-         static_cast<double>(path.congestion().congestion_window()) /
-         static_cast<double>(path.rtt().smoothed());
-}
-
-void Connection::RefillPaceTokens(PathRuntime& runtime) {
-  const double burst =
-      kPaceBurstPackets * static_cast<double>(config_.max_packet_size);
-  const double rate = PacingRate(runtime);
-  const TimePoint now = sim_.now();
-  if (rate <= 0.0) {
-    runtime.pace_tokens = burst;
-  } else {
-    runtime.pace_tokens =
-        std::min(burst, runtime.pace_tokens +
-                            rate * static_cast<double>(
-                                       now - runtime.pace_refill_time));
-  }
-  runtime.pace_refill_time = now;
-}
-
-bool Connection::PacingAllows(PathRuntime& runtime, ByteCount bytes) {
-  if (!config_.pacing) return true;
-  RefillPaceTokens(runtime);
-  return runtime.pace_tokens >= static_cast<double>(bytes);
-}
-
-void Connection::ConsumePaceTokens(PathRuntime& runtime, ByteCount bytes) {
-  if (!config_.pacing) return;
-  runtime.pace_tokens -= static_cast<double>(bytes);
-}
-
-void Connection::ArmPaceTimer() {
-  // Earliest time any usable, window-open path accumulates one packet's
-  // worth of tokens.
-  Duration earliest = kTimeInfinite;
-  for (auto& [id, runtime] : paths_) {
-    if (!runtime->path->Usable() ||
-        !runtime->path->congestion().CanSend(config_.max_packet_size)) {
-      continue;
-    }
-    const double rate = PacingRate(*runtime);
-    if (rate <= 0.0) continue;
-    const double deficit =
-        static_cast<double>(config_.max_packet_size) - runtime->pace_tokens;
-    if (deficit <= 0.0) continue;
-    earliest = std::min(earliest, static_cast<Duration>(deficit / rate) + 1);
-  }
-  if (earliest != kTimeInfinite && !pace_timer_->armed()) {
-    pace_timer_->SetIn(earliest);
   }
 }
 
@@ -869,11 +495,11 @@ void Connection::TrySend() {
   in_try_send_ = true;
 
   // Scheduler-requested probes (ping-first ablation).
-  for (auto& [id, runtime] : paths_) {
-    if (scheduler_->WantsProbe(*runtime->path) &&
-        !runtime->ping_probe_outstanding && runtime->path->Usable()) {
-      runtime->ping_probe_outstanding = true;
-      SendPing(*runtime, /*track=*/true);
+  for (auto& [id, path] : paths_) {
+    if (scheduler_->WantsProbe(*path) &&
+        !recovery_->ping_probe_outstanding(id) && path->Usable()) {
+      recovery_->set_ping_probe_outstanding(id, true);
+      assembler_->SendPing(*path, /*track=*/true);
     }
   }
 
@@ -881,10 +507,10 @@ void Connection::TrySend() {
   // These bypass the congestion window check: they are tiny and withhold-
   // ing them can deadlock the transfer — the exact failure mode §3's
   // "WINDOW_UPDATE on all paths" rule exists to avoid.
-  for (auto& [id, runtime] : paths_) {
-    while (!runtime->pinned_frames.empty()) {
-      if (!SendOnePacket(*runtime, /*include_stream_data=*/false, nullptr,
-                         nullptr)) {
+  for (auto& [id, path] : paths_) {
+    while (control_.HasPinned(id)) {
+      if (!assembler_->SendOnePacket(*path, /*include_stream_data=*/false,
+                                     nullptr, nullptr)) {
         break;
       }
     }
@@ -892,14 +518,16 @@ void Connection::TrySend() {
 
   // Flow-control diagnostics: report BLOCKED (once per episode) when
   // data is waiting but the connection-level window is exhausted.
-  if (established_ && ConnectionSendAllowance() == 0) {
+  if (established_ && assembler_->SendAllowance() == 0) {
     bool data_waiting = false;
     for (auto& [id, stream] : send_streams_) {
       if (!stream->AllDataSentOnce()) data_waiting = true;
     }
     if (data_waiting && !blocked_reported_) {
       blocked_reported_ = true;
-      if (tracer_ != nullptr) tracer_->OnFlowControlBlocked(sim_.now(), StreamId{0});
+      if (tracer_ != nullptr) {
+        tracer_->OnFlowControlBlocked(sim_.now(), StreamId{0});
+      }
       EnqueueControl(BlockedFrame{StreamId{0}});
     }
   } else {
@@ -910,18 +538,17 @@ void Connection::TrySend() {
   // scheduler among paths the pacer currently allows, duplicates onto
   // unknown-RTT paths (§3).
   for (int guard = 0; guard < 100000; ++guard) {
-    const bool have_control = !control_queue_.empty();
-    if (!have_control && !AnyStreamHasData()) break;
+    const bool have_control = !control_.shared_empty();
+    if (!have_control && !assembler_->AnyStreamHasData()) break;
     std::vector<Path*> eligible;
     bool pacing_blocked = false;
     bool usable_exists = false;
-    for (auto& [id, runtime] : paths_) {
-      if (runtime->path->Usable()) usable_exists = true;
-      if (PacingAllows(*runtime, config_.max_packet_size)) {
-        eligible.push_back(runtime->path.get());
-      } else if (runtime->path->Usable() &&
-                 runtime->path->congestion().CanSend(
-                     config_.max_packet_size)) {
+    for (auto& [id, path] : paths_) {
+      if (path->Usable()) usable_exists = true;
+      if (assembler_->PacingAllows(*path, config_.max_packet_size)) {
+        eligible.push_back(path.get());
+      } else if (path->Usable() &&
+                 path->congestion().CanSend(config_.max_packet_size)) {
         pacing_blocked = true;
       }
     }
@@ -949,287 +576,73 @@ void Connection::TrySend() {
       chosen = scheduler_->SelectPath(eligible, config_.max_packet_size);
     }
     if (chosen == nullptr) {
-      if (pacing_blocked) ArmPaceTimer();
+      if (pacing_blocked) assembler_->ArmPaceTimer();
       break;
     }
-    PathRuntime& runtime = *paths_.at(chosen->id());
     std::vector<StreamFrame> sent_stream_frames;
-    if (!SendOnePacket(runtime, /*include_stream_data=*/true, nullptr,
-                       &sent_stream_frames)) {
+    if (!assembler_->SendOnePacket(*paths_.at(chosen->id()),
+                                   /*include_stream_data=*/true, nullptr,
+                                   &sent_stream_frames)) {
       break;
     }
     if (!sent_stream_frames.empty()) {
       for (Path* target : scheduler_->DuplicationTargets(
                eligible, chosen, config_.max_packet_size)) {
-        PathRuntime& dup = *paths_.at(target->id());
         ++stats_.duplicated_scheduler_packets;
         if (tracer_ != nullptr) {
           tracer_->OnSchedulerDecision(sim_.now(), target->id(), "duplicate",
                                        0);
         }
-        SendOnePacket(dup, /*include_stream_data=*/false,
-                      &sent_stream_frames, nullptr);
+        assembler_->SendOnePacket(*paths_.at(target->id()),
+                                  /*include_stream_data=*/false,
+                                  &sent_stream_frames, nullptr);
       }
     }
   }
   in_try_send_ = false;
 }
 
-bool Connection::SendOnePacket(PathRuntime& runtime, bool include_stream_data,
-                               const std::vector<StreamFrame>* duplicate_of,
-                               std::vector<StreamFrame>* sent_stream_frames) {
-  Path& path = *runtime.path;
-  const std::size_t header_size =
-      1 + 8 + (config_.multipath ? 1 : 0) +
-      PacketNumberLength(path.largest_sent() + 1, path.largest_acked());
-  if (config_.max_packet_size < header_size + crypto::kAeadTagSize + 8) {
-    return false;
-  }
-  std::size_t budget =
-      config_.max_packet_size.value() - header_size - crypto::kAeadTagSize;
-
-  // Recycled per-packet scratch: the vector's capacity survives across
-  // packets (TransmitPacket moves the frames out but leaves the vector).
-  std::vector<Frame>& frames = send_frames_scratch_;
-  frames.clear();
-  ByteCount new_bytes{};
-
-  // 1. Piggyback a pending ACK for this path.
-  if (path.ack_pending() && path.receiver().AnythingToAck()) {
-    AckFrame ack = BuildAck(runtime);
-    const std::size_t size = FrameWireSize(Frame{ack});
-    if (size <= budget) {
-      budget -= size;
-      frames.emplace_back(std::move(ack));
-    }
-  }
-
-  // 2. Frames pinned to this path.
-  while (!runtime.pinned_frames.empty()) {
-    const std::size_t size = FrameWireSize(runtime.pinned_frames.front());
-    if (size > budget) break;
-    budget -= size;
-    frames.push_back(std::move(runtime.pinned_frames.front()));
-    runtime.pinned_frames.erase(runtime.pinned_frames.begin());
-  }
-
-  // 3. Shared control queue (PATHS, ADD_ADDRESS, requeued control).
-  while (!control_queue_.empty()) {
-    const std::size_t size = FrameWireSize(control_queue_.front());
-    if (size > budget) break;
-    budget -= size;
-    frames.push_back(std::move(control_queue_.front()));
-    control_queue_.erase(control_queue_.begin());
-  }
-
-  // 4. Stream data: either duplicates of frames just sent on another
-  //    path, or fresh data pulled from the send streams.
-  if (duplicate_of != nullptr) {
-    for (const StreamFrame& frame : *duplicate_of) {
-      const std::size_t size = FrameWireSize(Frame{frame});
-      if (size > budget) break;
-      budget -= size;
-      frames.emplace_back(frame);
-    }
-  } else if (include_stream_data && !send_streams_.empty()) {
-    // Round-robin over the streams, one chunk per stream per pass, so
-    // concurrent objects progress together instead of serially.
-    auto it = send_streams_.upper_bound(next_stream_to_serve_);
-    if (it == send_streams_.end()) it = send_streams_.begin();
-    const StreamId first_served = it->first;
-    bool any_progress = true;
-    while (budget > kStreamFrameOverhead && any_progress) {
-      any_progress = false;
-      for (std::size_t i = 0; i < send_streams_.size(); ++i) {
-        if (budget <= kStreamFrameOverhead) break;
-        SendStream& stream = *it->second;
-        const StreamId sid = it->first;
-        ++it;
-        if (it == send_streams_.end()) it = send_streams_.begin();
-        StreamFrame frame;
-        const ByteCount allowance = ConnectionSendAllowance() >= new_bytes
-                                        ? ConnectionSendAllowance() - new_bytes
-                                        : ByteCount{0};
-        const auto result =
-            stream.NextFrame(ByteCount{budget - kStreamFrameOverhead}, allowance,
-                             frame);
-        if (!result.produced) continue;
-        any_progress = true;
-        next_stream_to_serve_ = sid;
-        new_bytes += result.new_bytes;
-        const std::size_t size = FrameWireSize(Frame{frame});
-        assert(size <= budget);
-        budget -= size;
-        if (sent_stream_frames) sent_stream_frames->push_back(frame);
-        frames.emplace_back(std::move(frame));
-      }
-    }
-    (void)first_served;
-  }
-
-  if (frames.empty()) return false;
-
-  bool retransmittable = false;
-  for (const Frame& frame : frames) {
-    if (IsRetransmittable(frame)) retransmittable = true;
-  }
-  new_stream_bytes_sent_ += new_bytes;
-  stats_.stream_bytes_sent_new += new_bytes;
-  TransmitPacket(runtime, frames, retransmittable,
-                 /*handshake_cleartext=*/false);
-  return true;
-}
-
-void Connection::TransmitPacket(PathRuntime& runtime,
-                                std::vector<Frame>& frames,
-                                bool retransmittable,
-                                bool handshake_cleartext) {
-  Path& path = *runtime.path;
-  if (tracer_ != nullptr) {
-    for (const Frame& frame : frames) {
-      tracer_->OnFrameSent(sim_.now(), path.id(), frame);
-    }
-  }
-  PacketHeader header;
-  header.cid = cid_;
-  header.path_id = path.id();
-  header.multipath = config_.multipath;
-  header.handshake = handshake_cleartext;
-  header.packet_number = path.AllocatePacketNumber();
-
-  // Single-buffer assembly: header and frames are encoded into one
-  // writer and the payload is sealed where it lies — the only per-packet
-  // allocation left is the outgoing datagram itself (the network takes
-  // ownership of it).
-  BufWriter writer(config_.max_packet_size.value() + crypto::kAeadTagSize);
-  EncodeHeader(header, path.largest_acked(), writer);
-  const std::size_t header_size = writer.size();
-
-  for (const Frame& frame : frames) EncodeFrame(frame, writer);
-
-  if (!handshake_cleartext) {
-    assert(seal_ != nullptr);
-    writer.WriteZeroes(crypto::kAeadTagSize);  // tag slot
-    const std::span<std::uint8_t> buf = writer.mutable_span();
-    seal_->SealInPlace(header.multipath ? header.path_id : PathId{0},
-                       header.packet_number, buf.subspan(0, header_size),
-                       buf.subspan(header_size));
-  }
-  assert(writer.size() <= config_.max_packet_size + 64);
-
-  if (retransmittable) {
-    SentPacket tracked;
-    tracked.pn = header.packet_number;
-    tracked.sent_time = sim_.now();
-    tracked.bytes = ByteCount{writer.size()};
-    for (Frame& frame : frames) {
-      if (IsRetransmittable(frame)) tracked.frames.push_back(std::move(frame));
-    }
-    ConsumePaceTokens(runtime, ByteCount{writer.size()});
-    path.OnPacketSent(std::move(tracked));
-    RearmRetxTimer(runtime);
-  }
-  ++stats_.packets_sent;
+void Connection::OnPacketTransmitted() {
   if (connection_idle_timer_) {
     connection_idle_timer_->SetIn(config_.idle_timeout);
   }
-  if (tracer_ != nullptr) {
-    tracer_->OnPacketSent(sim_.now(), path.id(), header.packet_number,
-                          ByteCount{writer.size()}, retransmittable);
-  }
-  send_(path.local_address(), path.remote_address(), writer.Take());
 }
 
 // ---------------------------------------------------------------------------
-// Loss recovery
+// Loss recovery (timers and requeue live in quic/recovery.h; these are
+// the composer-side effects it triggers through RecoveryDelegate)
 
-void Connection::RequeueLostFrames(PathId path, std::vector<SentPacket> lost) {
-  for (SentPacket& packet : lost) {
-    for (Frame& frame : packet.frames) {
-      if (tracer_ != nullptr) {
-        tracer_->OnFrameRetransmitQueued(sim_.now(), path, frame);
-      }
-      std::visit(
-          [&](auto& f) {
-            using T = std::decay_t<decltype(f)>;
-            if constexpr (std::is_same_v<T, StreamFrame>) {
-              auto it = send_streams_.find(f.stream_id);
-              if (it != send_streams_.end()) {
-                it->second->OnFrameLost(f.offset, ByteCount{f.data.size()}, f.fin);
-              }
-            } else if constexpr (std::is_same_v<T, WindowUpdateFrame>) {
-              // Values are monotonic; resending the same limit is safe and
-              // refreshing it is better.
-              WindowUpdateFrame fresh = f;
-              if (f.stream_id == 0) {
-                fresh.max_data =
-                    std::max(fresh.max_data, flow_.local_max_data());
-              }
-              EnqueueWindowUpdates(fresh);
-            } else if constexpr (std::is_same_v<T, PathsFrame>) {
-              EnqueueControl(BuildPathsFrame());  // fresh snapshot
-            } else if constexpr (std::is_same_v<T, AddAddressFrame>) {
-              EnqueueControl(std::move(f));
-            } else if constexpr (std::is_same_v<T, RemoveAddressFrame>) {
-              EnqueueControl(std::move(f));
-            } else if constexpr (std::is_same_v<T, RstStreamFrame>) {
-              EnqueueControl(f);  // the abort notice itself is reliable
-            }
-            // PING / BLOCKED / CONNECTION_CLOSE / RST: not worth
-            // retransmitting (probe timers re-issue pings).
-          },
-          frame);
-    }
+void Connection::OnStreamFrameLost(StreamId stream, ByteCount offset,
+                                   ByteCount length, bool fin) {
+  auto it = send_streams_.find(stream);
+  if (it != send_streams_.end()) {
+    it->second->OnFrameLost(offset, length, fin);
   }
 }
 
-void Connection::RearmRetxTimer(PathRuntime& runtime) {
-  Path& path = *runtime.path;
-  TimePoint deadline = path.NextLossTime();
-  if (path.HasInFlight()) {
-    // Anchor the RTO on the oldest outstanding packet, not the last
-    // transmission: periodic sends (e.g. the 1 Hz probe pings on a
-    // potentially-failed path) would otherwise push the deadline back
-    // forever once the backed-off RTO exceeds the send interval, and
-    // stranded in-flight data would never be redeclared lost.
-    const TimePoint rto_deadline =
-        path.OldestInFlightSentTime() + path.CurrentRto();
-    deadline = std::min(deadline, rto_deadline);
+void Connection::RequeueWindowUpdate(const WindowUpdateFrame& frame) {
+  // Values are monotonic; resending the same limit is safe and
+  // refreshing it is better.
+  WindowUpdateFrame fresh = frame;
+  if (frame.stream_id == 0) {
+    fresh.max_data = std::max(fresh.max_data, flow_.local_max_data());
   }
-  if (deadline == kTimeInfinite) {
-    runtime.retx_timer->Cancel();
-  } else {
-    runtime.retx_timer->SetAt(deadline);
-  }
+  EnqueueWindowUpdates(fresh);
 }
 
-void Connection::OnRetxTimer(PathRuntime& runtime) {
-  Path& path = *runtime.path;
-  if (closed_) return;
-  AuditScope audit(*this);
-  if (sim_.now() >= path.NextLossTime()) {
-    RequeueLostFrames(path.id(), path.DetectTimeThresholdLosses(sim_.now()));
-  } else if (path.HasInFlight()) {
-    ++stats_.rto_events;
-    const bool was_failed = path.potentially_failed();
-    RequeueLostFrames(path.id(), path.OnRetransmissionTimeout(sim_.now()));
-    if (tracer_ != nullptr) {
-      tracer_->OnRto(sim_.now(), path.id(), path.rto_count());
-    }
-    if (!was_failed && path.potentially_failed()) {
-      OnPathPotentiallyFailed(runtime);
-    }
-  }
-  RearmRetxTimer(runtime);
-  TrySend();
+void Connection::RequeuePathsSnapshot() {
+  EnqueueControl(BuildPathsFrame());  // fresh snapshot
 }
 
-void Connection::OnPathPotentiallyFailed(PathRuntime& runtime) {
+void Connection::RequeueControlFrame(Frame frame) {
+  EnqueueControl(std::move(frame));
+}
+
+bool Connection::OnPathPotentiallyFailed(PathId path) {
   MPQ_DEBUG(sim_.now(), "quic", "cid=%llu path %u potentially failed",
-            static_cast<unsigned long long>(cid_), runtime.path->id().value());
+            static_cast<unsigned long long>(cid_), path.value());
   if (tracer_ != nullptr) {
-    tracer_->OnPathStateChange(sim_.now(), runtime.path->id(),
-                               "potentially-failed");
+    tracer_->OnPathStateChange(sim_.now(), path, "potentially-failed");
   }
   if (config_.send_paths_frame && config_.multipath) {
     // §4.3: tell the peer immediately so it does not wait for its own RTO
@@ -1238,13 +651,26 @@ void Connection::OnPathPotentiallyFailed(PathRuntime& runtime) {
   }
   if (!config_.multipath && config_.migrate_on_path_failure &&
       perspective_ == Perspective::kClient) {
-    TryAutoMigrate(runtime);
-    return;
+    TryAutoMigrate(*paths_.at(path));
+    return false;  // migrating — probing the dead address pair is pointless
   }
-  runtime.probe_timer->SetIn(config_.failed_path_probe_interval);
+  return true;  // recovery probes the path until it recovers
 }
 
-void Connection::TryAutoMigrate(PathRuntime& runtime) {
+void Connection::OnPathRecovered(PathId path) {
+  (void)path;
+  if (config_.send_paths_frame && config_.multipath) {
+    EnqueueControl(BuildPathsFrame());  // path recovered: tell the peer
+  }
+}
+
+void Connection::SendProbePing(PathId path) {
+  assembler_->SendPing(*paths_.at(path), /*track=*/true);
+}
+
+void Connection::RunAudit() { MPQ_AUDIT_CHECK(*this); }
+
+void Connection::TryAutoMigrate(Path& path) {
   // Hard handover: hop to the next local/peer address pair (round robin
   // over the client's interfaces).
   if (local_addresses_.size() < 2) return;
@@ -1259,37 +685,28 @@ void Connection::TryAutoMigrate(PathRuntime& runtime) {
     }
   }
   if (remote == nullptr) return;
-  MigratePath(runtime.path->id(), local, *remote);
+  MigratePath(path.id(), local, *remote);
 }
 
 void Connection::MigratePath(PathId id, sim::Address new_local,
                              sim::Address new_remote) {
   auto it = paths_.find(id);
   if (it == paths_.end() || closed_) return;
-  PathRuntime& runtime = *it->second;
+  Path& path = *it->second;
   MPQ_DEBUG(sim_.now(), "quic", "cid=%llu migrating path %u",
             static_cast<unsigned long long>(cid_), id.value());
   if (tracer_ != nullptr) {
     tracer_->OnPathStateChange(sim_.now(), id, "migrated");
   }
-  RequeueLostFrames(id, runtime.path->Migrate(new_local, new_remote,
-                                              MakeController(), sim_.now()));
-  runtime.retx_timer->Cancel();
-  runtime.probe_timer->Cancel();
-  runtime.pace_tokens = 0.0;
-  runtime.pace_refill_time = sim_.now();
+  recovery_->RequeueLostFrames(
+      id, path.Migrate(new_local, new_remote, MakeController(), sim_.now()));
+  recovery_->OnPathMigrated(id);
+  assembler_->ResetPathPacing(id);
   // Probe the new address pair immediately (the PATH_CHALLENGE analogue):
   // it announces the migration to the peer even when we have no data to
   // send, and its ACK seeds the new path's RTT estimate.
-  SendPing(runtime, /*track=*/true);
+  assembler_->SendPing(path, /*track=*/true);
   TrySend();
-}
-
-void Connection::OnProbeTimer(PathRuntime& runtime) {
-  if (closed_ || !runtime.path->potentially_failed()) return;
-  AuditScope audit(*this);
-  SendPing(runtime, /*track=*/true);
-  runtime.probe_timer->SetIn(config_.failed_path_probe_interval);
 }
 
 }  // namespace mpq::quic

@@ -1,6 +1,17 @@
-// The (MP)QUIC connection: packet assembly, the secure handshake, path
-// management, scheduling, loss recovery and flow control — §2 and §3 of
-// the paper in one state machine.
+// The (MP)QUIC connection — §2 and §3 of the paper, composed from five
+// enforced layers rather than one monolith:
+//
+//   HandshakeLayer   CHLO/SHLO exchange, 0-RTT gating   (quic/handshake.h)
+//   FrameDispatcher  decrypt → parse → route            (quic/dispatch.h)
+//   PacketAssembler  frame packing, sealing, pacing     (quic/assembler.h)
+//   RecoveryManager  loss detection, RTO/probe timers   (quic/recovery.h)
+//   ControlQueue     reliable control-frame scheduling  (quic/control_queue.h)
+//
+// Connection is the composer: it owns the paths, the send streams, flow
+// control and the scheduler, and implements the layers' delegate
+// interfaces (privately — the delegate vocabulary is plumbing, not API).
+// Each layer sees only its delegate plus the layers strictly below it;
+// the mpq-layering lint rule turns that DAG into a build-time check.
 //
 // Single-path QUIC is the degenerate configuration (multipath disabled:
 // no Path ID byte on the wire, one packet-number space, CUBIC), so the
@@ -11,7 +22,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <optional>
 #include <string>
 #include <vector>
 
@@ -20,9 +30,15 @@
 #include "cc/olia.h"
 #include "common/rng.h"
 #include "common/types.h"
-#include "crypto/aead.h"
+#include "quic/assembler.h"
+#include "quic/config.h"
+#include "quic/control_queue.h"
+#include "quic/dispatch.h"
+#include "quic/handshake.h"
 #include "quic/path.h"
+#include "quic/recovery.h"
 #include "quic/scheduler.h"
+#include "quic/stats.h"
 #include "quic/streams.h"
 #include "quic/trace.h"
 #include "quic/wire.h"
@@ -32,87 +48,14 @@
 
 namespace mpq::quic {
 
-enum class Perspective { kClient, kServer };
-
-/// Single-path default: CUBIC; multipath default: coupled OLIA (§3).
-using CongestionAlgo = cc::Algorithm;
-
-struct ConnectionConfig {
-  bool multipath = false;
-  CongestionAlgo congestion = CongestionAlgo::kCubic;
-  SchedulerType scheduler = SchedulerType::kLowestRtt;
-  ByteCount receive_window = kDefaultReceiveWindow;
-  ByteCount max_packet_size{kMaxPacketSize};
-  /// §3: send WINDOW_UPDATE frames on every path (ablation knob).
-  bool window_update_on_all_paths = true;
-  /// §4.3: advertise potentially-failed paths in PATHS frames so the peer
-  /// avoids its own RTO (ablation knob).
-  bool send_paths_frame = true;
-  /// Probe potentially-failed paths with PINGs so they can recover.
-  Duration failed_path_probe_interval = 1 * kSecond;
-  /// Pace data packets at ~1.25x cwnd/RTT per path (2x in slow start),
-  /// as quic-go/Chromium did in 2017 — Linux TCP of that era did not
-  /// pace, which is part of QUIC's edge in bufferbloat/lossy scenarios.
-  bool pacing = true;
-  /// Single-path QUIC connection migration (§1's "hard handover"): when
-  /// the only path is declared potentially failed — by RTO, or by
-  /// receiving nothing for `idle_failure_timeout` while a transfer is in
-  /// progress — migrate it to the next local/peer address pair. No effect
-  /// with multipath enabled (MPQUIC handles failure via its other paths).
-  bool migrate_on_path_failure = false;
-  Duration idle_failure_timeout = 2 * kSecond;
-  /// §3 designed paths created by either host (server paths get even
-  /// ids) but the paper's implementation leaves server-initiated paths
-  /// unused because clients sit behind NATs. Off by default, as there;
-  /// when enabled the server opens a path to every address the client
-  /// advertises via ADD_ADDRESS.
-  bool allow_server_paths = false;
-  /// Advertise our own extra addresses to the peer after the handshake
-  /// (the client-side ADD_ADDRESS; servers advertise theirs in the SHLO).
-  bool advertise_addresses = true;
-  /// §3: "upon handshake completion, [the path manager] opens one path
-  /// over each interface on the client host". Disable to test pure
-  /// server-initiated path setups.
-  bool client_opens_paths = true;
-  /// 0-RTT: the client already holds the server's config (the same
-  /// out-of-band secret that makes our 1-RTT handshake possible), derives
-  /// the session keys locally and sends encrypted data together with the
-  /// CHLO — Google QUIC's repeat-connection handshake. The SHLO still
-  /// confirms. Trades one RTT for no fresh server entropy in the keys.
-  bool zero_rtt = false;
-  /// Initial CHLO retransmission timeout (doubles on each attempt).
-  Duration handshake_timeout = 1 * kSecond;
-  /// Close the connection after this long with no packets in either
-  /// direction (0 = never — the experiment harness manages lifetimes
-  /// itself, so that is the default).
-  Duration idle_timeout = 0;
-  /// Versions this endpoint accepts. The handshake fails cleanly when
-  /// client and server share none (§2: version negotiation is part of
-  /// what lets QUIC evolve).
-  std::vector<std::uint32_t> supported_versions{kVersionMpq1};
-  /// Shared secret standing in for the out-of-band server config of the
-  /// 1-RTT Google-QUIC handshake (see crypto::DeriveSessionKeys).
-  std::array<std::uint8_t, 16> server_config_secret{};
-};
-
-/// Aggregate counters the experiment harness reads after a run.
-struct ConnectionStats {
-  std::uint64_t packets_sent = 0;
-  std::uint64_t packets_received = 0;
-  std::uint64_t packets_decrypt_failed = 0;
-  std::uint64_t packets_duplicate = 0;
-  std::uint64_t duplicated_scheduler_packets = 0;
-  std::uint64_t rto_events = 0;
-  ByteCount stream_bytes_sent_new{};
-  ByteCount stream_bytes_received{};
-};
-
-class Connection {
+class Connection : private RecoveryDelegate,
+                   private AssemblerDelegate,
+                   private DispatchDelegate,
+                   private HandshakeDelegate {
  public:
   /// `send` transmits a datagram from a local address this connection
   /// owns; the endpoint wires it to the right socket.
-  using SendFunction = std::function<void(
-      sim::Address local, sim::Address remote, std::vector<std::uint8_t>)>;
+  using SendFunction = PacketAssembler::SendFunction;
 
   Connection(sim::Simulator& sim, Perspective perspective, ConnectionId cid,
              ConnectionConfig config, Rng rng, SendFunction send);
@@ -138,12 +81,8 @@ class Connection {
     on_established_ = std::move(handler);
   }
   /// In-order stream delivery: (stream, offset, bytes, finished).
-  using StreamDataHandler =
-      std::function<void(StreamId, ByteCount, std::span<const std::uint8_t>,
-                         bool finished)>;
-  void SetStreamDataHandler(StreamDataHandler handler) {
-    on_stream_data_ = std::move(handler);
-  }
+  using StreamDataHandler = FrameDispatcher::StreamDataHandler;
+  void SetStreamDataHandler(StreamDataHandler handler);
   /// Open (or continue) a send stream fed by `source`; transmission starts
   /// as soon as the handshake and the scheduler allow.
   void SendOnStream(StreamId id, std::unique_ptr<SendSource> source);
@@ -169,8 +108,8 @@ class Connection {
   void Close(std::uint16_t error_code, const std::string& reason);
 
   /// Attach a tracer (not owned; must outlive the connection or be
-  /// detached with nullptr). See quic/trace.h.
-  void SetTracer(ConnectionTracer* tracer) { tracer_ = tracer; }
+  /// detached with nullptr). Fans out to every layer. See quic/trace.h.
+  void SetTracer(ConnectionTracer* tracer);
 
   // -- introspection ------------------------------------------------------
   bool established() const { return established_; }
@@ -186,120 +125,82 @@ class Connection {
  private:
   friend class Auditor;
 
-  struct PathRuntime {
-    std::unique_ptr<Path> path;
-    std::unique_ptr<sim::Timer> retx_timer;  // loss-time + RTO, combined
-    std::unique_ptr<sim::Timer> ack_timer;   // delayed ACK
-    std::unique_ptr<sim::Timer> probe_timer; // potentially-failed probing
-    /// Control frames pinned to this path (its ACKs, per-path
-    /// WINDOW_UPDATE copies).
-    std::vector<Frame> pinned_frames;
-    bool ping_probe_outstanding = false;
-    /// Pacing token bucket (bytes); refilled from cwnd/RTT.
-    double pace_tokens = 0.0;
-    TimePoint pace_refill_time = 0;
-  };
+  // -- HandshakeDelegate ---------------------------------------------------
+  bool connection_established() const override { return established_; }
+  const std::vector<sim::Address>& local_addresses() const override {
+    return local_addresses_;
+  }
+  void OnHandshakeKeys(std::unique_ptr<crypto::PacketProtection> seal,
+                       std::unique_ptr<crypto::PacketProtection> open) override;
+  void SendHandshakeFrames(std::vector<Frame>& frames) override;
+  void RecordHandshakePacketNumber(PathId path, PacketNumber truncated,
+                                   std::size_t pn_length) override;
+  void OnServerChloAccepted(sim::Address local, sim::Address remote) override;
+  void OnPeerAddresses(std::vector<sim::Address> addresses) override;
+  void OnClientHandshakeComplete() override;
+  void OnZeroRttConfirmed(
+      const std::vector<sim::Address>& peer_addresses) override;
+  void AddHandshakeRttSample(Duration rtt, bool only_if_no_sample) override;
+  void OnHandshakeFailed() override;
 
-  // -- handshake ----------------------------------------------------------
-  void SendChlo();
-  void OnHandshakePacket(const ParsedHeader& header, BufReader& reader,
-                         const sim::Datagram& datagram);
-  void HandleChlo(const HandshakeFrame& chlo, const sim::Datagram& datagram);
-  void HandleShlo(const HandshakeFrame& shlo);
+  // -- DispatchDelegate ----------------------------------------------------
+  bool connection_closed() const override { return closed_; }
+  Path* EnsurePath(PathId id, const sim::Datagram& datagram) override;
+  void OnAckFrame(const AckFrame& ack) override;
+  void OnWindowUpdateFrame(const WindowUpdateFrame& frame) override;
+  void OnPathsFrame(const PathsFrame& frame) override;
+  void OnAddAddressFrame(const AddAddressFrame& frame) override;
+  void OnRemoveAddressFrame(const RemoveAddressFrame& frame) override;
+  void OnPeerClose(const ConnectionCloseFrame& frame) override;
+  void FanOutWindowUpdate(const WindowUpdateFrame& frame) override;
+  void OnAckElicitingPacket(Path& path, bool out_of_order) override;
+
+  // -- RecoveryDelegate ----------------------------------------------------
+  void OnStreamFrameLost(StreamId stream, ByteCount offset, ByteCount length,
+                         bool fin) override;
+  void RequeueWindowUpdate(const WindowUpdateFrame& frame) override;
+  void RequeuePathsSnapshot() override;
+  void RequeueControlFrame(Frame frame) override;
+  bool OnPathPotentiallyFailed(PathId path) override;
+  void OnPathRecovered(PathId path) override;
+  void SendProbePing(PathId path) override;
+  void RunAudit() override;
+
+  // -- AssemblerDelegate (RequestSend is shared with RecoveryDelegate) -----
+  void RequestSend() override { TrySend(); }
+  void OnPacketTransmitted() override;
+
+  // -- composer logic ------------------------------------------------------
   void BecomeEstablished();
-
-  // -- path management (§3 "Path Management") -----------------------------
-  PathRuntime& CreatePath(PathId id, sim::Address local, sim::Address remote);
+  Path& CreatePath(PathId id, sim::Address local, sim::Address remote);
   void OpenClientPaths();
   /// Server-initiated paths toward freshly advertised client addresses
   /// (even path ids, §3) — only with config.allow_server_paths.
   void MaybeOpenServerPaths();
   std::unique_ptr<cc::CongestionController> MakeController();
-  void OnPathPotentiallyFailed(PathRuntime& runtime);
-  void TryAutoMigrate(PathRuntime& runtime);
+  void TryAutoMigrate(Path& path);
   PathsFrame BuildPathsFrame() const;
   std::vector<Path*> PathPointers();
-
-  // -- receive ------------------------------------------------------------
-  void OnEncryptedPacket(const ParsedHeader& parsed, BufReader& reader,
-                         std::span<const std::uint8_t> datagram_bytes,
-                         const sim::Datagram& datagram);
-  /// Frames are consumed: stream payloads are moved out into the receive
-  /// streams rather than copied.
-  void ProcessFrames(PathRuntime& runtime, std::vector<Frame>& frames);
-  void OnAckFrame(const AckFrame& ack);
-  void OnStreamFrameReceived(StreamFrame& frame);
-  void OnWindowUpdate(const WindowUpdateFrame& frame);
-  void OnPathsFrame(const PathsFrame& frame);
-  RecvStream& GetOrCreateRecvStream(StreamId id);
-
-  // -- send ---------------------------------------------------------------
   /// Drive the scheduler until windows/flow control/data run out.
   void TrySend();
-  /// Assemble and transmit one packet on `runtime` from pinned frames,
-  /// the shared control queue and stream data. Returns false if there was
-  /// nothing to send.
-  bool SendOnePacket(PathRuntime& runtime, bool include_stream_data,
-                     const std::vector<StreamFrame>* duplicate_of,
-                     std::vector<StreamFrame>* sent_stream_frames);
-  void SendAckOnlyPacket(PathRuntime& runtime);
-  void SendPing(PathRuntime& runtime, bool track);
-  /// `frames` is consumed (retransmittable frames are moved into the sent-
-  /// packet record) but the vector's allocation stays with the caller, so
-  /// per-packet scratch can be recycled.
-  void TransmitPacket(PathRuntime& runtime, std::vector<Frame>& frames,
-                      bool retransmittable, bool handshake_cleartext);
-  AckFrame BuildAck(PathRuntime& runtime);
-  void MaybeScheduleAck(PathRuntime& runtime, bool out_of_order);
-  void EnqueueWindowUpdates(const WindowUpdateFrame& frame);
   void EnqueueControl(Frame frame);
-
-  // -- loss recovery ------------------------------------------------------
-  /// `path` is the path the lost packets were sent on (the frames may be
-  /// retransmitted on any path); it labels the tracer's requeue events.
-  void RequeueLostFrames(PathId path, std::vector<SentPacket> lost);
-  void OnRetxTimer(PathRuntime& runtime);
-  void RearmRetxTimer(PathRuntime& runtime);
-  void OnProbeTimer(PathRuntime& runtime);
-
-  ByteCount ConnectionSendAllowance() const {
-    return flow_.SendAllowance(new_stream_bytes_sent_);
-  }
-  bool AnyStreamHasData();
-
-  // -- pacing -------------------------------------------------------------
-  /// Bytes/microsecond this path may currently emit.
-  double PacingRate(const PathRuntime& runtime) const;
-  void RefillPaceTokens(PathRuntime& runtime);
-  bool PacingAllows(PathRuntime& runtime, ByteCount bytes);
-  void ConsumePaceTokens(PathRuntime& runtime, ByteCount bytes);
-  /// Arm the pace timer for the earliest time any path can send again.
-  void ArmPaceTimer();
+  /// §3: WINDOW_UPDATE goes out on ALL paths (when configured) so a
+  /// receive-buffer deadlock cannot arise from one path losing the update.
+  void EnqueueWindowUpdates(const WindowUpdateFrame& frame);
+  bool ExpectingData() const;
+  void OnIdleFailureTimer();
 
   sim::Simulator& sim_;
   Perspective perspective_;
   ConnectionId cid_;
   ConnectionConfig config_;
   Rng rng_;
-  SendFunction send_;
 
   std::vector<sim::Address> local_addresses_;
   std::vector<sim::Address> peer_addresses_;
 
-  // Handshake state.
   bool established_ = false;
   bool closed_ = false;
-  std::vector<std::uint8_t> client_nonce_;
-  std::vector<std::uint8_t> server_nonce_;
-  bool shlo_received_ = false;
-  TimePoint chlo_sent_time_ = -1;
-  std::unique_ptr<sim::Timer> handshake_timer_;
-  int handshake_attempts_ = 0;
-  sim::Address server_address_{};  // client only
-
-  // Keys (set once established).
-  std::unique_ptr<crypto::PacketProtection> seal_;  // our direction
-  std::unique_ptr<crypto::PacketProtection> open_;  // peer's direction
 
   // NOTE: the OLIA coordinator must outlive the per-path controllers the
   // paths own (they unregister from it on destruction), so it is declared
@@ -307,54 +208,35 @@ class Connection {
   std::unique_ptr<cc::OliaCoordinator> olia_;  // when congestion == kOlia
   std::unique_ptr<cc::LiaCoordinator> lia_;    // when congestion == kLia
   std::unique_ptr<Scheduler> scheduler_;
-  // Paths, ordered by id. unique_ptr for stable addresses.
-  std::map<PathId, std::unique_ptr<PathRuntime>> paths_;
+  // Paths, ordered by id. unique_ptr for stable addresses (the layers
+  // keep Path* across their lifetime).
+  std::map<PathId, std::unique_ptr<Path>> paths_;
 
-  // Streams.
   std::map<StreamId, std::unique_ptr<SendStream>> send_streams_;
-  /// Round-robin position for stream scheduling: concurrent streams share
-  /// the connection fairly (one chunk each per packet-fill pass), as
-  /// quic-go does — this is what §2's "streams prevent head-of-line
-  /// blocking" rests on.
-  StreamId next_stream_to_serve_{};
-  std::map<StreamId, std::unique_ptr<RecvStream>> recv_streams_;
   FlowController flow_;
-  ByteCount new_stream_bytes_sent_{};
-  /// Receive-side: per-stream advertised limits for stream-level windows.
-  std::map<StreamId, ByteCount> stream_advertised_;
-  /// Sum over streams of highest received offset (connection-level
-  /// receive accounting).
-  ByteCount total_highest_received_{};
-
-  /// Path-agnostic control frames awaiting a packet (PATHS, ADD_ADDRESS,
-  /// re-queued control frames).
-  std::vector<Frame> control_queue_;
+  ControlQueue control_;
 
   std::function<void()> on_established_;
-  StreamDataHandler on_stream_data_;
   ConnectionTracer* tracer_ = nullptr;
   ConnectionStats stats_;
   bool in_try_send_ = false;
   int migrations_ = 0;
-  std::unique_ptr<sim::Timer> pace_timer_;
   /// Armed only in migrate-on-failure mode: detects a dead path from the
   /// receiver side (nothing arrives while a transfer is in progress).
   std::unique_ptr<sim::Timer> idle_timer_;
-  bool ExpectingData() const;
-  void OnIdleFailureTimer();
   /// Connection-level idle timeout (config.idle_timeout > 0 only).
   std::unique_ptr<sim::Timer> connection_idle_timer_;
   /// BLOCKED is sent once per flow-control-blocked episode (diagnostic;
   /// also what real stacks do to aid troubleshooting).
   bool blocked_reported_ = false;
 
-  // Recycled per-packet scratch. The capacity survives across packets so
-  // the steady-state datapath allocates only the outgoing datagram itself.
-  // Safe as members: the simulator is single-threaded per connection and
-  // neither send nor receive re-enters its own half of the datapath.
-  std::vector<Frame> send_frames_scratch_;
-  std::vector<std::uint8_t> recv_plaintext_scratch_;
-  std::vector<Frame> recv_frames_scratch_;
+  // The layers. Construction order matters (the assembler holds a
+  // reference to the recovery manager); destruction in reverse member
+  // order tears the composer down before the state the layers reference.
+  std::unique_ptr<RecoveryManager> recovery_;
+  std::unique_ptr<PacketAssembler> assembler_;
+  std::unique_ptr<FrameDispatcher> dispatcher_;
+  std::unique_ptr<HandshakeLayer> handshake_;
 };
 
 }  // namespace mpq::quic

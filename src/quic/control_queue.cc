@@ -1,0 +1,41 @@
+#include "quic/control_queue.h"
+
+#include <utility>
+
+namespace mpq::quic {
+
+void ControlQueue::EnqueueShared(Frame frame) {
+  shared_.push_back(std::move(frame));
+}
+
+void ControlQueue::EnqueuePinned(PathId path, const Frame& frame) {
+  pinned_[path].emplace_back(frame);
+}
+
+bool ControlQueue::HasPinned(PathId path) const {
+  const auto it = pinned_.find(path);
+  return it != pinned_.end() && !it->second.empty();
+}
+
+void ControlQueue::FillPacket(PathId path, std::size_t& budget,
+                              std::vector<Frame>& out) {
+  if (auto it = pinned_.find(path); it != pinned_.end()) {
+    std::vector<Frame>& pinned = it->second;
+    while (!pinned.empty()) {
+      const std::size_t size = FrameWireSize(pinned.front());
+      if (size > budget) break;
+      budget -= size;
+      out.push_back(std::move(pinned.front()));
+      pinned.erase(pinned.begin());
+    }
+  }
+  while (!shared_.empty()) {
+    const std::size_t size = FrameWireSize(shared_.front());
+    if (size > budget) break;
+    budget -= size;
+    out.push_back(std::move(shared_.front()));
+    shared_.erase(shared_.begin());
+  }
+}
+
+}  // namespace mpq::quic

@@ -1,0 +1,46 @@
+// Control-frame scheduling: the queues of reliable non-stream frames
+// (WINDOW_UPDATE, ADD_ADDRESS/REMOVE_ADDRESS, PATHS, re-queued control
+// frames) awaiting a packet. Two tiers, mirroring §3's delivery rules:
+//
+//   pinned   frames bound to one specific path — the per-path copies of a
+//            WINDOW_UPDATE ("on ALL paths so a receive-buffer deadlock
+//            cannot arise from one path losing the update").
+//   shared   path-agnostic frames the next outgoing packet on any path
+//            may carry.
+//
+// The queue knows nothing about paths, packets or timers: the assembler
+// drains it under a byte budget, the connection and recovery layers feed
+// it. Both tiers are strict FIFO — control frames never reorder.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "common/types.h"
+#include "quic/wire.h"
+
+namespace mpq::quic {
+
+class ControlQueue {
+ public:
+  /// Append a path-agnostic control frame (FIFO).
+  void EnqueueShared(Frame frame);
+  /// Append a control frame that must leave on `path` specifically.
+  void EnqueuePinned(PathId path, const Frame& frame);
+
+  bool HasPinned(PathId path) const;
+  bool shared_empty() const { return shared_.empty(); }
+
+  /// Move queued frames into `out` while they fit `budget` (wire size),
+  /// pinned frames for `path` first, then shared ones; `budget` is
+  /// reduced by every frame taken. Stops at the first frame that does
+  /// not fit, preserving FIFO order within each tier.
+  void FillPacket(PathId path, std::size_t& budget, std::vector<Frame>& out);
+
+ private:
+  std::vector<Frame> shared_;
+  std::map<PathId, std::vector<Frame>> pinned_;
+};
+
+}  // namespace mpq::quic

@@ -1,0 +1,198 @@
+#include "quic/handshake.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/log.h"
+
+namespace mpq::quic {
+
+namespace {
+
+/// CHLOs are padded to a minimum size, as in QUIC, so the handshake cannot
+/// be used for traffic amplification.
+constexpr std::size_t kMinChloSize = 1200;
+
+/// The server's handshake nonce is a deterministic function of the
+/// client nonce, the CID and the shared server config — that is what
+/// makes CHLO retransmission idempotent AND what lets a 0-RTT client
+/// compute the session keys without waiting for the SHLO.
+std::vector<std::uint8_t> DeriveServerNonce(
+    const std::vector<std::uint8_t>& client_nonce, ConnectionId cid,
+    const std::array<std::uint8_t, 16>& server_config_secret) {
+  std::vector<std::uint8_t> seed(client_nonce);
+  for (int i = 0; i < 8; ++i) {
+    seed.push_back(static_cast<std::uint8_t>(cid >> (8 * i)));
+  }
+  seed.insert(seed.end(), server_config_secret.begin(),
+              server_config_secret.end());
+  const auto derived = crypto::Kdf32(seed, "server nonce");
+  return {derived.begin(), derived.begin() + 16};
+}
+
+}  // namespace
+
+HandshakeLayer::HandshakeLayer(sim::Simulator& sim, Perspective perspective,
+                               ConnectionId cid,
+                               const ConnectionConfig& config, Rng& rng,
+                               HandshakeDelegate& delegate)
+    : sim_(sim),
+      perspective_(perspective),
+      cid_(cid),
+      config_(config),
+      rng_(rng),
+      delegate_(delegate) {}
+
+void HandshakeLayer::StartClient() {
+  client_nonce_.resize(16);
+  for (auto& b : client_nonce_) {
+    b = static_cast<std::uint8_t>(rng_.NextU64());
+  }
+  handshake_timer_ = std::make_unique<sim::Timer>(sim_, [this] {
+    if (!shlo_received_) SendChlo();
+  });
+  if (config_.zero_rtt) {
+    // Derive everything locally from the cached server config; the CHLO
+    // below tells the server which client nonce to use, and encrypted
+    // data may follow it in the very same sending burst.
+    server_nonce_ =
+        DeriveServerNonce(client_nonce_, cid_, config_.server_config_secret);
+    const auto keys = crypto::DeriveSessionKeys(
+        client_nonce_, server_nonce_, config_.server_config_secret);
+    delegate_.OnHandshakeKeys(
+        std::make_unique<crypto::PacketProtection>(keys.client_to_server),
+        std::make_unique<crypto::PacketProtection>(keys.server_to_client));
+    SendChlo();
+    delegate_.OnClientHandshakeComplete();
+    return;
+  }
+  SendChlo();
+}
+
+void HandshakeLayer::SendChlo() {
+  ++handshake_attempts_;
+  if (handshake_attempts_ > 10) {
+    MPQ_WARN(sim_.now(), "quic", "cid=%llu handshake giving up",
+             static_cast<unsigned long long>(cid_));
+    delegate_.OnHandshakeFailed();
+    return;
+  }
+  HandshakeFrame chlo;
+  chlo.message = HandshakeMessageType::kChlo;
+  chlo.version = config_.supported_versions.empty()
+                     ? kVersionMpq1
+                     : config_.supported_versions.front();
+  chlo.nonce = client_nonce_;
+  std::vector<Frame> frames;
+  frames.emplace_back(std::move(chlo));
+  // Pad to the anti-amplification minimum.
+  const std::size_t body = FrameWireSize(frames.front());
+  if (body < kMinChloSize) {
+    frames.emplace_back(
+        PaddingFrame{static_cast<std::uint32_t>(kMinChloSize - body)});
+  }
+  chlo_sent_time_ = sim_.now();
+  if (tracer_ != nullptr) tracer_->OnHandshakeEvent(sim_.now(), "chlo-sent");
+  delegate_.SendHandshakeFrames(frames);
+  const Duration timeout = config_.handshake_timeout
+                           << (handshake_attempts_ - 1);
+  handshake_timer_->SetIn(timeout);
+}
+
+void HandshakeLayer::OnHandshakePacket(const ParsedHeader& header,
+                                       BufReader& reader,
+                                       const sim::Datagram& datagram) {
+  std::span<const std::uint8_t> payload;
+  if (!reader.ReadSpan(reader.remaining(), payload)) return;
+  std::vector<Frame> frames;
+  if (!DecodePayload(payload, frames)) return;
+  delegate_.RecordHandshakePacketNumber(header.header.path_id,
+                                        header.header.packet_number,
+                                        header.pn_length);
+  for (const Frame& frame : frames) {
+    const auto* handshake = std::get_if<HandshakeFrame>(&frame);
+    if (handshake == nullptr) continue;
+    if (handshake->message == HandshakeMessageType::kChlo &&
+        perspective_ == Perspective::kServer) {
+      HandleChlo(*handshake, datagram);
+    } else if (handshake->message == HandshakeMessageType::kShlo &&
+               perspective_ == Perspective::kClient) {
+      HandleShlo(*handshake);
+    }
+  }
+}
+
+void HandshakeLayer::HandleChlo(const HandshakeFrame& chlo,
+                                const sim::Datagram& datagram) {
+  // Version negotiation (§2): a CHLO carrying a version we do not speak
+  // is ignored; the client's handshake retries exhaust and it closes —
+  // the clean failure mode for incompatible endpoints.
+  if (std::find(config_.supported_versions.begin(),
+                config_.supported_versions.end(),
+                chlo.version) == config_.supported_versions.end()) {
+    return;
+  }
+  if (tracer_ != nullptr) {
+    tracer_->OnHandshakeEvent(sim_.now(), "chlo-received");
+  }
+  if (!delegate_.connection_established()) {
+    client_nonce_ = chlo.nonce;
+    server_nonce_ =
+        DeriveServerNonce(client_nonce_, cid_, config_.server_config_secret);
+    const auto keys = crypto::DeriveSessionKeys(client_nonce_, server_nonce_,
+                                                config_.server_config_secret);
+    delegate_.OnHandshakeKeys(
+        std::make_unique<crypto::PacketProtection>(keys.server_to_client),
+        std::make_unique<crypto::PacketProtection>(keys.client_to_server));
+    delegate_.OnServerChloAccepted(datagram.dst, datagram.src);
+  }
+  // Always answer (possibly retransmitted) CHLOs with an SHLO.
+  HandshakeFrame shlo;
+  shlo.message = HandshakeMessageType::kShlo;
+  shlo.version = kVersionMpq1;
+  shlo.nonce = server_nonce_;
+  shlo.peer_addresses = delegate_.local_addresses();
+  std::vector<Frame> frames;
+  frames.emplace_back(std::move(shlo));
+  if (tracer_ != nullptr) tracer_->OnHandshakeEvent(sim_.now(), "shlo-sent");
+  delegate_.SendHandshakeFrames(frames);
+}
+
+void HandshakeLayer::HandleShlo(const HandshakeFrame& shlo) {
+  shlo_received_ = true;
+  if (tracer_ != nullptr) {
+    tracer_->OnHandshakeEvent(sim_.now(), "shlo-received");
+  }
+  if (handshake_timer_) handshake_timer_->Cancel();
+  if (delegate_.connection_established()) {
+    // 0-RTT: the SHLO only confirms; note the peer's addresses (the
+    // 0-RTT path-opening used none) and sample the handshake RTT.
+    delegate_.OnZeroRttConfirmed(shlo.peer_addresses);
+    if (chlo_sent_time_ >= 0) {
+      delegate_.AddHandshakeRttSample(sim_.now() - chlo_sent_time_,
+                                      /*only_if_no_sample=*/true);
+    }
+    return;
+  }
+  server_nonce_ = shlo.nonce;
+  delegate_.OnPeerAddresses(shlo.peer_addresses);
+  const auto keys = crypto::DeriveSessionKeys(client_nonce_, server_nonce_,
+                                              config_.server_config_secret);
+  delegate_.OnHandshakeKeys(
+      std::make_unique<crypto::PacketProtection>(keys.client_to_server),
+      std::make_unique<crypto::PacketProtection>(keys.server_to_client));
+  if (handshake_timer_) handshake_timer_->Cancel();
+  // The CHLO/SHLO exchange gives the initial path its first RTT sample —
+  // one of the reasons MPQUIC starts with usable latency estimates.
+  if (chlo_sent_time_ >= 0) {
+    delegate_.AddHandshakeRttSample(sim_.now() - chlo_sent_time_,
+                                    /*only_if_no_sample=*/false);
+  }
+  delegate_.OnClientHandshakeComplete();
+}
+
+void HandshakeLayer::OnConnectionClosed() {
+  if (handshake_timer_) handshake_timer_->Cancel();
+}
+
+}  // namespace mpq::quic

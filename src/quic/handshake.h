@@ -1,0 +1,107 @@
+// The secure-handshake state machine (Google-QUIC style, §2): CHLO/SHLO
+// exchange, version negotiation, retransmission with exponential backoff,
+// key derivation and the 0-RTT shortcut. Owns the nonces and the
+// handshake timer; produced keys, path creation and the established
+// transition are handed to the composer via HandshakeDelegate.
+//
+// Cleartext handshake packets bypass the sealer, so this layer never
+// needs the assembler or the streams — it emits finished frame lists
+// through the delegate and stays below both (enforced by mpq-layering).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "crypto/aead.h"
+#include "quic/config.h"
+#include "quic/trace.h"
+#include "quic/wire.h"
+#include "sim/net.h"
+#include "sim/simulator.h"
+#include "sim/timer.h"
+
+namespace mpq::quic {
+
+class HandshakeDelegate {
+ public:
+  virtual ~HandshakeDelegate() = default;
+
+  virtual bool connection_established() const = 0;
+  /// Our addresses, for the SHLO's peer_addresses advertisement.
+  virtual const std::vector<sim::Address>& local_addresses() const = 0;
+  /// Session keys derived — install them (seal = our direction).
+  virtual void OnHandshakeKeys(
+      std::unique_ptr<crypto::PacketProtection> seal,
+      std::unique_ptr<crypto::PacketProtection> open) = 0;
+  /// Transmit `frames` as a cleartext handshake packet on the initial
+  /// path (consumed, like the assembler's TransmitPacket).
+  virtual void SendHandshakeFrames(std::vector<Frame>& frames) = 0;
+  /// Record a handshake packet's PN so packet-number decoding stays
+  /// coherent across the handshake/1-RTT boundary (one PN space per
+  /// path; the path may not exist yet — then there is nothing to do).
+  virtual void RecordHandshakePacketNumber(PathId path,
+                                           PacketNumber truncated,
+                                           std::size_t pn_length) = 0;
+  /// Server accepted a first CHLO: create the initial path toward the
+  /// client and become established.
+  virtual void OnServerChloAccepted(sim::Address local,
+                                    sim::Address remote) = 0;
+  /// Fresh SHLO: record the server's advertised addresses.
+  virtual void OnPeerAddresses(std::vector<sim::Address> addresses) = 0;
+  /// Client handshake done (SHLO processed, or 0-RTT keys derived): open
+  /// the client paths, become established, start sending.
+  virtual void OnClientHandshakeComplete() = 0;
+  /// 0-RTT confirmation SHLO: note the peer's addresses if none were
+  /// known (the 0-RTT path-opening used none).
+  virtual void OnZeroRttConfirmed(
+      const std::vector<sim::Address>& peer_addresses) = 0;
+  /// The CHLO/SHLO exchange measured the initial path's RTT.
+  virtual void AddHandshakeRttSample(Duration rtt,
+                                     bool only_if_no_sample) = 0;
+  /// Retries exhausted — the connection is dead.
+  virtual void OnHandshakeFailed() = 0;
+};
+
+class HandshakeLayer {
+ public:
+  HandshakeLayer(sim::Simulator& sim, Perspective perspective,
+                 ConnectionId cid, const ConnectionConfig& config, Rng& rng,
+                 HandshakeDelegate& delegate);
+
+  void SetTracer(ConnectionTracer* tracer) { tracer_ = tracer; }
+
+  /// Client: generate the nonce, arm the retransmission timer and send
+  /// the first CHLO (deriving 0-RTT keys locally when configured).
+  void StartClient();
+
+  /// A cleartext handshake packet arrived (either perspective).
+  void OnHandshakePacket(const ParsedHeader& header, BufReader& reader,
+                         const sim::Datagram& datagram);
+
+  void OnConnectionClosed();
+
+ private:
+  void SendChlo();
+  void HandleChlo(const HandshakeFrame& chlo, const sim::Datagram& datagram);
+  void HandleShlo(const HandshakeFrame& shlo);
+
+  sim::Simulator& sim_;
+  Perspective perspective_;
+  ConnectionId cid_;
+  const ConnectionConfig& config_;
+  Rng& rng_;
+  HandshakeDelegate& delegate_;
+  ConnectionTracer* tracer_ = nullptr;
+
+  std::vector<std::uint8_t> client_nonce_;
+  std::vector<std::uint8_t> server_nonce_;
+  bool shlo_received_ = false;
+  TimePoint chlo_sent_time_ = -1;
+  std::unique_ptr<sim::Timer> handshake_timer_;
+  int handshake_attempts_ = 0;
+};
+
+}  // namespace mpq::quic

@@ -1,0 +1,281 @@
+// Unit tests for the HandshakeLayer state machine against a fake
+// delegate — no simulated network, no Connection. Covers CHLO padding
+// and retransmission backoff, the give-up limit, server-side CHLO
+// handling (including version negotiation and duplicates), client SHLO
+// completion and the 0-RTT shortcut (§2).
+#include "quic/handshake.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/buf.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "crypto/aead.h"
+#include "quic/config.h"
+#include "quic/wire.h"
+#include "sim/net.h"
+#include "sim/simulator.h"
+
+namespace mpq::quic {
+namespace {
+
+class FakeHandshakeDelegate : public HandshakeDelegate {
+ public:
+  bool connection_established() const override { return established; }
+  const std::vector<sim::Address>& local_addresses() const override {
+    return locals;
+  }
+  void OnHandshakeKeys(std::unique_ptr<crypto::PacketProtection> new_seal,
+                       std::unique_ptr<crypto::PacketProtection> new_open)
+      override {
+    ++keys_installed;
+    seal = std::move(new_seal);
+    open = std::move(new_open);
+  }
+  void SendHandshakeFrames(std::vector<Frame>& frames) override {
+    sent.push_back(std::move(frames));
+    frames.clear();
+  }
+  void RecordHandshakePacketNumber(PathId, PacketNumber,
+                                   std::size_t) override {
+    ++pn_records;
+  }
+  void OnServerChloAccepted(sim::Address local, sim::Address remote) override {
+    chlo_accepted = true;
+    accepted_local = local;
+    accepted_remote = remote;
+    established = true;  // what Connection::BecomeEstablished does
+  }
+  void OnPeerAddresses(std::vector<sim::Address> addresses) override {
+    peer_addresses = std::move(addresses);
+  }
+  void OnClientHandshakeComplete() override {
+    complete = true;
+    established = true;
+  }
+  void OnZeroRttConfirmed(
+      const std::vector<sim::Address>& addresses) override {
+    zero_rtt_confirmed = true;
+    confirmed_addresses = addresses;
+  }
+  void AddHandshakeRttSample(Duration rtt, bool only_if_no_sample) override {
+    rtt_samples.push_back({rtt, only_if_no_sample});
+  }
+  void OnHandshakeFailed() override { failed = true; }
+
+  struct RttSample {
+    Duration rtt;
+    bool only_if_no_sample;
+  };
+
+  std::vector<sim::Address> locals;
+  std::vector<std::vector<Frame>> sent;
+  std::vector<sim::Address> peer_addresses;
+  std::vector<sim::Address> confirmed_addresses;
+  std::vector<RttSample> rtt_samples;
+  std::unique_ptr<crypto::PacketProtection> seal;
+  std::unique_ptr<crypto::PacketProtection> open;
+  sim::Address accepted_local{};
+  sim::Address accepted_remote{};
+  int keys_installed = 0;
+  int pn_records = 0;
+  bool established = false;
+  bool chlo_accepted = false;
+  bool complete = false;
+  bool zero_rtt_confirmed = false;
+  bool failed = false;
+};
+
+/// One endpoint's handshake layer with its fake composer.
+struct Harness {
+  explicit Harness(Perspective perspective, std::uint64_t seed = 42)
+      : rng(seed),
+        layer(sim, perspective, ConnectionId{9}, config, rng, delegate) {}
+
+  /// Re-encode `frames` as a cleartext handshake packet and hand it to
+  /// the layer, as the dispatcher would after decoding a datagram.
+  void Deliver(const std::vector<Frame>& frames, sim::Address src,
+               sim::Address dst) {
+    BufWriter writer;
+    for (const Frame& frame : frames) EncodeFrame(frame, writer);
+    BufReader reader(writer.span());
+    ParsedHeader header;
+    header.header.handshake = true;
+    header.header.packet_number = PacketNumber{1};
+    header.pn_length = 1;
+    const sim::Datagram datagram{src, dst, {}};
+    layer.OnHandshakePacket(header, reader, datagram);
+  }
+
+  sim::Simulator sim;
+  ConnectionConfig config;
+  Rng rng;
+  FakeHandshakeDelegate delegate;
+  HandshakeLayer layer;
+};
+
+std::vector<Frame> MakeChlo(std::uint32_t version = kVersionMpq1) {
+  HandshakeFrame chlo;
+  chlo.message = HandshakeMessageType::kChlo;
+  chlo.version = version;
+  chlo.nonce.assign(16, 0x07);
+  return {Frame{chlo}};
+}
+
+std::size_t WireSize(const std::vector<Frame>& frames) {
+  std::size_t total = 0;
+  for (const Frame& frame : frames) total += FrameWireSize(frame);
+  return total;
+}
+
+const HandshakeFrame* FindHandshake(const std::vector<Frame>& frames) {
+  for (const Frame& frame : frames) {
+    if (const auto* hs = std::get_if<HandshakeFrame>(&frame)) return hs;
+  }
+  return nullptr;
+}
+
+TEST(HandshakeTest, ClientSendsPaddedChloAndRetransmitsWithBackoff) {
+  Harness client(Perspective::kClient);
+  client.layer.StartClient();
+
+  ASSERT_EQ(client.delegate.sent.size(), 1u);
+  const auto* chlo = FindHandshake(client.delegate.sent.front());
+  ASSERT_NE(chlo, nullptr);
+  EXPECT_EQ(chlo->message, HandshakeMessageType::kChlo);
+  EXPECT_EQ(chlo->nonce.size(), 16u);
+  // Anti-amplification: the CHLO is padded up to the minimum size.
+  EXPECT_GE(WireSize(client.delegate.sent.front()), 1200u);
+
+  // Retransmission backoff: 1 s, then 2 s.
+  client.sim.Run(1 * kSecond);
+  EXPECT_EQ(client.delegate.sent.size(), 2u);
+  client.sim.Run(3 * kSecond);
+  EXPECT_EQ(client.delegate.sent.size(), 3u);
+}
+
+TEST(HandshakeTest, ClientGivesUpAfterTenAttempts) {
+  Harness client(Perspective::kClient);
+  client.layer.StartClient();
+  client.sim.Run();
+
+  EXPECT_TRUE(client.delegate.failed);
+  EXPECT_EQ(client.delegate.sent.size(), 10u);
+  EXPECT_FALSE(client.delegate.complete);
+}
+
+TEST(HandshakeTest, ServerAcceptsChloAndRepliesWithShlo) {
+  Harness server(Perspective::kServer);
+  server.delegate.locals = {{2, 0}, {2, 1}};
+
+  server.Deliver(MakeChlo(), /*src=*/{1, 0}, /*dst=*/{2, 0});
+
+  EXPECT_EQ(server.delegate.keys_installed, 1);
+  EXPECT_TRUE(server.delegate.chlo_accepted);
+  EXPECT_EQ(server.delegate.accepted_local, (sim::Address{2, 0}));
+  EXPECT_EQ(server.delegate.accepted_remote, (sim::Address{1, 0}));
+  ASSERT_EQ(server.delegate.sent.size(), 1u);
+  const auto* shlo = FindHandshake(server.delegate.sent.front());
+  ASSERT_NE(shlo, nullptr);
+  EXPECT_EQ(shlo->message, HandshakeMessageType::kShlo);
+  EXPECT_EQ(shlo->peer_addresses, server.delegate.locals);
+
+  // A duplicate CHLO (the client missed our SHLO) re-answers but must
+  // not re-derive the session keys.
+  server.Deliver(MakeChlo(), {1, 0}, {2, 0});
+  EXPECT_EQ(server.delegate.keys_installed, 1);
+  EXPECT_EQ(server.delegate.sent.size(), 2u);
+}
+
+TEST(HandshakeTest, ServerIgnoresUnsupportedVersion) {
+  Harness server(Perspective::kServer);
+  server.delegate.locals = {{2, 0}};
+
+  server.Deliver(MakeChlo(/*version=*/0x01020304), {1, 0}, {2, 0});
+
+  EXPECT_EQ(server.delegate.keys_installed, 0);
+  EXPECT_FALSE(server.delegate.chlo_accepted);
+  EXPECT_TRUE(server.delegate.sent.empty());
+}
+
+TEST(HandshakeTest, ClientCompletesOnShlo) {
+  Harness client(Perspective::kClient);
+  client.layer.StartClient();
+  ASSERT_EQ(client.delegate.sent.size(), 1u);
+
+  HandshakeFrame shlo;
+  shlo.message = HandshakeMessageType::kShlo;
+  shlo.nonce.assign(16, 0x09);
+  shlo.peer_addresses = {{2, 0}, {2, 1}};
+  client.Deliver({Frame{shlo}}, {2, 0}, {1, 0});
+
+  EXPECT_TRUE(client.delegate.complete);
+  EXPECT_EQ(client.delegate.keys_installed, 1);
+  EXPECT_EQ(client.delegate.peer_addresses, shlo.peer_addresses);
+  ASSERT_EQ(client.delegate.rtt_samples.size(), 1u);
+  EXPECT_FALSE(client.delegate.rtt_samples.front().only_if_no_sample);
+
+  // The retransmission timer is cancelled: no further CHLOs ever fire.
+  client.sim.Run();
+  EXPECT_EQ(client.delegate.sent.size(), 1u);
+  EXPECT_FALSE(client.delegate.failed);
+}
+
+TEST(HandshakeTest, ZeroRttDerivesKeysBeforeShlo) {
+  Harness client(Perspective::kClient);
+  client.config.zero_rtt = true;
+  client.layer.StartClient();
+
+  // Keys and the established transition happen locally, before any
+  // server response — that is the 0-RTT shortcut.
+  EXPECT_EQ(client.delegate.keys_installed, 1);
+  EXPECT_TRUE(client.delegate.complete);
+  ASSERT_EQ(client.delegate.sent.size(), 1u);
+
+  HandshakeFrame shlo;
+  shlo.message = HandshakeMessageType::kShlo;
+  shlo.peer_addresses = {{2, 0}};
+  client.Deliver({Frame{shlo}}, {2, 0}, {1, 0});
+
+  EXPECT_TRUE(client.delegate.zero_rtt_confirmed);
+  EXPECT_EQ(client.delegate.confirmed_addresses, shlo.peer_addresses);
+  EXPECT_EQ(client.delegate.keys_installed, 1);  // not re-derived
+  ASSERT_EQ(client.delegate.rtt_samples.size(), 1u);
+  EXPECT_TRUE(client.delegate.rtt_samples.front().only_if_no_sample);
+}
+
+TEST(HandshakeTest, ClientAndServerAgreeOnKeys) {
+  Harness client(Perspective::kClient);
+  Harness server(Perspective::kServer);
+  server.delegate.locals = {{2, 0}};
+
+  client.layer.StartClient();
+  ASSERT_EQ(client.delegate.sent.size(), 1u);
+  server.Deliver(client.delegate.sent.front(), {1, 0}, {2, 0});
+  ASSERT_EQ(server.delegate.sent.size(), 1u);
+  client.Deliver(server.delegate.sent.front(), {2, 0}, {1, 0});
+
+  ASSERT_NE(client.delegate.seal, nullptr);
+  ASSERT_NE(server.delegate.open, nullptr);
+
+  // The client's sealer and the server's opener are the same direction:
+  // a sealed message round-trips.
+  const std::vector<std::uint8_t> aad{1, 2, 3};
+  const std::vector<std::uint8_t> plaintext{4, 5, 6, 7};
+  const auto sealed =
+      client.delegate.seal->Seal(PathId{0}, PacketNumber{1}, aad, plaintext);
+  std::vector<std::uint8_t> opened;
+  EXPECT_TRUE(server.delegate.open->Open(PathId{0}, PacketNumber{1}, aad,
+                                         sealed, opened));
+  EXPECT_EQ(opened, plaintext);
+  EXPECT_GE(client.delegate.pn_records + server.delegate.pn_records, 2);
+}
+
+}  // namespace
+}  // namespace mpq::quic

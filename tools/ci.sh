@@ -27,8 +27,12 @@ run_config() {
   cmake -B "${dir}" -S . "$@"
   echo "==> build ${dir}"
   cmake --build "${dir}" -j "${jobs}"
-  echo "==> test ${dir}"
-  ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+  # Fast per-layer unit tests first: a broken layer fails in seconds,
+  # before the full-network integration suites spin up.
+  echo "==> test ${dir} (unit)"
+  ctest --test-dir "${dir}" -L unit --output-on-failure -j "${jobs}"
+  echo "==> test ${dir} (integration + lint)"
+  ctest --test-dir "${dir}" -LE unit --output-on-failure -j "${jobs}"
 }
 
 # --- Stage 1: lint -----------------------------------------------------

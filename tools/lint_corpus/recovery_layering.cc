@@ -1,0 +1,10 @@
+// Seeded violation: the recovery layer reaching sideways into stream
+// state. Lost stream frames must be reported through RecoveryDelegate
+// (OnStreamFrameLost), not by touching SendStream directly.
+#include "quic/streams.h"  // expect: layering
+
+namespace corpus {
+
+int DetectLosses() { return 0; }
+
+}  // namespace corpus

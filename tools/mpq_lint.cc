@@ -21,6 +21,16 @@
 //   pragma-once      a header under src/ without #pragma once.
 //   include-hygiene  quoted includes using ".." parent paths (project
 //                    includes are rooted at src/).
+//   layering         a direct #include that points upward in the layer
+//                    DAG (docs/ARCHITECTURE.md): foundation dirs
+//                    (common/crypto/sim/cc) must not include protocol
+//                    code, obs/ must not include the connection or
+//                    endpoint, and within src/quic each layer module
+//                    (wire, path, streams, scheduler, control_queue,
+//                    config, recovery, handshake, assembler, dispatch)
+//                    may only include modules below it. Only direct
+//                    includes are checked; transitive closure is the
+//                    compiler's problem.
 //
 // Suppression: a line containing NOLINT silences every rule on that
 // line; NOLINT(mpq-<rule>) silences just that rule.
@@ -121,6 +131,76 @@ bool StartsWith(const std::string& s, const char* prefix) {
   return s.rfind(prefix, 0) == 0;
 }
 
+/// mpq-layering: the enforced include DAG. Each entry applies to files
+/// whose repo-relative path starts with `file_prefix` and forbids direct
+/// quoted includes starting with any of the comma-separated prefixes in
+/// `forbidden`. Prefixes are matched without the ".h" suffix so the rule
+/// also covers split headers (e.g. "quic/wire" matches "quic/wire.h").
+/// The tables mirror docs/ARCHITECTURE.md; connection/endpoint/audit sit
+/// at the top and may include everything.
+struct LayerRule {
+  const char* file_prefix;
+  const char* forbidden;
+};
+
+const LayerRule kLayeringRules[] = {
+    // Foundation: no upward includes at all.
+    {"src/common/", "quic/,cc/,crypto/,sim/,obs/,harness/"},
+    {"src/crypto/", "quic/,cc/,sim/,obs/,harness/"},
+    {"src/sim/", "quic/,cc/,crypto/,obs/,harness/"},
+    {"src/cc/", "quic/,crypto/,sim/,obs/,harness/"},
+    // Observability consumes the tracer interface and wire types only.
+    {"src/obs/",
+     "quic/connection,quic/endpoint,quic/assembler,quic/dispatch,"
+     "quic/handshake,quic/recovery,quic/path,quic/streams,quic/config,"
+     "quic/scheduler,quic/control_queue,quic/audit,harness/"},
+    // src/quic, bottom-up. Each module may include only what sits below
+    // it; the delegate interfaces exist precisely so these lists hold.
+    {"src/quic/wire",
+     "quic/connection,quic/endpoint,quic/audit,quic/config,quic/path,"
+     "quic/streams,quic/scheduler,quic/control_queue,quic/recovery,"
+     "quic/handshake,quic/assembler,quic/dispatch,obs/"},
+    {"src/quic/trace",
+     "quic/connection,quic/endpoint,quic/audit,quic/config,quic/path,"
+     "quic/streams,quic/scheduler,quic/control_queue,quic/recovery,"
+     "quic/handshake,quic/assembler,quic/dispatch,obs/"},
+    {"src/quic/path",
+     "quic/connection,quic/endpoint,quic/audit,quic/config,"
+     "quic/streams,quic/scheduler,quic/control_queue,quic/recovery,"
+     "quic/handshake,quic/assembler,quic/dispatch,obs/"},
+    {"src/quic/streams",
+     "quic/connection,quic/endpoint,quic/audit,quic/config,quic/path,"
+     "quic/scheduler,quic/control_queue,quic/recovery,"
+     "quic/handshake,quic/assembler,quic/dispatch,obs/"},
+    {"src/quic/scheduler",
+     "quic/connection,quic/endpoint,quic/audit,quic/config,"
+     "quic/streams,quic/control_queue,quic/recovery,"
+     "quic/handshake,quic/assembler,quic/dispatch,obs/"},
+    {"src/quic/control_queue",
+     "quic/connection,quic/endpoint,quic/audit,quic/config,quic/path,"
+     "quic/streams,quic/scheduler,quic/recovery,"
+     "quic/handshake,quic/assembler,quic/dispatch,obs/"},
+    {"src/quic/config",
+     "quic/connection,quic/endpoint,quic/audit,quic/path,"
+     "quic/control_queue,quic/recovery,"
+     "quic/handshake,quic/assembler,quic/dispatch,obs/"},
+    {"src/quic/recovery",
+     "quic/connection,quic/endpoint,quic/audit,quic/config,"
+     "quic/streams,quic/scheduler,quic/control_queue,"
+     "quic/handshake,quic/assembler,quic/dispatch,obs/"},
+    {"src/quic/handshake",
+     "quic/connection,quic/endpoint,quic/audit,quic/path,"
+     "quic/streams,quic/scheduler,quic/control_queue,quic/recovery,"
+     "quic/assembler,quic/dispatch,obs/"},
+    {"src/quic/assembler",
+     "quic/connection,quic/endpoint,quic/audit,"
+     "quic/handshake,quic/dispatch,obs/"},
+    {"src/quic/dispatch",
+     "quic/connection,quic/endpoint,quic/audit,quic/config,"
+     "quic/scheduler,quic/control_queue,quic/recovery,"
+     "quic/handshake,quic/assembler,obs/"},
+};
+
 void CheckFile(const std::string& rel, const std::vector<Line>& lines,
                std::vector<Finding>& findings) {
   const bool in_src = StartsWith(rel, "src/");
@@ -150,6 +230,7 @@ void CheckFile(const std::string& rel, const std::vector<Line>& lines,
       R"(unordered_(?:map|set|multimap|multiset)\s*<)");
   static const std::regex kDeclName(R"(>\s*(\w+)\s*(?:;|\{|=))");
   static const std::regex kParentInclude(R"(#include\s*"[^"]*\.\./)");
+  static const std::regex kQuotedInclude(R"(#include\s*"([^"]+)\")");
 
   // Pass 1: names of unordered containers declared in this file (for the
   // iteration rule). Declarations themselves are fine — lookups and
@@ -202,6 +283,28 @@ void CheckFile(const std::string& rel, const std::vector<Line>& lines,
       report(i, "include-hygiene",
              "parent-relative #include (project includes are rooted at "
              "src/)");
+    }
+    // Layering is checked on direct includes only (again on the raw
+    // line, since the include path is a string literal).
+    std::smatch inc;
+    if (std::regex_search(lines[i].raw, inc, kQuotedInclude)) {
+      const std::string target = inc[1];
+      for (const auto& rule : kLayeringRules) {
+        if (!StartsWith(rel, rule.file_prefix)) continue;
+        const std::string forbidden = rule.forbidden;
+        std::size_t start = 0;
+        while (start < forbidden.size()) {
+          std::size_t comma = forbidden.find(',', start);
+          if (comma == std::string::npos) comma = forbidden.size();
+          const std::string prefix = forbidden.substr(start, comma - start);
+          if (StartsWith(target, prefix.c_str())) {
+            report(i, "layering",
+                   "\"" + target + "\" sits above " + rule.file_prefix +
+                       "* in the layer DAG (see docs/ARCHITECTURE.md)");
+          }
+          start = comma + 1;
+        }
+      }
     }
     if (protocol_scope && code.find("for") != std::string::npos &&
         code.find(':') != std::string::npos) {
@@ -258,8 +361,8 @@ std::string RelativeTo(const fs::path& root, const fs::path& file) {
 }
 
 const std::vector<std::string> kAllRules = {
-    "wall-clock",     "raw-rng",    "unordered-iter", "iostream-io",
-    "naked-new",      "pragma-once", "include-hygiene"};
+    "wall-clock", "raw-rng",     "unordered-iter",  "iostream-io",
+    "naked-new",  "pragma-once", "include-hygiene", "layering"};
 
 int RunLint(const fs::path& root, const std::vector<std::string>& dirs) {
   std::vector<Finding> findings;

@@ -40,21 +40,22 @@ void PrintSummary(const obs::TraceSummary& summary) {
   }
 
   std::printf("\nper path:\n");
-  std::printf("  %4s %8s %8s %6s %12s %6s %9s %9s %9s\n", "path", "pkts_tx",
-              "pkts_rx", "lost", "bytes_tx", "rtos", "cwnd_p50", "cwnd_p90",
-              "cwnd_max");
+  std::printf("  %4s %8s %8s %6s %12s %7s %6s %9s %9s %9s\n", "path",
+              "pkts_tx", "pkts_rx", "lost", "bytes_tx", "requeue", "rtos",
+              "cwnd_p50", "cwnd_p90", "cwnd_max");
   for (const auto& [path, p] : summary.paths) {
     if (path < 0) continue;  // events without a path field
     std::vector<double> cwnd = p.cwnd_samples;
     const double p50 = cwnd.empty() ? 0.0 : Percentile(cwnd, 50.0);
     const double p90 = cwnd.empty() ? 0.0 : Percentile(cwnd, 90.0);
     const double pmax = cwnd.empty() ? 0.0 : Percentile(cwnd, 100.0);
-    std::printf("  %4d %8llu %8llu %6llu %12llu %6llu %8.1fk %8.1fk "
+    std::printf("  %4d %8llu %8llu %6llu %12llu %7llu %6llu %8.1fk %8.1fk "
                 "%8.1fk\n",
                 path, static_cast<unsigned long long>(p.packets_sent),
                 static_cast<unsigned long long>(p.packets_received),
                 static_cast<unsigned long long>(p.packets_lost),
                 static_cast<unsigned long long>(p.bytes_sent),
+                static_cast<unsigned long long>(p.frames_requeued),
                 static_cast<unsigned long long>(p.rtos), p50 / 1024.0,
                 p90 / 1024.0, pmax / 1024.0);
   }
@@ -70,6 +71,14 @@ void PrintSummary(const obs::TraceSummary& summary) {
   if (!summary.frames_sent_by_type.empty()) {
     std::printf("\nframes sent:\n");
     for (const auto& [type, count] : summary.frames_sent_by_type) {
+      std::printf("  %-16s %llu\n", type.c_str(),
+                  static_cast<unsigned long long>(count));
+    }
+  }
+
+  if (!summary.frames_requeued_by_type.empty()) {
+    std::printf("\nframes requeued after loss:\n");
+    for (const auto& [type, count] : summary.frames_requeued_by_type) {
       std::printf("  %-16s %llu\n", type.c_str(),
                   static_cast<unsigned long long>(count));
     }
@@ -131,6 +140,9 @@ int SelfTest() {
   expect(summary.scheduler_reasons.at("lowest-rtt") == 1,
          "scheduler reason counted");
   expect(summary.frames_sent_by_type.at("STREAM") == 1, "frame type");
+  expect(summary.paths.at(1).frames_requeued == 1, "path1 frames_requeued");
+  expect(summary.frames_requeued_by_type.at("STREAM") == 1,
+         "requeued frame type");
   expect(summary.handshake_milestones.at("chlo-sent") == 0,
          "handshake milestone");
   expect(summary.events_by_name.at("flow_control:blocked") == 1,
