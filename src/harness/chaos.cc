@@ -1,0 +1,403 @@
+#include "harness/chaos.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/source.h"
+#include "obs/qlog.h"
+#include "quic/endpoint.h"
+#include "sim/net.h"
+#include "sim/simulator.h"
+
+namespace mpq::harness {
+
+namespace {
+
+constexpr StreamId kChaosStream{3};
+
+std::string Ms(Duration d) {
+  return std::to_string(d / kMillisecond) + "ms";
+}
+
+sim::PathFault Down(TimePoint time, int path) {
+  sim::PathFault fault;
+  fault.time = time;
+  fault.path = path;
+  fault.kind = sim::LinkFault::Kind::kDown;
+  return fault;
+}
+
+sim::PathFault Up(TimePoint time, int path) {
+  sim::PathFault fault;
+  fault.time = time;
+  fault.path = path;
+  fault.kind = sim::LinkFault::Kind::kUp;
+  return fault;
+}
+
+}  // namespace
+
+ChaosScenario GenerateChaosScenario(std::uint64_t seed) {
+  Rng rng(seed ^ 0xC4A05C4A05ULL);
+  ChaosScenario scenario;
+  const int path = static_cast<int>(rng.NextBounded(2));
+  switch (rng.NextBounded(6)) {
+    case 0: {
+      // Outage shorter than (or around) the backed-off RTO.
+      const TimePoint start =
+          1 * kSecond + static_cast<Duration>(rng.NextBounded(2000)) * kMillisecond;
+      const Duration len =
+          (50 + static_cast<Duration>(rng.NextBounded(351))) * kMillisecond;
+      scenario.name = "short-outage path" + std::to_string(path) + " at " +
+                      Ms(start) + " for " + Ms(len);
+      scenario.faults = {Down(start, path), Up(start + len, path)};
+      break;
+    }
+    case 1: {
+      // Outage well past several RTO doublings.
+      const TimePoint start =
+          1 * kSecond + static_cast<Duration>(rng.NextBounded(1500)) * kMillisecond;
+      const Duration len =
+          1 * kSecond + static_cast<Duration>(rng.NextBounded(3001)) * kMillisecond;
+      scenario.name = "long-outage path" + std::to_string(path) + " at " +
+                      Ms(start) + " for " + Ms(len);
+      scenario.faults = {Down(start, path), Up(start + len, path)};
+      break;
+    }
+    case 2: {
+      // Flapping path: repeated down/up cycles.
+      const int cycles = 3 + static_cast<int>(rng.NextBounded(6));
+      TimePoint t = 500 * kMillisecond +
+                    static_cast<Duration>(rng.NextBounded(1500)) * kMillisecond;
+      scenario.name = "flap path" + std::to_string(path) + " x" +
+                      std::to_string(cycles) + " from " + Ms(t);
+      for (int i = 0; i < cycles; ++i) {
+        const Duration down_len =
+            (100 + static_cast<Duration>(rng.NextBounded(401))) * kMillisecond;
+        const Duration up_len =
+            (200 + static_cast<Duration>(rng.NextBounded(601))) * kMillisecond;
+        scenario.faults.push_back(Down(t, path));
+        scenario.faults.push_back(Up(t + down_len, path));
+        t += down_len + up_len;
+      }
+      break;
+    }
+    case 3: {
+      // Staggered outages that overlap into a both-paths-down window.
+      const TimePoint start0 =
+          1 * kSecond + static_cast<Duration>(rng.NextBounded(1000)) * kMillisecond;
+      const Duration len0 =
+          1 * kSecond + static_cast<Duration>(rng.NextBounded(2001)) * kMillisecond;
+      const TimePoint start1 =
+          start0 + static_cast<Duration>(rng.NextBounded(
+                       static_cast<std::uint64_t>(len0 / kMillisecond))) *
+                       kMillisecond;
+      const Duration len1 =
+          500 * kMillisecond +
+          static_cast<Duration>(rng.NextBounded(2501)) * kMillisecond;
+      scenario.name = "both-down: path0 " + Ms(start0) + "+" + Ms(len0) +
+                      ", path1 " + Ms(start1) + "+" + Ms(len1);
+      scenario.faults = {Down(start0, 0), Up(start0 + len0, 0),
+                         Down(start1, 1), Up(start1 + len1, 1)};
+      break;
+    }
+    case 4: {
+      // Gilbert–Elliott burst loss — during the handshake (start at 0)
+      // or in steady state.
+      const bool handshake = rng.NextBool(0.5);
+      const TimePoint start =
+          handshake ? 0
+                    : 1 * kSecond +
+                          static_cast<Duration>(rng.NextBounded(2000)) *
+                              kMillisecond;
+      const Duration len =
+          2 * kSecond + static_cast<Duration>(rng.NextBounded(3001)) * kMillisecond;
+      sim::PathFault burst;
+      burst.time = start;
+      burst.path = path;
+      burst.kind = sim::LinkFault::Kind::kBurstLoss;
+      burst.gilbert_elliott.enabled = true;
+      burst.gilbert_elliott.good_to_bad =
+          0.01 + 0.04 * rng.NextDouble();
+      burst.gilbert_elliott.bad_to_good = 0.1 + 0.2 * rng.NextDouble();
+      burst.gilbert_elliott.loss_good = 0.0;
+      burst.gilbert_elliott.loss_bad = 1.0;
+      sim::PathFault heal;
+      heal.time = start + len;
+      heal.path = path;
+      heal.kind = sim::LinkFault::Kind::kLossRate;
+      heal.loss_rate = 0.0;
+      scenario.name = std::string("burst-loss (") +
+                      (handshake ? "handshake" : "steady") + ") path" +
+                      std::to_string(path) + " for " + Ms(len);
+      scenario.faults = {burst, heal};
+      break;
+    }
+    default: {
+      // Mid-run reconfiguration: shrink capacity / stretch RTT, restore.
+      const TimePoint start =
+          1 * kSecond + static_cast<Duration>(rng.NextBounded(2000)) * kMillisecond;
+      const Duration len =
+          1 * kSecond + static_cast<Duration>(rng.NextBounded(3001)) * kMillisecond;
+      sim::PathFault degrade;
+      degrade.time = start;
+      degrade.path = path;
+      degrade.kind = sim::LinkFault::Kind::kReconfigure;
+      degrade.capacity_mbps = 0.5 + rng.NextDouble();        // ~10-20x cut
+      degrade.rtt = (100 + static_cast<Duration>(rng.NextBounded(200))) *
+                    kMillisecond;
+      sim::PathFault restore;
+      restore.time = start + len;
+      restore.path = path;
+      restore.kind = sim::LinkFault::Kind::kReconfigure;
+      restore.capacity_mbps = 2.0;
+      restore.rtt = path == 0 ? 30 * kMillisecond : 50 * kMillisecond;
+      scenario.name = "reconfigure path" + std::to_string(path) + " at " +
+                      Ms(start) + " for " + Ms(len);
+      scenario.faults = {degrade, restore};
+      break;
+    }
+  }
+  std::sort(scenario.faults.begin(), scenario.faults.end(),
+            [](const sim::PathFault& a, const sim::PathFault& b) {
+              return a.time < b.time;
+            });
+  return scenario;
+}
+
+namespace {
+
+/// [start, end) window during which at least one path is known good:
+/// not down, no injected loss, no burst-loss process.
+struct GoodWindow {
+  TimePoint start = 0;
+  TimePoint end = 0;
+};
+
+/// Replays the schedule against a per-path (down, lossy) model and
+/// returns the windows where the connection had a clean path. The base
+/// topology is loss-free, so both paths start good.
+std::vector<GoodWindow> KnownGoodWindows(const sim::FaultSchedule& faults,
+                                         TimePoint horizon) {
+  struct PathState {
+    bool down = false;
+    bool lossy = false;
+  };
+  PathState state[2];
+  const auto good = [&state] {
+    return (!state[0].down && !state[0].lossy) ||
+           (!state[1].down && !state[1].lossy);
+  };
+  std::vector<GoodWindow> windows;
+  bool was_good = true;
+  TimePoint good_since = 0;
+  for (const sim::PathFault& fault : faults) {
+    PathState& p = state[fault.path == 0 ? 0 : 1];
+    switch (fault.kind) {
+      case sim::LinkFault::Kind::kDown:
+        p.down = true;
+        break;
+      case sim::LinkFault::Kind::kUp:
+        p.down = false;
+        break;
+      case sim::LinkFault::Kind::kLossRate:
+        p.lossy = fault.loss_rate > 0.0;
+        break;
+      case sim::LinkFault::Kind::kBurstLoss:
+        p.lossy = fault.gilbert_elliott.enabled;
+        break;
+      case sim::LinkFault::Kind::kReconfigure:
+        break;  // slower, not broken
+    }
+    const bool now_good = good();
+    if (was_good && !now_good) {
+      if (fault.time > good_since) windows.push_back({good_since, fault.time});
+    } else if (!was_good && now_good) {
+      good_since = fault.time;
+    }
+    was_good = now_good;
+  }
+  if (was_good && horizon > good_since) windows.push_back({good_since, horizon});
+  return windows;
+}
+
+}  // namespace
+
+ChaosRunResult RunChaosScenario(const ChaosOptions& options,
+                                const ChaosScenario& scenario) {
+  ChaosRunResult result;
+  result.seed = options.seed;
+  result.scenario = scenario.name;
+
+  sim::Simulator sim;
+  sim::Network net(sim, Rng(options.seed ^ 0x517E0FF));
+  // Fig. 2 shape, but slow (2 Mbps per path) so the default transfer
+  // takes ~4 s and every scenario's faults land while data is moving;
+  // mildly asymmetric RTTs so the scheduler has a preference to lose
+  // when faults hit the faster path.
+  std::array<sim::PathParams, 2> params;
+  params[0] = {2.0, 30 * kMillisecond, 50 * kMillisecond, 0.0};
+  params[1] = {2.0, 50 * kMillisecond, 50 * kMillisecond, 0.0};
+  auto topo = sim::BuildTwoPathTopology(net, params);
+
+  quic::ConnectionConfig config;
+  config.multipath = true;
+  config.congestion = cc::Algorithm::kOlia;
+  config.scheduler = options.scheduler;
+  config.idle_timeout = options.idle_timeout;
+
+  std::ofstream qlog_out;
+  std::unique_ptr<obs::QlogTracer> qlog;
+  if (!options.qlog_path.empty()) {
+    qlog_out.open(options.qlog_path, std::ios::trunc);
+    if (qlog_out.is_open()) {
+      qlog = std::make_unique<obs::QlogTracer>(qlog_out, scenario.name);
+    } else {
+      std::fprintf(stderr, "warning: cannot open qlog output %s\n",
+                   options.qlog_path.c_str());
+    }
+  }
+  quic::ConnectionTracer* tracer = qlog.get();
+
+  std::vector<sim::Address> server_locals(topo.server_addr.begin(),
+                                          topo.server_addr.end());
+  quic::ServerEndpoint server(sim, net, server_locals, config,
+                              options.seed * 2 + 1);
+  server.SetAcceptHandler([tracer](quic::Connection& conn) {
+    if (tracer != nullptr) conn.SetTracer(tracer);
+    auto request = std::make_shared<std::string>();
+    conn.SetStreamDataHandler(
+        [&conn, request](StreamId id, ByteCount,
+                         std::span<const std::uint8_t> data, bool fin) {
+          request->append(data.begin(), data.end());
+          if (fin && id == kChaosStream) {
+            const ByteCount size{std::stoull(request->substr(4))};
+            conn.SendOnStream(kChaosStream,
+                              std::make_unique<PatternSource>(
+                                  kChaosStream.value(), size));
+          }
+        });
+  });
+
+  std::vector<sim::Address> client_locals(topo.client_addr.begin(),
+                                          topo.client_addr.end());
+  quic::ClientEndpoint client(sim, net, client_locals, config,
+                              options.seed * 2 + 2);
+
+  bool finished = false;
+  std::vector<TimePoint> progress;  // establishment + every data arrival
+  TimePoint established_at = kTimeInfinite;
+  client.connection().SetStreamDataHandler(
+      [&](StreamId, ByteCount, std::span<const std::uint8_t> data, bool fin) {
+        result.bytes_received += data.size();
+        progress.push_back(sim.now());
+        if (fin) {
+          finished = true;
+          result.finish_time = sim.now();
+        }
+      });
+  client.connection().SetEstablishedHandler([&] {
+    established_at = sim.now();
+    progress.push_back(sim.now());
+    const std::string request =
+        "GET " + std::to_string(options.transfer_size.value());
+    client.connection().SendOnStream(
+        kChaosStream,
+        std::make_unique<BufferSource>(
+            std::vector<std::uint8_t>(request.begin(), request.end())));
+  });
+
+  sim::SchedulePathFaults(sim, topo, scenario.faults,
+                          [&](const sim::PathFault& fault) {
+                            if (tracer == nullptr) return;
+                            double value = 0.0;
+                            if (fault.kind == sim::LinkFault::Kind::kLossRate) {
+                              value = fault.loss_rate;
+                            } else if (fault.kind ==
+                                       sim::LinkFault::Kind::kReconfigure) {
+                              value = fault.capacity_mbps;
+                            } else if (fault.kind ==
+                                       sim::LinkFault::Kind::kBurstLoss) {
+                              value = fault.gilbert_elliott.loss_bad;
+                            }
+                            tracer->OnLinkFault(sim.now(), fault.path,
+                                                sim::ToString(fault.kind),
+                                                value);
+                          });
+
+  client.Connect(topo.server_addr[0]);
+  while (!finished && !client.connection().closed() &&
+         sim.RunOne(options.time_limit)) {
+  }
+
+  result.established = established_at != kTimeInfinite;
+  result.completed = finished;
+  result.closed = client.connection().closed() && !finished;
+  if (!finished) result.finish_time = sim.now();
+
+  // Invariant 1: termination. Every scenario heals, so the only
+  // acceptable terminal state is a completed transfer.
+  if (!result.completed) {
+    if (result.closed) {
+      result.violations.push_back("closed before completing transfer");
+    } else if (!result.established) {
+      result.violations.push_back("never established");
+    } else {
+      result.violations.push_back(
+          "hung: transfer incomplete at the time limit");
+    }
+  }
+
+  // Invariant 2: no stall while a usable path exists. A progress gap
+  // may cross an outage, but once a clean path has been up for
+  // `recovery_grace`, another `stall_limit` without progress means
+  // recovery lost the plot (runaway RTO backoff, stranded path, ...).
+  const TimePoint horizon = result.completed ? result.finish_time : sim.now();
+  if (result.established) {
+    progress.push_back(horizon);
+    std::sort(progress.begin(), progress.end());
+    const auto windows = KnownGoodWindows(scenario.faults, horizon);
+    for (std::size_t i = 0; i + 1 < progress.size(); ++i) {
+      const TimePoint gap_start = progress[i];
+      const TimePoint gap_end = progress[i + 1];
+      if (gap_end - gap_start <= options.stall_limit) continue;
+      for (const GoodWindow& window : windows) {
+        const TimePoint usable_from =
+            std::max(gap_start, window.start + options.recovery_grace);
+        const TimePoint usable_to = std::min(gap_end, window.end);
+        if (usable_to > usable_from &&
+            usable_to - usable_from > options.stall_limit) {
+          result.violations.push_back(
+              "stalled " + Ms(usable_to - usable_from) + " from " +
+              Ms(usable_from) + " with a usable path");
+          break;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+ChaosRunResult RunChaosOne(const ChaosOptions& options) {
+  return RunChaosScenario(options, GenerateChaosScenario(options.seed));
+}
+
+ChaosSweepResult RunChaos(const ChaosOptions& options) {
+  ChaosSweepResult sweep;
+  sweep.runs.reserve(static_cast<std::size_t>(options.runs));
+  for (int i = 0; i < options.runs; ++i) {
+    ChaosOptions one = options;
+    one.seed = options.seed + static_cast<std::uint64_t>(i);
+    sweep.runs.push_back(RunChaosOne(one));
+    if (!sweep.runs.back().violations.empty()) ++sweep.violation_runs;
+  }
+  return sweep;
+}
+
+}  // namespace mpq::harness

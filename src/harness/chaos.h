@@ -1,0 +1,84 @@
+// Chaos harness (docs/ROBUSTNESS.md): run the §4.1 transfer workload
+// over the Fig. 2 two-path topology under seeded fault schedules — link
+// outages shorter and longer than the RTO, flapping paths, windows with
+// both paths down, Gilbert–Elliott loss bursts during the handshake and
+// in steady state, mid-run capacity/RTT reconfiguration — and check the
+// liveness invariants a robust multipath transport must keep:
+//
+//   1. TERMINATION  every scenario's faults heal, so the transfer must
+//      complete within the time limit; a connection that closed itself
+//      or hung instead is a bug (the idle-timeout-during-outage class).
+//   2. NO STALL     once the connection has had at least one usable path
+//      continuously for `recovery_grace`, progress gaps longer than
+//      `stall_limit` are a bug (the unbounded-RTO-backoff class).
+//
+// Every violation a sweep ever found is pinned by a named regression
+// test in tests/chaos_test.cc. Deterministic per seed: a failure report
+// from `mpq_chaos --sweep N` is replayed exactly by `mpq_chaos --seed S`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "quic/scheduler.h"
+#include "sim/topology.h"
+
+namespace mpq::harness {
+
+struct ChaosOptions {
+  std::uint64_t seed = 1;     // scenario + RNG seed (one run)
+  int runs = 200;             // sweep width: seeds seed .. seed+runs-1
+  /// Sized so the transfer (~4 s nominal at 2 x 2 Mbps) spans the fault
+  /// window — every scenario's faults land mid-transfer.
+  ByteCount transfer_size{2 * 1024 * 1024};
+  TimePoint time_limit = 90 * kSecond;
+  /// Idle timeout armed on both endpoints — part of the fault surface
+  /// (an outage must not trip it while recovery is live).
+  Duration idle_timeout = 30 * kSecond;
+  /// Invariant 2 knobs (header comment).
+  Duration stall_limit = 5 * kSecond;
+  Duration recovery_grace = 3 * kSecond;
+  quic::SchedulerType scheduler = quic::SchedulerType::kLowestRtt;
+  /// When non-empty, write the server-side NDJSON qlog trace (including
+  /// the sim:link_down / sim:link_up / sim:fault events) to this file.
+  std::string qlog_path;
+};
+
+struct ChaosScenario {
+  std::string name;           // family + parameters, human-readable
+  sim::FaultSchedule faults;  // all healed by ~10 s
+};
+
+struct ChaosRunResult {
+  std::uint64_t seed = 0;
+  std::string scenario;
+  bool established = false;
+  bool completed = false;
+  bool closed = false;        // connection closed before completing
+  ByteCount bytes_received{};
+  TimePoint finish_time = 0;  // completion time (or time of giving up)
+  /// Human-readable invariant violations; empty = the run is clean.
+  std::vector<std::string> violations;
+};
+
+struct ChaosSweepResult {
+  std::vector<ChaosRunResult> runs;
+  int violation_runs = 0;     // runs with at least one violation
+};
+
+/// Derive the seed's fault scenario (pure function of the seed).
+ChaosScenario GenerateChaosScenario(std::uint64_t seed);
+
+/// Run one scenario and evaluate the invariants.
+ChaosRunResult RunChaosScenario(const ChaosOptions& options,
+                                const ChaosScenario& scenario);
+
+/// Convenience: generate + run the options.seed scenario.
+ChaosRunResult RunChaosOne(const ChaosOptions& options);
+
+/// The sweep: options.runs seeds starting at options.seed.
+ChaosSweepResult RunChaos(const ChaosOptions& options);
+
+}  // namespace mpq::harness

@@ -342,6 +342,22 @@ std::array<sim::PathParams, 2> HandoverPaths(const HandoverOptions& options) {
   return paths;
 }
 
+/// The fault schedule a handover run injects: the caller's, or (when
+/// empty) the paper's single failure — path 0 turns completely lossy at
+/// failure_time. Expressed as a kLossRate fault rather than kDown so the
+/// link still serializes and then eats packets, exactly like the
+/// original hand-scheduled SetRandomLossRate(1.0) — the Fig. 11 series
+/// is byte-identical either way the schedule is supplied.
+sim::FaultSchedule HandoverFaults(const HandoverOptions& options) {
+  if (!options.faults.empty()) return options.faults;
+  sim::PathFault failure;
+  failure.time = options.failure_time;
+  failure.path = 0;
+  failure.kind = sim::LinkFault::Kind::kLossRate;
+  failure.loss_rate = 1.0;
+  return {failure};
+}
+
 }  // namespace
 
 std::vector<HandoverSample> RunQuicHandover(const HandoverOptions& options) {
@@ -412,10 +428,7 @@ std::vector<HandoverSample> RunQuicHandover(const HandoverOptions& options) {
   client.connection().SetEstablishedHandler([&] { send_request(); });
   client.Connect(topo.server_addr[0]);
 
-  sim.Schedule(options.failure_time, [&topo] {
-    topo.forward[0]->SetRandomLossRate(1.0);
-    topo.backward[0]->SetRandomLossRate(1.0);
-  });
+  sim::SchedulePathFaults(sim, topo, HandoverFaults(options));
   sim.Run(options.end_time + 10 * kSecond);
   return samples;
 }
@@ -486,10 +499,7 @@ std::vector<HandoverSample> RunMptcpHandover(const HandoverOptions& options) {
   client.connection().SetSecureEstablishedHandler([&] { send_request(); });
   client.Connect({topo.server_addr[0], topo.server_addr[1]});
 
-  sim.Schedule(options.failure_time, [&topo] {
-    topo.forward[0]->SetRandomLossRate(1.0);
-    topo.backward[0]->SetRandomLossRate(1.0);
-  });
+  sim::SchedulePathFaults(sim, topo, HandoverFaults(options));
   sim.Run(options.end_time + 10 * kSecond);
   return samples;
 }

@@ -111,6 +111,12 @@ struct HandoverOptions {
   TimePoint failure_time = 3 * kSecond;
   TimePoint end_time = 15 * kSecond;
   std::uint64_t seed = 1;
+  /// Fault schedule driving the path failure (sim/topology.h). Empty =
+  /// the paper's scenario: path 0 becomes completely lossy at
+  /// `failure_time` (a single kLossRate fault at rate 1.0). Supply your
+  /// own schedule to run the same workload under arbitrary outages,
+  /// flaps or burst loss — the chaos harness does exactly that.
+  sim::FaultSchedule faults;
   bool send_paths_frame = true;  // ablation: §4.3's RTO-avoidance hint
   /// Run single-path QUIC with connection migration (the "hard handover"
   /// of §1) instead of MPQUIC — the extension comparison.

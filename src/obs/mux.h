@@ -73,6 +73,10 @@ class TracerMux final : public quic::ConnectionTracer {
                          const char* state) override {
     for (auto* sink : sinks_) sink->OnPathStateChange(now, path, state);
   }
+  void OnLinkFault(TimePoint now, int path, const char* kind,
+                   double value) override {
+    for (auto* sink : sinks_) sink->OnLinkFault(now, path, kind, value);
+  }
 
  private:
   std::vector<quic::ConnectionTracer*> sinks_;

@@ -1,5 +1,6 @@
 #include "obs/qlog.h"
 
+#include <string_view>
 #include <variant>
 
 namespace mpq::obs {
@@ -187,6 +188,26 @@ void QlogTracer::OnPathStateChange(TimePoint now, PathId path,
   JsonWriter& writer = StartEvent(now, "transport:path_state");
   writer.Key("path").UInt(path.value());
   writer.Key("state").String(state);
+  FinishEvent();
+}
+
+void QlogTracer::OnLinkFault(TimePoint now, int path, const char* kind,
+                             double value) {
+  // Down/up transitions get their own event names (they are what a
+  // handover analysis looks for); every other fault kind shares sim:fault
+  // with the kind in the data object.
+  const std::string_view kind_view(kind);
+  if (kind_view == "down" || kind_view == "up") {
+    JsonWriter& writer = StartEvent(
+        now, kind_view == "down" ? "sim:link_down" : "sim:link_up");
+    writer.Key("path").Int(path);
+    FinishEvent();
+    return;
+  }
+  JsonWriter& writer = StartEvent(now, "sim:fault");
+  writer.Key("path").Int(path);
+  writer.Key("kind").String(kind);
+  writer.Key("value").Double(value);
   FinishEvent();
 }
 

@@ -19,6 +19,9 @@
 //   recovery:rto              {path,consecutive}
 //   recovery:frame_requeued   {path,frame}
 //   flow_control:blocked      {stream}
+//   sim:link_down             {path}            (fault injection)
+//   sim:link_up               {path}
+//   sim:fault                 {path,kind,value} (loss / reconfigure / burst)
 #pragma once
 
 #include <cstdint>
@@ -64,6 +67,8 @@ class QlogTracer final : public quic::ConnectionTracer {
   void OnHandshakeEvent(TimePoint now, const char* milestone) override;
   void OnPathStateChange(TimePoint now, PathId path,
                          const char* state) override;
+  void OnLinkFault(TimePoint now, int path, const char* kind,
+                   double value) override;
 
  private:
   /// Open an event line: {"time":now,"name":name,"data":{ ... leaves the

@@ -135,6 +135,12 @@ TraceSummary ReadTrace(std::istream& in) {
       ++summary.paths[path].rtos;
     } else if (name == "transport:handshake") {
       summary.handshake_milestones[FieldString(data, "milestone")] = time;
+    } else if (name == "sim:link_down") {
+      ++summary.link_faults["down"];
+    } else if (name == "sim:link_up") {
+      ++summary.link_faults["up"];
+    } else if (name == "sim:fault") {
+      ++summary.link_faults[FieldString(data, "kind")];
     }
     // Other event types only contribute to events_by_name.
   }

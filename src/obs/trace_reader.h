@@ -39,6 +39,7 @@ struct TraceSummary {
   std::map<std::string, std::uint64_t> frames_requeued_by_type;
   std::map<std::string, std::uint64_t> scheduler_reasons;
   std::map<std::string, TimePoint> handshake_milestones;  // name -> time
+  std::map<std::string, std::uint64_t> link_faults;  // fault kind -> count
 };
 
 /// Read a whole NDJSON trace. Lines that are not valid event objects

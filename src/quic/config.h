@@ -33,6 +33,15 @@ struct ConnectionConfig {
   bool send_paths_frame = true;
   /// Probe potentially-failed paths with PINGs so they can recover.
   Duration failed_path_probe_interval = 1 * kSecond;
+  /// Absolute ceiling on a path's backed-off RTO. Without it a long
+  /// outage doubles the RTO (up to the 2^6 backoff cap) on top of an
+  /// outage-inflated smoothed RTT, and after the link heals the path can
+  /// sit tens of seconds away from its next retransmission even though a
+  /// probe ACK would revive it — the chaos sweep's long-flap scenarios
+  /// stall exactly there. 15 s keeps the worst case bounded while
+  /// staying above 200 ms << 6 = 12.8 s, so minimum-RTO paths (the
+  /// Fig. 11 handover) never hit the cap and keep their exact timing.
+  Duration max_rto = 15 * kSecond;
   /// Pace data packets at ~1.25x cwnd/RTT per path (2x in slow start),
   /// as quic-go/Chromium did in 2017 — Linux TCP of that era did not
   /// pace, which is part of QUIC's edge in bufferbloat/lossy scenarios.

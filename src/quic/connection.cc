@@ -30,7 +30,7 @@ Connection::Connection(sim::Simulator& sim, Perspective perspective,
   // The delegate casts must happen here, inside a Connection member,
   // where the private bases are accessible.
   recovery_ = std::make_unique<RecoveryManager>(
-      sim_, stats_, config_.failed_path_probe_interval,
+      sim_, stats_, config_.failed_path_probe_interval, config_.max_rto,
       static_cast<RecoveryDelegate&>(*this));
   assembler_ = std::make_unique<PacketAssembler>(
       sim_, config_, cid_, stats_, flow_, send_streams_, control_, *recovery_,
@@ -42,6 +42,17 @@ Connection::Connection(sim::Simulator& sim, Perspective perspective,
       static_cast<HandshakeDelegate&>(*this));
   if (config_.idle_timeout > 0) {
     connection_idle_timer_ = std::make_unique<sim::Timer>(sim_, [this] {
+      // The timer is rearmed on packet activity, but a path outage can
+      // silence both directions for its full duration: nothing arrives,
+      // and once the probe/RTO backoff exceeds the idle timeout nothing
+      // is sent either. Killing the connection then turns every outage
+      // longer than the idle timeout into a spurious close even though
+      // recovery is still working on it — so while the transfer is
+      // unfinished or data is in flight, the timer only rearms.
+      if (ExpectingData() || AnyPathInFlight()) {
+        connection_idle_timer_->SetIn(config_.idle_timeout);
+        return;
+      }
       MPQ_DEBUG(sim_.now(), "quic", "cid=%llu idle timeout",
                 static_cast<unsigned long long>(cid_));
       Close(0, "idle timeout");
@@ -73,6 +84,13 @@ bool Connection::ExpectingData() const {
   if (dispatcher_->AnyRecvStreamUnfinished()) return true;
   for (const auto& [id, stream] : send_streams_) {
     if (!stream->AllDataSentOnce()) return true;
+  }
+  return false;
+}
+
+bool Connection::AnyPathInFlight() const {
+  for (const auto& [id, path] : paths_) {
+    if (path->HasInFlight()) return true;
   }
   return false;
 }
@@ -280,6 +298,24 @@ void Connection::RemoveLocalAddress(sim::Address address) {
   TrySend();
 }
 
+void Connection::AddLocalAddress(sim::Address address) {
+  if (closed_) return;
+  if (std::find(local_addresses_.begin(), local_addresses_.end(), address) ==
+      local_addresses_.end()) {
+    local_addresses_.push_back(address);
+  }
+  for (auto& [id, path] : paths_) {
+    if (path->local_address() == address && path->potentially_failed()) {
+      path->set_potentially_failed(false);
+      if (tracer_ != nullptr) {
+        tracer_->OnPathStateChange(sim_.now(), id, "recovered");
+      }
+    }
+  }
+  EnqueueControl(AddAddressFrame{{address}});
+  TrySend();
+}
+
 void Connection::OpenClientPaths() {
   if (!config_.multipath || perspective_ != Perspective::kClient ||
       !config_.client_opens_paths) {
@@ -428,6 +464,19 @@ void Connection::OnAddAddressFrame(const AddAddressFrame& frame) {
     if (std::find(peer_addresses_.begin(), peer_addresses_.end(), addr) ==
         peer_addresses_.end()) {
       peer_addresses_.push_back(addr);
+    }
+    // Re-adding an address the peer previously withdrew un-strands every
+    // path to it: REMOVE_ADDRESS set remote_reported_failed, and without
+    // this the only other way back is a PATHS frame — which the peer
+    // only sends while it considers the path worth reporting. A path
+    // whose remote address is advertised again is usable again.
+    for (auto& [id, path] : paths_) {
+      if (path->remote_address() == addr && path->remote_reported_failed()) {
+        path->set_remote_reported_failed(false);
+        if (tracer_ != nullptr) {
+          tracer_->OnPathStateChange(sim_.now(), id, "recovered");
+        }
+      }
     }
   }
   MaybeOpenServerPaths();

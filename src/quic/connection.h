@@ -105,6 +105,12 @@ class Connection : private RecoveryDelegate,
   /// scheduler drains off them.
   void RemoveLocalAddress(sim::Address address);
 
+  /// (Re-)announce one of our addresses (interface came back): sends
+  /// ADD_ADDRESS and clears the local failure mark on paths bound to it,
+  /// undoing RemoveLocalAddress. The peer clears its own
+  /// remote-reported-failed mark when the frame arrives.
+  void AddLocalAddress(sim::Address address);
+
   void Close(std::uint16_t error_code, const std::string& reason);
 
   /// Attach a tracer (not owned; must outlive the connection or be
@@ -188,6 +194,7 @@ class Connection : private RecoveryDelegate,
   /// receive-buffer deadlock cannot arise from one path losing the update.
   void EnqueueWindowUpdates(const WindowUpdateFrame& frame);
   bool ExpectingData() const;
+  bool AnyPathInFlight() const;
   void OnIdleFailureTimer();
 
   sim::Simulator& sim_;

@@ -158,13 +158,24 @@ RecvStream& FrameDispatcher::GetOrCreateRecvStream(StreamId id) {
 
 void FrameDispatcher::OnStreamFrameReceived(StreamFrame& frame) {
   RecvStream& stream = GetOrCreateRecvStream(frame.stream_id);
-  const ByteCount growth = stream.OnStreamFrame(std::move(frame));
-  total_highest_received_ += growth;
-  if (!flow_.WithinReceiveLimit(total_highest_received_)) {
-    // Peer overran our advertised window: protocol violation.
+  // Receive-side enforcement: data past the advertised limit is a
+  // protocol violation and must be dropped BEFORE it reaches the stream —
+  // once a bogus offset or fin enters RecvStream it pins the stream's
+  // final size and the connection-level receive accounting forever (and
+  // trips the auditor's total_highest_received <= local_max_data
+  // invariant). An honest peer never sends past our advertisement, so
+  // only corrupt or forged traffic lands here.
+  const ByteCount frame_end = frame.offset + frame.data.size();
+  const ByteCount growth = frame_end > stream.highest_received()
+                               ? frame_end - stream.highest_received()
+                               : ByteCount{0};
+  if (!flow_.WithinReceiveLimit(total_highest_received_ + growth)) {
+    ++stats_.flow_control_overruns;
     MPQ_WARN(sim_.now(), "quic", "cid=%llu flow control violated",
              static_cast<unsigned long long>(cid_));
+    return;
   }
+  total_highest_received_ += stream.OnStreamFrame(std::move(frame));
 }
 
 }  // namespace mpq::quic

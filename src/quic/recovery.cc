@@ -4,6 +4,8 @@
 #include <utility>
 #include <variant>
 
+#include "common/log.h"
+
 namespace mpq::quic {
 
 namespace {
@@ -27,10 +29,12 @@ class AuditOnExit {
 
 RecoveryManager::RecoveryManager(sim::Simulator& sim, ConnectionStats& stats,
                                  Duration failed_path_probe_interval,
+                                 Duration max_rto,
                                  RecoveryDelegate& delegate)
     : sim_(sim),
       stats_(stats),
       probe_interval_(failed_path_probe_interval),
+      max_rto_(max_rto),
       delegate_(delegate) {}
 
 void RecoveryManager::RegisterPath(Path& path) {
@@ -44,6 +48,21 @@ void RecoveryManager::RegisterPath(Path& path) {
 }
 
 void RecoveryManager::OnAckReceived(Path& path, const AckFrame& ack) {
+  // An ACK for a packet number this path never allocated is proof of a
+  // broken or forged peer (optimistic ACK). Accepting it would drag
+  // largest_acked past the send horizon, instantly declare every
+  // in-flight packet lost via the packet-number reordering threshold,
+  // and desync header packet-number encoding. Ignore the whole frame —
+  // an honest peer never acknowledges the future.
+  if (!ack.ranges.empty() && ack.LargestAcked() > path.largest_sent()) {
+    ++stats_.invalid_acks_ignored;
+    MPQ_WARN(sim_.now(), "recovery",
+             "path %u ACK for unsent pn %llu (largest sent %llu) ignored",
+             path.id().value(),
+             static_cast<unsigned long long>(ack.LargestAcked().value()),
+             static_cast<unsigned long long>(path.largest_sent().value()));
+    return;
+  }
   PathRecovery& rec = paths_.at(path.id());
   const bool was_failed = path.potentially_failed();
   Path::AckResult result = path.OnAckReceived(ack, sim_.now());
@@ -140,8 +159,13 @@ void RecoveryManager::RearmRetxTimer(PathRecovery& rec) {
     // potentially-failed path) would otherwise push the deadline back
     // forever once the backed-off RTO exceeds the send interval, and
     // stranded in-flight data would never be redeclared lost.
-    const TimePoint rto_deadline =
-        path.OldestInFlightSentTime() + path.CurrentRto();
+    // Cap the backed-off RTO: exponential backoff on an outage-inflated
+    // srtt can otherwise push the next retransmission tens of seconds
+    // past the moment the link heals (config.h documents the bound).
+    const Duration rto =
+        max_rto_ > 0 ? std::min(path.CurrentRto(), max_rto_)
+                     : path.CurrentRto();
+    const TimePoint rto_deadline = path.OldestInFlightSentTime() + rto;
     deadline = std::min(deadline, rto_deadline);
   }
   if (deadline == kTimeInfinite) {

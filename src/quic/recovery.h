@@ -63,7 +63,7 @@ class RecoveryDelegate {
 class RecoveryManager {
  public:
   RecoveryManager(sim::Simulator& sim, ConnectionStats& stats,
-                  Duration failed_path_probe_interval,
+                  Duration failed_path_probe_interval, Duration max_rto,
                   RecoveryDelegate& delegate);
 
   void SetTracer(ConnectionTracer* tracer) { tracer_ = tracer; }
@@ -110,6 +110,7 @@ class RecoveryManager {
   sim::Simulator& sim_;
   ConnectionStats& stats_;
   Duration probe_interval_;
+  Duration max_rto_;
   RecoveryDelegate& delegate_;
   ConnectionTracer* tracer_ = nullptr;
   bool closed_ = false;

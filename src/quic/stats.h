@@ -18,6 +18,12 @@ struct ConnectionStats {
   std::uint64_t packets_received = 0;
   std::uint64_t packets_decrypt_failed = 0;
   std::uint64_t packets_duplicate = 0;
+  /// STREAM frames dropped because they wrote past our advertised receive
+  /// window (peer protocol violation — or forged traffic).
+  std::uint64_t flow_control_overruns = 0;
+  /// ACK frames dropped because they acknowledged packet numbers this end
+  /// never sent (optimistic ACK — peer protocol violation or forgery).
+  std::uint64_t invalid_acks_ignored = 0;
   std::uint64_t duplicated_scheduler_packets = 0;
   std::uint64_t rto_events = 0;
   /// Frames from lost packets re-queued for retransmission, and their

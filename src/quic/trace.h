@@ -87,6 +87,17 @@ class ConnectionTracer {
   /// "migrated".
   virtual void OnPathStateChange(TimePoint /*now*/, PathId /*path*/,
                                  const char* /*state*/) {}
+
+  // -- simulated environment ----------------------------------------------
+  /// A scheduled fault was applied to a simulated network path (the
+  /// fault-injection subsystem, docs/ROBUSTNESS.md). Emitted by the
+  /// harness — the connection cannot see the link — so `path` is the
+  /// topology path index, not a quic PathId. `kind` is "down", "up",
+  /// "loss", "reconfigure" or "burst-loss"; `value` carries the loss
+  /// rate (loss / burst-loss) or the new capacity in Mbps (reconfigure),
+  /// 0 otherwise.
+  virtual void OnLinkFault(TimePoint /*now*/, int /*path*/,
+                           const char* /*kind*/, double /*value*/) {}
 };
 
 /// Collects per-path time series of (time, cwnd, srtt) — the data behind
@@ -139,10 +150,12 @@ class CountingTracer final : public ConnectionTracer {
   std::uint64_t frames_requeued = 0;
   std::uint64_t flow_blocked_events = 0;
   std::uint64_t handshake_events = 0;
+  std::uint64_t link_faults = 0;
   std::map<PathId, std::uint64_t> packets_sent_by_path;
   std::map<PathId, std::uint64_t> packets_lost_by_path;
   std::map<PathId, std::uint64_t> bytes_sent_by_path;
   std::vector<std::string> state_changes;  // "path:state"
+  std::vector<std::string> fault_events;   // "path:kind"
 
   void OnPacketSent(TimePoint, PathId path, PacketNumber, ByteCount bytes,
                     bool) override {
@@ -185,6 +198,10 @@ class CountingTracer final : public ConnectionTracer {
   void OnPathStateChange(TimePoint, PathId path,
                          const char* state) override {
     state_changes.push_back(std::to_string(path.value()) + ":" + state);
+  }
+  void OnLinkFault(TimePoint, int path, const char* kind, double) override {
+    ++link_faults;
+    fault_events.push_back(std::to_string(path) + ":" + kind);
   }
 };
 

@@ -27,8 +27,63 @@ Duration Link::TransmissionTime(ByteCount wire_bytes) const {
   return us > 0 ? us : 1;  // nothing transmits in zero time
 }
 
+bool Link::WireLoss() {
+  if (config_.gilbert_elliott.enabled) {
+    const GilbertElliottConfig& ge = config_.gilbert_elliott;
+    // Evolve the channel once per packet, then draw by current state.
+    const double flip = ge_bad_ ? ge.bad_to_good : ge.good_to_bad;
+    if (flip > 0.0 && rng_.NextBool(flip)) ge_bad_ = !ge_bad_;
+    const double loss = ge_bad_ ? ge.loss_bad : ge.loss_good;
+    return loss > 0.0 && rng_.NextBool(loss);
+  }
+  return config_.random_loss_rate > 0.0 &&
+         rng_.NextBool(config_.random_loss_rate);
+}
+
+void Link::ApplyFault(const LinkFault& fault) {
+  switch (fault.kind) {
+    case LinkFault::Kind::kDown:
+      down_ = true;
+      break;
+    case LinkFault::Kind::kUp:
+      down_ = false;
+      break;
+    case LinkFault::Kind::kLossRate:
+      config_.random_loss_rate = fault.loss_rate;
+      config_.gilbert_elliott.enabled = false;
+      break;
+    case LinkFault::Kind::kReconfigure:
+      if (fault.capacity_mbps > 0.0) {
+        config_.capacity_mbps = fault.capacity_mbps;
+      }
+      if (fault.propagation_delay > 0) {
+        config_.propagation_delay = fault.propagation_delay;
+      }
+      if (fault.queue_capacity_bytes > ByteCount{0}) {
+        constexpr ByteCount kMinQueue{2 * 1500};
+        config_.queue_capacity_bytes =
+            fault.queue_capacity_bytes < kMinQueue ? kMinQueue
+                                                   : fault.queue_capacity_bytes;
+      }
+      break;
+    case LinkFault::Kind::kBurstLoss:
+      SetGilbertElliott(fault.gilbert_elliott);
+      break;
+  }
+}
+
+void Link::ScheduleFaults(const std::vector<LinkFault>& faults) {
+  for (const LinkFault& fault : faults) {
+    sim_.ScheduleAt(fault.time, [this, fault] { ApplyFault(fault); });
+  }
+}
+
 void Link::Transmit(Datagram dgram) {
   ++stats_.offered;
+  if (down_) {
+    ++stats_.dropped_link_down;
+    return;
+  }
   const ByteCount wire_bytes =
       ByteCount{dgram.payload.size()} + config_.per_packet_overhead;
   if (queued_bytes_ + wire_bytes > config_.queue_capacity_bytes) {
@@ -48,8 +103,14 @@ void Link::Transmit(Datagram dgram) {
   sim_.ScheduleAt(tx_done, [this, wire_bytes,
                             dgram = std::move(dgram)]() mutable {
     queued_bytes_ -= wire_bytes;
-    if (config_.random_loss_rate > 0.0 &&
-        rng_.NextBool(config_.random_loss_rate)) {
+    // A link that went down mid-serialization loses the packet too; no
+    // RNG draw, so up/down cycles leave other links' loss sequences
+    // untouched.
+    if (down_) {
+      ++stats_.dropped_link_down;
+      return;
+    }
+    if (WireLoss()) {
       ++stats_.dropped_random;
       return;
     }

@@ -42,6 +42,22 @@ struct Datagram {
   std::vector<std::uint8_t> payload;
 };
 
+/// Gilbert–Elliott burst-loss channel: a two-state Markov chain evaluated
+/// once per packet at the loss decision point. The channel sits in a Good
+/// or Bad state with independent loss probabilities; the state transition
+/// probabilities set the expected burst length (1/bad_to_good packets).
+/// Disabled channels draw nothing from the link's RNG, so enabling the
+/// mode on one link cannot perturb any other link's loss sequence.
+struct GilbertElliottConfig {
+  bool enabled = false;
+  /// Per-packet P(Good -> Bad) and P(Bad -> Good).
+  double good_to_bad = 0.0;
+  double bad_to_good = 1.0;
+  /// Loss probability while in each state.
+  double loss_good = 0.0;
+  double loss_bad = 1.0;
+};
+
 struct LinkConfig {
   double capacity_mbps = 10.0;
   Duration propagation_delay = 10 * kMillisecond;
@@ -53,6 +69,9 @@ struct LinkConfig {
   /// Probability that a packet that made it through the queue is lost on
   /// the wire (wireless-style random loss, Table 1's loss factor).
   double random_loss_rate = 0.0;
+  /// Burst loss (chaos harness). When enabled it replaces the Bernoulli
+  /// `random_loss_rate` as the wire-loss model.
+  GilbertElliottConfig gilbert_elliott;
   /// Per-packet extra propagation delay, uniform in [0, jitter]. Values
   /// larger than a packet's serialization gap reorder packets in flight —
   /// not part of Table 1, but useful for stressing loss detection
@@ -62,6 +81,32 @@ struct LinkConfig {
   /// (IP+UDP = 28 for QUIC, IP = 20 for the TCP model whose own header is
   /// already part of the datagram).
   ByteCount per_packet_overhead{28};
+};
+
+/// One scheduled change to a link — the unit of the fault-injection
+/// subsystem (docs/ROBUSTNESS.md). Applied by Link::ApplyFault, either
+/// immediately or at `time` via Link::ScheduleFaults /
+/// SchedulePathFaults (sim/topology.h).
+struct LinkFault {
+  enum class Kind {
+    kDown,         ///< hard outage: every offered packet is dropped
+    kUp,           ///< end of an outage
+    kLossRate,     ///< set Bernoulli wire loss (disables burst mode)
+    kReconfigure,  ///< change capacity / delay / queue mid-run
+    kBurstLoss,    ///< install (or disable) a Gilbert–Elliott channel
+  };
+
+  TimePoint time = 0;
+  Kind kind = Kind::kDown;
+  /// kLossRate: the new Bernoulli loss probability.
+  double loss_rate = 0.0;
+  /// kReconfigure: fields left at 0 keep their current value.
+  double capacity_mbps = 0.0;
+  Duration propagation_delay = 0;
+  ByteCount queue_capacity_bytes{0};
+  /// kBurstLoss: the channel to install; `enabled = false` switches burst
+  /// loss off again.
+  GilbertElliottConfig gilbert_elliott;
 };
 
 /// Unidirectional point-to-point link with a drop-tail queue.
@@ -86,6 +131,25 @@ class Link {
   /// scenario where the initial path "becomes completely lossy" at t=3 s.
   void SetRandomLossRate(double rate) { config_.random_loss_rate = rate; }
 
+  /// Hard outage toggle: a down link drops every packet it is offered
+  /// (and everything still serializing) without consuming RNG draws.
+  void SetDown(bool down) { down_ = down; }
+  bool down() const { return down_; }
+
+  /// Install or disable the Gilbert–Elliott burst-loss channel. The chain
+  /// (re)starts in the Good state.
+  void SetGilbertElliott(const GilbertElliottConfig& ge) {
+    config_.gilbert_elliott = ge;
+    ge_bad_ = false;
+  }
+
+  /// Apply one fault right now (see LinkFault; `time` is ignored here).
+  void ApplyFault(const LinkFault& fault);
+
+  /// Schedule every fault at its absolute `time` (one simulator event
+  /// each). Times in the past are clamped to "now" by the simulator.
+  void ScheduleFaults(const std::vector<LinkFault>& faults);
+
   const LinkConfig& config() const { return config_; }
 
   struct Stats {
@@ -93,6 +157,8 @@ class Link {
     std::uint64_t delivered = 0;
     std::uint64_t dropped_queue_full = 0;
     std::uint64_t dropped_random = 0;
+    /// Packets dropped because the link was down (LinkFault::kDown).
+    std::uint64_t dropped_link_down = 0;
     ByteCount wire_bytes_delivered;
     /// Highest queue occupancy seen, in bytes (bufferbloat diagnostics).
     ByteCount max_queue_bytes;
@@ -103,12 +169,19 @@ class Link {
   Duration TransmissionTime(ByteCount wire_bytes) const;
 
  private:
+  /// One wire-loss decision for a packet that finished serializing.
+  /// Draws from the RNG only when a loss model is active, so fault-free
+  /// links keep a byte-identical draw sequence.
+  bool WireLoss();
+
   Simulator& sim_;
   LinkConfig config_;
   Rng rng_;
   DeliveryHandler deliver_;
   TimePoint busy_until_ = 0;
   ByteCount queued_bytes_;
+  bool down_ = false;
+  bool ge_bad_ = false;  // Gilbert–Elliott channel state
   Stats stats_;
 };
 

@@ -30,4 +30,50 @@ TwoPathTopology BuildTwoPathTopology(
   return topo;
 }
 
+const char* ToString(LinkFault::Kind kind) {
+  switch (kind) {
+    case LinkFault::Kind::kDown:
+      return "down";
+    case LinkFault::Kind::kUp:
+      return "up";
+    case LinkFault::Kind::kLossRate:
+      return "loss";
+    case LinkFault::Kind::kReconfigure:
+      return "reconfigure";
+    case LinkFault::Kind::kBurstLoss:
+      return "burst-loss";
+  }
+  return "?";
+}
+
+namespace {
+
+LinkFault ToLinkFault(const PathFault& fault) {
+  LinkFault link_fault;
+  link_fault.time = fault.time;
+  link_fault.kind = fault.kind;
+  link_fault.loss_rate = fault.loss_rate;
+  link_fault.capacity_mbps = fault.capacity_mbps;
+  link_fault.propagation_delay = fault.rtt / 2;
+  link_fault.gilbert_elliott = fault.gilbert_elliott;
+  return link_fault;
+}
+
+}  // namespace
+
+void SchedulePathFaults(Simulator& sim, TwoPathTopology& topo,
+                        const FaultSchedule& schedule,
+                        std::function<void(const PathFault&)> observer) {
+  for (const PathFault& fault : schedule) {
+    sim.ScheduleAt(fault.time, [&topo, fault, observer] {
+      const LinkFault link_fault = ToLinkFault(fault);
+      const std::size_t index =
+          fault.path == 0 ? 0 : 1;  // out-of-range paths clamp to 1
+      topo.forward[index]->ApplyFault(link_fault);
+      topo.backward[index]->ApplyFault(link_fault);
+      if (observer) observer(fault);
+    });
+  }
+}
+
 }  // namespace mpq::sim

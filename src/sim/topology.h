@@ -4,6 +4,8 @@
 #pragma once
 
 #include <array>
+#include <functional>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/types.h"
@@ -45,5 +47,37 @@ ByteCount QueueCapacityBytes(double capacity_mbps, Duration max_queue_delay);
 /// Build the Fig. 2 topology in `net` from two PathParams.
 TwoPathTopology BuildTwoPathTopology(Network& net,
                                      const std::array<PathParams, 2>& paths);
+
+// ---------------------------------------------------------------------------
+// Fault injection (docs/ROBUSTNESS.md)
+
+/// One scheduled change to a *path* — both directions of the duplex link.
+/// The Kind and value fields mirror sim::LinkFault; `rtt` (kReconfigure)
+/// is the two-way delay, split evenly per direction like PathParams.
+struct PathFault {
+  TimePoint time = 0;
+  int path = 0;  // topology path index (0 or 1)
+  LinkFault::Kind kind = LinkFault::Kind::kDown;
+  double loss_rate = 0.0;        // kLossRate
+  double capacity_mbps = 0.0;    // kReconfigure; 0 = unchanged
+  Duration rtt = 0;              // kReconfigure; 0 = unchanged
+  GilbertElliottConfig gilbert_elliott;  // kBurstLoss
+};
+
+using FaultSchedule = std::vector<PathFault>;
+
+/// Human-readable kind name ("down", "up", "loss", "reconfigure",
+/// "burst-loss") — used for trace events and chaos diagnostics.
+const char* ToString(LinkFault::Kind kind);
+
+/// Schedule every fault of `schedule` into `sim`: exactly ONE simulator
+/// event per entry, applying the change to both directions of the path
+/// (forward first). `observer`, when set, is invoked from that event
+/// after the fault is applied — the hook the harness uses to emit
+/// sim:link_down / sim:link_up / sim:fault trace events. `topo` must
+/// outlive the scheduled events.
+void SchedulePathFaults(Simulator& sim, TwoPathTopology& topo,
+                        const FaultSchedule& schedule,
+                        std::function<void(const PathFault&)> observer = {});
 
 }  // namespace mpq::sim

@@ -38,7 +38,7 @@ namespace {
 struct Harness : AssemblerDelegate, RecoveryDelegate {
   explicit Harness(ByteCount window = kDefaultReceiveWindow)
       : flow(window),
-        recovery(sim, stats, 1 * kSecond, *this),
+        recovery(sim, stats, 1 * kSecond, 15 * kSecond, *this),
         assembler(sim, config, ConnectionId{7}, stats, flow, streams,
                   control, recovery, *this,
                   [this](sim::Address local, sim::Address remote,

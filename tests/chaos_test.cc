@@ -1,0 +1,153 @@
+// Chaos-harness tests (docs/ROBUSTNESS.md): a slice of the seeded sweep
+// plus one named regression per bug class the sweep machinery is built
+// to catch. Each regression pins a scenario that failed before its fix
+// in recovery/path management landed — keep them failing loudly if the
+// fix regresses.
+#include "harness/chaos.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "obs/trace_reader.h"
+
+namespace mpq::harness {
+namespace {
+
+std::string ViolationReport(const ChaosRunResult& run) {
+  std::string out = "seed " + std::to_string(run.seed) + " (" +
+                    run.scenario + "):";
+  for (const std::string& violation : run.violations) {
+    out += " [" + violation + "]";
+  }
+  return out;
+}
+
+TEST(Chaos, SweepSliceIsClean) {
+  // A fast slice of the full sweep (tools/ci.sh runs the wide ones).
+  ChaosOptions options;
+  options.seed = 1;
+  options.runs = 40;
+  const ChaosSweepResult sweep = RunChaos(options);
+  for (const ChaosRunResult& run : sweep.runs) {
+    EXPECT_TRUE(run.violations.empty()) << ViolationReport(run);
+  }
+  EXPECT_EQ(sweep.violation_runs, 0);
+}
+
+TEST(Chaos, DeterministicPerSeed) {
+  ChaosOptions options;
+  options.seed = 77;
+  const ChaosRunResult a = RunChaosOne(options);
+  const ChaosRunResult b = RunChaosOne(options);
+  EXPECT_EQ(a.scenario, b.scenario);
+  EXPECT_EQ(a.finish_time, b.finish_time);
+  EXPECT_EQ(a.bytes_received, b.bytes_received);
+  EXPECT_EQ(a.completed, b.completed);
+}
+
+TEST(Chaos, ScenarioFamiliesAllReachable) {
+  // The generator must produce every family across a modest seed range
+  // (otherwise a family silently drops out of the sweep's coverage).
+  bool saw_short = false, saw_long = false, saw_flap = false;
+  bool saw_both = false, saw_burst = false, saw_reconf = false;
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    const std::string name = GenerateChaosScenario(seed).name;
+    saw_short |= name.find("short-outage") == 0;
+    saw_long |= name.find("long-outage") == 0;
+    saw_flap |= name.find("flap") == 0;
+    saw_both |= name.find("both-down") == 0;
+    saw_burst |= name.find("burst-loss") == 0;
+    saw_reconf |= name.find("reconfigure") == 0;
+  }
+  EXPECT_TRUE(saw_short && saw_long && saw_flap && saw_both && saw_burst &&
+              saw_reconf);
+}
+
+TEST(Chaos, IdleTimeoutDoesNotKillConnectionDuringOutage) {
+  // Regression: a both-paths outage outlasting the idle timeout used to
+  // make the receiving side close ("idle timeout") while the sender's
+  // recovery was mid-probe — invariant 1 fired with "closed before
+  // completing". The idle timer now rearms while the transfer is live.
+  ChaosOptions options;
+  options.seed = 9001;
+  options.idle_timeout = 2 * kSecond;
+  ChaosScenario scenario;
+  scenario.name = "regression: 3.5s both-down vs 2s idle timeout";
+  for (int path = 0; path < 2; ++path) {
+    sim::PathFault down;
+    down.time = 1 * kSecond;
+    down.path = path;
+    down.kind = sim::LinkFault::Kind::kDown;
+    sim::PathFault up = down;
+    up.time = 4500 * kMillisecond;
+    up.kind = sim::LinkFault::Kind::kUp;
+    scenario.faults.push_back(down);
+    scenario.faults.push_back(up);
+  }
+  const ChaosRunResult run = RunChaosScenario(options, scenario);
+  EXPECT_TRUE(run.completed) << ViolationReport(run);
+  EXPECT_FALSE(run.closed);
+  EXPECT_TRUE(run.violations.empty()) << ViolationReport(run);
+}
+
+TEST(Chaos, RepeatedFlapsDoNotStrandRecovery) {
+  // Regression: runaway RTO backoff across a long flap sequence left
+  // the next retransmission tens of seconds out after the final heal
+  // (invariant 2: stall with a usable path). Capped by max_rto.
+  ChaosOptions options;
+  options.seed = 9002;
+  ChaosScenario scenario;
+  scenario.name = "regression: 6x flap on the only loaded path";
+  TimePoint t = 1 * kSecond;
+  for (int i = 0; i < 6; ++i) {
+    sim::PathFault down;
+    down.time = t;
+    down.path = 0;
+    down.kind = sim::LinkFault::Kind::kDown;
+    sim::PathFault up = down;
+    up.time = t + 700 * kMillisecond;
+    up.kind = sim::LinkFault::Kind::kUp;
+    scenario.faults.push_back(down);
+    scenario.faults.push_back(up);
+    t += 1 * kSecond;
+  }
+  const ChaosRunResult run = RunChaosScenario(options, scenario);
+  EXPECT_TRUE(run.completed) << ViolationReport(run);
+  EXPECT_TRUE(run.violations.empty()) << ViolationReport(run);
+}
+
+TEST(Chaos, QlogTraceCarriesFaultEvents) {
+  // The fault observer bridges into the tracer: the written qlog must
+  // contain one sim:* event per scheduled fault, in kind buckets.
+  const std::string path =
+      ::testing::TempDir() + "/chaos_fault_trace.qlog";
+  ChaosOptions options;
+  options.seed = 3;  // any seed; the scenario below is explicit
+  options.qlog_path = path;
+  ChaosScenario scenario;
+  scenario.name = "qlog fault events";
+  sim::PathFault down;
+  down.time = 1 * kSecond;
+  down.path = 1;
+  down.kind = sim::LinkFault::Kind::kDown;
+  sim::PathFault up = down;
+  up.time = 2 * kSecond;
+  up.kind = sim::LinkFault::Kind::kUp;
+  scenario.faults = {down, up};
+  const ChaosRunResult run = RunChaosScenario(options, scenario);
+  EXPECT_TRUE(run.completed);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  const obs::TraceSummary summary = obs::ReadTrace(in);
+  EXPECT_EQ(summary.malformed, 0u);
+  EXPECT_EQ(summary.link_faults.at("down"), 1u);
+  EXPECT_EQ(summary.link_faults.at("up"), 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mpq::harness

@@ -502,6 +502,110 @@ TEST(QuicConnection, ConnectionIdleTimeoutCloses) {
   EXPECT_LT(fx.sim.now(), 10 * kSecond);
 }
 
+TEST(QuicConnection, IdleTimeoutSurvivesOutageMidTransfer) {
+  // Chaos regression: during a total outage the client receives nothing
+  // and — as a pure receiver with everything it sent long since acked —
+  // transmits nothing either, so an outage outlasting the idle timeout
+  // used to close the connection from the client side even though the
+  // server's recovery machinery was mid-probe. While the transfer is
+  // unfinished (or data is in flight) the idle timer must rearm, not
+  // close.
+  ConnectionConfig config = Multipath();
+  config.idle_timeout = 5 * kSecond;
+  Fixture fx(config);
+  fx.RequestOnEstablished(ByteCount{8 * 1024 * 1024});
+  const auto set_down = [&fx](bool down) {
+    for (sim::Link* link : {fx.topo.forward[0], fx.topo.forward[1],
+                            fx.topo.backward[0], fx.topo.backward[1]}) {
+      link->SetDown(down);
+    }
+  };
+  fx.sim.Schedule(1 * kSecond, [&] { set_down(true); });
+  // 6.5 s of silence — past the 5 s idle timeout.
+  fx.sim.Schedule(7500 * kMillisecond, [&] { set_down(false); });
+  fx.sim.Run(180 * kSecond);
+  // Pre-fix the client closed ("idle timeout") at ~6 s, mid-outage, and
+  // the transfer never finished. (The connection still closes AFTER the
+  // transfer completes and goes quiet — that is the timer working.)
+  EXPECT_TRUE(fx.finished);
+  EXPECT_EQ(fx.received, ByteCount{8 * 1024 * 1024});
+}
+
+TEST(QuicConnection, IdleTimeoutStillClosesQuietConnection) {
+  // The counterpart: once the transfer is done and nothing is in flight,
+  // the idle timer must still fire (no connection leak from the rearm).
+  ConnectionConfig config = Multipath();
+  config.idle_timeout = 5 * kSecond;
+  Fixture fx(config);
+  fx.RequestOnEstablished(ByteCount{64 * 1024});
+  fx.sim.Run(60 * kSecond);
+  ASSERT_TRUE(fx.finished);
+  EXPECT_TRUE(fx.client->connection().closed());
+}
+
+TEST(QuicConnection, ReAddedAddressRestoresRemoteFailedPath) {
+  // Chaos regression (interface flap): REMOVE_ADDRESS marks every path
+  // to the withdrawn address remote-reported-failed on the peer, and
+  // nothing but a PATHS frame used to clear it — but the peer stops
+  // advertising a path it considers dead, so the path stayed stranded
+  // forever. A later ADD_ADDRESS of the same address must restore it.
+  Fixture fx(Multipath());
+  Connection* server_conn = nullptr;
+  fx.server->SetAcceptHandler([&](Connection& conn) {
+    server_conn = &conn;
+    auto request = std::make_shared<std::string>();
+    conn.SetStreamDataHandler(
+        [&conn, request](StreamId id, ByteCount,
+                         std::span<const std::uint8_t> data, bool fin) {
+          request->append(data.begin(), data.end());
+          if (fin) {
+            conn.SendOnStream(id, std::make_unique<PatternSource>(
+                                      id, ByteCount{std::stoull(
+                                              request->substr(4))}));
+          }
+        });
+  });
+  fx.RequestOnEstablished(ByteCount{8 * 1024 * 1024});
+
+  const sim::Address flapping = fx.topo.client_addr[1];
+  const auto server_path_usable = [&]() -> int {
+    if (server_conn == nullptr) return -1;
+    for (const Path* path : server_conn->paths()) {
+      if (path->remote_address() == flapping) return path->Usable() ? 1 : 0;
+    }
+    return -1;
+  };
+
+  int usable_after_remove = -1;
+  int usable_after_add = -1;
+  int usable_after_second_remove = -1;
+  fx.sim.Schedule(1 * kSecond, [&] {
+    fx.client->connection().RemoveLocalAddress(flapping);
+  });
+  fx.sim.Schedule(1500 * kMillisecond,
+                  [&] { usable_after_remove = server_path_usable(); });
+  fx.sim.Schedule(2 * kSecond, [&] {
+    fx.client->connection().AddLocalAddress(flapping);
+  });
+  fx.sim.Schedule(2500 * kMillisecond,
+                  [&] { usable_after_add = server_path_usable(); });
+  // Flap once more: recovered -> failed must work too.
+  fx.sim.Schedule(3 * kSecond, [&] {
+    fx.client->connection().RemoveLocalAddress(flapping);
+  });
+  fx.sim.Schedule(3500 * kMillisecond,
+                  [&] { usable_after_second_remove = server_path_usable(); });
+  fx.sim.Schedule(4 * kSecond, [&] {
+    fx.client->connection().AddLocalAddress(flapping);
+  });
+  fx.sim.Run(120 * kSecond);
+
+  EXPECT_EQ(usable_after_remove, 0);
+  EXPECT_EQ(usable_after_add, 1);
+  EXPECT_EQ(usable_after_second_remove, 0);
+  EXPECT_TRUE(fx.finished);
+}
+
 TEST(QuicConnection, VersionMismatchFailsCleanly) {
   ConnectionConfig client_config = Multipath();
   client_config.supported_versions = {0xDEAD0001};

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <tuple>
 #include <utility>
@@ -68,7 +69,7 @@ class FakeDelegate : public RecoveryDelegate {
 class RecoveryTest : public ::testing::Test {
  protected:
   RecoveryTest()
-      : recovery_(sim_, stats_, 1 * kSecond, delegate_),
+      : recovery_(sim_, stats_, 1 * kSecond, 15 * kSecond, delegate_),
         path_(PathId{0}, {1, 0}, {2, 0}, std::make_unique<cc::NewReno>(kMss)) {
     recovery_.RegisterPath(path_);
   }
@@ -236,6 +237,84 @@ TEST_F(RecoveryTest, AckedPingClearsProbeBookkeeping) {
   recovery_.OnAckReceived(path_, ack);
 
   EXPECT_FALSE(recovery_.ping_probe_outstanding(PathId{0}));
+}
+
+TEST_F(RecoveryTest, RtoBackoffCappedAtMaxRto) {
+  // Chaos regression (long-flap family): without a ceiling the doubled
+  // RTO reaches 500 ms << 6 = 32 s, so after an outage heals the path
+  // could sit half a minute from its next retransmission. The cap bounds
+  // the gap between consecutive RTOs at max_rto (15 s here).
+  Duration max_gap = 0;
+  for (int i = 0; i < 10; ++i) {
+    SendTracked({MakeStreamFrame(StreamId{1}, ByteCount{0}, 100)});
+    const std::uint64_t events_before = stats_.rto_events;
+    const TimePoint sent_at = sim_.now();
+    while (stats_.rto_events == events_before) {
+      ASSERT_TRUE(sim_.RunOne(10 * 60 * kSecond));
+    }
+    max_gap = std::max(max_gap, sim_.now() - sent_at);
+  }
+  EXPECT_EQ(path_.rto_count(), 10);  // the count keeps backing off...
+  EXPECT_LE(max_gap, 15 * kSecond + kSecond);  // ...the timer does not
+  EXPECT_GT(max_gap, 10 * kSecond);  // and the cap genuinely binds
+}
+
+TEST_F(RecoveryTest, OnlyGenuineAckResetsRtoBackoff) {
+  // Build up backoff with two RTOs.
+  for (int i = 0; i < 2; ++i) {
+    SendTracked({MakeStreamFrame(StreamId{1}, ByteCount{0}, 100)});
+    const std::uint64_t events_before = stats_.rto_events;
+    while (stats_.rto_events == events_before) {
+      ASSERT_TRUE(sim_.RunOne(10 * 60 * kSecond));
+    }
+  }
+  EXPECT_EQ(path_.rto_count(), 2);
+
+  // An ACK that covers only already-lost packets acks nothing new and
+  // must not reset the backoff (stale ACKs surface during flaps).
+  AckFrame stale;
+  stale.path_id = PathId{0};
+  stale.ranges = {{PacketNumber{1}, PacketNumber{2}}};
+  recovery_.OnAckReceived(path_, stale);
+  EXPECT_EQ(path_.rto_count(), 2);
+
+  // A genuine ACK of in-flight data does.
+  SendTracked({MakeStreamFrame(StreamId{1}, ByteCount{0}, 100)});
+  AckFrame genuine;
+  genuine.path_id = PathId{0};
+  genuine.ranges = {{PacketNumber{1}, PacketNumber{3}}};
+  recovery_.OnAckReceived(path_, genuine);
+  EXPECT_EQ(path_.rto_count(), 0);
+}
+
+TEST_F(RecoveryTest, OptimisticAckForUnsentPacketNumbersIsIgnored) {
+  // Fuzz regression (forged-frame family, caught by the MPQ_AUDIT
+  // largest_acked < next_pn invariant): an ACK acknowledging packet
+  // numbers this path never allocated used to be taken at face value.
+  // That drags largest_acked past the send horizon, and because
+  // packet-threshold loss detection declares everything more than
+  // kReorderingThreshold below largest_acked lost, one forged ACK
+  // spuriously retransmits the entire in-flight window.
+  SendTracked({MakeStreamFrame(StreamId{1}, ByteCount{0}, 1000)});
+  SendTracked({MakeStreamFrame(StreamId{1}, ByteCount{1000}, 1000)});
+
+  AckFrame forged;
+  forged.path_id = PathId{0};
+  forged.ranges = {{PacketNumber{90}, PacketNumber{120}}};
+  recovery_.OnAckReceived(path_, forged);
+
+  EXPECT_EQ(stats_.invalid_acks_ignored, 1u);
+  EXPECT_EQ(path_.largest_acked(), PacketNumber{0});
+  EXPECT_TRUE(path_.HasInFlight());  // nothing declared lost or acked
+  EXPECT_TRUE(delegate_.stream_losses.empty());
+
+  // An honest ACK of what is actually outstanding still works.
+  AckFrame genuine;
+  genuine.path_id = PathId{0};
+  genuine.ranges = {{PacketNumber{1}, PacketNumber{2}}};
+  recovery_.OnAckReceived(path_, genuine);
+  EXPECT_EQ(path_.largest_acked(), PacketNumber{2});
+  EXPECT_FALSE(path_.HasInFlight());
 }
 
 TEST_F(RecoveryTest, CloseStopsAllTimers) {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -353,6 +354,131 @@ TEST(Link, JitterBoundsAndReorders) {
   // Everything still arrives within base + jitter + serialization time.
   EXPECT_LE(sim.now(), 10 * kMillisecond + 5 * kMillisecond +
                            1 * kMillisecond);
+}
+
+TEST(Link, DownLinkEatsEverythingUntilUp) {
+  Simulator sim;
+  Link link(sim, MakeLink(8.0, 1 * kMillisecond), Rng(1));
+  int delivered = 0;
+  link.SetDeliveryHandler([&](Datagram&&) { ++delivered; });
+
+  link.SetDown(true);
+  for (int i = 0; i < 5; ++i) {
+    link.Transmit({{}, {}, std::vector<std::uint8_t>(100)});
+  }
+  sim.Run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(link.stats().dropped_link_down, 5u);
+
+  link.SetDown(false);
+  link.Transmit({{}, {}, std::vector<std::uint8_t>(100)});
+  sim.Run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(Link, DownAppliedMidSerializationEatsPacket) {
+  // A packet still on the serializer when the link goes down is lost
+  // with it (the wire went dark), exactly like rate-1.0 random loss.
+  // 1000 B at 0.8 Mbps = 10 ms serialization; the cut lands at 2 ms.
+  Simulator sim;
+  Link link(sim, MakeLink(0.8, 10 * kMillisecond), Rng(1));
+  int delivered = 0;
+  link.SetDeliveryHandler([&](Datagram&&) { ++delivered; });
+  link.Transmit({{}, {}, std::vector<std::uint8_t>(1000)});
+  sim.Schedule(2 * kMillisecond, [&] { link.SetDown(true); });
+  sim.Run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(link.stats().dropped_link_down, 1u);
+}
+
+TEST(Link, GilbertElliottBurstsLoss) {
+  // With sticky states (rare transitions) and loss only in the bad
+  // state, drops must arrive in runs, not independently.
+  Simulator sim;
+  LinkConfig config = MakeLink(1000.0, 0);
+  config.gilbert_elliott.enabled = true;
+  config.gilbert_elliott.good_to_bad = 0.02;
+  config.gilbert_elliott.bad_to_good = 0.1;
+  config.gilbert_elliott.loss_good = 0.0;
+  config.gilbert_elliott.loss_bad = 1.0;
+  Link link(sim, config, Rng(7));
+  std::vector<bool> outcome;  // true = delivered
+  int sent = 0;
+  link.SetDeliveryHandler([&](Datagram&& d) {
+    outcome[d.payload[0]] = true;
+  });
+  for (int i = 0; i < 200; ++i) {
+    outcome.push_back(false);
+    link.Transmit({{}, {}, std::vector<std::uint8_t>{
+                               static_cast<std::uint8_t>(sent++)}});
+    sim.Run();
+  }
+  int losses = 0;
+  int loss_runs = 0;
+  for (std::size_t i = 0; i < outcome.size(); ++i) {
+    if (outcome[i]) continue;
+    ++losses;
+    if (i == 0 || outcome[i - 1]) ++loss_runs;
+  }
+  EXPECT_GT(losses, 10);
+  EXPECT_LT(losses, 190);
+  // Bursty: far fewer runs than losses (independent loss at the same
+  // rate would give runs ~= losses).
+  EXPECT_LT(loss_runs * 2, losses);
+}
+
+TEST(Link, ApplyFaultReconfiguresCapacityAndDelay) {
+  Simulator sim;
+  Link link(sim, MakeLink(8.0, 10 * kMillisecond), Rng(1));
+  LinkFault fault;
+  fault.kind = LinkFault::Kind::kReconfigure;
+  fault.capacity_mbps = 16.0;
+  fault.propagation_delay = 20 * kMillisecond;
+  link.ApplyFault(fault);
+  EXPECT_EQ(link.config().capacity_mbps, 16.0);
+  EXPECT_EQ(link.config().propagation_delay, 20 * kMillisecond);
+
+  // Zero-valued fields leave the current configuration untouched.
+  LinkFault partial;
+  partial.kind = LinkFault::Kind::kReconfigure;
+  partial.propagation_delay = 5 * kMillisecond;
+  link.ApplyFault(partial);
+  EXPECT_EQ(link.config().capacity_mbps, 16.0);
+  EXPECT_EQ(link.config().propagation_delay, 5 * kMillisecond);
+}
+
+TEST(Topology, ScheduledFaultsApplyToBothDirectionsAndNotify) {
+  Simulator sim;
+  Network net(sim, Rng(4));
+  std::array<PathParams, 2> params;
+  auto topo = BuildTwoPathTopology(net, params);
+
+  FaultSchedule schedule;
+  PathFault down;
+  down.time = 10 * kMillisecond;
+  down.path = 1;
+  down.kind = LinkFault::Kind::kDown;
+  PathFault up = down;
+  up.time = 30 * kMillisecond;
+  up.kind = LinkFault::Kind::kUp;
+  schedule = {down, up};
+
+  std::vector<std::string> observed;
+  SchedulePathFaults(sim, topo, schedule, [&](const PathFault& fault) {
+    observed.push_back(std::to_string(fault.path) + ":" +
+                       ToString(fault.kind));
+  });
+
+  sim.Run(20 * kMillisecond);
+  EXPECT_TRUE(topo.forward[1]->down());
+  EXPECT_TRUE(topo.backward[1]->down());
+  EXPECT_FALSE(topo.forward[0]->down());
+  sim.Run(40 * kMillisecond);
+  EXPECT_FALSE(topo.forward[1]->down());
+  EXPECT_FALSE(topo.backward[1]->down());
+  ASSERT_EQ(observed.size(), 2u);
+  EXPECT_EQ(observed[0], "1:down");
+  EXPECT_EQ(observed[1], "1:up");
 }
 
 TEST(Link, ZeroJitterPreservesOrder) {

@@ -63,4 +63,15 @@ run_config build-asan -DMPQ_SANITIZE=ON
 run_config build-tsan -DMPQ_TSAN=ON
 run_config build-audit -DMPQ_AUDIT=ON
 
+# --- Stage 3: chaos sweep ----------------------------------------------
+# The ctest `chaos` label (already run per-config above) covers a 25-seed
+# smoke; this stage runs the full 200-scenario fault-injection sweep from
+# docs/ROBUSTNESS.md under the two configurations that catch what plain
+# builds cannot: ASan+UBSan for memory errors on the fault paths, and
+# MPQ_AUDIT for protocol invariant violations on every simulated event.
+for dir in build-asan build-audit; do
+  echo "==> chaos sweep (${dir})"
+  "./${dir}/tools/mpq_chaos" --sweep 200 --seed 1
+done
+
 echo "==> all configurations passed"

@@ -84,6 +84,14 @@ void PrintSummary(const obs::TraceSummary& summary) {
     }
   }
 
+  if (!summary.link_faults.empty()) {
+    std::printf("\nlink faults injected:\n");
+    for (const auto& [kind, count] : summary.link_faults) {
+      std::printf("  %-16s %llu\n", kind.c_str(),
+                  static_cast<unsigned long long>(count));
+    }
+  }
+
   std::printf("\nevents by name:\n");
   for (const auto& [name, count] : summary.events_by_name) {
     std::printf("  %-28s %llu\n", name.c_str(),
@@ -116,6 +124,9 @@ int SelfTest() {
     tracer.OnPathSample(80, PathId{0}, ByteCount{42 * 1024},
                         ByteCount{10 * 1024}, 20000);
     tracer.OnFlowControlBlocked(90, StreamId{3});
+    tracer.OnLinkFault(100, 1, "down", 0.0);
+    tracer.OnLinkFault(110, 1, "burst-loss", 0.5);
+    tracer.OnLinkFault(120, 1, "up", 0.0);
   }
 
   const auto summary = obs::ReadTrace(stream);
@@ -127,7 +138,7 @@ int SelfTest() {
     }
   };
   expect(summary.malformed == 0, "no malformed lines");
-  expect(summary.events == 13, "13 events parsed");
+  expect(summary.events == 16, "16 events parsed");
   expect(summary.title.find("\"quoted\"") != std::string::npos,
          "escaped title round-trips");
   expect(summary.paths.at(0).packets_sent == 1, "path0 packets_sent");
@@ -147,6 +158,13 @@ int SelfTest() {
          "handshake milestone");
   expect(summary.events_by_name.at("flow_control:blocked") == 1,
          "blocked event");
+  expect(summary.link_faults.at("down") == 1 &&
+             summary.link_faults.at("up") == 1 &&
+             summary.link_faults.at("burst-loss") == 1,
+         "link faults counted by kind");
+  expect(summary.events_by_name.at("sim:link_down") == 1 &&
+             summary.events_by_name.at("sim:fault") == 1,
+         "fault event names");
 
   if (failures == 0) {
     std::stringstream replay(stream.str());
