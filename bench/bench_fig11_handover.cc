@@ -54,6 +54,17 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       options.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--qlog") == 0 && i + 1 < argc) {
+      // NDJSON trace of the MPQUIC run (render with tools/mpq_trace):
+      // includes prof:lifecycle events, so the per-path ack-latency
+      // shift across the failover is visible per packet.
+      options.qlog_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      // One metrics-snapshot JSON line with the per-path
+      // path.N.lifecycle.acked_us histograms (p50/p99/p999).
+      options.metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--label") == 0 && i + 1 < argc) {
+      options.metrics_label = argv[++i];
     }
   }
   std::printf("=== Figure 11 ===\n");

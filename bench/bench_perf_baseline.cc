@@ -6,12 +6,20 @@
 // the committed BENCH_PR2.json is this program's output. Regenerate with
 //   ./build/bench/bench_perf_baseline --out BENCH_PR2.json
 // (see docs/PERFORMANCE.md; absolute numbers are machine-dependent).
+//
+//   --prof   additionally run one profiled engine transfer (MPQ_PROF
+//            scopes enabled) and embed the subsystem time breakdown +
+//            span dump under "prof" — the committed BENCH_PR6.json is
+//            the --prof output; render it with tools/mpq_prof
+//   --quick  skip the WSP sweep legs (the ci.sh perf gate only needs
+//            the engine number)
 #include <algorithm>
 #include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -22,6 +30,7 @@
 #include "harness/figures.h"
 #include "harness/parallel.h"
 #include "obs/json.h"
+#include "obs/prof.h"
 #include "quic/endpoint.h"
 #include "quic/wire.h"
 #include "sim/net.h"
@@ -122,18 +131,19 @@ AeadCost AeadMtuCost() {
 }
 
 struct EngineThroughput {
-  double wall_s = 0;
+  double wall_s = 0;        // median across reps
+  double total_wall_s = 0;  // sum across reps (profiler spans accumulate)
   std::uint64_t packets = 0;
 };
 
 /// One full 8 MB MPQUIC transfer over two 20 Mbps paths: exercises the
 /// whole datapath (scheduler, CC, crypto, wire, reassembly) and reports
 /// client packets processed per wall-clock second.
-EngineThroughput EngineTransfer() {
+EngineThroughput EngineTransfer(int reps = 5) {
   constexpr ByteCount kSize{8 * 1024 * 1024};
   EngineThroughput out;
   std::vector<double> walls;
-  for (int run = 0; run < 5; ++run) {
+  for (int run = 0; run < reps; ++run) {
     sim::Simulator sim;
     sim::Network net(sim, Rng(12345));
     std::array<sim::PathParams, 2> params;
@@ -189,6 +199,7 @@ EngineThroughput EngineTransfer() {
     out.packets = client.connection().stats().packets_sent +
                   client.connection().stats().packets_received;
   }
+  for (const double w : walls) out.total_wall_s += w;
   out.wall_s = Median(std::move(walls));
   return out;
 }
@@ -218,9 +229,15 @@ double SweepWallSeconds(int jobs) {
 
 int main(int argc, char** argv) {
   std::string out_path;
+  bool prof = false;
+  bool quick = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--prof") == 0) {
+      prof = true;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
     }
   }
 
@@ -228,11 +245,31 @@ int main(int argc, char** argv) {
   const AeadCost aead = AeadMtuCost();
   const EngineThroughput engine = EngineTransfer();
   const int jobs = harness::DefaultJobs();
-  const double sweep_serial_s = SweepWallSeconds(1);
-  const double sweep_parallel_s = jobs > 1 ? SweepWallSeconds(jobs)
-                                           : sweep_serial_s;
+  const double sweep_serial_s = quick ? 0.0 : SweepWallSeconds(1);
+  const double sweep_parallel_s =
+      quick ? 0.0
+            : (jobs > 1 ? SweepWallSeconds(jobs) : sweep_serial_s);
   const double engine_pps =
       static_cast<double>(engine.packets) / engine.wall_s;
+
+  // Profiled leg: a separate single engine transfer with the scopes
+  // recording, so the "current" engine numbers above stay comparable
+  // across PRs (profiling off) while the dump and the measured overhead
+  // land under "prof".
+  EngineThroughput profiled;
+  std::vector<obs::prof::SpanStats> spans;
+  if (prof) {
+    if (!obs::prof::kCompiledIn) {
+      std::fprintf(stderr,
+                   "--prof requires a build with -DMPQ_PROF=ON\n");
+      return 2;
+    }
+    obs::prof::Reset();
+    obs::prof::SetEnabled(true);
+    profiled = EngineTransfer(/*reps=*/3);
+    obs::prof::SetEnabled(false);
+    spans = obs::prof::Snapshot();
+  }
 
   obs::JsonWriter writer;
   writer.BeginObject();
@@ -262,7 +299,42 @@ int main(int argc, char** argv) {
   writer.Key("engine_speedup_vs_baseline")
       .Double(engine_pps / kBaselineEnginePacketsPerSec);
   writer.Key("sweep_parallel_speedup")
-      .Double(sweep_serial_s / sweep_parallel_s);
+      .Double(sweep_parallel_s > 0 ? sweep_serial_s / sweep_parallel_s
+                                   : 0.0);
+  if (quick) writer.Key("quick").Bool(true);
+  if (prof) {
+    // Spans accumulate across every profiled rep, so share-of-wall math
+    // uses the summed wall; overhead compares the medians.
+    const double wall_ns = profiled.total_wall_s * 1e9;
+    std::uint64_t total_self = 0;
+    std::map<std::string, std::uint64_t> by_subsystem;
+    for (const auto& span : spans) {
+      total_self += span.self_ns;
+      by_subsystem[span.leaf.substr(0, span.leaf.find(';'))] +=
+          span.self_ns;
+    }
+    writer.Key("prof");
+    writer.BeginObject();
+    writer.Key("engine_wall_ns").Double(wall_ns);
+    writer.Key("engine_wall_s").Double(profiled.wall_s);
+    writer.Key("engine_packets").UInt(profiled.packets);
+    writer.Key("overhead_pct")
+        .Double(100.0 * (profiled.wall_s - engine.wall_s) / engine.wall_s);
+    // Share of the profiled run's wall time attributed to each
+    // subsystem (self time of its scopes); the sum is "coverage" — the
+    // fraction of engine wall the profiler can account for.
+    writer.Key("coverage")
+        .Double(static_cast<double>(total_self) / wall_ns);
+    writer.Key("subsystems");
+    writer.BeginObject();
+    for (const auto& [name, self_ns] : by_subsystem) {
+      writer.Key(name).Double(static_cast<double>(self_ns) / wall_ns);
+    }
+    writer.EndObject();
+    writer.Key("spans");
+    obs::prof::WriteSpans(writer);
+    writer.EndObject();
+  }
   writer.EndObject();
 
   if (!out_path.empty()) {

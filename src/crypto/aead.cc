@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/prof.h"
+
 namespace mpq::crypto {
 
 std::array<std::uint8_t, 32> Kdf32(std::span<const std::uint8_t> secret,
@@ -76,6 +78,7 @@ std::vector<std::uint8_t> PacketProtection::Seal(
 void PacketProtection::SealInPlace(PathId path, PacketNumber pn,
                                    std::span<const std::uint8_t> aad,
                                    std::span<std::uint8_t> buf) const {
+  MPQ_PROF_SCOPE("crypto/seal");
   const ChaChaNonce nonce = MakeNonce(path, pn);
   const std::span<std::uint8_t> text = buf.first(buf.size() - kAeadTagSize);
   ChaCha20Xor(cipher_key_, 1, nonce, text);
@@ -90,6 +93,7 @@ bool PacketProtection::Open(PathId path, PacketNumber pn,
                             std::span<const std::uint8_t> aad,
                             std::span<const std::uint8_t> sealed,
                             std::vector<std::uint8_t>& out) const {
+  MPQ_PROF_SCOPE("crypto/open");
   if (sealed.size() < kAeadTagSize) return false;
   const std::span<const std::uint8_t> ciphertext =
       sealed.subspan(0, sealed.size() - kAeadTagSize);
@@ -112,6 +116,7 @@ bool PacketProtection::OpenInPlace(PathId path, PacketNumber pn,
                                    std::span<const std::uint8_t> aad,
                                    std::span<std::uint8_t> buf,
                                    std::size_t& plaintext_len) const {
+  MPQ_PROF_SCOPE("crypto/open");
   if (buf.size() < kAeadTagSize) return false;
   const std::span<std::uint8_t> ciphertext =
       buf.first(buf.size() - kAeadTagSize);

@@ -400,6 +400,31 @@ std::vector<HandoverSample> RunQuicHandover(const HandoverOptions& options) {
   quic::ClientEndpoint client(sim, net, client_locals, config,
                               options.seed * 2 + 2);
 
+  // Observability sinks, attached to the client connection (the vantage
+  // that measures response delay). Same lifetime discipline as
+  // RunQuicTransfer: sinks outlive the connection, empty mux = no tracer.
+  std::ofstream qlog_out;
+  std::unique_ptr<obs::QlogTracer> qlog;
+  obs::MetricsRegistry registry;
+  std::unique_ptr<obs::MetricsTracer> metrics;
+  obs::TracerMux mux;
+  if (!options.qlog_path.empty()) {
+    qlog_out.open(options.qlog_path, std::ios::trunc);
+    if (qlog_out.is_open()) {
+      qlog = std::make_unique<obs::QlogTracer>(qlog_out,
+                                               options.metrics_label);
+      mux.Add(qlog.get());
+    } else {
+      std::fprintf(stderr, "warning: cannot open qlog output %s\n",
+                   options.qlog_path.c_str());
+    }
+  }
+  if (!options.metrics_path.empty()) {
+    metrics = std::make_unique<obs::MetricsTracer>(registry);
+    mux.Add(metrics.get());
+  }
+  if (mux.size() > 0) client.connection().SetTracer(&mux);
+
   std::vector<HandoverSample> samples;
   std::vector<StreamId> request_stream_of;  // sample index -> stream id
   client.connection().SetStreamDataHandler(
@@ -430,6 +455,34 @@ std::vector<HandoverSample> RunQuicHandover(const HandoverOptions& options) {
 
   sim::SchedulePathFaults(sim, topo, HandoverFaults(options));
   sim.Run(options.end_time + 10 * kSecond);
+
+  if (metrics != nullptr) {
+    std::size_t answered = 0;
+    for (const HandoverSample& sample : samples) {
+      if (sample.answered) ++answered;
+    }
+    obs::JsonWriter writer;
+    writer.BeginObject();
+    writer.Key("label").String(options.metrics_label);
+    writer.Key("protocol")
+        .String(options.single_path_migration ? "QUIC-migration" : "MPQUIC");
+    writer.Key("seed").UInt(options.seed);
+    writer.Key("requests").UInt(samples.size());
+    writer.Key("answered").UInt(answered);
+    writer.Key("metrics");
+    registry.WriteJson(writer);
+    writer.EndObject();
+
+    static std::mutex handover_metrics_mutex;
+    const std::lock_guard<std::mutex> lock(handover_metrics_mutex);
+    std::ofstream out(options.metrics_path, std::ios::app);
+    if (out.is_open()) {
+      out << writer.str() << '\n';
+    } else {
+      std::fprintf(stderr, "warning: cannot open metrics output %s\n",
+                   options.metrics_path.c_str());
+    }
+  }
   return samples;
 }
 

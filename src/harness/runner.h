@@ -124,6 +124,15 @@ struct HandoverOptions {
   /// Scheduler for the MPQUIC variant (kRedundant duplicates every
   /// request on both paths: zero-interruption handover at 2x cost).
   quic::SchedulerType scheduler = quic::SchedulerType::kLowestRtt;
+  /// Observability (mirrors TransferOptions): when set, a qlog NDJSON
+  /// trace / one metrics-snapshot JSON line is written for the client
+  /// connection — the vantage that measures response delay. The metrics
+  /// snapshot includes the per-path packet-lifecycle latency histograms
+  /// ("path.N.lifecycle.acked_us"), which is how the handover's
+  /// before/after-failure latency shift is quantified without a trace.
+  std::string qlog_path;
+  std::string metrics_path;
+  std::string metrics_label = "mpq-handover";
 };
 
 struct HandoverSample {

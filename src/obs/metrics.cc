@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <limits>
 
 namespace mpq::obs {
 
@@ -36,9 +37,43 @@ void Histogram::Record(std::int64_t value) {
     min_ = std::min(min_, value);
     max_ = std::max(max_, value);
   }
-  sum_ += value;
+  AddToSum(static_cast<std::uint64_t>(value));
   ++count_;
   ++buckets_[BucketIndex(value)];
+}
+
+void Histogram::AddToSum(std::uint64_t value) {
+#if defined(__SIZEOF_INT128__)
+  sum_ += static_cast<SumType>(value);
+#else
+  if (sum_ > std::numeric_limits<std::uint64_t>::max() - value) {
+    sum_ = std::numeric_limits<std::uint64_t>::max();
+    sum_saturated_ = true;
+  } else {
+    sum_ += value;
+  }
+#endif
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+#if defined(__SIZEOF_INT128__)
+  sum_ += other.sum_;
+#else
+  AddToSum(other.sum_);
+  sum_saturated_ = sum_saturated_ || other.sum_saturated_;
+#endif
 }
 
 double Histogram::Percentile(double p) const {
@@ -77,7 +112,9 @@ void Histogram::WriteJson(JsonWriter& writer) const {
   writer.Key("p50").Double(Percentile(50));
   writer.Key("p90").Double(Percentile(90));
   writer.Key("p99").Double(Percentile(99));
+  writer.Key("p999").Double(Percentile(99.9));
   writer.Key("max").Int(max());
+  if (sum_saturated_) writer.Key("sum_saturated").Bool(true);
   writer.EndObject();
 }
 

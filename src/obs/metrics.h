@@ -56,6 +56,11 @@ class Histogram {
 
   void Record(std::int64_t value);
 
+  /// Fold `other` into this histogram (bucket-wise add; min/max/sum/count
+  /// combine). Used to aggregate per-thread profiler spans into registry
+  /// histograms.
+  void Merge(const Histogram& other);
+
   std::uint64_t count() const { return count_; }
   std::int64_t min() const { return count_ == 0 ? 0 : min_; }
   std::int64_t max() const { return count_ == 0 ? 0 : max_; }
@@ -64,19 +69,35 @@ class Histogram {
                        : static_cast<double>(sum_) /
                              static_cast<double>(count_);
   }
+  /// True if the running sum hit the accumulator's ceiling and mean() is
+  /// a lower bound. Unreachable when 128-bit accumulation is available.
+  bool sum_saturated() const { return sum_saturated_; }
 
   /// Approximate percentile, p in [0, 100]: midpoint of the bucket the
   /// rank falls into, clamped to the exact recorded [min, max]. 0 when
   /// empty.
   double Percentile(double p) const;
 
-  /// {"count":..,"min":..,"mean":..,"p50":..,"p90":..,"p99":..,"max":..}
+  /// {"count":..,"min":..,"mean":..,"p50":..,"p90":..,"p99":..,
+  ///  "p999":..,"max":..}
   void WriteJson(JsonWriter& writer) const;
 
  private:
+  // Nanosecond-scale values over long sweeps overflow a 64-bit signed
+  // sum (2^63 ns ≈ 292 years, but 2^63 total is reached by ~10^10
+  // millisecond-scale samples). Accumulate in 128 bits where the
+  // compiler provides it; otherwise saturate and flag.
+#if defined(__SIZEOF_INT128__)
+  using SumType = unsigned __int128;
+#else
+  using SumType = std::uint64_t;
+#endif
+  void AddToSum(std::uint64_t value);
+
   std::array<std::uint64_t, kBucketCount> buckets_{};
   std::uint64_t count_ = 0;
-  std::int64_t sum_ = 0;
+  SumType sum_ = 0;
+  bool sum_saturated_ = false;
   std::int64_t min_ = 0;
   std::int64_t max_ = 0;
 };

@@ -22,6 +22,8 @@ class MetricsTracer final : public quic::ConnectionTracer {
   void OnPacketReceived(TimePoint now, PathId path, PacketNumber pn,
                         ByteCount bytes) override;
   void OnPacketLost(TimePoint now, PathId path, PacketNumber pn) override;
+  void OnPacketLifecycle(TimePoint now, PathId path, PacketNumber pn,
+                         const char* stage, Duration since_sent) override;
   void OnFrameSent(TimePoint now, PathId path,
                    const quic::Frame& frame) override;
   void OnFrameReceived(TimePoint now, PathId path,

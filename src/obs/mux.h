@@ -36,6 +36,12 @@ class TracerMux final : public quic::ConnectionTracer {
   void OnPacketLost(TimePoint now, PathId path, PacketNumber pn) override {
     for (auto* sink : sinks_) sink->OnPacketLost(now, path, pn);
   }
+  void OnPacketLifecycle(TimePoint now, PathId path, PacketNumber pn,
+                         const char* stage, Duration since_sent) override {
+    for (auto* sink : sinks_) {
+      sink->OnPacketLifecycle(now, path, pn, stage, since_sent);
+    }
+  }
   void OnFrameSent(TimePoint now, PathId path,
                    const quic::Frame& frame) override {
     for (auto* sink : sinks_) sink->OnFrameSent(now, path, frame);

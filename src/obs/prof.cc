@@ -1,0 +1,309 @@
+#include "obs/prof.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace mpq::obs::prof {
+namespace detail {
+
+// One node per distinct (parent, label) pair in a thread's scope tree.
+// Labels are string literals at the call sites, so pointer comparison is
+// the fast path; strcmp covers the same label spelled in two translation
+// units.
+struct Node {
+  const char* label = nullptr;
+  Node* parent = nullptr;
+  void* owner = nullptr;  // owning Collector; lets Exit() skip the TLS lookup
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;  // inclusive
+  Histogram hist;              // distribution of inclusive span durations
+  std::vector<std::unique_ptr<Node>> children;
+
+  Node* Child(const char* child_label) {
+    for (const auto& child : children) {
+      if (child->label == child_label ||
+          std::strcmp(child->label, child_label) == 0) {
+        return child.get();
+      }
+    }
+    children.push_back(std::make_unique<Node>());
+    Node* child = children.back().get();
+    child->label = child_label;
+    child->parent = this;
+    child->owner = owner;
+    return child;
+  }
+};
+
+namespace {
+
+// Per-thread collector: a tree rooted at a label-less node plus the
+// cursor the next Enter() descends from. Registered globally so
+// Snapshot() sees every thread; on thread exit the tree is merged into
+// the retained tree under the registry lock.
+class Collector {
+ public:
+  Collector();
+  ~Collector();
+
+  static Collector* Of(Node* node) {
+    return static_cast<Collector*>(node->owner);
+  }
+
+  Node* Enter(const char* label) {
+    current_ = current_->Child(label);
+    return current_;
+  }
+  void Exit(Node* node, std::uint64_t elapsed_ns) {
+    node->count += 1;
+    node->total_ns += elapsed_ns;
+    node->hist.Record(static_cast<std::int64_t>(
+        std::min<std::uint64_t>(elapsed_ns, INT64_MAX)));
+    current_ = node->parent != nullptr ? node->parent : &root_;
+  }
+
+  Node root_;
+  Node* current_ = &root_;
+};
+
+struct GlobalRegistry {
+  std::mutex mu;
+  std::vector<Collector*> live;
+  Node retained;  // merged trees of threads that have exited
+};
+
+GlobalRegistry& Registry() {
+  // Intentionally leaked: collectors of detached threads may unregister
+  // during process teardown, after static destructors would have run.
+  static GlobalRegistry* registry =
+      new GlobalRegistry();  // NOLINT(mpq-naked-new): immortal singleton
+  return *registry;
+}
+
+// Merge `from`'s subtree into `into` (labels matched by strcmp).
+void MergeTree(const Node& from, Node* into) {
+  into->count += from.count;
+  into->total_ns += from.total_ns;
+  into->hist.Merge(from.hist);
+  for (const auto& child : from.children) {
+    MergeTree(*child, into->Child(child->label));
+  }
+}
+
+void ZeroTree(Node* node) {
+  node->count = 0;
+  node->total_ns = 0;
+  node->hist = Histogram();
+  for (const auto& child : node->children) ZeroTree(child.get());
+}
+
+Collector& ThreadCollector() {
+  thread_local Collector collector;
+  return collector;
+}
+
+Collector::Collector() {
+  root_.owner = this;
+  auto& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.live.push_back(this);
+}
+
+Collector::~Collector() {
+  auto& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (const auto& child : root_.children) {
+    MergeTree(*child, registry.retained.Child(child->label));
+  }
+  registry.live.erase(
+      std::remove(registry.live.begin(), registry.live.end(), this),
+      registry.live.end());
+}
+
+// "crypto/seal" -> "crypto;seal": scope labels use '/' between
+// components; folded stacks separate every frame with ';'.
+std::string NormalizeLabel(const char* label) {
+  std::string out(label);
+  std::replace(out.begin(), out.end(), '/', ';');
+  return out;
+}
+
+void CollectStats(const Node& node, const std::string& prefix,
+                  std::vector<SpanStats>* out) {
+  // Reset() zeroes live trees in place (node identity must survive for
+  // open scopes); zeroed nodes are structure, not data — skip them.
+  if (node.count == 0) {
+    for (const auto& child : node.children) {
+      CollectStats(*child, prefix + ';' + NormalizeLabel(child->label), out);
+    }
+    return;
+  }
+  std::uint64_t children_total = 0;
+  for (const auto& child : node.children) children_total += child->total_ns;
+
+  SpanStats stats;
+  stats.stack = prefix;
+  stats.leaf = NormalizeLabel(node.label);
+  stats.count = node.count;
+  stats.total_ns = node.total_ns;
+  stats.self_ns =
+      node.total_ns > children_total ? node.total_ns - children_total : 0;
+  stats.p50_ns = node.hist.Percentile(50);
+  stats.p99_ns = node.hist.Percentile(99);
+  stats.p999_ns = node.hist.Percentile(99.9);
+  stats.max_ns = node.hist.max();
+  out->push_back(std::move(stats));
+
+  for (const auto& child : node.children) {
+    CollectStats(*child, prefix + ';' + NormalizeLabel(child->label),
+                 out);
+  }
+}
+
+// Snapshot under the registry lock: retained tree plus every live
+// thread's tree, merged into one scratch tree.
+void MergedSnapshot(Node* scratch) {
+  auto& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (const auto& child : registry.retained.children) {
+    MergeTree(*child, scratch->Child(child->label));
+  }
+  for (const Collector* collector : registry.live) {
+    for (const auto& child : collector->root_.children) {
+      MergeTree(*child, scratch->Child(child->label));
+    }
+  }
+}
+
+}  // namespace
+
+Node* Enter(const char* label) { return ThreadCollector().Enter(label); }
+
+void Exit(Node* node, std::uint64_t elapsed_ns) {
+  Collector::Of(node)->Exit(node, elapsed_ns);
+}
+
+}  // namespace detail
+
+namespace {
+
+// Measure nanoseconds per ReadTicks() tick once, against MonotonicNanos()
+// over a ~2 ms window. Invariant-TSC x86 and the aarch64 virtual counter
+// are constant-rate, so one calibration holds for the process lifetime.
+double CalibrateNsPerTick() {
+  const std::uint64_t ns0 = MonotonicNanos();
+  const std::uint64_t t0 = detail::ReadTicks();
+  std::uint64_t ns1 = ns0;
+  std::uint64_t t1 = t0;
+  while (ns1 - ns0 < 2'000'000) {  // 2 ms
+    ns1 = MonotonicNanos();
+    t1 = detail::ReadTicks();
+  }
+  if (t1 == t0) return 1.0;  // tick source is itself nanoseconds (or broken)
+  return static_cast<double>(ns1 - ns0) / static_cast<double>(t1 - t0);
+}
+
+}  // namespace
+
+void SetEnabled(bool on) {
+  if (on) {
+    static const double ns_per_tick = CalibrateNsPerTick();
+    detail::g_ns_per_tick = ns_per_tick;
+  }
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool Enabled() { return detail::g_enabled.load(std::memory_order_relaxed); }
+
+void Reset() {
+  auto& registry = detail::Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.retained.children.clear();
+  // Live trees are zeroed, not freed: another thread (or an enclosing
+  // scope on this one) may hold Node pointers for spans still open.
+  for (detail::Collector* collector : registry.live) {
+    detail::ZeroTree(&collector->root_);
+  }
+}
+
+std::vector<SpanStats> Snapshot() {
+  detail::Node scratch;
+  detail::MergedSnapshot(&scratch);
+  std::vector<SpanStats> out;
+  for (const auto& child : scratch.children) {
+    detail::CollectStats(*child, detail::NormalizeLabel(child->label), &out);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanStats& a, const SpanStats& b) {
+              return a.stack < b.stack;
+            });
+  return out;
+}
+
+std::string FoldedStacks() {
+  std::string out;
+  for (const SpanStats& span : Snapshot()) {
+    if (span.self_ns == 0) continue;
+    out += span.stack;
+    out += ' ';
+    out += std::to_string(span.self_ns);
+    out += '\n';
+  }
+  return out;
+}
+
+void ExportTo(MetricsRegistry& registry) {
+  detail::Node scratch;
+  detail::MergedSnapshot(&scratch);
+  // Walk with the histograms still attached (SpanStats only carries
+  // percentiles); metric name = "prof." + stack with '.' separators.
+  struct Walker {
+    MetricsRegistry* registry;
+    void Walk(const detail::Node& node, const std::string& prefix) {
+      if (node.count > 0) {
+        std::string name = "prof." + prefix + "_ns";
+        std::replace(name.begin(), name.end(), ';', '.');
+        registry->GetHistogram(name).Merge(node.hist);
+      }
+      for (const auto& child : node.children) {
+        Walk(*child,
+             prefix + ';' + detail::NormalizeLabel(child->label));
+      }
+    }
+  } walker{&registry};
+  for (const auto& child : scratch.children) {
+    walker.Walk(*child, detail::NormalizeLabel(child->label));
+  }
+}
+
+void WriteSpans(JsonWriter& writer) {
+  writer.BeginArray();
+  for (const SpanStats& span : Snapshot()) {
+    writer.BeginObject();
+    writer.Key("stack").String(span.stack);
+    writer.Key("leaf").String(span.leaf);
+    writer.Key("count").UInt(span.count);
+    writer.Key("total_ns").UInt(span.total_ns);
+    writer.Key("self_ns").UInt(span.self_ns);
+    writer.Key("p50_ns").Double(span.p50_ns);
+    writer.Key("p99_ns").Double(span.p99_ns);
+    writer.Key("p999_ns").Double(span.p999_ns);
+    writer.Key("max_ns").Int(span.max_ns);
+    writer.EndObject();
+  }
+  writer.EndArray();
+}
+
+void WriteJson(JsonWriter& writer) {
+  writer.BeginObject();
+  writer.Key("spans");
+  WriteSpans(writer);
+  writer.EndObject();
+}
+
+}  // namespace mpq::obs::prof

@@ -1,0 +1,191 @@
+// In-process datapath profiler: lightweight scoped timers recording into
+// per-thread hierarchical span collectors.
+//
+//   void Seal(...) {
+//     MPQ_PROF_SCOPE("crypto/seal");
+//     ...
+//   }
+//
+// Design:
+//  - Each thread owns a tree of Nodes keyed by the scope's string-literal
+//    label; entering a scope walks one edge (find-or-create child),
+//    leaving it records the elapsed MonotonicNanos() into the node's
+//    count/total and a per-node log-linear Histogram. Nesting therefore
+//    yields hierarchical stacks ("sim;event;dispatch;packet;crypto;open")
+//    for free, with no sampling and no symbolization.
+//  - A relaxed atomic enable flag gates recording at runtime: scopes in
+//    a binary built with MPQ_PROF cost one load+branch while disabled.
+//  - When MPQ_PROF is not defined (cmake -DMPQ_PROF=OFF), MPQ_PROF_SCOPE
+//    expands to a constexpr-evaluable no-op — provably zero-cost; see
+//    tests/prof_disabled_test.cc for the negative proof.
+//  - Snapshot() merges the calling thread, all other registered threads,
+//    and the retained trees of exited threads. Take snapshots while other
+//    instrumented threads are quiescent (the harness joins its workers
+//    first); concurrent recording on *other* threads during a snapshot
+//    can tear counts but cannot crash.
+//
+// Label convention: '/'-separated components, first component = subsystem
+// ("crypto/seal", "assembly/packet"). Folded output rewrites '/' to ';'
+// and joins nested scopes with ';' — the exact format flamegraph.pl and
+// speedscope ingest: "sim;event;crypto;seal 12345".
+//
+// This header is a foundation-layer leaf: everything under src/ may
+// include it (the mpq-layering lint rule special-cases "obs/prof"), and
+// it depends only on src/common. Raw MonotonicNanos() timing anywhere
+// else in src/ is rejected by the mpq-prof-clock lint rule.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace mpq::obs {
+class JsonWriter;
+class MetricsRegistry;
+}  // namespace mpq::obs
+
+namespace mpq::obs::prof {
+
+// Compile-time gate. MPQ_PROF is defined by the build system (cmake
+// option MPQ_PROF, default ON); MPQ_PROF_FORCE_OFF lets a single test
+// translation unit observe the disabled configuration without a separate
+// build tree.
+#if defined(MPQ_PROF) && !defined(MPQ_PROF_FORCE_OFF)
+inline constexpr bool kCompiledIn = true;
+#else
+inline constexpr bool kCompiledIn = false;
+#endif
+
+namespace detail {
+
+struct Node;  // opaque; defined in prof.cc
+
+// Runtime gate, read with relaxed ordering on every scope entry. Inline
+// so the disabled-at-runtime cost is one predictable branch.
+inline std::atomic<bool> g_enabled{false};
+
+// Nanoseconds per ReadTicks() tick, calibrated against MonotonicNanos()
+// by SetEnabled(true). Scopes multiply by this on exit, so all recorded
+// durations are nanoseconds regardless of the tick source. Written
+// before g_enabled flips on; plain double is fine for the single
+// enabling thread + threads it subsequently spawns.
+inline double g_ns_per_tick = 1.0;
+
+/// Cheapest available monotonic-ish timestamp for span deltas: raw TSC
+/// on x86-64, the virtual counter on aarch64, MonotonicNanos() (one
+/// clock_gettime) elsewhere. A raw cycle counter halves the per-scope
+/// cost versus two clock_gettime calls, which is what keeps profiled
+/// engine runs within the overhead budget. Frequency drift over a bench
+/// run is negligible on invariant-TSC hardware; the profiler is a
+/// measurement tool, not a clock.
+inline std::uint64_t ReadTicks() {
+#if defined(__x86_64__)
+  std::uint32_t lo, hi;
+  asm volatile("rdtsc" : "=a"(lo), "=d"(hi));
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+#elif defined(__aarch64__)
+  std::uint64_t ticks;
+  asm volatile("mrs %0, cntvct_el0" : "=r"(ticks));
+  return ticks;
+#else
+  return MonotonicNanos();
+#endif
+}
+
+/// Descend from the calling thread's current node to the child labelled
+/// `label` (created on first use) and make it current. Returns the child.
+Node* Enter(const char* label);
+
+/// Record one completed span on `node` and pop back to its parent.
+void Exit(Node* node, std::uint64_t elapsed_ns);
+
+}  // namespace detail
+
+/// Turn recording on/off globally. Scopes opened while disabled record
+/// nothing (including their close, even if recording is enabled while
+/// they are live).
+void SetEnabled(bool on);
+bool Enabled();
+
+/// Drop all recorded spans (live threads' stats are zeroed in place;
+/// retained trees of exited threads are discarded). Node identity stays
+/// valid, so Reset() is safe while scopes are live on the calling thread.
+void Reset();
+
+/// One aggregated span stack, merged across threads.
+struct SpanStats {
+  std::string stack;      // "sim;event;crypto;seal"
+  std::string leaf;       // innermost scope label, normalized: "crypto;seal"
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;  // inclusive
+  std::uint64_t self_ns = 0;   // inclusive minus children's inclusive
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
+  double p999_ns = 0.0;
+  std::int64_t max_ns = 0;
+};
+
+/// Merged view of every recorded span, sorted by stack string.
+std::vector<SpanStats> Snapshot();
+
+/// flamegraph.pl / speedscope collapsed-stack format: one
+/// "stack self_ns" line per span with nonzero self time.
+std::string FoldedStacks();
+
+/// Merge every span's duration histogram into `registry` under
+/// "prof.<stack>_ns" (stack components joined with '.'), so profiles
+/// land in the same snapshot JSON as the rest of the metrics.
+void ExportTo(MetricsRegistry& registry);
+
+/// {"spans":[{"stack":..,"leaf":..,"count":..,"total_ns":..,"self_ns":..,
+///            "p50_ns":..,"p99_ns":..,"p999_ns":..,"max_ns":..},...]}
+/// — the profile-dump format tools/mpq_prof consumes.
+void WriteJson(JsonWriter& writer);
+
+/// Just the spans array (a JSON value), for embedding a profile inside a
+/// larger document (bench_perf_baseline --prof nests one in BENCH json).
+void WriteSpans(JsonWriter& writer);
+
+/// RAII span. Prefer the MPQ_PROF_SCOPE macro, which compiles out
+/// entirely when MPQ_PROF is off.
+class Scope {
+ public:
+  explicit Scope(const char* label) {
+    if (detail::g_enabled.load(std::memory_order_relaxed)) {
+      node_ = detail::Enter(label);
+      start_ticks_ = detail::ReadTicks();
+    }
+  }
+  ~Scope() {
+    if (node_ != nullptr) {
+      const std::uint64_t ticks = detail::ReadTicks() - start_ticks_;
+      detail::Exit(node_, static_cast<std::uint64_t>(
+                              static_cast<double>(ticks) *
+                              detail::g_ns_per_tick));
+    }
+  }
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  detail::Node* node_ = nullptr;
+  std::uint64_t start_ticks_ = 0;
+};
+
+}  // namespace mpq::obs::prof
+
+#if defined(MPQ_PROF) && !defined(MPQ_PROF_FORCE_OFF)
+#define MPQ_PROF_CONCAT_INNER(a, b) a##b
+#define MPQ_PROF_CONCAT(a, b) MPQ_PROF_CONCAT_INNER(a, b)
+#define MPQ_PROF_SCOPE(label) \
+  ::mpq::obs::prof::Scope MPQ_PROF_CONCAT(mpq_prof_scope_, __LINE__)(label)
+#else
+// Constexpr-evaluable no-op: a constexpr function body containing
+// MPQ_PROF_SCOPE(...) compiles only in this configuration, which is how
+// tests/prof_disabled_test.cc proves the macro leaves no residue.
+#define MPQ_PROF_SCOPE(label) \
+  static_cast<void>(0)
+#endif

@@ -129,6 +129,17 @@ void QlogTracer::OnPacketLost(TimePoint now, PathId path, PacketNumber pn) {
   FinishEvent();
 }
 
+void QlogTracer::OnPacketLifecycle(TimePoint now, PathId path,
+                                   PacketNumber pn, const char* stage,
+                                   Duration since_sent) {
+  JsonWriter& writer = StartEvent(now, "prof:lifecycle");
+  writer.Key("path").UInt(path.value());
+  writer.Key("pn").UInt(pn.value());
+  writer.Key("stage").String(stage);
+  writer.Key("since_sent_us").Int(since_sent);
+  FinishEvent();
+}
+
 void QlogTracer::OnFrameSent(TimePoint now, PathId path,
                              const quic::Frame& frame) {
   FrameEvent(now, "transport:frame_sent", path, frame);

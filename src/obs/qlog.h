@@ -19,6 +19,9 @@
 //   recovery:rto              {path,consecutive}
 //   recovery:frame_requeued   {path,frame}
 //   flow_control:blocked      {stream}
+//   prof:lifecycle            {path,pn,stage,since_sent_us}
+//                             (stage = "acked" | "lost": sent→terminal
+//                              latency of one packet, simulated time)
 //   sim:link_down             {path}            (fault injection)
 //   sim:link_up               {path}
 //   sim:fault                 {path,kind,value} (loss / reconfigure / burst)
@@ -52,6 +55,8 @@ class QlogTracer final : public quic::ConnectionTracer {
   void OnPacketReceived(TimePoint now, PathId path, PacketNumber pn,
                         ByteCount bytes) override;
   void OnPacketLost(TimePoint now, PathId path, PacketNumber pn) override;
+  void OnPacketLifecycle(TimePoint now, PathId path, PacketNumber pn,
+                         const char* stage, Duration since_sent) override;
   void OnFrameSent(TimePoint now, PathId path,
                    const quic::Frame& frame) override;
   void OnFrameReceived(TimePoint now, PathId path,

@@ -131,6 +131,14 @@ TraceSummary ReadTrace(std::istream& in) {
     } else if (name == "recovery:frame_requeued") {
       ++summary.paths[path].frames_requeued;
       ++summary.frames_requeued_by_type[FieldString(data, "frame")];
+    } else if (name == "prof:lifecycle") {
+      auto& p = summary.paths[path];
+      const double us = static_cast<double>(FieldInt(data, "since_sent_us"));
+      if (FieldString(data, "stage") == "lost") {
+        p.lost_latency_us.push_back(us);
+      } else {
+        p.acked_latency_us.push_back(us);
+      }
     } else if (name == "recovery:rto") {
       ++summary.paths[path].rtos;
     } else if (name == "transport:handshake") {

@@ -24,6 +24,10 @@ struct PathSummary {
   std::uint64_t rtos = 0;
   std::vector<double> cwnd_samples;  // from recovery:metrics_updated
   std::vector<double> srtt_samples_us;
+  // Packet-lifecycle latencies from prof:lifecycle events: simulated µs
+  // from transmission to the terminal ack / loss declaration.
+  std::vector<double> acked_latency_us;
+  std::vector<double> lost_latency_us;
 };
 
 struct TraceSummary {

@@ -5,6 +5,7 @@
 #include <variant>
 
 #include "common/log.h"
+#include "obs/prof.h"
 
 namespace mpq::quic {
 
@@ -63,6 +64,7 @@ void RecoveryManager::OnAckReceived(Path& path, const AckFrame& ack) {
              static_cast<unsigned long long>(path.largest_sent().value()));
     return;
   }
+  MPQ_PROF_SCOPE("recovery/ack");
   PathRecovery& rec = paths_.at(path.id());
   const bool was_failed = path.potentially_failed();
   Path::AckResult result = path.OnAckReceived(ack, sim_.now());
@@ -76,6 +78,10 @@ void RecoveryManager::OnAckReceived(Path& path, const AckFrame& ack) {
                           path.rtt().smoothed());
   }
   for (const SentPacket& packet : result.newly_acked) {
+    if (tracer_ != nullptr) {
+      tracer_->OnPacketLifecycle(sim_.now(), ack.path_id, packet.pn, "acked",
+                                 sim_.now() - packet.sent_time);
+    }
     for (const Frame& frame : packet.frames) {
       if (std::holds_alternative<PingFrame>(frame)) {
         rec.ping_probe_outstanding = false;
@@ -107,6 +113,12 @@ void RecoveryManager::RequeueLostFrames(PathId path,
     stats_.bytes_retransmitted += FrameWireSize(frame);
   };
   for (SentPacket& packet : lost) {
+    // Terminal lifecycle event for the lost packet, whether the loss was
+    // ack-implied (OnAckReceived) or timer-driven (OnRetxTimer).
+    if (tracer_ != nullptr) {
+      tracer_->OnPacketLifecycle(sim_.now(), path, packet.pn, "lost",
+                                 sim_.now() - packet.sent_time);
+    }
     for (Frame& frame : packet.frames) {
       if (tracer_ != nullptr) {
         tracer_->OnFrameRetransmitQueued(sim_.now(), path, frame);
@@ -178,6 +190,7 @@ void RecoveryManager::RearmRetxTimer(PathRecovery& rec) {
 void RecoveryManager::OnRetxTimer(PathRecovery& rec) {
   Path& path = *rec.path;
   if (closed_) return;
+  MPQ_PROF_SCOPE("recovery/retx_timer");
   AuditOnExit audit(delegate_);
   if (sim_.now() >= path.NextLossTime()) {
     RequeueLostFrames(path.id(), path.DetectTimeThresholdLosses(sim_.now()));

@@ -35,6 +35,15 @@ class ConnectionTracer {
                                 PacketNumber /*pn*/, ByteCount /*bytes*/) {}
   virtual void OnPacketLost(TimePoint /*now*/, PathId /*path*/,
                             PacketNumber /*pn*/) {}
+  /// A sent packet reached a terminal state: `stage` is "acked" or
+  /// "lost", `since_sent` the simulated time from transmission to the
+  /// terminal event. Together with the profiler's in-process span
+  /// histograms (assembly/seal wall-nanoseconds) this completes the
+  /// packet-lifecycle accounting: enqueue→assemble→seal→send come from
+  /// MPQ_PROF_SCOPE spans, send→acked/lost from this hook.
+  virtual void OnPacketLifecycle(TimePoint /*now*/, PathId /*path*/,
+                                 PacketNumber /*pn*/, const char* /*stage*/,
+                                 Duration /*since_sent*/) {}
 
   // -- frame level --------------------------------------------------------
   /// Fired once per frame assembled into an outgoing packet, before the
@@ -142,6 +151,7 @@ class CountingTracer final : public ConnectionTracer {
   std::uint64_t packets_sent = 0;
   std::uint64_t packets_received = 0;
   std::uint64_t packets_lost = 0;
+  std::uint64_t lifecycle_events = 0;
   std::uint64_t frames_sent = 0;
   std::uint64_t frames_received = 0;
   std::uint64_t scheduler_decisions = 0;
@@ -170,6 +180,10 @@ class CountingTracer final : public ConnectionTracer {
   void OnPacketLost(TimePoint, PathId path, PacketNumber) override {
     ++packets_lost;
     ++packets_lost_by_path[path];
+  }
+  void OnPacketLifecycle(TimePoint, PathId, PacketNumber, const char*,
+                         Duration) override {
+    ++lifecycle_events;
   }
   void OnFrameSent(TimePoint, PathId, const Frame&) override {
     ++frames_sent;

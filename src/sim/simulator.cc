@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/prof.h"
+
 namespace mpq::sim {
 
 Simulator::EventId Simulator::ScheduleAt(TimePoint when, Callback fn) {
@@ -30,7 +32,14 @@ bool Simulator::RunOne(TimePoint until) {
     now_ = top.when;
     pending_.erase(it);
     ++events_executed_;
-    fn();
+    {
+      // Root span of the engine: every protocol callback (and therefore
+      // every nested dispatch/assembly/crypto/recovery span) runs inside
+      // one simulated event, so "sim;event" inclusive time ≈ engine wall
+      // time and its self time is the uninstrumented remainder.
+      MPQ_PROF_SCOPE("sim/event");
+      fn();
+    }
     return true;
   }
   return false;

@@ -83,6 +83,63 @@ TEST(Histogram, PercentilesApproximateUniformData) {
   EXPECT_EQ(h.Percentile(100), 10000.0);
 }
 
+TEST(Histogram, P999TracksTheExtremeTail) {
+  // 10000 samples at 100 plus 50 at 100000 (0.5% of the total): the
+  // p99.9 rank (~10040 of 10050) lands in the tail, p99 (~9950) stays
+  // in the body.
+  Histogram h;
+  for (int i = 0; i < 10000; ++i) h.Record(100);
+  for (int i = 0; i < 50; ++i) h.Record(100000);
+  EXPECT_NEAR(h.Percentile(99), 100.0, 100.0 * 0.07);
+  EXPECT_NEAR(h.Percentile(99.9), 100000.0, 100000.0 * 0.07);
+}
+
+TEST(Histogram, WriteJsonIncludesP999) {
+  Histogram h;
+  for (int v = 1; v <= 1000; ++v) h.Record(v);
+  JsonWriter writer;
+  h.WriteJson(writer);
+  const auto parsed = JsonValue::Parse(writer.str());
+  ASSERT_TRUE(parsed.has_value());
+  const JsonValue* p999 = parsed->Find("p999");
+  ASSERT_NE(p999, nullptr);
+  EXPECT_GE(p999->AsDouble(), parsed->Find("p99")->AsDouble());
+  EXPECT_EQ(parsed->Find("sum_saturated"), nullptr);  // only when flagged
+}
+
+TEST(Histogram, SumSurvivesValuesThatOverflowUint64) {
+  // Three INT64_MAX samples sum past 2^64. With 128-bit accumulation the
+  // mean is exact; without it the sum saturates and says so — either
+  // way mean() must not wrap around.
+  Histogram h;
+  for (int i = 0; i < 3; ++i) h.Record(INT64_MAX);
+  EXPECT_EQ(h.count(), 3u);
+  if (h.sum_saturated()) {
+    EXPECT_GT(h.mean(), 0.0);  // lower bound, not garbage
+  } else {
+    EXPECT_NEAR(h.mean(), static_cast<double>(INT64_MAX),
+                static_cast<double>(INT64_MAX) * 1e-9);
+  }
+}
+
+TEST(Histogram, MergeCombinesCountsExtremesAndSum) {
+  Histogram a;
+  Histogram b;
+  for (int v = 1; v <= 100; ++v) a.Record(v);
+  for (int v = 901; v <= 1000; ++v) b.Record(v);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.min(), 1);
+  EXPECT_EQ(a.max(), 1000);
+  EXPECT_NEAR(a.mean(), (5050.0 + 95050.0) / 200.0, 0.1);
+  EXPECT_NEAR(a.Percentile(50), 100.0, 100.0 * 0.07);
+
+  // Merging an empty histogram is a no-op.
+  a.Merge(Histogram{});
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.min(), 1);
+}
+
 TEST(Histogram, EmptyHistogramIsAllZeros) {
   const Histogram h;
   EXPECT_EQ(h.count(), 0u);
@@ -222,8 +279,10 @@ TEST(TracerMux, FansOutEveryEventToAllSinks) {
   mux.OnFlowControlBlocked(10, StreamId{0});
   mux.OnHandshakeEvent(11, "established");
   mux.OnPathStateChange(12, PathId{1}, "created");
+  mux.OnPacketLifecycle(13, PathId{0}, PacketNumber{1}, "acked", 450);
 
   for (const quic::CountingTracer* t : {&a, &b}) {
+    EXPECT_EQ(t->lifecycle_events, 1u);
     EXPECT_EQ(t->packets_sent, 1u);
     EXPECT_EQ(t->packets_received, 1u);
     EXPECT_EQ(t->packets_lost, 1u);
@@ -240,6 +299,38 @@ TEST(TracerMux, FansOutEveryEventToAllSinks) {
   }
 }
 
+TEST(TracerMux, DeliversToSinksInRegistrationOrder) {
+  // Fan-out order is part of the contract: a MetricsTracer registered
+  // before a QlogTracer sees every event first, so a qlog line never
+  // describes state a metrics snapshot taken "after" it lacks.
+  struct OrderTracer final : quic::ConnectionTracer {
+    OrderTracer(std::vector<std::string>* log, std::string name)
+        : log(log), name(std::move(name)) {}
+    std::vector<std::string>* log;
+    std::string name;
+    void OnPacketLost(TimePoint, PathId, PacketNumber) override {
+      log->push_back(name + ":lost");
+    }
+    void OnPacketLifecycle(TimePoint, PathId, PacketNumber, const char* stage,
+                           Duration) override {
+      log->push_back(name + ":" + stage);
+    }
+  };
+  std::vector<std::string> log;
+  OrderTracer first(&log, "first");
+  OrderTracer second(&log, "second");
+  TracerMux mux;
+  mux.Add(&first);
+  mux.Add(&second);
+
+  mux.OnPacketLost(1, PathId{0}, PacketNumber{7});
+  mux.OnPacketLifecycle(2, PathId{0}, PacketNumber{7}, "acked", 99);
+
+  const std::vector<std::string> expected = {"first:lost", "second:lost",
+                                             "first:acked", "second:acked"};
+  EXPECT_EQ(log, expected);
+}
+
 TEST(MetricsTracer, BindsEventsToRegistryMetrics) {
   MetricsRegistry registry;
   MetricsTracer tracer(registry);
@@ -252,6 +343,9 @@ TEST(MetricsTracer, BindsEventsToRegistryMetrics) {
   tracer.OnFrameSent(6, PathId{0}, quic::Frame(quic::AckFrame{PathId{0}, 123, {{PacketNumber{1}, PacketNumber{1}}}}));
   tracer.OnRto(7, PathId{1}, 1);
   tracer.OnHandshakeEvent(8, "established");
+  tracer.OnPacketLifecycle(9, PathId{0}, PacketNumber{1}, "acked", 420);
+  tracer.OnPacketLifecycle(10, PathId{0}, PacketNumber{2}, "acked", 380);
+  tracer.OnPacketLifecycle(11, PathId{1}, PacketNumber{1}, "lost", 9000);
 
   EXPECT_EQ(registry.GetCounter("packets_sent").value(), 2u);
   EXPECT_EQ(registry.GetCounter("packets_lost").value(), 1u);
@@ -265,6 +359,9 @@ TEST(MetricsTracer, BindsEventsToRegistryMetrics) {
   EXPECT_EQ(registry.GetHistogram("srtt_us").count(), 1u);
   EXPECT_EQ(registry.GetHistogram("ack_delay_us").count(), 1u);
   EXPECT_EQ(registry.GetHistogram("scheduler_decision_ns").count(), 1u);
+  EXPECT_EQ(registry.GetHistogram("path.0.lifecycle.acked_us").count(), 2u);
+  EXPECT_EQ(registry.GetHistogram("path.0.lifecycle.acked_us").max(), 420);
+  EXPECT_EQ(registry.GetHistogram("path.1.lifecycle.lost_us").count(), 1u);
 }
 
 // ---------------------------------------------------------------------------
@@ -293,6 +390,26 @@ TEST(QlogTracer, EventsRoundTripThroughReader) {
   EXPECT_EQ(summary.scheduler_reasons["lowest-rtt"], 1u);
   ASSERT_EQ(summary.paths[0].cwnd_samples.size(), 1u);
   EXPECT_EQ(summary.paths[0].cwnd_samples[0], 32768.0);
+}
+
+TEST(QlogTracer, LifecycleEventsRoundTripThroughReader) {
+  std::stringstream stream;
+  {
+    QlogTracer tracer(stream, "lifecycle");
+    tracer.OnPacketLifecycle(100, PathId{0}, PacketNumber{1}, "acked", 450);
+    tracer.OnPacketLifecycle(200, PathId{0}, PacketNumber{2}, "acked", 510);
+    tracer.OnPacketLifecycle(300, PathId{1}, PacketNumber{1}, "lost", 12000);
+    EXPECT_EQ(tracer.events_written(), 3u);
+  }
+  const auto summary = ReadTrace(stream);
+  EXPECT_EQ(summary.events, 3u);
+  EXPECT_EQ(summary.malformed, 0u);
+  ASSERT_EQ(summary.paths.at(0).acked_latency_us.size(), 2u);
+  EXPECT_EQ(summary.paths.at(0).acked_latency_us[0], 450.0);
+  EXPECT_EQ(summary.paths.at(0).acked_latency_us[1], 510.0);
+  ASSERT_EQ(summary.paths.at(1).lost_latency_us.size(), 1u);
+  EXPECT_EQ(summary.paths.at(1).lost_latency_us[0], 12000.0);
+  EXPECT_TRUE(summary.paths.at(0).lost_latency_us.empty());
 }
 
 TEST(QlogTracer, EveryLineIsValidJson) {

@@ -1,0 +1,48 @@
+// Negative proof that MPQ_PROF_SCOPE compiles to nothing when the
+// profiler is compiled out. This translation unit forces the disabled
+// configuration with MPQ_PROF_FORCE_OFF (equivalent to building the tree
+// with -DMPQ_PROF=OFF) while linking the same prof library as everything
+// else.
+//
+// The proof is the static_assert below: a constexpr function evaluated
+// at compile time may not construct objects with non-constexpr
+// constructors, take clocks, or touch thread-locals — so if
+// MPQ_PROF_SCOPE left any runtime residue in this configuration, the
+// assert would fail to compile. Behavior with the macro compiled out is
+// therefore byte-identical to not writing it at all.
+#define MPQ_PROF_FORCE_OFF 1
+
+#include <gtest/gtest.h>
+
+#include "obs/prof.h"
+
+namespace mpq::obs::prof {
+namespace {
+
+static_assert(!kCompiledIn,
+              "MPQ_PROF_FORCE_OFF must select the disabled configuration");
+
+constexpr int BodyWithScope() {
+  MPQ_PROF_SCOPE("crypto/seal");
+  return 42;
+}
+static_assert(BodyWithScope() == 42,
+              "MPQ_PROF_SCOPE must be constexpr-evaluable (zero residue) "
+              "when compiled out");
+
+TEST(ProfDisabled, MacroRecordsNothingEvenWhenEnabled) {
+  // The library itself is still linked (and may be compiled with
+  // MPQ_PROF), but every scope in THIS translation unit is compiled out:
+  // enabling the runtime gate records nothing.
+  SetEnabled(true);
+  for (int i = 0; i < 10; ++i) {
+    MPQ_PROF_SCOPE("never/recorded");
+  }
+  SetEnabled(false);
+  EXPECT_TRUE(Snapshot().empty());
+  EXPECT_TRUE(FoldedStacks().empty());
+  Reset();
+}
+
+}  // namespace
+}  // namespace mpq::obs::prof

@@ -1,0 +1,201 @@
+// Unit tests for the datapath profiler (obs/prof.h): hierarchical span
+// collection, runtime gating, reset semantics, folded-stack output,
+// metrics export and cross-thread merging. The compiled-out
+// configuration is proven zero-cost separately in prof_disabled_test.cc.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/prof.h"
+
+namespace mpq::obs::prof {
+namespace {
+
+static_assert(kCompiledIn, "prof_test must build with MPQ_PROF on");
+
+// Every test owns the global profiler state: start clean, leave clean.
+class ProfTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetEnabled(false);
+    Reset();
+  }
+  void TearDown() override {
+    SetEnabled(false);
+    Reset();
+  }
+};
+
+const SpanStats* Find(const std::vector<SpanStats>& spans,
+                      const std::string& stack) {
+  for (const auto& span : spans) {
+    if (span.stack == stack) return &span;
+  }
+  return nullptr;
+}
+
+void RecordNested(int outer_reps, int inner_reps) {
+  for (int i = 0; i < outer_reps; ++i) {
+    MPQ_PROF_SCOPE("alpha/outer");
+    for (int j = 0; j < inner_reps; ++j) {
+      MPQ_PROF_SCOPE("beta/inner");
+    }
+  }
+}
+
+TEST_F(ProfTest, NestingProducesHierarchicalStacks) {
+  SetEnabled(true);
+  RecordNested(/*outer_reps=*/3, /*inner_reps=*/4);
+  SetEnabled(false);
+
+  const auto spans = Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+
+  const SpanStats* outer = Find(spans, "alpha;outer");
+  const SpanStats* inner = Find(spans, "alpha;outer;beta;inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->count, 3u);
+  EXPECT_EQ(inner->count, 12u);
+  EXPECT_EQ(outer->leaf, "alpha;outer");
+  EXPECT_EQ(inner->leaf, "beta;inner");
+
+  // Inclusive-time sanity: a parent contains its children, self time is
+  // the remainder.
+  EXPECT_GE(outer->total_ns, inner->total_ns);
+  EXPECT_EQ(outer->self_ns, outer->total_ns - inner->total_ns);
+  EXPECT_EQ(inner->self_ns, inner->total_ns);  // leaf: all time is self
+  EXPECT_LE(outer->p50_ns, outer->p999_ns + 1.0);
+}
+
+TEST_F(ProfTest, SameLabelUnderDifferentParentsIsTwoSpans) {
+  SetEnabled(true);
+  {
+    MPQ_PROF_SCOPE("alpha/a");
+    MPQ_PROF_SCOPE("shared/leaf");
+  }
+  {
+    MPQ_PROF_SCOPE("beta/b");
+    MPQ_PROF_SCOPE("shared/leaf");
+  }
+  SetEnabled(false);
+
+  const auto spans = Snapshot();
+  EXPECT_NE(Find(spans, "alpha;a;shared;leaf"), nullptr);
+  EXPECT_NE(Find(spans, "beta;b;shared;leaf"), nullptr);
+}
+
+TEST_F(ProfTest, RuntimeDisabledRecordsNothing) {
+  ASSERT_FALSE(Enabled());
+  RecordNested(/*outer_reps=*/5, /*inner_reps=*/5);
+  EXPECT_TRUE(Snapshot().empty());
+}
+
+TEST_F(ProfTest, ScopeOpenedWhileDisabledNeverRecords) {
+  // The gate is sampled at scope entry: enabling mid-span must not
+  // produce a half-timed record when the span closes.
+  {
+    MPQ_PROF_SCOPE("gamma/late");
+    SetEnabled(true);
+  }
+  SetEnabled(false);
+  EXPECT_TRUE(Snapshot().empty());
+}
+
+TEST_F(ProfTest, ResetClearsRecordedSpans) {
+  SetEnabled(true);
+  RecordNested(/*outer_reps=*/2, /*inner_reps=*/2);
+  ASSERT_FALSE(Snapshot().empty());
+  Reset();
+  EXPECT_TRUE(Snapshot().empty());
+
+  // Node identity survives Reset: recording again works and counts
+  // restart from zero.
+  RecordNested(/*outer_reps=*/1, /*inner_reps=*/1);
+  SetEnabled(false);
+  const auto spans = Snapshot();
+  const SpanStats* outer = Find(spans, "alpha;outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->count, 1u);
+}
+
+TEST_F(ProfTest, FoldedStacksMatchFlamegraphFormat) {
+  SetEnabled(true);
+  RecordNested(/*outer_reps=*/2, /*inner_reps=*/3);
+  SetEnabled(false);
+
+  const std::string folded = FoldedStacks();
+  ASSERT_FALSE(folded.empty());
+  std::size_t start = 0;
+  while (start < folded.size()) {
+    const std::size_t end = folded.find('\n', start);
+    ASSERT_NE(end, std::string::npos) << "folded output must end in \\n";
+    const std::string line = folded.substr(start, end - start);
+    // "<frame>(;<frame>)* <integer>": exactly one space, numeric weight,
+    // no empty frames — the grammar flamegraph.pl and speedscope parse.
+    const std::size_t space = line.find(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_EQ(line.find(' ', space + 1), std::string::npos) << line;
+    const std::string stack = line.substr(0, space);
+    const std::string weight = line.substr(space + 1);
+    EXPECT_FALSE(stack.empty());
+    EXPECT_NE(stack.front(), ';');
+    EXPECT_NE(stack.back(), ';');
+    EXPECT_EQ(stack.find(";;"), std::string::npos) << line;
+    ASSERT_FALSE(weight.empty());
+    for (char c : weight) EXPECT_TRUE(c >= '0' && c <= '9') << line;
+    EXPECT_GT(std::stoull(weight), 0u) << "zero-weight lines are omitted";
+    start = end + 1;
+  }
+}
+
+TEST_F(ProfTest, ExportToMergesIntoRegistryHistograms) {
+  SetEnabled(true);
+  RecordNested(/*outer_reps=*/4, /*inner_reps=*/2);
+  SetEnabled(false);
+
+  MetricsRegistry registry;
+  ExportTo(registry);
+  EXPECT_EQ(registry.GetHistogram("prof.alpha.outer_ns").count(), 4u);
+  EXPECT_EQ(
+      registry.GetHistogram("prof.alpha.outer.beta.inner_ns").count(), 8u);
+}
+
+TEST_F(ProfTest, WriteJsonEmitsParseableSpans) {
+  SetEnabled(true);
+  RecordNested(/*outer_reps=*/1, /*inner_reps=*/1);
+  SetEnabled(false);
+
+  JsonWriter writer;
+  WriteJson(writer);
+  const auto parsed = JsonValue::Parse(writer.str());
+  ASSERT_TRUE(parsed.has_value());
+  const JsonValue* spans = parsed->Find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_EQ(spans->AsArray().size(), 2u);
+  const JsonValue& span = spans->AsArray()[0];
+  for (const char* key : {"stack", "leaf", "count", "total_ns", "self_ns",
+                          "p50_ns", "p99_ns", "p999_ns", "max_ns"}) {
+    EXPECT_NE(span.Find(key), nullptr) << key;
+  }
+}
+
+TEST_F(ProfTest, SnapshotMergesExitedThreads) {
+  SetEnabled(true);
+  RecordNested(/*outer_reps=*/2, /*inner_reps=*/0);
+  std::thread worker([] { RecordNested(/*outer_reps=*/3, /*inner_reps=*/0); });
+  worker.join();  // worker's collector retains its tree on thread exit
+  SetEnabled(false);
+
+  const auto spans = Snapshot();
+  const SpanStats* outer = Find(spans, "alpha;outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->count, 5u);
+}
+
+}  // namespace
+}  // namespace mpq::obs::prof

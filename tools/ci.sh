@@ -74,4 +74,21 @@ for dir in build-asan build-audit; do
   "./${dir}/tools/mpq_chaos" --sweep 200 --seed 1
 done
 
+# --- Stage 4: perf-regression gate -------------------------------------
+# Re-measure the engine transfer (--quick skips the WSP sweeps) and
+# compare packets-per-second against the committed baseline; fail the
+# build if the engine regressed more than 15%. The committed BENCH_*.json
+# is the newest checkpoint — refresh it with
+# `build/bench/bench_perf_baseline --prof --out BENCH_PRn.json` whenever
+# a PR intentionally moves the number (docs/PERFORMANCE.md).
+baseline=$(ls BENCH_PR*.json 2>/dev/null | sort -V | tail -1)
+if [[ -n "${baseline}" ]]; then
+  echo "==> perf-regression gate (vs ${baseline})"
+  ./build/bench/bench_perf_baseline --quick --out build/BENCH_ci.json
+  ./build/tools/mpq_prof --check-regression build/BENCH_ci.json \
+    "${baseline}" --tolerance 15
+else
+  echo "==> perf-regression gate: no committed BENCH_PR*.json, skipping"
+fi
+
 echo "==> all configurations passed"

@@ -1,0 +1,11 @@
+// Seeded violation: raw MonotonicNanos() timing in protocol code.
+// Datapath self-measurement goes through MPQ_PROF_SCOPE so it
+// aggregates into profile dumps instead of ad-hoc counters. The
+// suppressed read below is the sanctioned escape hatch.
+// expect: prof-clock
+#include "common/clock.h"
+
+unsigned long long TimeSomething() {
+  const auto t0 = MonotonicNanos();
+  return MonotonicNanos() - t0;  // NOLINT(mpq-prof-clock): calibration
+}

@@ -1,6 +1,8 @@
 // mpq_trace: summarize an NDJSON trace written by obs::QlogTracer.
 //
 //   mpq_trace TRACE.qlog        per-path and per-event summary tables
+//   mpq_trace --json TRACE.qlog same summary as one JSON object (for CI
+//                               and mpq_prof — no screen-scraping)
 //   mpq_trace --selftest        run a built-in trace through the full
 //                               write -> parse -> summarize round trip
 //                               (registered as a ctest smoke test)
@@ -15,6 +17,7 @@
 #include <string>
 
 #include "common/stats.h"
+#include "obs/json.h"
 #include "obs/qlog.h"
 #include "obs/trace_reader.h"
 #include "quic/wire.h"
@@ -60,6 +63,30 @@ void PrintSummary(const obs::TraceSummary& summary) {
                 p90 / 1024.0, pmax / 1024.0);
   }
 
+  bool any_lifecycle = false;
+  for (const auto& [path, p] : summary.paths) {
+    if (!p.acked_latency_us.empty() || !p.lost_latency_us.empty()) {
+      any_lifecycle = true;
+    }
+  }
+  if (any_lifecycle) {
+    std::printf("\npacket lifecycle (sent -> acked/lost, simulated us):\n");
+    std::printf("  %4s %-6s %8s %9s %9s %9s\n", "path", "stage", "count",
+                "p50", "p99", "p999");
+    for (const auto& [path, p] : summary.paths) {
+      if (path < 0) continue;
+      const auto row = [path](const char* stage,
+                              const std::vector<double>& samples) {
+        if (samples.empty()) return;
+        std::printf("  %4d %-6s %8zu %9.1f %9.1f %9.1f\n", path, stage,
+                    samples.size(), Percentile(samples, 50.0),
+                    Percentile(samples, 99.0), Percentile(samples, 99.9));
+      };
+      row("acked", p.acked_latency_us);
+      row("lost", p.lost_latency_us);
+    }
+  }
+
   if (!summary.scheduler_reasons.empty()) {
     std::printf("\nscheduler decisions:\n");
     for (const auto& [reason, count] : summary.scheduler_reasons) {
@@ -99,6 +126,76 @@ void PrintSummary(const obs::TraceSummary& summary) {
   }
 }
 
+/// The whole summary as one JSON object, mirroring the tables
+/// PrintSummary renders. Percentiles are precomputed (consumers get
+/// numbers, not sample vectors).
+void WriteSummaryJson(const obs::TraceSummary& summary,
+                      obs::JsonWriter& writer) {
+  const auto percentiles = [&writer](const char* key,
+                                     const std::vector<double>& samples) {
+    writer.Key(key).BeginObject();
+    writer.Key("count").UInt(samples.size());
+    if (!samples.empty()) {
+      writer.Key("p50").Double(Percentile(samples, 50.0));
+      writer.Key("p90").Double(Percentile(samples, 90.0));
+      writer.Key("p99").Double(Percentile(samples, 99.0));
+      writer.Key("p999").Double(Percentile(samples, 99.9));
+      writer.Key("max").Double(Percentile(samples, 100.0));
+    }
+    writer.EndObject();
+  };
+  const auto string_counts =
+      [&writer](const char* key,
+                const std::map<std::string, std::uint64_t>& counts) {
+        writer.Key(key).BeginObject();
+        for (const auto& [name, count] : counts) {
+          writer.Key(name).UInt(count);
+        }
+        writer.EndObject();
+      };
+
+  writer.BeginObject();
+  writer.Key("title").String(summary.title);
+  writer.Key("events").UInt(summary.events);
+  writer.Key("malformed").UInt(summary.malformed);
+  writer.Key("first_time_us").Int(summary.first_time);
+  writer.Key("last_time_us").Int(summary.last_time);
+  writer.Key("span_s").Double(
+      DurationToSeconds(summary.last_time - summary.first_time));
+  writer.Key("paths").BeginObject();
+  for (const auto& [path, p] : summary.paths) {
+    if (path < 0) continue;
+    writer.Key(std::to_string(path)).BeginObject();
+    writer.Key("packets_sent").UInt(p.packets_sent);
+    writer.Key("packets_received").UInt(p.packets_received);
+    writer.Key("packets_lost").UInt(p.packets_lost);
+    writer.Key("bytes_sent").UInt(p.bytes_sent);
+    writer.Key("frames_sent").UInt(p.frames_sent);
+    writer.Key("scheduled").UInt(p.scheduled);
+    writer.Key("frames_requeued").UInt(p.frames_requeued);
+    writer.Key("rtos").UInt(p.rtos);
+    percentiles("cwnd", p.cwnd_samples);
+    percentiles("srtt_us", p.srtt_samples_us);
+    writer.Key("lifecycle").BeginObject();
+    percentiles("acked_us", p.acked_latency_us);
+    percentiles("lost_us", p.lost_latency_us);
+    writer.EndObject();
+    writer.EndObject();
+  }
+  writer.EndObject();
+  string_counts("events_by_name", summary.events_by_name);
+  string_counts("scheduler_reasons", summary.scheduler_reasons);
+  string_counts("frames_sent_by_type", summary.frames_sent_by_type);
+  string_counts("frames_requeued_by_type", summary.frames_requeued_by_type);
+  string_counts("link_faults", summary.link_faults);
+  writer.Key("handshake").BeginObject();
+  for (const auto& [milestone, time] : summary.handshake_milestones) {
+    writer.Key(milestone).Int(time);
+  }
+  writer.EndObject();
+  writer.EndObject();
+}
+
 /// Synthesize a small trace covering every event type (including a title
 /// with characters that need JSON escaping), read it back, and check the
 /// counts survive the round trip.
@@ -119,6 +216,8 @@ int SelfTest() {
     tracer.OnFrameReceived(50, PathId{0}, ack);
     tracer.OnPacketReceived(50, PathId{0}, PacketNumber{7}, ByteCount{40});
     tracer.OnPacketLost(60, PathId{1}, PacketNumber{1});
+    tracer.OnPacketLifecycle(55, PathId{0}, PacketNumber{1}, "acked", 25);
+    tracer.OnPacketLifecycle(60, PathId{1}, PacketNumber{1}, "lost", 20);
     tracer.OnFrameRetransmitQueued(60, PathId{1}, stream_frame);
     tracer.OnRto(70, PathId{1}, 1);
     tracer.OnPathSample(80, PathId{0}, ByteCount{42 * 1024},
@@ -138,7 +237,7 @@ int SelfTest() {
     }
   };
   expect(summary.malformed == 0, "no malformed lines");
-  expect(summary.events == 16, "16 events parsed");
+  expect(summary.events == 18, "18 events parsed");
   expect(summary.title.find("\"quoted\"") != std::string::npos,
          "escaped title round-trips");
   expect(summary.paths.at(0).packets_sent == 1, "path0 packets_sent");
@@ -165,6 +264,26 @@ int SelfTest() {
   expect(summary.events_by_name.at("sim:link_down") == 1 &&
              summary.events_by_name.at("sim:fault") == 1,
          "fault event names");
+  expect(summary.paths.at(0).acked_latency_us.size() == 1 &&
+             summary.paths.at(0).acked_latency_us[0] == 25.0,
+         "acked lifecycle latency");
+  expect(summary.paths.at(1).lost_latency_us.size() == 1 &&
+             summary.paths.at(1).lost_latency_us[0] == 20.0,
+         "lost lifecycle latency");
+  {
+    // The --json rendering must itself be valid JSON with the lifecycle
+    // percentiles present.
+    obs::JsonWriter writer;
+    WriteSummaryJson(summary, writer);
+    const auto parsed = obs::JsonValue::Parse(writer.str());
+    expect(parsed.has_value(), "--json output parses");
+    if (parsed.has_value()) {
+      const auto* paths = parsed->Find("paths");
+      expect(paths != nullptr && paths->Find("0") != nullptr &&
+                 paths->Find("0")->Find("lifecycle") != nullptr,
+             "--json lifecycle present");
+    }
+  }
 
   if (failures == 0) {
     std::stringstream replay(stream.str());
@@ -181,25 +300,43 @@ int main(int argc, char** argv) {
   if (argc == 2 && std::strcmp(argv[1], "--selftest") == 0) {
     return SelfTest();
   }
-  if (argc != 2) {
+  bool json = false;
+  const char* file = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (file == nullptr) {
+      file = argv[i];
+    } else {
+      file = nullptr;
+      break;
+    }
+  }
+  if (file == nullptr) {
     std::fprintf(stderr,
-                 "usage: %s TRACE.qlog | --selftest\n"
+                 "usage: %s [--json] TRACE.qlog | --selftest\n"
                  "Summarize an NDJSON trace produced by obs::QlogTracer\n"
                  "(bench --obs DIR, or TransferOptions::qlog_path).\n",
                  argv[0]);
     return 2;
   }
-  std::ifstream in(argv[1]);
+  std::ifstream in(file);
   if (!in.is_open()) {
-    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    std::fprintf(stderr, "cannot open %s\n", file);
     return 1;
   }
   const auto summary = obs::ReadTrace(in);
   if (summary.events == 0) {
-    std::fprintf(stderr, "no events in %s (%llu malformed lines)\n", argv[1],
+    std::fprintf(stderr, "no events in %s (%llu malformed lines)\n", file,
                  static_cast<unsigned long long>(summary.malformed));
     return 1;
   }
-  PrintSummary(summary);
+  if (json) {
+    obs::JsonWriter writer;
+    WriteSummaryJson(summary, writer);
+    std::printf("%s\n", writer.str().c_str());
+  } else {
+    PrintSummary(summary);
+  }
   return 0;
 }
