@@ -1,0 +1,223 @@
+// Bounded state-space exploration of the MPQUIC event machine
+// (docs/MODEL_CHECKING.md). Where the chaos sweep and the fuzzer *sample*
+// schedules, the explorer *enumerates* them: a depth-first search over
+// every ordering of commutable event deliveries and timers (plus
+// adversarial drop/duplicate within configurable budgets), checking the
+// full MPQ_AUDIT invariant set, liveness and byte consistency at every
+// reached state, and pruning with the canonical Connection::StateDigest
+// plus a sleep-set partial-order reduction for independent deliveries.
+//
+// The search is stateless (CHESS-style): protocol state is never
+// checkpointed. A state is identified by the choice sequence that
+// produced it, and backtracking re-executes the prefix from a fresh
+// scenario — cheap at the depths this tool explores, and the only
+// approach that needs zero copy support from the protocol code.
+//
+// Everything here is deterministic: the same options explore the same
+// tree, and any violation is reported as a replayable choice trace
+// (tools/mpq_model --replay).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mpq::harness {
+
+// ---------------------------------------------------------------------------
+// The model interface: anything with enumerable choices, a state digest
+// and invariants. Implemented by the QUIC scenarios below and by the
+// deliberately-buggy toy machines of the self-test corpus.
+
+/// What a choice does to its target event.
+enum class ChoiceAction : std::uint8_t { kFire = 0, kDrop = 1, kDup = 2 };
+
+const char* ToString(ChoiceAction action);
+
+/// One enabled transition of the model, in the model's canonical order.
+struct Choice {
+  /// Position in the Enabled() list (the stable identity a recorded
+  /// trace stores — Enabled() is deterministic per state).
+  std::uint32_t index = 0;
+  ChoiceAction action = ChoiceAction::kFire;
+  /// Stable human-readable identity of the *transition* (not the state):
+  /// the same pending event keeps the same label across sibling
+  /// branches, which is what sleep sets match on.
+  std::string label;
+  /// Independence class: two kFire choices with different non-zero
+  /// scopes are candidates for partial-order reduction. 0 = dependent
+  /// with everything.
+  std::uint32_t scope = 0;
+  /// Opaque handle for Execute (the simulator event id).
+  std::uint64_t ref = 0;
+};
+
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// Tear down and rebuild the initial state. Must be deterministic.
+  virtual void Reset() = 0;
+  /// The enabled choices at the current state, canonically ordered
+  /// (including any adversarial drop/dup variants still within budget).
+  virtual std::vector<Choice> Enabled() = 0;
+  /// Execute one choice valid at the current state — from the latest
+  /// Enabled() call, or recorded at an earlier visit of the identical
+  /// state (the explorer re-executes prefixes when backtracking).
+  virtual void Execute(const Choice& choice) = 0;
+  /// Canonical digest of the current state (equal ⇒ explored-equivalent).
+  virtual std::uint64_t Digest() = 0;
+  /// Validate all invariants; on failure append diagnostics and return
+  /// false.
+  virtual bool CheckInvariants(std::string* why) = 0;
+  /// Liveness target: a maximal trace must reach this.
+  virtual bool GoalReached() = 0;
+  /// May `a` and `b` be commuted without changing the reachable states?
+  /// Default: only kFire choices with distinct non-zero scopes.
+  virtual bool Independent(const Choice& a, const Choice& b) const;
+};
+
+// ---------------------------------------------------------------------------
+// Exploration
+
+struct ExploreOptions {
+  /// Depth bound: maximal traces longer than this are counted as
+  /// truncated, not explored further.
+  int max_steps = 256;
+  /// Sleep-set partial-order reduction on/off (off explores the full
+  /// tree — the self test uses both to cross-check verdicts).
+  bool por = true;
+  /// Prune states whose digest was already reached at the same or a
+  /// shallower depth.
+  bool prune_digests = true;
+  /// Before the DFS, execute one trace twice and require identical
+  /// digest sequences (catches hidden nondeterminism: hash-order
+  /// iteration, uninitialized reads, state leaking across runs).
+  bool check_determinism = true;
+  /// Safety valve on the number of maximal traces.
+  std::uint64_t max_traces = 1u << 20;
+  /// Replay budget for greedy counterexample shrinking (0 = no shrink).
+  int shrink_budget = 200;
+};
+
+/// One recorded decision — the unit of a replayable counterexample.
+struct TraceStep {
+  std::uint32_t index = 0;
+  ChoiceAction action = ChoiceAction::kFire;
+  std::string label;  // diagnostic only; replay goes by index
+};
+
+enum class ViolationKind { kInvariant, kLiveness, kDeterminism };
+
+const char* ToString(ViolationKind kind);
+
+struct Violation {
+  ViolationKind kind = ViolationKind::kInvariant;
+  std::string message;
+  /// Choice trace from the initial state to the violating state
+  /// (greedy-shrunk when ExploreOptions::shrink_budget allows).
+  std::vector<TraceStep> trace;
+  /// Digest after Reset and after every step of `trace` — the replay
+  /// must reproduce this sequence exactly.
+  std::vector<std::uint64_t> digests;
+};
+
+struct ExploreStats {
+  std::uint64_t maximal_traces = 0;  ///< traces run to completion/goal
+  std::uint64_t truncated_traces = 0;  ///< traces cut by max_steps
+  std::uint64_t transitions = 0;     ///< Execute() calls, replays included
+  std::uint64_t distinct_states = 0;  ///< unique digests reached
+  std::uint64_t pruned_digest = 0;   ///< states cut by digest pruning
+  std::uint64_t pruned_sleep = 0;    ///< choices skipped by sleep sets
+  bool exhausted = true;             ///< false iff max_traces tripped
+};
+
+struct ExploreResult {
+  ExploreStats stats;
+  std::vector<Violation> violations;
+};
+
+/// Run the bounded DFS. Stops at the first violation (which is then
+/// shrunk); a violation-free result means every schedule within the
+/// bounds satisfies every invariant, reaches the goal, and replays
+/// deterministically.
+ExploreResult Explore(Model& model, const ExploreOptions& options);
+
+/// Re-execute a recorded trace step by step. Stops early at the first
+/// invariant violation or out-of-range index.
+struct ReplayOutcome {
+  bool valid = true;           ///< every index was in range
+  bool invariants_ok = true;
+  bool goal_reached = false;
+  /// Ended with nothing enabled and the goal unreached (the liveness
+  /// failure shape).
+  bool deadlocked = false;
+  std::string message;
+  std::size_t steps_executed = 0;
+  std::vector<std::uint64_t> digests;  ///< initial + one per step
+  /// The steps actually executed, with labels/actions re-read from the
+  /// live enabled sets (canonical form of the input trace).
+  std::vector<TraceStep> executed;
+};
+
+ReplayOutcome Replay(Model& model, const std::vector<TraceStep>& trace);
+
+// ---------------------------------------------------------------------------
+// QUIC scenarios
+
+struct ScenarioOptions {
+  /// "handshake", "transfer" or "handover".
+  std::string name = "handshake";
+  std::uint64_t seed = 1;
+  /// transfer/handover: response body size (kept tiny — every packet
+  /// multiplies the schedule space).
+  ByteCount transfer_bytes{1200};
+  /// Adversarial budgets: how many deliveries may be dropped/duplicated
+  /// per trace.
+  int max_drops = 0;
+  int max_dups = 0;
+  /// Commutability window: events within this much of the earliest
+  /// pending event are considered concurrently enabled (the jitter the
+  /// adversary may inject to reorder them).
+  Duration commute_window = 2 * kMillisecond;
+  /// Branching bound: at most this many of the earliest enabled events
+  /// are considered per step (each may add drop/dup variants).
+  int branch = 3;
+  /// handover: path 0 goes down this long *after* the connection is
+  /// established (relative, so adversarial handshake delays cannot make
+  /// the goal unsatisfiable by killing the only handshake path).
+  TimePoint fault_time = 30 * kMillisecond;
+  /// When non-empty, attach a qlog tracer writing NDJSON here (replay
+  /// diagnostics; by design this must not perturb any digest).
+  std::string qlog_path;
+};
+
+/// Build the scenario model ("handshake" | "transfer" | "handover").
+/// Throws std::invalid_argument for unknown names.
+std::unique_ptr<Model> MakeQuicScenarioModel(const ScenarioOptions& options);
+
+// ---------------------------------------------------------------------------
+// Self-test corpus: deliberately-buggy toy state machines the explorer
+// must catch (and clean ones it must pass). tools/mpq_model --selftest.
+
+struct SelfTestCase {
+  std::string name;
+  std::function<std::unique_ptr<Model>()> make;
+  ExploreOptions options;
+  /// Expected outcome: no violation, or a violation of `expected_kind`.
+  bool expect_violation = false;
+  ViolationKind expected_kind = ViolationKind::kInvariant;
+};
+
+std::vector<SelfTestCase> SelfTestCorpus();
+
+/// Run the whole corpus plus the PoR cross-check and the
+/// shrink-and-replay round-trip. Returns the number of failures and
+/// appends one line per check to `report`.
+int RunSelfTest(std::string& report);
+
+}  // namespace mpq::harness

@@ -1,7 +1,5 @@
 #include "quic/audit.h"
 
-#if defined(MPQ_AUDIT)
-
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -11,28 +9,42 @@
 
 namespace mpq::quic {
 
+// Violations are collected (not thrown, not aborted-on) so the same
+// implementation serves both MPQ_AUDIT_CHECK (abort at first bad event)
+// and the model checker's CheckAll (report and keep exploring).
 class Auditor::Impl {
  public:
-  static void Check(const Connection& conn);
-  static void CheckPath(const Connection& conn, const Path& path);
+  Impl(const Connection& conn, std::string* out) : conn_(conn), out_(out) {}
+
+  bool ok() const { return ok_; }
+
+  void Check();
+  void CheckPath(const Path& path);
 
  private:
-  [[noreturn]] static void Fail(const Connection& conn, const char* what);
+  void Fail(const char* what);
+
+  const Connection& conn_;
+  std::string* out_;
+  bool ok_ = true;
 };
 
-void Auditor::Impl::Fail(const Connection& conn, const char* what) {
-  std::fprintf(stderr,
-               "MPQ_AUDIT violation (cid=%" PRIu64 "): %s\n",
-               conn.cid(), what);
-  std::abort();
+void Auditor::Impl::Fail(const char* what) {
+  ok_ = false;
+  if (out_ == nullptr) return;
+  char line[160];
+  std::snprintf(line, sizeof(line), "MPQ_AUDIT violation (cid=%" PRIu64
+                "): %s\n", conn_.cid(), what);
+  out_->append(line);
 }
 
 #define AUDIT(cond, what)                  \
   do {                                     \
-    if (!(cond)) Fail(conn, what);         \
+    if (!(cond)) Fail(what);               \
   } while (0)
 
-void Auditor::Impl::CheckPath(const Connection& conn, const Path& path) {
+void Auditor::Impl::CheckPath(const Path& path) {
+  const Connection& conn = conn_;
   // Packet-number space: allocation is monotonic starting at 1, and
   // nothing tracked or acked can sit at or beyond the next allocation.
   AUDIT(path.next_pn_ >= PacketNumber{1}, "path next_pn below 1");
@@ -75,11 +87,12 @@ void Auditor::Impl::CheckPath(const Connection& conn, const Path& path) {
   }
 }
 
-void Auditor::Impl::Check(const Connection& conn) {
+void Auditor::Impl::Check() {
+  const Connection& conn = conn_;
   for (const auto& [id, path] : conn.paths_) {
     AUDIT(path != nullptr, "paths_ entry without a path");
     AUDIT(path->id() == id, "paths_ key disagrees with path id");
-    CheckPath(conn, *path);
+    if (path != nullptr) CheckPath(*path);
   }
 
   // Send-side flow control: new stream bytes on the wire never exceed
@@ -113,13 +126,20 @@ void Auditor::Impl::Check(const Connection& conn) {
   }
 }
 
-void Auditor::Check(const Connection& conn) { Impl::Check(conn); }
+#undef AUDIT
+
+bool Auditor::CheckAll(const Connection& conn, std::string* violations) {
+  Impl impl(conn, violations);
+  impl.Check();
+  return impl.ok();
+}
+
+void Auditor::Check(const Connection& conn) {
+  std::string why;
+  if (!CheckAll(conn, &why)) {
+    std::fputs(why.c_str(), stderr);
+    std::abort();
+  }
+}
 
 }  // namespace mpq::quic
-
-#else
-
-// Without MPQ_AUDIT this translation unit is intentionally empty; the
-// macro in audit.h already compiled every call site to nothing.
-
-#endif  // MPQ_AUDIT

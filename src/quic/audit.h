@@ -1,6 +1,10 @@
-// Debug invariant checker. When the build defines MPQ_AUDIT (CMake
-// option of the same name), MPQ_AUDIT_CHECK(conn) re-validates the
-// connection's internal invariants after every timer and packet event:
+// Debug invariant checker. The checks themselves (Auditor::CheckAll)
+// compile in every configuration so tools — most importantly the
+// mpq_model state-space explorer — can validate invariants and report
+// instead of dying. What MPQ_AUDIT (CMake option of the same name)
+// controls is only the per-event hook: MPQ_AUDIT_CHECK(conn) re-validates
+// the connection's internal invariants after every timer and packet
+// event:
 //
 //   - per-path packet-number monotonicity (sent PNs < next_pn_, the
 //     largest acked never exceeds the largest sent),
@@ -11,11 +15,17 @@
 //   - receive-side ACK ranges are sorted, disjoint and coalesced,
 //   - the congestion window never falls below the controller's floor.
 //
-// A violation prints a diagnostic and aborts, so a ctest run under an
-// MPQ_AUDIT build turns silent state corruption into a hard failure at
-// the first event that produced it. Without MPQ_AUDIT the macro expands
-// to nothing and audit.cc compiles to an empty translation unit.
+// In an MPQ_AUDIT build a violation prints a diagnostic and aborts, so a
+// ctest run turns silent state corruption into a hard failure at the
+// first event that produced it. Without MPQ_AUDIT the macro expands to
+// nothing and the hot path is untouched.
 #pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "quic/path.h"
 
 namespace mpq::quic {
 
@@ -24,8 +34,30 @@ class Connection;
 class Auditor {
  public:
   /// Validate every invariant of `conn`; abort with a diagnostic on the
-  /// first violation. Only meaningful in MPQ_AUDIT builds.
+  /// first violation. This is MPQ_AUDIT_CHECK's target.
   static void Check(const Connection& conn);
+
+  /// Non-aborting variant: validate every invariant and return true when
+  /// all hold. On failure, appends one line per violation to
+  /// `*violations` (when non-null) and returns false. Available in every
+  /// build — the model checker reports violations as counterexamples
+  /// instead of aborting the exploration.
+  static bool CheckAll(const Connection& conn, std::string* violations);
+
+  /// Canonical 64-bit digest of the connection's protocol state: packet
+  /// numbers, in-flight tracking, ACK ranges, stream offsets, flow
+  /// control, path status — everything behavior depends on, and nothing
+  /// observability-related (tracers, stats, profiler) or wall-clock
+  /// shaped. Two states with equal digests are treated as equivalent by
+  /// the explorer's pruning; replaying a schedule must reproduce the
+  /// identical digest sequence (the determinism check). Implemented in
+  /// quic/digest.cc.
+  static std::uint64_t Digest(const Connection& conn);
+
+  /// Digest helper: read-only view of `path`'s tracked in-flight packets
+  /// (private state exposed through the Auditor friendship).
+  static const std::map<PacketNumber, SentPacket>& SentPackets(
+      const Path& path);
 
  private:
   class Impl;

@@ -120,6 +120,12 @@ class Connection : private RecoveryDelegate,
   // -- introspection ------------------------------------------------------
   bool established() const { return established_; }
   bool closed() const { return closed_; }
+  /// Canonical digest of the protocol state (quic/digest.cc): equal
+  /// digests ⇒ equivalent states for the mpq_model explorer; identical
+  /// schedules must yield identical digest sequences. Excludes
+  /// observability state (tracers, stats, profiler) by construction —
+  /// tests/digest_test.cc holds that line.
+  std::uint64_t StateDigest() const;
   ConnectionId cid() const { return cid_; }
   const ConnectionStats& stats() const { return stats_; }
   std::vector<const Path*> paths() const;

@@ -39,6 +39,8 @@ class ControlQueue {
   void FillPacket(PathId path, std::size_t& budget, std::vector<Frame>& out);
 
  private:
+  friend class Auditor;  // state digest walks the queued frames
+
   std::vector<Frame> shared_;
   std::map<PathId, std::vector<Frame>> pinned_;
 };

@@ -70,6 +70,13 @@ Connection* ServerEndpoint::FindConnection(ConnectionId cid) {
   return it == connections_.end() ? nullptr : it->second.get();
 }
 
+std::vector<Connection*> ServerEndpoint::Connections() {
+  std::vector<Connection*> out;
+  out.reserve(connections_.size());
+  for (const auto& [cid, conn] : connections_) out.push_back(conn.get());
+  return out;
+}
+
 void ServerEndpoint::OnDatagram(const sim::Datagram& datagram) {
   // Peek the CID (flags byte + 8-byte CID) to demultiplex.
   BufReader reader(datagram.payload);

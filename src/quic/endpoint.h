@@ -59,6 +59,9 @@ class ServerEndpoint {
 
   std::size_t connection_count() const { return connections_.size(); }
   Connection* FindConnection(ConnectionId cid);
+  /// All accepted connections, ordered by CID (deterministic — the
+  /// model checker digests every server connection each step).
+  std::vector<Connection*> Connections();
 
  private:
   void OnDatagram(const sim::Datagram& datagram);

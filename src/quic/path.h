@@ -104,6 +104,7 @@ class Path {
 
   // -- receiving --------------------------------------------------------
   ReceivedPacketTracker& receiver() { return receiver_; }
+  const ReceivedPacketTracker& receiver() const { return receiver_; }
   bool ack_pending() const { return ack_pending_; }
   void set_ack_pending(bool pending) { ack_pending_ = pending; }
   int unacked_retransmittable_count() const { return unacked_count_; }

@@ -119,12 +119,16 @@ void Link::Transmit(Datagram dgram) {
       propagation += static_cast<Duration>(
           rng_.NextBounded(static_cast<std::uint64_t>(config_.jitter) + 1));
     }
-    sim_.Schedule(propagation,
-                  [this, wire_bytes, dgram = std::move(dgram)]() mutable {
-                    ++stats_.delivered;
-                    stats_.wire_bytes_delivered += wire_bytes;
-                    if (deliver_) deliver_(std::move(dgram));
-                  });
+    // The delivery event is tagged so the explorer can treat it as an
+    // adversarial target (drop/duplicate) and group it by destination.
+    sim_.Schedule(
+        propagation,
+        [this, wire_bytes, dgram = std::move(dgram)]() mutable {
+          ++stats_.delivered;
+          stats_.wire_bytes_delivered += wire_bytes;
+          if (deliver_) deliver_(std::move(dgram));
+        },
+        EventKind::kDelivery, delivery_scope_);
   });
 }
 
@@ -136,6 +140,7 @@ Link* Network::AddLink(Address from, Address to, const LinkConfig& config) {
   auto link = std::make_unique<Link>(sim_, config, rng_.Fork());
   Link* raw = link.get();
   raw->SetDeliveryHandler([this](Datagram&& d) { Deliver(std::move(d)); });
+  raw->SetDeliveryScope(1u + to.node);
   auto [it, inserted] =
       links_by_src_.emplace(from, LinkEnds{std::move(link), to});
   if (!inserted) {

@@ -143,6 +143,12 @@ class Link {
     ge_bad_ = false;
   }
 
+  /// Independence tag stamped onto this link's delivery events (see
+  /// Simulator::PendingEventInfo::scope). The Network sets it to
+  /// 1 + destination node, so deliveries toward different hosts form
+  /// different classes for the explorer's partial-order reduction.
+  void SetDeliveryScope(std::uint32_t scope) { delivery_scope_ = scope; }
+
   /// Apply one fault right now (see LinkFault; `time` is ignored here).
   void ApplyFault(const LinkFault& fault);
 
@@ -180,6 +186,7 @@ class Link {
   DeliveryHandler deliver_;
   TimePoint busy_until_ = 0;
   ByteCount queued_bytes_;
+  std::uint32_t delivery_scope_ = 0;
   bool down_ = false;
   bool ge_bad_ = false;  // Gilbert–Elliott channel state
   Stats stats_;

@@ -1,17 +1,58 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "obs/prof.h"
 
 namespace mpq::sim {
 
-Simulator::EventId Simulator::ScheduleAt(TimePoint when, Callback fn) {
+Simulator::EventId Simulator::ScheduleAt(TimePoint when, Callback fn,
+                                         EventKind kind, std::uint32_t scope) {
   if (when < now_) when = now_;
   const EventId id = next_id_++;
-  pending_.emplace(id, Event{when, id, std::move(fn)});
+  pending_.emplace(id, Event{when, id, kind, scope, std::move(fn)});
   queue_.push(HeapEntry{when, id});
   return id;
+}
+
+std::vector<Simulator::PendingEventInfo> Simulator::PendingEvents() const {
+  std::vector<PendingEventInfo> out;
+  out.reserve(pending_.size());
+  for (const auto& [id, event] : pending_) {
+    out.push_back({id, event.when, event.kind, event.scope});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PendingEventInfo& a, const PendingEventInfo& b) {
+              if (a.when != b.when) return a.when < b.when;
+              return a.id < b.id;
+            });
+  return out;
+}
+
+bool Simulator::FireEvent(EventId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return false;
+  Callback fn = std::move(it->second.fn);
+  if (it->second.when > now_) now_ = it->second.when;
+  pending_.erase(it);
+  ++events_executed_;
+  {
+    MPQ_PROF_SCOPE("sim/event");
+    fn();
+  }
+  return true;
+}
+
+Simulator::EventId Simulator::DuplicateEvent(EventId id, Duration extra_delay) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return 0;
+  // Copy the callback (std::function targets are CopyConstructible by
+  // construction) and reuse the normal scheduling path for the clone.
+  Callback copy = it->second.fn;
+  const TimePoint when =
+      it->second.when + (extra_delay < 0 ? 0 : extra_delay);
+  return ScheduleAt(when, std::move(copy), it->second.kind, it->second.scope);
 }
 
 void Simulator::Cancel(EventId id) { pending_.erase(id); }

@@ -5,6 +5,14 @@
 // to a Simulator: link transmissions, propagation delays and protocol
 // timers are all events on one queue, executed in strict timestamp order
 // (FIFO among equal timestamps), so every run is exactly reproducible.
+//
+// Schedule control (docs/MODEL_CHECKING.md): events carry an EventKind
+// and a scope tag, the pending set is enumerable (PendingEvents), and a
+// specific pending event can be fired out of timestamp order (FireEvent)
+// or duplicated (DuplicateEvent). Normal runs never use these hooks —
+// Run/RunOne keep the strict (timestamp, id) order — but the mpq_model
+// explorer uses them to branch over every delivery/timer interleaving a
+// bounded amount of jitter could produce.
 #pragma once
 
 #include <cstdint>
@@ -18,10 +26,25 @@
 
 namespace mpq::sim {
 
+/// What an event models — the explorer's choice vocabulary. Deliveries
+/// are the adversary's targets (drop/duplicate model wire faults);
+/// timers and generic events may only be reordered, never dropped.
+enum class EventKind : std::uint8_t { kGeneric = 0, kDelivery = 1, kTimer = 2 };
+
 class Simulator {
  public:
   using EventId = std::uint64_t;
   using Callback = std::function<void()>;
+
+  /// One pending event as the explorer sees it. `scope` is an
+  /// independence class assigned at schedule time (deliveries use
+  /// 1 + destination node; 0 means "dependent with everything").
+  struct PendingEventInfo {
+    EventId id = 0;
+    TimePoint when = 0;
+    EventKind kind = EventKind::kGeneric;
+    std::uint32_t scope = 0;
+  };
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -31,12 +54,17 @@ class Simulator {
 
   /// Schedule `fn` to run `delay` microseconds from now (delay < 0 is
   /// clamped to 0). Returns an id usable with Cancel().
-  EventId Schedule(Duration delay, Callback fn) {
-    return ScheduleAt(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  EventId Schedule(Duration delay, Callback fn,
+                   EventKind kind = EventKind::kGeneric,
+                   std::uint32_t scope = 0) {
+    return ScheduleAt(now_ + (delay < 0 ? 0 : delay), std::move(fn), kind,
+                      scope);
   }
 
   /// Schedule `fn` at absolute time `when` (clamped to now).
-  EventId ScheduleAt(TimePoint when, Callback fn);
+  EventId ScheduleAt(TimePoint when, Callback fn,
+                     EventKind kind = EventKind::kGeneric,
+                     std::uint32_t scope = 0);
 
   /// Cancel a pending event. Cancelling an already-fired or unknown id is
   /// a harmless no-op (protocol timers race with the events that clear
@@ -51,6 +79,24 @@ class Simulator {
   /// empty or the next event is later than `until`.
   bool RunOne(TimePoint until = kTimeInfinite);
 
+  // -- schedule-control hooks (explorer only; see header comment) --------
+
+  /// Snapshot of every pending event, sorted by (when, id) — the same
+  /// canonical order Run() would fire them in. O(n log n); the explorer
+  /// calls it once per exploration step on tiny queues.
+  std::vector<PendingEventInfo> PendingEvents() const;
+
+  /// Execute the pending event `id` now, even if it is not the earliest:
+  /// time advances to max(now, its scheduled time), so events skipped
+  /// over simply fire late (the jitter interpretation of reordering).
+  /// Returns false for unknown/cancelled ids.
+  bool FireEvent(EventId id);
+
+  /// Clone a pending event: the copy fires at `when + extra_delay` with a
+  /// fresh id (FIFO places it after the original at equal times). Models
+  /// wire duplication. Returns 0 for unknown ids.
+  EventId DuplicateEvent(EventId id, Duration extra_delay = 0);
+
   bool empty() const { return pending_.empty(); }
   std::uint64_t events_executed() const { return events_executed_; }
 
@@ -58,6 +104,8 @@ class Simulator {
   struct Event {
     TimePoint when = 0;
     EventId id = 0;  // monotonic; provides FIFO tie-breaking at equal times
+    EventKind kind = EventKind::kGeneric;
+    std::uint32_t scope = 0;
     Callback fn;
   };
   struct HeapEntry {

@@ -27,11 +27,16 @@ class Timer {
   void SetAt(TimePoint when) {
     Cancel();
     deadline_ = when;
-    event_ = sim_.ScheduleAt(when, [this] {
-      event_ = 0;
-      deadline_ = kTimeInfinite;
-      callback_();
-    });
+    // Tagged kTimer so the model-checking explorer can tell protocol
+    // timers from network deliveries (timers reorder but never drop).
+    event_ = sim_.ScheduleAt(
+        when,
+        [this] {
+          event_ = 0;
+          deadline_ = kTimeInfinite;
+          callback_();
+        },
+        EventKind::kTimer);
   }
 
   /// Arm (or re-arm) the timer to fire `delay` from now.

@@ -1,0 +1,82 @@
+// The bounded model checker (harness/explore.h) against both its
+// self-test corpus and the real stack: the corpus proves the explorer
+// catches every seeded bug class, the handshake run proves the real
+// machine's bounded schedule space is violation-free, and the
+// counterexample round-trip proves a recorded violation replays to the
+// identical digest sequence on a fresh scenario.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/explore.h"
+
+namespace mpq::harness {
+namespace {
+
+TEST(ExploreSelfTest, CatchesEverySeededBugAndPassesCleanMachines) {
+  std::string report;
+  const int failures = RunSelfTest(report);
+  EXPECT_EQ(failures, 0) << report;
+}
+
+TEST(ExploreQuic, HandshakeScheduleSpaceIsViolationFree) {
+  ScenarioOptions scenario;
+  scenario.name = "handshake";
+  auto model = MakeQuicScenarioModel(scenario);
+  ExploreOptions options;
+  options.max_steps = 40;
+  const ExploreResult result = Explore(*model, options);
+  EXPECT_TRUE(result.violations.empty())
+      << ToString(result.violations.front().kind) << ": "
+      << result.violations.front().message;
+  EXPECT_TRUE(result.stats.exhausted);
+  EXPECT_EQ(result.stats.truncated_traces, 0u);
+  EXPECT_GE(result.stats.maximal_traces, 1u);
+}
+
+TEST(ExploreQuic, ExplorationIsDeterministic) {
+  ScenarioOptions scenario;
+  scenario.name = "handshake";
+  scenario.max_drops = 1;
+  ExploreOptions options;
+  options.max_steps = 60;
+  auto first_model = MakeQuicScenarioModel(scenario);
+  const ExploreResult first = Explore(*first_model, options);
+  auto second_model = MakeQuicScenarioModel(scenario);
+  const ExploreResult second = Explore(*second_model, options);
+  EXPECT_EQ(first.stats.maximal_traces, second.stats.maximal_traces);
+  EXPECT_EQ(first.stats.transitions, second.stats.transitions);
+  EXPECT_EQ(first.stats.distinct_states, second.stats.distinct_states);
+  EXPECT_EQ(first.violations.size(), second.violations.size());
+}
+
+// Enough drop budget starves the handshake (the stack gives up after
+// 1 s of unanswered retries — a real protocol property, not a bug), so
+// the explorer must produce a liveness counterexample; replaying it on a
+// fresh model must walk the exact recorded digest sequence.
+TEST(ExploreQuic, LivenessCounterexampleReplaysDigestIdentical) {
+  ScenarioOptions scenario;
+  scenario.name = "handshake";
+  scenario.max_drops = 10;
+  auto model = MakeQuicScenarioModel(scenario);
+  const ExploreResult result = Explore(*model, ExploreOptions{});
+  ASSERT_EQ(result.violations.size(), 1u);
+  const Violation& violation = result.violations.front();
+  EXPECT_EQ(violation.kind, ViolationKind::kLiveness);
+  ASSERT_FALSE(violation.trace.empty());
+  ASSERT_EQ(violation.digests.size(), violation.trace.size() + 1);
+
+  auto fresh = MakeQuicScenarioModel(scenario);
+  const ReplayOutcome outcome = Replay(*fresh, violation.trace);
+  EXPECT_TRUE(outcome.valid);
+  EXPECT_TRUE(outcome.invariants_ok);
+  EXPECT_TRUE(outcome.deadlocked);
+  EXPECT_FALSE(outcome.goal_reached);
+  EXPECT_EQ(outcome.digests, violation.digests);
+}
+
+}  // namespace
+}  // namespace mpq::harness

@@ -5,6 +5,9 @@
 # test suite under each. TSan exercises the parallel sweep harness
 # (tests run EvaluateClass with --jobs > 1); the audit leg runs every
 # test with per-event protocol invariants asserted (src/quic/audit.cc).
+# After the matrix: bounded model checking of the event machine
+# (tools/mpq_model), a 30-second wire-parser fuzz smoke (tools/fuzz_wire),
+# the chaos sweep, and the perf-regression gate.
 #
 #   tools/ci.sh [--jobs N]
 #
@@ -63,7 +66,32 @@ run_config build-asan -DMPQ_SANITIZE=ON
 run_config build-tsan -DMPQ_TSAN=ON
 run_config build-audit -DMPQ_AUDIT=ON
 
-# --- Stage 3: chaos sweep ----------------------------------------------
+# --- Stage 3: model checking -------------------------------------------
+# Bounded state-space exploration (docs/MODEL_CHECKING.md) on the audit
+# build, so every reached state is double-checked by the runtime
+# invariant assertions too. The selftest proves the explorer still
+# catches its seeded-bug corpus; the scenario runs enumerate every
+# schedule within the stated bounds — handshake exhaustively, plus
+# adversarial handshake (drop budget) and a small reordered transfer
+# with one drop and one duplicate. Each run takes well under a second.
+echo "==> model checking (mpq_model)"
+./build-audit/tools/mpq_model --selftest
+./build-audit/tools/mpq_model --scenario handshake --branch 2 --max-steps 40
+./build-audit/tools/mpq_model --scenario handshake --branch 3 --drops 1
+./build-audit/tools/mpq_model --scenario transfer --size 1200 --branch 3 \
+  --window 10000 --drops 1 --dups 1
+
+# --- Stage 4: fuzz smoke -----------------------------------------------
+# Build the wire-parser fuzz harness and give it 30 seconds. With a
+# clang toolchain this is real coverage-guided libFuzzer; on GCC the
+# binary is the standalone replayer (it ignores the -flags), so the
+# harness and seed corpus still compile and run everywhere.
+echo "==> fuzz smoke (fuzz_wire)"
+cmake -B build-fuzz -S . -DMPQ_LIBFUZZER=ON > /dev/null
+cmake --build build-fuzz -j "${jobs}" --target fuzz_wire
+./build-fuzz/tools/fuzz_wire -max_total_time=30 -seed=1 tools/fuzz_corpus/wire
+
+# --- Stage 5: chaos sweep ----------------------------------------------
 # The ctest `chaos` label (already run per-config above) covers a 25-seed
 # smoke; this stage runs the full 200-scenario fault-injection sweep from
 # docs/ROBUSTNESS.md under the two configurations that catch what plain
@@ -74,7 +102,7 @@ for dir in build-asan build-audit; do
   "./${dir}/tools/mpq_chaos" --sweep 200 --seed 1
 done
 
-# --- Stage 4: perf-regression gate -------------------------------------
+# --- Stage 6: perf-regression gate -------------------------------------
 # Re-measure the engine transfer (--quick skips the WSP sweeps) and
 # compare packets-per-second against the committed baseline; fail the
 # build if the engine regressed more than 15%. The committed BENCH_*.json

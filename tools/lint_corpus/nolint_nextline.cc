@@ -1,0 +1,32 @@
+// Suppression control for NOLINTNEXTLINE: the marker on its own line
+// must silence exactly the next line — scoped to the named rule, or
+// everything when bare — and must never suppress its *own* line (the
+// "NOLINT" prefix inside "NOLINTNEXTLINE" does not count as a bare
+// NOLINT).
+struct Gadget {};
+
+Gadget* MakeSilenced() {
+  // NOLINTNEXTLINE(mpq-naked-new): ownership passes to a C API
+  return new Gadget;
+}
+
+Gadget* MakeBareSilenced() {
+  // NOLINTNEXTLINE
+  return new Gadget;
+}
+
+// A marker scoped to a *different* rule must not suppress this one.
+// expect: naked-new
+Gadget* MakeStillFlagged() {
+  // NOLINTNEXTLINE(mpq-iostream-io)
+  return new Gadget;
+}
+
+// The marker only reaches one line: two lines down is still flagged.
+// expect: naked-new
+Gadget* MakeOutOfReach() {
+  // NOLINTNEXTLINE(mpq-naked-new)
+  Gadget* unrelated = nullptr;
+  (void)unrelated;
+  return new Gadget;
+}

@@ -1,0 +1,15 @@
+// Seeded violation: type punning in protocol code (virtual path
+// src/quic/reinterpret.cc — not the wire codec, not crypto).
+// expect: reinterpret-cast
+#include <cstdint>
+
+std::uint32_t PunProtocolState(const float value) {
+  const float* p = &value;
+  return *reinterpret_cast<const std::uint32_t*>(p);
+}
+
+// The rule is NOLINT-suppressible like every other.
+std::uint32_t PunButSanctioned(const float value) {
+  const float* p = &value;
+  return *reinterpret_cast<const std::uint32_t*>(p);  // NOLINT(mpq-reinterpret-cast)
+}

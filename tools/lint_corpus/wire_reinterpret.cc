@@ -1,0 +1,8 @@
+// Control: the same cast is allowed in the wire codec (virtual path
+// src/quic/wire_reinterpret.cc matches the src/quic/wire* carve-out) —
+// no findings expected.
+#include <cstdint>
+
+const std::uint8_t* WireBytes(const char* buffer) {
+  return reinterpret_cast<const std::uint8_t*>(buffer);
+}

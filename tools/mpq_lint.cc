@@ -25,6 +25,9 @@
 //                    obs/prof and common/clock.h — datapath
 //                    self-measurement goes through MPQ_PROF_SCOPE so it
 //                    aggregates into profiles (docs/OBSERVABILITY.md).
+//   reinterpret-cast reinterpret_cast outside src/crypto and the wire
+//                    codec (src/quic/wire*) — type punning stays in the
+//                    two layers whose job is raw bytes.
 //   layering         a direct #include that points upward in the layer
 //                    DAG (docs/ARCHITECTURE.md): foundation dirs
 //                    (common/crypto/sim/cc) must not include protocol
@@ -37,7 +40,9 @@
 //                    compiler's problem.
 //
 // Suppression: a line containing NOLINT silences every rule on that
-// line; NOLINT(mpq-<rule>) silences just that rule.
+// line; NOLINT(mpq-<rule>) silences just that rule. NOLINTNEXTLINE and
+// NOLINTNEXTLINE(mpq-<rule>) do the same for the line directly below
+// them (for lines with no room for a trailing comment).
 //
 //   mpq_lint [--root DIR] [PATHS...]   lint PATHS (default: src bench)
 //   mpq_lint --selftest DIR            run the seeded-violation corpus:
@@ -48,6 +53,7 @@
 //
 // Exit status: 0 clean, 1 findings (or corpus mismatch), 2 usage.
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -119,12 +125,43 @@ std::vector<Line> ReadLines(const fs::path& path) {
   return lines;
 }
 
-bool Suppressed(const Line& line, const std::string& rule) {
-  const auto pos = line.raw.find("NOLINT");
-  if (pos == std::string::npos) return false;
-  const auto paren = line.raw.find('(', pos);
-  if (paren != pos + 6) return true;  // bare NOLINT: silence everything
-  return line.raw.find("mpq-" + rule, paren) != std::string::npos;
+/// Does `raw` carry the given suppression marker for `rule`? A bare
+/// marker silences every rule; a parenthesised one only the rules it
+/// names (as mpq-<rule>).
+bool MarkerSuppresses(const std::string& raw, const char* marker,
+                      const std::string& rule) {
+  const std::size_t len = std::strlen(marker);
+  std::size_t pos = raw.find(marker);
+  while (pos != std::string::npos) {
+    // "NOLINT" also matches inside "NOLINTNEXTLINE" — skip occurrences
+    // that are a prefix of a longer marker; they belong to that marker.
+    const std::size_t after = pos + len;
+    if (after < raw.size() &&
+        (std::isalnum(static_cast<unsigned char>(raw[after])) != 0 ||
+         raw[after] == '_')) {
+      pos = raw.find(marker, after);
+      continue;
+    }
+    if (after < raw.size() && raw[after] == '(') {
+      const std::size_t close = raw.find(')', after);
+      const std::string list =
+          raw.substr(after, close == std::string::npos ? std::string::npos
+                                                       : close - after);
+      return list.find("mpq-" + rule) != std::string::npos;
+    }
+    return true;  // bare marker: silence everything
+  }
+  return false;
+}
+
+/// A finding on line `idx` is suppressed by NOLINT / NOLINT(mpq-<rule>)
+/// on the same line, or NOLINTNEXTLINE / NOLINTNEXTLINE(mpq-<rule>) on
+/// the line directly above it.
+bool Suppressed(const std::vector<Line>& lines, std::size_t idx,
+                const std::string& rule) {
+  if (MarkerSuppresses(lines[idx].raw, "NOLINT", rule)) return true;
+  return idx > 0 &&
+         MarkerSuppresses(lines[idx - 1].raw, "NOLINTNEXTLINE", rule);
 }
 
 // -- rule implementations ---------------------------------------------------
@@ -224,7 +261,7 @@ void CheckFile(const std::string& rel, const std::vector<Line>& lines,
 
   const auto report = [&](std::size_t idx, const char* rule,
                           std::string message) {
-    if (!Suppressed(lines[idx], rule)) {
+    if (!Suppressed(lines, idx, rule)) {
       findings.push_back({rel, idx + 1, rule, std::move(message)});
     }
   };
@@ -243,6 +280,7 @@ void CheckFile(const std::string& rel, const std::vector<Line>& lines,
   static const std::regex kDeclName(R"(>\s*(\w+)\s*(?:;|\{|=))");
   static const std::regex kParentInclude(R"(#include\s*"[^"]*\.\./)");
   static const std::regex kQuotedInclude(R"(#include\s*"([^"]+)\")");
+  static const std::regex kReinterpret(R"(\breinterpret_cast\b)");
 
   // Pass 1: names of unordered containers declared in this file (for the
   // iteration rule). Declarations themselves are fine — lookups and
@@ -298,6 +336,15 @@ void CheckFile(const std::string& rel, const std::vector<Line>& lines,
       report(i, "naked-new",
              "new expression not owned by a smart pointer in the same "
              "statement");
+    }
+    // Type punning is confined to the two places that legitimately
+    // reinterpret bytes: the crypto primitives and the wire codec.
+    if (in_src && !StartsWith(rel, "src/crypto/") &&
+        !StartsWith(rel, "src/quic/wire") &&
+        std::regex_search(code, kReinterpret)) {
+      report(i, "reinterpret-cast",
+             "reinterpret_cast outside src/crypto and quic/wire (keep "
+             "type punning in the byte-handling layers)");
     }
     // Include paths live inside string literals, which the code view
     // blanks out — match the raw line for this rule.
@@ -389,7 +436,7 @@ std::string RelativeTo(const fs::path& root, const fs::path& file) {
 const std::vector<std::string> kAllRules = {
     "wall-clock", "raw-rng",     "unordered-iter",  "iostream-io",
     "naked-new",  "pragma-once", "include-hygiene", "layering",
-    "prof-clock"};
+    "prof-clock", "reinterpret-cast"};
 
 int RunLint(const fs::path& root, const std::vector<std::string>& dirs) {
   std::vector<Finding> findings;

@@ -1,0 +1,387 @@
+// mpq_model — bounded state-space exploration of the MPQUIC event
+// machine (docs/MODEL_CHECKING.md).
+//
+//   mpq_model --scenario handshake          exhaustive bounded exploration
+//   mpq_model --scenario transfer --drops 1 ...with one adversarial drop
+//   mpq_model --selftest                    seeded-bug corpus + PoR checks
+//   mpq_model --replay trace.json --qlog t.qlog
+//                                           re-run a counterexample
+//
+// Exploration exits 0 iff the bounded schedule space contains no
+// invariant, liveness or determinism violation; a violation is written
+// as a replayable JSON counterexample (--out, default mpq_model_cex.json
+// only when explicitly requested). Replay exits 0 iff the recorded trace
+// reproduces the recorded digest sequence exactly.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/explore.h"
+#include "obs/json.h"
+
+namespace {
+
+using mpq::harness::ChoiceAction;
+using mpq::harness::ExploreOptions;
+using mpq::harness::ExploreResult;
+using mpq::harness::ScenarioOptions;
+using mpq::harness::TraceStep;
+using mpq::harness::Violation;
+
+std::string HexDigest(std::uint64_t digest) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+bool ParseAction(const std::string& text, ChoiceAction& out) {
+  if (text == "fire") {
+    out = ChoiceAction::kFire;
+  } else if (text == "drop") {
+    out = ChoiceAction::kDrop;
+  } else if (text == "dup") {
+    out = ChoiceAction::kDup;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string WriteCounterexample(const ScenarioOptions& scenario,
+                                const Violation& violation) {
+  mpq::obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("tool").String("mpq_model");
+  w.Key("scenario");
+  w.BeginObject();
+  w.Key("name").String(scenario.name);
+  w.Key("seed").UInt(scenario.seed);
+  w.Key("transfer_bytes").UInt(scenario.transfer_bytes.value());
+  w.Key("max_drops").Int(scenario.max_drops);
+  w.Key("max_dups").Int(scenario.max_dups);
+  w.Key("commute_window_us").Int(scenario.commute_window);
+  w.Key("branch").Int(scenario.branch);
+  w.Key("fault_time_us").Int(scenario.fault_time);
+  w.EndObject();
+  w.Key("violation");
+  w.BeginObject();
+  w.Key("kind").String(mpq::harness::ToString(violation.kind));
+  w.Key("message").String(violation.message);
+  w.EndObject();
+  w.Key("trace");
+  w.BeginArray();
+  for (const TraceStep& step : violation.trace) {
+    w.BeginObject();
+    w.Key("index").UInt(step.index);
+    w.Key("action").String(mpq::harness::ToString(step.action));
+    w.Key("label").String(step.label);
+    w.EndObject();
+  }
+  w.EndArray();
+  // Digests as hex strings: they use all 64 bits, beyond JSON's exact
+  // double range.
+  w.Key("digests");
+  w.BeginArray();
+  for (const std::uint64_t digest : violation.digests) {
+    w.String(HexDigest(digest));
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+struct LoadedTrace {
+  ScenarioOptions scenario;
+  std::vector<TraceStep> trace;
+  std::vector<std::uint64_t> digests;
+  std::string violation_kind;
+};
+
+bool LoadCounterexample(const std::string& path, LoadedTrace& out) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "mpq_model: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const auto doc = mpq::obs::JsonValue::Parse(buffer.str());
+  if (!doc) {
+    std::fprintf(stderr, "mpq_model: %s is not valid JSON\n", path.c_str());
+    return false;
+  }
+  const auto* scenario = doc->Find("scenario");
+  const auto* trace = doc->Find("trace");
+  if (scenario == nullptr || trace == nullptr || !trace->is_array()) {
+    std::fprintf(stderr, "mpq_model: %s is missing scenario/trace\n",
+                 path.c_str());
+    return false;
+  }
+  if (const auto* v = scenario->Find("name")) out.scenario.name = v->AsString();
+  if (const auto* v = scenario->Find("seed")) {
+    out.scenario.seed = static_cast<std::uint64_t>(v->AsInt());
+  }
+  if (const auto* v = scenario->Find("transfer_bytes")) {
+    out.scenario.transfer_bytes =
+        mpq::ByteCount{static_cast<std::uint64_t>(v->AsInt())};
+  }
+  if (const auto* v = scenario->Find("max_drops")) {
+    out.scenario.max_drops = static_cast<int>(v->AsInt());
+  }
+  if (const auto* v = scenario->Find("max_dups")) {
+    out.scenario.max_dups = static_cast<int>(v->AsInt());
+  }
+  if (const auto* v = scenario->Find("commute_window_us")) {
+    out.scenario.commute_window = v->AsInt();
+  }
+  if (const auto* v = scenario->Find("branch")) {
+    out.scenario.branch = static_cast<int>(v->AsInt());
+  }
+  if (const auto* v = scenario->Find("fault_time_us")) {
+    out.scenario.fault_time = v->AsInt();
+  }
+  for (const auto& entry : trace->AsArray()) {
+    TraceStep step;
+    if (const auto* v = entry.Find("index")) {
+      step.index = static_cast<std::uint32_t>(v->AsInt());
+    }
+    std::string action = "fire";
+    if (const auto* v = entry.Find("action")) action = v->AsString();
+    if (!ParseAction(action, step.action)) {
+      std::fprintf(stderr, "mpq_model: unknown action '%s' in %s\n",
+                   action.c_str(), path.c_str());
+      return false;
+    }
+    if (const auto* v = entry.Find("label")) step.label = v->AsString();
+    out.trace.push_back(std::move(step));
+  }
+  if (const auto* digests = doc->Find("digests")) {
+    for (const auto& entry : digests->AsArray()) {
+      out.digests.push_back(
+          std::strtoull(entry.AsString().c_str(), nullptr, 16));
+    }
+  }
+  if (const auto* violation = doc->Find("violation")) {
+    if (const auto* v = violation->Find("kind")) {
+      out.violation_kind = v->AsString();
+    }
+  }
+  return true;
+}
+
+int RunReplay(const std::string& path, const std::string& qlog_path) {
+  LoadedTrace loaded;
+  if (!LoadCounterexample(path, loaded)) return 2;
+  loaded.scenario.qlog_path = qlog_path;
+
+  std::unique_ptr<mpq::harness::Model> model;
+  try {
+    model = mpq::harness::MakeQuicScenarioModel(loaded.scenario);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mpq_model: %s\n", e.what());
+    return 2;
+  }
+  const auto outcome = mpq::harness::Replay(*model, loaded.trace);
+
+  std::printf("replay: %s scenario=%s steps=%zu/%zu\n", path.c_str(),
+              loaded.scenario.name.c_str(), outcome.steps_executed,
+              loaded.trace.size());
+  for (std::size_t i = 0; i < outcome.executed.size(); ++i) {
+    const TraceStep& step = outcome.executed[i];
+    std::printf("  step %2zu: [%u] %s %s -> %s\n", i + 1, step.index,
+                mpq::harness::ToString(step.action), step.label.c_str(),
+                i + 1 < outcome.digests.size()
+                    ? HexDigest(outcome.digests[i + 1]).c_str()
+                    : "?");
+  }
+  if (!outcome.invariants_ok) {
+    std::printf("invariant violation reproduced:\n%s", outcome.message.c_str());
+  } else if (outcome.deadlocked) {
+    std::printf("liveness violation reproduced: deadlock before goal\n");
+  } else if (!outcome.valid) {
+    std::printf("trace invalid: %s\n", outcome.message.c_str());
+  } else {
+    std::printf("trace ran clean (goal %s)\n",
+                outcome.goal_reached ? "reached" : "not reached");
+  }
+
+  if (loaded.digests.empty()) {
+    std::printf("no recorded digests to compare\n");
+    return outcome.valid ? 0 : 1;
+  }
+  if (outcome.digests == loaded.digests) {
+    std::printf("digest sequence identical to the recording (%zu digests)\n",
+                outcome.digests.size());
+    return 0;
+  }
+  std::size_t diverge = 0;
+  const std::size_t n = std::min(outcome.digests.size(), loaded.digests.size());
+  while (diverge < n && outcome.digests[diverge] == loaded.digests[diverge]) {
+    ++diverge;
+  }
+  std::printf("digest DIVERGENCE at step %zu: recorded %s, replayed %s\n",
+              diverge,
+              diverge < loaded.digests.size()
+                  ? HexDigest(loaded.digests[diverge]).c_str()
+                  : "<end>",
+              diverge < outcome.digests.size()
+                  ? HexDigest(outcome.digests[diverge]).c_str()
+                  : "<end>");
+  return 1;
+}
+
+int RunExplore(const ScenarioOptions& scenario, const ExploreOptions& options,
+               const std::string& out_path) {
+  std::unique_ptr<mpq::harness::Model> model;
+  try {
+    model = mpq::harness::MakeQuicScenarioModel(scenario);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mpq_model: %s\n", e.what());
+    return 2;
+  }
+  const ExploreResult result = mpq::harness::Explore(*model, options);
+  const auto& stats = result.stats;
+  std::printf(
+      "scenario=%s seed=%llu branch=%d window=%lldus drops=%d dups=%d "
+      "max-steps=%d por=%d\n",
+      scenario.name.c_str(), static_cast<unsigned long long>(scenario.seed),
+      scenario.branch, static_cast<long long>(scenario.commute_window),
+      scenario.max_drops, scenario.max_dups, options.max_steps,
+      options.por ? 1 : 0);
+  std::printf(
+      "explored: %llu maximal traces (%llu truncated), %llu transitions, "
+      "%llu distinct states, pruned %llu by digest / %llu by sleep sets%s\n",
+      static_cast<unsigned long long>(stats.maximal_traces),
+      static_cast<unsigned long long>(stats.truncated_traces),
+      static_cast<unsigned long long>(stats.transitions),
+      static_cast<unsigned long long>(stats.distinct_states),
+      static_cast<unsigned long long>(stats.pruned_digest),
+      static_cast<unsigned long long>(stats.pruned_sleep),
+      stats.exhausted ? "" : " [trace budget hit]");
+
+  if (result.violations.empty()) {
+    std::printf("no invariant, liveness or determinism violations\n");
+    return 0;
+  }
+  const Violation& violation = result.violations.front();
+  std::printf("VIOLATION (%s): %s\n", mpq::harness::ToString(violation.kind),
+              violation.message.c_str());
+  std::printf("counterexample (%zu steps):\n", violation.trace.size());
+  for (std::size_t i = 0; i < violation.trace.size(); ++i) {
+    const TraceStep& step = violation.trace[i];
+    std::printf("  step %2zu: [%u] %s %s\n", i + 1, step.index,
+                mpq::harness::ToString(step.action), step.label.c_str());
+  }
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::trunc);
+    if (out.is_open()) {
+      out << WriteCounterexample(scenario, violation) << '\n';
+      std::printf("replayable counterexample written to %s\n",
+                  out_path.c_str());
+    } else {
+      std::fprintf(stderr, "mpq_model: cannot write %s\n", out_path.c_str());
+    }
+  }
+  return 1;
+}
+
+int RunSelfTestMode() {
+  std::string report;
+  const int failures = mpq::harness::RunSelfTest(report);
+  std::fputs(report.c_str(), stdout);
+  std::printf("selftest: %s\n", failures == 0 ? "all checks passed"
+                                              : "FAILURES detected");
+  return failures == 0 ? 0 : 1;
+}
+
+void Usage() {
+  std::fputs(
+      "usage: mpq_model [mode] [options]\n"
+      "modes:\n"
+      "  --scenario {handshake,transfer,handover}  explore (default handshake)\n"
+      "  --replay <trace.json>      re-run a recorded counterexample\n"
+      "  --selftest                 run the seeded-bug corpus\n"
+      "exploration options:\n"
+      "  --seed N          scenario seed (default 1)\n"
+      "  --size N          transfer/handover response bytes (default 1200)\n"
+      "  --max-steps N     depth bound (default 256)\n"
+      "  --branch N        events considered per step (default 3)\n"
+      "  --window US       commute window in microseconds (default 2000)\n"
+      "  --drops N         adversarial drop budget (default 0)\n"
+      "  --dups N          adversarial duplicate budget (default 0)\n"
+      "  --por {0,1}       sleep-set partial-order reduction (default 1)\n"
+      "  --max-traces N    trace budget (default 1048576)\n"
+      "  --out FILE        write a violation as replayable JSON\n"
+      "replay options:\n"
+      "  --qlog FILE       attach a qlog tracer during replay\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ScenarioOptions scenario;
+  ExploreOptions options;
+  std::string out_path;
+  std::string replay_path;
+  std::string qlog_path;
+  bool selftest = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "mpq_model: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--selftest") {
+      selftest = true;
+    } else if (arg == "--scenario") {
+      scenario.name = next();
+    } else if (arg == "--replay") {
+      replay_path = next();
+    } else if (arg == "--qlog") {
+      qlog_path = next();
+    } else if (arg == "--seed") {
+      scenario.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--size") {
+      scenario.transfer_bytes =
+          mpq::ByteCount{std::strtoull(next(), nullptr, 10)};
+    } else if (arg == "--max-steps") {
+      options.max_steps = std::atoi(next());
+    } else if (arg == "--branch") {
+      scenario.branch = std::atoi(next());
+    } else if (arg == "--window") {
+      scenario.commute_window = std::atoll(next());
+    } else if (arg == "--drops") {
+      scenario.max_drops = std::atoi(next());
+    } else if (arg == "--dups") {
+      scenario.max_dups = std::atoi(next());
+    } else if (arg == "--por") {
+      options.por = std::atoi(next()) != 0;
+    } else if (arg == "--max-traces") {
+      options.max_traces = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "mpq_model: unknown option %s\n", arg.c_str());
+      Usage();
+      return 2;
+    }
+  }
+
+  if (selftest) return RunSelfTestMode();
+  if (!replay_path.empty()) return RunReplay(replay_path, qlog_path);
+  return RunExplore(scenario, options, out_path);
+}
