@@ -163,4 +163,16 @@ std::string MetricsRegistry::SnapshotJson() const {
   return writer.str();
 }
 
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  for (const auto& [name, counter] : other.counters_) {
+    GetCounter(name).Increment(counter->value());
+  }
+  for (const auto& [name, gauge] : other.gauges_) {
+    GetGauge(name).Set(gauge->value());
+  }
+  for (const auto& [name, histogram] : other.histograms_) {
+    GetHistogram(name).Merge(*histogram);
+  }
+}
+
 }  // namespace mpq::obs

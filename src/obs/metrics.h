@@ -117,6 +117,14 @@ class MetricsRegistry {
   void WriteJson(JsonWriter& writer) const;
   std::string SnapshotJson() const;
 
+  /// Fold `other` into this registry: counters add, histograms
+  /// bucket-merge (Histogram::Merge), gauges last-write-wins (the value
+  /// from `other` replaces ours — merge order is the caller's
+  /// reduction order, so per-shard KPI registries folded in shard order
+  /// reduce deterministically). Metrics absent on either side are
+  /// created/kept.
+  void MergeFrom(const MetricsRegistry& other);
+
  private:
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;

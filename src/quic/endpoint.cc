@@ -13,7 +13,7 @@ ClientEndpoint::ClientEndpoint(sim::Simulator& sim, sim::Network& net,
     sockets.push_back(net_.CreateSocket(addr));
   }
   Rng rng(seed);
-  const ConnectionId cid = rng.NextU64() | 1;  // never zero
+  const ConnectionId cid = rng.NextU64() | 1;  // == CidForSeed(seed)
   auto send = [sockets, locals = locals_](sim::Address local,
                                           sim::Address remote,
                                           std::vector<std::uint8_t> payload) {
@@ -40,71 +40,6 @@ ClientEndpoint::~ClientEndpoint() {
 
 void ClientEndpoint::Connect(sim::Address server_address) {
   connection_->Connect(server_address);
-}
-
-// ---------------------------------------------------------------------------
-
-ServerEndpoint::ServerEndpoint(sim::Simulator& sim, sim::Network& net,
-                               std::vector<sim::Address> locals,
-                               const ConnectionConfig& config,
-                               std::uint64_t seed)
-    : sim_(sim),
-      net_(net),
-      locals_(std::move(locals)),
-      config_(config),
-      rng_(seed) {
-  for (const auto& addr : locals_) {
-    sim::DatagramSocket* socket = net_.CreateSocket(addr);
-    sockets_.emplace_back(addr, socket);
-    socket->SetReceiveHandler(
-        [this](const sim::Datagram& datagram) { OnDatagram(datagram); });
-  }
-}
-
-ServerEndpoint::~ServerEndpoint() {
-  for (const auto& [addr, socket] : sockets_) net_.CloseSocket(addr);
-}
-
-Connection* ServerEndpoint::FindConnection(ConnectionId cid) {
-  auto it = connections_.find(cid);
-  return it == connections_.end() ? nullptr : it->second.get();
-}
-
-std::vector<Connection*> ServerEndpoint::Connections() {
-  std::vector<Connection*> out;
-  out.reserve(connections_.size());
-  for (const auto& [cid, conn] : connections_) out.push_back(conn.get());
-  return out;
-}
-
-void ServerEndpoint::OnDatagram(const sim::Datagram& datagram) {
-  // Peek the CID (flags byte + 8-byte CID) to demultiplex.
-  BufReader reader(datagram.payload);
-  std::uint8_t flags = 0;
-  ConnectionId cid = 0;
-  if (!reader.ReadU8(flags) || !reader.ReadU64(cid)) return;
-
-  auto it = connections_.find(cid);
-  if (it == connections_.end()) {
-    // Only a handshake packet may open a connection.
-    if ((flags & kFlagHandshake) == 0) return;
-    auto send = [this](sim::Address local, sim::Address remote,
-                       std::vector<std::uint8_t> payload) {
-      for (const auto& [addr, socket] : sockets_) {
-        if (addr == local) {
-          socket->Send(remote, std::move(payload));
-          return;
-        }
-      }
-    };
-    auto connection = std::make_unique<Connection>(
-        sim_, Perspective::kServer, cid, config_, rng_.Fork(),
-        std::move(send));
-    connection->SetLocalAddresses(locals_);
-    if (on_accept_) on_accept_(*connection);
-    it = connections_.emplace(cid, std::move(connection)).first;
-  }
-  it->second->OnDatagram(datagram);
 }
 
 }  // namespace mpq::quic

@@ -1,16 +1,17 @@
-// Client and server endpoints: bind the simulator's datagram sockets to
-// (MP)QUIC connections. The client owns one connection over all of its
-// interfaces; the server accepts connections demultiplexed by the
-// Connection ID in the public header.
+// Client endpoint: binds the simulator's datagram sockets to one (MP)QUIC
+// connection over all of the client's interfaces. The server side lives
+// in quic/server.h — a sharded many-connection engine; `ServerEndpoint`
+// is its single-shard configuration, kept as the historical name every
+// single-connection test and bench uses.
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <vector>
 
 #include "common/rng.h"
 #include "quic/connection.h"
+#include "quic/server.h"
 #include "sim/net.h"
 #include "sim/simulator.h"
 
@@ -28,6 +29,14 @@ class ClientEndpoint {
   ClientEndpoint(const ClientEndpoint&) = delete;
   ClientEndpoint& operator=(const ClientEndpoint&) = delete;
 
+  /// The CID a client constructed with `seed` will use (the seed RNG's
+  /// first draw, low bit forced so it is never zero). The workload layer
+  /// calls this to place each planned flow on the shard that will own
+  /// it — keep in sync with the constructor.
+  static ConnectionId CidForSeed(std::uint64_t seed) {
+    return Rng(seed).NextU64() | 1;
+  }
+
   /// Start the handshake toward the server's initial address.
   void Connect(sim::Address server_address);
 
@@ -39,41 +48,8 @@ class ClientEndpoint {
   std::unique_ptr<Connection> connection_;
 };
 
-class ServerEndpoint {
- public:
-  /// Called once per accepted connection, before its first packet is
-  /// processed — the application installs its stream handlers here.
-  using AcceptHandler = std::function<void(Connection&)>;
-
-  ServerEndpoint(sim::Simulator& sim, sim::Network& net,
-                 std::vector<sim::Address> locals,
-                 const ConnectionConfig& config, std::uint64_t seed);
-  ~ServerEndpoint();
-
-  ServerEndpoint(const ServerEndpoint&) = delete;
-  ServerEndpoint& operator=(const ServerEndpoint&) = delete;
-
-  void SetAcceptHandler(AcceptHandler handler) {
-    on_accept_ = std::move(handler);
-  }
-
-  std::size_t connection_count() const { return connections_.size(); }
-  Connection* FindConnection(ConnectionId cid);
-  /// All accepted connections, ordered by CID (deterministic — the
-  /// model checker digests every server connection each step).
-  std::vector<Connection*> Connections();
-
- private:
-  void OnDatagram(const sim::Datagram& datagram);
-
-  sim::Simulator& sim_;
-  sim::Network& net_;
-  std::vector<sim::Address> locals_;
-  ConnectionConfig config_;
-  Rng rng_;
-  AcceptHandler on_accept_;
-  std::vector<std::pair<sim::Address, sim::DatagramSocket*>> sockets_;
-  std::map<ConnectionId, std::unique_ptr<Connection>> connections_;
-};
+/// One-shard server: the exact accept/demux surface the full engine
+/// provides, minus sharding. See quic/server.h.
+using ServerEndpoint = Server;
 
 }  // namespace mpq::quic

@@ -149,6 +149,21 @@ Link* Network::AddLink(Address from, Address to, const LinkConfig& config) {
   return it->second.link.get();
 }
 
+Link* Network::AddSharedLink(Address from, const LinkConfig& config) {
+  auto link = std::make_unique<Link>(sim_, config, rng_.Fork());
+  Link* raw = link.get();
+  raw->SetDeliveryHandler([this](Datagram&& d) { Deliver(std::move(d)); });
+  // Deliveries fan out to many destinations; scope 0 keeps the explorer
+  // conservative ("dependent with everything") should it ever meet one.
+  raw->SetDeliveryScope(0);
+  auto [it, inserted] = links_by_src_.emplace(
+      from, LinkEnds{std::move(link), Address{}, /*any_dst=*/true});
+  if (!inserted) {
+    throw std::invalid_argument("interface already has an outgoing link");
+  }
+  return it->second.link.get();
+}
+
 std::pair<Link*, Link*> Network::AddDuplexLink(Address a, Address b,
                                                const LinkConfig& a_to_b,
                                                const LinkConfig& b_to_a) {
@@ -179,7 +194,7 @@ void Network::Send(Datagram dgram) {
              dgram.src.node, dgram.src.iface);
     return;
   }
-  if (!(it->second.to == dgram.dst)) {
+  if (!it->second.any_dst && !(it->second.to == dgram.dst)) {
     // Disjoint-path topology: an interface reaches exactly one peer
     // address. A mismatched destination is unroutable.
     MPQ_WARN(sim_.now(), "net", "unroutable dst node %u iface %u",

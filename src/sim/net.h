@@ -230,6 +230,15 @@ class Network {
   /// pointer owned by the network.
   Link* AddLink(Address from, Address to, const LinkConfig& config);
 
+  /// Create a unidirectional *shared* (multipoint) link out of `from`:
+  /// datagrams to any destination traverse it and are routed to the
+  /// destination socket on delivery. This models a server's access link
+  /// fanning out to many clients — the shared bottleneck the
+  /// many-connection workload contends on (point-to-point links keep
+  /// their strict one-peer check). Returns a stable pointer owned by
+  /// the network.
+  Link* AddSharedLink(Address from, const LinkConfig& config);
+
   /// Convenience: a link in each direction with per-direction configs.
   std::pair<Link*, Link*> AddDuplexLink(Address a, Address b,
                                         const LinkConfig& a_to_b,
@@ -256,6 +265,9 @@ class Network {
   struct LinkEnds {
     std::unique_ptr<Link> link;
     Address to;
+    /// Shared (multipoint) link: any destination is routable; `to` is
+    /// meaningless.
+    bool any_dst = false;
   };
   std::unordered_map<Address, LinkEnds, AddressHash> links_by_src_;
   std::unordered_map<Address, std::unique_ptr<DatagramSocket>, AddressHash>

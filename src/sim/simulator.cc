@@ -16,12 +16,27 @@ Simulator::EventId Simulator::ScheduleAt(TimePoint when, Callback fn,
   return id;
 }
 
+Simulator::EventId Simulator::ArmTimer(TimerEntry& entry, TimePoint when) {
+  if (when < now_) when = now_;
+  const EventId id = next_id_++;
+  wheel_.Arm(entry, when, id);
+  return id;
+}
+
+void Simulator::CancelTimer(TimerEntry& entry) { wheel_.Cancel(entry); }
+
 std::vector<Simulator::PendingEventInfo> Simulator::PendingEvents() const {
   std::vector<PendingEventInfo> out;
-  out.reserve(pending_.size());
+  out.reserve(pending_.size() + wheel_.size());
   for (const auto& [id, event] : pending_) {
     out.push_back({id, event.when, event.kind, event.scope});
   }
+  // Wheel timers are pending events like any other; they carry scope 0
+  // (timers are dependent with everything), exactly as the heap-based
+  // timers did.
+  wheel_.ForEach([&out](const TimerEntry& entry) {
+    out.push_back({entry.id(), entry.when(), EventKind::kTimer, 0});
+  });
   std::sort(out.begin(), out.end(),
             [](const PendingEventInfo& a, const PendingEventInfo& b) {
               if (a.when != b.when) return a.when < b.when;
@@ -30,9 +45,33 @@ std::vector<Simulator::PendingEventInfo> Simulator::PendingEvents() const {
   return out;
 }
 
+void Simulator::FireWheelEntry(TimerEntry& entry, bool pop_earliest) {
+  std::function<void()>* fn = entry.callback;
+  const TimePoint when = entry.when();
+  if (pop_earliest) {
+    wheel_.PopEarliest(entry);
+    now_ = when;
+  } else {
+    // Explorer path (FireEvent out of order): fire late without moving
+    // the wheel's horizon — later entries keep their placement.
+    wheel_.Cancel(entry);
+    if (when > now_) now_ = when;
+  }
+  ++events_executed_;
+  {
+    MPQ_PROF_SCOPE("sim/event");
+    (*fn)();
+  }
+}
+
 bool Simulator::FireEvent(EventId id) {
   auto it = pending_.find(id);
-  if (it == pending_.end()) return false;
+  if (it == pending_.end()) {
+    TimerEntry* entry = wheel_.FindById(id);
+    if (entry == nullptr) return false;
+    FireWheelEntry(*entry, /*pop_earliest=*/false);
+    return true;
+  }
   Callback fn = std::move(it->second.fn);
   if (it->second.when > now_) now_ = it->second.when;
   pending_.erase(it);
@@ -46,7 +85,17 @@ bool Simulator::FireEvent(EventId id) {
 
 Simulator::EventId Simulator::DuplicateEvent(EventId id, Duration extra_delay) {
   auto it = pending_.find(id);
-  if (it == pending_.end()) return 0;
+  if (it == pending_.end()) {
+    TimerEntry* entry = wheel_.FindById(id);
+    if (entry == nullptr) return 0;
+    // Clone the timer as a plain heap event invoking a copy of the
+    // owner's callback (the original entry stays armed; the clone does
+    // not reset the owning Timer's state when it fires).
+    Callback copy = *entry->callback;
+    const TimePoint when =
+        entry->when() + (extra_delay < 0 ? 0 : extra_delay);
+    return ScheduleAt(when, std::move(copy), EventKind::kTimer, 0);
+  }
   // Copy the callback (std::function targets are CopyConstructible by
   // construction) and reuse the normal scheduling path for the clone.
   Callback copy = it->second.fn;
@@ -55,35 +104,57 @@ Simulator::EventId Simulator::DuplicateEvent(EventId id, Duration extra_delay) {
   return ScheduleAt(when, std::move(copy), it->second.kind, it->second.scope);
 }
 
-void Simulator::Cancel(EventId id) { pending_.erase(id); }
+void Simulator::Cancel(EventId id) {
+  if (pending_.erase(id) != 0) return;
+  TimerEntry* entry = wheel_.FindById(id);
+  if (entry != nullptr) wheel_.Cancel(*entry);
+}
 
 bool Simulator::RunOne(TimePoint until) {
-  while (!queue_.empty()) {
-    const HeapEntry top = queue_.top();
-    auto it = pending_.find(top.id);
-    if (it == pending_.end()) {
-      queue_.pop();  // cancelled; discard the stale heap entry
-      continue;
-    }
-    if (top.when > until) return false;
+  // Discard stale heap entries so the top (if any) is a live event.
+  while (!queue_.empty() &&
+         pending_.find(queue_.top().id) == pending_.end()) {
     queue_.pop();
-    // Move the callback out before erasing so the callback may freely
-    // schedule/cancel (including rescheduling its own id, which is gone).
-    Callback fn = std::move(it->second.fn);
-    now_ = top.when;
-    pending_.erase(it);
-    ++events_executed_;
-    {
-      // Root span of the engine: every protocol callback (and therefore
-      // every nested dispatch/assembly/crypto/recovery span) runs inside
-      // one simulated event, so "sim;event" inclusive time ≈ engine wall
-      // time and its self time is the uninstrumented remainder.
-      MPQ_PROF_SCOPE("sim/event");
-      fn();
-    }
+  }
+  TimerEntry* timer = wheel_.PeekEarliest();
+  bool fire_timer;
+  if (timer != nullptr && !queue_.empty()) {
+    const HeapEntry top = queue_.top();
+    fire_timer = timer->when() != top.when ? timer->when() < top.when
+                                           : timer->id() < top.id;
+  } else if (timer != nullptr) {
+    fire_timer = true;
+  } else if (!queue_.empty()) {
+    fire_timer = false;
+  } else {
+    return false;
+  }
+
+  if (fire_timer) {
+    if (timer->when() > until) return false;
+    FireWheelEntry(*timer, /*pop_earliest=*/true);
     return true;
   }
-  return false;
+
+  const HeapEntry top = queue_.top();
+  if (top.when > until) return false;
+  auto it = pending_.find(top.id);
+  queue_.pop();
+  // Move the callback out before erasing so the callback may freely
+  // schedule/cancel (including rescheduling its own id, which is gone).
+  Callback fn = std::move(it->second.fn);
+  now_ = top.when;
+  pending_.erase(it);
+  ++events_executed_;
+  {
+    // Root span of the engine: every protocol callback (and therefore
+    // every nested dispatch/assembly/crypto/recovery span) runs inside
+    // one simulated event, so "sim;event" inclusive time ≈ engine wall
+    // time and its self time is the uninstrumented remainder.
+    MPQ_PROF_SCOPE("sim/event");
+    fn();
+  }
+  return true;
 }
 
 std::uint64_t Simulator::Run(TimePoint until) {

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "sim/timer_wheel.h"
 
 namespace mpq::sim {
 
@@ -71,6 +72,16 @@ class Simulator {
   /// them; this mirrors how timer APIs behave in real stacks).
   void Cancel(EventId id);
 
+  /// Arm `entry` to fire at `when` (clamped to now) on the shared timer
+  /// wheel — the zero-allocation path sim::Timer uses. Exactly one event
+  /// id is consumed per arm (the same budget a ScheduleAt-based timer
+  /// would use), so the merged (when, id) firing order is identical to
+  /// scheduling the timer as a heap event. Returns the assigned id.
+  EventId ArmTimer(TimerEntry& entry, TimePoint when);
+
+  /// Disarm a wheel timer (no-op if not armed).
+  void CancelTimer(TimerEntry& entry);
+
   /// Run until the queue is empty or simulated time would exceed `until`.
   /// Returns the number of events executed.
   std::uint64_t Run(TimePoint until = kTimeInfinite);
@@ -97,7 +108,7 @@ class Simulator {
   /// wire duplication. Returns 0 for unknown ids.
   EventId DuplicateEvent(EventId id, Duration extra_delay = 0);
 
-  bool empty() const { return pending_.empty(); }
+  bool empty() const { return pending_.empty() && wheel_.empty(); }
   std::uint64_t events_executed() const { return events_executed_; }
 
  private:
@@ -121,6 +132,10 @@ class Simulator {
     }
   };
 
+  /// Fire one wheel timer: disarm first (so the callback may re-arm),
+  /// advance time, invoke.
+  void FireWheelEntry(TimerEntry& entry, bool pop_earliest);
+
   TimePoint now_ = 0;
   EventId next_id_ = 1;
   std::uint64_t events_executed_ = 0;
@@ -128,6 +143,9 @@ class Simulator {
   // Cancellation removes from this map; stale heap entries are skipped on
   // pop. The heap never holds more stale entries than were cancelled.
   std::unordered_map<EventId, Event> pending_;
+  // Protocol timers (EventKind::kTimer via sim::Timer) live here, not in
+  // the heap; RunOne merges the two sources by exact (when, id).
+  TimerWheel wheel_;
 };
 
 }  // namespace mpq::sim

@@ -10,53 +10,52 @@
 
 namespace mpq::sim {
 
-/// Wraps a Simulator event with set/reset/cancel semantics. The timer does
-/// not own its callback's context; the owner must outlive any armed timer
-/// (owners cancel in their destructors via RAII here).
+/// Set/reset/cancel semantics over the Simulator's shared timer wheel.
+/// The callback is stored once at construction and the timer re-arms by
+/// relinking its embedded wheel entry — no allocation per (re-)arm,
+/// which matters when thousands of connections each re-arm RTO/ACK/
+/// pacing timers on every packet. The timer does not own its callback's
+/// context; the owner must outlive any armed timer (owners cancel in
+/// their destructors via RAII here).
 class Timer {
  public:
   Timer(Simulator& sim, std::function<void()> callback)
-      : sim_(sim), callback_(std::move(callback)) {}
+      : sim_(sim), callback_(std::move(callback)) {
+    entry_.callback = &callback_;
+  }
 
   Timer(const Timer&) = delete;
   Timer& operator=(const Timer&) = delete;
 
   ~Timer() { Cancel(); }
 
-  /// Arm (or re-arm) the timer to fire at absolute time `when`.
+  /// Arm (or re-arm) the timer to fire at absolute time `when`. The
+  /// wheel entry is tagged EventKind::kTimer so the model-checking
+  /// explorer can tell protocol timers from network deliveries (timers
+  /// reorder but never drop); the Simulator disarms the entry before
+  /// invoking the callback, so the callback may re-arm freely.
   void SetAt(TimePoint when) {
-    Cancel();
     deadline_ = when;
-    // Tagged kTimer so the model-checking explorer can tell protocol
-    // timers from network deliveries (timers reorder but never drop).
-    event_ = sim_.ScheduleAt(
-        when,
-        [this] {
-          event_ = 0;
-          deadline_ = kTimeInfinite;
-          callback_();
-        },
-        EventKind::kTimer);
+    sim_.ArmTimer(entry_, when);
   }
 
   /// Arm (or re-arm) the timer to fire `delay` from now.
   void SetIn(Duration delay) { SetAt(sim_.now() + (delay < 0 ? 0 : delay)); }
 
   void Cancel() {
-    if (event_ != 0) {
-      sim_.Cancel(event_);
-      event_ = 0;
-      deadline_ = kTimeInfinite;
-    }
+    sim_.CancelTimer(entry_);
+    deadline_ = kTimeInfinite;
   }
 
-  bool armed() const { return event_ != 0; }
-  TimePoint deadline() const { return deadline_; }
+  bool armed() const { return entry_.armed(); }
+  TimePoint deadline() const {
+    return entry_.armed() ? deadline_ : kTimeInfinite;
+  }
 
  private:
   Simulator& sim_;
   std::function<void()> callback_;
-  Simulator::EventId event_ = 0;
+  TimerEntry entry_;
   TimePoint deadline_ = kTimeInfinite;
 };
 

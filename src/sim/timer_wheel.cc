@@ -1,0 +1,211 @@
+#include "sim/timer_wheel.h"
+
+#include <bit>
+
+namespace mpq::sim {
+
+namespace {
+
+constexpr std::uint64_t Uns(TimePoint t) { return static_cast<std::uint64_t>(t); }
+
+}  // namespace
+
+TimerEntry::~TimerEntry() {
+  if (wheel_ != nullptr) wheel_->Cancel(*this);
+}
+
+TimerWheel::~TimerWheel() {
+  // Timers normally outlive the wheel's Simulator only in teardown
+  // paths; leave any still-armed entries consistent (disarmed) so their
+  // destructors do not touch a dead wheel.
+  for (int level = 0; level < kLevels; ++level) {
+    for (int slot = 0; slot < kSlots; ++slot) {
+      for (TimerEntry* e = slots_[level][slot]; e != nullptr;) {
+        TimerEntry* next = e->next_;
+        e->wheel_ = nullptr;
+        e->next_ = nullptr;
+        e->pprev_ = nullptr;
+        e = next;
+      }
+    }
+  }
+  for (TimerEntry* e = overflow_; e != nullptr;) {
+    TimerEntry* next = e->next_;
+    e->wheel_ = nullptr;
+    e->next_ = nullptr;
+    e->pprev_ = nullptr;
+    e = next;
+  }
+}
+
+void TimerWheel::Arm(TimerEntry& entry, TimePoint when, std::uint64_t id) {
+  if (entry.wheel_ != nullptr) entry.wheel_->Cancel(entry);
+  entry.wheel_ = this;
+  entry.when_ = when < horizon_ ? horizon_ : when;
+  entry.id_ = id;
+  Place(entry);
+  ++size_;
+}
+
+void TimerWheel::Cancel(TimerEntry& entry) {
+  if (entry.wheel_ != this) return;
+  Unlink(entry);
+}
+
+void TimerWheel::Place(TimerEntry& entry) {
+  const std::uint64_t when = Uns(entry.when_);
+  const std::uint64_t cur = Uns(horizon_);
+  for (int level = 0; level < kLevels; ++level) {
+    const int shift = kSlotBits * (level + 1);
+    if ((when >> shift) == (cur >> shift)) {
+      const int slot =
+          static_cast<int>((when >> (kSlotBits * level)) & (kSlots - 1));
+      TimerEntry*& head = slots_[level][slot];
+      entry.next_ = head;
+      entry.pprev_ = &head;
+      if (head != nullptr) head->pprev_ = &entry.next_;
+      head = &entry;
+      entry.level_ = level;
+      entry.slot_ = slot;
+      bitmap_[level][slot / 64] |= std::uint64_t{1} << (slot % 64);
+      return;
+    }
+  }
+  // Beyond the 2^32 us horizon: unsorted overflow list, re-filed when
+  // the horizon rolls into its epoch.
+  entry.next_ = overflow_;
+  entry.pprev_ = &overflow_;
+  if (overflow_ != nullptr) overflow_->pprev_ = &entry.next_;
+  overflow_ = &entry;
+  entry.level_ = kLevels;
+  entry.slot_ = 0;
+}
+
+void TimerWheel::Unlink(TimerEntry& entry) {
+  *entry.pprev_ = entry.next_;
+  if (entry.next_ != nullptr) entry.next_->pprev_ = entry.pprev_;
+  if (entry.level_ < kLevels &&
+      slots_[entry.level_][entry.slot_] == nullptr) {
+    bitmap_[entry.level_][entry.slot_ / 64] &=
+        ~(std::uint64_t{1} << (entry.slot_ % 64));
+  }
+  entry.next_ = nullptr;
+  entry.pprev_ = nullptr;
+  entry.level_ = -1;
+  entry.wheel_ = nullptr;
+  --size_;
+}
+
+bool TimerWheel::LevelEmpty(int level) const {
+  for (int word = 0; word < kBitmapWords; ++word) {
+    if (bitmap_[level][word] != 0) return false;
+  }
+  return true;
+}
+
+TimerEntry* TimerWheel::PeekEarliest() {
+  // Lowest nonempty level, first nonempty slot: by the placement
+  // invariant that slot holds the level's minimum, and every level-L
+  // deadline precedes every deadline at coarser levels / the overflow.
+  for (int level = 0; level < kLevels; ++level) {
+    for (int word = 0; word < kBitmapWords; ++word) {
+      const std::uint64_t bits = bitmap_[level][word];
+      if (bits == 0) continue;
+      const int slot = word * 64 + std::countr_zero(bits);
+      TimerEntry* best = nullptr;
+      for (TimerEntry* e = slots_[level][slot]; e != nullptr; e = e->next_) {
+        if (best == nullptr || EarlierThan(*e, *best)) best = e;
+      }
+      return best;
+    }
+  }
+  TimerEntry* best = nullptr;
+  for (TimerEntry* e = overflow_; e != nullptr; e = e->next_) {
+    if (best == nullptr || EarlierThan(*e, *best)) best = e;
+  }
+  return best;
+}
+
+void TimerWheel::AdvanceTo(TimePoint to) {
+  if (to <= horizon_) return;
+  const bool epoch_crossed =
+      (Uns(horizon_) >> (kSlotBits * kLevels)) != (Uns(to) >> (kSlotBits * kLevels));
+  horizon_ = to;
+  // No armed deadline lies in (old horizon, to) — the caller advances to
+  // the global minimum only — so the slots skipped over are empty and
+  // only the slots whose digits newly match the horizon need re-filing,
+  // coarsest first so cascaded entries settle through finer levels.
+  if (epoch_crossed) FlushOverflow();
+  for (int level = kLevels - 1; level >= 1; --level) {
+    const int slot =
+        static_cast<int>((Uns(horizon_) >> (kSlotBits * level)) & (kSlots - 1));
+    FlushSlot(level, slot);
+  }
+}
+
+void TimerWheel::FlushSlot(int level, int slot) {
+  TimerEntry* chain = slots_[level][slot];
+  if (chain == nullptr) return;
+  slots_[level][slot] = nullptr;
+  bitmap_[level][slot / 64] &= ~(std::uint64_t{1} << (slot % 64));
+  FlushChain(chain);
+}
+
+void TimerWheel::FlushOverflow() {
+  TimerEntry* chain = overflow_;
+  overflow_ = nullptr;
+  FlushChain(chain);
+}
+
+void TimerWheel::FlushChain(TimerEntry* chain) {
+  while (chain != nullptr) {
+    TimerEntry* next = chain->next_;
+    chain->next_ = nullptr;
+    chain->pprev_ = nullptr;
+    Place(*chain);  // size_ unchanged: the entry stays armed
+    chain = next;
+  }
+}
+
+void TimerWheel::PopEarliest(TimerEntry& entry) {
+  AdvanceTo(entry.when_);
+  Unlink(entry);
+}
+
+TimerEntry* TimerWheel::FindById(std::uint64_t id) {
+  for (int level = 0; level < kLevels; ++level) {
+    for (int word = 0; word < kBitmapWords; ++word) {
+      std::uint64_t bits = bitmap_[level][word];
+      while (bits != 0) {
+        const int slot = word * 64 + std::countr_zero(bits);
+        bits &= bits - 1;
+        for (TimerEntry* e = slots_[level][slot]; e != nullptr; e = e->next_) {
+          if (e->id_ == id) return e;
+        }
+      }
+    }
+  }
+  for (TimerEntry* e = overflow_; e != nullptr; e = e->next_) {
+    if (e->id_ == id) return e;
+  }
+  return nullptr;
+}
+
+void TimerWheel::ForEach(
+    const std::function<void(const TimerEntry&)>& fn) const {
+  for (int level = 0; level < kLevels; ++level) {
+    for (int word = 0; word < kBitmapWords; ++word) {
+      std::uint64_t bits = bitmap_[level][word];
+      while (bits != 0) {
+        const int slot = word * 64 + std::countr_zero(bits);
+        bits &= bits - 1;
+        for (TimerEntry* e = slots_[level][slot]; e != nullptr; e = e->next_) {
+          fn(*e);
+        }
+      }
+    }
+  }
+  for (TimerEntry* e = overflow_; e != nullptr; e = e->next_) fn(*e);
+}
+
+}  // namespace mpq::sim

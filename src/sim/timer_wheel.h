@@ -1,0 +1,141 @@
+// Hierarchical timing wheel (Varghese & Lauck) shared by every Timer in
+// one Simulator.
+//
+// Why a wheel: at many-connection scale each connection keeps several
+// rearmable timers (RTO, probe, delayed ACK, pacing, idle), and the old
+// implementation pushed one fresh heap event + hash-map entry per re-arm.
+// The wheel stores each timer as an intrusive list node instead: arm,
+// re-arm and cancel are O(1) pointer surgery with zero allocation, and
+// firing order is recovered lazily from 256-slot levels of exponentially
+// coarser resolution (1 us ticks at level 0, covering 2^32 us ~ 71
+// minutes across 4 levels, with an overflow list beyond).
+//
+// Determinism contract: the wheel does NOT replace the Simulator's
+// (timestamp, id) total order — every armed entry carries an event id
+// drawn from the same monotonic counter as heap events, and the
+// Simulator merges wheel and heap by exact (when, id) comparison. One id
+// is consumed per arm, the same id budget the previous ScheduleAt-based
+// timers used, so event interleavings (and therefore every CSV/qlog/
+// digest output) are byte-identical to the old implementation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "common/types.h"
+
+namespace mpq::sim {
+
+class TimerWheel;
+
+/// Intrusive handle for one armed timer. Owned by sim::Timer (one per
+/// Timer, embedded — never heap-allocated per arm). `callback` points at
+/// the owner's std::function, stored once at construction; the wheel
+/// never copies it.
+class TimerEntry {
+ public:
+  TimerEntry() = default;
+  ~TimerEntry();
+
+  TimerEntry(const TimerEntry&) = delete;
+  TimerEntry& operator=(const TimerEntry&) = delete;
+
+  bool armed() const { return wheel_ != nullptr; }
+  TimePoint when() const { return when_; }
+  std::uint64_t id() const { return id_; }
+
+  /// The owner's callback storage (set once; the owner outlives any
+  /// armed entry — same RAII contract as sim::Timer).
+  std::function<void()>* callback = nullptr;
+
+ private:
+  friend class TimerWheel;
+
+  TimerWheel* wheel_ = nullptr;
+  TimePoint when_ = 0;
+  std::uint64_t id_ = 0;
+  // Doubly-linked slot list; pprev_ points at whatever points at this
+  // entry (slot head or predecessor's next_), so unlink is O(1) without
+  // knowing the slot.
+  TimerEntry* next_ = nullptr;
+  TimerEntry** pprev_ = nullptr;
+  // Where the entry currently lives (kLevels = overflow list), so
+  // unlink can clear the slot's occupancy bit when the list empties.
+  std::int32_t level_ = -1;
+  std::int32_t slot_ = 0;
+};
+
+/// The wheel itself. Invariants:
+///  - every armed entry has when() >= horizon() (the wheel's notion of
+///    "now"; the Simulator only advances it to the earliest deadline);
+///  - an entry lives at the lowest level whose coarser digits of when()
+///    all match horizon() — so within a level, slots in increasing index
+///    order hold strictly increasing deadlines, every level-L deadline
+///    precedes every level-(L+1) deadline, and the earliest entry is
+///    found by scanning occupancy bitmaps for the first nonempty slot of
+///    the lowest nonempty level.
+class TimerWheel {
+ public:
+  static constexpr int kLevels = 4;
+  static constexpr int kSlotBits = 8;
+  static constexpr int kSlots = 1 << kSlotBits;  // 256 slots per level
+  static constexpr int kBitmapWords = kSlots / 64;
+
+  TimerWheel() = default;
+  ~TimerWheel();
+
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  /// Arm (or re-arm) `entry` to fire at `when` with event id `id`.
+  /// `when` must be >= horizon() (the Simulator clamps to now).
+  void Arm(TimerEntry& entry, TimePoint when, std::uint64_t id);
+
+  /// Disarm `entry`. No-op if it is not armed on this wheel.
+  void Cancel(TimerEntry& entry);
+
+  /// Earliest armed entry by (when, id); nullptr when empty. Does not
+  /// advance the wheel.
+  TimerEntry* PeekEarliest();
+
+  /// Remove `entry` — which must be the current earliest — advancing the
+  /// wheel's horizon to its deadline (cascading coarser slots down) and
+  /// disarming it. The normal fire path.
+  void PopEarliest(TimerEntry& entry);
+
+  /// Linear scan for an armed entry by id (explorer hooks only).
+  TimerEntry* FindById(std::uint64_t id);
+
+  /// Visit every armed entry, in no particular order (explorer snapshot;
+  /// the caller sorts).
+  void ForEach(const std::function<void(const TimerEntry&)>& fn) const;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  TimePoint horizon() const { return horizon_; }
+
+ private:
+  void Place(TimerEntry& entry);
+  void Unlink(TimerEntry& entry);
+  /// Advance horizon to `to`; requires no armed deadline < `to`.
+  /// Re-files the slots whose digits newly match the horizon so their
+  /// entries cascade down to finer levels.
+  void AdvanceTo(TimePoint to);
+  void FlushSlot(int level, int slot);
+  void FlushOverflow();
+  void FlushChain(TimerEntry* chain);
+  bool LevelEmpty(int level) const;
+  static bool EarlierThan(const TimerEntry& a, const TimerEntry& b) {
+    if (a.when_ != b.when_) return a.when_ < b.when_;
+    return a.id_ < b.id_;
+  }
+
+  TimerEntry* slots_[kLevels][kSlots] = {};
+  std::uint64_t bitmap_[kLevels][kBitmapWords] = {};
+  TimerEntry* overflow_ = nullptr;
+  TimePoint horizon_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mpq::sim

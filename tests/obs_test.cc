@@ -246,6 +246,60 @@ TEST(MetricsRegistry, SnapshotIsDeterministicAndParseable) {
   EXPECT_DOUBLE_EQ(rtt->Find("mean")->AsDouble(), 150.0);
 }
 
+TEST(MetricsRegistry, MergeFromFoldsShardRegistries) {
+  // The shard-reduction path (harness/workload.cc): counters add,
+  // histograms bucket-merge, gauges take the merged-in value, and
+  // metrics absent on one side survive.
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.GetCounter("flows").Increment(3);
+  b.GetCounter("flows").Increment(4);
+  b.GetCounter("only_b").Increment(9);
+  a.GetGauge("depth").Set(5);
+  b.GetGauge("depth").Set(11);
+  a.GetHistogram("fct").Record(100);
+  b.GetHistogram("fct").Record(300);
+  b.GetHistogram("fct").Record(200);
+
+  a.MergeFrom(b);
+  EXPECT_EQ(a.GetCounter("flows").value(), 7u);
+  EXPECT_EQ(a.GetCounter("only_b").value(), 9u);
+  EXPECT_EQ(a.GetGauge("depth").value(), 11);  // last write wins
+  EXPECT_EQ(a.GetHistogram("fct").count(), 3u);
+  EXPECT_EQ(a.GetHistogram("fct").min(), 100);
+  EXPECT_EQ(a.GetHistogram("fct").max(), 300);
+  EXPECT_DOUBLE_EQ(a.GetHistogram("fct").mean(), 200.0);
+  // b is untouched.
+  EXPECT_EQ(b.GetCounter("flows").value(), 4u);
+  EXPECT_EQ(b.GetHistogram("fct").count(), 2u);
+}
+
+TEST(MetricsRegistry, MergeOrderIsAssociativeForSnapshots) {
+  // Folding shard registries 0..n-1 into an empty fleet registry in
+  // shard order must give the same snapshot as any bracketing: counters
+  // and histogram buckets are commutative monoids.
+  MetricsRegistry s0, s1, s2;
+  s0.GetCounter("c").Increment(1);
+  s1.GetCounter("c").Increment(2);
+  s2.GetCounter("c").Increment(4);
+  s0.GetHistogram("h").Record(10);
+  s1.GetHistogram("h").Record(20);
+  s2.GetHistogram("h").Record(40);
+
+  MetricsRegistry left;  // ((0 + 1) + 2)
+  left.MergeFrom(s0);
+  left.MergeFrom(s1);
+  left.MergeFrom(s2);
+  MetricsRegistry pair;  // (1 + 2) merged into 0
+  MetricsRegistry rest;
+  rest.MergeFrom(s1);
+  rest.MergeFrom(s2);
+  MetricsRegistry right;
+  right.MergeFrom(s0);
+  right.MergeFrom(rest);
+  EXPECT_EQ(left.SnapshotJson(), right.SnapshotJson());
+}
+
 TEST(MetricsRegistry, ReferencesAreStable) {
   MetricsRegistry registry;
   Counter& c = registry.GetCounter("hot");

@@ -1,0 +1,358 @@
+// Unit tests for the hierarchical timer wheel (sim/timer_wheel.h) and
+// its integration with the Simulator's (when, id) total order: pop-order
+// property test against a naive reference, cancel/re-arm surgery,
+// cascade boundaries at every level edge, the >2^32 overflow list, and
+// the explorer hooks (PendingEvents / FireEvent / DuplicateEvent) over
+// wheel-resident timers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/simulator.h"
+#include "sim/timer.h"
+#include "sim/timer_wheel.h"
+
+namespace mpq::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Wheel-level tests (no Simulator): drive TimerWheel directly.
+
+TEST(TimerWheel, StartsEmpty) {
+  TimerWheel wheel;
+  EXPECT_TRUE(wheel.empty());
+  EXPECT_EQ(wheel.size(), 0u);
+  EXPECT_EQ(wheel.PeekEarliest(), nullptr);
+}
+
+TEST(TimerWheel, SingleEntryPopAdvancesHorizon) {
+  TimerWheel wheel;
+  TimerEntry entry;
+  wheel.Arm(entry, 12345, 1);
+  ASSERT_TRUE(entry.armed());
+  TimerEntry* earliest = wheel.PeekEarliest();
+  ASSERT_EQ(earliest, &entry);
+  wheel.PopEarliest(*earliest);
+  EXPECT_FALSE(entry.armed());
+  EXPECT_TRUE(wheel.empty());
+  EXPECT_EQ(wheel.horizon(), 12345);
+}
+
+TEST(TimerWheel, PopOrderIsWhenThenId) {
+  TimerWheel wheel;
+  TimerEntry a, b, c, d;
+  wheel.Arm(a, 500, 4);
+  wheel.Arm(b, 500, 2);  // same deadline, lower id: fires first
+  wheel.Arm(c, 100, 9);
+  wheel.Arm(d, 700, 1);
+  std::vector<const TimerEntry*> order;
+  while (TimerEntry* e = wheel.PeekEarliest()) {
+    order.push_back(e);
+    wheel.PopEarliest(*e);
+  }
+  EXPECT_EQ(order, (std::vector<const TimerEntry*>{&c, &b, &a, &d}));
+}
+
+TEST(TimerWheel, CancelWhilePending) {
+  TimerWheel wheel;
+  TimerEntry a, b;
+  wheel.Arm(a, 100, 1);
+  wheel.Arm(b, 200, 2);
+  wheel.Cancel(a);
+  EXPECT_FALSE(a.armed());
+  EXPECT_EQ(wheel.size(), 1u);
+  EXPECT_EQ(wheel.PeekEarliest(), &b);
+  wheel.Cancel(a);  // double-cancel is a no-op
+  EXPECT_EQ(wheel.size(), 1u);
+}
+
+TEST(TimerWheel, ReArmEarlierAndLater) {
+  TimerWheel wheel;
+  TimerEntry a, b;
+  wheel.Arm(a, 1000, 1);
+  wheel.Arm(b, 500, 2);
+  EXPECT_EQ(wheel.PeekEarliest(), &b);
+  // Re-arm a earlier than b: takes over the front.
+  wheel.Arm(a, 100, 3);
+  EXPECT_EQ(wheel.size(), 2u);
+  EXPECT_EQ(wheel.PeekEarliest(), &a);
+  // Re-arm a later again: b is the front once more.
+  wheel.Arm(a, 90000, 4);
+  EXPECT_EQ(wheel.PeekEarliest(), &b);
+  EXPECT_EQ(a.when(), 90000);
+  EXPECT_EQ(a.id(), 4u);
+}
+
+TEST(TimerWheel, DestructorDisarmsEntry) {
+  TimerWheel wheel;
+  {
+    TimerEntry scoped;
+    wheel.Arm(scoped, 100, 1);
+    EXPECT_EQ(wheel.size(), 1u);
+  }
+  EXPECT_TRUE(wheel.empty());
+  EXPECT_EQ(wheel.PeekEarliest(), nullptr);
+}
+
+TEST(TimerWheel, CascadeBoundaries) {
+  // Deadlines straddling every level boundary: 2^8, 2^16, 2^24, and the
+  // 2^32 overflow horizon. Popping must produce exact (when, id) order,
+  // cascading coarse slots down as the horizon crosses them.
+  const std::vector<TimePoint> deadlines = {
+      0,       1,         254,       255,        256,        257,
+      65535,   65536,     65537,     (1 << 24) - 1, 1 << 24, (1 << 24) + 1,
+      1 << 30, (1LL << 32) - 1, 1LL << 32, (1LL << 32) + 5, 1LL << 40};
+  std::vector<std::unique_ptr<TimerEntry>> entries;
+  TimerWheel wheel;
+  std::uint64_t id = 1;
+  for (const TimePoint when : deadlines) {
+    entries.push_back(std::make_unique<TimerEntry>());
+    wheel.Arm(*entries.back(), when, id++);
+  }
+  std::vector<TimePoint> popped;
+  while (TimerEntry* e = wheel.PeekEarliest()) {
+    popped.push_back(e->when());
+    wheel.PopEarliest(*e);
+  }
+  std::vector<TimePoint> expected = deadlines;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(popped, expected);
+}
+
+TEST(TimerWheel, PropertyPopOrderMatchesNaiveReference) {
+  // Random interleaving of arm / re-arm / cancel / pop against a naive
+  // "scan everything" reference. Any divergence in (when, id) order or
+  // occupancy is a bug in placement, cascading, or the bitmaps.
+  constexpr int kTimers = 64;
+  constexpr int kOps = 4000;
+  Rng rng(0xABCDEF);
+  TimerWheel wheel;
+  std::vector<std::unique_ptr<TimerEntry>> entries;
+  for (int i = 0; i < kTimers; ++i) {
+    entries.push_back(std::make_unique<TimerEntry>());
+  }
+  struct Ref {
+    TimePoint when = 0;
+    std::uint64_t id = 0;
+    bool armed = false;
+  };
+  std::vector<Ref> ref(kTimers);
+  std::uint64_t next_id = 1;
+  TimePoint now = 0;
+
+  auto ref_earliest = [&]() -> int {
+    int best = -1;
+    for (int i = 0; i < kTimers; ++i) {
+      if (!ref[static_cast<std::size_t>(i)].armed) continue;
+      const auto& r = ref[static_cast<std::size_t>(i)];
+      if (best < 0) {
+        best = i;
+        continue;
+      }
+      const auto& b = ref[static_cast<std::size_t>(best)];
+      if (r.when != b.when ? r.when < b.when : r.id < b.id) best = i;
+    }
+    return best;
+  };
+
+  for (int op = 0; op < kOps; ++op) {
+    const std::uint64_t pick = rng.NextU64() % 100;
+    const auto i = static_cast<std::size_t>(rng.NextU64() % kTimers);
+    if (pick < 55) {
+      // Arm / re-arm at a horizon-respecting deadline whose magnitude
+      // distribution stresses every level (including overflow).
+      const int shift = static_cast<int>(rng.NextU64() % 36);
+      const auto span =
+          static_cast<TimePoint>(rng.NextU64() & ((1ULL << shift) | 0xFF));
+      const TimePoint when = now + span;
+      wheel.Arm(*entries[i], when, next_id);
+      ref[i] = {when, next_id, true};
+      ++next_id;
+    } else if (pick < 75) {
+      wheel.Cancel(*entries[i]);
+      ref[i].armed = false;
+    } else {
+      TimerEntry* e = wheel.PeekEarliest();
+      const int want = ref_earliest();
+      if (want < 0) {
+        EXPECT_EQ(e, nullptr);
+        continue;
+      }
+      ASSERT_NE(e, nullptr);
+      auto& r = ref[static_cast<std::size_t>(want)];
+      EXPECT_EQ(e, entries[static_cast<std::size_t>(want)].get());
+      EXPECT_EQ(e->when(), r.when);
+      EXPECT_EQ(e->id(), r.id);
+      now = e->when();
+      wheel.PopEarliest(*e);
+      r.armed = false;
+    }
+    ASSERT_EQ(wheel.size(), static_cast<std::size_t>(std::count_if(
+                                ref.begin(), ref.end(),
+                                [](const Ref& r) { return r.armed; })));
+  }
+  // Drain what's left and check the full order.
+  std::vector<std::pair<TimePoint, std::uint64_t>> drained;
+  while (TimerEntry* e = wheel.PeekEarliest()) {
+    drained.push_back({e->when(), e->id()});
+    wheel.PopEarliest(*e);
+  }
+  std::vector<std::pair<TimePoint, std::uint64_t>> expected;
+  for (const Ref& r : ref) {
+    if (r.armed) expected.push_back({r.when, r.id});
+  }
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(drained, expected);
+}
+
+// ---------------------------------------------------------------------------
+// Simulator integration: wheel timers merge with heap events by (when, id).
+
+TEST(TimerWheelSim, TimerAndHeapEventsInterleaveById) {
+  Simulator sim;
+  std::vector<int> order;
+  Timer t1(sim, [&] { order.push_back(1); });
+  t1.SetAt(100);  // id 1
+  sim.ScheduleAt(100, [&] { order.push_back(2); });  // id 2
+  Timer t3(sim, [&] { order.push_back(3); });
+  t3.SetAt(100);  // id 3
+  sim.ScheduleAt(50, [&] { order.push_back(0); });  // id 4, earlier time
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(TimerWheelSim, ReArmConsumesOneIdPerArm) {
+  // A timer re-armed n times must consume exactly n ids — the same
+  // budget as the old ScheduleAt-based implementation, which the
+  // byte-identity of digests and qlogs depends on.
+  Simulator sim;
+  Timer timer(sim, [] {});
+  timer.SetAt(10);
+  timer.SetAt(20);
+  timer.SetAt(30);                                  // ids 1, 2, 3
+  const auto id = sim.ScheduleAt(40, [] {});        // must be id 4
+  EXPECT_EQ(id, 4u);
+  sim.Run();
+}
+
+TEST(TimerWheelSim, ReArmFromInsideCallback) {
+  // Classic periodic timer: the callback re-arms its own Timer. The
+  // Simulator disarms the entry before invoking, so this must not
+  // corrupt the wheel.
+  Simulator sim;
+  int ticks = 0;
+  Timer periodic(sim, [&] {
+    ++ticks;
+    if (ticks < 5) periodic.SetIn(1000);
+  });
+  periodic.SetIn(1000);
+  sim.Run();
+  EXPECT_EQ(ticks, 5);
+  EXPECT_EQ(sim.now(), 5000);
+}
+
+TEST(TimerWheelSim, CancelByEventIdReachesWheel) {
+  Simulator sim;
+  bool fired = false;
+  Timer timer(sim, [&] { fired = true; });
+  timer.SetAt(100);
+  // The arm consumed id 1; Simulator::Cancel must find it on the wheel.
+  sim.Cancel(1);
+  sim.Run();
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(timer.armed());
+}
+
+TEST(TimerWheelSim, PendingEventsListsWheelTimers) {
+  Simulator sim;
+  Timer timer(sim, [] {});
+  timer.SetAt(500);                                    // id 1
+  sim.ScheduleAt(300, [] {}, EventKind::kDelivery, 7); // id 2
+  const auto pending = sim.PendingEvents();
+  ASSERT_EQ(pending.size(), 2u);
+  EXPECT_EQ(pending[0].id, 2u);
+  EXPECT_EQ(pending[0].when, 300);
+  EXPECT_EQ(pending[0].kind, EventKind::kDelivery);
+  EXPECT_EQ(pending[1].id, 1u);
+  EXPECT_EQ(pending[1].when, 500);
+  EXPECT_EQ(pending[1].kind, EventKind::kTimer);
+}
+
+TEST(TimerWheelSim, FireEventOutOfOrderFiresLate) {
+  // Explorer semantics: firing the *later* timer first advances time to
+  // its deadline; the earlier timer then fires "late" at that same time,
+  // and the wheel must tolerate the inversion (no horizon violation).
+  Simulator sim;
+  std::vector<std::pair<int, TimePoint>> fired;
+  Timer early(sim, [&] { fired.push_back({1, sim.now()}); });
+  Timer late(sim, [&] { fired.push_back({2, sim.now()}); });
+  early.SetAt(100);  // id 1
+  late.SetAt(900);   // id 2
+  ASSERT_TRUE(sim.FireEvent(2));
+  ASSERT_TRUE(sim.FireEvent(1));
+  EXPECT_EQ(fired, (std::vector<std::pair<int, TimePoint>>{{2, 900},
+                                                           {1, 900}}));
+  EXPECT_TRUE(sim.empty());
+  // Unknown ids are rejected.
+  EXPECT_FALSE(sim.FireEvent(99));
+}
+
+TEST(TimerWheelSim, DuplicateEventClonesWheelTimer) {
+  Simulator sim;
+  int fires = 0;
+  Timer timer(sim, [&] { ++fires; });
+  timer.SetAt(100);  // id 1
+  const auto copy = sim.DuplicateEvent(1, 50);
+  EXPECT_NE(copy, 0u);
+  sim.Run();
+  // Original at 100 and the clone at 150 both invoke the callback.
+  EXPECT_EQ(fires, 2);
+  EXPECT_EQ(sim.now(), 150);
+}
+
+TEST(TimerWheelSim, DeadlineSemanticsMatchOldTimer) {
+  Simulator sim;
+  Timer timer(sim, [] {});
+  EXPECT_EQ(timer.deadline(), kTimeInfinite);
+  timer.SetAt(250);
+  EXPECT_TRUE(timer.armed());
+  EXPECT_EQ(timer.deadline(), 250);
+  sim.Run();
+  // After firing the timer reports disarmed/infinite, as before.
+  EXPECT_FALSE(timer.armed());
+  EXPECT_EQ(timer.deadline(), kTimeInfinite);
+  timer.SetIn(100);
+  timer.Cancel();
+  EXPECT_EQ(timer.deadline(), kTimeInfinite);
+  EXPECT_FALSE(timer.armed());
+}
+
+TEST(TimerWheelSim, ManyTimersAcrossCascades) {
+  // End-to-end: hundreds of timers with deadlines spread over five
+  // decades fire in exact deadline order under Run().
+  Simulator sim;
+  Rng rng(42);
+  std::vector<std::unique_ptr<Timer>> timers;
+  std::vector<TimePoint> fired;
+  std::vector<TimePoint> expected;
+  for (int i = 0; i < 400; ++i) {
+    const auto when =
+        static_cast<TimePoint>(rng.NextU64() % 100'000'000);  // up to 100 s
+    expected.push_back(when);
+    timers.push_back(std::make_unique<Timer>(
+        sim, [&fired, &sim] { fired.push_back(sim.now()); }));
+    timers.back()->SetAt(when);
+  }
+  sim.Run();
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(fired, expected);
+}
+
+}  // namespace
+}  // namespace mpq::sim

@@ -7,7 +7,9 @@
 # test with per-event protocol invariants asserted (src/quic/audit.cc).
 # After the matrix: bounded model checking of the event machine
 # (tools/mpq_model), a 30-second wire-parser fuzz smoke (tools/fuzz_wire),
-# the chaos sweep, and the perf-regression gate.
+# the chaos sweep, the many-connection scale smoke (1000-connection
+# workload with a --jobs determinism check), and the perf-regression
+# gate.
 #
 #   tools/ci.sh [--jobs N]
 #
@@ -100,6 +102,24 @@ cmake --build build-fuzz -j "${jobs}" --target fuzz_wire
 for dir in build-asan build-audit; do
   echo "==> chaos sweep (${dir})"
   "./${dir}/tools/mpq_chaos" --sweep 200 --seed 1
+done
+
+# --- Stage 5b: many-connection scale smoke -----------------------------
+# Seeded 1000-connection workload (bench_many_conn --smoke) under the
+# two configurations that see what plain builds cannot (ASan+UBSan,
+# MPQ_AUDIT), with the server-engine determinism bar enforced: --jobs 1
+# and --jobs 4 must produce byte-identical KPIs and per-flow metrics.
+# The ctest `scale` label (workload_test) already ran per-config above;
+# this exercises the full fleet at 1000 connections.
+for dir in build-asan build-audit; do
+  echo "==> scale smoke (${dir})"
+  "./${dir}/bench/bench_many_conn" --smoke 1000 --seed 1 --jobs 1 \
+    --metrics "${dir}/scale_j1.ndjson" > "${dir}/scale_j1.json"
+  "./${dir}/bench/bench_many_conn" --smoke 1000 --seed 1 --jobs 4 \
+    --metrics "${dir}/scale_j4.ndjson" > "${dir}/scale_j4.json"
+  cmp "${dir}/scale_j1.json" "${dir}/scale_j4.json"
+  cmp "${dir}/scale_j1.ndjson" "${dir}/scale_j4.ndjson"
+  ./build/tools/mpq_trace --aggregate "${dir}/scale_j1.ndjson" > /dev/null
 done
 
 # --- Stage 6: perf-regression gate -------------------------------------

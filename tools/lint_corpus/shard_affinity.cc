@@ -1,0 +1,18 @@
+// Seeded violation: reaching into the server's connection table from
+// code outside the server engine. Connections are sharded by CID hash
+// (quic::ShardOf) and owned by one shard's event loop; cross-shard
+// lookups bypass that ownership. The suppressed call shows the
+// sanctioned escape hatch for read-only diagnostics.
+// expect: shard-affinity
+#include "quic/server.h"
+
+mpq::quic::Server* server;
+
+mpq::quic::Connection* Lookup(mpq::ConnectionId cid) {
+  return server->FindConnection(cid);
+}
+
+std::size_t CountDiagnostic() {
+  // NOLINTNEXTLINE(mpq-shard-affinity): offline diagnostics, loop quiesced
+  return server->Connections().size();
+}

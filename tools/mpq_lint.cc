@@ -281,6 +281,8 @@ void CheckFile(const std::string& rel, const std::vector<Line>& lines,
   static const std::regex kParentInclude(R"(#include\s*"[^"]*\.\./)");
   static const std::regex kQuotedInclude(R"(#include\s*"([^"]+)\")");
   static const std::regex kReinterpret(R"(\breinterpret_cast\b)");
+  static const std::regex kShardAffinity(
+      R"(\b(?:FindConnection|ForEachConnection|Connections)\s*\()");
 
   // Pass 1: names of unordered containers declared in this file (for the
   // iteration rule). Declarations themselves are fine — lookups and
@@ -345,6 +347,25 @@ void CheckFile(const std::string& rel, const std::vector<Line>& lines,
       report(i, "reinterpret-cast",
              "reinterpret_cast outside src/crypto and quic/wire (keep "
              "type punning in the byte-handling layers)");
+    }
+    // Shard affinity: the server's connection table is owned by one
+    // shard's event loop. Only the server engine itself, the endpoint
+    // facades, and the whole-world harness layers (model-checker
+    // explorer, workload reducer) may touch it; everything else must
+    // route through the owning shard or per-connection handles.
+    {
+      const bool shard_engine_scope =
+          StartsWith(rel, "src/quic/server") ||
+          StartsWith(rel, "src/quic/endpoint") ||
+          StartsWith(rel, "src/tcpsim/endpoint") ||
+          StartsWith(rel, "src/harness/explore") ||
+          StartsWith(rel, "src/harness/workload");
+      if (!shard_engine_scope && std::regex_search(code, kShardAffinity)) {
+        report(i, "shard-affinity",
+               "connection-table access (FindConnection/ForEachConnection/"
+               "Connections) outside the server engine breaks shard "
+               "affinity (route through the owning shard)");
+      }
     }
     // Include paths live inside string literals, which the code view
     // blanks out — match the raw line for this rule.
@@ -436,7 +457,7 @@ std::string RelativeTo(const fs::path& root, const fs::path& file) {
 const std::vector<std::string> kAllRules = {
     "wall-clock", "raw-rng",     "unordered-iter",  "iostream-io",
     "naked-new",  "pragma-once", "include-hygiene", "layering",
-    "prof-clock", "reinterpret-cast"};
+    "prof-clock", "reinterpret-cast", "shard-affinity"};
 
 int RunLint(const fs::path& root, const std::vector<std::string>& dirs) {
   std::vector<Finding> findings;

@@ -3,6 +3,13 @@
 //   mpq_trace TRACE.qlog        per-path and per-event summary tables
 //   mpq_trace --json TRACE.qlog same summary as one JSON object (for CI
 //                               and mpq_prof — no screen-scraping)
+//   mpq_trace --aggregate METRICS.ndjson
+//                               summarize a many-connection workload
+//                               metrics file (harness/workload.h): one
+//                               row per label with fleet goodput, FCT
+//                               percentiles, Jain index, and the
+//                               per-shard flow distribution; add --json
+//                               for machine-readable output
 //   mpq_trace --selftest        run a built-in trace through the full
 //                               write -> parse -> summarize round trip
 //                               (registered as a ctest smoke test)
@@ -10,11 +17,14 @@
 // Per-path rows include cwnd percentiles computed with the same
 // mpq::Percentile the figure pipeline uses, so numbers line up with the
 // benches.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/stats.h"
 #include "obs/json.h"
@@ -196,6 +206,169 @@ void WriteSummaryJson(const obs::TraceSummary& summary,
   writer.EndObject();
 }
 
+// -- workload aggregation (--aggregate) -------------------------------------
+
+/// Rollup of one label's flow rows from a workload metrics NDJSON file
+/// (harness/workload.h WriteOutputs: per-flow rows carrying conn/shard/
+/// size_bytes/completed/fct_us/goodput_mbps, plus an optional "fleet"
+/// row which we cross-check but do not depend on).
+struct LabelAggregate {
+  std::uint64_t flows = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t bytes = 0;
+  TimePoint first_arrival = 0;
+  TimePoint last_completion = 0;
+  std::vector<double> fct_us;
+  std::vector<double> goodputs_mbps;
+  std::map<std::int64_t, std::uint64_t> flows_by_shard;
+  bool saw_fleet_row = false;
+};
+
+struct AggregateSummary {
+  std::map<std::string, LabelAggregate> labels;
+  std::uint64_t malformed = 0;
+  std::uint64_t rows = 0;
+};
+
+double Jain(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0, sum_sq = 0.0;
+  for (const double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  return sum_sq == 0.0
+             ? 0.0
+             : sum * sum / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+AggregateSummary ReadAggregate(std::istream& in) {
+  AggregateSummary summary;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto parsed = obs::JsonValue::Parse(line);
+    if (!parsed.has_value()) {
+      ++summary.malformed;
+      continue;
+    }
+    const auto* label_v = parsed->Find("label");
+    const std::string label =
+        label_v != nullptr ? label_v->AsString() : std::string();
+    LabelAggregate& agg = summary.labels[label];
+    if (parsed->Find("fleet") != nullptr) {
+      agg.saw_fleet_row = true;
+      ++summary.rows;
+      continue;
+    }
+    const auto* conn = parsed->Find("conn");
+    if (conn == nullptr) {
+      ++summary.malformed;
+      continue;
+    }
+    ++summary.rows;
+    ++agg.flows;
+    const auto* shard = parsed->Find("shard");
+    if (shard != nullptr) ++agg.flows_by_shard[shard->AsInt()];
+    const TimePoint arrival = parsed->Find("arrival_us") != nullptr
+                                  ? parsed->Find("arrival_us")->AsInt()
+                                  : 0;
+    if (agg.flows == 1 || arrival < agg.first_arrival) {
+      agg.first_arrival = arrival;
+    }
+    const auto* completed = parsed->Find("completed");
+    if (completed == nullptr || !completed->AsBool()) continue;
+    ++agg.completed;
+    const auto* size = parsed->Find("size_bytes");
+    if (size != nullptr) {
+      agg.bytes += static_cast<std::uint64_t>(size->AsInt());
+    }
+    const auto* fct = parsed->Find("fct_us");
+    if (fct != nullptr) {
+      agg.fct_us.push_back(fct->AsDouble());
+      agg.last_completion =
+          std::max(agg.last_completion, arrival + fct->AsInt());
+    }
+    const auto* goodput = parsed->Find("goodput_mbps");
+    if (goodput != nullptr) agg.goodputs_mbps.push_back(goodput->AsDouble());
+  }
+  return summary;
+}
+
+double AggregateGoodputMbps(const LabelAggregate& agg) {
+  const Duration span = agg.last_completion - agg.first_arrival;
+  return span > 0
+             ? static_cast<double>(agg.bytes) * 8.0 / static_cast<double>(span)
+             : 0.0;
+}
+
+void PrintAggregate(const AggregateSummary& summary) {
+  std::printf("workload rows: %llu (%llu malformed lines)\n",
+              static_cast<unsigned long long>(summary.rows),
+              static_cast<unsigned long long>(summary.malformed));
+  std::printf("\n%-24s %8s %9s %12s %9s %6s %9s %9s %9s\n", "label", "flows",
+              "completed", "bytes", "goodput", "jain", "fct_p50", "fct_p99",
+              "fct_p999");
+  for (const auto& [label, agg] : summary.labels) {
+    std::vector<double> fct = agg.fct_us;
+    const double p50 = fct.empty() ? 0.0 : Percentile(fct, 50.0);
+    const double p99 = fct.empty() ? 0.0 : Percentile(fct, 99.0);
+    const double p999 = fct.empty() ? 0.0 : Percentile(fct, 99.9);
+    std::printf("%-24s %8llu %9llu %12llu %7.2fM %6.3f %8.1fms %8.1fms "
+                "%8.1fms\n",
+                label.empty() ? "(unlabeled)" : label.c_str(),
+                static_cast<unsigned long long>(agg.flows),
+                static_cast<unsigned long long>(agg.completed),
+                static_cast<unsigned long long>(agg.bytes),
+                AggregateGoodputMbps(agg), Jain(agg.goodputs_mbps),
+                p50 / 1000.0, p99 / 1000.0, p999 / 1000.0);
+  }
+  std::printf("\nflows by shard:\n");
+  for (const auto& [label, agg] : summary.labels) {
+    std::printf("  %-22s", label.empty() ? "(unlabeled)" : label.c_str());
+    for (const auto& [shard, count] : agg.flows_by_shard) {
+      std::printf(" %lld:%llu", static_cast<long long>(shard),
+                  static_cast<unsigned long long>(count));
+    }
+    std::printf("\n");
+  }
+}
+
+void WriteAggregateJson(const AggregateSummary& summary,
+                        obs::JsonWriter& writer) {
+  writer.BeginObject();
+  writer.Key("rows").UInt(summary.rows);
+  writer.Key("malformed").UInt(summary.malformed);
+  writer.Key("labels").BeginObject();
+  for (const auto& [label, agg] : summary.labels) {
+    writer.Key(label).BeginObject();
+    writer.Key("flows").UInt(agg.flows);
+    writer.Key("completed").UInt(agg.completed);
+    writer.Key("bytes").UInt(agg.bytes);
+    writer.Key("goodput_mbps").Double(AggregateGoodputMbps(agg));
+    writer.Key("jain_index").Double(Jain(agg.goodputs_mbps));
+    std::vector<double> fct = agg.fct_us;
+    writer.Key("fct_us").BeginObject();
+    writer.Key("count").UInt(fct.size());
+    if (!fct.empty()) {
+      writer.Key("p50").Double(Percentile(fct, 50.0));
+      writer.Key("p99").Double(Percentile(fct, 99.0));
+      writer.Key("p999").Double(Percentile(fct, 99.9));
+      writer.Key("max").Double(Percentile(fct, 100.0));
+    }
+    writer.EndObject();
+    writer.Key("flows_by_shard").BeginObject();
+    for (const auto& [shard, count] : agg.flows_by_shard) {
+      writer.Key(std::to_string(shard)).UInt(count);
+    }
+    writer.EndObject();
+    writer.Key("fleet_row_present").Bool(agg.saw_fleet_row);
+    writer.EndObject();
+  }
+  writer.EndObject();
+  writer.EndObject();
+}
+
 /// Synthesize a small trace covering every event type (including a title
 /// with characters that need JSON escaping), read it back, and check the
 /// counts survive the round trip.
@@ -285,6 +458,52 @@ int SelfTest() {
     }
   }
 
+  {
+    // Aggregate mode round trip: two labels, one incomplete flow, a
+    // fleet rollup row, and a malformed line.
+    std::stringstream metrics;
+    metrics
+        << R"({"label":"sp","conn":0,"shard":1,"arrival_us":0,)"
+        << R"("size_bytes":1000,"completed":true,"fct_us":1000,)"
+        << R"("goodput_mbps":8.0})" << '\n'
+        << R"({"label":"sp","conn":1,"shard":1,"arrival_us":500,)"
+        << R"("size_bytes":3000,"completed":true,"fct_us":1500,)"
+        << R"("goodput_mbps":16.0})" << '\n'
+        << R"({"label":"sp","conn":2,"shard":4,"arrival_us":900,)"
+        << R"("size_bytes":5000,"completed":false,"fct_us":0,)"
+        << R"("goodput_mbps":0.0})" << '\n'
+        << R"({"label":"sp","fleet":{"flows":3,"completed":2}})" << '\n'
+        << R"({"label":"mp","conn":0,"shard":0,"arrival_us":0,)"
+        << R"("size_bytes":2000,"completed":true,"fct_us":2000,)"
+        << R"("goodput_mbps":8.0})" << '\n'
+        << "not json\n";
+    const auto agg = ReadAggregate(metrics);
+    expect(agg.malformed == 1, "aggregate: malformed line counted");
+    expect(agg.rows == 5, "aggregate: five rows parsed");
+    expect(agg.labels.size() == 2, "aggregate: two labels");
+    const auto& sp = agg.labels.at("sp");
+    expect(sp.flows == 3 && sp.completed == 2, "aggregate: sp flow counts");
+    expect(sp.bytes == 4000, "aggregate: completed bytes only");
+    expect(sp.saw_fleet_row, "aggregate: fleet row detected");
+    expect(sp.flows_by_shard.at(1) == 2 && sp.flows_by_shard.at(4) == 1,
+           "aggregate: shard distribution");
+    // 4000 bytes over first arrival 0 .. last completion 2000 us.
+    expect(AggregateGoodputMbps(sp) == 16.0, "aggregate: goodput math");
+    expect(Jain({8.0, 16.0}) > 0.89 && Jain({8.0, 16.0}) < 0.91,
+           "aggregate: jain math");
+    obs::JsonWriter writer;
+    WriteAggregateJson(agg, writer);
+    const auto parsed = obs::JsonValue::Parse(writer.str());
+    expect(parsed.has_value(), "aggregate: --json output parses");
+    if (parsed.has_value()) {
+      const auto* labels = parsed->Find("labels");
+      expect(labels != nullptr && labels->Find("sp") != nullptr &&
+                 labels->Find("sp")->Find("fct_us")->Find("count")->AsInt() ==
+                     2,
+             "aggregate: --json fct histogram count");
+    }
+  }
+
   if (failures == 0) {
     std::stringstream replay(stream.str());
     PrintSummary(obs::ReadTrace(replay));
@@ -301,10 +520,13 @@ int main(int argc, char** argv) {
     return SelfTest();
   }
   bool json = false;
+  bool aggregate = false;
   const char* file = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strcmp(argv[i], "--aggregate") == 0) {
+      aggregate = true;
     } else if (file == nullptr) {
       file = argv[i];
     } else {
@@ -314,9 +536,11 @@ int main(int argc, char** argv) {
   }
   if (file == nullptr) {
     std::fprintf(stderr,
-                 "usage: %s [--json] TRACE.qlog | --selftest\n"
+                 "usage: %s [--json] TRACE.qlog | --aggregate [--json] "
+                 "METRICS.ndjson | --selftest\n"
                  "Summarize an NDJSON trace produced by obs::QlogTracer\n"
-                 "(bench --obs DIR, or TransferOptions::qlog_path).\n",
+                 "(bench --obs DIR, or TransferOptions::qlog_path), or a\n"
+                 "many-connection workload metrics file (--aggregate).\n",
                  argv[0]);
     return 2;
   }
@@ -324,6 +548,22 @@ int main(int argc, char** argv) {
   if (!in.is_open()) {
     std::fprintf(stderr, "cannot open %s\n", file);
     return 1;
+  }
+  if (aggregate) {
+    const auto summary = ReadAggregate(in);
+    if (summary.rows == 0) {
+      std::fprintf(stderr, "no workload rows in %s (%llu malformed lines)\n",
+                   file, static_cast<unsigned long long>(summary.malformed));
+      return 1;
+    }
+    if (json) {
+      obs::JsonWriter writer;
+      WriteAggregateJson(summary, writer);
+      std::printf("%s\n", writer.str().c_str());
+    } else {
+      PrintAggregate(summary);
+    }
+    return 0;
   }
   const auto summary = obs::ReadTrace(in);
   if (summary.events == 0) {
