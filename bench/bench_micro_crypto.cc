@@ -1,10 +1,23 @@
 // Micro-benchmarks (google-benchmark) of the crypto substrate: ChaCha20
 // keystream/XOR throughput, SipHash-2-4, the packet-protection seal/open
-// path at MTU size, and the handshake key schedule.
+// path at MTU size (per SIMD dispatch level), the batched SealN path,
+// and the handshake key schedule.
+//
+//   --selftest   print a deterministic digest of seal/open/ChaCha20
+//                outputs over a length/path/pn sweep and exit. The
+//                output is independent of the active SIMD level by
+//                construction — ci.sh byte-compares it between the
+//                default build and a -DMPQ_NO_SIMD=ON build, which is
+//                the end-to-end "vector kernels are byte-identical to
+//                scalar" gate.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
 
 #include "crypto/aead.h"
 #include "crypto/chacha20.h"
+#include "crypto/cpu.h"
 #include "crypto/siphash.h"
 
 namespace {
@@ -20,6 +33,78 @@ ChaChaKey TestKey() {
   }
   return key;
 }
+
+// --- selftest --------------------------------------------------------------
+
+/// Deterministic digests over a sweep of lengths (crossing every SIMD
+/// width boundary: 4x64=256 for SSE2, 8x64=512 for AVX2, plus partial
+/// blocks and odd tails), paths (including >255, which exercises the
+/// full 32-bit path id in the nonce) and packet numbers.
+int RunSelftest() {
+  const std::size_t kLengths[] = {0,   1,   8,    15,   16,   63,  64,
+                                  65,  127, 128,  129,  255,  256, 257,
+                                  500, 511, 512,  513,  1023, 1024, 1025,
+                                  1350, 2048, 4096};
+  SipHashKey digest_key{};
+  for (std::size_t i = 0; i < digest_key.size(); ++i) {
+    digest_key[i] = static_cast<std::uint8_t>(0xC5 ^ i);
+  }
+  const PacketProtection protection(TestKey());
+  std::printf("MPQ_CRYPTO_SELFTEST v1\n");
+  for (const std::size_t len : kLengths) {
+    std::vector<std::uint8_t> plaintext(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      plaintext[i] = static_cast<std::uint8_t>(i * 31 + len);
+    }
+    std::uint8_t aad[14];
+    for (std::size_t i = 0; i < sizeof(aad); ++i) {
+      aad[i] = static_cast<std::uint8_t>(i + len);
+    }
+    const PathId path{static_cast<std::uint32_t>((len % 5) * 67 + 1)};
+    const PacketNumber pn{len * 13 + 1};
+
+    // Raw cipher digest.
+    std::vector<std::uint8_t> stream = plaintext;
+    const ChaChaNonce nonce{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+    ChaCha20Xor(TestKey(), 1, nonce, stream);
+    const std::uint64_t cipher_digest = SipHash24(digest_key, stream);
+
+    // Seal digest + open round trip.
+    const auto sealed = protection.Seal(path, pn, aad, plaintext);
+    const std::uint64_t seal_digest = SipHash24(digest_key, sealed);
+    std::vector<std::uint8_t> opened;
+    if (!protection.Open(path, pn, aad, sealed, opened) ||
+        opened != plaintext) {
+      std::printf("len=%zu OPEN ROUNDTRIP FAILED\n", len);
+      return 1;
+    }
+    std::printf("len=%zu chacha=%016llx seal=%016llx\n", len,
+                static_cast<unsigned long long>(cipher_digest),
+                static_cast<unsigned long long>(seal_digest));
+  }
+  // Batched seal digest: 32 MTU packets through one SealN call.
+  {
+    std::vector<std::vector<std::uint8_t>> bufs;
+    std::vector<SealRequest> requests;
+    static std::uint8_t aad[14] = {9, 8, 7, 6, 5, 4, 3, 2, 1};
+    for (std::size_t i = 0; i < 32; ++i) {
+      bufs.emplace_back(1300 + kAeadTagSize,
+                        static_cast<std::uint8_t>(i * 11 + 1));
+      requests.push_back(SealRequest{PathId{static_cast<std::uint32_t>(i)},
+                                     PacketNumber{i + 1}, aad, bufs.back()});
+    }
+    protection.SealN(requests);
+    std::uint64_t digest = 0;
+    for (const auto& buf : bufs) digest ^= SipHash24(digest_key, buf);
+    std::printf("sealn32=%016llx\n", static_cast<unsigned long long>(digest));
+  }
+  // The level goes to stderr so stdout stays comparable across builds.
+  std::fprintf(stderr, "active SIMD level: %s\n",
+               SimdLevelName(ActiveSimdLevel()));
+  return 0;
+}
+
+// --- benchmarks ------------------------------------------------------------
 
 void BM_ChaCha20Xor(benchmark::State& state) {
   const ChaChaKey key = TestKey();
@@ -46,33 +131,78 @@ void BM_SipHash24(benchmark::State& state) {
 }
 BENCHMARK(BM_SipHash24)->Arg(8)->Arg(64)->Arg(1350);
 
-void BM_SealMtuPacket(benchmark::State& state) {
+/// Per-dispatch-level seal: range(0) is the SimdLevel to force
+/// (0=scalar, 1=SSE2, 2=AVX2); levels above the machine's maximum are
+/// skipped. Restores the default level afterwards.
+void BM_SealMtuPacketLevel(benchmark::State& state) {
+  const auto level = static_cast<SimdLevel>(state.range(0));
+  if (level > MaxSimdLevel()) {
+    state.SkipWithError("SIMD level unavailable on this machine/build");
+    return;
+  }
+  ForceSimdLevel(level);
+  state.SetLabel(SimdLevelName(level));
   PacketProtection protection(TestKey());
-  std::vector<std::uint8_t> plaintext(1300, 0x42);
+  std::vector<std::uint8_t> buf(1300 + kAeadTagSize, 0x42);
   const std::uint8_t aad[14] = {};
   PacketNumber pn{1};
   for (auto _ : state) {
-    auto sealed = protection.Seal(PathId{1}, pn++, aad, plaintext);
-    benchmark::DoNotOptimize(sealed.data());
+    protection.SealInPlace(PathId{1}, pn++, aad, buf);
+    benchmark::DoNotOptimize(buf.data());
   }
   state.SetBytesProcessed(state.iterations() * 1300);
+  ForceSimdLevel(MaxSimdLevel());
 }
-BENCHMARK(BM_SealMtuPacket);
+BENCHMARK(BM_SealMtuPacketLevel)->Arg(0)->Arg(1)->Arg(2);
 
-void BM_OpenMtuPacket(benchmark::State& state) {
+void BM_OpenMtuPacketLevel(benchmark::State& state) {
+  const auto level = static_cast<SimdLevel>(state.range(0));
+  if (level > MaxSimdLevel()) {
+    state.SkipWithError("SIMD level unavailable on this machine/build");
+    return;
+  }
+  ForceSimdLevel(level);
+  state.SetLabel(SimdLevelName(level));
   PacketProtection protection(TestKey());
   std::vector<std::uint8_t> plaintext(1300, 0x42);
   const std::uint8_t aad[14] = {};
-  const auto sealed = protection.Seal(PathId{1}, PacketNumber{99}, aad, plaintext);
+  const auto sealed =
+      protection.Seal(PathId{1}, PacketNumber{99}, aad, plaintext);
+  std::vector<std::uint8_t> buf;
   for (auto _ : state) {
-    std::vector<std::uint8_t> out;
-    const bool ok = protection.Open(PathId{1}, PacketNumber{99}, aad, sealed, out);
+    buf.assign(sealed.begin(), sealed.end());
+    std::size_t plaintext_len = 0;
+    const bool ok = protection.OpenInPlace(PathId{1}, PacketNumber{99}, aad,
+                                           buf, plaintext_len);
     benchmark::DoNotOptimize(ok);
-    benchmark::DoNotOptimize(out.data());
+    benchmark::DoNotOptimize(buf.data());
   }
   state.SetBytesProcessed(state.iterations() * 1300);
+  ForceSimdLevel(MaxSimdLevel());
 }
-BENCHMARK(BM_OpenMtuPacket);
+BENCHMARK(BM_OpenMtuPacketLevel)->Arg(0)->Arg(1)->Arg(2);
+
+/// The burst path: 32 MTU packets per SealN call (what a retransmission
+/// storm or a saturated send loop hands the crypto layer).
+void BM_SealBurst32(benchmark::State& state) {
+  PacketProtection protection(TestKey());
+  std::vector<std::vector<std::uint8_t>> bufs(32);
+  for (auto& buf : bufs) buf.assign(1300 + kAeadTagSize, 0x42);
+  static const std::uint8_t aad[14] = {};
+  std::vector<SealRequest> requests;
+  std::uint64_t pn = 1;
+  for (auto _ : state) {
+    requests.clear();
+    for (auto& buf : bufs) {
+      requests.push_back(
+          SealRequest{PathId{1}, PacketNumber{pn++}, aad, buf});
+    }
+    protection.SealN(requests);
+    benchmark::DoNotOptimize(bufs.data());
+  }
+  state.SetBytesProcessed(state.iterations() * 32 * 1300);
+}
+BENCHMARK(BM_SealBurst32);
 
 void BM_SessionKeyDerivation(benchmark::State& state) {
   const std::uint8_t client_nonce[16] = {1};
@@ -87,4 +217,13 @@ BENCHMARK(BM_SessionKeyDerivation);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--selftest") == 0) return RunSelftest();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -25,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_simd.h"
 #include "common/source.h"
 #include "crypto/aead.h"
 #include "harness/figures.h"
@@ -296,6 +297,7 @@ int main(int argc, char** argv) {
   writer.Key("sweep_jobs").UInt(static_cast<std::uint64_t>(jobs));
   writer.Key("sweep_parallel_wall_s").Double(sweep_parallel_s);
   writer.EndObject();
+  bench::WriteSimdBlock(writer);
   writer.Key("engine_speedup_vs_baseline")
       .Double(engine_pps / kBaselineEnginePacketsPerSec);
   writer.Key("sweep_parallel_speedup")

@@ -51,7 +51,10 @@ constexpr Duration MillisToDuration(double ms) {
 /// Identifies one end-to-end path of a multipath connection (paper §3,
 /// "Path Identification"). Path 0 is always the initial path used for the
 /// handshake; client-created paths are odd, server-created paths even.
-using PathId = Strong<struct PathIdTag, std::uint8_t>;
+/// 32 bits wide so a future MAX_PATHS negotiation can exceed 255 paths —
+/// the AEAD nonce reserves 4 bytes for it (crypto/aead.cc) while the
+/// current wire header still encodes the low byte (quic/wire.cc).
+using PathId = Strong<struct PathIdTag, std::uint32_t>;
 
 /// QUIC connection identifier (64-bit, as in Google QUIC).
 using ConnectionId = std::uint64_t;

@@ -1,16 +1,54 @@
 #include "crypto/aead.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "obs/prof.h"
 
 namespace mpq::crypto {
 
+namespace {
+
+/// Fused-walk chunk: big enough that the SIMD kernels run at full width
+/// (a multiple of 8 ChaCha blocks), small enough that the ciphertext is
+/// still in L1 when the tag absorb re-reads it.
+constexpr std::size_t kFuseChunk = 1024;
+static_assert(kFuseChunk % kChaChaBlockSize == 0);
+
+/// Absorb the authenticated prefix `nonce | aad_len | aad` (the framing
+/// Tag() documents; the fused seal/open walks append the ciphertext).
+void AbsorbTagPrefix(SipHashState& state, const ChaChaNonce& nonce,
+                     std::span<const std::uint8_t> aad) {
+  state.Absorb(nonce);
+  std::uint8_t aad_len[8];
+  for (int i = 0; i < 8; ++i) {
+    aad_len[i] = static_cast<std::uint8_t>(aad.size() >> (8 * i));
+  }
+  state.Absorb(aad_len);
+  state.Absorb(aad);
+}
+
+std::uint64_t ReadTagLe(const std::uint8_t* tag_bytes) {
+  std::uint64_t got = 0;
+  for (int i = 7; i >= 0; --i) got = got << 8 | tag_bytes[i];
+  return got;
+}
+
+void WriteTagLe(std::uint8_t* tag_out, std::uint64_t tag) {
+  for (std::size_t i = 0; i < kAeadTagSize; ++i) {
+    tag_out[i] = static_cast<std::uint8_t>(tag >> (8 * i));
+  }
+}
+
+}  // namespace
+
 std::array<std::uint8_t, 32> Kdf32(std::span<const std::uint8_t> secret,
                                    std::string_view label) {
   SipHashKey key{};
   const std::size_t key_bytes = secret.size() < 16 ? secret.size() : 16;
-  std::memcpy(key.data(), secret.data(), key_bytes);
+  // Guard the copy: memcpy from an empty span's data() (null) is UB even
+  // for zero bytes.
+  if (key_bytes > 0) std::memcpy(key.data(), secret.data(), key_bytes);
 
   std::vector<std::uint8_t> message;
   message.reserve(secret.size() + label.size() + 1);
@@ -37,10 +75,13 @@ PacketProtection::PacketProtection(const ChaChaKey& key) : cipher_key_(key) {
 }
 
 ChaChaNonce PacketProtection::MakeNonce(PathId path, PacketNumber pn) const {
-  // path id (1) | zeros (3) | packet number (8, big-endian). Distinct
-  // paths therefore always yield distinct nonces (paper §3).
+  // path id (4, little-endian) | packet number (8, big-endian). Distinct
+  // paths therefore always yield distinct nonces (paper §3) — the full
+  // 32-bit PathId is encoded, so paths 256 apart cannot collide.
   ChaChaNonce nonce{};
-  nonce[0] = path.value();
+  for (int i = 0; i < 4; ++i) {
+    nonce[i] = static_cast<std::uint8_t>(path.value() >> (8 * i));
+  }
   for (int i = 0; i < 8; ++i) {
     nonce[4 + i] = static_cast<std::uint8_t>(pn.value() >> (8 * (7 - i)));
   }
@@ -53,15 +94,72 @@ std::uint64_t PacketProtection::Tag(
   // Unambiguous framing: nonce | aad_len | aad | ciphertext, absorbed
   // incrementally — no per-packet material buffer.
   SipHashState state(tag_key_);
-  state.Absorb(nonce);
-  std::uint8_t aad_len[8];
-  for (int i = 0; i < 8; ++i) {
-    aad_len[i] = static_cast<std::uint8_t>(aad.size() >> (8 * i));
-  }
-  state.Absorb(aad_len);
-  state.Absorb(aad);
+  AbsorbTagPrefix(state, nonce, aad);
   state.Absorb(ciphertext);
   return state.Finalize();
+}
+
+void PacketProtection::SealOne(PathId path, PacketNumber pn,
+                               std::span<const std::uint8_t> aad,
+                               std::span<std::uint8_t> buf) const {
+  MPQ_PROF_SCOPE("crypto/seal");
+  const ChaChaNonce nonce = MakeNonce(path, pn);
+  const std::span<std::uint8_t> text = buf.first(buf.size() - kAeadTagSize);
+
+  SipHashState tag_state(tag_key_);
+  AbsorbTagPrefix(tag_state, nonce, aad);
+  ChaCha20Ctx ctx;
+  ChaCha20Init(ctx, cipher_key_, 1, nonce);
+
+  // Fused walk: encrypt a chunk, then absorb the ciphertext into the tag
+  // while it is still cache-hot — one pass over the packet instead of two.
+  std::size_t offset = 0;
+  while (offset < text.size()) {
+    const std::size_t n = std::min(kFuseChunk, text.size() - offset);
+    const std::span<std::uint8_t> chunk = text.subspan(offset, n);
+    ChaCha20XorUpdate(ctx, chunk);
+    tag_state.Absorb(chunk);
+    offset += n;
+  }
+  WriteTagLe(buf.data() + text.size(), tag_state.Finalize());
+}
+
+bool PacketProtection::OpenOne(PathId path, PacketNumber pn,
+                               std::span<const std::uint8_t> aad,
+                               std::span<std::uint8_t> buf,
+                               std::size_t& plaintext_len) const {
+  MPQ_PROF_SCOPE("crypto/open");
+  if (buf.size() < kAeadTagSize) return false;
+  const std::span<std::uint8_t> ciphertext =
+      buf.first(buf.size() - kAeadTagSize);
+
+  const ChaChaNonce nonce = MakeNonce(path, pn);
+  SipHashState tag_state(tag_key_);
+  AbsorbTagPrefix(tag_state, nonce, aad);
+  ChaCha20Ctx ctx;
+  ChaCha20Init(ctx, cipher_key_, 1, nonce);
+
+  // Optimistic fused walk: absorb the ciphertext chunk into the tag,
+  // then decrypt it in place — the verdict only lands at the end.
+  std::size_t offset = 0;
+  while (offset < ciphertext.size()) {
+    const std::size_t n = std::min(kFuseChunk, ciphertext.size() - offset);
+    const std::span<std::uint8_t> chunk = ciphertext.subspan(offset, n);
+    tag_state.Absorb(chunk);
+    ChaCha20XorUpdate(ctx, chunk);
+    offset += n;
+  }
+  const std::uint64_t expected = tag_state.Finalize();
+  // Constant-time comparison is irrelevant in a simulator but cheap.
+  if ((expected ^ ReadTagLe(buf.data() + ciphertext.size())) != 0) {
+    // Rare path: re-encrypt to hand the buffer back exactly as passed
+    // (XOR with the same keystream is involutive).
+    ChaCha20Init(ctx, cipher_key_, 1, nonce);
+    ChaCha20XorUpdate(ctx, ciphertext);
+    return false;
+  }
+  plaintext_len = ciphertext.size();
+  return true;
 }
 
 std::vector<std::uint8_t> PacketProtection::Seal(
@@ -78,37 +176,22 @@ std::vector<std::uint8_t> PacketProtection::Seal(
 void PacketProtection::SealInPlace(PathId path, PacketNumber pn,
                                    std::span<const std::uint8_t> aad,
                                    std::span<std::uint8_t> buf) const {
-  MPQ_PROF_SCOPE("crypto/seal");
-  const ChaChaNonce nonce = MakeNonce(path, pn);
-  const std::span<std::uint8_t> text = buf.first(buf.size() - kAeadTagSize);
-  ChaCha20Xor(cipher_key_, 1, nonce, text);
-  const std::uint64_t tag = Tag(nonce, aad, text);
-  std::uint8_t* tag_out = buf.data() + text.size();
-  for (std::size_t i = 0; i < kAeadTagSize; ++i) {
-    tag_out[i] = static_cast<std::uint8_t>(tag >> (8 * i));
-  }
+  SealOne(path, pn, aad, buf);
 }
 
 bool PacketProtection::Open(PathId path, PacketNumber pn,
                             std::span<const std::uint8_t> aad,
                             std::span<const std::uint8_t> sealed,
                             std::vector<std::uint8_t>& out) const {
-  MPQ_PROF_SCOPE("crypto/open");
   if (sealed.size() < kAeadTagSize) return false;
-  const std::span<const std::uint8_t> ciphertext =
-      sealed.subspan(0, sealed.size() - kAeadTagSize);
-  const std::span<const std::uint8_t> tag_bytes =
-      sealed.subspan(sealed.size() - kAeadTagSize);
-
-  const ChaChaNonce nonce = MakeNonce(path, pn);
-  std::uint64_t expected = Tag(nonce, aad, ciphertext);
-  std::uint64_t got = 0;
-  for (int i = 7; i >= 0; --i) got = got << 8 | tag_bytes[i];
-  // Constant-time comparison is irrelevant in a simulator but cheap.
-  if ((expected ^ got) != 0) return false;
-
-  out.assign(ciphertext.begin(), ciphertext.end());
-  ChaCha20Xor(cipher_key_, 1, nonce, out);
+  // Copy ciphertext | tag into the scratch and run the fused in-place
+  // open there: one walk decrypt+authenticate, and the caller's input
+  // stays pristine without a restore pass (on failure only `out` — whose
+  // contents are unspecified then — holds the restored ciphertext).
+  out.assign(sealed.begin(), sealed.end());
+  std::size_t plaintext_len = 0;
+  if (!OpenOne(path, pn, aad, out, plaintext_len)) return false;
+  out.resize(plaintext_len);
   return true;
 }
 
@@ -116,35 +199,43 @@ bool PacketProtection::OpenInPlace(PathId path, PacketNumber pn,
                                    std::span<const std::uint8_t> aad,
                                    std::span<std::uint8_t> buf,
                                    std::size_t& plaintext_len) const {
-  MPQ_PROF_SCOPE("crypto/open");
-  if (buf.size() < kAeadTagSize) return false;
-  const std::span<std::uint8_t> ciphertext =
-      buf.first(buf.size() - kAeadTagSize);
-  const std::span<const std::uint8_t> tag_bytes =
-      buf.subspan(ciphertext.size());
+  return OpenOne(path, pn, aad, buf, plaintext_len);
+}
 
-  const ChaChaNonce nonce = MakeNonce(path, pn);
-  const std::uint64_t expected = Tag(nonce, aad, ciphertext);
-  std::uint64_t got = 0;
-  for (int i = 7; i >= 0; --i) got = got << 8 | tag_bytes[i];
-  if ((expected ^ got) != 0) return false;
+void PacketProtection::SealN(std::span<SealRequest> requests) const {
+  for (SealRequest& req : requests) {
+    // The per-packet profiler scope lives inside SealOne, so span names
+    // and counts match the unbatched path packet for packet.
+    SealOne(req.path, req.pn, req.aad, req.buf);
+  }
+}
 
-  ChaCha20Xor(cipher_key_, 1, nonce, ciphertext);
-  plaintext_len = ciphertext.size();
-  return true;
+void PacketProtection::OpenN(std::span<OpenRequest> requests) const {
+  for (OpenRequest& req : requests) {
+    req.plaintext_len = 0;
+    req.ok = OpenOne(req.path, req.pn, req.aad, req.buf, req.plaintext_len);
+  }
 }
 
 SessionKeys DeriveSessionKeys(
     std::span<const std::uint8_t> client_nonce,
     std::span<const std::uint8_t> server_nonce,
     std::span<const std::uint8_t> server_config_secret) {
+  // Length-prefix each field (8 bytes little-endian, like Tag() frames
+  // the AAD) so distinct (client_nonce, server_nonce, secret) splits of
+  // the same concatenated bytes can never alias into one master secret.
   std::vector<std::uint8_t> master;
   master.reserve(client_nonce.size() + server_nonce.size() +
-                 server_config_secret.size());
-  master.insert(master.end(), client_nonce.begin(), client_nonce.end());
-  master.insert(master.end(), server_nonce.begin(), server_nonce.end());
-  master.insert(master.end(), server_config_secret.begin(),
-                server_config_secret.end());
+                 server_config_secret.size() + 24);
+  const auto append_framed = [&master](std::span<const std::uint8_t> field) {
+    for (int i = 0; i < 8; ++i) {
+      master.push_back(static_cast<std::uint8_t>(field.size() >> (8 * i)));
+    }
+    master.insert(master.end(), field.begin(), field.end());
+  };
+  append_framed(client_nonce);
+  append_framed(server_nonce);
+  append_framed(server_config_secret);
   SessionKeys keys;
   keys.client_to_server = Kdf32(master, "client to server");
   keys.server_to_client = Kdf32(master, "server to client");

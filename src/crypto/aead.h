@@ -9,10 +9,16 @@
 // not be used outside this simulator.
 //
 // The nonce construction implements the paper's §3 mitigation for nonce
-// reuse across paths: the Path ID is mixed into the nonce together with
-// the per-path packet number, so (path, packet number) pairs can never
-// collide into the same nonce even though every path restarts its packet
-// numbers at 1.
+// reuse across paths: the full 32-bit Path ID is mixed into the nonce
+// together with the per-path packet number, so (path, packet number)
+// pairs can never collide into the same nonce even though every path
+// restarts its packet numbers at 1.
+//
+// Hot-path shape: seal and open walk each packet buffer once — the
+// ChaCha20 XOR (SIMD multi-block, crypto/cpu.h) and the SipHash tag
+// absorb are fused chunk by chunk so the ciphertext is hashed while it
+// is still cache-hot. SealN/OpenN batch N packets per call for the
+// burst-oriented datapath (quic/assembler.h, quic/server.h).
 #pragma once
 
 #include <array>
@@ -35,6 +41,31 @@ inline constexpr std::size_t kAeadTagSize = 8;
 std::array<std::uint8_t, 32> Kdf32(std::span<const std::uint8_t> secret,
                                    std::string_view label);
 
+/// One packet of a SealN batch: on entry the first
+/// `buf.size() - kAeadTagSize` bytes hold the plaintext; on return they
+/// hold the ciphertext and the last kAeadTagSize bytes the tag.
+/// Identical semantics to SealInPlace. `buf` must not overlap `aad`.
+struct SealRequest {
+  PathId path{};
+  PacketNumber pn{};
+  std::span<const std::uint8_t> aad;
+  std::span<std::uint8_t> buf;
+};
+
+/// One packet of an OpenN batch: `buf` holds ciphertext | tag. On
+/// success `ok` is true, the ciphertext is decrypted in place and
+/// `plaintext_len` receives buf.size() - kAeadTagSize; on failure `ok`
+/// is false and `buf` is left exactly as passed (same contract as
+/// OpenInPlace).
+struct OpenRequest {
+  PathId path{};
+  PacketNumber pn{};
+  std::span<const std::uint8_t> aad;
+  std::span<std::uint8_t> buf;
+  std::size_t plaintext_len = 0;
+  bool ok = false;
+};
+
 /// One direction of packet protection.
 class PacketProtection {
  public:
@@ -49,9 +80,10 @@ class PacketProtection {
                                  std::span<const std::uint8_t> aad,
                                  std::span<const std::uint8_t> plaintext) const;
 
-  /// Verify and decrypt. Returns false (leaving `out` untouched) on a bad
-  /// tag or truncated input; callers drop the packet. `out` may be a
-  /// reused scratch vector — its capacity is recycled across packets.
+  /// Verify and decrypt into `out` (a reused scratch vector — its capacity
+  /// is recycled across packets). Returns false on a bad tag or truncated
+  /// input; callers drop the packet. On failure `out`'s contents are
+  /// unspecified (the fused walk decrypts while it authenticates).
   bool Open(PathId path, PacketNumber pn, std::span<const std::uint8_t> aad,
             std::span<const std::uint8_t> sealed,
             std::vector<std::uint8_t>& out) const;
@@ -65,20 +97,37 @@ class PacketProtection {
                    std::span<const std::uint8_t> aad,
                    std::span<std::uint8_t> buf) const;
 
-  /// Zero-allocation open: `buf` holds ciphertext | tag. Verifies the tag,
-  /// then decrypts the ciphertext in place; `plaintext_len` receives
-  /// buf.size() - kAeadTagSize. Returns false (leaving `buf` unmodified)
-  /// on a bad tag or truncated input.
+  /// Zero-allocation open: `buf` holds ciphertext | tag. Verifies the tag
+  /// while decrypting (fused walk), leaving the plaintext in place;
+  /// `plaintext_len` receives buf.size() - kAeadTagSize. Returns false on
+  /// a bad tag or truncated input — the buffer is then restored to
+  /// exactly the bytes the caller passed (a failed decrypt never leaks
+  /// keystream).
   bool OpenInPlace(PathId path, PacketNumber pn,
                    std::span<const std::uint8_t> aad,
                    std::span<std::uint8_t> buf,
                    std::size_t& plaintext_len) const;
+
+  /// Batched seal: seal every request in order, equivalent to calling
+  /// SealInPlace per entry. One call per transmit burst amortizes the
+  /// dispatch overhead across the burst (quic/assembler.h).
+  void SealN(std::span<SealRequest> requests) const;
+
+  /// Batched open: open every request in order, equivalent to calling
+  /// OpenInPlace per entry; per-packet verdicts land in OpenRequest::ok.
+  void OpenN(std::span<OpenRequest> requests) const;
 
  private:
   ChaChaNonce MakeNonce(PathId path, PacketNumber pn) const;
   std::uint64_t Tag(const ChaChaNonce& nonce,
                     std::span<const std::uint8_t> aad,
                     std::span<const std::uint8_t> ciphertext) const;
+  void SealOne(PathId path, PacketNumber pn,
+               std::span<const std::uint8_t> aad,
+               std::span<std::uint8_t> buf) const;
+  bool OpenOne(PathId path, PacketNumber pn,
+               std::span<const std::uint8_t> aad, std::span<std::uint8_t> buf,
+               std::size_t& plaintext_len) const;
 
   ChaChaKey cipher_key_;
   SipHashKey tag_key_;
@@ -93,7 +142,9 @@ struct SessionKeys {
 /// Compute the session keys both ends derive at the end of the simulated
 /// 1-RTT handshake. `server_config_secret` models the out-of-band server
 /// config of Google-QUIC's low-latency handshake (both ends know it);
-/// the two nonces are the fresh randomness exchanged in CHLO/SHLO.
+/// the two nonces are the fresh randomness exchanged in CHLO/SHLO. Each
+/// input is length-prefixed before hashing, so different splits of the
+/// same concatenated bytes yield different master secrets.
 SessionKeys DeriveSessionKeys(std::span<const std::uint8_t> client_nonce,
                               std::span<const std::uint8_t> server_nonce,
                               std::span<const std::uint8_t> server_config_secret);

@@ -3,6 +3,9 @@
 #include <bit>
 #include <cstring>
 
+#include "crypto/chacha20_impl.h"
+#include "crypto/cpu.h"
+
 namespace mpq::crypto {
 
 namespace {
@@ -35,13 +38,9 @@ inline void StoreLe32(std::uint8_t* p, std::uint32_t v) {
   p[3] = static_cast<std::uint8_t>(v >> 24);
 }
 
-}  // namespace
-
-void ChaCha20Block(const ChaChaKey& key, std::uint32_t counter,
-                   const ChaChaNonce& nonce,
-                   std::array<std::uint8_t, kChaChaBlockSize>& out) {
+inline void InitState(std::uint32_t state[16], const ChaChaKey& key,
+                      std::uint32_t counter, const ChaChaNonce& nonce) {
   // RFC 8439 §2.3: constants | key | counter | nonce.
-  std::uint32_t state[16];
   state[0] = 0x61707865;
   state[1] = 0x3320646e;
   state[2] = 0x79622d32;
@@ -49,6 +48,55 @@ void ChaCha20Block(const ChaChaKey& key, std::uint32_t counter,
   for (int i = 0; i < 8; ++i) state[4 + i] = LoadLe32(&key[4 * i]);
   state[12] = counter;
   for (int i = 0; i < 3; ++i) state[13 + i] = LoadLe32(&nonce[4 * i]);
+}
+
+/// Scalar fallback: XOR `blocks` full keystream blocks into `data`,
+/// starting at state[12]; the caller advances the counter.
+void XorBlocksScalar(const std::uint32_t state[16], std::uint8_t* data,
+                     std::size_t blocks) {
+  for (std::size_t b = 0; b < blocks; ++b) {
+    std::uint32_t working[16];
+    std::memcpy(working, state, 16 * sizeof(std::uint32_t));
+    working[12] = state[12] + static_cast<std::uint32_t>(b);
+    for (int round = 0; round < 10; ++round) {
+      QuarterRound(working[0], working[4], working[8], working[12]);
+      QuarterRound(working[1], working[5], working[9], working[13]);
+      QuarterRound(working[2], working[6], working[10], working[14]);
+      QuarterRound(working[3], working[7], working[11], working[15]);
+      QuarterRound(working[0], working[5], working[10], working[15]);
+      QuarterRound(working[1], working[6], working[11], working[12]);
+      QuarterRound(working[2], working[7], working[8], working[13]);
+      QuarterRound(working[3], working[4], working[9], working[14]);
+    }
+    std::uint8_t* p = data + b * kChaChaBlockSize;
+    for (int i = 0; i < 16; ++i) {
+      std::uint32_t ks = working[i] + state[i];
+      if (i == 12) ks = working[12] + state[12] + static_cast<std::uint32_t>(b);
+      // XOR the keystream into the data word by word, without serializing
+      // it to a byte array first. On a little-endian host the native word
+      // layout *is* the RFC 8439 serialization.
+      if constexpr (std::endian::native == std::endian::little) {
+        std::uint32_t word;
+        std::memcpy(&word, p + 4 * i, sizeof(word));
+        word ^= ks;
+        std::memcpy(p + 4 * i, &word, sizeof(word));
+      } else {
+        p[4 * i] ^= static_cast<std::uint8_t>(ks);
+        p[4 * i + 1] ^= static_cast<std::uint8_t>(ks >> 8);
+        p[4 * i + 2] ^= static_cast<std::uint8_t>(ks >> 16);
+        p[4 * i + 3] ^= static_cast<std::uint8_t>(ks >> 24);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void ChaCha20Block(const ChaChaKey& key, std::uint32_t counter,
+                   const ChaChaNonce& nonce,
+                   std::array<std::uint8_t, kChaChaBlockSize>& out) {
+  std::uint32_t state[16];
+  InitState(state, key, counter, nonce);
 
   std::uint32_t working[16];
   std::memcpy(working, state, sizeof(state));
@@ -67,26 +115,46 @@ void ChaCha20Block(const ChaChaKey& key, std::uint32_t counter,
   }
 }
 
-void ChaCha20Xor(const ChaChaKey& key, std::uint32_t initial_counter,
-                 const ChaChaNonce& nonce, std::span<std::uint8_t> data) {
-  // State set up once for the whole message; only the block counter
-  // (word 12) changes between blocks.
-  std::uint32_t state[16];
-  state[0] = 0x61707865;
-  state[1] = 0x3320646e;
-  state[2] = 0x79622d32;
-  state[3] = 0x6b206574;
-  for (int i = 0; i < 8; ++i) state[4 + i] = LoadLe32(&key[4 * i]);
-  state[12] = initial_counter;
-  for (int i = 0; i < 3; ++i) state[13 + i] = LoadLe32(&nonce[4 * i]);
+void ChaCha20Init(ChaCha20Ctx& ctx, const ChaChaKey& key,
+                  std::uint32_t counter, const ChaChaNonce& nonce) {
+  InitState(ctx.state, key, counter, nonce);
+}
 
-  std::size_t offset = 0;
-  // Full blocks: XOR the keystream into the data word by word, without
-  // serializing it to a byte array first. On a little-endian host the
-  // native word layout *is* the RFC 8439 serialization.
-  while (data.size() - offset >= kChaChaBlockSize) {
+void ChaCha20XorUpdate(ChaCha20Ctx& ctx, std::span<std::uint8_t> data) {
+  std::size_t blocks = data.size() / kChaChaBlockSize;
+  std::uint8_t* p = data.data();
+  const SimdLevel level = ActiveSimdLevel();
+
+#if defined(MPQ_HAVE_AVX2)
+  if (level >= SimdLevel::kAvx2 && blocks >= 8) {
+    const std::size_t n = blocks & ~std::size_t{7};
+    internal::ChaCha20XorBlocksAvx2(ctx.state, p, n);
+    ctx.state[12] += static_cast<std::uint32_t>(n);
+    p += n * kChaChaBlockSize;
+    blocks -= n;
+  }
+#endif
+#if defined(MPQ_HAVE_SSE2)
+  if (level >= SimdLevel::kSse2 && blocks >= 4) {
+    const std::size_t n = blocks & ~std::size_t{3};
+    internal::ChaCha20XorBlocksSse2(ctx.state, p, n);
+    ctx.state[12] += static_cast<std::uint32_t>(n);
+    p += n * kChaChaBlockSize;
+    blocks -= n;
+  }
+#endif
+  (void)level;
+  if (blocks > 0) {
+    XorBlocksScalar(ctx.state, p, blocks);
+    ctx.state[12] += static_cast<std::uint32_t>(blocks);
+    p += blocks * kChaChaBlockSize;
+  }
+
+  // Trailing partial block (only legal as the end of the stream).
+  const std::size_t tail = data.size() % kChaChaBlockSize;
+  if (tail > 0) {
     std::uint32_t working[16];
-    std::memcpy(working, state, sizeof(state));
+    std::memcpy(working, ctx.state, sizeof(working));
     for (int round = 0; round < 10; ++round) {
       QuarterRound(working[0], working[4], working[8], working[12]);
       QuarterRound(working[1], working[5], working[9], working[13]);
@@ -97,32 +165,19 @@ void ChaCha20Xor(const ChaChaKey& key, std::uint32_t initial_counter,
       QuarterRound(working[2], working[7], working[8], working[13]);
       QuarterRound(working[3], working[4], working[9], working[14]);
     }
-    std::uint8_t* p = data.data() + offset;
-    for (int i = 0; i < 16; ++i) {
-      const std::uint32_t ks = working[i] + state[i];
-      if constexpr (std::endian::native == std::endian::little) {
-        std::uint32_t word;
-        std::memcpy(&word, p + 4 * i, sizeof(word));
-        word ^= ks;
-        std::memcpy(p + 4 * i, &word, sizeof(word));
-      } else {
-        p[4 * i] ^= static_cast<std::uint8_t>(ks);
-        p[4 * i + 1] ^= static_cast<std::uint8_t>(ks >> 8);
-        p[4 * i + 2] ^= static_cast<std::uint8_t>(ks >> 16);
-        p[4 * i + 3] ^= static_cast<std::uint8_t>(ks >> 24);
-      }
+    for (std::size_t i = 0; i < tail; ++i) {
+      const std::uint32_t ks = working[i / 4] + ctx.state[i / 4];
+      p[i] ^= static_cast<std::uint8_t>(ks >> (8 * (i % 4)));
     }
-    ++state[12];
-    offset += kChaChaBlockSize;
+    ctx.state[12] += 1;
   }
+}
 
-  // Trailing partial block.
-  if (offset < data.size()) {
-    std::array<std::uint8_t, kChaChaBlockSize> block;
-    ChaCha20Block(key, state[12], nonce, block);
-    const std::size_t n = data.size() - offset;
-    for (std::size_t i = 0; i < n; ++i) data[offset + i] ^= block[i];
-  }
+void ChaCha20Xor(const ChaChaKey& key, std::uint32_t initial_counter,
+                 const ChaChaNonce& nonce, std::span<std::uint8_t> data) {
+  ChaCha20Ctx ctx;
+  ChaCha20Init(ctx, key, initial_counter, nonce);
+  ChaCha20XorUpdate(ctx, data);
 }
 
 }  // namespace mpq::crypto

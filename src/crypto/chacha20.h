@@ -2,6 +2,12 @@
 // cipher of this repository's lightweight AEAD (see aead.h for the
 // security caveat). Verified against the RFC 8439 test vectors in
 // tests/crypto_test.cc.
+//
+// The XOR path is vectorized: runtime CPU dispatch (crypto/cpu.h) picks
+// an AVX2 8-block or SSE2 4-block kernel, falling back to the scalar
+// single-block loop. Every level is byte-identical — the vector kernels
+// compute the same 32-bit additions/rotations lane-wise, and uint32
+// wraparound is identical in scalar and SIMD registers.
 #pragma once
 
 #include <array>
@@ -22,9 +28,26 @@ void ChaCha20Block(const ChaChaKey& key, std::uint32_t counter,
                    const ChaChaNonce& nonce,
                    std::array<std::uint8_t, kChaChaBlockSize>& out);
 
+/// Streaming XOR context: the 16-word RFC 8439 state, set up once per
+/// message so the AEAD can interleave cipher and tag work chunk by chunk
+/// (the fused seal/open walk in aead.cc) without re-expanding the key.
+struct ChaCha20Ctx {
+  std::uint32_t state[16];
+};
+
+/// Initialize `ctx` from key/counter/nonce (RFC 8439 §2.3 state layout).
+void ChaCha20Init(ChaCha20Ctx& ctx, const ChaChaKey& key,
+                  std::uint32_t counter, const ChaChaNonce& nonce);
+
+/// XOR `data` in place with the next keystream bytes, advancing the block
+/// counter. Every call but the last must pass a multiple of
+/// kChaChaBlockSize bytes (a partial block ends the stream: the counter
+/// still advances past it, so only the final call may be partial).
+void ChaCha20XorUpdate(ChaCha20Ctx& ctx, std::span<std::uint8_t> data);
+
 /// XOR `data` in place with the ChaCha20 keystream starting at block
 /// `initial_counter` (RFC 8439 §2.4). Encryption and decryption are the
-/// same operation.
+/// same operation. Equivalent to ChaCha20Init + one ChaCha20XorUpdate.
 void ChaCha20Xor(const ChaChaKey& key, std::uint32_t initial_counter,
                  const ChaChaNonce& nonce, std::span<std::uint8_t> data);
 

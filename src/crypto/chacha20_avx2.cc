@@ -1,0 +1,117 @@
+// AVX2 8-block ChaCha20 kernel: vertical vectorization — ymm register i
+// holds word i of eight consecutive keystream blocks (blocks c..c+3 in
+// the low 128-bit lane, c+4..c+7 in the high lane). The 16/8-bit
+// rotations use the byte shuffle unit (_mm256_shuffle_epi8), the others
+// shift+or; uint32 lane arithmetic wraps exactly like the scalar loop,
+// so the output is byte-identical to XorBlocksScalar (tests + ci.sh
+// enforce it).
+//
+// This file is compiled with -mavx2 and only when the toolchain supports
+// it; chacha20.cc dispatches here at runtime (crypto/cpu.h).
+#if defined(MPQ_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include "crypto/chacha20_impl.h"
+
+namespace mpq::crypto::internal {
+
+namespace {
+
+inline __m256i Rot16(__m256i x) {
+  const __m256i mask = _mm256_set_epi8(
+      13, 12, 15, 14, 9, 8, 11, 10, 5, 4, 7, 6, 1, 0, 3, 2,
+      13, 12, 15, 14, 9, 8, 11, 10, 5, 4, 7, 6, 1, 0, 3, 2);
+  return _mm256_shuffle_epi8(x, mask);
+}
+
+inline __m256i Rot8(__m256i x) {
+  const __m256i mask = _mm256_set_epi8(
+      14, 13, 12, 15, 10, 9, 8, 11, 6, 5, 4, 7, 2, 1, 0, 3,
+      14, 13, 12, 15, 10, 9, 8, 11, 6, 5, 4, 7, 2, 1, 0, 3);
+  return _mm256_shuffle_epi8(x, mask);
+}
+
+inline __m256i Rotl(__m256i x, int k) {
+  return _mm256_or_si256(_mm256_slli_epi32(x, k),
+                         _mm256_srli_epi32(x, 32 - k));
+}
+
+inline void QuarterRound(__m256i& a, __m256i& b, __m256i& c, __m256i& d) {
+  a = _mm256_add_epi32(a, b);
+  d = Rot16(_mm256_xor_si256(d, a));
+  c = _mm256_add_epi32(c, d);
+  b = Rotl(_mm256_xor_si256(b, c), 12);
+  a = _mm256_add_epi32(a, b);
+  d = Rot8(_mm256_xor_si256(d, a));
+  c = _mm256_add_epi32(c, d);
+  b = Rotl(_mm256_xor_si256(b, c), 7);
+}
+
+inline void XorRow(std::uint8_t* p, __m256i row) {
+  const __m256i data =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p),
+                      _mm256_xor_si256(data, row));
+}
+
+}  // namespace
+
+void ChaCha20XorBlocksAvx2(const std::uint32_t state[16], std::uint8_t* data,
+                           std::size_t blocks) {
+  const __m256i lane_offsets = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  for (std::size_t done = 0; done < blocks; done += 8) {
+    __m256i init[16];
+    for (int i = 0; i < 16; ++i) {
+      init[i] = _mm256_set1_epi32(static_cast<int>(state[i]));
+    }
+    init[12] = _mm256_add_epi32(
+        _mm256_set1_epi32(static_cast<int>(
+            state[12] + static_cast<std::uint32_t>(done))),
+        lane_offsets);
+
+    __m256i v[16];
+    for (int i = 0; i < 16; ++i) v[i] = init[i];
+    for (int round = 0; round < 10; ++round) {
+      QuarterRound(v[0], v[4], v[8], v[12]);
+      QuarterRound(v[1], v[5], v[9], v[13]);
+      QuarterRound(v[2], v[6], v[10], v[14]);
+      QuarterRound(v[3], v[7], v[11], v[15]);
+      QuarterRound(v[0], v[5], v[10], v[15]);
+      QuarterRound(v[1], v[6], v[11], v[12]);
+      QuarterRound(v[2], v[7], v[8], v[13]);
+      QuarterRound(v[3], v[4], v[9], v[14]);
+    }
+    for (int i = 0; i < 16; ++i) v[i] = _mm256_add_epi32(v[i], init[i]);
+
+    // Transpose each 4-word group within the 128-bit lanes (giving one
+    // block's 16-byte row per lane), then splice lanes pairwise so each
+    // 32-byte store covers half a block's keystream contiguously.
+    __m256i rows[4][4];  // rows[g][b]: block b (lane 0) / b+4 (lane 1)
+    for (int g = 0; g < 4; ++g) {
+      const __m256i t0 = _mm256_unpacklo_epi32(v[4 * g], v[4 * g + 1]);
+      const __m256i t1 = _mm256_unpacklo_epi32(v[4 * g + 2], v[4 * g + 3]);
+      const __m256i t2 = _mm256_unpackhi_epi32(v[4 * g], v[4 * g + 1]);
+      const __m256i t3 = _mm256_unpackhi_epi32(v[4 * g + 2], v[4 * g + 3]);
+      rows[g][0] = _mm256_unpacklo_epi64(t0, t1);
+      rows[g][1] = _mm256_unpackhi_epi64(t0, t1);
+      rows[g][2] = _mm256_unpacklo_epi64(t2, t3);
+      rows[g][3] = _mm256_unpackhi_epi64(t2, t3);
+    }
+    std::uint8_t* base = data + done * 64;
+    for (int b = 0; b < 4; ++b) {
+      XorRow(base + b * 64,
+             _mm256_permute2x128_si256(rows[0][b], rows[1][b], 0x20));
+      XorRow(base + b * 64 + 32,
+             _mm256_permute2x128_si256(rows[2][b], rows[3][b], 0x20));
+      XorRow(base + (b + 4) * 64,
+             _mm256_permute2x128_si256(rows[0][b], rows[1][b], 0x31));
+      XorRow(base + (b + 4) * 64 + 32,
+             _mm256_permute2x128_si256(rows[2][b], rows[3][b], 0x31));
+    }
+  }
+}
+
+}  // namespace mpq::crypto::internal
+
+#endif  // MPQ_HAVE_AVX2

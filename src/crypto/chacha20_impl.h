@@ -1,0 +1,27 @@
+// Internal contract between the ChaCha20 dispatcher (chacha20.cc) and the
+// per-ISA multi-block kernels (chacha20_sse2.cc / chacha20_avx2.cc). Not
+// installed outside src/crypto.
+//
+// A kernel XORs `blocks` consecutive 64-byte keystream blocks into `data`,
+// starting at the block counter in state[12]; `blocks` is always a
+// multiple of the kernel's lane width (4 for SSE2, 8 for AVX2). The caller
+// advances state[12] afterwards. state is the RFC 8439 layout:
+// constants | key | counter | nonce, one 32-bit word each.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mpq::crypto::internal {
+
+#if defined(MPQ_HAVE_SSE2)
+void ChaCha20XorBlocksSse2(const std::uint32_t state[16], std::uint8_t* data,
+                           std::size_t blocks);
+#endif
+
+#if defined(MPQ_HAVE_AVX2)
+void ChaCha20XorBlocksAvx2(const std::uint32_t state[16], std::uint8_t* data,
+                           std::size_t blocks);
+#endif
+
+}  // namespace mpq::crypto::internal

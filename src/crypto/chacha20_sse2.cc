@@ -1,0 +1,89 @@
+// SSE2 4-block ChaCha20 kernel: vertical vectorization — xmm register i
+// holds word i of four consecutive keystream blocks, so the 20 rounds run
+// on all four blocks at once with plain 32-bit lane adds/xors/shifts.
+// uint32 lane arithmetic wraps exactly like the scalar loop, so the
+// output is byte-identical to XorBlocksScalar (tests + ci.sh enforce it).
+//
+// This file is compiled with -msse2 and only when the toolchain supports
+// it; chacha20.cc dispatches here at runtime (crypto/cpu.h).
+#if defined(MPQ_HAVE_SSE2)
+
+#include <emmintrin.h>
+
+#include "crypto/chacha20_impl.h"
+
+namespace mpq::crypto::internal {
+
+namespace {
+
+inline __m128i Rotl(__m128i x, int k) {
+  return _mm_or_si128(_mm_slli_epi32(x, k), _mm_srli_epi32(x, 32 - k));
+}
+
+inline void QuarterRound(__m128i& a, __m128i& b, __m128i& c, __m128i& d) {
+  a = _mm_add_epi32(a, b);
+  d = Rotl(_mm_xor_si128(d, a), 16);
+  c = _mm_add_epi32(c, d);
+  b = Rotl(_mm_xor_si128(b, c), 12);
+  a = _mm_add_epi32(a, b);
+  d = Rotl(_mm_xor_si128(d, a), 8);
+  c = _mm_add_epi32(c, d);
+  b = Rotl(_mm_xor_si128(b, c), 7);
+}
+
+inline void XorRow(std::uint8_t* p, __m128i row) {
+  const __m128i data =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(p),
+                   _mm_xor_si128(data, row));
+}
+
+}  // namespace
+
+void ChaCha20XorBlocksSse2(const std::uint32_t state[16], std::uint8_t* data,
+                           std::size_t blocks) {
+  const __m128i lane_offsets = _mm_setr_epi32(0, 1, 2, 3);
+  for (std::size_t done = 0; done < blocks; done += 4) {
+    __m128i init[16];
+    for (int i = 0; i < 16; ++i) {
+      init[i] = _mm_set1_epi32(static_cast<int>(state[i]));
+    }
+    init[12] = _mm_add_epi32(
+        _mm_set1_epi32(static_cast<int>(
+            state[12] + static_cast<std::uint32_t>(done))),
+        lane_offsets);
+
+    __m128i v[16];
+    for (int i = 0; i < 16; ++i) v[i] = init[i];
+    for (int round = 0; round < 10; ++round) {
+      QuarterRound(v[0], v[4], v[8], v[12]);
+      QuarterRound(v[1], v[5], v[9], v[13]);
+      QuarterRound(v[2], v[6], v[10], v[14]);
+      QuarterRound(v[3], v[7], v[11], v[15]);
+      QuarterRound(v[0], v[5], v[10], v[15]);
+      QuarterRound(v[1], v[6], v[11], v[12]);
+      QuarterRound(v[2], v[7], v[8], v[13]);
+      QuarterRound(v[3], v[4], v[9], v[14]);
+    }
+    for (int i = 0; i < 16; ++i) v[i] = _mm_add_epi32(v[i], init[i]);
+
+    // Transpose each 4-word group: v[4g..4g+3] hold word columns; the
+    // unpack pairs yield one 16-byte row per block, landing at byte
+    // offset 16*g of that block's 64-byte keystream.
+    std::uint8_t* base = data + done * 64;
+    for (int g = 0; g < 4; ++g) {
+      const __m128i t0 = _mm_unpacklo_epi32(v[4 * g], v[4 * g + 1]);
+      const __m128i t1 = _mm_unpacklo_epi32(v[4 * g + 2], v[4 * g + 3]);
+      const __m128i t2 = _mm_unpackhi_epi32(v[4 * g], v[4 * g + 1]);
+      const __m128i t3 = _mm_unpackhi_epi32(v[4 * g + 2], v[4 * g + 3]);
+      XorRow(base + 0 * 64 + 16 * g, _mm_unpacklo_epi64(t0, t1));
+      XorRow(base + 1 * 64 + 16 * g, _mm_unpackhi_epi64(t0, t1));
+      XorRow(base + 2 * 64 + 16 * g, _mm_unpacklo_epi64(t2, t3));
+      XorRow(base + 3 * 64 + 16 * g, _mm_unpackhi_epi64(t2, t3));
+    }
+  }
+}
+
+}  // namespace mpq::crypto::internal
+
+#endif  // MPQ_HAVE_SSE2

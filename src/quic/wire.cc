@@ -61,7 +61,11 @@ void EncodeHeader(const PacketHeader& header, PacketNumber largest_acked,
   flags |= static_cast<std::uint8_t>(pn_code << kFlagPnShift);
   out.WriteU8(flags);
   out.WriteU64(header.cid);
-  if (header.multipath) out.WriteU8(header.path_id.value());
+  // Wire format still carries one path-id byte (a MAX_PATHS negotiation
+  // would widen it); PathId itself is 32-bit for the AEAD nonce.
+  if (header.multipath) {
+    out.WriteU8(static_cast<std::uint8_t>(header.path_id.value()));
+  }
   switch (pn_len) {
     case 1:
       out.WriteU8(static_cast<std::uint8_t>(header.packet_number));
@@ -247,14 +251,14 @@ void EncodeFrame(const Frame& frame, BufWriter& out) {
       out.WriteU8(static_cast<std::uint8_t>(FrameType::kPaths));
       out.WriteU8(static_cast<std::uint8_t>(f.paths.size()));
       for (const auto& p : f.paths) {
-        out.WriteU8(p.path_id.value());
+        out.WriteU8(static_cast<std::uint8_t>(p.path_id.value()));
         out.WriteU8(static_cast<std::uint8_t>(p.status));
         out.WriteVarint(static_cast<std::uint64_t>(p.srtt));
       }
     }
     void operator()(const AckFrame& f) const {
       out.WriteU8(static_cast<std::uint8_t>(FrameType::kAck));
-      out.WriteU8(f.path_id.value());
+      out.WriteU8(static_cast<std::uint8_t>(f.path_id.value()));
       out.WriteVarint(static_cast<std::uint64_t>(f.ack_delay));
       out.WriteVarint(f.ranges.size());
       if (f.ranges.empty()) return;

@@ -8,8 +8,10 @@
 #include <vector>
 
 #include "common/buf.h"
+#include "common/rng.h"
 #include "crypto/aead.h"
 #include "crypto/chacha20.h"
+#include "crypto/cpu.h"
 #include "crypto/siphash.h"
 
 namespace mpq::crypto {
@@ -344,6 +346,281 @@ TEST(PacketProtection, OpenInPlaceTruncatedInputRejected) {
   std::vector<std::uint8_t> tiny = {1, 2, 3};  // shorter than the tag
   std::size_t plaintext_len = 0;
   EXPECT_FALSE(prot.OpenInPlace(PathId{0}, PacketNumber{1}, {}, tiny, plaintext_len));
+}
+
+// --- SIMD dispatch ---------------------------------------------------------
+
+/// Every level compiled into this binary and available on this machine,
+/// scalar first. Tests iterate the list so the SSE2/AVX2 kernels face
+/// the same known-answer vectors as the scalar reference.
+std::vector<SimdLevel> AvailableLevels() {
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar};
+  if (MaxSimdLevel() >= SimdLevel::kSse2) levels.push_back(SimdLevel::kSse2);
+  if (MaxSimdLevel() >= SimdLevel::kAvx2) levels.push_back(SimdLevel::kAvx2);
+  return levels;
+}
+
+/// RAII: tests that force a level must not leak it into later tests.
+struct SimdLevelRestorer {
+  ~SimdLevelRestorer() { ForceSimdLevel(MaxSimdLevel()); }
+};
+
+TEST(SimdDispatch, Rfc8439EncryptionVectorAtEveryLevel) {
+  // The §2.4.2 vector, re-checked with each kernel forced. The text is
+  // 114 bytes — short of one SSE2 batch — so also run an extended
+  // message (the vector text repeated 8x = 912 bytes) through every
+  // level and require bytes identical to scalar: that covers the AVX2
+  // 8-block path, the SSE2 4-block path, whole scalar blocks and the
+  // partial tail in one sweep.
+  SimdLevelRestorer restore;
+  const ChaChaKey key = SequentialKey();
+  const ChaChaNonce nonce = {0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+                             0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  const char* text =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  const std::vector<std::uint8_t> plain(text, text + std::strlen(text));
+  const char* expected_hex =
+      "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+      "f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"
+      "07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736"
+      "5af90bbf74a35be6b40b8eedf2785e42874d";
+
+  std::vector<std::uint8_t> extended;
+  for (int i = 0; i < 8; ++i) {
+    extended.insert(extended.end(), plain.begin(), plain.end());
+  }
+  ForceSimdLevel(SimdLevel::kScalar);
+  std::vector<std::uint8_t> extended_scalar = extended;
+  ChaCha20Xor(key, 1, nonce, extended_scalar);
+
+  for (const SimdLevel level : AvailableLevels()) {
+    ForceSimdLevel(level);
+    ASSERT_EQ(ActiveSimdLevel(), level);
+    std::vector<std::uint8_t> data = plain;
+    ChaCha20Xor(key, 1, nonce, data);
+    EXPECT_EQ(mpq::ToHex(data), expected_hex)
+        << "level " << SimdLevelName(level);
+    std::vector<std::uint8_t> big = extended;
+    ChaCha20Xor(key, 1, nonce, big);
+    EXPECT_EQ(big, extended_scalar) << "level " << SimdLevelName(level);
+  }
+}
+
+TEST(SimdDispatch, SipHashVectorsAndSealAtEveryLevel) {
+  // SipHash itself is scalar code, but the seal path fuses its absorb
+  // into the vectorized cipher walk — so run the reference vectors AND
+  // a full seal (tag included) at every level, requiring byte-equal
+  // output across levels.
+  SimdLevelRestorer restore;
+  SipHashKey key;
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<std::uint8_t>(i);
+  }
+  const PacketProtection prot(SequentialKey());
+  const std::vector<std::uint8_t> plain(1350, 0x5A);
+  const std::uint8_t aad[14] = {1, 2, 3};
+
+  ForceSimdLevel(SimdLevel::kScalar);
+  const auto sealed_scalar =
+      prot.Seal(PathId{300}, PacketNumber{77}, aad, plain);
+
+  for (const SimdLevel level : AvailableLevels()) {
+    ForceSimdLevel(level);
+    std::vector<std::uint8_t> msg;
+    const std::uint64_t expected[] = {
+        0x726fdb47dd0e0e31ULL, 0x74f839c593dc67fdULL, 0x0d6c8009d9a94f5aULL,
+        0x85676696d7fb7e2dULL, 0xcf2794e0277187b7ULL};
+    for (std::size_t len = 0; len < 5; ++len) {
+      EXPECT_EQ(SipHash24(key, msg), expected[len])
+          << "len " << len << " level " << SimdLevelName(level);
+      msg.push_back(static_cast<std::uint8_t>(len));
+    }
+    EXPECT_EQ(prot.Seal(PathId{300}, PacketNumber{77}, aad, plain),
+              sealed_scalar)
+        << "level " << SimdLevelName(level);
+  }
+}
+
+TEST(SimdDispatch, RandomizedScalarEquivalence) {
+  // Property test: for random keys/nonces/counters and lengths chosen
+  // to straddle every kernel boundary (odd lengths, partial blocks,
+  // 4/8-block multiples ± 1), every compiled SIMD level produces the
+  // scalar bytes exactly.
+  SimdLevelRestorer restore;
+  mpq::Rng rng(20170712);
+  const std::size_t kBoundary[] = {1,   63,  64,  65,  255,  256,  257,
+                                   511, 512, 513, 767, 1023, 1024, 1025};
+  for (int iter = 0; iter < 120; ++iter) {
+    ChaChaKey key;
+    for (auto& b : key) b = static_cast<std::uint8_t>(rng.NextU64());
+    ChaChaNonce nonce;
+    for (auto& b : nonce) b = static_cast<std::uint8_t>(rng.NextU64());
+    const auto counter = static_cast<std::uint32_t>(rng.NextU64());
+    const std::size_t len =
+        iter < 14 ? kBoundary[iter] : (rng.NextU64() % 2100);
+    std::vector<std::uint8_t> input(len);
+    for (auto& b : input) b = static_cast<std::uint8_t>(rng.NextU64());
+
+    ForceSimdLevel(SimdLevel::kScalar);
+    std::vector<std::uint8_t> reference = input;
+    ChaCha20Xor(key, counter, nonce, reference);
+
+    for (const SimdLevel level : AvailableLevels()) {
+      if (level == SimdLevel::kScalar) continue;
+      ForceSimdLevel(level);
+      std::vector<std::uint8_t> data = input;
+      ChaCha20Xor(key, counter, nonce, data);
+      ASSERT_EQ(data, reference)
+          << "iter " << iter << " len " << len << " level "
+          << SimdLevelName(level);
+    }
+  }
+}
+
+TEST(SimdDispatch, ForceIsClampedToMachineMaximum) {
+  SimdLevelRestorer restore;
+  ForceSimdLevel(SimdLevel::kAvx2);
+  EXPECT_LE(ActiveSimdLevel(), MaxSimdLevel());
+}
+
+// --- PR 10 regression tests ------------------------------------------------
+
+TEST(Kdf32, EmptySecretIsDeterministicAndSafe) {
+  // Regression: Kdf32 used to memcpy from secret.data() without a size
+  // check — with an empty span that is memcpy(dst, nullptr, 0), which
+  // is undefined behavior (UBSan flags it). An empty secret must derive
+  // deterministically and differ by label like any other.
+  const std::span<const std::uint8_t> empty;
+  const auto a = Kdf32(empty, "label-a");
+  const auto b = Kdf32(empty, "label-a");
+  const auto c = Kdf32(empty, "label-b");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(PacketProtection, WidePathIdsDoNotCollideInTheNonce) {
+  // Regression: the nonce used to carry only the low byte of the path
+  // id, so paths 1 and 257 (1 + 256) sealed under identical nonces —
+  // exactly the cross-path nonce reuse the §3 construction exists to
+  // prevent. All four path-id bytes now enter the nonce.
+  PacketProtection prot(SequentialKey());
+  const std::vector<std::uint8_t> plain(64, 0x33);
+  const std::uint8_t aad[4] = {7, 7, 7, 7};
+  const auto low = prot.Seal(PathId{1}, PacketNumber{5}, aad, plain);
+  const auto high = prot.Seal(PathId{257}, PacketNumber{5}, aad, plain);
+  EXPECT_NE(low, high);
+  // Cross-open must fail: the tag binds the full path id.
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(prot.Open(PathId{257}, PacketNumber{5}, aad, low, out));
+  EXPECT_FALSE(prot.Open(PathId{1}, PacketNumber{5}, aad, high, out));
+  ASSERT_TRUE(prot.Open(PathId{257}, PacketNumber{5}, aad, high, out));
+  EXPECT_EQ(out, plain);
+}
+
+TEST(PacketProtection, LowPathIdSealedBytesArePinned) {
+  // Golden test: paths below 256 must keep their pre-widening wire bytes
+  // (the high three path-id bytes land in what used to be reserved-zero
+  // nonce bytes), so the figure benches stay byte-identical to the seed.
+  // If this hex ever changes, the nonce layout changed — that is a wire
+  // break, not a test to update casually.
+  PacketProtection prot(SequentialKey());
+  const std::vector<std::uint8_t> plain(32, 0x44);
+  const auto sealed = prot.Seal(PathId{3}, PacketNumber{9}, {}, plain);
+  EXPECT_EQ(mpq::ToHex(sealed),
+            "233da7aea3de98ce789f5214d5ce975078bcfe1daaf4cd29"
+            "e77f23270ae8830e4256b6760d0e4bd2");
+}
+
+TEST(SessionKeys, InputFramingSeparatesShiftedSplits) {
+  // Regression: the master-secret KDF used to hash the raw
+  // concatenation client_nonce | server_nonce | config, so moving a
+  // byte across a field boundary produced the same keys. Each field is
+  // now length-prefixed.
+  // Same concatenated bytes "ABC", three different field splits — each
+  // must produce distinct keys.
+  const std::vector<std::uint8_t> bytes = {'A', 'B', 'C'};
+  const std::span<const std::uint8_t> all(bytes);
+  const SessionKeys ab_c =
+      DeriveSessionKeys(all.subspan(0, 2), all.subspan(2, 1), {});
+  const SessionKeys a_bc =
+      DeriveSessionKeys(all.subspan(0, 1), all.subspan(1, 2), {});
+  const SessionKeys abc_none =
+      DeriveSessionKeys(all.subspan(0, 3), all.subspan(3, 0), {});
+  EXPECT_NE(ab_c.client_to_server, a_bc.client_to_server);
+  EXPECT_NE(ab_c.server_to_client, a_bc.server_to_client);
+  EXPECT_NE(ab_c.client_to_server, abc_none.client_to_server);
+  EXPECT_NE(a_bc.client_to_server, abc_none.client_to_server);
+  // Moving a byte between nonce and config must also separate.
+  const SessionKeys config_split =
+      DeriveSessionKeys(all.subspan(0, 2), {}, all.subspan(2, 1));
+  EXPECT_NE(ab_c.client_to_server, config_split.client_to_server);
+}
+
+// --- batched seal/open -----------------------------------------------------
+
+TEST(PacketProtection, SealNMatchesSealInPlacePerPacket) {
+  PacketProtection prot(SequentialKey());
+  const std::size_t lens[] = {0, 1, 64, 500, 1300};
+  std::vector<std::vector<std::uint8_t>> batch_bufs;
+  std::vector<std::vector<std::uint8_t>> single_bufs;
+  std::vector<std::uint8_t> aads[5];
+  for (std::size_t i = 0; i < 5; ++i) {
+    std::vector<std::uint8_t> buf(lens[i] + kAeadTagSize);
+    for (std::size_t j = 0; j < lens[i]; ++j) {
+      buf[j] = static_cast<std::uint8_t>(i * 17 + j);
+    }
+    aads[i].assign(i + 1, static_cast<std::uint8_t>(0xA0 + i));
+    batch_bufs.push_back(buf);
+    single_bufs.push_back(buf);
+  }
+  std::vector<SealRequest> requests;
+  for (std::size_t i = 0; i < 5; ++i) {
+    requests.push_back(SealRequest{PathId{static_cast<std::uint32_t>(i * 90)},
+                                   PacketNumber{i + 1}, aads[i],
+                                   batch_bufs[i]});
+  }
+  prot.SealN(requests);
+  for (std::size_t i = 0; i < 5; ++i) {
+    prot.SealInPlace(PathId{static_cast<std::uint32_t>(i * 90)},
+                     PacketNumber{i + 1}, aads[i], single_bufs[i]);
+    EXPECT_EQ(batch_bufs[i], single_bufs[i]) << "packet " << i;
+  }
+}
+
+TEST(PacketProtection, OpenNMatchesOpenInPlaceAndFlagsTampering) {
+  PacketProtection prot(SequentialKey());
+  std::vector<std::vector<std::uint8_t>> bufs;
+  std::vector<std::uint8_t> aad = {0xEE, 0xFF};
+  for (std::size_t i = 0; i < 6; ++i) {
+    std::vector<std::uint8_t> buf(100 + i * 37 + kAeadTagSize,
+                                  static_cast<std::uint8_t>(i));
+    prot.SealInPlace(PathId{2}, PacketNumber{i + 1}, aad, buf);
+    bufs.push_back(std::move(buf));
+  }
+  // Corrupt packets 1 and 4.
+  bufs[1][5] ^= 0x80;
+  bufs[4].back() ^= 0x01;
+  std::vector<std::vector<std::uint8_t>> expected = bufs;
+
+  std::vector<OpenRequest> requests;
+  for (std::size_t i = 0; i < 6; ++i) {
+    requests.push_back(
+        OpenRequest{PathId{2}, PacketNumber{i + 1}, aad, bufs[i]});
+  }
+  prot.OpenN(requests);
+  for (std::size_t i = 0; i < 6; ++i) {
+    std::size_t plaintext_len = 0;
+    const bool ok = prot.OpenInPlace(PathId{2}, PacketNumber{i + 1}, aad,
+                                     expected[i], plaintext_len);
+    ASSERT_EQ(requests[i].ok, ok) << "packet " << i;
+    ASSERT_EQ(ok, i != 1 && i != 4) << "packet " << i;
+    EXPECT_EQ(bufs[i], expected[i]) << "packet " << i;
+    if (ok) {
+      EXPECT_EQ(requests[i].plaintext_len, plaintext_len);
+      EXPECT_EQ(requests[i].plaintext_len, bufs[i].size() - kAeadTagSize);
+    }
+  }
 }
 
 }  // namespace

@@ -8,8 +8,9 @@
 # After the matrix: bounded model checking of the event machine
 # (tools/mpq_model), a 30-second wire-parser fuzz smoke (tools/fuzz_wire),
 # the chaos sweep, the many-connection scale smoke (1000-connection
-# workload with a --jobs determinism check), and the perf-regression
-# gate.
+# workload with a --jobs determinism check), the SIMD/scalar crypto
+# equivalence check (a -DMPQ_NO_SIMD build must digest-match the
+# vectorized build), and the perf-regression gate.
 #
 #   tools/ci.sh [--jobs N]
 #
@@ -121,6 +122,24 @@ for dir in build-asan build-audit; do
   cmp "${dir}/scale_j1.ndjson" "${dir}/scale_j4.ndjson"
   ./build/tools/mpq_trace --aggregate "${dir}/scale_j1.ndjson" > /dev/null
 done
+
+# --- Stage 5c: SIMD/scalar crypto equivalence ---------------------------
+# Build the crypto micro-bench with the SIMD kernels compiled out
+# entirely (-DMPQ_NO_SIMD=ON) and byte-compare its deterministic
+# --selftest digest sweep against the default build's. This is the
+# end-to-end guarantee that the SSE2/AVX2 ChaCha20 kernels and the fused
+# seal/open walk produce exactly the scalar bytes — independent of the
+# unit-test vectors, on the real dispatch path.
+echo "==> crypto SIMD/scalar equivalence (build-nosimd)"
+cmake -B build-nosimd -S . -DMPQ_NO_SIMD=ON > /dev/null
+cmake --build build-nosimd -j "${jobs}" --target bench_micro_crypto
+./build/bench/bench_micro_crypto --selftest > build/crypto_selftest.txt
+./build-nosimd/bench/bench_micro_crypto --selftest \
+  > build-nosimd/crypto_selftest.txt
+cmp build/crypto_selftest.txt build-nosimd/crypto_selftest.txt
+# Belt and braces: the runtime kill switch must land on the same bytes.
+MPQ_NO_SIMD=1 ./build/bench/bench_micro_crypto --selftest \
+  | cmp - build/crypto_selftest.txt
 
 # --- Stage 6: perf-regression gate -------------------------------------
 # Re-measure the engine transfer (--quick skips the WSP sweeps) and

@@ -1,0 +1,24 @@
+// Seeded violation: CPU intrinsics outside src/crypto. Per-arch vector
+// code and feature probes live behind the crypto dispatch layer
+// (src/crypto/cpu.h) with its scalar fallback — protocol layers stay
+// architecture-neutral. This file poses as src/quic/ code, so the raw
+// reinterpret_casts are findings too (that rule confines type punning
+// to src/crypto and quic/wire). The suppressed probe at the bottom is
+// the sanctioned escape hatch.
+// expect: simd-intrinsics
+// expect: simd-intrinsics
+// expect: simd-intrinsics
+// expect: reinterpret-cast
+// expect: reinterpret-cast
+#include <emmintrin.h>
+
+int SumFour(const int* values) {
+  __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(values));
+  int out[4];
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), v);
+  return out[0] + out[1] + out[2] + out[3];
+}
+
+bool HasAvx2() {
+  return __builtin_cpu_supports("avx2");  // NOLINT(mpq-simd-intrinsics): probe
+}

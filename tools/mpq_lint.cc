@@ -283,6 +283,8 @@ void CheckFile(const std::string& rel, const std::vector<Line>& lines,
   static const std::regex kReinterpret(R"(\breinterpret_cast\b)");
   static const std::regex kShardAffinity(
       R"(\b(?:FindConnection|ForEachConnection|Connections)\s*\()");
+  static const std::regex kSimdIntrinsics(
+      R"(\b_mm\d*_\w+\s*\(|\b__m(?:128|256|512)i?\b|\b__builtin_cpu_(?:supports|init)\s*\(|#include\s*<(?:imm|emm|xmm|smm|tmm|wmm|nmm|avx[\w]*)intrin\.h>)");
 
   // Pass 1: names of unordered containers declared in this file (for the
   // iteration rule). Declarations themselves are fine — lookups and
@@ -366,6 +368,17 @@ void CheckFile(const std::string& rel, const std::vector<Line>& lines,
                "Connections) outside the server engine breaks shard "
                "affinity (route through the owning shard)");
       }
+    }
+    // CPU intrinsics and feature probes stay behind the crypto dispatch
+    // layer (src/crypto/cpu.h): one audited home for per-arch code and
+    // its scalar fallback, instead of #ifdef __AVX2__ creep through the
+    // protocol layers. Matches vector intrinsics/types, the GCC/Clang
+    // cpu-feature builtins, and the x86 intrinsic headers.
+    if (in_src && !StartsWith(rel, "src/crypto/") &&
+        std::regex_search(code, kSimdIntrinsics)) {
+      report(i, "simd-intrinsics",
+             "CPU intrinsics / feature probes outside src/crypto (route "
+             "through the crypto/cpu.h dispatch layer)");
     }
     // Include paths live inside string literals, which the code view
     // blanks out — match the raw line for this rule.
@@ -457,7 +470,7 @@ std::string RelativeTo(const fs::path& root, const fs::path& file) {
 const std::vector<std::string> kAllRules = {
     "wall-clock", "raw-rng",     "unordered-iter",  "iostream-io",
     "naked-new",  "pragma-once", "include-hygiene", "layering",
-    "prof-clock", "reinterpret-cast", "shard-affinity"};
+    "prof-clock", "reinterpret-cast", "shard-affinity", "simd-intrinsics"};
 
 int RunLint(const fs::path& root, const std::vector<std::string>& dirs) {
   std::vector<Finding> findings;
